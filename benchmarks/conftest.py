@@ -1,0 +1,48 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark reproduces one table or figure of the paper (see
+DESIGN.md's experiment index).  Besides the pytest-benchmark timing, each
+writes its paper-comparison table to ``benchmarks/results/<name>.txt``;
+those tables are echoed into the terminal summary so the full report
+appears in captured bench output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_written: list[pathlib.Path] = []
+
+
+@pytest.fixture
+def report():
+    """``report(name, text)`` — persist and register a results table."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text)
+        _written.append(path)
+        print(f"\n{text}")
+
+    return _write
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _written:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for path in _written:
+        terminalreporter.write_line(f"--- {path.name} ---")
+        for line in path.read_text().splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")
+
+
+def once(benchmark, fn):
+    """Run an (expensive, deterministic) experiment exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,68 @@
+"""§6: the compression crossover.
+
+"Additional measurements showed that compression could improve the
+bandwidth for networks with a capacity up to 6 MB/s; beyond this
+threshold, compression degrades the performance, with the CPUs used in
+this particular case."
+
+Sweeps link capacity with fixed (Delft/Sophia-class) CPUs and locates the
+capacity where plain TCP with ample windows overtakes the compressed
+stream.
+"""
+
+from conftest import once
+from paperlinks import DELFT_SOPHIA, measure
+
+CAPACITIES = [1e6, 2e6, 4e6, 6e6, 8e6, 10e6, 12e6]
+TOTAL = 10_000_000
+
+
+def _link(capacity: float) -> dict:
+    link = dict(DELFT_SOPHIA)
+    link["capacity"] = capacity
+    link["loss"] = 0.0005
+    return link
+
+
+def _run():
+    rows = []
+    for capacity in CAPACITIES:
+        link = _link(capacity)
+        # "plain" uses 8 streams so the comparison isolates the compression
+        # stage, not the per-stream window cap (the paper's additional
+        # measurements had TCP tuned well).
+        plain = measure(link, "parallel:8", 65536, TOTAL)
+        compressed = measure(link, "compress|parallel:8", 65536, TOTAL)
+        rows.append((capacity, plain, compressed))
+    return rows
+
+
+def test_compression_crossover(benchmark, report):
+    rows = once(benchmark, _run)
+
+    lines = [
+        "§6 — compression benefit vs link capacity "
+        "(Delft/Sophia-class CPUs, zlib-1)",
+        "",
+        f"{'capacity MB/s':>14s} {'plain':>10s} {'compressed':>12s} {'winner':>12s}",
+    ]
+    crossover = None
+    for capacity, plain, compressed in rows:
+        winner = "compressed" if compressed > plain else "plain"
+        if winner == "plain" and crossover is None:
+            crossover = capacity
+        lines.append(
+            f"{capacity / 1e6:>14.0f} {plain:>10.2f} {compressed:>12.2f} {winner:>12s}"
+        )
+    lines.append(
+        f"\ncrossover: compression stops helping at ~{(crossover or 0) / 1e6:.0f} MB/s "
+        "(paper: ~6 MB/s)"
+    )
+    report("compression_crossover", "\n".join(lines))
+
+    # Compression wins clearly on slow links...
+    assert rows[0][2] > 1.3 * rows[0][1]
+    # ...and loses on fast ones.
+    assert rows[-1][2] < rows[-1][1]
+    # The crossover falls in the paper's neighbourhood (4-12 MB/s).
+    assert crossover is not None and 4e6 <= crossover <= 12e6

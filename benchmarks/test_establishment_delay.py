@@ -1,0 +1,52 @@
+"""§2/§3.4: connection establishment delay per method.
+
+"Methods without brokering are preferable over the ones requiring it,
+since the latter are likely to exhibit a higher connection establishment
+delay due to the negotiation phase."  Fall-back chains (the broken-NAT
+case) cost the most.
+"""
+
+from conftest import once
+from repro.core.scenarios import GridScenario
+
+CASES = [
+    ("client_server (no brokering beyond addresses)", "open", "open"),
+    ("splicing (brokered rendezvous)", "firewall", "firewall"),
+    ("splicing + NAT probe", "open", "cone_nat"),
+    ("socks after failed splicing (fall-back)", "open", "broken_nat"),
+    ("routed (no negotiation)", "severe", "firewall"),
+]
+
+
+def _run():
+    rows = []
+    for label, kind_a, kind_b in CASES:
+        sc = GridScenario(seed=17)
+        sc.add_site("A", kind_a)
+        sc.add_site("B", kind_b)
+        sc.add_node("A", "a")
+        sc.add_node("B", "b")
+        result = sc.establish_pair("a", "b", until=500)
+        rows.append((label, result["method"], result["delay"]))
+    return rows
+
+
+def test_establishment_delay(benchmark, report):
+    rows = once(benchmark, _run)
+
+    lines = ["§2/§3.4 — data-link establishment delay by method", ""]
+    lines.append(f"{'scenario':>45s} {'method':>14s} {'delay':>10s}")
+    for label, method, delay in rows:
+        lines.append(f"{label:>45s} {method:>14s} {delay * 1000:9.1f}ms")
+    report("establishment_delay", "\n".join(lines))
+
+    by_label = {label: delay for label, _m, delay in rows}
+    cs = by_label["client_server (no brokering beyond addresses)"]
+    splice = by_label["splicing (brokered rendezvous)"]
+    nat_probe = by_label["splicing + NAT probe"]
+    fallback = by_label["socks after failed splicing (fall-back)"]
+    # NAT probing adds delay over plain splicing.
+    assert nat_probe > splice
+    # A failed attempt before fall-back dominates everything.
+    assert fallback > 3 * cs
+    assert fallback > nat_probe

@@ -1,0 +1,96 @@
+"""Figure 4: choosing a connection establishment method.
+
+The decision tree — bootstrap? firewall? NAT (and is it compatible)? — is
+swept over every topology combination; the chosen method must equal the
+paper's precedence answer, and a behavioural check confirms the chosen
+method actually works in the simulator for a representative subset.
+"""
+
+from conftest import once
+from repro.core import (
+    CLIENT_SERVER,
+    ROUTED,
+    SOCKS_PROXY,
+    SPLICING,
+    EndpointInfo,
+    choose_method,
+)
+from repro.core.scenarios import GridScenario
+
+
+def _info(**kwargs):
+    base = dict(node_id="n", local_ip="203.0.1.10")
+    base.update(kwargs)
+    return EndpointInfo(**base)
+
+
+PROFILES = {
+    "open": _info(),
+    "firewall": _info(behind_firewall=True),
+    "nat-ok": _info(behind_nat=True, nat_predictable=True),
+    "nat-bad": _info(
+        behind_nat=True, nat_predictable=False, socks_proxy=("198.51.1.2", 1080)
+    ),
+}
+
+# The Figure 4 answers for (initiator, responder, bootstrap).
+EXPECTED = {
+    ("open", "open", False): CLIENT_SERVER,
+    ("open", "open", True): CLIENT_SERVER,
+    ("open", "firewall", False): SPLICING,
+    ("open", "firewall", True): ROUTED,
+    ("firewall", "open", False): CLIENT_SERVER,
+    ("firewall", "firewall", False): SPLICING,
+    ("firewall", "firewall", True): ROUTED,
+    ("open", "nat-ok", False): SPLICING,
+    ("nat-ok", "nat-ok", False): SPLICING,
+    ("open", "nat-bad", False): SOCKS_PROXY,
+    ("nat-bad", "firewall", False): ROUTED,
+    ("open", "nat-bad", True): ROUTED,
+}
+
+# Behavioural spot-checks: these site-kind pairs must end up on the method
+# Figure 4 predicts.
+BEHAVIOUR = [
+    ("open", "open", CLIENT_SERVER),
+    ("firewall", "firewall", SPLICING),
+    ("open", "cone_nat", SPLICING),
+    ("open", "symmetric_nat", SOCKS_PROXY),
+    ("severe", "firewall", ROUTED),
+]
+
+
+def _run():
+    table = {}
+    for (a, b, boot), expected in EXPECTED.items():
+        chosen = choose_method(PROFILES[a], PROFILES[b], bootstrap=boot)
+        table[(a, b, boot)] = (chosen, expected)
+    behaviour = []
+    for kind_a, kind_b, expected in BEHAVIOUR:
+        sc = GridScenario(seed=8)
+        sc.add_site("A", kind_a)
+        sc.add_site("B", kind_b)
+        sc.add_node("A", "a")
+        sc.add_node("B", "b")
+        result = sc.establish_pair("a", "b", until=400)
+        behaviour.append((kind_a, kind_b, expected, result["method"]))
+    return table, behaviour
+
+
+def test_fig4_decision_tree(benchmark, report):
+    table, behaviour = once(benchmark, _run)
+
+    lines = ["Figure 4 — decision tree outcomes", ""]
+    lines.append(f"{'initiator':>10s} {'responder':>10s} {'boot':>5s} {'chosen':>14s}")
+    for (a, b, boot), (chosen, _expected) in sorted(table.items()):
+        lines.append(f"{a:>10s} {b:>10s} {str(boot):>5s} {chosen:>14s}")
+    lines.append("")
+    lines.append("behavioural confirmation (actual method used end-to-end):")
+    for kind_a, kind_b, expected, actual in behaviour:
+        lines.append(f"  {kind_a:>14s} -> {kind_b:<14s} {actual}")
+    report("fig4_decision_tree", "\n".join(lines))
+
+    for key, (chosen, expected) in table.items():
+        assert chosen == expected, key
+    for kind_a, kind_b, expected, actual in behaviour:
+        assert actual == expected, (kind_a, kind_b)

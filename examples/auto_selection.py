@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""§8 realized: automated selection of communication methods.
+
+"This combination will allow the automated selection of the proper
+communication methods for given WAN settings.  Also, parameter adaptation,
+like selection of the optimal number of parallel TCP streams or the
+dynamic enabling or disabling of compression will then become possible."
+
+For two very different WANs, a path monitor probes the link (NWS-style),
+`select_spec` derives a driver stack, and the transfer runs with it —
+compared against naive plain TCP.
+
+Run:  python examples/auto_selection.py
+"""
+
+from repro.core import PathMonitor, select_spec
+from repro.core.scenarios import GridScenario
+from repro.simnet.cpu import CpuModel
+from repro.workloads import payload_with_ratio
+
+WANS = [
+    ("slow lossy WAN (1.6 MB/s, 30 ms)", 1.6e6, 0.015, 0.0025, 3.6e6),
+    ("fat WAN (9 MB/s, 43 ms)", 9e6, 0.0215, 0.0005, 5.2e6),
+]
+TOTAL = 6_000_000
+
+
+def run_wan(label, capacity, owd, loss, compress_rate):
+    def build():
+        sc = GridScenario(seed=37)
+        queue = max(65536, int(capacity * 2 * owd))
+        for i, name in enumerate(("left", "right")):
+            sc.add_site(
+                name, "firewall", access_delay=owd / 2,
+                access_bandwidth=capacity,
+                access_loss=loss if i == 0 else 0.0, queue_bytes=queue,
+            )
+        src = sc.add_node("left", "src")
+        dst = sc.add_node("right", "dst")
+        for node in (src, dst):
+            CpuModel(
+                sc.sim, rates={"compress": compress_rate, "decompress": 25e6}
+            ).attach(node.host)
+        return sc, src, dst
+
+    # Phase 1: probe and select.
+    sc, src, dst = build()
+    chosen = {}
+
+    def prober():
+        yield from src.start()
+        while not dst.relay_client.connected:
+            yield sc.sim.timeout(0.05)
+        service = yield from src.open_service_link("dst")
+        monitor = PathMonitor(src)
+        estimate = yield from monitor.estimate(service, dst.info)
+        yield from monitor.finish(service)
+        chosen["estimate"] = estimate
+        chosen["spec"] = select_spec(
+            estimate, compress_rate=compress_rate, payload_ratio=3.5
+        )
+
+    def server():
+        yield from dst.start()
+        _p, service = yield from dst.accept_service_link()
+        yield from PathMonitor(dst).serve(service)
+
+    sc.sim.process(prober())
+    sc.sim.process(server())
+    sc.run(until=600)
+    estimate, spec = chosen["estimate"], chosen["spec"]
+
+    # Phase 2: transfer with the selected spec vs naive plain TCP.
+    payload = payload_with_ratio(1 << 20, 3.5, seed=4)
+    results = {}
+    for name, use_spec in (
+        ("naive plain TCP", "tcp_block"),
+        (f"selected  ({spec})", spec),
+    ):
+        sc2, _src, _dst = build()
+        r = sc2.measure_stack_throughput(
+            "src", "dst", use_spec, payload, TOTAL, message_size=65536
+        )
+        results[name] = r["throughput"]
+
+    print(f"== {label} ==")
+    print(
+        f"   probe: rtt {estimate.rtt * 1000:.0f} ms, single stream "
+        f"{estimate.single_stream / 1e6:.2f} MB/s, capacity estimate "
+        f"{estimate.capacity / 1e6:.2f} MB/s"
+    )
+    for name, mbps in results.items():
+        print(f"   {name:28s} {mbps:6.2f} MB/s")
+    print()
+
+
+def main() -> None:
+    for wan in WANS:
+        run_wan(*wan)
+
+
+if __name__ == "__main__":
+    main()

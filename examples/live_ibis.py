@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""LiveIbis: the complete runtime on real sockets (§8's second implementation).
+
+A registry, a relay and three Ibis instances — all real asyncio TCP on
+loopback.  Workers register receive ports; the coordinator is elected,
+connects with a compressed striped stack, and farms out typed messages.
+
+Run:  python examples/live_ibis.py
+"""
+
+import array
+import asyncio
+
+from repro.livenet import LiveIbis, LiveRegistryServer, LiveRelayServer
+
+
+async def worker(node: LiveIbis, index: int) -> None:
+    inbox = await node.create_receive_port(f"tasks-{index}")
+    message = await inbox.receive()
+    values = message.read_array()
+    total = sum(values)
+    print(f"[{node.name}] received {len(values)} values from "
+          f"{message.origin}, sum={total:.2f}")
+
+    reply = node.create_send_port("reply")
+    await reply.connect("results")
+    answer = reply.new_message()
+    answer.write_double(total)
+    await answer.finish()
+
+
+async def coordinator(node: LiveIbis, n_workers: int) -> None:
+    winner = await node.elect("coordinator")
+    print(f"[{node.name}] election winner: {winner}")
+    results = await node.create_receive_port("results")
+
+    for index in range(n_workers):
+        port = node.create_send_port(f"to-{index}")
+        for _attempt in range(50):
+            try:
+                await port.connect(f"tasks-{index}", spec="compress|parallel:2")
+                break
+            except Exception:
+                await asyncio.sleep(0.05)
+        message = port.new_message()
+        message.write_array(array.array("d", [index + i * 0.5 for i in range(1000)]))
+        await message.finish()
+
+    grand_total = 0.0
+    for _ in range(n_workers):
+        reply = await results.receive()
+        grand_total += reply.read_double()
+    print(f"[{node.name}] grand total over {n_workers} workers: {grand_total:.2f}")
+
+
+async def main() -> None:
+    registry = await LiveRegistryServer().start()
+    relay = await LiveRelayServer().start()
+
+    nodes = [
+        await LiveIbis(name, registry.addr, relay.addr).start()
+        for name in ("coord", "w0", "w1")
+    ]
+    await asyncio.gather(
+        coordinator(nodes[0], 2),
+        worker(nodes[1], 0),
+        worker(nodes[2], 1),
+    )
+    for node in nodes:
+        await node.leave()
+    registry.close()
+    relay.close()
+    print("all real-TCP, all typed IPL messages — same protocols as the simulator")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Security example: authenticated, encrypted channels over any path (§4.4).
+
+A grid CA issues certificates to two nodes; the data link is brokered
+through two firewalls (TCP splicing) and then secured by the TLS driver —
+mutual authentication, ChaCha20 encryption, tamper detection.
+
+Run:  python examples/secure_channel.py
+"""
+
+from repro.core.factory import BrokeredConnectionFactory, TlsConfig
+from repro.core.scenarios import GridScenario
+from repro.core.utilization import TlsDriver, find_driver
+from repro.security import CertificateAuthority, Identity, RecordError
+
+
+def main() -> None:
+    # The grid PKI.
+    ca = CertificateAuthority("grid-root-ca")
+    alice_key, alice_cert = ca.issue_identity("alice@amsterdam")
+    bob_key, bob_cert = ca.issue_identity("bob@rennes")
+    print(f"CA {ca.name!r} issued certificates for "
+          f"{alice_cert.subject!r} and {bob_cert.subject!r}\n")
+
+    scenario = GridScenario(seed=13)
+    scenario.add_site("amsterdam", "firewall")
+    scenario.add_site("rennes", "firewall")
+    alice = scenario.add_node("amsterdam", "alice")
+    bob = scenario.add_node("rennes", "bob")
+
+    alice_tls = TlsConfig(
+        [ca.certificate],
+        Identity(alice_key, [alice_cert]),
+        expected_peer="bob@rennes",
+    )
+    bob_tls = TlsConfig(
+        [ca.certificate],
+        Identity(bob_key, [bob_cert]),
+        require_client_auth=True,
+    )
+    out = {}
+
+    def alice_proc():
+        yield from alice.start()
+        while not bob.relay_client.connected:
+            yield scenario.sim.timeout(0.05)
+        service = yield from alice.open_service_link("bob")
+        factory = BrokeredConnectionFactory(alice, alice_tls)
+        channel = yield from factory.connect(
+            service, bob.info, spec="tls|compress|tcp_block"
+        )
+        tls = find_driver(channel.driver, TlsDriver)
+        print(f"[alice] authenticated peer: {tls.peer_subject}")
+        yield from channel.send_message(b"the experiment parameters: seed=42")
+        out["reply"] = yield from channel.recv_message()
+        out["session"] = tls.session
+
+    def bob_proc():
+        yield from bob.start()
+        _peer, service = yield from bob.accept_service_link()
+        factory = BrokeredConnectionFactory(bob, bob_tls)
+        channel = yield from factory.accept(service)
+        tls = find_driver(channel.driver, TlsDriver)
+        print(f"[bob]   authenticated peer: {tls.peer_subject}")
+        msg = yield from channel.recv_message()
+        print(f"[bob]   received: {msg.decode()!r}")
+        yield from channel.send_message(b"ack: parameters received")
+
+    scenario.sim.process(alice_proc())
+    scenario.sim.process(bob_proc())
+    scenario.run(until=120)
+    print(f"[alice] reply: {out['reply'].decode()!r}\n")
+
+    # Tampering demo: flip one ciphertext bit, watch the MAC catch it.
+    session = out["session"]
+    record = bytearray(session.seal(b"sensitive"))
+    record[3] ^= 0x80
+    try:
+        session.open(bytes(record))  # wrong direction anyway; shows the API
+    except RecordError as exc:
+        print(f"tampered record rejected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Bulk WAN transfer with the paper's link-utilization methods (§4, §6).
+
+Rebuilds the Amsterdam–Rennes WAN (1.6 MB/s capacity, 30 ms latency, a
+little loss) and moves the same compressible dataset with four driver
+stacks, printing achieved bandwidth — a miniature of Figure 9.
+
+Run:  python examples/wan_transfer.py
+"""
+
+from repro.core.scenarios import GridScenario
+from repro.simnet.cpu import CpuModel
+from repro.workloads import measured_ratio, payload_with_ratio
+
+CAPACITY = 1.6e6          # bytes/s
+ONE_WAY_DELAY = 0.015     # 30 ms RTT
+LOSS = 0.004
+TOTAL = 6_000_000
+STACKS = [
+    ("plain TCP", "tcp_block"),
+    ("4 parallel streams", "parallel:4"),
+    ("compression", "compress|tcp_block"),
+    ("compression + 4 streams", "compress|parallel:4"),
+]
+
+
+def run_stack(spec: str, payload: bytes) -> float:
+    scenario = GridScenario(seed=9)
+    for name in ("amsterdam", "rennes"):
+        scenario.add_site(
+            name,
+            "firewall",
+            access_delay=ONE_WAY_DELAY / 2,
+            access_bandwidth=CAPACITY,
+            access_loss=LOSS if name == "amsterdam" else 0.0,
+            queue_bytes=int(CAPACITY * 2 * ONE_WAY_DELAY),
+        )
+    sender = scenario.add_node("amsterdam", "src")
+    receiver = scenario.add_node("rennes", "dst")
+    # 2004-era CPUs: zlib-1 compression is a real cost.
+    CpuModel(scenario.sim, rates={"compress": 3.6e6, "decompress": 20e6}).attach(
+        sender.host
+    )
+    CpuModel(scenario.sim, rates={"compress": 3.6e6, "decompress": 20e6}).attach(
+        receiver.host
+    )
+    result = scenario.measure_stack_throughput(
+        "src", "dst", spec, payload, TOTAL, message_size=262144
+    )
+    return result["throughput"]
+
+
+def main() -> None:
+    payload = payload_with_ratio(1 << 20, 3.6, seed=5)
+    print(
+        f"WAN: capacity {CAPACITY / 1e6:.1f} MB/s, RTT "
+        f"{2 * ONE_WAY_DELAY * 1000:.0f} ms, payload zlib-1 ratio "
+        f"{measured_ratio(payload):.2f}\n"
+    )
+    print(f"{'method':28s} {'MB/s':>7s} {'% capacity':>11s}")
+    for label, spec in STACKS:
+        mbps = run_stack(spec, payload)
+        print(f"{label:28s} {mbps:7.2f} {100 * mbps / (CAPACITY / 1e6):10.0f}%")
+    print(
+        "\nCompare paper Figure 9: plain 0.9 (56%), 4 streams 1.5 (93%), "
+        "compression 3.25 (203%), compression+streams 3.4 peak."
+    )
+
+
+if __name__ == "__main__":
+    main()

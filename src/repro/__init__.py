@@ -1,0 +1,40 @@
+"""repro — reproduction of "Wide-Area Communication for Grids" (HPDC 2004).
+
+An integrated solution to the connectivity, performance and security
+problems of grid wide-area communication, re-implemented in Python:
+
+* :mod:`repro.simnet` — deterministic simulated WAN (TCP, firewalls, NAT,
+  SOCKS, links with delay/bandwidth/loss).
+* :mod:`repro.security` — from-scratch TLS-like security (ChaCha20, DH,
+  HKDF, Schnorr certificates).
+* :mod:`repro.core` — the paper's contribution: connection-establishment
+  methods (client/server, TCP splicing, SOCKS proxy, routed messages), the
+  Figure 4 decision tree, and composable link-utilization drivers
+  (TCP_Block, parallel streams, compression, TLS).
+* :mod:`repro.ipl` — the Ibis Portability Layer: send/receive ports, name
+  service, typed messages.
+* :mod:`repro.livenet` — the same driver API over real asyncio sockets.
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # Convenience top-level entry points, imported lazily to keep
+    # `import repro` light.
+    if name == "GridScenario":
+        from .core.scenarios import GridScenario
+
+        return GridScenario
+    if name == "Ibis":
+        from .ipl.runtime import Ibis
+
+        return Ibis
+    if name == "LiveIbis":
+        from .livenet.runtime import LiveIbis
+
+        return LiveIbis
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = ["__version__", "GridScenario", "Ibis", "LiveIbis"]

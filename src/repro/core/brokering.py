@@ -1,0 +1,490 @@
+"""Brokered data-link establishment over service links (paper §3, §5.2).
+
+"Each data link has an associated service link, used for driver assembly
+consistency on both endpoints, and connection establishment negotiation."
+
+The broker walks the Figure 4 precedence list produced by
+:func:`~repro.core.establishment.decision.feasible_methods`, attempting one
+method at a time.  Every attempt is verified with a cookie exchange; a
+failed attempt (timeout, reset, verification mismatch — e.g. a
+standards-noncompliant NAT) falls back to the next method, exactly the
+behaviour the paper reports in §6.
+
+Wire protocol over the service link (length-prefixed frames, all tagged
+with the attempt nonce so frames from a timed-out attempt cannot
+desynchronize a later one):
+
+* ``ATTEMPT``  initiator → responder: method, nonce, initiator info+params.
+* ``PARAMS``   responder → initiator: responder's parameters (addresses).
+* ``NAK``      responder → initiator: method not possible on this side.
+* ``RESULT``   initiator → responder: attempt verdict, so both sides agree
+  on whether to fall back.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..simnet.engine import with_timeout
+from ..simnet.packet import Addr
+from ..util.framing import ByteReader, ByteWriter, FrameError
+from .addressing import EndpointInfo
+from .dispatch import RoutedDispatcher, data_tag
+from .establishment import client_server, proxy, routed, splicing
+from .establishment.base import (
+    CLIENT_SERVER,
+    ROUTED,
+    SOCKS_PROXY,
+    SPLICING,
+    EstablishmentError,
+)
+from .establishment.decision import feasible_methods
+from .establishment.verify import verify_initiator
+from .links import Link
+from .relay import RelayClient
+from .wire import WireError, recv_frame, send_frame
+
+__all__ = ["Broker", "BrokerError", "ATTEMPT_TIMEOUT"]
+
+M_ATTEMPT = 1
+M_PARAMS = 2
+M_NAK = 3
+M_RESULT = 4
+
+#: per-attempt wall-clock budget (simulated seconds)
+ATTEMPT_TIMEOUT = 12.0
+
+
+class BrokerError(EstablishmentError):
+    """Negotiation protocol failure."""
+
+
+class _NakReceived(Exception):
+    """Responder declined the method."""
+
+
+def _pack_addr(w: ByteWriter, addr: Addr) -> ByteWriter:
+    return w.lp_str(addr[0]).u16(addr[1])
+
+
+def _unpack_addr(r: ByteReader) -> Addr:
+    return (r.lp_str(), r.u16())
+
+
+class Broker:
+    """Runs data-link negotiations for one node.
+
+    Parameters
+    ----------
+    host:
+        The simulated host this broker lives on.
+    info:
+        This node's :class:`EndpointInfo`.
+    relay_client / dispatcher:
+        Needed for the routed fall-back (and for receiving brokered routed
+        channels).  Optional when routed fall-back is not desired.
+    reflector:
+        Address-reflector service used for NAT mapping discovery.
+    """
+
+    def __init__(
+        self,
+        host,
+        info: EndpointInfo,
+        relay_client: Optional[RelayClient] = None,
+        dispatcher: Optional[RoutedDispatcher] = None,
+        reflector: Optional[Addr] = None,
+        attempt_timeout: float = ATTEMPT_TIMEOUT,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.info = info
+        self.relay_client = relay_client
+        self.dispatcher = dispatcher
+        self.reflector = reflector
+        self.attempt_timeout = attempt_timeout
+        self._nonce_seq = 0
+        #: history of (method, ok) per negotiation, observable in tests
+        self.attempt_log: list[tuple[str, bool]] = []
+
+    def _next_nonce(self) -> int:
+        self._nonce_seq += 1
+        base = int.from_bytes(self.info.node_id.encode()[:4].ljust(4, b"\0"), "big")
+        return (base << 24) ^ self._nonce_seq
+
+    # ------------------------------------------------------------- initiator
+    def initiate(
+        self,
+        service_link: Link,
+        peer_info: EndpointInfo,
+        methods: Optional[list[str]] = None,
+    ) -> Generator:
+        """Negotiate and establish a data link to ``peer_info``.
+
+        Returns the established :class:`Link`.  Raises
+        :class:`EstablishmentError` when every feasible method failed.
+        """
+        if methods is None:
+            methods = feasible_methods(self.info, peer_info, bootstrap=False)
+            if self.relay_client is None and ROUTED in methods:
+                methods.remove(ROUTED)
+        failures = []
+        for method in methods:
+            nonce = self._next_nonce()
+            try:
+                link = yield from self._attempt_initiator(
+                    service_link, peer_info, method, nonce
+                )
+            except _NakReceived as nak:
+                self.attempt_log.append((method, False))
+                failures.append(f"{method}: peer NAK ({nak})")
+                continue
+            except (WireError, FrameError, EOFError, BrokerError):
+                raise  # the service link itself broke: no point continuing
+            except Exception as exc:
+                self.attempt_log.append((method, False))
+                failures.append(f"{method}: {type(exc).__name__}: {exc}")
+                yield from send_frame(service_link, _result(nonce, False, str(exc)))
+                continue
+            self.attempt_log.append((method, True))
+            yield from send_frame(service_link, _result(nonce, True, ""))
+            return link
+        raise EstablishmentError(
+            f"all methods failed toward {peer_info.node_id}: {failures}"
+        )
+
+    def _attempt_initiator(
+        self, service_link: Link, peer_info: EndpointInfo, method: str, nonce: int
+    ) -> Generator:
+        params, cleanup, state = yield from self._initiator_params(method)
+        try:
+            attempt = (
+                ByteWriter()
+                .u8(M_ATTEMPT)
+                .u64(nonce)
+                .f64(self.sim.now)  # lets the responder estimate one-way delay
+                .lp_str(method)
+                .lp_bytes(self.info.encode())
+                .lp_bytes(params)
+                .getvalue()
+            )
+            yield from send_frame(service_link, attempt)
+            peer_params = yield from self._await_params(service_link, nonce)
+            # Only the network attempt itself runs under the timeout — the
+            # service link is reliable, and interrupting a read on it would
+            # leave a dead waiter that desynchronizes later frames.
+            return (
+                yield from with_timeout(
+                    self.sim,
+                    self._execute_initiator(
+                        method, nonce, peer_info, peer_params, state
+                    ),
+                    self.attempt_timeout,
+                )
+            )
+        finally:
+            if cleanup is not None:
+                cleanup()
+
+    def _await_params(self, service_link: Link, nonce: int) -> Generator:
+        """Read frames until this attempt's PARAMS or NAK (skipping stale)."""
+        while True:
+            reply = yield from recv_frame(service_link)
+            r = ByteReader(reply)
+            kind = r.u8()
+            frame_nonce = r.u64()
+            if frame_nonce != nonce:
+                continue  # leftover of a timed-out attempt
+            if kind == M_NAK:
+                raise _NakReceived(r.lp_str())
+            if kind != M_PARAMS:
+                raise BrokerError(f"expected PARAMS, got frame type {kind}")
+            return r.lp_bytes()
+
+    def _initiator_params(self, method: str) -> Generator:
+        """Method-specific initiator parameters.
+
+        Returns ``(params_bytes, cleanup_or_None, state)``.
+        """
+        if method == SPLICING:
+            lport, ext_addr, probe = yield from splicing.prepare_endpoint(
+                self.host, self.info.behind_nat, self.reflector
+            )
+
+            def cleanup():
+                if probe is not None:
+                    probe.close()  # idempotent; pins the NAT mapping until now
+                self.host.tcp.release_port(lport)
+
+            return (
+                _pack_addr(ByteWriter(), ext_addr).getvalue(),
+                cleanup,
+                (lport, probe),
+            )
+        return b"", None, None
+
+    def _execute_initiator(
+        self,
+        method: str,
+        nonce: int,
+        peer_info: EndpointInfo,
+        peer_params: bytes,
+        state,
+    ) -> Generator:
+        r = ByteReader(peer_params)
+        if method == CLIENT_SERVER:
+            addr = _unpack_addr(r)
+            if self.info.socks_proxy is not None:
+                # Severe outbound firewall: even client/server goes through
+                # the local proxy when one is configured.
+                return (
+                    yield from proxy.connect_via_proxy_and_verify(
+                        self.host, self.info.socks_proxy, addr, nonce
+                    )
+                )
+            return (
+                yield from client_server.connect_and_verify(
+                    self.host, addr, nonce, config=splicing.SPLICE_CONFIG
+                )
+            )
+        if method == SPLICING:
+            peer_addr = _unpack_addr(r)
+            lport, probe = state
+            return (
+                yield from splicing.splice_and_verify(
+                    self.host, peer_addr, lport, nonce, initiator=True, probe=probe
+                )
+            )
+        if method == SOCKS_PROXY:
+            addr = _unpack_addr(r)
+            if self.info.socks_proxy is not None:
+                return (
+                    yield from proxy.connect_via_proxy_and_verify(
+                        self.host, self.info.socks_proxy, addr, nonce
+                    )
+                )
+            return (yield from proxy.connect_direct_and_verify(self.host, addr, nonce))
+        if method == ROUTED:
+            if self.relay_client is None:
+                raise BrokerError("routed method needs a relay client")
+            link = yield from self.relay_client.open_link(
+                peer_info.node_id, payload=data_tag(nonce)
+            )
+            yield from verify_initiator(link, nonce)
+            return link
+        raise BrokerError(f"unknown method {method}")
+
+    # ------------------------------------------------------------- responder
+    def respond(self, service_link: Link) -> Generator:
+        """Serve one data-link negotiation on ``service_link``.
+
+        Returns the established :class:`Link`.
+        """
+        while True:
+            frame = yield from recv_frame(service_link)
+            r = ByteReader(frame)
+            kind = r.u8()
+            nonce = r.u64()
+            if kind == M_RESULT:
+                continue  # stale verdict of an attempt we already abandoned
+            if kind != M_ATTEMPT:
+                raise BrokerError(f"expected ATTEMPT, got frame type {kind}")
+            sent_at = r.f64()
+            owd = max(0.0, self.sim.now - sent_at)
+            method = r.lp_str()
+            peer_info = EndpointInfo.decode(r.lp_bytes())
+            peer_params = r.lp_bytes()
+            link = yield from self._attempt_responder(
+                service_link, method, nonce, peer_info, peer_params, owd
+            )
+            if link is not None:
+                return link
+
+    def _attempt_responder(
+        self,
+        service_link: Link,
+        method: str,
+        nonce: int,
+        peer_info: EndpointInfo,
+        peer_params: bytes,
+        owd: float,
+    ) -> Generator:
+        """One responder-side attempt; returns the link or None (fall back)."""
+        try:
+            params, pending = yield from self._responder_params(
+                method, nonce, peer_info, peer_params, owd
+            )
+        except Exception as exc:
+            nak = (
+                ByteWriter()
+                .u8(M_NAK)
+                .u64(nonce)
+                .lp_str(f"{type(exc).__name__}: {exc}")
+                .getvalue()
+            )
+            yield from send_frame(service_link, nak)
+            return None
+        yield from send_frame(
+            service_link,
+            ByteWriter().u8(M_PARAMS).u64(nonce).lp_bytes(params).getvalue(),
+        )
+
+        # Run the local half of the attempt concurrently with reading the
+        # initiator's RESULT.  The guard parks failures so an early error
+        # (e.g. our spliced SYN refused) waits for the verdict instead of
+        # crashing the negotiation.
+        attempt_proc = self.sim.process(
+            _guarded(pending), name=f"broker-attempt-{method}"
+        )
+        ok = yield from self._await_result(service_link, nonce)
+        if ok:
+            status, value = yield attempt_proc
+            if status != "ok":
+                # Initiator verified success but our half failed: the link
+                # is unusable, report it upward.
+                raise BrokerError(
+                    f"{method}: initiator succeeded but responder half "
+                    f"failed: {value}"
+                )
+            self.attempt_log.append((method, True))
+            return value
+        # Initiator reported failure: cancel our half if still running.
+        if attempt_proc.is_alive:
+            attempt_proc.interrupt("peer reported failure")
+        status, value = yield attempt_proc
+        if status == "ok" and value is not None and hasattr(value, "abort"):
+            value.abort()
+        self.attempt_log.append((method, False))
+        return None
+
+    def _await_result(self, service_link: Link, nonce: int) -> Generator:
+        while True:
+            frame = yield from recv_frame(service_link)
+            r = ByteReader(frame)
+            kind = r.u8()
+            frame_nonce = r.u64()
+            if kind != M_RESULT or frame_nonce != nonce:
+                continue
+            return bool(r.u8())
+
+    def _responder_params(
+        self,
+        method: str,
+        nonce: int,
+        peer_info: EndpointInfo,
+        peer_params: bytes,
+        owd: float = 0.0,
+    ) -> Generator:
+        """Prepare responder-side parameters and the pending local half.
+
+        Returns ``(params_bytes, pending_generator)``.
+        """
+        if method == CLIENT_SERVER:
+            listener = client_server.open_listener(self.host)
+            params = _pack_addr(ByteWriter(), listener.addr).getvalue()
+
+            def pending():
+                try:
+                    return (
+                        yield from client_server.accept_and_verify(listener, nonce)
+                    )
+                finally:
+                    listener.close()
+
+            return params, pending()
+
+        if method == SPLICING:
+            r = ByteReader(peer_params)
+            peer_addr = _unpack_addr(r)
+            lport, ext_addr, probe = yield from splicing.prepare_endpoint(
+                self.host, self.info.behind_nat, self.reflector
+            )
+            params = _pack_addr(ByteWriter(), ext_addr).getvalue()
+
+            def pending():
+                try:
+                    # Start when the initiator (one service-link delay away)
+                    # is expected to start, so the SYNs cross.
+                    yield self.sim.timeout(owd)
+                    return (
+                        yield from splicing.splice_and_verify(
+                            self.host,
+                            peer_addr,
+                            lport,
+                            nonce,
+                            initiator=False,
+                            probe=probe,
+                        )
+                    )
+                finally:
+                    self.host.tcp.release_port(lport)
+
+            return params, pending()
+
+        if method == SOCKS_PROXY:
+            if self.info.socks_proxy is None and self.info.behind_nat:
+                raise BrokerError("no SOCKS proxy available on responder")
+            if self.info.accepts_inbound or self.info.socks_proxy is None:
+                # Initiator-side-proxy shape: we simply listen; the
+                # initiator reaches us through its own proxy.
+                listener = client_server.open_listener(self.host)
+                params = _pack_addr(ByteWriter(), listener.addr).getvalue()
+
+                def pending():
+                    try:
+                        link = yield from client_server.accept_and_verify(
+                            listener, nonce
+                        )
+                        link.method = SOCKS_PROXY
+                        link.relayed = True
+                        return link
+                    finally:
+                        listener.close()
+
+                return params, pending()
+            control, bound = yield from proxy.bind_via_proxy(
+                self.host, self.info.socks_proxy
+            )
+            params = _pack_addr(ByteWriter(), bound).getvalue()
+
+            def pending():
+                try:
+                    return (yield from proxy.await_bound_and_verify(control, nonce))
+                except BaseException:
+                    control.abort()
+                    raise
+
+            return params, pending()
+
+        if method == ROUTED:
+            if self.dispatcher is None:
+                raise BrokerError("routed method needs a dispatcher")
+
+            def pending():
+                link = yield from self.dispatcher.await_data(nonce)
+                yield from routed.accept_routed_and_verify(link, nonce)
+                return link
+
+            return b"", pending()
+
+        raise BrokerError(f"unknown method {method}")
+
+
+def _guarded(gen) -> Generator:
+    """Wrap an attempt so failures become values instead of crashes."""
+    try:
+        value = yield from gen
+        return ("ok", value)
+    except BaseException as exc:
+        return ("err", exc)
+
+
+def _result(nonce: int, ok: bool, reason: str) -> bytes:
+    return (
+        ByteWriter()
+        .u8(M_RESULT)
+        .u64(nonce)
+        .u8(1 if ok else 0)
+        .lp_str(reason)
+        .getvalue()
+    )

@@ -1,0 +1,82 @@
+"""Routed-link dispatching: separates service channels from brokered data
+channels arriving at a node's relay client.
+
+Every routed channel is opened with a purpose tag (see
+:meth:`~repro.core.relay.RelayClient.open_link`):
+
+* ``b"service"`` — a peer establishing its service link to us.
+* ``b"data:<nonce>"`` — a brokered data-link attempt falling back to
+  routed messages; matched to the negotiation that expects it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..simnet.engine import Event
+from .relay import RelayClient, RoutedLink
+
+__all__ = ["RoutedDispatcher", "SERVICE_TAG", "data_tag"]
+
+SERVICE_TAG = b"service"
+
+
+def data_tag(nonce: int) -> bytes:
+    return b"data:%016x" % nonce
+
+
+class RoutedDispatcher:
+    """Accept-loop over a relay client, routing channels by purpose tag."""
+
+    def __init__(self, client: RelayClient):
+        self.client = client
+        self.sim = client.sim
+        self._service_queue: list[RoutedLink] = []
+        self._service_waiters: list[Event] = []
+        self._data_waiters: dict[bytes, Event] = {}
+        self._early_data: dict[bytes, RoutedLink] = {}
+        self._proc = self.sim.process(self._loop(), name=f"dispatch-{client.node_id}")
+
+    def _loop(self) -> Generator:
+        while True:
+            link = yield from self.client.accept_link()
+            tag = link.open_payload
+            if tag.startswith(b"data:"):
+                waiter = self._data_waiters.pop(tag, None)
+                if waiter is not None:
+                    waiter.succeed(link)
+                else:
+                    self._early_data[tag] = link
+            else:
+                # Default: a service channel.
+                if self._service_waiters:
+                    self._service_waiters.pop(0).succeed(link)
+                else:
+                    self._service_queue.append(link)
+
+    def accept_service(self) -> Generator:
+        """Wait for a peer-initiated service channel."""
+        ev = self.sim.event()
+        if self._service_queue:
+            ev.succeed(self._service_queue.pop(0))
+        else:
+            self._service_waiters.append(ev)
+        link = yield ev
+        return link
+
+    def await_data(self, nonce: int, timeout: float = 30.0) -> Generator:
+        """Wait for the routed data channel of negotiation ``nonce``."""
+        tag = data_tag(nonce)
+        early = self._early_data.pop(tag, None)
+        if early is not None:
+            return early
+        ev = self.sim.event()
+        self._data_waiters[tag] = ev
+        expiry = self.sim.timeout(timeout)
+        from ..simnet.engine import any_of
+
+        result = yield any_of(self.sim, [ev, expiry])
+        if ev in result:
+            return result[ev]
+        self._data_waiters.pop(tag, None)
+        raise TimeoutError(f"routed data channel for nonce {nonce} never arrived")

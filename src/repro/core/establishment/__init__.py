@@ -1,0 +1,35 @@
+"""Connection establishment methods (paper §3).
+
+* :mod:`~repro.core.establishment.client_server` — standard handshake.
+* :mod:`~repro.core.establishment.splicing` — simultaneous open.
+* :mod:`~repro.core.establishment.proxy` — SOCKS CONNECT/BIND.
+* :mod:`~repro.core.establishment.routed` — relay-routed messages.
+* :mod:`~repro.core.establishment.decision` — the Figure 4 decision tree.
+* :mod:`~repro.core.establishment.base` — Table 1 property declarations.
+"""
+
+from .base import (
+    ALL_METHODS,
+    CLIENT_SERVER,
+    PRECEDENCE,
+    ROUTED,
+    SOCKS_PROXY,
+    SPLICING,
+    EstablishmentError,
+    MethodProperties,
+)
+from .decision import choose_method, feasible_methods, table1_matrix
+
+__all__ = [
+    "ALL_METHODS",
+    "PRECEDENCE",
+    "CLIENT_SERVER",
+    "SPLICING",
+    "SOCKS_PROXY",
+    "ROUTED",
+    "MethodProperties",
+    "EstablishmentError",
+    "choose_method",
+    "feasible_methods",
+    "table1_matrix",
+]

@@ -1,0 +1,96 @@
+"""Establishment method metadata — the rows of Table 1.
+
+Each establishment method declares its properties; the decision tree
+(:mod:`repro.core.establishment.decision`) consumes them, and the Table 1
+benchmark regenerates the paper's summary matrix from these declarations
+plus behavioural probes in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MethodProperties",
+    "CLIENT_SERVER",
+    "SPLICING",
+    "SOCKS_PROXY",
+    "ROUTED",
+    "ALL_METHODS",
+    "PRECEDENCE",
+    "EstablishmentError",
+]
+
+CLIENT_SERVER = "client_server"
+SPLICING = "splicing"
+SOCKS_PROXY = "socks_proxy"
+ROUTED = "routed"
+
+
+class EstablishmentError(Exception):
+    """No method succeeded in establishing the connection."""
+
+
+@dataclass(frozen=True)
+class MethodProperties:
+    """One row of Table 1."""
+
+    name: str
+    #: may the connection cross firewalls blocking inbound requests?
+    crosses_firewalls: bool
+    #: NAT support: "no", "client" (only the client side may NAT),
+    #: "partial" (predictable-mapping NATs only), or "yes"
+    nat_support: str
+    #: usable without any pre-existing connection between the hosts?
+    for_bootstrap: bool
+    #: does the method produce a native TCP socket?
+    native_tcp: bool
+    #: is the data forwarded by an application-level relay?
+    relayed: bool
+    #: does establishment require brokering/negotiation?
+    needs_brokering: bool
+
+
+#: Table 1, verbatim from the paper.
+ALL_METHODS: dict[str, MethodProperties] = {
+    CLIENT_SERVER: MethodProperties(
+        name=CLIENT_SERVER,
+        crosses_firewalls=False,
+        nat_support="client",
+        for_bootstrap=True,
+        native_tcp=True,
+        relayed=False,
+        needs_brokering=False,
+    ),
+    SPLICING: MethodProperties(
+        name=SPLICING,
+        crosses_firewalls=True,
+        nat_support="partial",
+        for_bootstrap=False,
+        native_tcp=True,
+        relayed=False,
+        needs_brokering=True,
+    ),
+    SOCKS_PROXY: MethodProperties(
+        name=SOCKS_PROXY,
+        crosses_firewalls=True,
+        nat_support="yes",
+        for_bootstrap=False,
+        native_tcp=True,
+        relayed=True,
+        needs_brokering=True,
+    ),
+    ROUTED: MethodProperties(
+        name=ROUTED,
+        crosses_firewalls=True,
+        nat_support="yes",
+        for_bootstrap=True,
+        native_tcp=False,
+        relayed=True,
+        needs_brokering=False,
+    ),
+}
+
+#: "we get the following precedence list: client/server TCP, TCP splicing,
+#: TCP proxy, routed messages" (paper §3.4)
+PRECEDENCE = (CLIENT_SERVER, SPLICING, SOCKS_PROXY, ROUTED)

@@ -1,0 +1,122 @@
+"""The Figure 4 decision tree.
+
+"To choose a communication establishment method, the first criterion is
+connectivity. ... The second criterion is performance. ... Finally, methods
+without brokering are preferable.  When combining these criteria, we get
+the following precedence list: client/server TCP, TCP splicing, TCP proxy,
+routed messages.  The best connection establishment method is the first
+possible (according to firewalls, NAT and bootstrap) from this list."
+
+:func:`feasible_methods` returns the full ordered candidate list (the
+brokering layer walks it, falling back when an attempt fails — e.g. a
+standards-noncompliant NAT that kills splicing); :func:`choose_method`
+returns just the head of that list, which is the Figure 4 answer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..addressing import EndpointInfo
+from .base import (
+    ALL_METHODS,
+    CLIENT_SERVER,
+    PRECEDENCE,
+    ROUTED,
+    SOCKS_PROXY,
+    SPLICING,
+    EstablishmentError,
+)
+
+__all__ = ["feasible_methods", "choose_method", "table1_matrix"]
+
+
+def _client_server_possible(
+    initiator: EndpointInfo, responder: EndpointInfo, bootstrap: bool
+) -> bool:
+    # The responder must accept unsolicited inbound connections: no NAT, and
+    # no firewall (unless the target port range is explicitly opened).
+    if responder.behind_nat:
+        return False
+    if responder.behind_firewall and not responder.open_ports:
+        return False
+    return True
+
+
+def _splicing_possible(
+    initiator: EndpointInfo, responder: EndpointInfo, bootstrap: bool
+) -> bool:
+    if bootstrap:
+        return False  # needs brokering, hence a pre-existing service link
+    return initiator.can_splice and responder.can_splice
+
+
+def _proxy_possible(
+    initiator: EndpointInfo, responder: EndpointInfo, bootstrap: bool
+) -> bool:
+    if bootstrap:
+        return False  # server-behind-proxy needs an information exchange
+    # A proxy on either side suffices: CONNECT toward an accepting peer, or
+    # BIND on the responder's proxy for a NATted/firewalled responder.
+    if responder.accepts_inbound and initiator.socks_proxy is not None:
+        return True
+    if responder.socks_proxy is not None:
+        return True
+    return False
+
+
+def _routed_possible(
+    initiator: EndpointInfo, responder: EndpointInfo, bootstrap: bool
+) -> bool:
+    return True  # every node that could register with the relay is reachable
+
+
+_FEASIBILITY = {
+    CLIENT_SERVER: _client_server_possible,
+    SPLICING: _splicing_possible,
+    SOCKS_PROXY: _proxy_possible,
+    ROUTED: _routed_possible,
+}
+
+
+def feasible_methods(
+    initiator: EndpointInfo, responder: EndpointInfo, bootstrap: bool = False
+) -> list[str]:
+    """All feasible methods, best first (the Figure 4 precedence order)."""
+    return [
+        name
+        for name in PRECEDENCE
+        if _FEASIBILITY[name](initiator, responder, bootstrap)
+    ]
+
+
+def choose_method(
+    initiator: EndpointInfo, responder: EndpointInfo, bootstrap: bool = False
+) -> str:
+    """The single best method (head of the precedence list) — Figure 4."""
+    methods = feasible_methods(initiator, responder, bootstrap)
+    if not methods:
+        raise EstablishmentError(
+            f"no establishment method possible between {initiator.node_id} "
+            f"and {responder.node_id}"
+        )
+    return methods[0]
+
+
+def table1_matrix() -> dict[str, dict[str, object]]:
+    """Regenerate Table 1 from the method declarations.
+
+    Returns ``{method: {property: value}}`` in the paper's row order.
+    """
+    matrix = {}
+    for name in PRECEDENCE:
+        props = ALL_METHODS[name]
+        matrix[name] = {
+            "crosses_firewalls": props.crosses_firewalls,
+            "nat_support": props.nat_support,
+            "for_bootstrap": props.for_bootstrap,
+            "native_tcp": props.native_tcp,
+            "relayed": props.relayed,
+            "needs_brokering": props.needs_brokering,
+        }
+    return matrix

@@ -1,0 +1,76 @@
+"""SOCKS-proxied establishment (paper §3.3).
+
+Two shapes, both producing a native-TCP (but relayed) link:
+
+* **CONNECT** — the initiator's site proxy dials an accepting responder
+  ("a SOCKS proxy allows an outgoing connection to cross a firewall; it
+  also allows hosts with private IP addresses ... to connect to the
+  outside").
+* **BIND** — the responder is itself behind the proxy: it asks its proxy
+  for a dynamically allocated inbound port and sends that address to the
+  initiator over the service link ("clients have to connect to a
+  dynamically-allocated port number on the proxy itself, which requires
+  some information exchange").
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ...simnet.packet import Addr
+from ...simnet.sockets import SimSocket, connect
+from ...simnet.socks import socks_accept_bound, socks_bind, socks_connect
+from ..links import TcpLink
+from .base import SOCKS_PROXY
+from .verify import verify_initiator, verify_responder
+
+__all__ = [
+    "connect_direct_and_verify",
+    "connect_via_proxy_and_verify",
+    "bind_via_proxy",
+    "await_bound_and_verify",
+]
+
+
+def connect_via_proxy_and_verify(
+    host, proxy: Addr, target: Addr, nonce: int
+) -> Generator:
+    """Initiator: CONNECT through ``proxy`` to ``target`` and verify."""
+    sock = yield from socks_connect(host, proxy, target)
+    link = TcpLink(sock, SOCKS_PROXY, relayed=True)
+    try:
+        yield from verify_initiator(link, nonce)
+    except Exception:
+        link.abort()
+        raise
+    return link
+
+
+def connect_direct_and_verify(host, target: Addr, nonce: int) -> Generator:
+    """Initiator without a proxy dialing a proxy-bound address directly."""
+    sock = yield from connect(host, target)
+    link = TcpLink(sock, SOCKS_PROXY, relayed=True)
+    try:
+        yield from verify_initiator(link, nonce)
+    except Exception:
+        link.abort()
+        raise
+    return link
+
+
+def bind_via_proxy(host, proxy: Addr) -> Generator:
+    """Responder: BIND on its proxy; returns (control_sock, bound_addr)."""
+    sock, bound = yield from socks_bind(host, proxy)
+    return sock, bound
+
+
+def await_bound_and_verify(sock: SimSocket, nonce: int) -> Generator:
+    """Responder: wait for the initiator on the bound port and verify."""
+    yield from socks_accept_bound(sock)
+    link = TcpLink(sock, SOCKS_PROXY, relayed=True)
+    try:
+        yield from verify_responder(link, nonce)
+    except Exception:
+        link.abort()
+        raise
+    return link

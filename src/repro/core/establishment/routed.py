@@ -1,0 +1,38 @@
+"""Routed-messages establishment: the last-resort fallback (paper §3.3).
+
+A data path through the relay always works for any node that managed to
+register, but it is message-based (not native TCP) and every byte crosses
+the relay, so "routed messages are not supposed to be used for data,
+except in extreme cases when there is no other connection method
+possible."
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..relay import RelayClient, RoutedLink
+from .verify import verify_initiator, verify_responder
+
+__all__ = ["open_routed_and_verify", "accept_routed_and_verify"]
+
+
+def open_routed_and_verify(client: RelayClient, peer_id: str, nonce: int) -> Generator:
+    """Initiator: open a routed channel to ``peer_id`` and verify."""
+    link = yield from client.open_link(peer_id)
+    try:
+        yield from verify_initiator(link, nonce)
+    except Exception:
+        link.close()
+        raise
+    return link
+
+
+def accept_routed_and_verify(link: RoutedLink, nonce: int) -> Generator:
+    """Responder: verify an incoming routed channel."""
+    try:
+        yield from verify_responder(link, nonce)
+    except Exception:
+        link.close()
+        raise
+    return link

@@ -1,0 +1,129 @@
+"""Connection factories (paper §5.2).
+
+"Resolving the WAN connection and communication issues ... can be
+simplified significantly by employing a framework that explicitly supports
+the separation of connection establishment and link utilization ... using
+socket factories for connection establishment, and networking and
+filtering drivers for link utilization."
+
+* The **bootstrap** path is the relay/service-link machinery in
+  :class:`~repro.core.node.GridNode` (no pre-existing connection needed).
+* The **brokered** factory here negotiates a driver-stack spec over the
+  service link ("driver assembly consistency on both endpoints"),
+  establishes as many data links as the stack's networking layer needs —
+  each via the Figure 4 decision tree with fall-back — and assembles the
+  stack into an application-ready :class:`BlockChannel`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..util.framing import ByteReader, ByteWriter
+from .addressing import EndpointInfo
+from .links import Link
+from .node import GridNode
+from .utilization.stack import build_stack, links_required
+from .utilization.stream import DEFAULT_BLOCK, BlockChannel
+from .utilization.tls import TlsDriver
+from .utilization.stack import find_driver
+from .wire import recv_frame, send_frame
+
+__all__ = ["BrokeredConnectionFactory", "TlsConfig"]
+
+
+class TlsConfig:
+    """Credentials for stacks containing a ``tls`` layer."""
+
+    def __init__(
+        self,
+        trust_anchors,
+        identity=None,
+        expected_peer: Optional[str] = None,
+        require_client_auth: bool = False,
+    ):
+        self.trust_anchors = list(trust_anchors)
+        self.identity = identity
+        self.expected_peer = expected_peer
+        self.require_client_auth = require_client_auth
+
+
+class BrokeredConnectionFactory:
+    """Builds fully configured data channels between two grid nodes."""
+
+    def __init__(self, node: GridNode, tls_config: Optional[TlsConfig] = None):
+        self.node = node
+        self.tls_config = tls_config
+
+    # -- initiator ----------------------------------------------------------
+    def connect(
+        self,
+        service_link: Link,
+        peer_info: EndpointInfo,
+        spec: str = "tcp_block",
+        block_size: int = DEFAULT_BLOCK,
+    ) -> Generator:
+        """Negotiate ``spec`` with the peer and build the channel."""
+        n = links_required(spec)  # validates the spec, too
+        yield from send_frame(
+            service_link, ByteWriter().lp_str(spec).u32(block_size).getvalue()
+        )
+        links = []
+        try:
+            for _ in range(n):
+                link = yield from self.node.broker.initiate(service_link, peer_info)
+                links.append(link)
+        except BaseException:
+            for link in links:
+                link.abort()
+            raise
+        stack = build_stack(spec, links, host=self.node.host)
+        yield from self._maybe_tls(stack, client=True)
+        return BlockChannel(stack, block_size=block_size)
+
+    # -- responder -----------------------------------------------------------
+    def accept(self, service_link: Link) -> Generator:
+        """Serve one channel negotiation on ``service_link``."""
+        frame = yield from recv_frame(service_link)
+        reader = ByteReader(frame)
+        spec = reader.lp_str()
+        block_size = reader.u32()
+        n = links_required(spec)
+        links = []
+        try:
+            for _ in range(n):
+                link = yield from self.node.broker.respond(service_link)
+                links.append(link)
+        except BaseException:
+            for link in links:
+                link.abort()
+            raise
+        stack = build_stack(spec, links, host=self.node.host)
+        yield from self._maybe_tls(stack, client=False)
+        return BlockChannel(stack, block_size=block_size)
+
+    # -- helpers --------------------------------------------------------------
+    def _maybe_tls(self, stack, client: bool) -> Generator:
+        tls = find_driver(stack, TlsDriver)
+        if tls is None:
+            return
+        if self.tls_config is None:
+            raise ValueError("stack contains a tls layer but no TlsConfig given")
+        cfg = self.tls_config
+        now = self.node.sim.now
+        if client:
+            yield from tls.handshake_client(
+                trust_anchors=cfg.trust_anchors,
+                identity=cfg.identity,
+                expected_server=cfg.expected_peer,
+                now=now,
+            )
+        else:
+            if cfg.identity is None:
+                raise ValueError("TLS server side needs an identity")
+            yield from tls.handshake_server(
+                identity=cfg.identity,
+                trust_anchors=cfg.trust_anchors,
+                require_client_auth=cfg.require_client_auth,
+                now=now,
+            )

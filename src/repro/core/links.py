@@ -1,0 +1,116 @@
+"""The link abstraction: an established byte stream, however it was built.
+
+"For clarity, we use the term link for an established connection" (paper
+§2).  A link exposes the same stream interface whether it is a native TCP
+connection (client/server or spliced), a SOCKS-proxied connection, or a
+virtual stream routed through the relay — that uniformity is what lets the
+utilization drivers compose with any establishment method.
+
+Every link carries the metadata of Table 1 (native TCP? relayed? which
+method built it?) so benchmarks and the decision logic can inspect it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..simnet.packet import Addr
+from ..simnet.sockets import SimSocket
+
+__all__ = ["Link", "TcpLink", "LinkClosed", "LINK_KIND_DATA", "LINK_KIND_SERVICE", "LINK_KIND_BOOTSTRAP"]
+
+LINK_KIND_DATA = "data"
+LINK_KIND_SERVICE = "service"
+LINK_KIND_BOOTSTRAP = "bootstrap"
+
+
+class LinkClosed(Exception):
+    """Operation on a closed link."""
+
+
+class Link:
+    """Abstract established connection (paper §2).
+
+    Subclasses provide the generator-based stream operations.  Metadata:
+
+    * ``method`` — establishment method name ("client_server", "splicing",
+      "socks_proxy", "routed").
+    * ``native_tcp`` — True when the bytes ride a dedicated TCP connection
+      end to end (Table 1: only such links compose with all utilization
+      methods; routed links are message-based).
+    * ``relayed`` — True when an application-level relay forwards the data.
+    """
+
+    method: str = "abstract"
+    native_tcp: bool = False
+    relayed: bool = False
+
+    @property
+    def sim(self):
+        """The simulator this link lives in."""
+        raise NotImplementedError
+
+    def send_all(self, data: bytes) -> Generator:
+        raise NotImplementedError
+
+    def recv(self, maxbytes: int) -> Generator:
+        raise NotImplementedError
+
+    def recv_exactly(self, n: int) -> Generator:
+        chunks = []
+        remaining = n
+        while remaining > 0:
+            data = yield from self.recv(remaining)
+            if not data:
+                raise EOFError(f"link ended with {remaining}/{n} bytes missing")
+            chunks.append(data)
+            remaining -= len(data)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def abort(self) -> None:
+        self.close()
+
+
+class TcpLink(Link):
+    """A link over a native TCP connection (direct or via SOCKS pipe)."""
+
+    native_tcp = True
+
+    def __init__(self, sock: SimSocket, method: str, relayed: bool = False):
+        self._sock = sock
+        self.method = method
+        self.relayed = relayed
+
+    @property
+    def laddr(self) -> Addr:
+        return self._sock.laddr
+
+    @property
+    def raddr(self) -> Addr:
+        return self._sock.raddr
+
+    @property
+    def socket(self) -> SimSocket:
+        return self._sock
+
+    @property
+    def sim(self):
+        return self._sock.sim
+
+    def send_all(self, data: bytes) -> Generator:
+        yield from self._sock.send_all(data)
+
+    def recv(self, maxbytes: int) -> Generator:
+        return (yield from self._sock.recv(maxbytes))
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def abort(self) -> None:
+        self._sock.abort()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TcpLink {self.method} {self._sock.laddr}->{self._sock.raddr}>"

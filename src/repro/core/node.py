@@ -1,0 +1,112 @@
+"""GridNode: one node's complete connectivity machinery.
+
+Bundles what every participating process needs (paper §5.2): a relay
+registration (bootstrap + service links), a routed-link dispatcher, an
+address-reflector handle, and a :class:`~repro.core.brokering.Broker` for
+data-link negotiation.  The IPL runtime builds on this; core-level tests
+and examples use it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..simnet.packet import Addr
+from .addressing import EndpointInfo
+from .brokering import Broker
+from .dispatch import SERVICE_TAG, RoutedDispatcher
+from .links import Link
+from .relay import RelayClient
+
+__all__ = ["GridNode"]
+
+
+class GridNode:
+    """A node wired into the grid's connectivity fabric.
+
+    Parameters
+    ----------
+    host:
+        The simulated host.
+    info:
+        This node's :class:`EndpointInfo` (``info.node_id`` is the identity
+        under which the node registers with the relay).
+    relay_addr:
+        The relay server's address (bootstrap rendezvous).
+    reflector_addr:
+        The address reflector (defaults to the relay host, port 3478).
+    connector:
+        Optional custom connector for reaching the relay (e.g. via SOCKS on
+        severely firewalled sites).
+    """
+
+    def __init__(
+        self,
+        host,
+        info: EndpointInfo,
+        relay_addr: Addr,
+        reflector_addr: Optional[Addr] = None,
+        connector: Optional[Callable] = None,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.info = info
+        self.relay_addr = relay_addr
+        self.reflector_addr = reflector_addr or (relay_addr[0], 3478)
+        self.relay_client = RelayClient(
+            host, info.node_id, relay_addr, connector=connector
+        )
+        self.dispatcher: Optional[RoutedDispatcher] = None
+        self.broker: Optional[Broker] = None
+
+    @property
+    def node_id(self) -> str:
+        return self.info.node_id
+
+    def start(self) -> Generator:
+        """Register with the relay; wire the dispatcher and broker."""
+        yield from self.relay_client.connect()
+        self.dispatcher = RoutedDispatcher(self.relay_client)
+        self.broker = Broker(
+            self.host,
+            self.info,
+            relay_client=self.relay_client,
+            dispatcher=self.dispatcher,
+            reflector=self.reflector_addr,
+        )
+        return self
+
+    # -- service links ------------------------------------------------------
+    def open_service_link(self, peer_id: str) -> Generator:
+        """Open a service link to ``peer_id`` (routed via the relay).
+
+        Routed messages are the bootstrap-capable method (Table 1), so the
+        service link always goes through the relay — "In the presence of
+        firewalls, NetIbis chooses routed messages for service links."
+        """
+        link = yield from self.relay_client.open_link(peer_id, payload=SERVICE_TAG)
+        return link
+
+    def accept_service_link(self) -> Generator:
+        """Wait for a peer-initiated service link; returns (peer_id, link)."""
+        link = yield from self.dispatcher.accept_service()
+        return link.peer, link
+
+    # -- data links ------------------------------------------------------------
+    def connect_data(
+        self,
+        service_link: Link,
+        peer_info: EndpointInfo,
+        methods: Optional[list[str]] = None,
+    ) -> Generator:
+        """Initiate a brokered data link over an existing service link."""
+        link = yield from self.broker.initiate(service_link, peer_info, methods)
+        return link
+
+    def accept_data(self, service_link: Link) -> Generator:
+        """Serve one data-link negotiation on ``service_link``."""
+        link = yield from self.broker.respond(service_link)
+        return link
+
+    def stop(self) -> None:
+        self.relay_client.close()

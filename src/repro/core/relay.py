@@ -1,0 +1,456 @@
+"""Routed messages through a relay on a gateway host (paper §3.3, Figure 3).
+
+"When a node is started, it connects to the relay.  When a node wants to
+establish a connection to another node, it sends a request to the relay,
+which forwards the request to its final recipient."
+
+* :class:`RelayServer` runs on a host visible from the Internet (a gateway
+  machine or a public host).  It keeps one TCP connection per registered
+  node and forwards frames between them.
+* :class:`RelayClient` maintains a node's connection to the relay and
+  multiplexes any number of :class:`RoutedLink` virtual streams over it.
+
+Routed links satisfy the full :class:`~repro.core.links.Link` interface but
+are *not* native TCP (Table 1), and every byte crosses the relay — which is
+why they are meant for bootstrap/service traffic, "not supposed to be used
+for data, except in extreme cases".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Generator, Optional
+
+from ..simnet.engine import Event, Simulator
+from ..simnet.packet import Addr
+from ..simnet.sockets import SimSocket, connect, listen
+from ..simnet.tcp import TcpError
+from ..util.framing import ByteReader, ByteWriter, FrameError
+from .links import Link
+
+__all__ = ["RelayServer", "RelayClient", "RoutedLink", "RelayError", "MAX_MSG"]
+
+T_REGISTER = 1
+T_REGISTER_OK = 2
+T_OPEN = 3
+T_MSG = 4
+T_CLOSE = 5
+T_ERROR = 6
+
+#: maximum payload per routed message
+MAX_MSG = 32768
+
+
+class RelayError(Exception):
+    """Relay protocol failure (unknown peer, malformed frame, ...)."""
+
+
+def _write_frame(sock, body: bytes) -> Generator:
+    yield from sock.send_all(ByteWriter().u32(len(body)).raw(body).getvalue())
+
+
+def _read_frame(sock) -> Generator:
+    header = yield from sock.recv_exactly(4)
+    length = int.from_bytes(header, "big")
+    if length > MAX_MSG + 1024:
+        raise RelayError(f"oversized frame ({length} bytes)")
+    body = yield from sock.recv_exactly(length)
+    return body
+
+
+def _routed_body(
+    kind: int,
+    src: str,
+    dst: str,
+    channel: int,
+    payload: bytes = b"",
+    sender_owns_channel: bool = True,
+) -> bytes:
+    """Channel ids are allocated by the endpoint that opened the channel,
+    so every frame carries whose numbering ``channel`` belongs to —
+    otherwise two nodes opening channels to each other would collide on
+    (peer, channel)."""
+    return (
+        ByteWriter()
+        .u8(kind)
+        .u8(1 if sender_owns_channel else 0)
+        .lp_str(src)
+        .lp_str(dst)
+        .u64(channel)
+        .lp_bytes(payload)
+        .getvalue()
+    )
+
+
+class RelayServer:
+    """The relay process: registration plus frame forwarding."""
+
+    def __init__(self, host, port: int = 4000):
+        self.host = host
+        self.port = port
+        self.sessions: dict[str, SimSocket] = {}
+        self.forwarded_messages = 0
+        self.forwarded_bytes = 0
+        self._listener = None
+
+    @property
+    def addr(self) -> Addr:
+        return (self.host.ip, self.port)
+
+    def start(self) -> None:
+        self._listener = listen(self.host, self.port, backlog=64)
+        self.host.sim.process(self._accept_loop(), name="relay-accept")
+
+    def stop(self) -> None:
+        """Crash/stop the relay: drop every session and stop accepting."""
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for sock in list(self.sessions.values()):
+            sock.abort()
+        self.sessions.clear()
+
+    def _accept_loop(self) -> Generator:
+        from ..simnet.tcp import SocketClosed
+
+        listener = self._listener
+        try:
+            while True:
+                sock = yield from listener.accept()
+                self.host.sim.process(self._session(sock), name="relay-session")
+        except SocketClosed:
+            return  # stopped
+
+    def _session(self, sock: SimSocket) -> Generator:
+        node_id: Optional[str] = None
+        try:
+            body = yield from _read_frame(sock)
+            reader = ByteReader(body)
+            if reader.u8() != T_REGISTER:
+                raise RelayError("expected REGISTER")
+            node_id = reader.lp_str()
+            if node_id in self.sessions:
+                yield from _write_frame(
+                    sock, ByteWriter().u8(T_ERROR).lp_str("duplicate id").getvalue()
+                )
+                sock.close()
+                return
+            self.sessions[node_id] = sock
+            yield from _write_frame(sock, ByteWriter().u8(T_REGISTER_OK).getvalue())
+
+            while True:
+                body = yield from _read_frame(sock)
+                yield from self._forward(node_id, body, sock)
+        except (EOFError, RelayError, FrameError, TcpError):
+            pass
+        finally:
+            if node_id is not None and self.sessions.get(node_id) is sock:
+                del self.sessions[node_id]
+            sock.close()
+
+    def _forward(self, src: str, body: bytes, src_sock: SimSocket) -> Generator:
+        reader = ByteReader(body)
+        kind = reader.u8()
+        if kind not in (T_OPEN, T_MSG, T_CLOSE):
+            raise RelayError(f"unexpected frame type {kind}")
+        reader.u8()  # channel-ownership flag: forwarded untouched
+        claimed_src = reader.lp_str()
+        dst = reader.lp_str()
+        channel = reader.u64()
+        payload = reader.lp_bytes()
+        if claimed_src != src:
+            raise RelayError("source spoofing")
+        dest_sock = self.sessions.get(dst)
+        if dest_sock is None:
+            # The error goes back to the channel's opener: from their point
+            # of view the channel is their own numbering.
+            yield from _write_frame(
+                src_sock,
+                _routed_body(
+                    T_ERROR, dst, src, channel, b"unknown destination",
+                    sender_owns_channel=False,
+                ),
+            )
+            return
+        self.forwarded_messages += 1
+        self.forwarded_bytes += len(payload)
+        yield from _write_frame(dest_sock, body)
+
+
+class ReflectorServer:
+    """Address reflector (STUN-style): tells clients their observed address.
+
+    Usually co-located with the relay on a public host; NAT traversal for
+    TCP splicing probes its external mapping here (paper §3.2: splicing
+    through NAT needs "a known and predictable port translation rule" —
+    the probe is how a node learns its mapping under that rule).
+
+    The connection stays open after the reply so the NAT mapping it pinned
+    stays alive; the client closes it when done.
+    """
+
+    def __init__(self, host, port: int = 3478):
+        self.host = host
+        self.port = port
+        self.probes = 0
+
+    @property
+    def addr(self) -> Addr:
+        return (self.host.ip, self.port)
+
+    def start(self) -> None:
+        listener = listen(self.host, self.port, backlog=32)
+
+        def accept_loop() -> Generator:
+            while True:
+                sock = yield from listener.accept()
+                self.probes += 1
+                self.host.sim.process(self._serve(sock), name="reflect")
+
+        self.host.sim.process(accept_loop(), name="reflector-accept")
+
+    def _serve(self, sock: SimSocket) -> Generator:
+        ip, port = sock.raddr
+        yield from sock.send_all(f"{ip}:{port}".ljust(32).encode())
+        yield from sock.recv(1)  # wait for client close
+        sock.close()
+
+
+class RoutedLink(Link):
+    """A virtual stream carried as routed messages through the relay."""
+
+    method = "routed"
+    native_tcp = False
+    relayed = True
+
+    def __init__(self, client: "RelayClient", peer: str, channel: int, owned: bool = True):
+        self.client = client
+        self.peer = peer
+        self.channel = channel
+        #: True when this endpoint allocated the channel id (opener side)
+        self.owned = owned
+        self._buffer = bytearray()
+        self._waiters: list[tuple[Event, int]] = []
+        self._eof = False
+        self._error: Optional[Exception] = None
+        self.closed = False
+        #: the T_OPEN payload (purpose tag) this channel was opened with
+        self.open_payload: bytes = b""
+
+    @property
+    def sim(self):
+        return self.client.sim
+
+    # -- data from the relay ---------------------------------------------------
+    def _deliver(self, payload: bytes) -> None:
+        self._buffer.extend(payload)
+        self._wake()
+
+    def _deliver_eof(self) -> None:
+        self._eof = True
+        self._wake()
+
+    def _deliver_error(self, exc: Exception) -> None:
+        self._error = exc
+        self._eof = True
+        self._wake()
+
+    def _wake(self) -> None:
+        while self._waiters and (self._buffer or self._eof):
+            ev, maxbytes = self._waiters.pop(0)
+            if self._buffer:
+                take = bytes(self._buffer[:maxbytes])
+                del self._buffer[: len(take)]
+                ev.succeed(take)
+            elif self._error is not None:
+                ev.fail(self._error)
+            else:
+                ev.succeed(b"")
+
+    # -- Link interface ----------------------------------------------------------
+    def send_all(self, data: bytes) -> Generator:
+        if self.closed:
+            raise RelayError("send on closed routed link")
+        for offset in range(0, len(data), MAX_MSG):
+            chunk = bytes(data[offset : offset + MAX_MSG])
+            yield from self.client._send_routed(
+                T_MSG, self.peer, self.channel, chunk, owned=self.owned
+            )
+
+    def recv(self, maxbytes: int) -> Generator:
+        ev: Event = self.client.sim.event()
+        if self._buffer or self._eof:
+            self._waiters.append((ev, maxbytes))
+            self._wake()
+        else:
+            self._waiters.append((ev, maxbytes))
+        data = yield ev
+        return data
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.client._close_channel(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RoutedLink to {self.peer} ch={self.channel}>"
+
+
+class RelayClient:
+    """A node's connection to the relay; demultiplexes routed links.
+
+    ``connector`` customizes how the relay itself is reached (e.g. through
+    a SOCKS proxy on a severely firewalled site); it is a generator
+    ``connector(host, relay_addr) -> stream``.
+    """
+
+    def __init__(
+        self,
+        host,
+        node_id: str,
+        relay_addr: Addr,
+        connector: Optional[Callable] = None,
+    ):
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.node_id = node_id
+        self.relay_addr = relay_addr
+        self.connector = connector
+        self._sock: Optional[SimSocket] = None
+        # key: (peer, channel, owned_by_me)
+        self._links: dict[tuple[str, int, bool], RoutedLink] = {}
+        self._accept_queue: list[RoutedLink] = []
+        self._accept_waiters: list[Event] = []
+        self._channel_ids = itertools.count(1)
+        self.connected = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def connect(self) -> Generator:
+        """Register with the relay and start the demux loop."""
+        if self.connector is not None:
+            self._sock = yield from self.connector(self.host, self.relay_addr)
+        else:
+            self._sock = yield from connect(self.host, self.relay_addr)
+        yield from _write_frame(
+            self._sock, ByteWriter().u8(T_REGISTER).lp_str(self.node_id).getvalue()
+        )
+        body = yield from _read_frame(self._sock)
+        if ByteReader(body).u8() != T_REGISTER_OK:
+            raise RelayError(f"registration rejected: {body!r}")
+        self.connected = True
+        self.sim.process(self._reader(), name=f"relay-client-{self.node_id}")
+        return self
+
+    def close(self) -> None:
+        self.connected = False
+        if self._sock is not None:
+            self._sock.close()
+        for link in list(self._links.values()):
+            link._deliver_eof()
+
+    # -- outgoing ---------------------------------------------------------------
+    def _send_routed(
+        self, kind: int, peer: str, channel: int, payload: bytes, owned: bool = True
+    ) -> Generator:
+        if self._sock is None:
+            raise RelayError("relay client not connected")
+        yield from _write_frame(
+            self._sock,
+            _routed_body(
+                kind, self.node_id, peer, channel, payload, sender_owns_channel=owned
+            ),
+        )
+
+    def open_link(self, peer: str, payload: bytes = b"") -> Generator:
+        """Open a routed link to ``peer`` (optimistic, like the paper's
+        request forwarding; an unknown peer surfaces as a link error).
+
+        ``payload`` tags the channel's purpose for the peer's dispatcher
+        (e.g. ``b"service"`` vs ``b"data:<nonce>"``).
+        """
+        channel = next(self._channel_ids)
+        link = RoutedLink(self, peer, channel, owned=True)
+        link.open_payload = payload
+        self._links[(peer, channel, True)] = link
+        yield from self._send_routed(T_OPEN, peer, channel, payload, owned=True)
+        return link
+
+    def accept_link(self) -> Generator:
+        """Wait for a peer-initiated routed link."""
+        ev = self.sim.event()
+        if self._accept_queue:
+            ev.succeed(self._accept_queue.pop(0))
+        else:
+            self._accept_waiters.append(ev)
+        link = yield ev
+        return link
+
+    def _close_channel(self, link: RoutedLink) -> None:
+        self._links.pop((link.peer, link.channel, link.owned), None)
+        if self.connected:
+            self.sim.process(
+                self._send_routed(
+                    T_CLOSE, link.peer, link.channel, b"", owned=link.owned
+                ),
+                name="routed-close",
+            )
+
+    # -- incoming ----------------------------------------------------------------
+    def _reader(self) -> Generator:
+        from ..simnet.tcp import TcpError
+
+        try:
+            while True:
+                body = yield from _read_frame(self._sock)
+                self._dispatch(body)
+        except (EOFError, RelayError, FrameError, TcpError):
+            # Relay unreachable/crashed: every routed link is dead.
+            self.connected = False
+            for link in list(self._links.values()):
+                link._deliver_eof()
+
+    def _dispatch(self, body: bytes) -> None:
+        reader = ByteReader(body)
+        kind = reader.u8()
+        try:
+            sender_owns = bool(reader.u8())
+            src = reader.lp_str()
+            _dst = reader.lp_str()
+            channel = reader.u64()
+            payload = reader.lp_bytes()
+        except FrameError:
+            return
+        # The frame names the channel in its owner's numbering: if the
+        # sender owns it, locally it is a not-owned (accepted) channel.
+        owned_by_me = not sender_owns
+        key = (src, channel, owned_by_me)
+        link = self._links.get(key)
+        if kind == T_ERROR:
+            if link is not None:
+                link._deliver_error(RelayError(payload.decode("utf-8", "replace")))
+            return
+        if kind == T_OPEN:
+            if link is None:
+                link = RoutedLink(self, src, channel, owned=owned_by_me)
+                link.open_payload = payload
+                self._links[key] = link
+                if self._accept_waiters:
+                    self._accept_waiters.pop(0).succeed(link)
+                else:
+                    self._accept_queue.append(link)
+            return
+        if link is None and kind == T_MSG and not owned_by_me:
+            # Data for an unseen peer-opened channel: implicit open.
+            link = RoutedLink(self, src, channel, owned=False)
+            self._links[key] = link
+            if self._accept_waiters:
+                self._accept_waiters.pop(0).succeed(link)
+            else:
+                self._accept_queue.append(link)
+        if link is None:
+            return
+        if kind == T_MSG:
+            link._deliver(payload)
+        elif kind == T_CLOSE:
+            link._deliver_eof()

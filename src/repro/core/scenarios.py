@@ -1,0 +1,329 @@
+"""Canned grid topologies for tests, examples and benchmarks.
+
+A :class:`GridScenario` assembles the full experimental apparatus of the
+paper's evaluation (§6): an Internet backbone, a public relay host running
+the relay + address reflector, and any number of sites of various kinds:
+
+============== ==============================================================
+kind            meaning
+============== ==============================================================
+``open``        publicly routed addresses, no middleboxes
+``firewall``    stateful firewall blocking unsolicited inbound
+``cone_nat``    predictable (endpoint-independent) NAT, private addresses
+``broken_nat``  standards-noncompliant NAT that resets crossing SYNs;
+                a SOCKS proxy runs on the gateway (the paper's fall-back)
+``symmetric_nat`` unpredictable per-destination mappings + gateway SOCKS
+``severe``      firewall that blocks even outbound, except to the gateway
+                SOCKS proxy (paper §3.3's "severe firewall")
+============== ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..simnet.engine import all_of
+from ..simnet.nat import BrokenNAT, ConeNAT, SymmetricNAT
+from ..simnet.firewall import StatefulFirewall
+from ..simnet.socks import SocksServer
+from ..simnet.topology import Host, Internet, Site
+from .addressing import EndpointInfo
+from .node import GridNode
+from .relay import ReflectorServer, RelayServer
+
+__all__ = ["GridScenario", "SITE_KINDS"]
+
+SITE_KINDS = ("open", "firewall", "cone_nat", "broken_nat", "symmetric_nat", "severe")
+
+RELAY_PORT = 4000
+REFLECTOR_PORT = 3478
+SOCKS_PORT = 1080
+
+
+class GridScenario:
+    """Builder for multi-site grid experiments."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        relay_bandwidth: float = 125_000_000.0,
+        relay_delay: float = 0.002,
+    ):
+        self.inet = Internet(seed=seed)
+        self.sim = self.inet.sim
+        # The relay machine's own uplink: on a real grid this is a site
+        # gateway with finite capacity — the §3.4 bottleneck.
+        self.relay_host = self.inet.add_public_host(
+            "relay", delay=relay_delay, bandwidth=relay_bandwidth
+        )
+        self.relay = RelayServer(self.relay_host, RELAY_PORT)
+        self.relay.start()
+        self.reflector = ReflectorServer(self.relay_host, REFLECTOR_PORT)
+        self.reflector.start()
+        self._registry = None
+        self.sites: dict[str, Site] = {}
+        self.kinds: dict[str, str] = {}
+        self.proxies: dict[str, SocksServer] = {}
+        self.nodes: dict[str, GridNode] = {}
+
+    # -- construction -----------------------------------------------------------
+    def add_site(self, name: str, kind: str = "open", **wan_kwargs) -> Site:
+        """Add a site of the given kind (see module docstring)."""
+        if kind not in SITE_KINDS:
+            raise ValueError(f"unknown site kind {kind!r}")
+        kwargs = dict(wan_kwargs)
+        needs_proxy = False
+        if kind == "firewall":
+            kwargs["firewall"] = StatefulFirewall(sim=self.sim)
+        elif kind == "cone_nat":
+            kwargs["nat"] = ConeNAT()
+        elif kind == "broken_nat":
+            kwargs["nat"] = BrokenNAT()
+            needs_proxy = True
+        elif kind == "symmetric_nat":
+            kwargs["nat"] = SymmetricNAT()
+            needs_proxy = True
+        elif kind == "severe":
+            needs_proxy = True
+        site = self.inet.add_site(name, **kwargs)
+        if kind == "severe":
+            firewall = StatefulFirewall(
+                sim=self.sim,
+                strict_outbound=True,
+                allowed_destinations={site.wan_ip},
+            )
+            firewall.exempt_ips.add(site.wan_ip)
+            site.firewall = firewall
+            site.wan_iface.filters.insert(0, firewall)
+        if needs_proxy:
+            proxy = SocksServer(site.gateway, SOCKS_PORT)
+            proxy.start()
+            self.proxies[name] = proxy
+        self.sites[name] = site
+        self.kinds[name] = kind
+        return site
+
+    def endpoint_info(self, site_name: str, node_id: str, node: Host) -> EndpointInfo:
+        kind = self.kinds[site_name]
+        site = self.sites[site_name]
+        proxy = self.proxies.get(site_name)
+        proxy_addr = (site.gateway.ip, SOCKS_PORT) if proxy else None
+        return EndpointInfo(
+            node_id=node_id,
+            local_ip=node.ip,
+            behind_firewall=kind in ("firewall", "severe"),
+            behind_nat=kind in ("cone_nat", "broken_nat", "symmetric_nat"),
+            nat_predictable={
+                "cone_nat": True,
+                "broken_nat": True,  # looks predictable; fails behaviourally
+                "symmetric_nat": False,
+            }.get(kind),
+            socks_proxy=proxy_addr,
+            outbound_blocked=(kind == "severe"),
+        )
+
+    def add_node(self, site_name: str, node_id: str) -> GridNode:
+        """Add a compute node to a site, wrapped as a GridNode."""
+        site = self.sites[site_name]
+        host = site.add_node(f"{site_name}-{node_id}")
+        info = self.endpoint_info(site_name, node_id, host)
+        kind = self.kinds[site_name]
+        connector = None
+        if kind == "severe":
+            # Even the relay can only be reached through the gateway proxy.
+            proxy_addr = (site.gateway.ip, SOCKS_PORT)
+
+            def connector(h, relay_addr, _proxy=proxy_addr):
+                from ..simnet.socks import socks_connect
+
+                return (yield from socks_connect(h, _proxy, relay_addr))
+
+        node = GridNode(
+            host,
+            info,
+            (self.relay_host.ip, RELAY_PORT),
+            reflector_addr=(self.relay_host.ip, REFLECTOR_PORT),
+            connector=connector,
+        )
+        self.nodes[node_id] = node
+        return node
+
+    @property
+    def registry(self):
+        """An Ibis Name Service on the relay host (created on first use)."""
+        if self._registry is None:
+            from ..ipl.registry import RegistryServer
+
+            self._registry = RegistryServer(self.relay_host, 4100)
+            self._registry.start()
+        return self._registry
+
+    def add_ibis(self, site_name: str, name: str, **ibis_kwargs):
+        """Add a node running a full Ibis runtime instance."""
+        from ..ipl.runtime import Ibis
+
+        registry = self.registry  # ensure the name service is up
+        site = self.sites[site_name]
+        host = site.add_node(f"{site_name}-{name}")
+        info = self.endpoint_info(site_name, name, host)
+        kind = self.kinds[site_name]
+        connector = None
+        if kind == "severe":
+            proxy_addr = (site.gateway.ip, SOCKS_PORT)
+
+            def connector(h, target, _proxy=proxy_addr):
+                from ..simnet.socks import socks_connect
+
+                return (yield from socks_connect(h, _proxy, target))
+
+        ibis = Ibis(
+            host,
+            name,
+            info,
+            relay_addr=(self.relay_host.ip, RELAY_PORT),
+            registry_addr=registry.addr,
+            reflector_addr=(self.relay_host.ip, REFLECTOR_PORT),
+            connector=connector,
+            **ibis_kwargs,
+        )
+        self.nodes[name] = ibis.node
+        return ibis
+
+    # -- execution helpers ---------------------------------------------------
+    def start_all(self) -> Generator:
+        """Start every node (register with the relay)."""
+        procs = [self.sim.process(node.start()) for node in self.nodes.values()]
+        yield all_of(self.sim, procs)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def measure_stack_throughput(
+        self,
+        sender_id: str,
+        receiver_id: str,
+        spec: str,
+        payload: bytes,
+        total_bytes: int,
+        message_size: int = 65536,
+        until: float = 3600.0,
+        warmup_bytes: int = 0,
+    ) -> dict:
+        """Bulk transfer over a negotiated driver stack; returns metrics.
+
+        ``payload`` is cycled to supply ``total_bytes`` of application data
+        in ``message_size`` writes (the "message size" axis of Figures
+        9/10); the channel aggregates them into TCP_Block blocks of at most
+        64 KiB (§4.1).  Throughput is measured at the receiver over
+        simulated time, excluding establishment and an optional warm-up
+        prefix.
+        """
+        from .factory import BrokeredConnectionFactory
+
+        sim = self.sim
+        sender = self.nodes[sender_id]
+        receiver = self.nodes[receiver_id]
+        res: dict = {}
+
+        def run_sender() -> Generator:
+            yield from sender.start()
+            while not receiver.relay_client.connected:
+                yield sim.timeout(0.05)
+            service = yield from sender.open_service_link(receiver_id)
+            factory = BrokeredConnectionFactory(sender)
+            channel = yield from factory.connect(
+                service, receiver.info, spec=spec,
+                block_size=min(message_size, 65536),
+            )
+            res["method"] = None
+            sent = 0
+            pos = 0
+            while sent < total_bytes:
+                chunk = payload[pos : pos + message_size]
+                if len(chunk) < message_size:
+                    pos = 0
+                    chunk = payload[:message_size]
+                pos += message_size
+                yield from channel.write(chunk)
+                sent += len(chunk)
+            yield from channel.flush()
+            channel.close()
+            res["sent"] = sent
+
+        def run_receiver() -> Generator:
+            yield from receiver.start()
+            _peer, service = yield from receiver.accept_service_link()
+            factory = BrokeredConnectionFactory(receiver)
+            channel = yield from factory.accept(service)
+            got = 0
+            t0 = None
+            while True:
+                data = yield from channel.read(1 << 20)
+                if not data:
+                    break
+                got += len(data)
+                if t0 is None and got >= warmup_bytes:
+                    t0 = sim.now
+                    got_at_t0 = got
+            res["received"] = got
+            res["seconds"] = sim.now - t0
+            res["measured_bytes"] = got - got_at_t0
+            res["throughput"] = res["measured_bytes"] / res["seconds"] / 1e6
+
+        sim.process(run_sender(), name="xfer-sender")
+        sim.process(run_receiver(), name="xfer-receiver")
+        sim.run(until=sim.now + until)
+        if "throughput" not in res:
+            raise RuntimeError(
+                f"stacked transfer {sender_id}->{receiver_id} ({spec}) did not finish"
+            )
+        return res
+
+    def establish_pair(
+        self,
+        initiator_id: str,
+        responder_id: str,
+        methods: Optional[list[str]] = None,
+        payload: bytes = b"ping",
+        until: float = 300.0,
+    ) -> dict:
+        """Start both nodes, negotiate a data link, echo a payload.
+
+        Returns ``{"method", "delay", "echo", "initiator_log", ...}``.
+        """
+        res: dict = {}
+        initiator = self.nodes[initiator_id]
+        responder = self.nodes[responder_id]
+
+        def run_initiator() -> Generator:
+            yield from initiator.start()
+            while not responder.relay_client.connected:
+                yield self.sim.timeout(0.05)
+            service = yield from initiator.open_service_link(responder_id)
+            t0 = self.sim.now
+            link = yield from initiator.connect_data(
+                service, responder.info, methods
+            )
+            res["method"] = link.method
+            res["delay"] = self.sim.now - t0
+            res["native_tcp"] = link.native_tcp
+            res["relayed"] = link.relayed
+            yield from link.send_all(payload)
+            res["echo"] = yield from link.recv_exactly(len(payload))
+            res["initiator_log"] = list(initiator.broker.attempt_log)
+            link.close()
+
+        def run_responder() -> Generator:
+            yield from responder.start()
+            _peer, service = yield from responder.accept_service_link()
+            link = yield from responder.accept_data(service)
+            data = yield from link.recv_exactly(len(payload))
+            yield from link.send_all(data)
+            res["responder_log"] = list(responder.broker.attempt_log)
+
+        self.sim.process(run_initiator(), name="scenario-initiator")
+        self.sim.process(run_responder(), name="scenario-responder")
+        self.sim.run(until=self.sim.now + until)
+        if "method" not in res:
+            raise RuntimeError(f"pair {initiator_id}->{responder_id} never connected")
+        return res

@@ -1,0 +1,45 @@
+"""Link utilization drivers (paper §4): composable block transforms.
+
+``TCP_Block`` aggregation, parallel TCP streams, zlib compression (static
+and adaptive) and TLS — assembled into stacks by
+:mod:`~repro.core.utilization.stack` and fronted to applications by
+:class:`~repro.core.utilization.stream.BlockChannel`.
+"""
+
+from .adaptive import AdaptiveCompressionDriver
+from .base import Driver, DriverError, FilterDriver
+from .compression import CompressionDriver
+from .parallel import DEFAULT_FRAGMENT, ParallelStreamsDriver
+from .reliable import ReliableUdpDriver
+from .stack import (
+    StackSpecError,
+    build_stack,
+    find_driver,
+    iter_drivers,
+    links_required,
+    parse_stack,
+)
+from .stream import DEFAULT_BLOCK, BlockChannel
+from .tcp_block import TcpBlockDriver
+from .tls import TlsDriver
+
+__all__ = [
+    "Driver",
+    "FilterDriver",
+    "DriverError",
+    "TcpBlockDriver",
+    "ParallelStreamsDriver",
+    "DEFAULT_FRAGMENT",
+    "ReliableUdpDriver",
+    "CompressionDriver",
+    "AdaptiveCompressionDriver",
+    "TlsDriver",
+    "BlockChannel",
+    "DEFAULT_BLOCK",
+    "parse_stack",
+    "links_required",
+    "build_stack",
+    "iter_drivers",
+    "find_driver",
+    "StackSpecError",
+]

@@ -1,0 +1,262 @@
+"""Parallel TCP streams (paper §4.2).
+
+"On such high latency WANs, using multiple TCP streams — or parallel
+streams — for a single logical connection can improve the achievable
+bandwidth by increasing the window size beyond the operating-system
+limits. ... sender and receiver have to fragment and multiplex the data
+over the underlying, individual TCP streams."
+
+Striping scheme: block *n*'s length header travels on stream ``n % N``;
+its fragments of at most ``fragment`` bytes follow round-robin starting on
+that same stream.  Because every stream is an ordered byte pipe and the
+assignment is a pure function of the block counter, the receiver needs no
+per-fragment metadata at all — reassembly is deterministic.
+
+Each stream has its own writer process behind a bounded queue, so a
+momentarily backlogged stream does not head-of-line-block the others —
+all N congestion windows stay filled concurrently, which is the whole
+point of striping.  Backpressure still propagates: ``send_block`` waits
+when the *target* stream's queue is full.
+
+Fragmentation work (the extra copy per byte that striping costs) is
+charged to the host CPU model as ``serialize`` work when one is attached.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, Optional, Sequence
+
+from ...simnet.cpu import charge
+from ...simnet.engine import Event
+from ..links import Link
+from .base import Driver, DriverError
+
+__all__ = ["ParallelStreamsDriver", "DEFAULT_FRAGMENT"]
+
+DEFAULT_FRAGMENT = 16384
+
+_CLOSE = object()
+
+
+class _StreamWriter:
+    """Bounded outbound queue + writer process for one stream."""
+
+    def __init__(self, sim, link: Link, limit_bytes: int):
+        self.sim = sim
+        self.link = link
+        self.limit = limit_bytes
+        self._queue: list = []
+        self._queued_bytes = 0
+        self._space_waiters: list[Event] = []
+        self._data_waiter: Optional[Event] = None
+        self.error: Optional[BaseException] = None
+        self._proc = sim.process(self._run(), name="stripe-writer")
+
+    def put(self, data: bytes) -> Generator:
+        """Enqueue ``data``; blocks while the queue is over its limit."""
+        while self._queued_bytes >= self.limit and self.error is None:
+            ev = self.sim.event()
+            self._space_waiters.append(ev)
+            yield ev
+        if self.error is not None:
+            raise self.error
+        self._queue.append(data)
+        self._queued_bytes += len(data)
+        self._kick()
+
+    def close(self) -> None:
+        self._queue.append(_CLOSE)
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._data_waiter is not None:
+            waiter, self._data_waiter = self._data_waiter, None
+            waiter.succeed()
+
+    def _run(self) -> Generator:
+        try:
+            while True:
+                while not self._queue:
+                    self._data_waiter = self.sim.event()
+                    yield self._data_waiter
+                item = self._queue.pop(0)
+                if item is _CLOSE:
+                    self.link.close()
+                    return
+                self._queued_bytes -= len(item)
+                for ev in self._space_waiters:
+                    ev.succeed()
+                self._space_waiters.clear()
+                yield from self.link.send_all(item)
+        except BaseException as exc:
+            self.error = exc
+            for ev in self._space_waiters:
+                ev.succeed()
+            self._space_waiters.clear()
+
+
+class _StreamReader:
+    """Eager reader process for one stream.
+
+    Drains the socket as data arrives — keeping the TCP advertised window
+    open — into a bounded local reassembly buffer the driver consumes from
+    (the user-space reader thread a real striping implementation has).
+    """
+
+    def __init__(self, sim, link: Link, limit_bytes: int):
+        self.sim = sim
+        self.link = link
+        self.limit = limit_bytes
+        self._buf = bytearray()
+        self._eof = False
+        self.error: Optional[BaseException] = None
+        self._consumer: Optional[tuple[Event, int]] = None
+        self._drain_waiter: Optional[Event] = None
+        self._proc = sim.process(self._run(), name="stripe-reader")
+
+    def take(self, n: int) -> Generator:
+        """Exactly ``n`` bytes from this stream (in arrival order)."""
+        while len(self._buf) < n:
+            if self.error is not None:
+                raise self.error
+            if self._eof:
+                raise EOFError(
+                    f"stream ended with {n - len(self._buf)} bytes missing"
+                )
+            ev = self.sim.event()
+            self._consumer = (ev, n)
+            yield ev
+        out = bytes(self._buf[:n])
+        del self._buf[:n]
+        if self._drain_waiter is not None and len(self._buf) < self.limit:
+            waiter, self._drain_waiter = self._drain_waiter, None
+            waiter.succeed()
+        return out
+
+    def _wake_consumer(self) -> None:
+        if self._consumer is not None:
+            ev, n = self._consumer
+            if len(self._buf) >= n or self._eof or self.error is not None:
+                self._consumer = None
+                ev.succeed()
+
+    def _run(self) -> Generator:
+        try:
+            while True:
+                if len(self._buf) >= self.limit:
+                    self._drain_waiter = self.sim.event()
+                    yield self._drain_waiter
+                    continue
+                data = yield from self.link.recv(65536)
+                if not data:
+                    self._eof = True
+                    self._wake_consumer()
+                    return
+                self._buf.extend(data)
+                self._wake_consumer()
+        except BaseException as exc:
+            self.error = exc
+            self._wake_consumer()
+
+
+class ParallelStreamsDriver(Driver):
+    """Stripe blocks over N established links."""
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        links: Sequence[Link],
+        host=None,
+        fragment: int = DEFAULT_FRAGMENT,
+        queue_limit: int = 131072,
+    ):
+        if not links:
+            raise DriverError("parallel driver needs at least one link")
+        if fragment <= 0:
+            raise DriverError("fragment size must be positive")
+        self.links = list(links)
+        self.host = host
+        self.fragment = fragment
+        self._send_seq = 0
+        self._recv_seq = 0
+        self.blocks_sent = 0
+        self.blocks_received = 0
+        self._writers: Optional[list[_StreamWriter]] = None
+        self._readers: Optional[list[_StreamReader]] = None
+        self._queue_limit = queue_limit
+        self._closed = False
+
+    @property
+    def nstreams(self) -> int:
+        return len(self.links)
+
+    def _ensure_writers(self):
+        if self._writers is None:
+            sim = self.links[0].sim
+            self._writers = [
+                _StreamWriter(sim, link, self._queue_limit) for link in self.links
+            ]
+        return self._writers
+
+    def send_block(self, block: bytes) -> Generator:
+        if self._closed:
+            raise DriverError("driver closed")
+        writers = self._ensure_writers()
+        n = self.nstreams
+        start = self._send_seq % n
+        self._send_seq += 1
+        if self.host is not None:
+            yield charge(self.host, "serialize", len(block))
+        yield from writers[start].put(struct.pack("!I", len(block)))
+        for i, offset in enumerate(range(0, len(block), self.fragment)):
+            writer = writers[(start + i) % n]
+            yield from writer.put(block[offset : offset + self.fragment])
+        self.blocks_sent += 1
+
+    def _ensure_readers(self):
+        if self._readers is None:
+            sim = self.links[0].sim
+            self._readers = [
+                _StreamReader(sim, link, self._queue_limit) for link in self.links
+            ]
+        return self._readers
+
+    def recv_block(self) -> Generator:
+        readers = self._ensure_readers()
+        n = self.nstreams
+        start = self._recv_seq % n
+        self._recv_seq += 1
+        header = yield from readers[start].take(4)
+        length = struct.unpack("!I", header)[0]
+        parts = []
+        remaining = length
+        i = 0
+        while remaining > 0:
+            take = min(self.fragment, remaining)
+            reader = readers[(start + i) % n]
+            parts.append((yield from reader.take(take)))
+            remaining -= take
+            i += 1
+        block = b"".join(parts)
+        if self.host is not None:
+            yield charge(self.host, "serialize", len(block))
+        self.blocks_received += 1
+        return block
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._writers is not None:
+            for writer in self._writers:
+                writer.close()  # links close after their queues drain
+        else:
+            for link in self.links:
+                link.close()
+
+    def abort(self) -> None:
+        self._closed = True
+        for link in self.links:
+            link.abort()

@@ -1,0 +1,235 @@
+"""``rel``: a reliability layer over UDP datagrams.
+
+NetIbis shipped UDP networking drivers with their own reliability filter
+(the IPL guarantees FIFO-ordered channels regardless of the transport,
+Figure 5 lists UDP among the substrates).  This driver implements a
+classic go-back-N protocol over :mod:`repro.simnet.udp`:
+
+* DATA datagrams carry a 32-bit sequence number and a slice of the block
+  stream (blocks are length-prefixed in the byte stream);
+* the receiver accepts only in-order datagrams and acknowledges
+  cumulatively; out-of-order arrivals trigger a duplicate ACK;
+* the sender keeps a fixed window of unacknowledged datagrams and
+  retransmits the whole window on timeout (go-back-N);
+* an EOF marker (retransmitted like data) closes the stream.
+
+Both directions are multiplexed on one UDP socket pair, so a
+:class:`~repro.core.utilization.stream.BlockChannel` over this driver is
+full-duplex like the TCP-based drivers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, Optional
+
+from ...simnet.engine import Event
+from ...simnet.tcp import _Timer
+from ...simnet.udp import MAX_DATAGRAM, UdpSocket
+from ..wire import WireError
+from .base import Driver, DriverError
+
+__all__ = ["ReliableUdpDriver"]
+
+T_DATA = 0
+T_ACK = 1
+T_EOF = 2
+
+HEADER = 5  # u8 type + u32 seq
+MAX_PAYLOAD = MAX_DATAGRAM - HEADER
+
+
+class ReliableUdpDriver(Driver):
+    """Reliable FIFO block transport over a UDP socket pair."""
+
+    name = "rel_udp"
+
+    def __init__(
+        self,
+        sock: UdpSocket,
+        peer: tuple,
+        window: int = 32,
+        rto: float = 0.25,
+        max_retries: int = 40,
+        payload_size: int = MAX_PAYLOAD,
+    ):
+        if payload_size > MAX_PAYLOAD:
+            raise DriverError(f"payload_size > {MAX_PAYLOAD}")
+        self.sock = sock
+        self.peer = peer
+        self.sim = sock.sim
+        self.window = window
+        self.rto = rto
+        self.max_retries = max_retries
+        self.payload_size = payload_size
+
+        # Sender state (go-back-N).
+        self._next_seq = 0
+        self._base = 0
+        self._unacked: dict[int, bytes] = {}  # seq -> raw datagram
+        self._window_waiters: list[Event] = []
+        self._retries = 0
+        self._rexmit = _Timer(self.sim, self._on_timeout)
+        self._eof_sent = False
+        self.retransmissions = 0
+
+        # Receiver state.
+        self._expected = 0
+        self._in_stream = bytearray()
+        self._blocks: list[bytes] = []
+        self._block_waiters: list[Event] = []
+        self._peer_eof = False
+        self._error: Optional[Exception] = None
+
+        self._recv_proc = self.sim.process(self._recv_loop(), name="rel-udp-recv")
+        self._closed = False
+
+    # -- sending -----------------------------------------------------------
+    def send_block(self, block: bytes) -> Generator:
+        if self._closed or self._eof_sent:
+            raise DriverError("driver closed")
+        stream = struct.pack("!I", len(block)) + block
+        for offset in range(0, len(stream), self.payload_size):
+            chunk = stream[offset : offset + self.payload_size]
+            yield from self._send_datagram(T_DATA, chunk)
+
+    def _send_datagram(self, kind: int, payload: bytes) -> Generator:
+        while len(self._unacked) >= self.window:
+            if self._error is not None:
+                raise self._error
+            ev = self.sim.event()
+            self._window_waiters.append(ev)
+            yield ev
+        if self._error is not None:
+            raise self._error
+        seq = self._next_seq
+        self._next_seq += 1
+        raw = struct.pack("!BI", kind, seq) + payload
+        self._unacked[seq] = raw
+        self.sock.sendto(raw, self.peer)
+        if not self._rexmit.running:
+            self._rexmit.start(self.rto)
+
+    def _on_timeout(self) -> None:
+        if not self._unacked or self._closed:
+            return
+        self._retries += 1
+        if self._retries > self.max_retries:
+            self._fail(DriverError("reliable UDP peer unreachable"))
+            return
+        # Go-back-N: resend everything outstanding, in order.
+        for seq in sorted(self._unacked):
+            self.sock.sendto(self._unacked[seq], self.peer)
+            self.retransmissions += 1
+        self._rexmit.start(self.rto * min(4, 1 + self._retries / 4))
+
+    def _on_ack(self, ack: int) -> None:
+        if ack <= self._base:
+            return  # duplicate
+        for seq in range(self._base, ack):
+            self._unacked.pop(seq, None)
+        self._base = ack
+        self._retries = 0
+        if self._unacked:
+            self._rexmit.start(self.rto)
+        else:
+            self._rexmit.cancel()
+        waiters, self._window_waiters = self._window_waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    # -- receiving ------------------------------------------------------------
+    def _recv_loop(self) -> Generator:
+        while True:
+            try:
+                data, _src = yield self.sock.recvfrom()
+            except Exception:
+                return
+            if len(data) < HEADER:
+                continue
+            kind, seq = struct.unpack("!BI", data[:HEADER])
+            payload = data[HEADER:]
+            if kind == T_ACK:
+                self._on_ack(seq)
+            elif kind in (T_DATA, T_EOF):
+                self._on_data(kind, seq, payload)
+
+    def _ack_now(self) -> None:
+        self.sock.sendto(struct.pack("!BI", T_ACK, self._expected), self.peer)
+
+    def _on_data(self, kind: int, seq: int, payload: bytes) -> None:
+        if seq != self._expected:
+            self._ack_now()  # duplicate/ooo: re-assert the cumulative ack
+            return
+        self._expected += 1
+        if kind == T_EOF:
+            self._peer_eof = True
+        else:
+            self._in_stream.extend(payload)
+            self._parse_blocks()
+        self._ack_now()
+        self._wake_block_waiters()
+
+    def _parse_blocks(self) -> None:
+        while True:
+            if len(self._in_stream) < 4:
+                return
+            length = struct.unpack("!I", self._in_stream[:4])[0]
+            if length > 1 << 26:
+                self._fail(WireError(f"oversized rel_udp block: {length}"))
+                return
+            if len(self._in_stream) < 4 + length:
+                return
+            block = bytes(self._in_stream[4 : 4 + length])
+            del self._in_stream[: 4 + length]
+            self._blocks.append(block)
+
+    def _wake_block_waiters(self) -> None:
+        while self._block_waiters and (self._blocks or self._peer_eof or self._error):
+            ev = self._block_waiters.pop(0)
+            if self._blocks:
+                ev.succeed(self._blocks.pop(0))
+            elif self._error is not None:
+                ev.fail(self._error)
+            else:
+                ev.fail(EOFError("rel_udp stream ended"))
+                ev.defused = True
+
+    def recv_block(self) -> Generator:
+        ev = self.sim.event()
+        self._block_waiters.append(ev)
+        self._wake_block_waiters()
+        block = yield ev
+        return block
+
+    # -- teardown -----------------------------------------------------------
+    def _fail(self, exc: Exception) -> None:
+        self._error = exc
+        self._rexmit.cancel()
+        for ev in self._window_waiters:
+            ev.succeed()  # waiters re-check _error
+        self._window_waiters.clear()
+        self._wake_block_waiters()
+
+    def close(self) -> None:
+        """Send EOF (reliably) and release the socket once acknowledged."""
+        if self._closed or self._eof_sent:
+            return
+        self._eof_sent = True
+
+        def shutdown() -> Generator:
+            try:
+                yield from self._send_datagram(T_EOF, b"")
+                # Linger until the EOF is acknowledged or retries exhaust.
+                while self._unacked and self._error is None:
+                    yield self.sim.timeout(self.rto)
+            finally:
+                self._closed = True
+                self.sock.close()
+
+        self.sim.process(shutdown(), name="rel-udp-close")
+
+    def abort(self) -> None:
+        self._closed = True
+        self._rexmit.cancel()
+        self.sock.close()

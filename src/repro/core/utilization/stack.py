@@ -1,0 +1,151 @@
+"""Driver-stack specification and assembly (paper §5.1).
+
+"NetIbis has been designed to make the communication paths between send
+and receive ports completely configurable, either by configuration file or
+by run-time properties."
+
+A stack spec is a string of layers, top to bottom, e.g.::
+
+    "compress|parallel:4|tcp_block"
+    "tls|tcp_block"
+    "adaptive|parallel:8:fragment=8192|tcp_block"
+
+The bottom layer must be a networking driver (``tcp_block`` or
+``parallel``); everything above is filtering.  :func:`links_required`
+tells the factory how many data links to establish;
+:func:`build_stack` assembles the tree on both endpoints — the service
+link carries the spec string so "driver assembly consistency on both
+endpoints" holds (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..links import Link
+from .adaptive import AdaptiveCompressionDriver
+from .base import Driver, DriverError, FilterDriver
+from .compression import CompressionDriver
+from .parallel import DEFAULT_FRAGMENT, ParallelStreamsDriver
+from .tcp_block import TcpBlockDriver
+from .tls import TlsDriver
+
+__all__ = [
+    "parse_stack",
+    "links_required",
+    "build_stack",
+    "iter_drivers",
+    "find_driver",
+    "StackSpecError",
+]
+
+NETWORKING = {"tcp_block", "parallel"}
+FILTERING = {"compress", "adaptive", "tls"}
+
+
+class StackSpecError(DriverError):
+    """Invalid stack specification."""
+
+
+def parse_stack(spec: str) -> list[tuple[str, dict]]:
+    """Parse a spec string into ``[(layer_name, params), ...]``.
+
+    Layer syntax: ``name[:positional][:key=value]...`` — the positional
+    argument is layer-specific (stream count for ``parallel``, zlib level
+    for ``compress``/``adaptive``).
+    """
+    layers: list[tuple[str, dict]] = []
+    if not spec.strip():
+        raise StackSpecError("empty stack spec")
+    for part in spec.split("|"):
+        fields = part.strip().split(":")
+        name = fields[0]
+        if name not in NETWORKING | FILTERING:
+            raise StackSpecError(f"unknown layer {name!r}")
+        params: dict = {}
+        for fld in fields[1:]:
+            if "=" in fld:
+                key, value = fld.split("=", 1)
+                params[key] = int(value) if value.isdigit() else value
+            elif fld:
+                if name == "parallel":
+                    params["streams"] = int(fld)
+                elif name in ("compress", "adaptive"):
+                    params["level"] = int(fld)
+                else:
+                    raise StackSpecError(f"{name} takes no positional argument")
+        layers.append((name, params))
+    for name, _params in layers[:-1]:
+        if name in NETWORKING:
+            raise StackSpecError(f"networking layer {name!r} must be last")
+    bottom = layers[-1][0]
+    if bottom not in NETWORKING:
+        raise StackSpecError(f"bottom layer {bottom!r} is not a networking driver")
+    return layers
+
+
+def links_required(spec: str) -> int:
+    """How many established data links the spec's bottom layer needs."""
+    layers = parse_stack(spec)
+    name, params = layers[-1]
+    if name == "tcp_block":
+        return 1
+    return int(params.get("streams", 2))
+
+
+def build_stack(
+    spec: str,
+    links: Sequence[Link],
+    host=None,
+) -> Driver:
+    """Assemble the driver tree over established ``links``.
+
+    TLS layers are created un-handshaken; retrieve them with
+    :func:`find_driver` and run ``handshake_client``/``handshake_server``
+    before moving data.
+    """
+    layers = parse_stack(spec)
+    name, params = layers[-1]
+    if name == "tcp_block":
+        if len(links) != 1:
+            raise StackSpecError(f"tcp_block needs exactly 1 link, got {len(links)}")
+        driver: Driver = TcpBlockDriver(links[0])
+    else:
+        streams = int(params.get("streams", 2))
+        if len(links) != streams:
+            raise StackSpecError(f"parallel:{streams} needs {streams} links, got {len(links)}")
+        driver = ParallelStreamsDriver(
+            links, host=host, fragment=int(params.get("fragment", DEFAULT_FRAGMENT))
+        )
+    for name, params in reversed(layers[:-1]):
+        if name == "compress":
+            driver = CompressionDriver(driver, host=host, level=int(params.get("level", 1)))
+        elif name == "adaptive":
+            driver = AdaptiveCompressionDriver(
+                driver,
+                host,
+                level=int(params.get("level", 1)),
+                probe_every=int(params.get("probe", 16)),
+            )
+        elif name == "tls":
+            driver = TlsDriver(driver, host=host)
+    return driver
+
+
+def iter_drivers(stack: Driver):
+    """Top-down iteration over a driver tree."""
+    node = stack
+    while True:
+        yield node
+        if isinstance(node, FilterDriver):
+            node = node.child
+        else:
+            return
+
+
+def find_driver(stack: Driver, cls) -> Optional[Driver]:
+    """First driver of type ``cls`` in the tree, or None."""
+    for node in iter_drivers(stack):
+        if isinstance(node, cls):
+            return node
+    return None

@@ -1,0 +1,95 @@
+"""Application-facing channel over a driver stack (paper §4.1).
+
+"Data is aggregated in buffers.  A buffer is sent off due to overflow or
+due to an explicit flush by the user."  :class:`BlockChannel` implements
+exactly that — buffered writes, explicit flush — plus a framed message API
+on top (used by the IPL's Write/Read messages).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator
+
+from .base import Driver
+
+__all__ = ["BlockChannel", "DEFAULT_BLOCK"]
+
+DEFAULT_BLOCK = 65536
+
+
+class BlockChannel:
+    """Buffered byte/message channel over a block driver stack."""
+
+    def __init__(self, driver: Driver, block_size: int = DEFAULT_BLOCK):
+        if block_size <= 0:
+            raise ValueError("block size must be positive")
+        self.driver = driver
+        self.block_size = block_size
+        self._out = bytearray()
+        self._in = bytearray()
+        self._eof = False
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- writing ------------------------------------------------------------
+    def write(self, data: bytes) -> Generator:
+        """Buffer ``data``; full blocks are sent as they complete."""
+        self.bytes_written += len(data)
+        self._out.extend(data)
+        while len(self._out) >= self.block_size:
+            block = bytes(self._out[: self.block_size])
+            del self._out[: self.block_size]
+            yield from self.driver.send_block(block)
+
+    def flush(self) -> Generator:
+        """Send any buffered partial block (the explicit flush of §4.1)."""
+        if self._out:
+            block = bytes(self._out)
+            self._out.clear()
+            yield from self.driver.send_block(block)
+
+    # -- reading --------------------------------------------------------------
+    def read(self, maxbytes: int) -> Generator:
+        """Read up to ``maxbytes``; returns b"" at end of stream."""
+        while not self._in and not self._eof:
+            try:
+                block = yield from self.driver.recv_block()
+            except EOFError:
+                self._eof = True
+                break
+            self._in.extend(block)
+        take = bytes(self._in[:maxbytes])
+        del self._in[: len(take)]
+        self.bytes_read += len(take)
+        return take
+
+    def read_exactly(self, n: int) -> Generator:
+        parts = []
+        remaining = n
+        while remaining > 0:
+            data = yield from self.read(remaining)
+            if not data:
+                raise EOFError(f"channel ended with {remaining}/{n} bytes missing")
+            parts.append(data)
+            remaining -= len(data)
+        return b"".join(parts)
+
+    # -- message framing ------------------------------------------------------
+    def send_message(self, payload: bytes) -> Generator:
+        """One framed message: length prefix + payload + flush."""
+        yield from self.write(struct.pack("!I", len(payload)))
+        yield from self.write(payload)
+        yield from self.flush()
+
+    def recv_message(self) -> Generator:
+        header = yield from self.read_exactly(4)
+        length = struct.unpack("!I", header)[0]
+        payload = yield from self.read_exactly(length)
+        return payload
+
+    def close(self) -> None:
+        self.driver.close()
+
+    def abort(self) -> None:
+        self.driver.abort()

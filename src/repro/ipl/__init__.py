@@ -1,0 +1,35 @@
+"""The Ibis Portability Layer: ports, name service, typed messages.
+
+The thin interface layer of Figure 5 — applications create an
+:class:`~repro.ipl.runtime.Ibis` instance, register named receive ports,
+connect send ports, and move typed messages over unidirectional FIFO
+channels.  Everything below (establishment methods, driver stacks,
+security) is configuration.
+"""
+
+from .collectives import CollectiveError, CollectiveGroup
+from .identifiers import IbisIdentifier, PortIdentifier
+from .ports import PortClosed, ReadMessage, ReceivePort, SendPort, WriteMessage
+from .registry import RegistryClient, RegistryError, RegistryServer
+from .runtime import Ibis, IbisError
+from .serialization import MessageReader, MessageWriter, SerializationError
+
+__all__ = [
+    "Ibis",
+    "IbisError",
+    "CollectiveGroup",
+    "CollectiveError",
+    "IbisIdentifier",
+    "PortIdentifier",
+    "SendPort",
+    "ReceivePort",
+    "WriteMessage",
+    "ReadMessage",
+    "PortClosed",
+    "RegistryServer",
+    "RegistryClient",
+    "RegistryError",
+    "MessageWriter",
+    "MessageReader",
+    "SerializationError",
+]

@@ -1,0 +1,53 @@
+"""Location-independent Ibis identifiers (paper §5).
+
+"Unlike many message passing systems, the IPL has no concept of hosts or
+threads, but uses location-independent Ibis identifiers to identify Ibis
+nodes."  An identifier names a node within a pool; receive ports are named
+``<ibis-name>/<port-name>`` strings resolved through the name service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.framing import ByteReader, ByteWriter
+
+__all__ = ["IbisIdentifier", "PortIdentifier"]
+
+
+@dataclass(frozen=True)
+class IbisIdentifier:
+    """Identity of one Ibis instance (node) in a pool."""
+
+    name: str
+    pool: str = "default"
+
+    def encode(self) -> bytes:
+        return ByteWriter().lp_str(self.name).lp_str(self.pool).getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IbisIdentifier":
+        r = ByteReader(data)
+        return cls(name=r.lp_str(), pool=r.lp_str())
+
+    def __str__(self) -> str:
+        return f"{self.pool}:{self.name}"
+
+
+@dataclass(frozen=True)
+class PortIdentifier:
+    """Identity of a receive port: which node it lives on, and its name."""
+
+    ibis: IbisIdentifier
+    port_name: str
+
+    def encode(self) -> bytes:
+        return ByteWriter().lp_bytes(self.ibis.encode()).lp_str(self.port_name).getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PortIdentifier":
+        r = ByteReader(data)
+        return cls(ibis=IbisIdentifier.decode(r.lp_bytes()), port_name=r.lp_str())
+
+    def __str__(self) -> str:
+        return f"{self.ibis}/{self.port_name}"

@@ -1,0 +1,195 @@
+"""Send and receive ports (paper §5).
+
+"The IPL provides one elementary communication abstraction, unidirectional
+message channels.  Endpoints of communication are send ports and receive
+ports.  For supporting group communication, one send port might be
+connected to multiple receive ports, and vice versa."
+
+Every ``SendPort → ReceivePort`` connection is "an isolated,
+unidirectional, FIFO-ordered virtual networking link" (§5.1): a brokered
+driver-stack channel.  A send port connected to several receive ports
+writes each finished message to every channel; a receive port fans
+incoming channels into one FIFO message queue per arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..core.utilization.stream import BlockChannel
+from ..simnet.engine import Event
+from .identifiers import PortIdentifier
+from .serialization import MessageReader, MessageWriter
+
+__all__ = ["SendPort", "ReceivePort", "WriteMessage", "ReadMessage", "PortClosed"]
+
+
+class PortClosed(Exception):
+    """Operation on a closed port."""
+
+
+class WriteMessage(MessageWriter):
+    """A message under construction on a send port.
+
+    Call the typed ``write_*`` methods, then ``finish()`` (a generator) to
+    transmit to every connected receive port and release the port for the
+    next message.
+    """
+
+    def __init__(self, port: "SendPort"):
+        super().__init__()
+        self._port = port
+        self._finished = False
+
+    def finish(self) -> Generator:
+        if self._finished:
+            raise PortClosed("message already finished")
+        self._finished = True
+        payload = self.getvalue()
+        yield from self._port._transmit(payload)
+        self._port._message_done(self)
+        return len(payload)
+
+
+class ReadMessage(MessageReader):
+    """A received message; read items in the order they were written."""
+
+    def __init__(self, payload: bytes, origin: Optional[str] = None):
+        super().__init__(payload)
+        #: name of the sending Ibis node, when known
+        self.origin = origin
+
+
+class SendPort:
+    """The sending endpoint of unidirectional message channels."""
+
+    def __init__(self, runtime, name: str):
+        self.runtime = runtime
+        self.name = name
+        self.channels: dict[str, BlockChannel] = {}  # port name -> channel
+        self._active_message: Optional[WriteMessage] = None
+        self.closed = False
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def identifier(self) -> PortIdentifier:
+        return PortIdentifier(self.runtime.identifier, self.name)
+
+    def connect(self, port_name: str, spec: Optional[str] = None) -> Generator:
+        """Connect to a named receive port (resolved via the name service).
+
+        May be called multiple times — one send port, many receive ports.
+        """
+        if self.closed:
+            raise PortClosed(f"send port {self.name} closed")
+        if port_name in self.channels:
+            raise ValueError(f"already connected to {port_name!r}")
+        channel = yield from self.runtime._connect_port(self, port_name, spec)
+        self.channels[port_name] = channel
+        return channel
+
+    def disconnect(self, port_name: str) -> None:
+        channel = self.channels.pop(port_name, None)
+        if channel is not None:
+            channel.close()
+
+    def new_message(self) -> WriteMessage:
+        """Start a message (one at a time per send port, like the IPL)."""
+        if self.closed:
+            raise PortClosed(f"send port {self.name} closed")
+        if not self.channels:
+            raise PortClosed(f"send port {self.name} is not connected")
+        if self._active_message is not None:
+            raise PortClosed("previous message not finished")
+        self._active_message = WriteMessage(self)
+        return self._active_message
+
+    def _transmit(self, payload: bytes) -> Generator:
+        for channel in self.channels.values():
+            yield from channel.send_message(payload)
+        self.messages_sent += 1
+        self.bytes_sent += len(payload)
+
+    def _message_done(self, message: WriteMessage) -> None:
+        if self._active_message is message:
+            self._active_message = None
+
+    def close(self) -> None:
+        self.closed = True
+        for channel in self.channels.values():
+            channel.close()
+        self.channels.clear()
+
+
+class ReceivePort:
+    """The receiving endpoint; fans in any number of send ports."""
+
+    def __init__(self, runtime, name: str):
+        self.runtime = runtime
+        self.name = name
+        self._queue: list[ReadMessage] = []
+        self._waiters: list[Event] = []
+        self._channels: list[BlockChannel] = []
+        self.closed = False
+        self.messages_received = 0
+        #: per-channel terminal errors (EOF is normal and not recorded)
+        self.channel_errors: list[tuple[str, Exception]] = []
+
+    @property
+    def identifier(self) -> PortIdentifier:
+        return PortIdentifier(self.runtime.identifier, self.name)
+
+    # -- wiring (driven by the runtime) ---------------------------------------
+    def _attach(self, channel: BlockChannel, origin: str) -> None:
+        self._channels.append(channel)
+        self.runtime.sim.process(
+            self._pump(channel, origin), name=f"rcvport-{self.name}"
+        )
+
+    def _pump(self, channel: BlockChannel, origin: str) -> Generator:
+        try:
+            while True:
+                payload = yield from channel.recv_message()
+                message = ReadMessage(payload, origin=origin)
+                self.messages_received += 1
+                if self._waiters:
+                    self._waiters.pop(0).succeed(message)
+                else:
+                    self._queue.append(message)
+        except EOFError:
+            return  # the sender disconnected cleanly
+        except Exception as exc:
+            # Record the failure so applications can inspect it; a dead
+            # channel must not take the whole port (other senders) down.
+            self.channel_errors.append((origin, exc))
+            return
+
+    # -- user API ---------------------------------------------------------------
+    def receive(self) -> Generator:
+        """The next message, FIFO across all connected senders."""
+        if self.closed:
+            raise PortClosed(f"receive port {self.name} closed")
+        ev = self.runtime.sim.event()
+        if self._queue:
+            ev.succeed(self._queue.pop(0))
+        else:
+            self._waiters.append(ev)
+        message = yield ev
+        return message
+
+    def poll(self) -> Optional[ReadMessage]:
+        """Non-blocking receive; None when no message is queued."""
+        if self._queue:
+            return self._queue.pop(0)
+        return None
+
+    def close(self) -> None:
+        self.closed = True
+        for channel in self._channels:
+            channel.close()
+        self._channels.clear()
+        for ev in self._waiters:
+            ev.fail(PortClosed(f"receive port {self.name} closed"))
+            ev.defused = True
+        self._waiters.clear()

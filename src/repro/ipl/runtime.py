@@ -1,0 +1,177 @@
+"""The Ibis runtime instance (paper §5, Figure 5).
+
+One :class:`Ibis` object per participating process wires together the whole
+stack: the relay registration and broker (:class:`~repro.core.node.GridNode`),
+the Ibis Name Service client, the brokered connection factory, and the
+send/receive ports of the IPL.
+
+Connection flow for ``send_port.connect("worker-in")``:
+
+1. look up the receive port in the name service → owner node + its
+   :class:`~repro.core.addressing.EndpointInfo`;
+2. open a service link to the owner (routed via the relay — the bootstrap
+   method that always works);
+3. send a port-connect request naming the receive port;
+4. the factory negotiates the driver-stack spec and establishes the data
+   links via the Figure 4 decision tree with fall-back;
+5. both sides assemble mirrored driver stacks; the channel is attached to
+   the ports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..core.addressing import EndpointInfo
+from ..core.factory import BrokeredConnectionFactory, TlsConfig
+from ..core.node import GridNode
+from ..core.wire import recv_frame, send_frame
+from ..simnet.packet import Addr
+from ..util.framing import ByteReader, ByteWriter
+from .identifiers import IbisIdentifier
+from .ports import ReceivePort, SendPort
+from .registry import RegistryClient
+
+__all__ = ["Ibis", "IbisError"]
+
+REQ_PORT_CONNECT = 1
+RESP_OK = 0
+RESP_ERR = 1
+
+
+class IbisError(Exception):
+    """Runtime-level failure (unknown port, rejected connect, ...)."""
+
+
+class Ibis:
+    """One Ibis instance: the application's entry point to the IPL."""
+
+    def __init__(
+        self,
+        host,
+        name: str,
+        info: EndpointInfo,
+        relay_addr: Addr,
+        registry_addr: Addr,
+        reflector_addr: Optional[Addr] = None,
+        default_spec: str = "tcp_block",
+        tls_config: Optional[TlsConfig] = None,
+        connector: Optional[Callable] = None,
+        pool: str = "default",
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.name = name
+        self.identifier = IbisIdentifier(name, pool)
+        self.info = info
+        self.default_spec = default_spec
+        self.node = GridNode(
+            host, info, relay_addr, reflector_addr=reflector_addr, connector=connector
+        )
+        self.registry = RegistryClient(host, registry_addr, connector=connector)
+        self.factory: Optional[BrokeredConnectionFactory] = None
+        self.tls_config = tls_config
+        self.receive_ports: dict[str, ReceivePort] = {}
+        self.send_ports: dict[str, SendPort] = {}
+        self.started = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> Generator:
+        """Join the grid: relay, name service, service-request loop."""
+        yield from self.node.start()
+        yield from self.registry.connect()
+        yield from self.registry.register(self.name, self.info)
+        self.factory = BrokeredConnectionFactory(self.node, self.tls_config)
+        self.sim.process(self._service_loop(), name=f"ibis-{self.name}-services")
+        self.started = True
+        return self
+
+    def leave(self) -> Generator:
+        """Leave the pool: unregister and drop connections."""
+        for port in list(self.send_ports.values()):
+            port.close()
+        for port in list(self.receive_ports.values()):
+            port.close()
+        yield from self.registry.leave(self.name)
+        self.registry.close()
+        self.node.stop()
+        self.started = False
+
+    # -- ports ---------------------------------------------------------------
+    def create_receive_port(self, port_name: str) -> Generator:
+        """Create and globally register a named receive port."""
+        if port_name in self.receive_ports:
+            raise IbisError(f"receive port {port_name!r} already exists")
+        port = ReceivePort(self, port_name)
+        yield from self.registry.register_port(port_name, self.name)
+        self.receive_ports[port_name] = port
+        return port
+
+    def create_send_port(self, port_name: str) -> SendPort:
+        """Create a send port (local object; connects on demand)."""
+        if port_name in self.send_ports:
+            raise IbisError(f"send port {port_name!r} already exists")
+        port = SendPort(self, port_name)
+        self.send_ports[port_name] = port
+        return port
+
+    def elect(self, election: str) -> Generator:
+        """Run an election; returns the winner's node name."""
+        winner = yield from self.registry.elect(election, self.name)
+        return winner
+
+    # -- connection machinery ---------------------------------------------------
+    def _connect_port(
+        self, send_port: SendPort, port_name: str, spec: Optional[str]
+    ) -> Generator:
+        if not self.started:
+            raise IbisError("Ibis instance not started")
+        owner, owner_info = yield from self.registry.lookup_port(port_name)
+        service = yield from self.node.open_service_link(owner)
+        request = (
+            ByteWriter()
+            .u8(REQ_PORT_CONNECT)
+            .lp_str(port_name)
+            .lp_str(self.name)
+            .getvalue()
+        )
+        yield from send_frame(service, request)
+        reply = yield from recv_frame(service)
+        r = ByteReader(reply)
+        if r.u8() != RESP_OK:
+            raise IbisError(f"connect to {port_name!r} rejected: {r.lp_str()}")
+        channel = yield from self.factory.connect(
+            service, owner_info, spec=spec or self.default_spec
+        )
+        return channel
+
+    def _service_loop(self) -> Generator:
+        while True:
+            peer, service = yield from self.node.accept_service_link()
+            self.sim.process(
+                self._serve_one(peer, service), name=f"ibis-{self.name}-serve"
+            )
+
+    def _serve_one(self, peer: str, service) -> Generator:
+        try:
+            request = yield from recv_frame(service)
+        except (EOFError, Exception):
+            return
+        r = ByteReader(request)
+        if r.u8() != REQ_PORT_CONNECT:
+            yield from send_frame(
+                service, ByteWriter().u8(RESP_ERR).lp_str("bad request").getvalue()
+            )
+            return
+        port_name = r.lp_str()
+        sender = r.lp_str()
+        port = self.receive_ports.get(port_name)
+        if port is None or port.closed:
+            yield from send_frame(
+                service,
+                ByteWriter().u8(RESP_ERR).lp_str(f"no port {port_name!r}").getvalue(),
+            )
+            return
+        yield from send_frame(service, ByteWriter().u8(RESP_OK).getvalue())
+        channel = yield from self.factory.accept(service)
+        port._attach(channel, origin=sender)

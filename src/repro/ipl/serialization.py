@@ -1,0 +1,234 @@
+"""Typed message serialization (paper §5, Figure 5 "Serialization &
+Communication").
+
+The IPL carries *typed* messages: primitive values, strings, byte arrays,
+numeric arrays and (as an escape hatch) pickled Python objects, each
+tag-prefixed so a reader that drifts out of sync fails loudly instead of
+silently misinterpreting bytes.
+
+Numeric arrays use :mod:`array` machine encoding — the buffer-oriented
+fast path (like Ibis' array serialization, or mpi4py's buffer protocol) —
+rather than per-element boxing.
+"""
+
+from __future__ import annotations
+
+import array
+import pickle
+import struct
+import sys
+
+from ..util.framing import FrameError
+
+__all__ = ["MessageWriter", "MessageReader", "SerializationError"]
+
+T_BOOL = 1
+T_INT = 2
+T_LONG = 3
+T_DOUBLE = 4
+T_STRING = 5
+T_BYTES = 6
+T_ARRAY = 7
+T_OBJECT = 8
+T_NDARRAY = 9
+
+_TYPE_NAMES = {
+    T_BOOL: "bool",
+    T_INT: "int32",
+    T_LONG: "int64",
+    T_DOUBLE: "float64",
+    T_STRING: "string",
+    T_BYTES: "bytes",
+    T_ARRAY: "array",
+    T_OBJECT: "object",
+    T_NDARRAY: "ndarray",
+}
+
+
+class SerializationError(Exception):
+    """Type mismatch or malformed message data."""
+
+
+class MessageWriter:
+    """Serializes typed items into a message payload."""
+
+    def __init__(self):
+        self._parts: list[bytes] = []
+
+    def _tag(self, tag: int) -> None:
+        self._parts.append(bytes([tag]))
+
+    def write_bool(self, value: bool) -> "MessageWriter":
+        self._tag(T_BOOL)
+        self._parts.append(b"\x01" if value else b"\x00")
+        return self
+
+    def write_int(self, value: int) -> "MessageWriter":
+        self._tag(T_INT)
+        self._parts.append(struct.pack("!i", value))
+        return self
+
+    def write_long(self, value: int) -> "MessageWriter":
+        self._tag(T_LONG)
+        self._parts.append(struct.pack("!q", value))
+        return self
+
+    def write_double(self, value: float) -> "MessageWriter":
+        self._tag(T_DOUBLE)
+        self._parts.append(struct.pack("!d", value))
+        return self
+
+    def write_string(self, value: str) -> "MessageWriter":
+        data = value.encode("utf-8")
+        self._tag(T_STRING)
+        self._parts.append(struct.pack("!I", len(data)))
+        self._parts.append(data)
+        return self
+
+    def write_bytes(self, value: bytes) -> "MessageWriter":
+        self._tag(T_BYTES)
+        self._parts.append(struct.pack("!I", len(value)))
+        self._parts.append(bytes(value))
+        return self
+
+    def write_array(self, value: "array.array") -> "MessageWriter":
+        """Machine-typed numeric array (the fast bulk path)."""
+        if not isinstance(value, array.array):
+            raise SerializationError(f"write_array needs array.array, got {type(value)}")
+        data = value.tobytes()
+        typecode = value.typecode.encode("ascii")
+        self._tag(T_ARRAY)
+        self._parts.append(typecode)
+        self._parts.append(b"<" if sys.byteorder == "little" else b">")
+        self._parts.append(struct.pack("!I", len(data)))
+        self._parts.append(data)
+        return self
+
+    def write_ndarray(self, value) -> "MessageWriter":
+        """NumPy array, zero-boxing buffer path (dtype + shape + raw data).
+
+        The counterpart of mpi4py's upper-case buffer methods: the array's
+        memory is shipped directly, not pickled element by element.
+        """
+        import numpy
+
+        arr = numpy.asarray(value)
+        if not arr.flags["C_CONTIGUOUS"]:
+            # Note: ascontiguousarray would also promote 0-d to 1-d, so it
+            # only runs when a copy is actually required.
+            arr = numpy.ascontiguousarray(arr)
+        dtype = arr.dtype.str.encode("ascii")  # includes byte order
+        self._tag(T_NDARRAY)
+        self._parts.append(struct.pack("!B", len(dtype)))
+        self._parts.append(dtype)
+        self._parts.append(struct.pack("!B", arr.ndim))
+        for dim in arr.shape:
+            self._parts.append(struct.pack("!Q", dim))
+        data = arr.tobytes()
+        self._parts.append(struct.pack("!I", len(data)))
+        self._parts.append(data)
+        return self
+
+    def write_object(self, value) -> "MessageWriter":
+        """Arbitrary picklable object (slow path, like Java serialization)."""
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._tag(T_OBJECT)
+        self._parts.append(struct.pack("!I", len(data)))
+        self._parts.append(data)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    @property
+    def size(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+
+class MessageReader:
+    """Deserializes typed items, enforcing type agreement."""
+
+    def __init__(self, payload: bytes):
+        self._data = payload
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise SerializationError("message truncated")
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def _expect(self, tag: int) -> None:
+        got = self._take(1)[0]
+        if got != tag:
+            raise SerializationError(
+                f"type mismatch: expected {_TYPE_NAMES.get(tag, tag)}, "
+                f"found {_TYPE_NAMES.get(got, got)}"
+            )
+
+    def read_bool(self) -> bool:
+        self._expect(T_BOOL)
+        return self._take(1) == b"\x01"
+
+    def read_int(self) -> int:
+        self._expect(T_INT)
+        return struct.unpack("!i", self._take(4))[0]
+
+    def read_long(self) -> int:
+        self._expect(T_LONG)
+        return struct.unpack("!q", self._take(8))[0]
+
+    def read_double(self) -> float:
+        self._expect(T_DOUBLE)
+        return struct.unpack("!d", self._take(8))[0]
+
+    def read_string(self) -> str:
+        self._expect(T_STRING)
+        length = struct.unpack("!I", self._take(4))[0]
+        return self._take(length).decode("utf-8")
+
+    def read_bytes(self) -> bytes:
+        self._expect(T_BYTES)
+        length = struct.unpack("!I", self._take(4))[0]
+        return self._take(length)
+
+    def read_array(self) -> "array.array":
+        self._expect(T_ARRAY)
+        typecode = self._take(1).decode("ascii")
+        byteorder = self._take(1)
+        length = struct.unpack("!I", self._take(4))[0]
+        out = array.array(typecode)
+        out.frombytes(self._take(length))
+        native = b"<" if sys.byteorder == "little" else b">"
+        if byteorder != native:
+            out.byteswap()
+        return out
+
+    def read_ndarray(self):
+        """NumPy array written with :meth:`MessageWriter.write_ndarray`."""
+        import numpy
+
+        self._expect(T_NDARRAY)
+        dtype_len = struct.unpack("!B", self._take(1))[0]
+        dtype = numpy.dtype(self._take(dtype_len).decode("ascii"))
+        ndim = struct.unpack("!B", self._take(1))[0]
+        shape = tuple(
+            struct.unpack("!Q", self._take(8))[0] for _ in range(ndim)
+        )
+        length = struct.unpack("!I", self._take(4))[0]
+        return numpy.frombuffer(self._take(length), dtype=dtype).reshape(shape).copy()
+
+    def read_object(self):
+        self._expect(T_OBJECT)
+        length = struct.unpack("!I", self._take(4))[0]
+        return pickle.loads(self._take(length))
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def finish(self) -> None:
+        """Assert the message was fully consumed."""
+        if self.remaining:
+            raise SerializationError(f"{self.remaining} unread bytes in message")

@@ -1,0 +1,48 @@
+"""Live (asyncio, real-socket) backend.
+
+The same protocol suite as the simulator — block framing, striping,
+compression flags, relay protocol, TLS records — bound to real TCP
+connections, demonstrating that the architecture is not simulation-bound.
+"""
+
+from .drivers import (
+    AsyncBlockChannel,
+    AsyncCompressionDriver,
+    AsyncDriver,
+    AsyncParallelStreamsDriver,
+    AsyncTcpBlockDriver,
+    AsyncTlsDriver,
+)
+from .registry import LiveRegistryClient, LiveRegistryServer
+from .relay import LiveRelayClient, LiveRelayServer, LiveRoutedLink
+from .runtime import LiveIbis, LiveIbisError, LiveReceivePort, LiveSendPort
+from .transport import (
+    LiveListener,
+    LiveSocket,
+    live_connect,
+    live_connect_simultaneous,
+    live_listen,
+)
+
+__all__ = [
+    "LiveSocket",
+    "LiveListener",
+    "live_connect",
+    "live_listen",
+    "live_connect_simultaneous",
+    "AsyncDriver",
+    "AsyncTcpBlockDriver",
+    "AsyncParallelStreamsDriver",
+    "AsyncCompressionDriver",
+    "AsyncTlsDriver",
+    "AsyncBlockChannel",
+    "LiveRelayServer",
+    "LiveRelayClient",
+    "LiveRoutedLink",
+    "LiveRegistryServer",
+    "LiveRegistryClient",
+    "LiveIbis",
+    "LiveIbisError",
+    "LiveSendPort",
+    "LiveReceivePort",
+]

@@ -1,0 +1,272 @@
+"""Async driver stack: the same drivers over real sockets.
+
+Wire-compatible with the simulated drivers — identical block framing,
+striping layout (header on stream ``n % N``, deterministic round-robin
+fragments), compression flag bytes and TLS record format — so the two
+backends are two IO bindings of one protocol suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import zlib
+from typing import Iterable, Optional, Sequence
+
+from ..core.utilization.compression import FLAG_DEFLATE, FLAG_RAW
+from ..core.utilization.parallel import DEFAULT_FRAGMENT
+from ..security.certs import Certificate
+from ..security.handshake import ClientHandshake, Identity, ServerHandshake
+from ..security.record import RecordError
+from .transport import LiveSocket
+
+__all__ = [
+    "AsyncDriver",
+    "AsyncTcpBlockDriver",
+    "AsyncParallelStreamsDriver",
+    "AsyncCompressionDriver",
+    "AsyncTlsDriver",
+    "AsyncBlockChannel",
+]
+
+
+class AsyncDriver:
+    """Block-oriented async driver interface."""
+
+    async def send_block(self, block: bytes) -> None:
+        raise NotImplementedError
+
+    async def recv_block(self) -> bytes:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class AsyncTcpBlockDriver(AsyncDriver):
+    """Length-prefixed blocks over one live socket."""
+
+    def __init__(self, sock: LiveSocket):
+        self.sock = sock
+
+    async def send_block(self, block: bytes) -> None:
+        await self.sock.send_all(struct.pack("!I", len(block)) + block)
+
+    async def recv_block(self) -> bytes:
+        header = await self.sock.recv_exactly(4)
+        length = struct.unpack("!I", header)[0]
+        return await self.sock.recv_exactly(length)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class AsyncParallelStreamsDriver(AsyncDriver):
+    """Striping over N live sockets (same layout as the sim driver).
+
+    Sender-side concurrency comes from per-stream writer tasks behind
+    queues, receiver-side from eager reader tasks — mirroring the
+    simulated implementation.
+    """
+
+    def __init__(self, socks: Sequence[LiveSocket], fragment: int = DEFAULT_FRAGMENT):
+        if not socks:
+            raise ValueError("parallel driver needs at least one socket")
+        self.socks = list(socks)
+        self.fragment = fragment
+        self._send_seq = 0
+        self._recv_seq = 0
+        self._queues = [asyncio.Queue(maxsize=8) for _ in self.socks]
+        self._writers = [
+            asyncio.ensure_future(self._writer(q, s))
+            for q, s in zip(self._queues, self.socks)
+        ]
+
+    @property
+    def nstreams(self) -> int:
+        return len(self.socks)
+
+    async def _writer(self, queue: asyncio.Queue, sock: LiveSocket) -> None:
+        while True:
+            item = await queue.get()
+            if item is None:
+                sock.close()
+                return
+            await sock.send_all(item)
+
+    async def send_block(self, block: bytes) -> None:
+        n = self.nstreams
+        start = self._send_seq % n
+        self._send_seq += 1
+        await self._queues[start].put(struct.pack("!I", len(block)))
+        for i, offset in enumerate(range(0, len(block), self.fragment)):
+            await self._queues[(start + i) % n].put(
+                block[offset : offset + self.fragment]
+            )
+
+    async def recv_block(self) -> bytes:
+        n = self.nstreams
+        start = self._recv_seq % n
+        self._recv_seq += 1
+        header = await self.socks[start].recv_exactly(4)
+        length = struct.unpack("!I", header)[0]
+        parts = []
+        remaining = length
+        i = 0
+        while remaining > 0:
+            take = min(self.fragment, remaining)
+            parts.append(await self.socks[(start + i) % n].recv_exactly(take))
+            remaining -= take
+            i += 1
+        return b"".join(parts)
+
+    def close(self) -> None:
+        for queue in self._queues:
+            queue.put_nowait(None)
+
+
+class AsyncCompressionDriver(AsyncDriver):
+    """Per-block zlib filter (same flag bytes as the sim driver)."""
+
+    def __init__(self, child: AsyncDriver, level: int = 1):
+        self.child = child
+        self.level = level
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    async def send_block(self, block: bytes) -> None:
+        deflated = zlib.compress(block, self.level)
+        if len(deflated) < len(block):
+            payload = bytes([FLAG_DEFLATE]) + deflated
+        else:
+            payload = bytes([FLAG_RAW]) + block
+        self.bytes_in += len(block)
+        self.bytes_out += len(payload)
+        await self.child.send_block(payload)
+
+    async def recv_block(self) -> bytes:
+        payload = await self.child.recv_block()
+        flag, body = payload[0], payload[1:]
+        if flag == FLAG_DEFLATE:
+            return zlib.decompress(body)
+        return body
+
+    def close(self) -> None:
+        self.child.close()
+
+
+class AsyncTlsDriver(AsyncDriver):
+    """The sans-IO handshake + record layer over an async sub-driver."""
+
+    def __init__(self, child: AsyncDriver):
+        self.child = child
+        self.session = None
+
+    async def handshake_client(
+        self,
+        trust_anchors: Iterable[Certificate],
+        identity: Optional[Identity] = None,
+        expected_server: Optional[str] = None,
+    ) -> None:
+        hs = ClientHandshake(
+            trust_anchors=trust_anchors,
+            identity=identity,
+            expected_server=expected_server,
+        )
+        await self.child.send_block(hs.hello())
+        server_hello = await self.child.recv_block()
+        finished, self.session = hs.finish(server_hello)
+        await self.child.send_block(finished)
+
+    async def handshake_server(
+        self,
+        identity: Identity,
+        trust_anchors: Optional[Iterable[Certificate]] = None,
+        require_client_auth: bool = False,
+    ) -> None:
+        hs = ServerHandshake(
+            identity=identity,
+            trust_anchors=trust_anchors,
+            require_client_auth=require_client_auth,
+        )
+        client_hello = await self.child.recv_block()
+        await self.child.send_block(hs.respond(client_hello))
+        self.session = hs.finish(await self.child.recv_block())
+
+    @property
+    def peer_subject(self) -> Optional[str]:
+        return self.session.peer_subject if self.session else None
+
+    async def send_block(self, block: bytes) -> None:
+        if self.session is None:
+            raise RuntimeError("TLS handshake not completed")
+        await self.child.send_block(self.session.seal(block))
+
+    async def recv_block(self) -> bytes:
+        if self.session is None:
+            raise RuntimeError("TLS handshake not completed")
+        record = await self.child.recv_block()
+        try:
+            return self.session.open(record)
+        except RecordError as exc:
+            raise RuntimeError(f"record authentication failed: {exc}") from exc
+
+    def close(self) -> None:
+        self.child.close()
+
+
+class AsyncBlockChannel:
+    """Buffered channel + framed messages over an async driver stack."""
+
+    def __init__(self, driver: AsyncDriver, block_size: int = 65536):
+        self.driver = driver
+        self.block_size = block_size
+        self._out = bytearray()
+        self._in = bytearray()
+        self._eof = False
+
+    async def write(self, data: bytes) -> None:
+        self._out.extend(data)
+        while len(self._out) >= self.block_size:
+            block = bytes(self._out[: self.block_size])
+            del self._out[: self.block_size]
+            await self.driver.send_block(block)
+
+    async def flush(self) -> None:
+        if self._out:
+            block = bytes(self._out)
+            self._out.clear()
+            await self.driver.send_block(block)
+
+    async def read(self, maxbytes: int) -> bytes:
+        while not self._in and not self._eof:
+            try:
+                self._in.extend(await self.driver.recv_block())
+            except EOFError:
+                self._eof = True
+        take = bytes(self._in[:maxbytes])
+        del self._in[: len(take)]
+        return take
+
+    async def read_exactly(self, n: int) -> bytes:
+        parts = []
+        remaining = n
+        while remaining > 0:
+            data = await self.read(remaining)
+            if not data:
+                raise EOFError(f"channel ended with {remaining}/{n} bytes missing")
+            parts.append(data)
+            remaining -= len(data)
+        return b"".join(parts)
+
+    async def send_message(self, payload: bytes) -> None:
+        await self.write(struct.pack("!I", len(payload)))
+        await self.write(payload)
+        await self.flush()
+
+    async def recv_message(self) -> bytes:
+        header = await self.read_exactly(4)
+        return await self.read_exactly(struct.unpack("!I", header)[0])
+
+    def close(self) -> None:
+        self.driver.close()

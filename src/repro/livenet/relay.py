@@ -1,0 +1,265 @@
+"""Live relay: the routed-messages relay over real sockets.
+
+Same wire protocol as :mod:`repro.core.relay` (REGISTER/OPEN/MSG/CLOSE
+frames), bound to asyncio.  A public machine runs :class:`LiveRelayServer`;
+nodes keep a :class:`LiveRelayClient` connection and multiplex
+:class:`LiveRoutedLink` streams over it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Optional, Tuple
+
+from ..core.relay import (
+    MAX_MSG,
+    T_CLOSE,
+    T_ERROR,
+    T_MSG,
+    T_OPEN,
+    T_REGISTER,
+    T_REGISTER_OK,
+    RelayError,
+    _routed_body,
+)
+from ..util.framing import ByteReader, ByteWriter, FrameError
+from .transport import LiveSocket, live_connect, live_listen
+
+__all__ = ["LiveRelayServer", "LiveRelayClient", "LiveRoutedLink"]
+
+Addr = Tuple[str, int]
+
+
+async def _write_frame(sock: LiveSocket, body: bytes) -> None:
+    await sock.send_all(ByteWriter().u32(len(body)).raw(body).getvalue())
+
+
+async def _read_frame(sock: LiveSocket) -> bytes:
+    header = await sock.recv_exactly(4)
+    length = int.from_bytes(header, "big")
+    if length > MAX_MSG + 1024:
+        raise RelayError(f"oversized frame ({length} bytes)")
+    return await sock.recv_exactly(length)
+
+
+class LiveRelayServer:
+    """asyncio relay server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self.sessions: dict[str, LiveSocket] = {}
+        self.forwarded_messages = 0
+        self._listener = None
+        self._task: Optional[asyncio.Task] = None
+
+    @property
+    def addr(self) -> Addr:
+        return self._listener.addr
+
+    async def start(self) -> "LiveRelayServer":
+        self._listener = await live_listen(self.host, self.port)
+        self._task = asyncio.ensure_future(self._accept_loop())
+        return self
+
+    async def _accept_loop(self) -> None:
+        while True:
+            sock = await self._listener.accept()
+            asyncio.ensure_future(self._session(sock))
+
+    async def _session(self, sock: LiveSocket) -> None:
+        node_id: Optional[str] = None
+        try:
+            body = await _read_frame(sock)
+            reader = ByteReader(body)
+            if reader.u8() != T_REGISTER:
+                raise RelayError("expected REGISTER")
+            node_id = reader.lp_str()
+            if node_id in self.sessions:
+                await _write_frame(
+                    sock, ByteWriter().u8(T_ERROR).lp_str("duplicate id").getvalue()
+                )
+                sock.close()
+                return
+            self.sessions[node_id] = sock
+            await _write_frame(sock, ByteWriter().u8(T_REGISTER_OK).getvalue())
+            while True:
+                body = await _read_frame(sock)
+                await self._forward(node_id, body, sock)
+        except (EOFError, RelayError, FrameError, ConnectionError):
+            pass
+        finally:
+            if node_id is not None and self.sessions.get(node_id) is sock:
+                del self.sessions[node_id]
+            sock.close()
+
+    async def _forward(self, src: str, body: bytes, src_sock: LiveSocket) -> None:
+        reader = ByteReader(body)
+        kind = reader.u8()
+        if kind not in (T_OPEN, T_MSG, T_CLOSE):
+            raise RelayError(f"unexpected frame type {kind}")
+        reader.u8()  # channel-ownership flag: forwarded untouched
+        claimed = reader.lp_str()
+        dst = reader.lp_str()
+        channel = reader.u64()
+        if claimed != src:
+            raise RelayError("source spoofing")
+        dest = self.sessions.get(dst)
+        if dest is None:
+            await _write_frame(
+                src_sock,
+                _routed_body(
+                    T_ERROR, dst, src, channel, b"unknown destination",
+                    sender_owns_channel=False,
+                ),
+            )
+            return
+        self.forwarded_messages += 1
+        await _write_frame(dest, body)
+
+    def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+        if self._listener is not None:
+            self._listener.close()
+
+
+class LiveRoutedLink:
+    """A virtual stream over the live relay."""
+
+    def __init__(
+        self, client: "LiveRelayClient", peer: str, channel: int, owned: bool = True
+    ):
+        self.client = client
+        self.peer = peer
+        self.channel = channel
+        self.owned = owned
+        self._buffer = bytearray()
+        self._event = asyncio.Event()
+        self._eof = False
+        self.open_payload = b""
+
+    def _deliver(self, payload: bytes) -> None:
+        self._buffer.extend(payload)
+        self._event.set()
+
+    def _deliver_eof(self) -> None:
+        self._eof = True
+        self._event.set()
+
+    async def send_all(self, data: bytes) -> None:
+        for offset in range(0, len(data), MAX_MSG):
+            chunk = bytes(data[offset : offset + MAX_MSG])
+            await self.client._send_routed(
+                T_MSG, self.peer, self.channel, chunk, owned=self.owned
+            )
+
+    async def recv(self, maxbytes: int) -> bytes:
+        while not self._buffer and not self._eof:
+            self._event.clear()
+            await self._event.wait()
+        take = bytes(self._buffer[:maxbytes])
+        del self._buffer[: len(take)]
+        return take
+
+    async def recv_exactly(self, n: int) -> bytes:
+        parts, remaining = [], n
+        while remaining > 0:
+            data = await self.recv(remaining)
+            if not data:
+                raise EOFError(f"routed link ended with {remaining}/{n} missing")
+            parts.append(data)
+            remaining -= len(data)
+        return b"".join(parts)
+
+    def close(self) -> None:
+        asyncio.ensure_future(
+            self.client._send_routed(
+                T_CLOSE, self.peer, self.channel, b"", owned=self.owned
+            )
+        )
+
+
+class LiveRelayClient:
+    """A node's live connection to the relay."""
+
+    def __init__(self, node_id: str, relay_addr: Addr):
+        self.node_id = node_id
+        self.relay_addr = relay_addr
+        self._sock: Optional[LiveSocket] = None
+        # key: (peer, channel, owned_by_me)
+        self._links: dict[tuple[str, int, bool], LiveRoutedLink] = {}
+        self._accepts: asyncio.Queue = asyncio.Queue()
+        self._channel_ids = itertools.count(1)
+        self._reader_task: Optional[asyncio.Task] = None
+
+    async def connect(self) -> "LiveRelayClient":
+        self._sock = await live_connect(self.relay_addr)
+        await _write_frame(
+            self._sock, ByteWriter().u8(T_REGISTER).lp_str(self.node_id).getvalue()
+        )
+        body = await _read_frame(self._sock)
+        if ByteReader(body).u8() != T_REGISTER_OK:
+            raise RelayError(f"registration rejected: {body!r}")
+        self._reader_task = asyncio.ensure_future(self._reader())
+        return self
+
+    async def _send_routed(
+        self, kind: int, peer: str, channel: int, payload: bytes, owned: bool = True
+    ) -> None:
+        await _write_frame(
+            self._sock,
+            _routed_body(
+                kind, self.node_id, peer, channel, payload, sender_owns_channel=owned
+            ),
+        )
+
+    async def open_link(self, peer: str, payload: bytes = b"") -> LiveRoutedLink:
+        channel = next(self._channel_ids)
+        link = LiveRoutedLink(self, peer, channel, owned=True)
+        link.open_payload = payload
+        self._links[(peer, channel, True)] = link
+        await self._send_routed(T_OPEN, peer, channel, payload, owned=True)
+        return link
+
+    async def accept_link(self) -> LiveRoutedLink:
+        return await self._accepts.get()
+
+    async def _reader(self) -> None:
+        try:
+            while True:
+                body = await _read_frame(self._sock)
+                self._dispatch(body)
+        except (EOFError, RelayError, FrameError, ConnectionError, asyncio.CancelledError):
+            for link in self._links.values():
+                link._deliver_eof()
+
+    def _dispatch(self, body: bytes) -> None:
+        reader = ByteReader(body)
+        kind = reader.u8()
+        sender_owns = bool(reader.u8())
+        src = reader.lp_str()
+        _dst = reader.lp_str()
+        channel = reader.u64()
+        payload = reader.lp_bytes()
+        owned_by_me = not sender_owns
+        key = (src, channel, owned_by_me)
+        link = self._links.get(key)
+        if kind in (T_OPEN, T_MSG) and link is None and not owned_by_me:
+            link = LiveRoutedLink(self, src, channel, owned=False)
+            link.open_payload = payload if kind == T_OPEN else b""
+            self._links[key] = link
+            self._accepts.put_nowait(link)
+        if link is None:
+            return
+        if kind == T_MSG:
+            link._deliver(payload)
+        elif kind in (T_CLOSE, T_ERROR):
+            link._deliver_eof()
+
+    def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        if self._sock is not None:
+            self._sock.close()

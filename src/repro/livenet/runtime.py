@@ -1,0 +1,317 @@
+"""LiveIbis: the Ibis runtime over real sockets.
+
+The paper's §8 plans "a second implementation" (PadicoTM) to validate the
+architecture; this is ours.  The same layering as :mod:`repro.ipl.runtime`
+— name service, relay registration, port-connect requests, negotiated
+driver stacks, typed messages — bound to asyncio instead of the simulator.
+
+Establishment on a real network from user space cannot manufacture
+middlebox traversal, so the live decision list is: direct TCP to the
+peer's advertised service listener, falling back to relay-routed messages
+— exactly the bootstrap-capable subset of Figure 4.  The full method
+matrix lives in the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional, Tuple
+
+from ..core.addressing import EndpointInfo
+from ..ipl.serialization import MessageReader, MessageWriter
+from ..util.framing import ByteReader, ByteWriter
+from .drivers import (
+    AsyncBlockChannel,
+    AsyncCompressionDriver,
+    AsyncParallelStreamsDriver,
+    AsyncTcpBlockDriver,
+    AsyncTlsDriver,
+)
+from .registry import LiveRegistryClient
+from .relay import LiveRelayClient
+from .transport import LiveListener, LiveSocket, live_connect, live_listen
+
+__all__ = ["LiveIbis", "LiveIbisError", "LiveSendPort", "LiveReceivePort"]
+
+REQ_PORT_CONNECT = 1
+RESP_OK = 0
+RESP_ERR = 1
+
+Addr = Tuple[str, int]
+
+
+class LiveIbisError(Exception):
+    """Live runtime failure."""
+
+
+async def _write_frame(stream, body: bytes) -> None:
+    await stream.send_all(ByteWriter().u32(len(body)).raw(body).getvalue())
+
+
+async def _read_frame(stream) -> bytes:
+    header = await stream.recv_exactly(4)
+    return await stream.recv_exactly(int.from_bytes(header, "big"))
+
+
+def _build_stack(spec: str, socks: list, tls_config=None):
+    """Assemble async drivers from a stack spec (subset of the sim specs)."""
+    from ..core.utilization.stack import parse_stack
+
+    layers = parse_stack(spec)
+    name, params = layers[-1]
+    if name == "tcp_block":
+        driver = AsyncTcpBlockDriver(socks[0])
+    else:
+        driver = AsyncParallelStreamsDriver(
+            socks, fragment=int(params.get("fragment", 16384))
+        )
+    for name, params in reversed(layers[:-1]):
+        if name in ("compress", "adaptive"):
+            driver = AsyncCompressionDriver(driver, level=int(params.get("level", 1)))
+        elif name == "tls":
+            driver = AsyncTlsDriver(driver)
+        else:
+            raise LiveIbisError(f"layer {name!r} unsupported on the live backend")
+    return driver
+
+
+class LiveWriteMessage(MessageWriter):
+    """A message under construction on a live send port."""
+
+    def __init__(self, port: "LiveSendPort"):
+        super().__init__()
+        self._port = port
+
+    async def finish(self) -> int:
+        payload = self.getvalue()
+        for channel in self._port.channels.values():
+            await channel.send_message(payload)
+        self._port.messages_sent += 1
+        return len(payload)
+
+
+class LiveSendPort:
+    """Sending endpoint: connect to named receive ports, send messages."""
+
+    def __init__(self, runtime: "LiveIbis", name: str):
+        self.runtime = runtime
+        self.name = name
+        self.channels: dict[str, AsyncBlockChannel] = {}
+        self.messages_sent = 0
+
+    async def connect(self, port_name: str, spec: Optional[str] = None) -> None:
+        if port_name in self.channels:
+            raise LiveIbisError(f"already connected to {port_name!r}")
+        channel = await self.runtime._connect_port(port_name, spec)
+        self.channels[port_name] = channel
+
+    def new_message(self) -> LiveWriteMessage:
+        if not self.channels:
+            raise LiveIbisError(f"send port {self.name!r} is not connected")
+        return LiveWriteMessage(self)
+
+    def close(self) -> None:
+        for channel in self.channels.values():
+            channel.close()
+        self.channels.clear()
+
+
+class LiveReceivePort:
+    """Receiving endpoint: fans incoming channels into one message queue."""
+
+    def __init__(self, runtime: "LiveIbis", name: str):
+        self.runtime = runtime
+        self.name = name
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._pumps: list[asyncio.Task] = []
+
+    def _attach(self, channel: AsyncBlockChannel, origin: str) -> None:
+        self._pumps.append(asyncio.ensure_future(self._pump(channel, origin)))
+
+    async def _pump(self, channel: AsyncBlockChannel, origin: str) -> None:
+        try:
+            while True:
+                payload = await channel.recv_message()
+                message = MessageReader(payload)
+                message.origin = origin
+                await self._queue.put(message)
+        except (EOFError, ConnectionError, asyncio.CancelledError):
+            return
+
+    async def receive(self) -> MessageReader:
+        return await self._queue.get()
+
+    def close(self) -> None:
+        for task in self._pumps:
+            task.cancel()
+
+
+class LiveIbis:
+    """One live Ibis instance."""
+
+    def __init__(
+        self,
+        name: str,
+        registry_addr: Addr,
+        relay_addr: Addr,
+        default_spec: str = "tcp_block",
+        listen_host: str = "127.0.0.1",
+    ):
+        self.name = name
+        self.default_spec = default_spec
+        self.registry = LiveRegistryClient(registry_addr)
+        self.relay = LiveRelayClient(name, relay_addr)
+        self.listen_host = listen_host
+        self.listener: Optional[LiveListener] = None
+        self.receive_ports: dict[str, LiveReceivePort] = {}
+        self._tasks: list[asyncio.Task] = []
+        self.info: Optional[EndpointInfo] = None
+
+    async def start(self) -> "LiveIbis":
+        self.listener = await live_listen(self.listen_host, 0)
+        await self.registry.connect()
+        # The node's service address travels inside EndpointInfo:
+        # local_ip holds the listener host, open_ports[0] the service port.
+        self.info = EndpointInfo(
+            node_id=self.name,
+            local_ip=self.listener.addr[0],
+            open_ports=(self.listener.port,),
+        )
+        await self.registry.register(self.name, self.info)
+        await self.relay.connect()
+        self._tasks.append(asyncio.ensure_future(self._direct_service_loop()))
+        self._tasks.append(asyncio.ensure_future(self._routed_service_loop()))
+        return self
+
+    async def leave(self) -> None:
+        for port in self.receive_ports.values():
+            port.close()
+        for task in self._tasks:
+            task.cancel()
+        await self.registry.leave(self.name)
+        self.registry.close()
+        self.relay.close()
+        if self.listener is not None:
+            self.listener.close()
+
+    # -- ports ---------------------------------------------------------------
+    async def create_receive_port(self, port_name: str) -> LiveReceivePort:
+        if port_name in self.receive_ports:
+            raise LiveIbisError(f"receive port {port_name!r} exists")
+        port = LiveReceivePort(self, port_name)
+        await self.registry.register_port(port_name, self.name)
+        self.receive_ports[port_name] = port
+        return port
+
+    def create_send_port(self, port_name: str) -> LiveSendPort:
+        return LiveSendPort(self, port_name)
+
+    async def elect(self, election: str) -> str:
+        return await self.registry.elect(election, self.name)
+
+    # -- connecting --------------------------------------------------------------
+    async def _connect_port(self, port_name: str, spec: Optional[str]):
+        spec = spec or self.default_spec
+        owner, owner_info = await self.registry.lookup_port(port_name)
+        service = await self._open_service(owner, owner_info)
+        request = (
+            ByteWriter()
+            .u8(REQ_PORT_CONNECT)
+            .lp_str(port_name)
+            .lp_str(self.name)
+            .getvalue()
+        )
+        await _write_frame(service, request)
+        reply = ByteReader(await _read_frame(service))
+        if reply.u8() != RESP_OK:
+            raise LiveIbisError(f"connect rejected: {reply.lp_str()}")
+        # Stack agreement + data connections (direct TCP or routed).
+        await _write_frame(
+            service, ByteWriter().lp_str(spec).u32(65536).getvalue()
+        )
+        from ..core.utilization.stack import links_required
+
+        n = links_required(spec)
+        socks = []
+        for _ in range(n):
+            sock = await self._open_data(owner, owner_info, service)
+            socks.append(sock)
+        driver = _build_stack(spec, socks)
+        return AsyncBlockChannel(driver)
+
+    async def _open_service(self, owner: str, info: EndpointInfo):
+        # Figure 4, bootstrap branch: direct client/server when the peer
+        # advertises a reachable listener, else routed via the relay.
+        try:
+            return await live_connect((info.local_ip, info.open_ports[0]))
+        except (ConnectionError, OSError, IndexError):
+            return await self.relay.open_link(owner, payload=b"service")
+
+    async def _open_data(self, owner: str, info: EndpointInfo, service):
+        await _write_frame(service, b"\x01")  # data-connection request
+        reply = ByteReader(await _read_frame(service))
+        kind = reply.u8()
+        if kind != 0:
+            raise LiveIbisError("responder offered no data listener")
+        host = reply.lp_str()
+        port = reply.u16()
+        return await live_connect((host, port))
+
+    # -- serving --------------------------------------------------------------------
+    async def _direct_service_loop(self) -> None:
+        while True:
+            sock = await self.listener.accept()
+            asyncio.ensure_future(self._serve_one(sock))
+
+    async def _routed_service_loop(self) -> None:
+        while True:
+            link = await self.relay.accept_link()
+            if link.open_payload == b"service":
+                asyncio.ensure_future(self._serve_one(link))
+            # Other tags would be routed data channels; the live responder
+            # always offers direct listeners, so none are expected.
+
+    async def _serve_one(self, service) -> None:
+        try:
+            request = ByteReader(await _read_frame(service))
+        except (EOFError, ConnectionError):
+            return
+        if request.u8() != REQ_PORT_CONNECT:
+            await _write_frame(
+                service, ByteWriter().u8(RESP_ERR).lp_str("bad request").getvalue()
+            )
+            return
+        port_name = request.lp_str()
+        sender = request.lp_str()
+        port = self.receive_ports.get(port_name)
+        if port is None:
+            await _write_frame(
+                service,
+                ByteWriter().u8(RESP_ERR).lp_str(f"no port {port_name!r}").getvalue(),
+            )
+            return
+        await _write_frame(service, ByteWriter().u8(RESP_OK).getvalue())
+        agreement = ByteReader(await _read_frame(service))
+        spec = agreement.lp_str()
+        _block_size = agreement.u32()
+        from ..core.utilization.stack import links_required
+
+        n = links_required(spec)
+        socks = []
+        for index in range(n):
+            await _read_frame(service)  # the data-connection request byte
+            listener = await live_listen(self.listen_host, 0)
+            reply = (
+                ByteWriter()
+                .u8(0)
+                .lp_str(listener.addr[0])
+                .u16(listener.port)
+                .getvalue()
+            )
+            await _write_frame(service, reply)
+            sock = await listener.accept()
+            listener.close()
+            socks.append(sock)
+        driver = _build_stack(spec, socks)
+        port._attach(AsyncBlockChannel(driver), origin=sender)

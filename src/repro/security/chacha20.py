@@ -1,0 +1,89 @@
+"""ChaCha20 stream cipher (RFC 7539), from scratch.
+
+Pure-Python implementation used by the TLS-like record layer
+(:mod:`repro.security.record`).  Verified against the RFC 7539 test
+vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["chacha20_block", "chacha20_xor", "ChaCha20"]
+
+_MASK = 0xFFFFFFFF
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+
+def _rotl(v: int, n: int) -> int:
+    return ((v << n) & _MASK) | (v >> (32 - n))
+
+
+def _quarter(state: list, a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """One 64-byte keystream block (RFC 7539 §2.3)."""
+    if len(key) != 32:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    if not 0 <= counter <= _MASK:
+        raise ValueError("counter out of range")
+    init = list(_CONSTANTS)
+    init.extend(struct.unpack("<8I", key))
+    init.append(counter)
+    init.extend(struct.unpack("<3I", nonce))
+
+    state = init.copy()
+    for _ in range(10):
+        _quarter(state, 0, 4, 8, 12)
+        _quarter(state, 1, 5, 9, 13)
+        _quarter(state, 2, 6, 10, 14)
+        _quarter(state, 3, 7, 11, 15)
+        _quarter(state, 0, 5, 10, 15)
+        _quarter(state, 1, 6, 11, 12)
+        _quarter(state, 2, 7, 8, 13)
+        _quarter(state, 3, 4, 9, 14)
+    return struct.pack("<16I", *((s + i) & _MASK for s, i in zip(state, init)))
+
+
+def chacha20_xor(key: bytes, counter: int, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` (XOR with the keystream, RFC 7539 §2.4)."""
+    out = bytearray(len(data))
+    for block_index in range((len(data) + 63) // 64):
+        keystream = chacha20_block(key, counter + block_index, nonce)
+        start = block_index * 64
+        chunk = data[start : start + 64]
+        out[start : start + len(chunk)] = bytes(
+            a ^ b for a, b in zip(chunk, keystream)
+        )
+    return bytes(out)
+
+
+class ChaCha20:
+    """Stateful encryptor: a fresh nonce per message from a 64-bit sequence.
+
+    The 12-byte nonce is ``prefix(4) || seq(8)``; sequence numbers must not
+    repeat under the same key (the record layer guarantees this).
+    """
+
+    def __init__(self, key: bytes, prefix: bytes = b"\x00" * 4):
+        if len(prefix) != 4:
+            raise ValueError("nonce prefix must be 4 bytes")
+        if len(key) != 32:
+            raise ValueError("key must be 32 bytes")
+        self.key = key
+        self.prefix = prefix
+
+    def process(self, seq: int, data: bytes) -> bytes:
+        nonce = self.prefix + struct.pack("!Q", seq)
+        return chacha20_xor(self.key, 1, nonce, data)

@@ -1,0 +1,66 @@
+"""Finite-field Diffie-Hellman over RFC 3526 MODP group 14 (2048-bit).
+
+Used for the ephemeral key agreement in the TLS-like handshake.  The group
+prime is a safe prime (p = 2q + 1 with q prime), so it doubles as the
+Schnorr-signature group in :mod:`repro.security.schnorr`.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+__all__ = ["GROUP14_P", "GROUP14_G", "GROUP14_Q", "DHPrivateKey", "shared_secret"]
+
+# RFC 3526, 2048-bit MODP Group (id 14).
+GROUP14_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+GROUP14_G = 2
+#: order of the prime-order subgroup (p is a safe prime)
+GROUP14_Q = (GROUP14_P - 1) // 2
+
+
+class DHPrivateKey:
+    """An ephemeral DH keypair.
+
+    ``exponent_bits`` trades security margin for speed; 256 random bits is
+    ample for a 2048-bit group (standard short-exponent practice).
+    """
+
+    def __init__(self, exponent: int | None = None, exponent_bits: int = 256):
+        if exponent is None:
+            exponent = secrets.randbits(exponent_bits) | (1 << (exponent_bits - 1))
+        if not 1 < exponent < GROUP14_Q:
+            raise ValueError("exponent out of range")
+        self.x = exponent
+        self.public = pow(GROUP14_G, self.x, GROUP14_P)
+
+    def shared(self, peer_public: int) -> bytes:
+        """The shared secret with a peer's public value, as bytes."""
+        return shared_secret(self.x, peer_public)
+
+
+def _validate_public(value: int) -> None:
+    if not 1 < value < GROUP14_P - 1:
+        raise ValueError("invalid DH public value")
+    # Subgroup check: reject small-subgroup confinement attacks.
+    if pow(value, GROUP14_Q, GROUP14_P) != 1:
+        raise ValueError("DH public value not in the prime-order subgroup")
+
+
+def shared_secret(private_exponent: int, peer_public: int) -> bytes:
+    """g^(xy) mod p, serialized big-endian (constant 256-byte length)."""
+    _validate_public(peer_public)
+    z = pow(peer_public, private_exponent, GROUP14_P)
+    return z.to_bytes(256, "big")

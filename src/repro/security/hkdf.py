@@ -1,0 +1,38 @@
+"""HKDF-SHA256 (RFC 5869), used for the handshake key schedule."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf"]
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract a pseudorandom key from input keying material."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand ``prk`` into ``length`` bytes of output keying material."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            prk, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(salt: bytes, ikm: bytes, info: bytes, length: int) -> bytes:
+    """Extract-then-expand in one call."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,201 @@
+"""Point-to-point link model: delay, bandwidth, queueing, loss.
+
+Each :class:`Link` joins two interfaces and carries traffic independently in
+each direction through a :class:`Transmitter`:
+
+* packets wait in a finite drop-tail queue (bytes-bounded);
+* the head packet occupies the wire for ``size / bandwidth`` seconds
+  (serialization delay);
+* delivery happens one propagation ``delay`` later;
+* Bernoulli loss with probability ``loss`` is applied per packet, after
+  serialization (the packet consumed wire time, then vanished — like real
+  corruption/drop in flight).
+
+Determinism: each transmitter draws from its own ``random.Random`` seeded
+from the link's seed, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .engine import Simulator
+from .packet import Segment
+
+__all__ = ["Link", "Transmitter", "LinkStats"]
+
+
+class LinkStats:
+    """Per-direction link counters."""
+
+    __slots__ = (
+        "tx_packets",
+        "tx_bytes",
+        "delivered_packets",
+        "delivered_bytes",
+        "drops_queue",
+        "drops_loss",
+    )
+
+    def __init__(self):
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.drops_queue = 0
+        self.drops_loss = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LinkStats {self.as_dict()}>"
+
+
+class Transmitter:
+    """One direction of a link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        bandwidth: float,
+        queue_bytes: int,
+        loss: float,
+        rng: random.Random,
+        name: str = "",
+        jitter: float = 0.0,
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth}")
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1): {loss}")
+        if jitter < 0:
+            raise ValueError(f"negative jitter: {jitter}")
+        self.sim = sim
+        self.delay = delay
+        self.bandwidth = bandwidth
+        self.queue_bytes = queue_bytes
+        self.loss = loss
+        self.rng = rng
+        self.name = name
+        #: uniform extra propagation delay in [0, jitter): values larger
+        #: than a packet's serialization time cause genuine reordering
+        self.jitter = jitter
+        self.deliver: Optional[Callable[[Segment], None]] = None
+        self._queue: list[Segment] = []
+        self._queued_bytes = 0
+        self._busy = False
+        self.stats = LinkStats()
+
+    def transmit(self, segment: Segment) -> None:
+        """Enqueue ``segment`` for transmission (drop-tail)."""
+        if self._queued_bytes + segment.size > self.queue_bytes:
+            self.stats.drops_queue += 1
+            return
+        self._queue.append(segment)
+        self._queued_bytes += segment.size
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        segment = self._queue[0]
+        self._busy = True
+        ser_time = segment.size / self.bandwidth
+        self.sim.call_later(ser_time, self._serialized)
+
+    def _serialized(self) -> None:
+        segment = self._queue.pop(0)
+        self._queued_bytes -= segment.size
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += segment.size
+        if self.loss and self.rng.random() < self.loss:
+            self.stats.drops_loss += 1
+        else:
+            extra = self.rng.random() * self.jitter if self.jitter else 0.0
+            self.sim.call_later(self.delay + extra, self._arrive, segment)
+        if self._queue:
+            self._start_next()
+        else:
+            self._busy = False
+
+    def _arrive(self, segment: Segment) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += segment.size
+        if self.deliver is not None:
+            self.deliver(segment)
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently waiting (including the packet on the wire)."""
+        return self._queued_bytes
+
+
+class Link:
+    """A bidirectional point-to-point link between two interfaces.
+
+    Parameters
+    ----------
+    delay:
+        One-way propagation delay in seconds.
+    bandwidth:
+        Serialization rate in bytes/second (per direction).
+    queue_bytes:
+        Drop-tail queue capacity in bytes (per direction).  Defaults to
+        roughly one bandwidth-delay product, floored at 64 KiB, which gives
+        realistic router buffering.
+    loss:
+        Per-packet Bernoulli loss probability.
+    seed:
+        Seed for the per-direction RNGs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        bandwidth: float,
+        queue_bytes: Optional[int] = None,
+        loss: float = 0.0,
+        seed: int = 0,
+        name: str = "link",
+        jitter: float = 0.0,
+    ):
+        self.sim = sim
+        self.name = name
+        if queue_bytes is None:
+            queue_bytes = max(65536, int(bandwidth * delay))
+        self.a_to_b = Transmitter(
+            sim, delay, bandwidth, queue_bytes, loss,
+            random.Random(f"{seed}:{name}:a"), name=f"{name}:a->b",
+            jitter=jitter,
+        )
+        self.b_to_a = Transmitter(
+            sim, delay, bandwidth, queue_bytes, loss,
+            random.Random(f"{seed}:{name}:b"), name=f"{name}:b->a",
+            jitter=jitter,
+        )
+
+    def connect(self, iface_a, iface_b) -> None:
+        """Wire both directions to interfaces (see topology.Interface)."""
+        iface_a.attach(self, self.a_to_b)
+        iface_b.attach(self, self.b_to_a)
+        self.a_to_b.deliver = iface_b.receive
+        self.b_to_a.deliver = iface_a.receive
+
+    @property
+    def delay(self) -> float:
+        return self.a_to_b.delay
+
+    @property
+    def bandwidth(self) -> float:
+        return self.a_to_b.bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Link {self.name} delay={self.delay}s "
+            f"bw={self.bandwidth:.0f}B/s>"
+        )

@@ -1,0 +1,217 @@
+"""Network address translation boxes (paper §1, §3, §6).
+
+Three flavours model the behaviours the paper encountered:
+
+* :class:`ConeNAT` — endpoint-independent mapping with port preservation
+  when possible.  The external mapping for an internal (ip, port) is stable
+  across destinations, so a peer told the observed external address can
+  reach the node; crossing SYNs of a spliced connect traverse it.  This is
+  the "NAT gateways based on a known and predictable port translation rule"
+  for which Table 1 says splicing works.
+* :class:`SymmetricNAT` — a fresh, unpredictable mapping per destination.
+  An address observed by a broker (e.g. the relay) does not predict the
+  mapping used toward the actual peer, so splicing fails and the decision
+  tree must fall back to a proxy or relay.
+* :class:`BrokenNAT` — the standards-noncompliant implementations of §6
+  ("did not let TCP splicing connections across, even though they should
+  have"): mappings are cone-style, but inbound *bare SYN* packets are
+  dropped, killing simultaneous open while leaving ordinary client
+  behaviour (inbound SYN+ACK) intact.
+
+NAT inherently drops unsolicited inbound packets with no mapping, which is
+why a NATted site cannot host servers (Table 1: client/server "works when
+the client does NAT, not the server").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .packet import Addr, Segment
+from .topology import PacketFilter
+
+__all__ = ["NatBox", "ConeNAT", "SymmetricNAT", "BrokenNAT", "NatStats"]
+
+
+class NatStats:
+    __slots__ = ("translated_out", "translated_in", "dropped_in", "dropped_syn")
+
+    def __init__(self):
+        self.translated_out = 0
+        self.translated_in = 0
+        self.dropped_in = 0
+        self.dropped_syn = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class NatBox(PacketFilter):
+    """Base NAT: shared port allocation and rewriting machinery."""
+
+    #: whether the mapping for an internal endpoint is stable across
+    #: destinations (exposed to tests and to the Table 1 generator)
+    endpoint_independent = True
+    #: whether inbound bare SYNs on a valid mapping are forwarded
+    allows_simultaneous_open = True
+
+    def __init__(self, seed: int = 0):
+        self.external_ip: Optional[str] = None
+        self.site = None
+        self._rng = random.Random(f"{seed}:{type(self).__name__}")
+        self._used_ports: set[int] = set()
+        # mapping key (flavour-specific) -> external port
+        self._out_map: dict = {}
+        # external port -> (internal addr, first destination)
+        self._in_map: dict[int, tuple[Addr, Addr]] = {}
+        self.stats = NatStats()
+
+    def configure(self, external_ip: str, site=None) -> None:
+        self.external_ip = external_ip
+        self.site = site
+
+    # -- mapping policy (overridden per flavour) -------------------------------
+    def _map_key(self, internal: Addr, dst: Addr):
+        """Mapping key: per-endpoint for cone, per-(endpoint, dst) for symmetric."""
+        return internal
+
+    def _gateway_ports(self) -> set:
+        """Ports bound by the gateway host itself (shared port space)."""
+        if self.site is None:
+            return set()
+        gw = self.site.gateway
+        if gw._tcp is None:
+            return set()
+        return gw.tcp._bound_ports
+
+    def _port_taken(self, port: int) -> bool:
+        return port in self._used_ports or port in self._gateway_ports()
+
+    def _pick_port(self, internal: Addr) -> int:
+        """Port-preserving allocation (cone flavours).
+
+        Ports in the gateway's ephemeral range are never preserved: the
+        gateway's own outbound connections share the external port space,
+        and a preserved high port could collide with them later.
+        """
+        port = internal[1]
+        from .tcp import TcpStack
+
+        while self._port_taken(port) or port >= TcpStack.EPHEMERAL_BASE:
+            port = 1024 + self._rng.randrange(30000)
+        self._used_ports.add(port)
+        return port
+
+    # -- rewriting --------------------------------------------------------------
+    def egress(self, segment: Segment) -> Optional[Segment]:
+        if self.external_ip is None:
+            raise RuntimeError("NAT not configured")
+        if segment.src[0] == self.external_ip:
+            return segment  # gateway's own traffic
+        key = self._map_key(segment.src, segment.dst)
+        mapping = self._out_map.get(key)
+        if mapping is None:
+            mapping = self._pick_port(segment.src)
+            self._out_map[key] = mapping
+            self._in_map[mapping] = (segment.src, segment.dst)
+        self.stats.translated_out += 1
+        segment.src = (self.external_ip, mapping)
+        return segment
+
+    def ingress(self, segment: Segment) -> Optional[Segment]:
+        if segment.dst[0] != self.external_ip:
+            self.stats.dropped_in += 1
+            return None
+        entry = self._in_map.get(segment.dst[1])
+        if entry is None:
+            # Not a NAT mapping: this is traffic for the gateway host's own
+            # services/connections (relay, SOCKS, its replies) — pass it
+            # through untranslated.
+            return segment
+        internal, mapped_dst = entry
+        if not self._inbound_allowed(segment, internal, mapped_dst):
+            return None
+        self.stats.translated_in += 1
+        segment.dst = internal
+        return segment
+
+    def _inbound_allowed(self, segment: Segment, internal: Addr, mapped_dst: Addr) -> bool:
+        return True
+
+
+class ConeNAT(NatBox):
+    """Endpoint-independent, port-preserving NAT (splicing-friendly)."""
+
+    endpoint_independent = True
+    allows_simultaneous_open = True
+
+
+class SymmetricNAT(NatBox):
+    """Per-destination random mappings: external ports are unpredictable.
+
+    The broker-observed mapping (toward the relay) differs from the mapping
+    toward the peer, so a spliced SYN aimed at the observed address finds no
+    entry and is dropped.
+    """
+
+    endpoint_independent = False
+    allows_simultaneous_open = True  # it would forward a SYN — but the port is wrong
+
+    def _map_key(self, internal: Addr, dst: Addr):
+        return (internal, dst)
+
+    def _pick_port(self, internal: Addr) -> int:
+        while True:
+            port = 1024 + self._rng.randrange(30000)
+            if not self._port_taken(port):
+                self._used_ports.add(port)
+                return port
+
+    def _inbound_allowed(self, segment: Segment, internal: Addr, mapped_dst: Addr) -> bool:
+        # Address-dependent filtering: only the mapped destination may
+        # answer through this mapping.
+        if segment.src != mapped_dst:
+            self.stats.dropped_in += 1
+            return False
+        return True
+
+
+class BrokenNAT(ConeNAT):
+    """Standards-noncompliant NAT that kills simultaneous open (§6).
+
+    Cone mappings, but the NAT's TCP-aware tracking treats an inbound *bare
+    SYN* as an attack: it drops the packet **and answers with RST** — a
+    behaviour of several real 2004-era NAT routers.  The RST lands on the
+    outside peer's SYN_SENT socket and aborts the spliced connect, which is
+    what the paper observed: "several NAT implementations were not fully
+    standards-compliant, and did not let TCP splicing connections across,
+    even though they should have", forcing a fall-back "to a standard SOCKS
+    proxy".
+
+    Ordinary client traffic (inbound SYN+ACK answering our outbound SYN) is
+    unaffected, so the site still works as a pure client.
+    """
+
+    allows_simultaneous_open = False
+
+    def _inbound_allowed(self, segment: Segment, internal: Addr, mapped_dst: Addr) -> bool:
+        if segment.syn and not segment.ack_flag:
+            self.stats.dropped_syn += 1
+            self._send_rst(segment)
+            return False
+        return True
+
+    def _send_rst(self, cause: Segment) -> None:
+        if self.site is None:
+            return
+        rst = Segment(
+            src=cause.dst,
+            dst=cause.src,
+            seq=0,
+            ack=cause.seq + cause.seg_len,
+            rst=True,
+            ack_flag=True,
+            window=0,
+        )
+        self.site.gateway.send_segment(rst)

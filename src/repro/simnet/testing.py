@@ -1,0 +1,192 @@
+"""Reusable scenario helpers for tests, examples and benchmarks.
+
+These wrap the most common experimental setups: a pair of public hosts, a
+pair of firewalled sites, bulk transfers with throughput measurement, and a
+STUN-style address reflector for NAT experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from .engine import Simulator
+from .packet import Addr
+from .sockets import SimSocket, connect, listen
+from .stats import mb_per_s
+from .tcp import TcpConfig
+from .topology import Host, Internet
+
+__all__ = [
+    "two_public_hosts",
+    "wan_pair",
+    "run_transfer",
+    "sink_server",
+    "echo_server",
+    "reflector_server",
+    "stun_probe",
+    "drive",
+]
+
+
+def two_public_hosts(seed: int = 0, **host_kwargs) -> tuple[Internet, Host, Host]:
+    """An Internet with two public hosts ``a`` and ``b``."""
+    inet = Internet(seed=seed)
+    a = inet.add_public_host("a", **host_kwargs)
+    b = inet.add_public_host("b", **host_kwargs)
+    return inet, a, b
+
+
+def wan_pair(
+    capacity: float,
+    one_way_delay: float,
+    loss: float = 0.0,
+    seed: int = 0,
+    queue_bytes: Optional[int] = None,
+    jitter: float = 0.0,
+) -> tuple[Internet, Host, Host]:
+    """Two sites joined by a WAN of the given end-to-end characteristics.
+
+    Each access link carries half the propagation delay and the full
+    capacity, so the end-to-end path has ``2 * one_way_delay`` RTT
+    contribution per direction and bottleneck ``capacity`` (bytes/s).
+    Loss is applied on one access link per direction (``loss`` end-to-end).
+
+    Router queues default to one end-to-end bandwidth-delay product (the
+    classic buffer-provisioning rule), floored at 64 KiB.
+    """
+    if queue_bytes is None:
+        queue_bytes = max(65536, int(capacity * 2 * one_way_delay))
+    inet = Internet(seed=seed)
+    site_a = inet.add_site(
+        "left",
+        access_delay=one_way_delay / 2,
+        access_bandwidth=capacity,
+        access_loss=loss,
+        queue_bytes=queue_bytes,
+        access_jitter=jitter,
+    )
+    site_b = inet.add_site(
+        "right",
+        access_delay=one_way_delay / 2,
+        access_bandwidth=capacity,
+        queue_bytes=queue_bytes,
+    )
+    return inet, site_a.add_node("left-node"), site_b.add_node("right-node")
+
+
+def sink_server(host: Host, port: int, result: dict, key: str = "received") -> Generator:
+    """Accept one connection and count bytes until EOF."""
+    listener = listen(host, port)
+    sock = yield from listener.accept()
+    total = 0
+    while True:
+        data = yield from sock.recv(65536)
+        if not data:
+            break
+        total += len(data)
+    result[key] = total
+    result[key + "_t"] = host.sim.now
+    sock.close()
+    listener.close()
+
+
+def echo_server(host: Host, port: int, once: bool = True) -> Generator:
+    """Echo bytes back until EOF (single connection by default)."""
+    listener = listen(host, port)
+    while True:
+        sock = yield from listener.accept()
+        while True:
+            data = yield from sock.recv(65536)
+            if not data:
+                break
+            yield from sock.send_all(data)
+        sock.close()
+        if once:
+            listener.close()
+            return
+
+
+def run_transfer(
+    inet: Internet,
+    sender: Host,
+    receiver: Host,
+    nbytes: int,
+    port: int = 5001,
+    config: Optional[TcpConfig] = None,
+    chunk: int = 65536,
+    until: float = 3600.0,
+) -> dict:
+    """Bulk one-way transfer; returns dict with throughput in MB/s."""
+    sim = inet.sim
+    result: dict = {}
+    payload = bytes(range(256)) * (chunk // 256 + 1)
+
+    def client() -> Generator:
+        sock = yield from connect(sender, (receiver.ip, port), config=config)
+        result["t0"] = sim.now
+        remaining = nbytes
+        while remaining > 0:
+            n = min(chunk, remaining)
+            yield from sock.send_all(payload[:n])
+            remaining -= n
+        sock.close()
+
+    def server() -> Generator:
+        listener = listen(receiver, port, backlog=4)
+        if config is not None:
+            receiver.tcp.config = config
+        sock = yield from listener.accept()
+        total = 0
+        while True:
+            data = yield from sock.recv(chunk)
+            if not data:
+                break
+            total += len(data)
+        result["received"] = total
+        result["t1"] = sim.now
+        sock.close()
+        listener.close()
+
+    sim.process(server(), name="xfer-server")
+    sim.process(client(), name="xfer-client")
+    sim.run(until=sim.now + until)
+    if "received" not in result:
+        raise RuntimeError("transfer did not complete within the time limit")
+    result["seconds"] = result["t1"] - result["t0"]
+    result["throughput"] = mb_per_s(result["received"], result["seconds"])
+    return result
+
+
+def reflector_server(host: Host, port: int = 3478) -> Generator:
+    """STUN-like service: tells each client its observed (ip, port)."""
+    listener = listen(host, port, backlog=16)
+    while True:
+        sock = yield from listener.accept()
+        host.sim.process(_reflect_one(sock), name="reflect")
+
+
+def _reflect_one(sock: SimSocket) -> Generator:
+    ip, port = sock.raddr
+    yield from sock.send_all(f"{ip}:{port}".ljust(32).encode())
+    # Keep the connection open: it holds the NAT mapping alive until the
+    # client is done splicing.
+    data = yield from sock.recv(1)
+    sock.close()
+
+
+def stun_probe(host: Host, reflector: Addr, lport: int) -> Generator:
+    """Learn this host's externally observed address for ``lport``.
+
+    Returns ``(observed_addr, probe_socket)``; keep the probe socket open
+    while the mapping must stay alive, then close it.
+    """
+    probe = yield from connect(host, reflector, lport=lport, reuse=True)
+    raw = yield from probe.recv_exactly(32)
+    ip, port = raw.decode().strip().split(":")
+    return (ip, int(port)), probe
+
+
+def drive(sim: Simulator, gen: Generator, until: float = 600.0):
+    """Run a single process to completion and return its value."""
+    proc = sim.process(gen)
+    return sim.run_until_triggered(proc, limit=until)

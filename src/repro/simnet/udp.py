@@ -1,0 +1,139 @@
+"""UDP: connectionless datagrams for the simulated network.
+
+The IPL's networking drivers are not limited to TCP (Figure 5 lists "TCP,
+UDP, MPI"); NetIbis shipped UDP drivers with its own reliability layer on
+top.  This module provides the datagram substrate; the reliability layer
+is the ``rel`` driver in :mod:`repro.core.utilization.reliable`.
+
+Datagrams share the IP layer with TCP — the same links, queues, loss,
+firewalls and NAT (a NAT maps UDP flows by address pair exactly like TCP
+ones).  Delivery is unordered only insofar as the network reorders; there
+is no reliability, no flow control, no congestion control.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .engine import Event, Simulator
+from .packet import Addr, Segment
+
+__all__ = ["UdpStack", "UdpSocket", "UdpError", "MAX_DATAGRAM"]
+
+#: maximum payload per datagram (Ethernet-style MTU minus headers)
+MAX_DATAGRAM = 1472
+
+
+class UdpError(Exception):
+    """UDP usage error (port in use, oversized datagram, ...)."""
+
+
+class UdpStack:
+    """Per-host UDP: demultiplexes datagrams to bound sockets."""
+
+    EPHEMERAL_BASE = 49152
+
+    def __init__(self, host):
+        self.host = host
+        self.sim: Simulator = host.sim
+        self._sockets: dict[int, UdpSocket] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self.dropped_no_socket = 0
+
+    def bind(self, port: int = 0, rcv_queue: int = 64) -> "UdpSocket":
+        """Bind a datagram socket (0 picks an ephemeral port)."""
+        if port == 0:
+            for _ in range(16384):
+                candidate = self._next_ephemeral
+                self._next_ephemeral += 1
+                if self._next_ephemeral >= 65536:
+                    self._next_ephemeral = self.EPHEMERAL_BASE
+                if candidate not in self._sockets:
+                    port = candidate
+                    break
+            else:
+                raise UdpError("out of ephemeral UDP ports")
+        if port in self._sockets:
+            raise UdpError(f"UDP port {port} already bound on {self.host.name}")
+        sock = UdpSocket(self, port, rcv_queue)
+        self._sockets[port] = sock
+        return sock
+
+    def _unbind(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def receive(self, segment: Segment) -> None:
+        sock = self._sockets.get(segment.dst[1])
+        if sock is None:
+            self.dropped_no_socket += 1
+            return
+        sock._deliver(segment)
+
+
+class UdpSocket:
+    """A bound datagram socket."""
+
+    def __init__(self, stack: UdpStack, port: int, rcv_queue: int):
+        self.stack = stack
+        self.sim = stack.sim
+        self.port = port
+        self.rcv_queue = rcv_queue
+        self._queue: list[tuple[bytes, Addr]] = []
+        self._waiters: list[Event] = []
+        self.closed = False
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.drops_queue_full = 0
+
+    @property
+    def addr(self) -> Addr:
+        return (self.stack.host.ip, self.port)
+
+    def sendto(self, data: bytes, dst: Addr) -> None:
+        """Fire-and-forget datagram (synchronous: queues at the NIC)."""
+        if self.closed:
+            raise UdpError("send on closed UDP socket")
+        if len(data) > MAX_DATAGRAM:
+            raise UdpError(f"datagram too large: {len(data)} > {MAX_DATAGRAM}")
+        segment = Segment(
+            src=self.addr,
+            dst=dst,
+            payload=bytes(data),
+            proto="udp",
+            window=0,
+        )
+        self.datagrams_sent += 1
+        self.stack.host.send_segment(segment)
+
+    def recvfrom(self) -> Event:
+        """Event yielding ``(payload, source_addr)``."""
+        ev = self.sim.event()
+        if self.closed:
+            ev.fail(UdpError("recv on closed UDP socket"))
+        elif self._queue:
+            ev.succeed(self._queue.pop(0))
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def _deliver(self, segment: Segment) -> None:
+        if self.closed:
+            return
+        self.datagrams_received += 1
+        item = (segment.payload, segment.src)
+        if self._waiters:
+            self._waiters.pop(0).succeed(item)
+        elif len(self._queue) < self.rcv_queue:
+            self._queue.append(item)
+        else:
+            self.drops_queue_full += 1
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.stack._unbind(self.port)
+        for ev in self._waiters:
+            ev.fail(UdpError("socket closed"))
+            ev.defused = True
+        self._waiters.clear()

@@ -1,0 +1,17 @@
+"""Synthetic grid-application workloads."""
+
+from .payloads import (
+    incompressible,
+    measured_ratio,
+    payload_with_ratio,
+    scientific_mesh,
+    text_like,
+)
+
+__all__ = [
+    "text_like",
+    "incompressible",
+    "scientific_mesh",
+    "payload_with_ratio",
+    "measured_ratio",
+]

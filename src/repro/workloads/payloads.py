@@ -1,0 +1,120 @@
+"""Synthetic payload generators with controlled compressibility.
+
+The paper's compression results depend entirely on (a) the zlib-1 ratio its
+application data achieved and (b) the CPU cost of compressing it.  We have
+neither their data nor their machines, so workloads here generate payloads
+whose *measured* zlib-1 ratio is controlled, and the CPU side is a
+calibrated :class:`~repro.simnet.cpu.CpuModel` parameter.  DESIGN.md
+documents the substitution.
+
+All generators are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import zlib
+
+__all__ = [
+    "text_like",
+    "incompressible",
+    "scientific_mesh",
+    "payload_with_ratio",
+    "measured_ratio",
+]
+
+
+def incompressible(n: int, seed: int = 0) -> bytes:
+    """Pseudo-random bytes: zlib-1 ratio ~1.0."""
+    rng = random.Random(f"incompressible:{seed}")
+    return rng.randbytes(n)
+
+
+def text_like(n: int, seed: int = 0) -> bytes:
+    """Log/text-flavoured data: zlib-1 ratio around 3-4."""
+    rng = random.Random(f"text:{seed}")
+    words = [
+        "iteration", "residual", "converged", "node", "block", "matrix",
+        "timestep", "energy", "flux", "boundary", "error", "norm",
+    ]
+    parts = []
+    size = 0
+    while size < n:
+        line = (
+            f"[{rng.randrange(10000):05d}] {rng.choice(words)}="
+            f"{rng.random():.6f} {rng.choice(words)}={rng.randrange(1 << 16)}\n"
+        )
+        encoded = line.encode("ascii")
+        parts.append(encoded)
+        size += len(encoded)
+    return b"".join(parts)[:n]
+
+
+def scientific_mesh(n: int, seed: int = 0, smoothness: float = 0.02) -> bytes:
+    """Smooth float64 field data (a mesh/grid snapshot): modest ratio."""
+    rng = random.Random(f"mesh:{seed}")
+    count = n // 8 + 1
+    values = []
+    value = 1.0
+    for _ in range(count):
+        value += smoothness * (rng.random() - 0.5)
+        values.append(value)
+    return struct.pack(f"<{count}d", *values)[:n]
+
+
+def payload_with_ratio(n: int, ratio: float, seed: int = 0) -> bytes:
+    """A payload whose zlib-1 ratio is approximately ``ratio``.
+
+    Built as an interleave of incompressible spans and a highly repetitive
+    pattern: for a pattern with ratio ``r_p`` and an incompressible
+    fraction ``f``, the combined ratio is ~``1 / (f + (1 - f) / r_p)``.
+    One Newton-free correction pass against the measured ratio tightens
+    the approximation.
+    """
+    if ratio < 1.0:
+        raise ValueError("ratio must be >= 1")
+    if ratio == 1.0:
+        return incompressible(n, seed)
+
+    def build(f: float) -> bytes:
+        rng = random.Random(f"mix:{seed}")
+        chunk = 1024
+        pattern = ((b"gridblock:" + bytes(range(64))) * ((chunk // 74) + 1))[:chunk]
+        parts = []
+        size = 0
+        while size < n:
+            if rng.random() < f:
+                parts.append(rng.randbytes(chunk))
+            else:
+                parts.append(pattern)
+            size += chunk
+        return b"".join(parts)[:n]
+
+    # Pattern-only ratio (measured once on a sample).
+    sample = build(0.0)[: min(n, 65536)]
+    r_p = len(sample) / max(1, len(zlib.compress(sample, 1)))
+    if ratio >= r_p:
+        return build(0.0)
+    # Bisect the incompressible fraction against the measured ratio
+    # (monotone decreasing in f) on a bounded sample.
+    lo, hi = 0.0, 1.0
+    payload = b""
+    for _ in range(9):
+        f = (lo + hi) / 2
+        payload = build(f)
+        got = measured_ratio(payload[: min(n, 131072)])
+        if abs(got - ratio) / ratio < 0.03:
+            break
+        if got > ratio:
+            lo = f  # too compressible: add randomness
+        else:
+            hi = f
+    return payload
+
+
+def measured_ratio(payload: bytes, level: int = 1) -> float:
+    """The actual zlib ratio of ``payload``."""
+    if not payload:
+        return 1.0
+    return len(payload) / len(zlib.compress(payload, level))

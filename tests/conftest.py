@@ -1,0 +1,12 @@
+"""Test-suite configuration: deterministic property testing.
+
+Hypothesis is derandomized so the suite is bit-for-bit reproducible —
+matching the determinism guarantee the simulator itself makes.  Deadlines
+are disabled because simulation wall-time varies with machine load while
+simulated results do not.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None, derandomize=True)
+settings.load_profile("repro")

@@ -1,0 +1,104 @@
+"""Brokered establishment across the paper's topologies (§6 qualitative)."""
+
+import pytest
+
+from repro.core import CLIENT_SERVER, ROUTED, SOCKS_PROXY, SPLICING
+from repro.core.scenarios import GridScenario
+
+
+def _pair(kind_a, kind_b, seed=7, **kwargs):
+    sc = GridScenario(seed=seed)
+    sc.add_site("A", kind_a)
+    sc.add_site("B", kind_b)
+    sc.add_node("A", "a")
+    sc.add_node("B", "b")
+    return sc, sc.establish_pair("a", "b", **kwargs)
+
+
+class TestMethodSelection:
+    def test_open_to_open_uses_client_server(self):
+        _sc, r = _pair("open", "open")
+        assert r["method"] == CLIENT_SERVER
+        assert r["native_tcp"] and not r["relayed"]
+
+    def test_firewalled_pairs_use_splicing(self):
+        for pair in [("open", "firewall"), ("firewall", "firewall")]:
+            _sc, r = _pair(*pair)
+            assert r["method"] == SPLICING
+            assert r["native_tcp"] and not r["relayed"]
+
+    def test_cone_nat_splices_with_mapping_probe(self):
+        sc, r = _pair("open", "cone_nat")
+        assert r["method"] == SPLICING
+        assert sc.reflector.probes >= 1  # the NATted side probed its mapping
+
+    def test_double_cone_nat_splices(self):
+        _sc, r = _pair("cone_nat", "cone_nat")
+        assert r["method"] == SPLICING
+
+    def test_broken_nat_falls_back_to_socks(self):
+        """§6: 'several NAT implementations were not fully
+        standards-compliant ... there was no choice but to revert to a
+        standard SOCKS proxy'."""
+        _sc, r = _pair("open", "broken_nat")
+        assert r["method"] == SOCKS_PROXY
+        assert ("splicing", False) in r["initiator_log"]
+        assert ("socks_proxy", True) in r["initiator_log"]
+
+    def test_symmetric_nat_skips_splicing(self):
+        _sc, r = _pair("open", "symmetric_nat")
+        assert r["method"] == SOCKS_PROXY
+        # splicing never attempted: the decision tree knows the mapping is
+        # unpredictable
+        assert all(m != "splicing" for m, _ok in r["initiator_log"])
+
+    def test_severe_firewall_relays(self):
+        _sc, r = _pair("severe", "firewall")
+        assert r["method"] == ROUTED
+        assert r["relayed"] and not r["native_tcp"]
+
+    def test_severe_firewall_uses_proxy_toward_open(self):
+        _sc, r = _pair("severe", "open")
+        # negotiated as client/server, transported through the site proxy
+        assert ("client_server", True) in r["initiator_log"]
+        assert r["echo"] == b"ping"
+
+    def test_payload_flows_both_ways(self):
+        _sc, r = _pair("firewall", "cone_nat", payload=b"x" * 5000)
+        assert r["echo"] == b"x" * 5000
+
+
+class TestFallbackBehaviour:
+    def test_fallback_adds_establishment_delay(self):
+        _sc, direct = _pair("open", "firewall")
+        _sc, fallback = _pair("open", "broken_nat")
+        assert fallback["delay"] > direct["delay"]
+
+    def test_attempt_logs_agree(self):
+        _sc, r = _pair("open", "broken_nat")
+        assert [m for m, _ in r["initiator_log"]] == [
+            m for m, _ in r["responder_log"]
+        ]
+
+    def test_method_override_forces_routed(self):
+        _sc, r = _pair("open", "open", methods=[ROUTED])
+        assert r["method"] == ROUTED
+
+    def test_method_override_socks_between_open_sites(self):
+        # An explicitly requested proxy method still works when a proxy
+        # exists: use broken_nat's responder-side proxy shape instead.
+        _sc, r = _pair("open", "broken_nat", methods=[SOCKS_PROXY])
+        assert r["method"] == SOCKS_PROXY
+
+
+class TestAllPairsConnectivity:
+    """§6: 'we were able to establish a connection from every node to every
+    other node without opening ports in firewalls'."""
+
+    KINDS = ["open", "firewall", "cone_nat", "broken_nat", "symmetric_nat"]
+
+    @pytest.mark.parametrize("kind_a", KINDS)
+    @pytest.mark.parametrize("kind_b", KINDS)
+    def test_every_pair_connects(self, kind_a, kind_b):
+        _sc, r = _pair(kind_a, kind_b, until=400)
+        assert r["echo"] == b"ping"

@@ -1,0 +1,87 @@
+"""Brokered connection factory: spec negotiation + stacked channels."""
+
+import pytest
+
+from repro.core.factory import BrokeredConnectionFactory, TlsConfig
+from repro.core.scenarios import GridScenario
+from repro.security import CertificateAuthority, Identity
+
+
+def _run_channel(kind_a, kind_b, spec, payload, tls=False, seed=11, until=300):
+    sc = GridScenario(seed=seed)
+    sc.add_site("A", kind_a)
+    sc.add_site("B", kind_b)
+    node_a = sc.add_node("A", "a")
+    node_b = sc.add_node("B", "b")
+    tls_a = tls_b = None
+    if tls:
+        ca = CertificateAuthority("grid-root")
+        ka, cert_a = ca.issue_identity("a")
+        kb, cert_b = ca.issue_identity("b")
+        tls_a = TlsConfig([ca.certificate], Identity(ka, [cert_a]))
+        tls_b = TlsConfig([ca.certificate], Identity(kb, [cert_b]))
+    res = {}
+
+    def run_a():
+        yield from node_a.start()
+        while not node_b.relay_client.connected:
+            yield sc.sim.timeout(0.05)
+        service = yield from node_a.open_service_link("b")
+        factory = BrokeredConnectionFactory(node_a, tls_a)
+        channel = yield from factory.connect(service, node_b.info, spec=spec)
+        yield from channel.send_message(payload)
+        res["echo"] = yield from channel.recv_message()
+        res["channel"] = channel
+
+    def run_b():
+        yield from node_b.start()
+        _peer, service = yield from node_b.accept_service_link()
+        factory = BrokeredConnectionFactory(node_b, tls_b)
+        channel = yield from factory.accept(service)
+        msg = yield from channel.recv_message()
+        res["received"] = msg
+        yield from channel.send_message(msg)
+
+    sc.sim.process(run_a())
+    sc.sim.process(run_b())
+    sc.run(until=until)
+    return res
+
+
+PAYLOAD = bytes(range(256)) * 64
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "spec",
+        ["tcp_block", "parallel:2", "parallel:4", "compress|tcp_block",
+         "compress|parallel:4", "adaptive|tcp_block"],
+    )
+    def test_specs_between_firewalled_sites(self, spec):
+        res = _run_channel("firewall", "firewall", spec, PAYLOAD)
+        assert res["echo"] == PAYLOAD
+        assert res["received"] == PAYLOAD
+
+    def test_parallel_streams_each_brokered(self):
+        res = _run_channel("firewall", "cone_nat", "parallel:3", PAYLOAD)
+        assert res["echo"] == PAYLOAD
+
+    def test_tls_stack_authenticates(self):
+        res = _run_channel("firewall", "firewall", "tls|tcp_block", PAYLOAD, tls=True)
+        assert res["echo"] == PAYLOAD
+        from repro.core.utilization import TlsDriver, find_driver
+
+        tls = find_driver(res["channel"].driver, TlsDriver)
+        assert tls.peer_subject == "b"
+
+    def test_tls_over_compression_over_striping(self):
+        res = _run_channel(
+            "open", "broken_nat", "compress|tls|parallel:2", PAYLOAD, tls=True
+        )
+        assert res["echo"] == PAYLOAD
+
+    def test_tls_without_config_rejected(self):
+        # The ValueError raised inside the initiator process propagates out
+        # of the simulation run.
+        with pytest.raises(ValueError, match="TlsConfig"):
+            _run_channel("open", "open", "tls|tcp_block", PAYLOAD, tls=False)

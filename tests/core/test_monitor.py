@@ -1,0 +1,145 @@
+"""Path monitoring + automated stack selection (§8)."""
+
+import pytest
+
+from repro.core.monitor import PathEstimate, PathMonitor, select_spec
+from repro.core.scenarios import GridScenario
+
+
+def _measure(capacity, one_way_delay, kind_a="firewall", kind_b="firewall", seed=81):
+    sc = GridScenario(seed=seed)
+    queue = max(65536, int(capacity * 2 * one_way_delay))
+    sc.add_site(
+        "A", kind_a, access_delay=one_way_delay / 2, access_bandwidth=capacity,
+        queue_bytes=queue,
+    )
+    sc.add_site(
+        "B", kind_b, access_delay=one_way_delay / 2, access_bandwidth=capacity,
+        queue_bytes=queue,
+    )
+    a = sc.add_node("A", "a")
+    b = sc.add_node("B", "b")
+    res = {}
+
+    def initiator():
+        yield from a.start()
+        while not b.relay_client.connected:
+            yield sc.sim.timeout(0.05)
+        service = yield from a.open_service_link("b")
+        monitor = PathMonitor(a)
+        res["estimate"] = yield from monitor.estimate(service, b.info)
+        yield from monitor.finish(service)
+
+    def responder():
+        yield from b.start()
+        _peer, service = yield from b.accept_service_link()
+        monitor = PathMonitor(b)
+        yield from monitor.serve(service)
+
+    sc.sim.process(initiator())
+    sc.sim.process(responder())
+    sc.run(until=600)
+    assert "estimate" in res, "probe never completed"
+    return res["estimate"]
+
+
+class TestPathMonitor:
+    def test_rtt_measured_accurately(self):
+        est = _measure(capacity=4e6, one_way_delay=0.02)
+        assert est.rtt == pytest.approx(0.04, rel=0.3)
+
+    def test_narrow_link_measured_near_capacity(self):
+        est = _measure(capacity=1e6, one_way_delay=0.005)
+        # Low BDP: a single stream sees the true capacity.
+        assert est.capacity == pytest.approx(1e6, rel=0.4)
+        assert not est.window_limited
+        assert est.probe_streams == 1
+
+    def test_fat_link_detected_as_window_limited(self):
+        est = _measure(capacity=9e6, one_way_delay=0.0215)
+        assert est.probe_streams >= 4  # escalation happened
+        assert est.window_limited
+        assert est.capacity > 2.0 * est.single_stream
+        # With escalation to 8 streams the capacity estimate approaches the
+        # true 9 MB/s.
+        assert est.capacity > 6e6
+
+    def test_probing_works_through_nat(self):
+        est = _measure(
+            capacity=3e6, one_way_delay=0.01, kind_a="open", kind_b="cone_nat"
+        )
+        assert est.capacity > 1e6
+
+
+class TestSelectSpec:
+    def _estimate(self, capacity, rtt, single=None):
+        single = single if single is not None else min(capacity, 65536 / rtt)
+        return PathEstimate(
+            rtt=rtt, single_stream=single, capacity=capacity, probe_streams=4
+        )
+
+    def test_low_bdp_single_stream(self):
+        spec = select_spec(self._estimate(1e6, 0.01), compress_rate=1e5,
+                           payload_ratio=1.0)
+        assert spec == "tcp_block"
+
+    def test_high_bdp_gets_streams(self):
+        spec = select_spec(self._estimate(9e6, 0.043), compress_rate=1e5,
+                           payload_ratio=1.0)
+        assert spec == "parallel:8"
+
+    def test_slow_link_fast_cpu_compresses(self):
+        spec = select_spec(
+            self._estimate(1.6e6, 0.03),
+            compress_rate=3.6e6,
+            payload_ratio=3.6,
+        )
+        assert spec.startswith("compress|")
+
+    def test_fast_link_slow_cpu_skips_compression(self):
+        spec = select_spec(
+            self._estimate(9e6, 0.043),
+            compress_rate=5.2e6,
+            payload_ratio=3.6,
+        )
+        assert "compress" not in spec
+
+    def test_unknown_cpu_uses_adaptive(self):
+        spec = select_spec(self._estimate(2e6, 0.02))
+        assert spec.startswith("adaptive|")
+
+
+class TestEndToEndSelection:
+    def test_selected_spec_outperforms_naive_on_fat_link(self):
+        """The full §8 loop: probe, select, transfer — beats plain TCP."""
+        sc = GridScenario(seed=91)
+        for name in ("A", "B"):
+            sc.add_site(
+                name, "firewall", access_delay=0.0107, access_bandwidth=9e6,
+                queue_bytes=int(9e6 * 0.043),
+            )
+        a = sc.add_node("A", "a")
+        b = sc.add_node("B", "b")
+        res = {}
+
+        def initiator():
+            yield from a.start()
+            while not b.relay_client.connected:
+                yield sc.sim.timeout(0.05)
+            service = yield from a.open_service_link("b")
+            monitor = PathMonitor(a)
+            estimate = yield from monitor.estimate(service, b.info)
+            yield from monitor.finish(service)
+            res["spec"] = select_spec(estimate, compress_rate=5e6, payload_ratio=1.0)
+
+        def responder():
+            yield from b.start()
+            _peer, service = yield from b.accept_service_link()
+            monitor = PathMonitor(b)
+            yield from monitor.serve(service)
+
+        sc.sim.process(initiator())
+        sc.sim.process(responder())
+        sc.run(until=600)
+        assert res["spec"].startswith("parallel:")
+        assert int(res["spec"].split(":")[1]) >= 4

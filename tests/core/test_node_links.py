@@ -1,0 +1,134 @@
+"""GridNode's direct API and the Link abstraction's contract."""
+
+import pytest
+
+from repro.core import CLIENT_SERVER, SPLICING
+from repro.core.links import Link, TcpLink
+from repro.core.scenarios import GridScenario
+from repro.simnet import connect, listen
+from repro.simnet.testing import drive, two_public_hosts
+
+
+class TestLinkContract:
+    def _tcp_link_pair(self):
+        inet, a, b = two_public_hosts(seed=5)
+        out = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            out["b"] = TcpLink(sock, CLIENT_SERVER)
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            out["a"] = TcpLink(sock, CLIENT_SERVER)
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=inet.sim.now + 10)
+        return inet, out["a"], out["b"]
+
+    def test_metadata(self):
+        _inet, la, _lb = self._tcp_link_pair()
+        assert la.method == CLIENT_SERVER
+        assert la.native_tcp is True
+        assert la.relayed is False
+        assert la.sim is not None
+        assert la.laddr[0] != la.raddr[0]
+
+    def test_recv_exactly_raises_on_early_eof(self):
+        inet, la, lb = self._tcp_link_pair()
+        out = {}
+
+        def sender():
+            yield from la.send_all(b"abc")
+            la.close()
+
+        def receiver():
+            try:
+                yield from lb.recv_exactly(10)
+            except EOFError as exc:
+                out["error"] = str(exc)
+
+        inet.sim.process(sender())
+        inet.sim.process(receiver())
+        inet.sim.run(until=inet.sim.now + 10)
+        assert "7/10 bytes missing" in out["error"]
+
+    def test_base_class_is_abstract(self):
+        link = Link()
+        with pytest.raises(NotImplementedError):
+            link.close()
+        with pytest.raises(NotImplementedError):
+            link.sim
+
+
+class TestGridNodeApi:
+    def _pair(self):
+        sc = GridScenario(seed=85)
+        sc.add_site("A", "firewall")
+        sc.add_site("B", "firewall")
+        return sc, sc.add_node("A", "a"), sc.add_node("B", "b")
+
+    def test_service_link_carries_peer_identity(self):
+        sc, a, b = self._pair()
+        out = {}
+
+        def initiator():
+            yield from a.start()
+            while not b.relay_client.connected:
+                yield sc.sim.timeout(0.05)
+            link = yield from a.open_service_link("b")
+            yield from link.send_all(b"hi")
+
+        def responder():
+            yield from b.start()
+            peer, link = yield from b.accept_service_link()
+            out["peer"] = peer
+            out["data"] = yield from link.recv_exactly(2)
+
+        sc.sim.process(initiator())
+        sc.sim.process(responder())
+        sc.run(until=60)
+        assert out == {"peer": "a", "data": b"hi"}
+
+    def test_data_links_record_method_and_verify(self):
+        sc, a, b = self._pair()
+        out = {}
+
+        def initiator():
+            yield from a.start()
+            while not b.relay_client.connected:
+                yield sc.sim.timeout(0.05)
+            service = yield from a.open_service_link("b")
+            link = yield from a.connect_data(service, b.info)
+            out["method"] = link.method
+            link.close()
+
+        def responder():
+            yield from b.start()
+            _peer, service = yield from b.accept_service_link()
+            link = yield from b.accept_data(service)
+            out["responder_method"] = link.method
+
+        sc.sim.process(initiator())
+        sc.sim.process(responder())
+        sc.run(until=120)
+        assert out["method"] == SPLICING
+        assert out["responder_method"] == SPLICING
+
+    def test_stop_disconnects_relay(self):
+        sc, a, b = self._pair()
+
+        def proc():
+            yield from a.start()
+            assert a.relay_client.connected
+            a.stop()
+
+        drive(sc.sim, proc())
+        sc.run(until=sc.sim.now + 10)
+        assert not a.relay_client.connected
+
+    def test_node_id_property(self):
+        sc, a, _b = self._pair()
+        assert a.node_id == "a"

@@ -1,0 +1,231 @@
+"""Relay server, routed links, and the address reflector."""
+
+import pytest
+
+from repro.core.relay import (
+    MAX_MSG,
+    ReflectorServer,
+    RelayClient,
+    RelayError,
+    RelayServer,
+)
+from repro.simnet import Internet
+from repro.simnet.testing import drive
+
+
+def _setup(n_clients=2, seed=1):
+    inet = Internet(seed=seed)
+    relay_host = inet.add_public_host("relay")
+    relay = RelayServer(relay_host, 4000)
+    relay.start()
+    clients = []
+    for i in range(n_clients):
+        host = inet.add_public_host(f"c{i}")
+        clients.append(RelayClient(host, f"node{i}", relay.addr))
+    return inet, relay, clients
+
+
+def test_register_and_open_link():
+    inet, relay, (ca, cb) = _setup()
+    result = {}
+
+    def a():
+        yield from ca.connect()
+        while not cb.connected:
+            yield inet.sim.timeout(0.01)
+        link = yield from ca.open_link("node1")
+        yield from link.send_all(b"over-the-relay")
+        result["reply"] = yield from link.recv_exactly(2)
+
+    def b():
+        yield from cb.connect()
+        link = yield from cb.accept_link()
+        result["peer"] = link.peer
+        data = yield from link.recv_exactly(14)
+        result["data"] = data
+        yield from link.send_all(b"ok")
+
+    inet.sim.process(a())
+    inet.sim.process(b())
+    inet.sim.run(until=30)
+    assert result == {"peer": "node0", "data": b"over-the-relay", "reply": b"ok"}
+
+
+def test_large_transfer_is_chunked():
+    inet, relay, (ca, cb) = _setup()
+    payload = bytes(i % 251 for i in range(3 * MAX_MSG + 17))
+    result = {}
+
+    def a():
+        yield from ca.connect()
+        while not cb.connected:
+            yield inet.sim.timeout(0.01)
+        link = yield from ca.open_link("node1")
+        yield from link.send_all(payload)
+
+    def b():
+        yield from cb.connect()
+        link = yield from cb.accept_link()
+        result["data"] = yield from link.recv_exactly(len(payload))
+
+    inet.sim.process(a())
+    inet.sim.process(b())
+    inet.sim.run(until=60)
+    assert result["data"] == payload
+
+
+def test_unknown_destination_reported():
+    inet, relay, (ca,) = _setup(n_clients=1)
+    result = {}
+
+    def a():
+        yield from ca.connect()
+        link = yield from ca.open_link("ghost")
+        try:
+            yield from link.recv(10)
+        except RelayError as exc:
+            result["error"] = str(exc)
+
+    inet.sim.process(a())
+    inet.sim.run(until=30)
+    assert "unknown destination" in result["error"]
+
+
+def test_duplicate_registration_rejected():
+    inet, relay, (ca, cb) = _setup()
+    cb.node_id = "node0"  # collide with ca
+    result = {}
+
+    def a():
+        yield from ca.connect()
+        result["a"] = "ok"
+
+    def b():
+        yield inet.sim.timeout(1.0)
+        try:
+            yield from cb.connect()
+            result["b"] = "ok"
+        except RelayError as exc:
+            result["b"] = str(exc)
+
+    inet.sim.process(a())
+    inet.sim.process(b())
+    inet.sim.run(until=30)
+    assert result["a"] == "ok"
+    assert "ok" != result["b"]
+
+
+def test_multiple_channels_are_independent():
+    inet, relay, (ca, cb) = _setup()
+    result = {}
+
+    def a():
+        yield from ca.connect()
+        while not cb.connected:
+            yield inet.sim.timeout(0.01)
+        l1 = yield from ca.open_link("node1")
+        l2 = yield from ca.open_link("node1")
+        yield from l2.send_all(b"second")
+        yield from l1.send_all(b"first!")
+
+    def b():
+        yield from cb.connect()
+        l1 = yield from cb.accept_link()
+        l2 = yield from cb.accept_link()
+        result["ch1"] = yield from l1.recv_exactly(6)
+        result["ch2"] = yield from l2.recv_exactly(6)
+
+    inet.sim.process(a())
+    inet.sim.process(b())
+    inet.sim.run(until=30)
+    # Channels are accepted in open order; payloads stay on their channel
+    # even though they were sent in the opposite order.
+    assert result == {"ch1": b"first!", "ch2": b"second"}
+
+
+def test_close_propagates_eof():
+    inet, relay, (ca, cb) = _setup()
+    result = {}
+
+    def a():
+        yield from ca.connect()
+        while not cb.connected:
+            yield inet.sim.timeout(0.01)
+        link = yield from ca.open_link("node1")
+        yield from link.send_all(b"bye")
+        link.close()
+
+    def b():
+        yield from cb.connect()
+        link = yield from cb.accept_link()
+        result["data"] = yield from link.recv_exactly(3)
+        result["eof"] = yield from link.recv(10)
+
+    inet.sim.process(a())
+    inet.sim.process(b())
+    inet.sim.run(until=30)
+    assert result == {"data": b"bye", "eof": b""}
+
+
+def test_relay_counts_forwarded_traffic():
+    inet, relay, (ca, cb) = _setup()
+
+    def a():
+        yield from ca.connect()
+        while not cb.connected:
+            yield inet.sim.timeout(0.01)
+        link = yield from ca.open_link("node1")
+        yield from link.send_all(b"x" * 1000)
+
+    def b():
+        yield from cb.connect()
+        link = yield from cb.accept_link()
+        yield from link.recv_exactly(1000)
+
+    inet.sim.process(a())
+    inet.sim.process(b())
+    inet.sim.run(until=30)
+    assert relay.forwarded_bytes >= 1000
+    assert relay.forwarded_messages >= 1
+
+
+def test_open_payload_tag_delivered():
+    inet, relay, (ca, cb) = _setup()
+    result = {}
+
+    def a():
+        yield from ca.connect()
+        while not cb.connected:
+            yield inet.sim.timeout(0.01)
+        yield from ca.open_link("node1", payload=b"data:42")
+
+    def b():
+        yield from cb.connect()
+        link = yield from cb.accept_link()
+        result["tag"] = link.open_payload
+
+    inet.sim.process(a())
+    inet.sim.process(b())
+    inet.sim.run(until=30)
+    assert result["tag"] == b"data:42"
+
+
+def test_reflector_reports_observed_address():
+    inet = Internet(seed=3)
+    public = inet.add_public_host("pub")
+    reflector = ReflectorServer(public, 3478)
+    reflector.start()
+    client = inet.add_public_host("client")
+    result = {}
+
+    def proc():
+        from repro.simnet.sockets import connect
+
+        sock = yield from connect(client, reflector.addr, lport=7777)
+        raw = yield from sock.recv_exactly(32)
+        result["observed"] = raw.decode().strip()
+        sock.close()
+
+    drive(inet.sim, proc())
+    assert result["observed"] == f"{client.ip}:7777"
+    assert reflector.probes == 1

@@ -1,0 +1,143 @@
+"""The rel driver: reliable FIFO blocks over UDP (go-back-N)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.utilization import BlockChannel, ReliableUdpDriver
+from repro.simnet.testing import two_public_hosts, wan_pair
+
+
+def _driver_pair(inet, a, b, **kwargs):
+    sock_a = a.udp.bind(7000)
+    sock_b = b.udp.bind(7001)
+    da = ReliableUdpDriver(sock_a, (b.ip, 7001), **kwargs)
+    db = ReliableUdpDriver(sock_b, (a.ip, 7000), **kwargs)
+    return da, db
+
+
+def _exchange(inet, tx, rx, blocks, until=300):
+    received = []
+
+    def sender():
+        for block in blocks:
+            yield from tx.send_block(block)
+
+    def receiver():
+        for _ in blocks:
+            received.append((yield from rx.recv_block()))
+
+    inet.sim.process(sender())
+    inet.sim.process(receiver())
+    inet.sim.run(until=inet.sim.now + until)
+    return received
+
+
+class TestLossless:
+    def test_blocks_round_trip(self):
+        inet, a, b = two_public_hosts(seed=1)
+        tx, rx = _driver_pair(inet, a, b)
+        blocks = [b"alpha", b"", b"gamma" * 2000]
+        assert _exchange(inet, tx, rx, blocks) == blocks
+
+    def test_full_duplex(self):
+        inet, a, b = two_public_hosts(seed=2)
+        da, db = _driver_pair(inet, a, b)
+        res = {}
+
+        def side_a():
+            yield from da.send_block(b"from-a")
+            res["a_got"] = yield from da.recv_block()
+
+        def side_b():
+            res["b_got"] = yield from db.recv_block()
+            yield from db.send_block(b"from-b")
+
+        inet.sim.process(side_a())
+        inet.sim.process(side_b())
+        inet.sim.run(until=inet.sim.now + 60)
+        assert res == {"b_got": b"from-a", "a_got": b"from-b"}
+
+    def test_block_larger_than_window(self):
+        inet, a, b = two_public_hosts(seed=3)
+        tx, rx = _driver_pair(inet, a, b, window=4)
+        block = bytes(range(256)) * 1000  # ~175 datagrams >> window 4
+        assert _exchange(inet, tx, rx, [block]) == [block]
+
+    def test_eof_after_close(self):
+        inet, a, b = two_public_hosts(seed=4)
+        tx, rx = _driver_pair(inet, a, b)
+        res = {}
+
+        def sender():
+            yield from tx.send_block(b"last")
+            tx.close()
+
+        def receiver():
+            res["block"] = yield from rx.recv_block()
+            try:
+                yield from rx.recv_block()
+            except EOFError:
+                res["eof"] = True
+
+        inet.sim.process(sender())
+        inet.sim.process(receiver())
+        inet.sim.run(until=inet.sim.now + 60)
+        assert res == {"block": b"last", "eof": True}
+
+    def test_block_channel_on_top(self):
+        inet, a, b = two_public_hosts(seed=5)
+        tx, rx = _driver_pair(inet, a, b)
+        cha, chb = BlockChannel(tx, 8192), BlockChannel(rx, 8192)
+        res = {}
+
+        def sender():
+            yield from cha.send_message(b"messages over rel_udp" * 100)
+
+        def receiver():
+            res["msg"] = yield from chb.recv_message()
+
+        inet.sim.process(sender())
+        inet.sim.process(receiver())
+        inet.sim.run(until=inet.sim.now + 60)
+        assert res["msg"] == b"messages over rel_udp" * 100
+
+
+class TestUnderLoss:
+    def test_delivery_with_heavy_loss(self):
+        inet, a, b = wan_pair(capacity=5e6, one_way_delay=0.005, loss=0.1, seed=11)
+        tx, rx = _driver_pair(inet, a, b, rto=0.05)
+        blocks = [bytes([i]) * 5000 for i in range(20)]
+        got = _exchange(inet, tx, rx, blocks, until=600)
+        assert got == blocks
+        assert tx.retransmissions > 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        payload=st.binary(min_size=0, max_size=20_000),
+        loss=st.sampled_from([0.0, 0.05, 0.2]),
+        seed=st.integers(0, 500),
+    )
+    def test_stream_integrity_property(self, payload, loss, seed):
+        inet, a, b = wan_pair(capacity=5e6, one_way_delay=0.003, loss=loss, seed=seed)
+        tx, rx = _driver_pair(inet, a, b, rto=0.03)
+        got = _exchange(inet, tx, rx, [payload], until=600)
+        assert got == [payload]
+
+    def test_peer_unreachable_raises(self):
+        inet, a, b = two_public_hosts(seed=6)
+        sock_a = a.udp.bind(7000)
+        # Peer port is not bound: every datagram vanishes.
+        tx = ReliableUdpDriver(sock_a, (b.ip, 7999), rto=0.02, max_retries=5)
+        res = {}
+
+        def sender():
+            try:
+                yield from tx.send_block(b"x" * 200_000)
+                # Window fills; retries exhaust while waiting.
+            except Exception as exc:
+                res["error"] = type(exc).__name__
+
+        inet.sim.process(sender())
+        inet.sim.run(until=inet.sim.now + 60)
+        assert res["error"] == "DriverError"

@@ -1,0 +1,87 @@
+"""The GridScenario builder itself."""
+
+import pytest
+
+from repro.core.scenarios import SITE_KINDS, GridScenario
+from repro.simnet.packet import is_private
+
+
+class TestBuilder:
+    def test_unknown_kind_rejected(self):
+        sc = GridScenario()
+        with pytest.raises(ValueError):
+            sc.add_site("x", "bogus")
+
+    def test_all_kinds_buildable(self):
+        sc = GridScenario()
+        for i, kind in enumerate(SITE_KINDS):
+            sc.add_site(f"s{i}", kind)
+        assert len(sc.sites) == len(SITE_KINDS)
+
+    def test_nat_sites_get_private_addresses(self):
+        sc = GridScenario()
+        sc.add_site("n", "cone_nat")
+        node = sc.add_node("n", "x")
+        assert is_private(node.host.ip)
+
+    def test_endpoint_info_matches_kind(self):
+        sc = GridScenario()
+        sc.add_site("f", "firewall")
+        sc.add_site("s", "symmetric_nat")
+        sc.add_site("v", "severe")
+        nf = sc.add_node("f", "nf")
+        ns = sc.add_node("s", "ns")
+        nv = sc.add_node("v", "nv")
+        assert nf.info.behind_firewall and not nf.info.behind_nat
+        assert ns.info.behind_nat and ns.info.nat_predictable is False
+        assert ns.info.socks_proxy is not None
+        assert nv.info.outbound_blocked and nv.info.socks_proxy is not None
+
+    def test_proxies_only_where_needed(self):
+        sc = GridScenario()
+        sc.add_site("o", "open")
+        sc.add_site("b", "broken_nat")
+        assert "o" not in sc.proxies
+        assert "b" in sc.proxies
+
+    def test_relay_bandwidth_configurable(self):
+        sc = GridScenario(relay_bandwidth=1e6)
+        iface = sc.relay_host.interfaces[0]
+        assert iface.transmitter.bandwidth == 1e6
+
+
+class TestMeasurement:
+    def test_throughput_helper_end_to_end(self):
+        sc = GridScenario(seed=71)
+        sc.add_site("a", "open", access_bandwidth=4e6, access_delay=0.005)
+        sc.add_site("b", "open", access_bandwidth=4e6, access_delay=0.005)
+        sc.add_node("a", "src")
+        sc.add_node("b", "dst")
+        result = sc.measure_stack_throughput(
+            "src", "dst", "tcp_block", b"p" * 65536, 2_000_000
+        )
+        # The sender rounds up to whole messages.
+        assert 2_000_000 <= result["received"] < 2_000_000 + 65536 * 2
+        assert 0.2 < result["throughput"] <= 4.2
+
+    def test_establish_pair_reports_metadata(self):
+        sc = GridScenario(seed=72)
+        sc.add_site("a", "open")
+        sc.add_site("b", "firewall")
+        sc.add_node("a", "x")
+        sc.add_node("b", "y")
+        res = sc.establish_pair("x", "y")
+        assert res["method"] == "splicing"
+        assert res["native_tcp"] is True
+        assert res["delay"] > 0
+        assert res["initiator_log"] and res["responder_log"]
+
+    def test_establish_pair_timeout_raises(self):
+        sc = GridScenario(seed=73)
+        sc.add_site("a", "open")
+        sc.add_site("b", "open")
+        sc.add_node("a", "x")
+        # "y" never added/started: establishment cannot happen
+        sc.add_node("b", "z")
+        with pytest.raises((RuntimeError, KeyError)):
+            sc.establish_pair("x", "y", until=5)

@@ -1,0 +1,118 @@
+"""Stack specification parsing and assembly."""
+
+import pytest
+
+from repro.core.links import TcpLink
+from repro.core.utilization import (
+    AdaptiveCompressionDriver,
+    CompressionDriver,
+    ParallelStreamsDriver,
+    StackSpecError,
+    TcpBlockDriver,
+    TlsDriver,
+    build_stack,
+    find_driver,
+    iter_drivers,
+    links_required,
+    parse_stack,
+)
+from repro.simnet import connect, listen
+from repro.simnet.testing import two_public_hosts
+
+
+class TestParse:
+    def test_single_networking_layer(self):
+        assert parse_stack("tcp_block") == [("tcp_block", {})]
+
+    def test_parallel_with_count(self):
+        assert parse_stack("parallel:4") == [("parallel", {"streams": 4})]
+
+    def test_full_stack(self):
+        layers = parse_stack("tls|compress:1|parallel:8:fragment=8192")
+        assert layers == [
+            ("tls", {}),
+            ("compress", {"level": 1}),
+            ("parallel", {"streams": 8, "fragment": 8192}),
+        ]
+
+    def test_keyword_params(self):
+        layers = parse_stack("adaptive:probe=4|tcp_block")
+        assert layers[0] == ("adaptive", {"probe": 4})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "nonsense",
+            "compress",  # no networking layer at the bottom
+            "tcp_block|compress",  # networking layer not last
+            "tcp_block|tcp_block",
+            "tls:9|tcp_block",  # tls takes no positional
+        ],
+    )
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(StackSpecError):
+            parse_stack(bad)
+
+
+class TestLinksRequired:
+    def test_tcp_block_needs_one(self):
+        assert links_required("tcp_block") == 1
+        assert links_required("compress|tcp_block") == 1
+
+    def test_parallel_needs_n(self):
+        assert links_required("parallel:4") == 4
+        assert links_required("tls|compress|parallel:8") == 8
+
+
+class TestBuild:
+    def _links(self, n):
+        inet, a, b = two_public_hosts()
+        out = {}
+
+        def srv():
+            listener = listen(b, 5000, backlog=n)
+            out["b"] = []
+            for _ in range(n):
+                s = yield from listener.accept()
+                out["b"].append(TcpLink(s, "client_server"))
+
+        def cli():
+            out["a"] = []
+            for _ in range(n):
+                s = yield from connect(a, (b.ip, 5000))
+                out["a"].append(TcpLink(s, "client_server"))
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=30)
+        return inet, a, out["a"]
+
+    def test_build_tcp_block(self):
+        _inet, host, links = self._links(1)
+        stack = build_stack("tcp_block", links, host=host)
+        assert isinstance(stack, TcpBlockDriver)
+
+    def test_build_layered(self):
+        _inet, host, links = self._links(4)
+        stack = build_stack("tls|compress|parallel:4", links, host=host)
+        kinds = [type(d) for d in iter_drivers(stack)]
+        assert kinds == [TlsDriver, CompressionDriver, ParallelStreamsDriver]
+
+    def test_build_adaptive(self):
+        _inet, host, links = self._links(1)
+        stack = build_stack("adaptive|tcp_block", links, host=host)
+        assert isinstance(stack, AdaptiveCompressionDriver)
+
+    def test_find_driver(self):
+        _inet, host, links = self._links(2)
+        stack = build_stack("compress|parallel:2", links, host=host)
+        assert find_driver(stack, ParallelStreamsDriver) is not None
+        assert find_driver(stack, TlsDriver) is None
+
+    def test_wrong_link_count_rejected(self):
+        _inet, host, links = self._links(2)
+        with pytest.raises(StackSpecError):
+            build_stack("tcp_block", links, host=host)
+        with pytest.raises(StackSpecError):
+            build_stack("parallel:4", links, host=host)

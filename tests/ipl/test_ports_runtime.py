@@ -1,0 +1,290 @@
+"""Send/receive ports and the Ibis runtime, end to end over the grid."""
+
+import array
+
+import pytest
+
+from repro.core.scenarios import GridScenario
+from repro.ipl.ports import PortClosed
+
+
+def _two_node_setup(kind_a="open", kind_b="open", seed=31, **ibis_kwargs):
+    sc = GridScenario(seed=seed)
+    sc.add_site("A", kind_a)
+    sc.add_site("B", kind_b)
+    ia = sc.add_ibis("A", "alpha", **ibis_kwargs)
+    ib = sc.add_ibis("B", "beta", **ibis_kwargs)
+    return sc, ia, ib
+
+
+def _connect_with_retry(sc, send_port, target, spec=None):
+    while True:
+        try:
+            yield from send_port.connect(target, spec=spec)
+            return
+        except Exception:
+            yield sc.sim.timeout(0.2)
+
+
+class TestBasicMessaging:
+    def test_one_message(self):
+        sc, ia, ib = _two_node_setup()
+        res = {}
+
+        def receiver():
+            yield from ib.start()
+            port = yield from ib.create_receive_port("in")
+            msg = yield from port.receive()
+            res["value"] = msg.read_int()
+            res["origin"] = msg.origin
+            msg.finish()
+
+        def sender():
+            yield from ia.start()
+            sp = ia.create_send_port("out")
+            yield from _connect_with_retry(sc, sp, "in")
+            m = sp.new_message()
+            m.write_int(99)
+            yield from m.finish()
+
+        sc.sim.process(receiver())
+        sc.sim.process(sender())
+        sc.run(until=60)
+        assert res == {"value": 99, "origin": "alpha"}
+
+    def test_fifo_ordering(self):
+        sc, ia, ib = _two_node_setup()
+        res = {"got": []}
+
+        def receiver():
+            yield from ib.start()
+            port = yield from ib.create_receive_port("in")
+            for _ in range(10):
+                msg = yield from port.receive()
+                res["got"].append(msg.read_int())
+
+        def sender():
+            yield from ia.start()
+            sp = ia.create_send_port("out")
+            yield from _connect_with_retry(sc, sp, "in")
+            for i in range(10):
+                m = sp.new_message()
+                m.write_int(i)
+                yield from m.finish()
+
+        sc.sim.process(receiver())
+        sc.sim.process(sender())
+        sc.run(until=60)
+        assert res["got"] == list(range(10))
+
+    def test_typed_payloads_across_firewalls(self):
+        sc, ia, ib = _two_node_setup("firewall", "firewall")
+        res = {}
+
+        def receiver():
+            yield from ib.start()
+            port = yield from ib.create_receive_port("in")
+            msg = yield from port.receive()
+            res["s"] = msg.read_string()
+            res["arr"] = list(msg.read_array())
+            res["obj"] = msg.read_object()
+            msg.finish()
+
+        def sender():
+            yield from ia.start()
+            sp = ia.create_send_port("out")
+            yield from _connect_with_retry(sc, sp, "in")
+            m = sp.new_message()
+            m.write_string("résult")
+            m.write_array(array.array("d", [0.5, 1.5]))
+            m.write_object({"k": (1, 2)})
+            yield from m.finish()
+
+        sc.sim.process(receiver())
+        sc.sim.process(sender())
+        sc.run(until=120)
+        assert res == {"s": "résult", "arr": [0.5, 1.5], "obj": {"k": (1, 2)}}
+
+
+class TestGroupCommunication:
+    def test_one_send_port_to_many_receive_ports(self):
+        """§5: 'one send port might be connected to multiple receive ports'."""
+        sc = GridScenario(seed=33)
+        sc.add_site("A", "open")
+        sc.add_site("B", "firewall")
+        sc.add_site("C", "cone_nat")
+        sender_ibis = sc.add_ibis("A", "root")
+        workers = [sc.add_ibis(s, f"w{i}") for i, s in enumerate(["B", "C"])]
+        res = {}
+
+        def worker(ibis, i):
+            yield from ibis.start()
+            port = yield from ibis.create_receive_port(f"worker-{i}")
+            msg = yield from port.receive()
+            res[f"w{i}"] = msg.read_string()
+
+        def root():
+            yield from sender_ibis.start()
+            sp = sender_ibis.create_send_port("bcast")
+            for i in range(2):
+                yield from _connect_with_retry(sc, sp, f"worker-{i}")
+            m = sp.new_message()
+            m.write_string("broadcast!")
+            yield from m.finish()
+
+        for i, w in enumerate(workers):
+            sc.sim.process(worker(w, i))
+        sc.sim.process(root())
+        sc.run(until=240)
+        assert res == {"w0": "broadcast!", "w1": "broadcast!"}
+
+    def test_many_send_ports_to_one_receive_port(self):
+        """§5: '... and vice versa' — fan-in with per-sender origin."""
+        sc = GridScenario(seed=34)
+        sc.add_site("A", "open")
+        sc.add_site("B", "firewall")
+        sc.add_site("C", "open")
+        sink = sc.add_ibis("A", "sink")
+        sources = [sc.add_ibis(s, f"src{i}") for i, s in enumerate(["B", "C"])]
+        res = {"got": {}}
+
+        def sink_proc():
+            yield from sink.start()
+            port = yield from sink.create_receive_port("gather")
+            for _ in range(2):
+                msg = yield from port.receive()
+                res["got"][msg.origin] = msg.read_int()
+
+        def source_proc(ibis, value):
+            yield from ibis.start()
+            sp = ibis.create_send_port("out")
+            yield from _connect_with_retry(sc, sp, "gather")
+            m = sp.new_message()
+            m.write_int(value)
+            yield from m.finish()
+
+        sc.sim.process(sink_proc())
+        for i, src in enumerate(sources):
+            sc.sim.process(source_proc(src, i * 10))
+        sc.run(until=240)
+        assert res["got"] == {"src0": 0, "src1": 10}
+
+
+class TestRuntimeBehaviour:
+    def test_connect_to_unknown_port_fails(self):
+        sc, ia, ib = _two_node_setup()
+        res = {}
+
+        def proc():
+            yield from ia.start()
+            sp = ia.create_send_port("out")
+            try:
+                yield from sp.connect("no-such-port")
+            except Exception as exc:
+                res["error"] = type(exc).__name__
+
+        sc.sim.process(proc())
+        sc.run(until=60)
+        assert res["error"] in ("RegistryError", "IbisError")
+
+    def test_custom_stack_spec_per_connection(self):
+        sc, ia, ib = _two_node_setup("firewall", "firewall")
+        res = {}
+
+        def receiver():
+            yield from ib.start()
+            port = yield from ib.create_receive_port("in")
+            msg = yield from port.receive()
+            res["data"] = msg.read_bytes()
+
+        def sender():
+            yield from ia.start()
+            sp = ia.create_send_port("out")
+            yield from _connect_with_retry(sc, sp, "in", spec="compress|parallel:2")
+            m = sp.new_message()
+            m.write_bytes(b"pattern" * 5000)
+            yield from m.finish()
+
+        sc.sim.process(receiver())
+        sc.sim.process(sender())
+        sc.run(until=120)
+        assert res["data"] == b"pattern" * 5000
+
+    def test_send_without_connect_fails(self):
+        sc, ia, ib = _two_node_setup()
+
+        def proc():
+            yield from ia.start()
+            sp = ia.create_send_port("out")
+            with pytest.raises(PortClosed, match="not connected"):
+                sp.new_message()
+
+        sc.sim.process(proc())
+        sc.run(until=30)
+
+    def test_election(self):
+        sc, ia, ib = _two_node_setup()
+        res = {}
+
+        def a():
+            yield from ia.start()
+            res["a"] = yield from ia.elect("coordinator")
+
+        def b():
+            yield from ib.start()
+            yield sc.sim.timeout(5.0)
+            res["b"] = yield from ib.elect("coordinator")
+
+        sc.sim.process(a())
+        sc.sim.process(b())
+        sc.run(until=60)
+        assert res["a"] == res["b"]
+
+    def test_leave_unregisters(self):
+        sc, ia, ib = _two_node_setup()
+        res = {}
+
+        def a():
+            yield from ia.start()
+            yield from ia.create_receive_port("temp")
+            yield from ia.leave()
+            res["left"] = True
+
+        def b():
+            yield from ib.start()
+            yield sc.sim.timeout(10.0)
+            sp = ib.create_send_port("out")
+            try:
+                yield from sp.connect("temp")
+                res["connected"] = True
+            except Exception:
+                res["connected"] = False
+
+        sc.sim.process(a())
+        sc.sim.process(b())
+        sc.run(until=120)
+        assert res == {"left": True, "connected": False}
+
+    def test_poll_nonblocking(self):
+        sc, ia, ib = _two_node_setup()
+        res = {}
+
+        def receiver():
+            yield from ib.start()
+            port = yield from ib.create_receive_port("in")
+            res["empty"] = port.poll()
+            msg = yield from port.receive()
+            res["value"] = msg.read_int()
+
+        def sender():
+            yield from ia.start()
+            sp = ia.create_send_port("out")
+            yield from _connect_with_retry(sc, sp, "in")
+            m = sp.new_message()
+            m.write_int(5)
+            yield from m.finish()
+
+        sc.sim.process(receiver())
+        sc.sim.process(sender())
+        sc.run(until=60)
+        assert res == {"empty": None, "value": 5}

@@ -1,0 +1,147 @@
+"""Typed message serialization."""
+
+import array
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ipl.serialization import (
+    MessageReader,
+    MessageWriter,
+    SerializationError,
+)
+
+
+class TestRoundTrips:
+    def test_all_types(self):
+        w = MessageWriter()
+        w.write_bool(True).write_int(-5).write_long(1 << 40)
+        w.write_double(3.25).write_string("grüß dich").write_bytes(b"\x00\xff")
+        w.write_array(array.array("i", [1, 2, 3]))
+        w.write_object({"nested": [1, "two"]})
+        r = MessageReader(w.getvalue())
+        assert r.read_bool() is True
+        assert r.read_int() == -5
+        assert r.read_long() == 1 << 40
+        assert r.read_double() == 3.25
+        assert r.read_string() == "grüß dich"
+        assert r.read_bytes() == b"\x00\xff"
+        assert list(r.read_array()) == [1, 2, 3]
+        assert r.read_object() == {"nested": [1, "two"]}
+        r.finish()
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_int_property(self, value):
+        r = MessageReader(MessageWriter().write_int(value).getvalue())
+        assert r.read_int() == value
+
+    @given(st.floats(allow_nan=False))
+    def test_double_property(self, value):
+        r = MessageReader(MessageWriter().write_double(value).getvalue())
+        assert r.read_double() == value
+
+    @given(st.text(max_size=200))
+    def test_string_property(self, value):
+        r = MessageReader(MessageWriter().write_string(value).getvalue())
+        assert r.read_string() == value
+
+    @given(st.lists(st.floats(allow_nan=False, width=64), max_size=50))
+    def test_double_array_property(self, values):
+        arr = array.array("d", values)
+        r = MessageReader(MessageWriter().write_array(arr).getvalue())
+        assert list(r.read_array()) == values
+
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1), max_size=50))
+    def test_int_array_property(self, values):
+        arr = array.array("i", values)
+        r = MessageReader(MessageWriter().write_array(arr).getvalue())
+        assert list(r.read_array()) == values
+
+
+class TestTypeSafety:
+    def test_type_mismatch_detected(self):
+        payload = MessageWriter().write_int(1).getvalue()
+        r = MessageReader(payload)
+        with pytest.raises(SerializationError, match="type mismatch"):
+            r.read_string()
+
+    def test_truncated_detected(self):
+        payload = MessageWriter().write_long(5).getvalue()[:-2]
+        r = MessageReader(payload)
+        with pytest.raises(SerializationError, match="truncated"):
+            r.read_long()
+
+    def test_unread_items_detected(self):
+        payload = MessageWriter().write_int(1).write_int(2).getvalue()
+        r = MessageReader(payload)
+        r.read_int()
+        with pytest.raises(SerializationError, match="unread"):
+            r.finish()
+
+    def test_write_array_rejects_lists(self):
+        with pytest.raises(SerializationError):
+            MessageWriter().write_array([1, 2, 3])
+
+    def test_size_tracks_payload(self):
+        w = MessageWriter()
+        w.write_bytes(b"x" * 100)
+        assert w.size == len(w.getvalue()) == 1 + 4 + 100
+
+
+class TestNumpyArrays:
+    def test_2d_round_trip(self):
+        import numpy as np
+
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+        r = MessageReader(MessageWriter().write_ndarray(arr).getvalue())
+        got = r.read_ndarray()
+        assert got.dtype == arr.dtype
+        assert got.shape == arr.shape
+        assert (got == arr).all()
+
+    def test_various_dtypes(self):
+        import numpy as np
+
+        for dtype in (np.int8, np.int32, np.uint16, np.float32, np.complex128):
+            arr = np.array([[1, 2], [3, 4]], dtype=dtype)
+            got = MessageReader(
+                MessageWriter().write_ndarray(arr).getvalue()
+            ).read_ndarray()
+            assert got.dtype == arr.dtype
+            assert (got == arr).all()
+
+    def test_empty_and_scalar_shapes(self):
+        import numpy as np
+
+        for arr in (np.zeros((0, 5)), np.array(7.5)):
+            got = MessageReader(
+                MessageWriter().write_ndarray(arr).getvalue()
+            ).read_ndarray()
+            assert got.shape == arr.shape
+
+    def test_noncontiguous_input_handled(self):
+        import numpy as np
+
+        base = np.arange(20).reshape(4, 5)
+        view = base[:, ::2]  # non-contiguous
+        got = MessageReader(
+            MessageWriter().write_ndarray(view).getvalue()
+        ).read_ndarray()
+        assert (got == view).all()
+
+    def test_result_is_writable_copy(self):
+        import numpy as np
+
+        arr = np.ones(4)
+        got = MessageReader(
+            MessageWriter().write_ndarray(arr).getvalue()
+        ).read_ndarray()
+        got[0] = 99  # must not raise (frombuffer alone would be read-only)
+
+    def test_wire_size_is_near_raw(self):
+        import numpy as np
+
+        arr = np.zeros(10000, dtype=np.float64)
+        payload = MessageWriter().write_ndarray(arr).getvalue()
+        assert len(payload) < arr.nbytes + 64  # tag+dtype+shape overhead only

@@ -1,0 +1,145 @@
+"""HKDF (RFC 5869 vectors), DH, and Schnorr signatures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.dh import (
+    GROUP14_G,
+    GROUP14_P,
+    GROUP14_Q,
+    DHPrivateKey,
+    shared_secret,
+)
+from repro.security.hkdf import hkdf, hkdf_expand, hkdf_extract
+from repro.security.schnorr import (
+    SignatureError,
+    SigningKey,
+    VerifyKey,
+    sign,
+    verify,
+)
+
+
+class TestHkdfRfc5869:
+    def test_case_1(self):
+        ikm = b"\x0b" * 22
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk == bytes.fromhex(
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_3_empty_salt_info(self):
+        ikm = b"\x0b" * 22
+        okm = hkdf(b"", ikm, b"", 42)
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_expand_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64), st.integers(1, 500))
+    def test_deterministic(self, salt, ikm, length):
+        assert hkdf(salt, ikm, b"x", length) == hkdf(salt, ikm, b"x", length)
+
+
+class TestGroup14:
+    def test_p_is_odd_2048_bit(self):
+        assert GROUP14_P.bit_length() == 2048
+        assert GROUP14_P % 2 == 1
+
+    def test_g_generates_prime_order_subgroup(self):
+        # g^q == 1 (g is a quadratic residue in a safe-prime group)
+        assert pow(GROUP14_G, GROUP14_Q, GROUP14_P) == 1
+        assert pow(GROUP14_G, 2, GROUP14_P) != 1
+
+
+class TestDH:
+    def test_key_agreement(self):
+        a = DHPrivateKey(exponent=0x1234567890ABCDEF1234567890ABCDEF)
+        b = DHPrivateKey(exponent=0xFEDCBA0987654321FEDCBA0987654321)
+        assert a.shared(b.public) == b.shared(a.public)
+
+    def test_shared_secret_is_256_bytes(self):
+        a = DHPrivateKey()
+        b = DHPrivateKey()
+        assert len(a.shared(b.public)) == 256
+
+    def test_rejects_degenerate_publics(self):
+        a = DHPrivateKey()
+        for bad in (0, 1, GROUP14_P - 1, GROUP14_P):
+            with pytest.raises(ValueError):
+                a.shared(bad)
+
+    def test_rejects_small_subgroup_element(self):
+        a = DHPrivateKey()
+        # An element of order 2 (the only small subgroup in a safe prime
+        # group is {1, p-1}); also test a non-residue.
+        non_residue = GROUP14_P - 2  # -2 is not a QR when 2 is
+        with pytest.raises(ValueError):
+            a.shared(non_residue)
+
+    def test_distinct_keys_distinct_secrets(self):
+        a, b, c = DHPrivateKey(), DHPrivateKey(), DHPrivateKey()
+        assert a.shared(b.public) != a.shared(c.public)
+
+
+class TestSchnorr:
+    def test_sign_verify_round_trip(self):
+        key = SigningKey.from_seed(b"alice")
+        sig = key.sign(b"message")
+        assert verify(key.verify_key.public, b"message", sig)
+
+    def test_wrong_message_fails(self):
+        key = SigningKey.from_seed(b"alice")
+        sig = key.sign(b"message")
+        assert not verify(key.verify_key.public, b"other", sig)
+
+    def test_wrong_key_fails(self):
+        alice = SigningKey.from_seed(b"alice")
+        mallory = SigningKey.from_seed(b"mallory")
+        sig = alice.sign(b"message")
+        assert not verify(mallory.verify_key.public, b"message", sig)
+
+    def test_tampered_signature_fails(self):
+        key = SigningKey.from_seed(b"alice")
+        e, s = key.sign(b"message")
+        assert not verify(key.verify_key.public, b"message", (e, (s + 1) % GROUP14_Q))
+        assert not verify(key.verify_key.public, b"message", ((e + 1) % GROUP14_Q, s))
+
+    def test_deterministic_signatures(self):
+        key = SigningKey.from_seed(b"alice")
+        assert key.sign(b"m") == key.sign(b"m")
+
+    def test_verify_key_raises_on_bad(self):
+        key = SigningKey.from_seed(b"alice")
+        with pytest.raises(SignatureError):
+            key.verify_key.verify(b"m", (1, 2))
+
+    def test_verify_key_encode_decode(self):
+        key = SigningKey.from_seed(b"bob")
+        encoded = key.verify_key.encode()
+        assert VerifyKey.decode(encoded) == key.verify_key
+
+    def test_out_of_range_signature_rejected(self):
+        key = SigningKey.from_seed(b"alice")
+        assert not verify(key.verify_key.public, b"m", (GROUP14_Q, 5))
+        assert not verify(key.verify_key.public, b"m", (5, GROUP14_Q))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=0, max_size=128))
+    def test_round_trip_property(self, message):
+        key = SigningKey.from_seed(b"prop")
+        assert verify(key.verify_key.public, message, key.sign(message))

@@ -1,0 +1,174 @@
+"""CPU cost model and the packet tracer."""
+
+import pytest
+
+from repro.simnet import Internet, Tracer, connect, listen
+from repro.simnet.cpu import CpuModel, charge
+from repro.simnet.engine import Simulator
+from repro.simnet.testing import drive, echo_server
+
+
+class TestCpuModel:
+    def test_work_takes_time(self):
+        sim = Simulator()
+        cpu = CpuModel(sim, rates={"compress": 1e6})
+        done = []
+
+        def proc():
+            yield cpu.work("compress", 500_000)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+
+    def test_work_serializes_on_one_core(self):
+        sim = Simulator()
+        cpu = CpuModel(sim, rates={"compress": 1e6})
+        done = []
+
+        def proc(n):
+            yield cpu.work("compress", 100_000)
+            done.append((n, sim.now))
+
+        sim.process(proc(1))
+        sim.process(proc(2))
+        sim.run()
+        assert done[0][1] == pytest.approx(0.1)
+        assert done[1][1] == pytest.approx(0.2)  # queued behind the first
+
+    def test_two_cores_run_parallel(self):
+        sim = Simulator()
+        cpu = CpuModel(sim, rates={"compress": 1e6}, cores=2)
+        done = []
+
+        def proc(n):
+            yield cpu.work("compress", 100_000)
+            done.append(sim.now)
+
+        sim.process(proc(1))
+        sim.process(proc(2))
+        sim.run()
+        assert done == [pytest.approx(0.1), pytest.approx(0.1)]
+
+    def test_unknown_kind_is_free(self):
+        sim = Simulator()
+        cpu = CpuModel(sim, rates={})
+        done = []
+
+        def proc():
+            yield cpu.work("nonexistent", 10**9)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [0.0]
+
+    def test_fixed_cost_ops(self):
+        sim = Simulator()
+        cpu = CpuModel(sim, op_costs={"dh": 0.02})
+        done = []
+
+        def proc():
+            yield cpu.op("dh")
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(0.02)]
+
+    def test_charge_helper_without_model_is_free(self):
+        sim = Simulator()
+
+        class FakeHost:
+            cpu = None
+
+        host = FakeHost()
+        host.sim = sim
+        done = []
+
+        def proc():
+            yield charge(host, "compress", 10**9)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [0.0]
+
+    def test_busy_seconds_accumulates(self):
+        sim = Simulator()
+        cpu = CpuModel(sim, rates={"compress": 1e6})
+
+        def proc():
+            yield cpu.work("compress", 250_000)
+
+        sim.process(proc())
+        sim.run()
+        assert cpu.busy_seconds == pytest.approx(0.25)
+
+    def test_bad_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CpuModel(Simulator(), cores=0)
+
+
+class TestTracer:
+    def _traced_transfer(self, **tracer_kwargs):
+        inet = Internet(seed=4)
+        a = inet.add_public_host("a")
+        b = inet.add_public_host("b")
+        tracer = Tracer(inet.net, **tracer_kwargs)
+
+        def proc():
+            inet.sim.process(echo_server(b, 5000))
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(b"traceme")
+            yield from sock.recv_exactly(7)
+            sock.close()
+
+        drive(inet.sim, proc())
+        return tracer
+
+    def test_records_tx_and_rx(self):
+        tracer = self._traced_transfer()
+        kinds = {e.kind for e in tracer.entries}
+        assert "tx" in kinds and "rx" in kinds
+
+    def test_kind_filter(self):
+        tracer = self._traced_transfer(only={"rx"})
+        assert all(e.kind == "rx" for e in tracer.entries)
+
+    def test_host_filter(self):
+        tracer = self._traced_transfer(hosts={"a"})
+        assert all(e.host == "a" for e in tracer.entries)
+        assert tracer.entries
+
+    def test_handshake_segments_extracted(self):
+        tracer = self._traced_transfer(only={"rx"})
+        flags = [e.segment.flags_str() for e in tracer.handshake_segments()]
+        assert "SYN" in flags and "SYN|ACK" in flags
+
+    def test_render_is_readable(self):
+        tracer = self._traced_transfer(only={"rx"}, hosts={"b"})
+        text = tracer.render()
+        assert "SYN" in text
+        assert "ms" in text
+
+    def test_detach_stops_recording(self):
+        inet = Internet(seed=4)
+        a = inet.add_public_host("a")
+        b = inet.add_public_host("b")
+        tracer = Tracer(inet.net)
+        tracer.detach()
+
+        def proc():
+            inet.sim.process(echo_server(b, 5000))
+            sock = yield from connect(a, (b.ip, 5000))
+            sock.close()
+
+        drive(inet.sim, proc())
+        assert tracer.entries == []
+
+    def test_state_transitions_traced(self):
+        tracer = self._traced_transfer(only={"tcp-state"})
+        details = [e.detail for e in tracer.entries]
+        assert any("ESTABLISHED" in d for d in details)

@@ -1,0 +1,132 @@
+"""Engine utilities added during integration: with_timeout and friends."""
+
+import pytest
+
+from repro.simnet.engine import (
+    Interrupt,
+    SimulationError,
+    Simulator,
+    with_timeout,
+)
+
+
+class TestWithTimeout:
+    def test_returns_value_when_fast_enough(self):
+        sim = Simulator()
+        out = []
+
+        def inner():
+            yield sim.timeout(1.0)
+            return "done"
+
+        def outer():
+            value = yield from with_timeout(sim, inner(), 5.0)
+            out.append((sim.now, value))
+
+        sim.process(outer())
+        sim.run()
+        assert out == [(1.0, "done")]
+
+    def test_raises_timeout_and_interrupts_inner(self):
+        sim = Simulator()
+        out = {}
+
+        def inner():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                out["interrupted_at"] = sim.now
+                raise
+
+        def outer():
+            try:
+                yield from with_timeout(sim, inner(), 2.0)
+            except TimeoutError:
+                out["timeout_at"] = sim.now
+
+        sim.process(outer())
+        sim.run()
+        assert out == {"interrupted_at": 2.0, "timeout_at": 2.0}
+
+    def test_inner_exception_propagates(self):
+        sim = Simulator()
+        out = {}
+
+        def inner():
+            yield sim.timeout(0.5)
+            raise ValueError("inner boom")
+
+        def outer():
+            try:
+                yield from with_timeout(sim, inner(), 5.0)
+            except ValueError as exc:
+                out["error"] = str(exc)
+
+        sim.process(outer())
+        sim.run()
+        assert out == {"error": "inner boom"}
+
+    def test_inner_cleanup_runs_on_timeout(self):
+        sim = Simulator()
+        cleaned = []
+
+        def inner():
+            try:
+                yield sim.timeout(100.0)
+            finally:
+                cleaned.append(sim.now)
+
+        def outer():
+            with pytest.raises(TimeoutError):
+                yield from with_timeout(sim, inner(), 1.5)
+
+        sim.process(outer())
+        sim.run()
+        assert cleaned == [1.5]
+
+
+class TestProcessEdgeCases:
+    def test_process_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_self_interrupt_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(0)
+            me = sim.active_process
+            with pytest.raises(SimulationError):
+                me.interrupt()
+
+        sim.process(proc())
+        sim.run()
+
+    def test_immediate_return_process(self):
+        sim = Simulator()
+
+        def empty():
+            return 7
+            yield  # pragma: no cover
+
+        value = sim.run_until_triggered(sim.process(empty()))
+        assert value == 7
+
+    def test_waiting_on_already_finished_process(self):
+        sim = Simulator()
+        out = []
+
+        def quick():
+            yield sim.timeout(0.1)
+            return "early"
+
+        def late(proc):
+            yield sim.timeout(5.0)
+            value = yield proc  # already processed
+            out.append(value)
+
+        proc = sim.process(quick())
+        sim.process(late(proc))
+        sim.run()
+        assert out == ["early"]

@@ -1,0 +1,99 @@
+"""Stateful firewall: conntrack, exemptions, strict outbound."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.firewall import StatefulFirewall
+from repro.simnet.packet import Segment
+
+
+def _seg(src, dst, sport=1000, dport=2000, **kwargs):
+    return Segment(src=(src, sport), dst=(dst, dport), **kwargs)
+
+
+INSIDE = "10.1.0.10"
+OUTSIDE = "198.51.100.7"
+
+
+class TestConntrack:
+    def test_outbound_allowed_and_tracked(self):
+        fw = StatefulFirewall()
+        assert fw.egress(_seg(INSIDE, OUTSIDE, syn=True)) is not None
+        assert fw.stats.out_allowed == 1
+
+    def test_unsolicited_inbound_dropped(self):
+        fw = StatefulFirewall()
+        assert fw.ingress(_seg(OUTSIDE, INSIDE, syn=True)) is None
+        assert fw.stats.in_dropped == 1
+
+    def test_reply_to_tracked_flow_allowed(self):
+        fw = StatefulFirewall()
+        fw.egress(_seg(INSIDE, OUTSIDE, sport=5, dport=6, syn=True))
+        reply = _seg(OUTSIDE, INSIDE, sport=6, dport=5, syn=True, ack_flag=True)
+        assert fw.ingress(reply) is not None
+
+    def test_crossing_syn_allowed_after_outbound_syn(self):
+        """The Figure 2 splicing property."""
+        fw = StatefulFirewall()
+        fw.egress(_seg(INSIDE, OUTSIDE, sport=7000, dport=7001, syn=True))
+        crossing = _seg(OUTSIDE, INSIDE, sport=7001, dport=7000, syn=True)
+        assert fw.ingress(crossing) is not None
+
+    def test_flow_match_is_exact(self):
+        fw = StatefulFirewall()
+        fw.egress(_seg(INSIDE, OUTSIDE, sport=1, dport=2))
+        # different remote port: not the mirrored flow
+        assert fw.ingress(_seg(OUTSIDE, INSIDE, sport=3, dport=1)) is None
+
+    def test_flush_drops_state(self):
+        fw = StatefulFirewall()
+        fw.egress(_seg(INSIDE, OUTSIDE, sport=5, dport=6))
+        fw.flush()
+        assert fw.ingress(_seg(OUTSIDE, INSIDE, sport=6, dport=5)) is None
+
+    def test_conntrack_expiry(self):
+        sim = Simulator()
+        fw = StatefulFirewall(conntrack_timeout=10.0, sim=sim)
+        fw.egress(_seg(INSIDE, OUTSIDE, sport=5, dport=6))
+        sim.run(until=100.0)  # advance the clock
+        assert fw.ingress(_seg(OUTSIDE, INSIDE, sport=6, dport=5)) is None
+
+    def test_activity_refreshes_entry(self):
+        sim = Simulator()
+        fw = StatefulFirewall(conntrack_timeout=10.0, sim=sim)
+        fw.egress(_seg(INSIDE, OUTSIDE, sport=5, dport=6))
+        sim.run(until=8.0)
+        fw.egress(_seg(INSIDE, OUTSIDE, sport=5, dport=6))  # refresh
+        sim.run(until=16.0)
+        assert fw.ingress(_seg(OUTSIDE, INSIDE, sport=6, dport=5)) is not None
+
+
+class TestPolicies:
+    def test_open_ports_admit_unsolicited(self):
+        fw = StatefulFirewall(open_ports={22})
+        assert fw.ingress(_seg(OUTSIDE, INSIDE, dport=22, syn=True)) is not None
+        assert fw.ingress(_seg(OUTSIDE, INSIDE, dport=23, syn=True)) is None
+
+    def test_exempt_gateway_addresses(self):
+        fw = StatefulFirewall()
+        fw.exempt_ips.add("198.51.1.2")
+        inbound = _seg(OUTSIDE, "198.51.1.2", syn=True)
+        assert fw.ingress(inbound) is not None
+        outbound = _seg("198.51.1.2", OUTSIDE, syn=True)
+        assert fw.egress(outbound) is not None
+
+    def test_strict_outbound_blocks_direct(self):
+        fw = StatefulFirewall(
+            strict_outbound=True, allowed_destinations={"198.51.1.2"}
+        )
+        assert fw.egress(_seg(INSIDE, OUTSIDE, syn=True)) is None
+        assert fw.stats.out_dropped == 1
+        assert fw.egress(_seg(INSIDE, "198.51.1.2", syn=True)) is not None
+
+    def test_strict_outbound_established_flow_continues(self):
+        fw = StatefulFirewall(
+            strict_outbound=True, allowed_destinations={"198.51.1.2"}
+        )
+        fw.egress(_seg(INSIDE, "198.51.1.2", sport=1, dport=2, syn=True))
+        # follow-up packets of the tracked flow pass
+        assert fw.egress(_seg(INSIDE, "198.51.1.2", sport=1, dport=2)) is not None

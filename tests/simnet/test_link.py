@@ -1,0 +1,127 @@
+"""Link model: serialization, propagation, queueing, loss."""
+
+import random
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link, Transmitter
+from repro.simnet.packet import SEGMENT_OVERHEAD, Segment
+
+
+class _Sink:
+    def __init__(self):
+        self.got = []
+
+    def __call__(self, seg):
+        self.got.append(seg)
+
+
+def _seg(n=0):
+    return Segment(src=("1.1.1.1", 1), dst=("2.2.2.2", 2), payload=b"x" * n)
+
+
+def _tx(sim, delay=0.01, bandwidth=1e6, queue=10**9, loss=0.0, seed=0):
+    tx = Transmitter(sim, delay, bandwidth, queue, loss, random.Random(seed))
+    sink = _Sink()
+    tx.deliver = sink
+    return tx, sink
+
+
+def test_delivery_time_is_serialization_plus_propagation():
+    sim = Simulator()
+    tx, sink = _tx(sim, delay=0.01, bandwidth=1e6)
+    seg = _seg(960)  # 1000 bytes on the wire
+    tx.transmit(seg)
+    sim.run()
+    # 1000 B / 1e6 B/s = 1 ms serialization + 10 ms propagation
+    assert sim.now == pytest.approx(0.011)
+    assert sink.got == [seg]
+
+
+def test_back_to_back_packets_serialize_sequentially():
+    sim = Simulator()
+    tx, sink = _tx(sim, delay=0.0, bandwidth=1e6)
+    times = []
+    tx.deliver = lambda seg: times.append(sim.now)
+    for _ in range(3):
+        tx.transmit(_seg(960))
+    sim.run()
+    assert times == [pytest.approx(0.001 * (i + 1)) for i in range(3)]
+
+
+def test_queue_drop_tail():
+    sim = Simulator()
+    seg_size = SEGMENT_OVERHEAD + 960
+    tx, sink = _tx(sim, bandwidth=1e6, queue=2 * seg_size)
+    for _ in range(5):
+        tx.transmit(_seg(960))
+    sim.run()
+    assert len(sink.got) == 2
+    assert tx.stats.drops_queue == 3
+
+
+def test_loss_is_deterministic_per_seed():
+    def run(seed):
+        sim = Simulator()
+        tx, sink = _tx(sim, loss=0.5, seed=seed)
+        for _ in range(50):
+            tx.transmit(_seg(10))
+        sim.run()
+        return len(sink.got), tx.stats.drops_loss
+
+    assert run(1) == run(1)
+    delivered, dropped = run(1)
+    assert delivered + dropped == 50
+    assert 0 < dropped < 50
+
+
+def test_counters_track_bytes():
+    sim = Simulator()
+    tx, sink = _tx(sim)
+    tx.transmit(_seg(100))
+    sim.run()
+    assert tx.stats.tx_bytes == SEGMENT_OVERHEAD + 100
+    assert tx.stats.delivered_bytes == SEGMENT_OVERHEAD + 100
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Transmitter(sim, -1, 1e6, 10, 0.0, random.Random())
+    with pytest.raises(ValueError):
+        Transmitter(sim, 0.0, 0, 10, 0.0, random.Random())
+    with pytest.raises(ValueError):
+        Transmitter(sim, 0.0, 1e6, 10, 1.0, random.Random())
+
+
+def test_link_default_queue_is_bdp_floored():
+    sim = Simulator()
+    link = Link(sim, delay=0.1, bandwidth=1e7)
+    assert link.a_to_b.queue_bytes == int(1e7 * 0.1)
+    small = Link(sim, delay=0.0001, bandwidth=1e6)
+    assert small.a_to_b.queue_bytes == 65536
+
+
+def test_link_directions_independent():
+    sim = Simulator()
+    link = Link(sim, delay=0.01, bandwidth=1e6, name="t")
+
+    class FakeIface:
+        def __init__(self):
+            self.got = []
+
+        def attach(self, link, tx):
+            self.tx = tx
+
+        def receive(self, seg):
+            self.got.append(seg)
+
+    fa, fb = FakeIface(), FakeIface()
+    link.connect(fa, fb)
+    fa.tx.transmit(_seg(10))
+    fa.tx.transmit(_seg(10))
+    fb.tx.transmit(_seg(10))
+    sim.run()
+    assert len(fb.got) == 2
+    assert len(fa.got) == 1

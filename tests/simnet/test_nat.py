@@ -1,0 +1,122 @@
+"""NAT flavours: mapping rules, rewriting, the splicing-relevant behaviours."""
+
+import pytest
+
+from repro.simnet.nat import BrokenNAT, ConeNAT, SymmetricNAT
+from repro.simnet.packet import Segment
+
+EXT = "198.51.1.2"
+IN_A = ("10.1.0.10", 5000)
+IN_B = ("10.1.0.11", 5000)
+DST1 = ("198.51.100.7", 80)
+DST2 = ("198.51.100.8", 80)
+
+
+def _nat(cls):
+    nat = cls()
+    nat.configure(external_ip=EXT)
+    return nat
+
+
+def _seg(src, dst, **kwargs):
+    return Segment(src=src, dst=dst, **kwargs)
+
+
+class TestConeNAT:
+    def test_outbound_rewritten_to_external(self):
+        nat = _nat(ConeNAT)
+        seg = nat.egress(_seg(IN_A, DST1))
+        assert seg.src[0] == EXT
+
+    def test_port_preserving_when_free(self):
+        nat = _nat(ConeNAT)
+        seg = nat.egress(_seg(IN_A, DST1))
+        assert seg.src[1] == IN_A[1]
+
+    def test_endpoint_independent_mapping(self):
+        nat = _nat(ConeNAT)
+        p1 = nat.egress(_seg(IN_A, DST1)).src[1]
+        p2 = nat.egress(_seg(IN_A, DST2)).src[1]
+        assert p1 == p2  # same mapping toward any destination
+
+    def test_colliding_internal_ports_get_distinct_mappings(self):
+        nat = _nat(ConeNAT)
+        p1 = nat.egress(_seg(IN_A, DST1)).src[1]
+        p2 = nat.egress(_seg(IN_B, DST1)).src[1]
+        assert p1 != p2
+
+    def test_inbound_translated_back(self):
+        nat = _nat(ConeNAT)
+        out = nat.egress(_seg(IN_A, DST1))
+        back = nat.ingress(_seg(DST1, (EXT, out.src[1]), ack_flag=True))
+        assert back is not None
+        assert back.dst == IN_A
+
+    def test_inbound_bare_syn_forwarded(self):
+        """Simultaneous open traverses a compliant cone NAT."""
+        nat = _nat(ConeNAT)
+        out = nat.egress(_seg(IN_A, DST1, syn=True))
+        crossing = nat.ingress(_seg(DST1, (EXT, out.src[1]), syn=True))
+        assert crossing is not None
+        assert crossing.dst == IN_A
+
+    def test_unmapped_port_passes_to_gateway(self):
+        """Traffic for the gateway's own services is not NAT business."""
+        nat = _nat(ConeNAT)
+        seg = nat.ingress(_seg(DST1, (EXT, 1080), syn=True))
+        assert seg is not None
+        assert seg.dst == (EXT, 1080)
+
+    def test_wrong_external_ip_dropped(self):
+        nat = _nat(ConeNAT)
+        assert nat.ingress(_seg(DST1, ("198.51.9.9", 80))) is None
+
+    def test_gateway_own_traffic_untouched(self):
+        nat = _nat(ConeNAT)
+        seg = nat.egress(_seg((EXT, 4000), DST1))
+        assert seg.src == (EXT, 4000)
+
+    def test_high_internal_ports_not_preserved(self):
+        """Ephemeral-range ports would collide with the gateway's own."""
+        nat = _nat(ConeNAT)
+        seg = nat.egress(_seg(("10.1.0.10", 60000), DST1))
+        assert seg.src[1] < 49152
+
+
+class TestSymmetricNAT:
+    def test_mapping_differs_per_destination(self):
+        nat = _nat(SymmetricNAT)
+        p1 = nat.egress(_seg(IN_A, DST1)).src[1]
+        p2 = nat.egress(_seg(IN_A, DST2)).src[1]
+        assert p1 != p2
+
+    def test_inbound_from_other_source_filtered(self):
+        nat = _nat(SymmetricNAT)
+        out = nat.egress(_seg(IN_A, DST1))
+        # DST2 aims at DST1's mapping: address-dependent filtering drops it
+        assert nat.ingress(_seg(DST2, (EXT, out.src[1]))) is None
+        assert nat.ingress(_seg(DST1, (EXT, out.src[1]))) is not None
+
+    def test_not_endpoint_independent_flag(self):
+        assert SymmetricNAT.endpoint_independent is False
+        assert ConeNAT.endpoint_independent is True
+
+
+class TestBrokenNAT:
+    def test_inbound_bare_syn_dropped(self):
+        nat = _nat(BrokenNAT)
+        out = nat.egress(_seg(IN_A, DST1, syn=True))
+        assert nat.ingress(_seg(DST1, (EXT, out.src[1]), syn=True)) is None
+        assert nat.stats.dropped_syn == 1
+
+    def test_syn_ack_still_passes(self):
+        """Ordinary client traffic is unaffected — only splicing breaks."""
+        nat = _nat(BrokenNAT)
+        out = nat.egress(_seg(IN_A, DST1, syn=True))
+        reply = nat.ingress(
+            _seg(DST1, (EXT, out.src[1]), syn=True, ack_flag=True)
+        )
+        assert reply is not None
+
+    def test_flag(self):
+        assert BrokenNAT.allows_simultaneous_open is False

@@ -1,0 +1,116 @@
+"""Packet model and address utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet.packet import (
+    SEGMENT_OVERHEAD,
+    Segment,
+    in_prefix,
+    int_to_ip,
+    ip_to_int,
+    is_private,
+)
+
+
+class TestIpConversion:
+    def test_round_trip_known(self):
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+        assert int_to_ip((10 << 24) + 1) == "10.0.0.1"
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("0.0.0.0") == 0
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_round_trip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""])
+    def test_bad_addresses_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+
+class TestPrefix:
+    def test_in_prefix(self):
+        assert in_prefix("10.1.2.3", "10.0.0.0", 8)
+        assert not in_prefix("11.1.2.3", "10.0.0.0", 8)
+        assert in_prefix("192.168.5.7", "192.168.5.0", 24)
+        assert not in_prefix("192.168.6.7", "192.168.5.0", 24)
+
+    def test_zero_prefix_matches_everything(self):
+        assert in_prefix("1.2.3.4", "0.0.0.0", 0)
+        assert in_prefix("255.255.255.255", "9.9.9.9", 0)
+
+    def test_host_prefix_exact(self):
+        assert in_prefix("1.2.3.4", "1.2.3.4", 32)
+        assert not in_prefix("1.2.3.5", "1.2.3.4", 32)
+
+    def test_bad_prefixlen(self):
+        with pytest.raises(ValueError):
+            in_prefix("1.2.3.4", "1.0.0.0", 33)
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_address_always_in_own_prefix(self, value, plen):
+        ip = int_to_ip(value)
+        assert in_prefix(ip, ip, plen)
+
+
+class TestPrivate:
+    @pytest.mark.parametrize(
+        "ip,expected",
+        [
+            ("10.0.0.1", True),
+            ("10.255.255.254", True),
+            ("172.16.0.1", True),
+            ("172.31.9.9", True),
+            ("172.32.0.1", False),
+            ("192.168.1.1", True),
+            ("192.169.1.1", False),
+            ("198.51.100.7", False),
+            ("8.8.8.8", False),
+        ],
+    )
+    def test_rfc1918(self, ip, expected):
+        assert is_private(ip) is expected
+
+
+class TestSegment:
+    def test_size_includes_headers(self):
+        seg = Segment(src=("1.1.1.1", 1), dst=("2.2.2.2", 2), payload=b"x" * 100)
+        assert seg.size == SEGMENT_OVERHEAD + 100
+
+    def test_seg_len_counts_syn_and_fin(self):
+        seg = Segment(src=("1.1.1.1", 1), dst=("2.2.2.2", 2), syn=True)
+        assert seg.seg_len == 1
+        seg = Segment(src=("1.1.1.1", 1), dst=("2.2.2.2", 2), fin=True, payload=b"ab")
+        assert seg.seg_len == 3
+
+    def test_flags_str(self):
+        seg = Segment(src=("1.1.1.1", 1), dst=("2.2.2.2", 2), syn=True, ack_flag=True)
+        assert seg.flags_str() == "SYN|ACK"
+        plain = Segment(src=("1.1.1.1", 1), dst=("2.2.2.2", 2))
+        assert plain.flags_str() == "."
+
+    def test_copy_gets_fresh_id(self):
+        seg = Segment(src=("1.1.1.1", 1), dst=("2.2.2.2", 2))
+        dup = seg.copy(payload=b"zz")
+        assert dup.pkt_id != seg.pkt_id
+        assert dup.payload == b"zz"
+        assert dup.src == seg.src
+
+    def test_describe_mentions_endpoints(self):
+        seg = Segment(src=("1.1.1.1", 10), dst=("2.2.2.2", 20), seq=5, payload=b"abc")
+        text = seg.describe()
+        assert "1.1.1.1:10" in text
+        assert "2.2.2.2:20" in text
+        assert "len=3" in text

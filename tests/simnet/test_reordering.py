@@ -1,0 +1,124 @@
+"""Packet reordering (link jitter) and TCP's resilience to it."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import connect, listen
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Transmitter
+from repro.simnet.packet import Segment
+from repro.simnet.testing import wan_pair
+
+
+def test_jitter_reorders_packets():
+    sim = Simulator()
+    tx = Transmitter(
+        sim, delay=0.001, bandwidth=1e9, queue_bytes=1 << 20, loss=0.0,
+        rng=random.Random(3), jitter=0.005,
+    )
+    order = []
+    tx.deliver = lambda seg: order.append(seg.seq)
+    for i in range(50):
+        tx.transmit(Segment(src=("1.1.1.1", 1), dst=("2.2.2.2", 2), seq=i))
+    sim.run()
+    assert sorted(order) == list(range(50))
+    assert order != list(range(50))  # genuinely reordered
+
+
+def test_zero_jitter_preserves_order():
+    sim = Simulator()
+    tx = Transmitter(
+        sim, delay=0.001, bandwidth=1e9, queue_bytes=1 << 20, loss=0.0,
+        rng=random.Random(3), jitter=0.0,
+    )
+    order = []
+    tx.deliver = lambda seg: order.append(seg.seq)
+    for i in range(50):
+        tx.transmit(Segment(src=("1.1.1.1", 1), dst=("2.2.2.2", 2), seq=i))
+    sim.run()
+    assert order == list(range(50))
+
+
+def test_negative_jitter_rejected():
+    with pytest.raises(ValueError):
+        Transmitter(
+            Simulator(), 0.001, 1e6, 1 << 20, 0.0, random.Random(), jitter=-1
+        )
+
+
+class TestTcpUnderReordering:
+    def _transfer(self, jitter, loss, nbytes, seed):
+        inet, a, b = wan_pair(
+            capacity=4e6, one_way_delay=0.01, loss=loss, seed=seed, jitter=jitter
+        )
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            got = bytearray()
+            while True:
+                data = yield from sock.recv(16384)
+                if not data:
+                    break
+                got.extend(data)
+            result["data"] = bytes(got)
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            payload = bytes((seed + i) % 256 for i in range(nbytes))
+            result["sent"] = payload
+            yield from sock.send_all(payload)
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=900)
+        return result
+
+    def test_integrity_with_heavy_jitter(self):
+        res = self._transfer(jitter=0.02, loss=0.0, nbytes=500_000, seed=1)
+        assert res["data"] == res["sent"]
+
+    def test_integrity_with_jitter_and_loss(self):
+        res = self._transfer(jitter=0.01, loss=0.02, nbytes=300_000, seed=2)
+        assert res["data"] == res["sent"]
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        jitter=st.sampled_from([0.0, 0.002, 0.01]),
+        loss=st.sampled_from([0.0, 0.03]),
+        seed=st.integers(0, 300),
+        nbytes=st.integers(1, 40_000),
+    )
+    def test_stream_integrity_property(self, jitter, loss, seed, nbytes):
+        res = self._transfer(jitter=jitter, loss=loss, nbytes=nbytes, seed=seed)
+        assert res["data"] == res["sent"]
+
+    def test_reordering_causes_spurious_fast_retransmits(self):
+        """Reordering looks like loss to Reno: dupacks trigger retransmits
+        even with zero actual loss — a real TCP phenomenon."""
+        inet, a, b = wan_pair(
+            capacity=4e6, one_way_delay=0.01, loss=0.0, seed=9, jitter=0.015
+        )
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            while (yield from sock.recv(65536)):
+                pass
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(b"r" * 2_000_000)
+            result["retx"] = sock.tcp.retransmits
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=600)
+        assert result["retx"] > 0

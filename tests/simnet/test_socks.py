@@ -1,0 +1,138 @@
+"""SOCKS5 proxy: CONNECT, BIND, error handling."""
+
+import pytest
+
+from repro.simnet import (
+    Internet,
+    SocksError,
+    SocksServer,
+    connect,
+    listen,
+    socks_accept_bound,
+    socks_bind,
+    socks_connect,
+)
+from repro.simnet.testing import drive, echo_server
+
+
+def _setup():
+    inet = Internet(seed=8)
+    proxy_host = inet.add_public_host("proxy")
+    client_host = inet.add_public_host("client")
+    target_host = inet.add_public_host("target")
+    server = SocksServer(proxy_host, 1080)
+    server.start()
+    return inet, server, client_host, target_host
+
+
+def test_connect_pipes_both_directions():
+    inet, server, client, target = _setup()
+    result = {}
+
+    def proc():
+        inet.sim.process(echo_server(target, 7000))
+        sock = yield from socks_connect(client, server.addr, (target.ip, 7000))
+        yield from sock.send_all(b"via-proxy")
+        result["echo"] = yield from sock.recv_exactly(9)
+        sock.close()
+
+    drive(inet.sim, proc())
+    assert result["echo"] == b"via-proxy"
+    assert server.sessions == 1
+
+
+def test_connect_to_refusing_target_reports_error():
+    inet, server, client, target = _setup()
+
+    def proc():
+        with pytest.raises(SocksError, match="error 5"):
+            yield from socks_connect(client, server.addr, (target.ip, 4444))
+
+    drive(inet.sim, proc())
+
+
+def test_bind_allows_inbound_through_proxy():
+    inet, server, client, target = _setup()
+    result = {}
+
+    def binder():
+        control, bound = yield from socks_bind(client, server.addr)
+        result["bound"] = bound
+
+        def dialer():
+            sock = yield from connect(target, bound)
+            yield from sock.send_all(b"inbound!")
+
+        inet.sim.process(dialer())
+        peer = yield from socks_accept_bound(control)
+        result["peer_ip"] = peer[0]
+        result["data"] = yield from control.recv_exactly(8)
+
+    drive(inet.sim, proc_gen := binder())
+    assert result["bound"][0] == server.addr[0]  # bound on the proxy itself
+    assert result["peer_ip"] == target.ip
+    assert result["data"] == b"inbound!"
+
+
+def test_large_transfer_through_proxy():
+    inet, server, client, target = _setup()
+    payload = bytes(i % 251 for i in range(300_000))
+    result = {}
+
+    def sink():
+        listener = listen(target, 7000)
+        sock = yield from listener.accept()
+        result["got"] = yield from sock.recv_exactly(len(payload))
+
+    def proc():
+        inet.sim.process(sink())
+        sock = yield from socks_connect(client, server.addr, (target.ip, 7000))
+        yield from sock.send_all(payload)
+
+    inet.sim.process(proc())
+    inet.sim.run(until=120)
+    assert result["got"] == payload
+
+
+def test_eof_propagates_through_pipes():
+    inet, server, client, target = _setup()
+    result = {}
+
+    def sink():
+        listener = listen(target, 7000)
+        sock = yield from listener.accept()
+        data = yield from sock.recv(100)
+        result["target_got"] = data
+        eof = yield from sock.recv(100)
+        result["target_eof"] = eof
+        sock.close()
+
+    def proc():
+        inet.sim.process(sink())
+        sock = yield from socks_connect(client, server.addr, (target.ip, 7000))
+        yield from sock.send_all(b"done")
+        sock.close()
+
+    inet.sim.process(proc())
+    inet.sim.run(until=60)
+    assert result == {"target_got": b"done", "target_eof": b""}
+
+
+def test_garbage_greeting_aborted():
+    from repro.simnet import ConnectionReset
+
+    inet, server, client, _target = _setup()
+    result = {}
+
+    def proc():
+        sock = yield from connect(client, server.addr)
+        yield from sock.send_all(b"\x04\x01")  # SOCKS4: unsupported
+        try:
+            result["reply"] = yield from sock.recv(10)
+        except ConnectionReset:
+            result["reply"] = "reset"
+
+    inet.sim.process(proc())
+    inet.sim.run(until=60)
+    # The proxy aborts the session: EOF or reset, never a SOCKS5 reply.
+    assert result["reply"] in (b"", "reset")

@@ -1,0 +1,102 @@
+"""Measurement helpers and trace rendering utilities."""
+
+import pytest
+
+from repro.simnet import Tracer, connect, handshake_diagram, mb_per_s
+from repro.simnet.engine import Simulator
+from repro.simnet.stats import SeriesRecorder, TransferMeter
+from repro.simnet.testing import drive, echo_server, two_public_hosts
+from repro.simnet.trace import format_trace
+
+
+class TestMbPerS:
+    def test_basic(self):
+        assert mb_per_s(1_000_000, 1.0) == 1.0
+        assert mb_per_s(500_000, 0.25) == 2.0
+
+    def test_zero_time_is_infinite(self):
+        assert mb_per_s(100, 0.0) == float("inf")
+
+
+class TestTransferMeter:
+    def test_measures_interval(self):
+        sim = Simulator()
+        meter = TransferMeter(sim)
+
+        def proc():
+            meter.start()
+            yield sim.timeout(2.0)
+            meter.add(4_000_000)
+            meter.stop()
+
+        sim.process(proc())
+        sim.run()
+        assert meter.seconds == 2.0
+        assert meter.throughput == pytest.approx(2.0)
+
+    def test_unstopped_meter_uses_now(self):
+        sim = Simulator()
+        meter = TransferMeter(sim)
+        meter.start()
+        meter.add(100)
+        sim.call_later(5.0, lambda: None)
+        sim.run()
+        assert meter.seconds == 5.0
+
+    def test_unstarted_meter_raises(self):
+        meter = TransferMeter(Simulator())
+        with pytest.raises(RuntimeError):
+            meter.seconds
+
+
+class TestSeriesRecorder:
+    def test_collects_points(self):
+        series = SeriesRecorder("plain")
+        series.add(16384, 0.9)
+        series.add(65536, 1.2)
+        assert series.xs() == [16384, 65536]
+        assert series.ys() == [0.9, 1.2]
+        assert series.peak() == 1.2
+
+    def test_empty_peak_is_zero(self):
+        assert SeriesRecorder("x").peak() == 0.0
+
+    def test_format_rows(self):
+        series = SeriesRecorder("s")
+        series.add(100, 1.5)
+        text = series.format_rows()
+        assert "100" in text and "1.50" in text
+
+
+class TestTraceRendering:
+    def _trace(self):
+        inet, a, b = two_public_hosts(seed=2)
+        tracer = Tracer(inet.net, only={"rx"})
+
+        def proc():
+            inet.sim.process(echo_server(b, 5000))
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(b"x")
+            yield from sock.recv_exactly(1)
+            sock.close()
+
+        drive(inet.sim, proc())
+        return tracer
+
+    def test_handshake_diagram_arrows(self):
+        tracer = self._trace()
+        arrows = handshake_diagram(tracer, "a", "b")
+        assert any("SYN" in arrow and "-->" in arrow for arrow in arrows)
+
+    def test_format_trace_lines(self):
+        tracer = self._trace()
+        text = format_trace(tracer.entries[:5])
+        assert text.count("\n") == 4
+        assert "rx" in text
+
+    def test_filter_predicate(self):
+        tracer = self._trace()
+        syns = tracer.filter(
+            lambda e: e.segment is not None and e.segment.syn
+        )
+        assert syns and all(e.segment.syn for e in syns)

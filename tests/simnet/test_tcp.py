@@ -1,0 +1,436 @@
+"""TCP state machine: handshakes, splicing, reliability, congestion control."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import (
+    ConnectRefused,
+    ConnectTimeout,
+    Internet,
+    TcpConfig,
+    Tracer,
+    connect,
+    connect_simultaneous,
+    listen,
+)
+from repro.simnet.testing import (
+    drive,
+    echo_server,
+    run_transfer,
+    two_public_hosts,
+    wan_pair,
+)
+
+
+class TestHandshake:
+    def test_client_server_establishes(self):
+        inet, a, b = two_public_hosts()
+        result = {}
+
+        def proc():
+            inet.sim.process(echo_server(b, 5000))
+            sock = yield from connect(a, (b.ip, 5000))
+            result["laddr"] = sock.laddr
+            result["raddr"] = sock.raddr
+            sock.close()
+
+        drive(inet.sim, proc())
+        assert result["raddr"] == (b.ip, 5000)
+        assert result["laddr"][0] == a.ip
+
+    def test_connect_to_closed_port_refused(self):
+        inet, a, b = two_public_hosts()
+
+        def proc():
+            with pytest.raises(ConnectRefused):
+                yield from connect(a, (b.ip, 4444))
+
+        drive(inet.sim, proc())
+
+    def test_connect_to_unreachable_times_out(self):
+        inet, a, b = two_public_hosts()
+
+        def proc():
+            with pytest.raises(ConnectTimeout):
+                # No route to this address: SYNs vanish.
+                yield from connect(a, ("198.51.99.99", 80))
+
+        drive(inet.sim, proc(), until=600)
+
+    def test_handshake_packet_sequence(self):
+        inet, a, b = two_public_hosts()
+        tracer = Tracer(inet.net, only={"rx"}, hosts={"a", "b"})
+
+        def proc():
+            inet.sim.process(echo_server(b, 5000))
+            sock = yield from connect(a, (b.ip, 5000))
+            sock.close()
+
+        drive(inet.sim, proc())
+        syn_segs = [
+            e.segment.flags_str()
+            for e in tracer.entries
+            if e.segment is not None and e.segment.syn
+        ]
+        # Figure 1 left: SYN then SYN|ACK (final ACK carries no SYN).
+        assert syn_segs[:2] == ["SYN", "SYN|ACK"]
+
+    def test_splicing_packet_sequence(self):
+        inet, a, b = two_public_hosts()
+        tracer = Tracer(inet.net, only={"rx"}, hosts={"a", "b"})
+        done = {}
+
+        def side(host, peer, lport, rport, key):
+            sock = yield from connect_simultaneous(host, (peer.ip, rport), lport)
+            done[key] = sock.laddr
+
+        inet.sim.process(side(a, b, 7000, 7001, "a"))
+        inet.sim.process(side(b, a, 7001, 7000, "b"))
+        inet.sim.run(until=30)
+        assert done.keys() == {"a", "b"}
+        syns = [
+            e.segment.flags_str()
+            for e in tracer.entries
+            if e.segment is not None and e.segment.syn
+        ]
+        # Figure 1 right: both bare SYNs cross, then both SYN|ACKs.
+        assert syns.count("SYN") == 2
+        assert syns.count("SYN|ACK") == 2
+
+    def test_accept_queue_multiple_clients(self):
+        inet = Internet()
+        server = inet.add_public_host("srv")
+        clients = [inet.add_public_host(f"c{i}") for i in range(3)]
+        result = {"served": 0}
+
+        def srv():
+            listener = listen(server, 5000, backlog=8)
+            for _ in range(3):
+                sock = yield from listener.accept()
+                data = yield from sock.recv_exactly(2)
+                assert data == b"hi"
+                result["served"] += 1
+                sock.close()
+
+        def cli(host):
+            sock = yield from connect(host, (server.ip, 5000))
+            yield from sock.send_all(b"hi")
+            sock.close()
+
+        inet.sim.process(srv())
+        for c in clients:
+            inet.sim.process(cli(c))
+        inet.sim.run(until=30)
+        assert result["served"] == 3
+
+
+class TestDataTransfer:
+    def test_bytes_arrive_intact_and_ordered(self):
+        inet, a, b = two_public_hosts()
+        payload = bytes(i % 251 for i in range(200_000))
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            got = bytearray()
+            while True:
+                data = yield from sock.recv(8192)
+                if not data:
+                    break
+                got.extend(data)
+            result["data"] = bytes(got)
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(payload)
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=120)
+        assert result["data"] == payload
+
+    def test_transfer_survives_packet_loss(self):
+        inet, sender, receiver = wan_pair(
+            capacity=2e6, one_way_delay=0.02, loss=0.02, seed=3
+        )
+        result = run_transfer(inet, sender, receiver, 500_000)
+        assert result["received"] == 500_000
+        assert result["throughput"] > 0.05
+
+    def test_retransmission_counters_increase_under_loss(self):
+        inet, a, b = wan_pair(capacity=2e6, one_way_delay=0.01, loss=0.05, seed=5)
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            total = 0
+            while True:
+                data = yield from sock.recv(65536)
+                if not data:
+                    break
+                total += len(data)
+            result["total"] = total
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(b"z" * 300_000)
+            result["retx"] = sock.tcp.retransmits
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=600)
+        assert result["total"] == 300_000
+        assert result["retx"] > 0
+
+    def test_bidirectional_transfer(self):
+        inet, a, b = two_public_hosts()
+        result = {}
+
+        def side(me, peer_ip, port, peer_port, key, starts):
+            if starts:
+                listener = listen(me, port)
+                sock = yield from listener.accept()
+            else:
+                sock = yield from connect(me, (peer_ip, peer_port))
+            yield from sock.send_all(bytes([len(key)]) * 50_000)
+            got = yield from sock.recv_exactly(50_000)
+            result[key] = got[:1]
+            sock.close()
+
+        inet.sim.process(side(a, b.ip, 0, 5000, "a", False))
+        inet.sim.process(side(b, a.ip, 5000, 0, "bb", True))
+        inet.sim.run(until=60)
+        assert result == {"a": bytes([2]), "bb": bytes([1])}
+
+    def test_eof_after_close(self):
+        inet, a, b = two_public_hosts()
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            result["first"] = yield from sock.recv(100)
+            result["eof"] = yield from sock.recv(100)
+            sock.close()
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(b"bye")
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=30)
+        assert result == {"first": b"bye", "eof": b""}
+
+    def test_flow_control_slow_reader(self):
+        """A slow reader's window throttles the sender without data loss."""
+        inet, a, b = two_public_hosts()
+        n = 300_000
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            got = 0
+            while True:
+                data = yield from sock.recv(4096)
+                if not data:
+                    break
+                got += len(data)
+                yield inet.sim.timeout(0.001)  # read slowly
+            result["got"] = got
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(b"q" * n)
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=600)
+        assert result["got"] == n
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nbytes=st.integers(min_value=1, max_value=60_000),
+        loss=st.sampled_from([0.0, 0.01, 0.05]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_stream_integrity_property(self, nbytes, loss, seed):
+        """TCP delivers exactly the sent byte stream under any loss rate."""
+        inet, a, b = wan_pair(capacity=5e6, one_way_delay=0.005, loss=loss, seed=seed)
+        payload = bytes((seed + i) % 256 for i in range(nbytes))
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            got = bytearray()
+            while True:
+                data = yield from sock.recv(8192)
+                if not data:
+                    break
+                got.extend(data)
+            result["data"] = bytes(got)
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(payload)
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=900)
+        assert result["data"] == payload
+
+
+class TestCongestionAndWindows:
+    def test_receive_window_caps_wan_throughput(self):
+        """High-BDP link: throughput ~ rcvbuf/RTT, far below capacity (§4.2)."""
+        inet, a, b = wan_pair(capacity=9e6, one_way_delay=0.0215, seed=1)
+        result = run_transfer(inet, a, b, 2_000_000)
+        rtt = 0.043
+        window_limit = 65536 / rtt / 1e6  # MB/s
+        assert result["throughput"] < 0.35 * 9  # nowhere near capacity
+        assert result["throughput"] == pytest.approx(window_limit, rel=0.35)
+
+    def test_bigger_buffers_help_but_recovery_is_inert(self):
+        """§4.2: window scaling lifts the cap, but single-stream TCP still
+        cannot fill a high-BDP pipe because loss recovery is slow."""
+        inet, a, b = wan_pair(capacity=9e6, one_way_delay=0.0215, seed=1)
+        small = run_transfer(inet, a, b, 2_000_000)
+        inet, a, b = wan_pair(capacity=9e6, one_way_delay=0.0215, seed=1)
+        cfg = TcpConfig(sndbuf=1 << 20, rcvbuf=1 << 20)
+        big = run_transfer(inet, a, b, 16_000_000, config=cfg)
+        assert big["throughput"] > 1.8 * small["throughput"]
+        assert big["throughput"] < 0.8 * 9  # still not filling the pipe
+
+    def test_low_bdp_lan_reaches_capacity(self):
+        inet, a, b = two_public_hosts()  # 2ms, 125 MB/s access links
+        # LAN-ish pair: short path below; use wan_pair with tiny delay
+        inet, a, b = wan_pair(capacity=12.5e6, one_way_delay=0.0005, seed=2)
+        result = run_transfer(inet, a, b, 3_000_000)
+        assert result["throughput"] > 0.8 * 12.5
+
+    def test_slow_start_then_congestion_avoidance(self):
+        inet, a, b = wan_pair(capacity=1.6e6, one_way_delay=0.015, seed=4)
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            while True:
+                data = yield from sock.recv(65536)
+                if not data:
+                    break
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            cfg = sock.tcp.cfg
+            assert sock.tcp.cwnd == cfg.initial_cwnd * cfg.mss
+            yield from sock.send_all(b"x" * 400_000)
+            result["cwnd"] = sock.tcp.cwnd
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=300)
+        # cwnd grew beyond the initial value
+        assert result["cwnd"] > 2 * 1460
+
+    def test_fast_retransmit_triggers_on_loss(self):
+        inet, a, b = wan_pair(capacity=4e6, one_way_delay=0.01, loss=0.01, seed=9)
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            total = 0
+            while True:
+                data = yield from sock.recv(65536)
+                if not data:
+                    break
+                total += len(data)
+            result["total"] = total
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(b"f" * 1_000_000)
+            result["fast"] = sock.tcp.fast_retransmits
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=600)
+        assert result["total"] == 1_000_000
+        assert result["fast"] > 0
+
+    def test_rtt_estimator_converges(self):
+        inet, a, b = wan_pair(capacity=5e6, one_way_delay=0.02, seed=6)
+        result = {}
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            while (yield from sock.recv(65536)):
+                pass
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(b"r" * 200_000)
+            result["srtt"] = sock.tcp.srtt
+            sock.close()
+
+        inet.sim.process(srv())
+        inet.sim.process(cli())
+        inet.sim.run(until=120)
+        assert result["srtt"] == pytest.approx(0.04, rel=0.5)
+
+
+class TestPortManagement:
+    def test_duplicate_bind_rejected(self):
+        inet, a, b = two_public_hosts()
+        listen(a, 5000)
+        from repro.simnet.tcp import TcpError
+
+        with pytest.raises(TcpError):
+            listen(a, 5000)
+
+    def test_reuse_allows_shared_port(self):
+        inet, a, b = two_public_hosts()
+        result = {}
+
+        def proc():
+            inet.sim.process(echo_server(b, 5000))
+            inet.sim.process(echo_server(b, 5001))
+            s1 = yield from connect(a, (b.ip, 5000), lport=9000, reuse=True)
+            s2 = yield from connect(a, (b.ip, 5001), lport=9000, reuse=True)
+            yield from s1.send_all(b"one")
+            yield from s2.send_all(b"two")
+            result["r1"] = yield from s1.recv_exactly(3)
+            result["r2"] = yield from s2.recv_exactly(3)
+
+        drive(inet.sim, proc())
+        assert result == {"r1": b"one", "r2": b"two"}
+
+    def test_ephemeral_ports_unique(self):
+        inet, a, b = two_public_hosts()
+        ports = set()
+
+        def proc():
+            for i in range(5):
+                inet.sim.process(echo_server(b, 6000 + i))
+            socks = []
+            for i in range(5):
+                s = yield from connect(a, (b.ip, 6000 + i))
+                ports.add(s.laddr[1])
+                socks.append(s)
+
+        drive(inet.sim, proc())
+        assert len(ports) == 5

@@ -1,0 +1,192 @@
+"""Nagle (TCP_NODELAY) and delayed-ACK behaviour (paper §4.1).
+
+"TCP does have a built-in mechanism for packet aggregation, called
+TCP_DELAY, but this is unfortunately unfit for parallel programming since
+it adds significantly to the latency."
+"""
+
+import pytest
+
+from repro.simnet import TcpConfig, Tracer, connect, listen
+from repro.simnet.testing import two_public_hosts
+
+
+def _two_part_request(nodelay, delayed_ack=0.0, seed=3):
+    """Client writes a request in two small parts; server answers after
+    receiving both — the classic write-write-read pattern Nagle penalizes."""
+    inet, a, b = two_public_hosts(seed=seed)
+    cfg = TcpConfig(nodelay=nodelay, delayed_ack=delayed_ack)
+    res = {}
+
+    def server():
+        b.tcp.config = cfg
+        listener = listen(b, 5000)
+        sock = yield from listener.accept()
+        yield from sock.recv_exactly(8)  # header + body
+        yield from sock.send_all(b"resp")
+
+    def client():
+        sock = yield from connect(a, (b.ip, 5000), config=cfg)
+        t0 = inet.sim.now
+        yield from sock.send_all(b"head")  # part 1 (runt)
+        yield from sock.send_all(b"body")  # part 2 (runt, Nagle-held)
+        yield from sock.recv_exactly(4)
+        res["elapsed"] = inet.sim.now - t0
+
+    inet.sim.process(server())
+    inet.sim.process(client())
+    inet.sim.run(until=inet.sim.now + 30)
+    return res["elapsed"]
+
+
+class TestNagle:
+    def test_nodelay_sends_runts_immediately(self):
+        inet, a, b = two_public_hosts(seed=1)
+        tracer = Tracer(inet.net, only={"tx"}, hosts={"a"})
+        res = {}
+
+        def server():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            res["got"] = yield from sock.recv_exactly(8)
+
+        def client():
+            sock = yield from connect(a, (b.ip, 5000))
+            yield from sock.send_all(b"tiny")
+            yield from sock.send_all(b"tiny")
+
+        inet.sim.process(server())
+        inet.sim.process(client())
+        inet.sim.run(until=inet.sim.now + 10)
+        payload_segments = [
+            e for e in tracer.entries if e.segment is not None and e.segment.payload
+        ]
+        # Two separate runt segments went out back to back.
+        assert len(payload_segments) == 2
+
+    def test_nagle_coalesces_runts(self):
+        inet, a, b = two_public_hosts(seed=1)
+        cfg = TcpConfig(nodelay=False)
+        tracer = Tracer(inet.net, only={"tx"}, hosts={"a"})
+        res = {}
+
+        def server():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            res["got"] = yield from sock.recv_exactly(12)
+
+        def client():
+            sock = yield from connect(a, (b.ip, 5000), config=cfg)
+            yield from sock.send_all(b"tiny")  # flies immediately (no flight)
+            yield from sock.send_all(b"tiny")  # held by Nagle
+            yield from sock.send_all(b"tiny")  # coalesced with the held one
+        inet.sim.process(server())
+        inet.sim.process(client())
+        inet.sim.run(until=inet.sim.now + 10)
+        assert res["got"] == b"tiny" * 3
+        payload_segments = [
+            e for e in tracer.entries if e.segment is not None and e.segment.payload
+        ]
+        # First runt + one coalesced segment, not three.
+        assert len(payload_segments) == 2
+
+    def test_nagle_adds_latency_to_two_part_requests(self):
+        fast = _two_part_request(nodelay=True)
+        slow = _two_part_request(nodelay=False)
+        # The second part waits for the first part's ACK: ~ one extra RTT.
+        assert slow > fast + 0.004
+
+    def test_nagle_does_not_block_full_segments(self):
+        inet, a, b = two_public_hosts(seed=2)
+        cfg = TcpConfig(nodelay=False)
+        res = {}
+
+        def server():
+            b.tcp.config = cfg
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            res["got"] = len((yield from sock.recv_exactly(100_000)))
+
+        def client():
+            sock = yield from connect(a, (b.ip, 5000), config=cfg)
+            yield from sock.send_all(b"B" * 100_000)
+
+        inet.sim.process(server())
+        inet.sim.process(client())
+        inet.sim.run(until=inet.sim.now + 30)
+        assert res["got"] == 100_000
+
+
+class TestDelayedAck:
+    def test_lone_segment_ack_is_delayed(self):
+        inet, a, b = two_public_hosts(seed=4)
+        cfg = TcpConfig(delayed_ack=0.04)
+        res = {}
+
+        def server():
+            b.tcp.config = cfg
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            yield from sock.recv_exactly(4)
+
+        def client():
+            sock = yield from connect(a, (b.ip, 5000), config=cfg)
+            t0 = inet.sim.now
+            yield from sock.send_all(b"solo")
+            # Wait until the data is acknowledged.
+            while sock.tcp.snd_una < sock.tcp.snd_nxt:
+                yield inet.sim.timeout(0.001)
+            res["ack_delay"] = inet.sim.now - t0
+
+        inet.sim.process(server())
+        inet.sim.process(client())
+        inet.sim.run(until=inet.sim.now + 10)
+        # RTT is ~8 ms; the delayed-ACK timer adds ~40 ms on top.
+        assert res["ack_delay"] > 0.035
+
+    def test_second_segment_triggers_immediate_ack(self):
+        inet, a, b = two_public_hosts(seed=4)
+        cfg = TcpConfig(delayed_ack=0.04)
+        res = {}
+
+        def server():
+            b.tcp.config = cfg
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            yield from sock.recv_exactly(2920)
+
+        def client():
+            sock = yield from connect(a, (b.ip, 5000), config=cfg)
+            t0 = inet.sim.now
+            yield from sock.send_all(b"x" * 2920)  # exactly two segments
+            while sock.tcp.snd_una < sock.tcp.snd_nxt:
+                yield inet.sim.timeout(0.001)
+            res["ack_delay"] = inet.sim.now - t0
+
+        inet.sim.process(server())
+        inet.sim.process(client())
+        inet.sim.run(until=inet.sim.now + 10)
+        assert res["ack_delay"] < 0.03  # no 40 ms stall
+
+    def test_bulk_transfer_survives_delayed_acks(self):
+        inet, a, b = two_public_hosts(seed=5)
+        cfg = TcpConfig(delayed_ack=0.04)
+        res = {}
+
+        def server():
+            b.tcp.config = cfg
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            got = bytearray()
+            while len(got) < 200_000:
+                got.extend((yield from sock.recv(65536)))
+            res["n"] = len(got)
+
+        def client():
+            sock = yield from connect(a, (b.ip, 5000), config=cfg)
+            yield from sock.send_all(b"y" * 200_000)
+
+        inet.sim.process(server())
+        inet.sim.process(client())
+        inet.sim.run(until=inet.sim.now + 60)
+        assert res["n"] == 200_000

@@ -1,0 +1,90 @@
+"""The library's own scenario helpers (repro.simnet.testing)."""
+
+import pytest
+
+from repro.simnet import ConeNAT, Internet, connect
+from repro.simnet.testing import (
+    drive,
+    echo_server,
+    reflector_server,
+    run_transfer,
+    sink_server,
+    stun_probe,
+    two_public_hosts,
+    wan_pair,
+)
+
+
+class TestBuilders:
+    def test_two_public_hosts_distinct(self):
+        inet, a, b = two_public_hosts()
+        assert a.ip != b.ip
+        assert a.route(b.ip) is not None  # default route exists
+
+    def test_wan_pair_rtt_matches(self):
+        inet, a, b = wan_pair(capacity=5e6, one_way_delay=0.02, seed=1)
+        out = {}
+
+        def proc():
+            inet.sim.process(echo_server(b, 5000))
+            sock = yield from connect(a, (b.ip, 5000))
+            t0 = inet.sim.now
+            yield from sock.send_all(b"x")
+            yield from sock.recv_exactly(1)
+            out["rtt"] = inet.sim.now - t0
+
+        drive(inet.sim, proc())
+        assert out["rtt"] == pytest.approx(0.04, rel=0.2)
+
+    def test_wan_pair_queue_floor(self):
+        inet, a, b = wan_pair(capacity=1e5, one_way_delay=0.001, seed=1)
+        # Tiny BDP still gets the 64 KiB router-buffer floor.
+        assert inet.sites["left"].wan_link.a_to_b.queue_bytes >= 65536
+
+
+class TestRunTransfer:
+    def test_reports_consistent_metrics(self):
+        inet, a, b = wan_pair(capacity=4e6, one_way_delay=0.005, seed=2)
+        result = run_transfer(inet, a, b, 1_000_000)
+        assert result["received"] == 1_000_000
+        assert result["seconds"] > 0
+        assert result["throughput"] == pytest.approx(
+            1.0 / result["seconds"], rel=1e-6
+        )
+
+    def test_timeout_raises(self):
+        inet, a, b = wan_pair(capacity=1e4, one_way_delay=0.01, seed=3)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            run_transfer(inet, a, b, 50_000_000, until=1.0)
+
+
+class TestSinkAndStun:
+    def test_sink_server_counts(self):
+        inet, a, b = two_public_hosts(seed=4)
+        result = {}
+        inet.sim.process(sink_server(b, 7000, result))
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 7000))
+            yield from sock.send_all(b"s" * 12345)
+            sock.close()
+
+        inet.sim.process(cli())
+        inet.sim.run(until=inet.sim.now + 30)
+        assert result["received"] == 12345
+
+    def test_stun_probe_sees_nat_mapping(self):
+        inet = Internet(seed=5)
+        site = inet.add_site("n", nat=ConeNAT())
+        node = site.add_node()
+        public = inet.add_public_host("reflector")
+        inet.sim.process(reflector_server(public, 3478))
+        out = {}
+
+        def proc():
+            observed, probe = yield from stun_probe(node, (public.ip, 3478), 7100)
+            out["observed"] = observed
+            probe.close()
+
+        drive(inet.sim, proc())
+        assert out["observed"][0] == site.wan_ip  # the NAT's external face

@@ -1,0 +1,127 @@
+"""UDP datagram substrate."""
+
+import pytest
+
+from repro.simnet import Internet
+from repro.simnet.testing import drive, two_public_hosts, wan_pair
+from repro.simnet.udp import MAX_DATAGRAM, UdpError
+
+
+class TestUdpSockets:
+    def test_datagram_round_trip(self):
+        inet, a, b = two_public_hosts(seed=1)
+        res = {}
+
+        def receiver():
+            sock = b.udp.bind(9000)
+            data, src = yield sock.recvfrom()
+            res["data"] = data
+            res["src_ip"] = src[0]
+            sock.sendto(b"pong", src)
+
+        def sender():
+            sock = a.udp.bind(0)
+            sock.sendto(b"ping", (b.ip, 9000))
+            data, _src = yield sock.recvfrom()
+            res["reply"] = data
+
+        inet.sim.process(receiver())
+        inet.sim.process(sender())
+        inet.sim.run(until=10)
+        assert res == {"data": b"ping", "src_ip": a.ip, "reply": b"pong"}
+
+    def test_no_listener_drops_silently(self):
+        inet, a, b = two_public_hosts(seed=2)
+
+        def sender():
+            sock = a.udp.bind(0)
+            sock.sendto(b"void", (b.ip, 9999))
+            yield inet.sim.timeout(1.0)
+
+        drive(inet.sim, sender())
+        assert b.udp.dropped_no_socket == 1
+
+    def test_oversized_datagram_rejected(self):
+        inet, a, _b = two_public_hosts(seed=3)
+        sock = a.udp.bind(0)
+        with pytest.raises(UdpError, match="too large"):
+            sock.sendto(b"x" * (MAX_DATAGRAM + 1), ("198.51.100.11", 1))
+
+    def test_duplicate_bind_rejected(self):
+        inet, a, _b = two_public_hosts(seed=3)
+        a.udp.bind(7777)
+        with pytest.raises(UdpError, match="already bound"):
+            a.udp.bind(7777)
+
+    def test_close_releases_port(self):
+        inet, a, _b = two_public_hosts(seed=3)
+        sock = a.udp.bind(7777)
+        sock.close()
+        a.udp.bind(7777)  # rebindable
+
+    def test_loss_applies_to_datagrams(self):
+        inet, a, b = wan_pair(capacity=5e6, one_way_delay=0.005, loss=0.3, seed=7)
+        res = {"got": 0}
+
+        def receiver():
+            sock = b.udp.bind(9000)
+            while True:
+                yield sock.recvfrom()
+                res["got"] += 1
+
+        def sender():
+            sock = a.udp.bind(0)
+            for _ in range(200):
+                sock.sendto(b"d" * 100, (b.ip, 9000))
+                yield inet.sim.timeout(0.001)
+
+        inet.sim.process(receiver())
+        inet.sim.process(sender())
+        inet.sim.run(until=inet.sim.now + 10)
+        assert 80 < res["got"] < 180  # ~30% loss
+
+    def test_queue_overflow_drops(self):
+        inet, a, b = two_public_hosts(seed=4)
+        res = {}
+
+        def sender():
+            sock = a.udp.bind(0)
+            rx = b.udp.bind(9000, rcv_queue=4)
+            res["rx"] = rx
+            for _ in range(10):
+                sock.sendto(b"q", (b.ip, 9000))
+            yield inet.sim.timeout(1.0)
+
+        drive(inet.sim, sender())
+        assert res["rx"].drops_queue_full == 6
+
+    def test_udp_crosses_nat_outbound(self):
+        from repro.simnet import ConeNAT
+
+        inet = Internet(seed=5)
+        site = inet.add_site("natted", nat=ConeNAT())
+        inside = site.add_node()
+        outside = inet.add_public_host("out")
+        res = {}
+
+        def server():
+            sock = outside.udp.bind(9000)
+            data, src = yield sock.recvfrom()
+            res["data"] = data
+            res["src_is_external"] = src[0] == site.wan_ip
+            sock.sendto(b"back", src)
+
+        def client():
+            sock = inside.udp.bind(0)
+            sock.sendto(b"out-through-nat", (outside.ip, 9000))
+            data, _src = yield sock.recvfrom()
+            res["reply"] = data
+
+        inet.sim.process(server())
+        inet.sim.process(client())
+        inet.sim.run(until=10)
+        assert res == {
+            "data": b"out-through-nat",
+            "src_is_external": True,
+            "reply": b"back",
+        }

@@ -1,0 +1,61 @@
+"""End-to-end reproducibility: identical runs produce identical results.
+
+EXPERIMENTS.md promises bit-for-bit reproducibility; these tests hold the
+whole stack to it — same seeds, same event ordering, same numbers.
+"""
+
+from repro.core.scenarios import GridScenario
+from repro.simnet.testing import run_transfer, wan_pair
+from repro.workloads import payload_with_ratio
+
+
+def _establishment_run(seed):
+    sc = GridScenario(seed=seed)
+    sc.add_site("A", "open")
+    sc.add_site("B", "broken_nat")
+    sc.add_node("A", "a")
+    sc.add_node("B", "b")
+    res = sc.establish_pair("a", "b", until=400)
+    return (res["method"], res["delay"], tuple(res["initiator_log"]))
+
+
+def test_establishment_is_deterministic():
+    assert _establishment_run(123) == _establishment_run(123)
+
+
+def test_different_seeds_may_differ_but_still_succeed():
+    a = _establishment_run(1)
+    b = _establishment_run(2)
+    assert a[0] == b[0] == "socks_proxy"  # outcome stable across seeds
+
+
+def _throughput_run(seed):
+    inet, a, b = wan_pair(capacity=2e6, one_way_delay=0.01, loss=0.01, seed=seed)
+    result = run_transfer(inet, a, b, 1_000_000)
+    return result["throughput"], result["seconds"]
+
+
+def test_lossy_transfer_is_deterministic():
+    assert _throughput_run(7) == _throughput_run(7)
+
+
+def test_stacked_transfer_is_deterministic():
+    def run():
+        sc = GridScenario(seed=99)
+        for name in ("x", "y"):
+            sc.add_site(name, "firewall", access_bandwidth=2e6, access_delay=0.01)
+        sc.add_node("x", "src")
+        sc.add_node("y", "dst")
+        payload = payload_with_ratio(1 << 18, 3.0, seed=1)
+        r = sc.measure_stack_throughput(
+            "src", "dst", "compress|parallel:2", payload, 1_500_000
+        )
+        return r["throughput"], r["seconds"], r["received"]
+
+    assert run() == run()
+
+
+def test_workload_generators_are_deterministic():
+    assert payload_with_ratio(65536, 2.5, seed=4) == payload_with_ratio(
+        65536, 2.5, seed=4
+    )

@@ -1,0 +1,60 @@
+"""Public API surface: exports exist, are documented, and are importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.simnet",
+    "repro.security",
+    "repro.core",
+    "repro.core.establishment",
+    "repro.core.utilization",
+    "repro.ipl",
+    "repro.livenet",
+    "repro.workloads",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert getattr(module, name, None) is not None, f"{package}.{name}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_has_docstring(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and module.__doc__.strip()
+
+
+def test_public_classes_are_documented():
+    import repro.core as core
+    import repro.ipl as ipl
+    import repro.simnet as simnet
+
+    for module in (core, ipl, simnet):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{module.__name__}.{name} lacks a docstring"
+
+
+def test_top_level_convenience_exports():
+    import repro
+
+    assert repro.GridScenario.__name__ == "GridScenario"
+    assert repro.Ibis.__name__ == "Ibis"
+    assert repro.LiveIbis.__name__ == "LiveIbis"
+    with pytest.raises(AttributeError):
+        repro.NotAThing
+
+
+def test_version_is_pep440ish():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert all(part.isdigit() for part in parts)

@@ -1,0 +1,65 @@
+"""Synthetic workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    incompressible,
+    measured_ratio,
+    payload_with_ratio,
+    scientific_mesh,
+    text_like,
+)
+
+
+class TestGenerators:
+    def test_sizes_exact(self):
+        for gen in (incompressible, text_like, scientific_mesh):
+            assert len(gen(12345)) == 12345
+
+    def test_deterministic_in_seed(self):
+        assert incompressible(1000, seed=7) == incompressible(1000, seed=7)
+        assert text_like(1000, seed=7) == text_like(1000, seed=7)
+        assert incompressible(1000, seed=7) != incompressible(1000, seed=8)
+
+    def test_incompressible_ratio_near_one(self):
+        assert measured_ratio(incompressible(100_000)) < 1.05
+
+    def test_text_like_compresses_well(self):
+        assert measured_ratio(text_like(100_000)) > 2.0
+
+    def test_mesh_is_binary_floats(self):
+        data = scientific_mesh(80_000)
+        assert len(data) == 80_000
+        # smooth doubles compress only modestly
+        assert 1.0 <= measured_ratio(data) < 2.0
+
+
+class TestTunableRatio:
+    @pytest.mark.parametrize("target", [1.5, 2.0, 3.0])
+    def test_hits_target_within_tolerance(self, target):
+        payload = payload_with_ratio(512 * 1024, target, seed=3)
+        got = measured_ratio(payload)
+        assert abs(got - target) / target < 0.25
+
+    def test_ratio_one_is_incompressible(self):
+        payload = payload_with_ratio(50_000, 1.0, seed=1)
+        assert measured_ratio(payload) < 1.05
+
+    def test_rejects_sub_one(self):
+        with pytest.raises(ValueError):
+            payload_with_ratio(1000, 0.5)
+
+    def test_size_exact(self):
+        assert len(payload_with_ratio(99_999, 2.0)) == 99_999
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.floats(min_value=1.2, max_value=3.5))
+    def test_monotone_enough(self, target):
+        payload = payload_with_ratio(256 * 1024, target, seed=2)
+        got = measured_ratio(payload)
+        assert 1.0 <= got < 5.0
+
+    def test_measured_ratio_empty(self):
+        assert measured_ratio(b"") == 1.0
