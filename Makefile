@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-obs smoke-obs
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-obs:
+	$(PYTHON) -m pytest -q tests/obs tests/test_obs_smoke.py
+
+# Run a traced simnet scenario end to end, validate the exported JSON
+# lines against the observability schema, and render the report.
+smoke-obs:
+	$(PYTHON) -m pytest -q tests/test_obs_smoke.py
+	$(PYTHON) examples/auto_selection.py --trace /tmp/repro-obs-smoke.jsonl
+	$(PYTHON) -m repro.obs.report /tmp/repro-obs-smoke.jsonl

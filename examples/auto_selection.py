@@ -8,11 +8,20 @@ dynamic enabling or disabling of compression will then become possible."
 
 For two very different WANs, a path monitor probes the link (NWS-style),
 `select_spec` derives a driver stack, and the transfer runs with it —
-compared against naive plain TCP.
+compared against naive plain TCP.  The probe results are read back from
+the observability registry (the monitor publishes them as ``path.*``
+gauges) rather than recomputed here.
 
-Run:  python examples/auto_selection.py
+Run:  python examples/auto_selection.py [--trace out.jsonl]
+
+With ``--trace``, metrics and trace events (establishment attempts,
+driver byte counters, message-size histograms) are exported as JSON
+lines; summarize them with ``python -m repro.obs.report out.jsonl``.
 """
 
+import argparse
+
+from repro import StackSpec, obs
 from repro.core import PathMonitor, select_spec
 from repro.core.scenarios import GridScenario
 from repro.simnet.cpu import CpuModel
@@ -55,7 +64,6 @@ def run_wan(label, capacity, owd, loss, compress_rate):
         monitor = PathMonitor(src)
         estimate = yield from monitor.estimate(service, dst.info)
         yield from monitor.finish(service)
-        chosen["estimate"] = estimate
         chosen["spec"] = select_spec(
             estimate, compress_rate=compress_rate, payload_ratio=3.5
         )
@@ -68,14 +76,20 @@ def run_wan(label, capacity, owd, loss, compress_rate):
     sc.sim.process(prober())
     sc.sim.process(server())
     sc.run(until=600)
-    estimate, spec = chosen["estimate"], chosen["spec"]
+    spec = chosen["spec"]
+
+    # The monitor published its measurements as path.* gauges.
+    reg = obs.get_registry()
+    rtt = reg.gauge("path.rtt_seconds", peer="dst").value
+    single = reg.gauge("path.single_stream_bps", peer="dst").value
+    cap = reg.gauge("path.capacity_bps", peer="dst").value
 
     # Phase 2: transfer with the selected spec vs naive plain TCP.
     payload = payload_with_ratio(1 << 20, 3.5, seed=4)
     results = {}
     for name, use_spec in (
-        ("naive plain TCP", "tcp_block"),
-        (f"selected  ({spec})", spec),
+        ("naive plain TCP", StackSpec.tcp()),
+        (f"selected  ({spec})", StackSpec.parse(spec)),
     ):
         sc2, _src, _dst = build()
         r = sc2.measure_stack_throughput(
@@ -85,9 +99,9 @@ def run_wan(label, capacity, owd, loss, compress_rate):
 
     print(f"== {label} ==")
     print(
-        f"   probe: rtt {estimate.rtt * 1000:.0f} ms, single stream "
-        f"{estimate.single_stream / 1e6:.2f} MB/s, capacity estimate "
-        f"{estimate.capacity / 1e6:.2f} MB/s"
+        f"   probe: rtt {rtt * 1000:.0f} ms, single stream "
+        f"{single / 1e6:.2f} MB/s, capacity estimate "
+        f"{cap / 1e6:.2f} MB/s"
     )
     for name, mbps in results.items():
         print(f"   {name:28s} {mbps:6.2f} MB/s")
@@ -95,8 +109,20 @@ def run_wan(label, capacity, owd, loss, compress_rate):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="export metrics + trace events as JSON lines to PATH",
+    )
+    args = parser.parse_args()
+    if args.trace:
+        obs.enable_tracing()
     for wan in WANS:
         run_wan(*wan)
+    if args.trace:
+        obs.export_jsonl(args.trace)
+        print(f"observability export written to {args.trace}")
+        print(f"summarize with: python -m repro.obs.report {args.trace}")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from .. import obs
+from ..obs import DEFAULT_SECONDS_BUCKETS
 from ..simnet.engine import with_timeout
 from ..simnet.packet import Addr
 from ..util.framing import ByteReader, ByteWriter, FrameError
@@ -112,6 +114,15 @@ class Broker:
         base = int.from_bytes(self.info.node_id.encode()[:4].ljust(4, b"\0"), "big")
         return (base << 24) ^ self._nonce_seq
 
+    def _record_attempt(self, method: str, outcome: str, role: str, elapsed: float):
+        reg = obs.metrics()
+        reg.counter(
+            "establish.attempts_total", method=method, outcome=outcome, role=role
+        ).inc()
+        reg.histogram(
+            "establish.attempt_seconds", buckets=DEFAULT_SECONDS_BUCKETS, method=method
+        ).observe(elapsed)
+
     # ------------------------------------------------------------- initiator
     def initiate(
         self,
@@ -128,24 +139,57 @@ class Broker:
             methods = feasible_methods(self.info, peer_info, bootstrap=False)
             if self.relay_client is None and ROUTED in methods:
                 methods.remove(ROUTED)
+        obs.event(
+            "establish.decision",
+            peer=peer_info.node_id,
+            methods=",".join(methods),
+        )
         failures = []
         for method in methods:
             nonce = self._next_nonce()
-            try:
-                link = yield from self._attempt_initiator(
-                    service_link, peer_info, method, nonce
-                )
-            except _NakReceived as nak:
-                self.attempt_log.append((method, False))
-                failures.append(f"{method}: peer NAK ({nak})")
-                continue
-            except (WireError, FrameError, EOFError, BrokerError):
-                raise  # the service link itself broke: no point continuing
-            except Exception as exc:
-                self.attempt_log.append((method, False))
-                failures.append(f"{method}: {type(exc).__name__}: {exc}")
-                yield from send_frame(service_link, _result(nonce, False, str(exc)))
-                continue
+            t0 = self.sim.now
+            with obs.span(
+                "establish.attempt",
+                method=method,
+                peer=peer_info.node_id,
+                role="initiator",
+            ) as sp:
+                try:
+                    link = yield from self._attempt_initiator(
+                        service_link, peer_info, method, nonce
+                    )
+                except _NakReceived as nak:
+                    sp.set(outcome="nak")
+                    self._record_attempt(method, "nak", "initiator", self.sim.now - t0)
+                    self.attempt_log.append((method, False))
+                    failures.append(f"{method}: peer NAK ({nak})")
+                    obs.event(
+                        "establish.fallback", method=method, reason=f"nak: {nak}"
+                    )
+                    continue
+                except (WireError, FrameError, EOFError, BrokerError):
+                    self._record_attempt(
+                        method, "error", "initiator", self.sim.now - t0
+                    )
+                    raise  # the service link itself broke: no point continuing
+                except Exception as exc:
+                    sp.set(outcome="failed")
+                    self._record_attempt(
+                        method, "failed", "initiator", self.sim.now - t0
+                    )
+                    self.attempt_log.append((method, False))
+                    failures.append(f"{method}: {type(exc).__name__}: {exc}")
+                    obs.event(
+                        "establish.fallback",
+                        method=method,
+                        reason=f"{type(exc).__name__}: {exc}",
+                    )
+                    yield from send_frame(
+                        service_link, _result(nonce, False, str(exc))
+                    )
+                    continue
+                sp.set(outcome="ok")
+                self._record_attempt(method, "ok", "initiator", self.sim.now - t0)
             self.attempt_log.append((method, True))
             yield from send_frame(service_link, _result(nonce, True, ""))
             return link
@@ -310,52 +354,68 @@ class Broker:
         owd: float,
     ) -> Generator:
         """One responder-side attempt; returns the link or None (fall back)."""
-        try:
-            params, pending = yield from self._responder_params(
-                method, nonce, peer_info, peer_params, owd
-            )
-        except Exception as exc:
-            nak = (
-                ByteWriter()
-                .u8(M_NAK)
-                .u64(nonce)
-                .lp_str(f"{type(exc).__name__}: {exc}")
-                .getvalue()
-            )
-            yield from send_frame(service_link, nak)
-            return None
-        yield from send_frame(
-            service_link,
-            ByteWriter().u8(M_PARAMS).u64(nonce).lp_bytes(params).getvalue(),
-        )
-
-        # Run the local half of the attempt concurrently with reading the
-        # initiator's RESULT.  The guard parks failures so an early error
-        # (e.g. our spliced SYN refused) waits for the verdict instead of
-        # crashing the negotiation.
-        attempt_proc = self.sim.process(
-            _guarded(pending), name=f"broker-attempt-{method}"
-        )
-        ok = yield from self._await_result(service_link, nonce)
-        if ok:
-            status, value = yield attempt_proc
-            if status != "ok":
-                # Initiator verified success but our half failed: the link
-                # is unusable, report it upward.
-                raise BrokerError(
-                    f"{method}: initiator succeeded but responder half "
-                    f"failed: {value}"
+        t0 = self.sim.now
+        with obs.span(
+            "establish.attempt",
+            method=method,
+            peer=peer_info.node_id,
+            role="responder",
+        ) as sp:
+            try:
+                params, pending = yield from self._responder_params(
+                    method, nonce, peer_info, peer_params, owd
                 )
-            self.attempt_log.append((method, True))
-            return value
-        # Initiator reported failure: cancel our half if still running.
-        if attempt_proc.is_alive:
-            attempt_proc.interrupt("peer reported failure")
-        status, value = yield attempt_proc
-        if status == "ok" and value is not None and hasattr(value, "abort"):
-            value.abort()
-        self.attempt_log.append((method, False))
-        return None
+            except Exception as exc:
+                sp.set(outcome="nak")
+                self._record_attempt(method, "nak", "responder", self.sim.now - t0)
+                nak = (
+                    ByteWriter()
+                    .u8(M_NAK)
+                    .u64(nonce)
+                    .lp_str(f"{type(exc).__name__}: {exc}")
+                    .getvalue()
+                )
+                yield from send_frame(service_link, nak)
+                return None
+            yield from send_frame(
+                service_link,
+                ByteWriter().u8(M_PARAMS).u64(nonce).lp_bytes(params).getvalue(),
+            )
+
+            # Run the local half of the attempt concurrently with reading the
+            # initiator's RESULT.  The guard parks failures so an early error
+            # (e.g. our spliced SYN refused) waits for the verdict instead of
+            # crashing the negotiation.
+            attempt_proc = self.sim.process(
+                _guarded(pending), name=f"broker-attempt-{method}"
+            )
+            ok = yield from self._await_result(service_link, nonce)
+            if ok:
+                status, value = yield attempt_proc
+                if status != "ok":
+                    self._record_attempt(
+                        method, "error", "responder", self.sim.now - t0
+                    )
+                    # Initiator verified success but our half failed: the link
+                    # is unusable, report it upward.
+                    raise BrokerError(
+                        f"{method}: initiator succeeded but responder half "
+                        f"failed: {value}"
+                    )
+                sp.set(outcome="ok")
+                self._record_attempt(method, "ok", "responder", self.sim.now - t0)
+                self.attempt_log.append((method, True))
+                return value
+            # Initiator reported failure: cancel our half if still running.
+            if attempt_proc.is_alive:
+                attempt_proc.interrupt("peer reported failure")
+            status, value = yield attempt_proc
+            if status == "ok" and value is not None and hasattr(value, "abort"):
+                value.abort()
+            sp.set(outcome="failed")
+            self._record_attempt(method, "failed", "responder", self.sim.now - t0)
+            self.attempt_log.append((method, False))
+            return None
 
     def _await_result(self, service_link: Link, nonce: int) -> Generator:
         while True:

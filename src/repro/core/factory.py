@@ -17,13 +17,15 @@ filtering drivers for link utilization."
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, Optional, Union
 
+from .. import obs
 from ..util.framing import ByteReader, ByteWriter
 from .addressing import EndpointInfo
 from .links import Link
 from .node import GridNode
-from .utilization.stack import build_stack, links_required
+from .utilization.spec import StackSpec, as_spec
+from .utilization.stack import build_stack
 from .utilization.stream import DEFAULT_BLOCK, BlockChannel
 from .utilization.tls import TlsDriver
 from .utilization.stack import find_driver
@@ -60,13 +62,18 @@ class BrokeredConnectionFactory:
         self,
         service_link: Link,
         peer_info: EndpointInfo,
-        spec: str = "tcp_block",
+        spec: Union[str, StackSpec, None] = None,
         block_size: int = DEFAULT_BLOCK,
     ) -> Generator:
-        """Negotiate ``spec`` with the peer and build the channel."""
-        n = links_required(spec)  # validates the spec, too
+        """Negotiate ``spec`` with the peer and build the channel.
+
+        ``spec`` is a :class:`StackSpec` (default: plain ``TCP_Block``);
+        the legacy string form still works but is deprecated.
+        """
+        parsed = StackSpec.tcp() if spec is None else as_spec(spec)
+        n = parsed.links_required
         yield from send_frame(
-            service_link, ByteWriter().lp_str(spec).u32(block_size).getvalue()
+            service_link, ByteWriter().lp_str(str(parsed)).u32(block_size).getvalue()
         )
         links = []
         try:
@@ -77,8 +84,11 @@ class BrokeredConnectionFactory:
             for link in links:
                 link.abort()
             raise
-        stack = build_stack(spec, links, host=self.node.host)
-        yield from self._maybe_tls(stack, client=True)
+        with obs.span(
+            "stack.assemble", spec=str(parsed), role="initiator", links=n
+        ):
+            stack = build_stack(parsed, links, host=self.node.host)
+            yield from self._maybe_tls(stack, client=True)
         return BlockChannel(stack, block_size=block_size)
 
     # -- responder -----------------------------------------------------------
@@ -86,9 +96,10 @@ class BrokeredConnectionFactory:
         """Serve one channel negotiation on ``service_link``."""
         frame = yield from recv_frame(service_link)
         reader = ByteReader(frame)
-        spec = reader.lp_str()
+        # The spec string is the wire format (§5.2): parse it silently.
+        parsed = StackSpec.parse(reader.lp_str())
         block_size = reader.u32()
-        n = links_required(spec)
+        n = parsed.links_required
         links = []
         try:
             for _ in range(n):
@@ -98,8 +109,11 @@ class BrokeredConnectionFactory:
             for link in links:
                 link.abort()
             raise
-        stack = build_stack(spec, links, host=self.node.host)
-        yield from self._maybe_tls(stack, client=False)
+        with obs.span(
+            "stack.assemble", spec=str(parsed), role="responder", links=n
+        ):
+            stack = build_stack(parsed, links, host=self.node.host)
+            yield from self._maybe_tls(stack, client=False)
         return BlockChannel(stack, block_size=block_size)
 
     # -- helpers --------------------------------------------------------------

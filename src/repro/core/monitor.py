@@ -27,6 +27,7 @@ import struct
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from .. import obs
 from ..simnet.packet import Addr
 from .autotune import recommend_streams
 from .links import Link
@@ -82,24 +83,40 @@ class PathMonitor:
         scaling near-linearly — i.e. the pipe, not the windows, is the
         limit.
         """
-        rtt, single = yield from self._probe_once(service_link, peer_info, 1)
-        window_cap = self.rcvbuf / rtt
-        if single < 0.75 * window_cap:
-            return PathEstimate(rtt=rtt, single_stream=single, capacity=single)
-        capacity = single
-        streams_used = 1
-        for streams in (4, 8):
-            _r, multi = yield from self._probe_once(service_link, peer_info, streams)
-            capacity = max(capacity, multi)
-            streams_used = streams
-            if multi < 0.6 * streams * single:
-                break  # scaling flattened: we are seeing the pipe
-        return PathEstimate(
-            rtt=rtt,
-            single_stream=single,
-            capacity=capacity,
-            probe_streams=streams_used,
-        )
+        with obs.span("path.probe", peer=peer_info.node_id):
+            rtt, single = yield from self._probe_once(service_link, peer_info, 1)
+            window_cap = self.rcvbuf / rtt
+            if single < 0.75 * window_cap:
+                estimate = PathEstimate(
+                    rtt=rtt, single_stream=single, capacity=single
+                )
+            else:
+                capacity = single
+                streams_used = 1
+                for streams in (4, 8):
+                    _r, multi = yield from self._probe_once(
+                        service_link, peer_info, streams
+                    )
+                    capacity = max(capacity, multi)
+                    streams_used = streams
+                    if multi < 0.6 * streams * single:
+                        break  # scaling flattened: we are seeing the pipe
+                estimate = PathEstimate(
+                    rtt=rtt,
+                    single_stream=single,
+                    capacity=capacity,
+                    probe_streams=streams_used,
+                )
+        self._publish(peer_info.node_id, estimate)
+        return estimate
+
+    def _publish(self, peer: str, estimate: PathEstimate) -> None:
+        """Publish the probe's results through the metrics registry."""
+        reg = obs.metrics()
+        reg.counter("path.probes_total", peer=peer).inc()
+        reg.gauge("path.rtt_seconds", peer=peer).set(estimate.rtt)
+        reg.gauge("path.single_stream_bps", peer=peer).set(estimate.single_stream)
+        reg.gauge("path.capacity_bps", peer=peer).set(estimate.capacity)
 
     def _probe_once(self, service_link: Link, peer_info, streams: int) -> Generator:
         yield from send_frame(service_link, struct.pack("!BH", P_BULK, streams))
@@ -215,7 +232,9 @@ def select_spec(
     if compress_rate is not None and payload_ratio is not None:
         wire = min(estimate.capacity, streams * (rcvbuf / estimate.rtt))
         compressed_throughput = min(compress_rate, payload_ratio * wire)
-        if compressed_throughput > 1.1 * wire:
-            return f"compress|{bottom}"
-        return bottom
-    return f"adaptive|{bottom}"
+        spec = f"compress|{bottom}" if compressed_throughput > 1.1 * wire else bottom
+    else:
+        spec = f"adaptive|{bottom}"
+    obs.metrics().counter("monitor.spec_selections_total", spec=spec).inc()
+    obs.event("monitor.spec_selected", spec=spec, streams=streams)
+    return spec

@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Generator, Optional
 
+from .. import obs
 from ..simnet.engine import Event, Simulator
 from ..simnet.packet import Addr
 from ..simnet.sockets import SimSocket, connect, listen
@@ -174,6 +175,9 @@ class RelayServer:
             return
         self.forwarded_messages += 1
         self.forwarded_bytes += len(payload)
+        reg = obs.metrics()
+        reg.counter("relay.forwarded_total", backend="sim").inc()
+        reg.counter("relay.forwarded_bytes_total", backend="sim").inc(len(payload))
         yield from _write_frame(dest_sock, body)
 
 
@@ -373,6 +377,7 @@ class RelayClient:
         link = RoutedLink(self, peer, channel, owned=True)
         link.open_payload = payload
         self._links[(peer, channel, True)] = link
+        obs.event("relay.open", peer=peer, channel=channel)
         yield from self._send_routed(T_OPEN, peer, channel, payload, owned=True)
         return link
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from .. import obs
 from ..simnet.engine import all_of
 from ..simnet.nat import BrokenNAT, ConeNAT, SymmetricNAT
 from ..simnet.firewall import StatefulFirewall
@@ -51,6 +52,8 @@ class GridScenario:
     ):
         self.inet = Internet(seed=seed)
         self.sim = self.inet.sim
+        # Timestamps in metrics/traces follow the simulation clock.
+        obs.use_sim_clock(self.sim)
         # The relay machine's own uplink: on a real grid this is a site
         # gateway with finite capacity — the §3.4 bottleneck.
         self.relay_host = self.inet.add_public_host(

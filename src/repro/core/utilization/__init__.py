@@ -11,8 +11,8 @@ from .base import Driver, DriverError, FilterDriver
 from .compression import CompressionDriver
 from .parallel import DEFAULT_FRAGMENT, ParallelStreamsDriver
 from .reliable import ReliableUdpDriver
+from .spec import FILTERING, NETWORKING, LayerSpec, StackSpec, StackSpecError, as_spec
 from .stack import (
-    StackSpecError,
     build_stack,
     find_driver,
     iter_drivers,
@@ -41,5 +41,10 @@ __all__ = [
     "build_stack",
     "iter_drivers",
     "find_driver",
+    "StackSpec",
+    "LayerSpec",
     "StackSpecError",
+    "as_spec",
+    "NETWORKING",
+    "FILTERING",
 ]

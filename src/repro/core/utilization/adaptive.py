@@ -25,6 +25,7 @@ from __future__ import annotations
 import zlib
 from typing import Generator, Optional
 
+from ... import obs
 from ...simnet.cpu import charge
 from .base import DriverError, FilterDriver
 from .compression import FLAG_DEFLATE, FLAG_RAW
@@ -128,6 +129,12 @@ class AdaptiveCompressionDriver(FilterDriver):
         yield from self.child.send_block(payload)
         self.mode_counts[mode] += 1
         self._update(mode, len(block), self.sim.now - t0)
+        obs.metrics().counter(
+            "compress.mode_total",
+            driver=self.name,
+            mode="deflate" if mode == FLAG_DEFLATE else "raw",
+            backend="sim",
+        ).inc()
 
     def recv_block(self) -> Generator:
         payload = yield from self.child.recv_block()

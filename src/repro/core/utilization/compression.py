@@ -21,6 +21,7 @@ from __future__ import annotations
 import zlib
 from typing import Generator
 
+from ... import obs
 from ...simnet.cpu import charge
 from .base import DriverError, FilterDriver
 
@@ -61,6 +62,14 @@ class CompressionDriver(FilterDriver):
             payload = bytes([FLAG_RAW]) + block
         self.bytes_in += len(block)
         self.bytes_out += len(payload)
+        reg = obs.metrics()
+        reg.counter(
+            "compress.bytes_total", driver=self.name, stage="in", backend="sim"
+        ).inc(len(block))
+        reg.counter(
+            "compress.bytes_total", driver=self.name, stage="out", backend="sim"
+        ).inc(len(payload))
+        reg.gauge("compress.ratio", driver=self.name, backend="sim").set(self.ratio)
         yield from self.child.send_block(payload)
 
     def recv_block(self) -> Generator:

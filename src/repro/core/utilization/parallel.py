@@ -27,6 +27,7 @@ from __future__ import annotations
 import struct
 from typing import Generator, Optional, Sequence
 
+from ... import obs
 from ...simnet.cpu import charge
 from ...simnet.engine import Event
 from ..links import Link
@@ -187,6 +188,9 @@ class ParallelStreamsDriver(Driver):
         self._readers: Optional[list[_StreamReader]] = None
         self._queue_limit = queue_limit
         self._closed = False
+        obs.metrics().gauge(
+            "driver.streams", driver=self.name, backend="sim"
+        ).set(len(self.links))
 
     @property
     def nstreams(self) -> int:
@@ -214,6 +218,13 @@ class ParallelStreamsDriver(Driver):
             writer = writers[(start + i) % n]
             yield from writer.put(block[offset : offset + self.fragment])
         self.blocks_sent += 1
+        reg = obs.metrics()
+        reg.counter(
+            "driver.bytes_total", driver=self.name, direction="tx", backend="sim"
+        ).inc(len(block))
+        reg.histogram(
+            "driver.block_bytes", driver=self.name, direction="tx", backend="sim"
+        ).observe(len(block))
 
     def _ensure_readers(self):
         if self._readers is None:
@@ -243,6 +254,13 @@ class ParallelStreamsDriver(Driver):
         if self.host is not None:
             yield charge(self.host, "serialize", len(block))
         self.blocks_received += 1
+        reg = obs.metrics()
+        reg.counter(
+            "driver.bytes_total", driver=self.name, direction="rx", backend="sim"
+        ).inc(len(block))
+        reg.histogram(
+            "driver.block_bytes", driver=self.name, direction="rx", backend="sim"
+        ).observe(len(block))
         return block
 
     def close(self) -> None:

@@ -1,0 +1,262 @@
+"""Typed driver-stack specifications.
+
+The stack spec used to travel the codebase as a bare string
+(``"compress|parallel:4|tcp_block"``).  :class:`StackSpec` is the typed
+form: an immutable, validated sequence of :class:`LayerSpec` layers with
+builder methods, equal signatures on the simulated and live backends,
+and a canonical string rendering that is byte-compatible with the old
+wire format (the service link still carries ``str(spec)``, so "driver
+assembly consistency on both endpoints" — §5.2 — is unchanged).
+
+The string form remains accepted everywhere through :func:`as_spec`,
+which parses it and emits a :class:`DeprecationWarning`; internal code
+that *receives* a spec string from the wire parses it silently with
+:meth:`StackSpec.parse`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable, Optional, Sequence, Union
+
+from .base import DriverError
+
+__all__ = [
+    "LayerSpec",
+    "StackSpec",
+    "StackSpecError",
+    "as_spec",
+    "NETWORKING",
+    "FILTERING",
+]
+
+NETWORKING = {"tcp_block", "parallel"}
+FILTERING = {"compress", "adaptive", "tls"}
+
+#: layer-specific meaning of the positional argument in the string form
+_POSITIONAL = {"parallel": "streams", "compress": "level", "adaptive": "level"}
+
+
+class StackSpecError(DriverError):
+    """Invalid stack specification."""
+
+
+class LayerSpec:
+    """One driver layer: a name plus its parameters (immutable)."""
+
+    __slots__ = ("name", "_params")
+
+    def __init__(self, name: str, params: Optional[dict] = None):
+        if name not in NETWORKING | FILTERING:
+            raise StackSpecError(f"unknown layer {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_params", tuple(sorted((params or {}).items())))
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("LayerSpec is immutable")
+
+    @property
+    def params(self) -> dict:
+        return dict(self._params)
+
+    @property
+    def is_networking(self) -> bool:
+        return self.name in NETWORKING
+
+    def get(self, key: str, default=None):
+        return dict(self._params).get(key, default)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, LayerSpec)
+            and self.name == other.name
+            and self._params == other._params
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._params))
+
+    def render(self) -> str:
+        """The string-form fragment for this layer."""
+        params = dict(self._params)
+        fields = [self.name]
+        positional = _POSITIONAL.get(self.name)
+        if positional is not None and positional in params:
+            fields.append(str(params.pop(positional)))
+        fields.extend(f"{key}={value}" for key, value in sorted(params.items()))
+        return ":".join(fields)
+
+    def __repr__(self) -> str:
+        return f"LayerSpec({self.name!r}, {dict(self._params)!r})"
+
+
+def _parse_text(text: str) -> list:
+    """Parse the string form into ``[(layer_name, params_dict), ...]``."""
+    if not text.strip():
+        raise StackSpecError("empty stack spec")
+    layers: list[tuple[str, dict]] = []
+    for part in text.split("|"):
+        fields = part.strip().split(":")
+        name = fields[0]
+        if name not in NETWORKING | FILTERING:
+            raise StackSpecError(f"unknown layer {name!r}")
+        params: dict = {}
+        for fld in fields[1:]:
+            if "=" in fld:
+                key, value = fld.split("=", 1)
+                params[key] = int(value) if value.isdigit() else value
+            elif fld:
+                positional = _POSITIONAL.get(name)
+                if positional is None:
+                    raise StackSpecError(f"{name} takes no positional argument")
+                params[positional] = int(fld)
+        layers.append((name, params))
+    return layers
+
+
+class StackSpec:
+    """A validated driver stack, top to bottom.
+
+    Build one from the typed constructors::
+
+        StackSpec.tcp()                                # plain TCP_Block
+        StackSpec.parallel(4).with_compression()       # zlib over 4 streams
+        StackSpec.tcp().with_tls()                     # TLS over TCP_Block
+
+    or parse the legacy string form with :meth:`parse`.  The bottom layer
+    must be a networking driver; everything above is filtering — the
+    same invariants the string parser always enforced.
+    """
+
+    __slots__ = ("layers",)
+
+    def __init__(self, layers: Sequence[LayerSpec]):
+        layers = tuple(
+            layer if isinstance(layer, LayerSpec) else LayerSpec(layer[0], layer[1])
+            for layer in layers
+        )
+        if not layers:
+            raise StackSpecError("empty stack spec")
+        for layer in layers[:-1]:
+            if layer.is_networking:
+                raise StackSpecError(
+                    f"networking layer {layer.name!r} must be last"
+                )
+        if not layers[-1].is_networking:
+            raise StackSpecError(
+                f"bottom layer {layers[-1].name!r} is not a networking driver"
+            )
+        object.__setattr__(self, "layers", layers)
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("StackSpec is immutable")
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "StackSpec":
+        """Parse the legacy ``"compress|parallel:4|tcp_block"`` form."""
+        return cls([LayerSpec(name, params) for name, params in _parse_text(text)])
+
+    @classmethod
+    def tcp(cls) -> "StackSpec":
+        """A plain ``TCP_Block`` stack (one link, no filtering)."""
+        return cls([LayerSpec("tcp_block")])
+
+    # kept as the string-form name too, for discoverability
+    tcp_block = tcp
+
+    @classmethod
+    def parallel(cls, streams: int, fragment: Optional[int] = None) -> "StackSpec":
+        """A parallel-streams bottom layer (``streams`` established links)."""
+        if streams < 1:
+            raise StackSpecError("parallel needs at least one stream")
+        params: dict = {"streams": streams}
+        if fragment is not None:
+            params["fragment"] = fragment
+        return cls([LayerSpec("parallel", params)])
+
+    # -- composition ----------------------------------------------------------
+    def _pushed(self, layer: LayerSpec) -> "StackSpec":
+        return StackSpec((layer,) + self.layers)
+
+    def with_compression(self, level: int = 1) -> "StackSpec":
+        """Static zlib compression above the current stack."""
+        return self._pushed(LayerSpec("compress", {"level": level}))
+
+    def with_adaptive(
+        self, level: int = 1, probe_every: Optional[int] = None
+    ) -> "StackSpec":
+        """AdOC-style adaptive compression above the current stack."""
+        params: dict = {"level": level}
+        if probe_every is not None:
+            params["probe"] = probe_every
+        return self._pushed(LayerSpec("adaptive", params))
+
+    def with_tls(self) -> "StackSpec":
+        """The TLS-like security layer above the current stack."""
+        return self._pushed(LayerSpec("tls"))
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def bottom(self) -> LayerSpec:
+        """The networking layer."""
+        return self.layers[-1]
+
+    @property
+    def links_required(self) -> int:
+        """How many established data links the bottom layer needs."""
+        if self.bottom.name == "tcp_block":
+            return 1
+        return int(self.bottom.get("streams", 2))
+
+    def layer(self, name: str) -> Optional[LayerSpec]:
+        """The first layer with the given name, or None."""
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return self.layer(name) is not None
+
+    def __iter__(self) -> Iterable[LayerSpec]:
+        return iter(self.layers)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, StackSpec):
+            return self.layers == other.layers
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.layers)
+
+    def __str__(self) -> str:
+        return "|".join(layer.render() for layer in self.layers)
+
+    def __repr__(self) -> str:
+        return f"StackSpec.parse({str(self)!r})"
+
+
+def as_spec(
+    spec: Union[str, StackSpec], warn: bool = True, stacklevel: int = 3
+) -> StackSpec:
+    """Coerce a user-supplied spec to :class:`StackSpec`.
+
+    Strings still work, but are the deprecated surface: they parse through
+    the legacy grammar and (by default) emit a :class:`DeprecationWarning`
+    pointing at the typed constructors.
+    """
+    if isinstance(spec, StackSpec):
+        return spec
+    if isinstance(spec, str):
+        parsed = StackSpec.parse(spec)
+        if warn:
+            warnings.warn(
+                f"string driver specs are deprecated; use "
+                f"StackSpec.parse({spec!r}) or the typed StackSpec "
+                f"constructors",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+        return parsed
+    raise TypeError(f"expected StackSpec or str, got {type(spec).__name__}")

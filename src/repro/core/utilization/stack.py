@@ -1,32 +1,36 @@
-"""Driver-stack specification and assembly (paper §5.1).
+"""Driver-stack assembly (paper §5.1).
 
 "NetIbis has been designed to make the communication paths between send
 and receive ports completely configurable, either by configuration file or
 by run-time properties."
 
-A stack spec is a string of layers, top to bottom, e.g.::
+Specs are :class:`~repro.core.utilization.spec.StackSpec` values (typed,
+immutable, validated); the legacy string form, e.g.::
 
     "compress|parallel:4|tcp_block"
     "tls|tcp_block"
     "adaptive|parallel:8:fragment=8192|tcp_block"
 
-The bottom layer must be a networking driver (``tcp_block`` or
-``parallel``); everything above is filtering.  :func:`links_required`
-tells the factory how many data links to establish;
-:func:`build_stack` assembles the tree on both endpoints — the service
-link carries the spec string so "driver assembly consistency on both
-endpoints" holds (§5.2).
+is still accepted everywhere (it is what travels over the service link,
+so "driver assembly consistency on both endpoints" holds — §5.2), but
+user-facing entry points emit a :class:`DeprecationWarning` for it.  The
+bottom layer must be a networking driver (``tcp_block`` or ``parallel``);
+everything above is filtering.  :func:`links_required` tells the factory
+how many data links to establish; :func:`build_stack` assembles the tree
+on both endpoints.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from ... import obs
 from ..links import Link
 from .adaptive import AdaptiveCompressionDriver
 from .base import Driver, DriverError, FilterDriver
 from .compression import CompressionDriver
 from .parallel import DEFAULT_FRAGMENT, ParallelStreamsDriver
+from .spec import FILTERING, NETWORKING, LayerSpec, StackSpec, StackSpecError, as_spec
 from .tcp_block import TcpBlockDriver
 from .tls import TlsDriver
 
@@ -36,65 +40,35 @@ __all__ = [
     "build_stack",
     "iter_drivers",
     "find_driver",
+    "StackSpec",
+    "LayerSpec",
     "StackSpecError",
+    "as_spec",
+    "NETWORKING",
+    "FILTERING",
 ]
 
-NETWORKING = {"tcp_block", "parallel"}
-FILTERING = {"compress", "adaptive", "tls"}
+SpecLike = Union[str, StackSpec]
 
 
-class StackSpecError(DriverError):
-    """Invalid stack specification."""
+def parse_stack(spec: SpecLike) -> list[tuple[str, dict]]:
+    """Parse a spec into the legacy ``[(layer_name, params), ...]`` form.
 
-
-def parse_stack(spec: str) -> list[tuple[str, dict]]:
-    """Parse a spec string into ``[(layer_name, params), ...]``.
-
-    Layer syntax: ``name[:positional][:key=value]...`` — the positional
-    argument is layer-specific (stream count for ``parallel``, zlib level
-    for ``compress``/``adaptive``).
+    Layer syntax of the string form: ``name[:positional][:key=value]...``
+    — the positional argument is layer-specific (stream count for
+    ``parallel``, zlib level for ``compress``/``adaptive``).
     """
-    layers: list[tuple[str, dict]] = []
-    if not spec.strip():
-        raise StackSpecError("empty stack spec")
-    for part in spec.split("|"):
-        fields = part.strip().split(":")
-        name = fields[0]
-        if name not in NETWORKING | FILTERING:
-            raise StackSpecError(f"unknown layer {name!r}")
-        params: dict = {}
-        for fld in fields[1:]:
-            if "=" in fld:
-                key, value = fld.split("=", 1)
-                params[key] = int(value) if value.isdigit() else value
-            elif fld:
-                if name == "parallel":
-                    params["streams"] = int(fld)
-                elif name in ("compress", "adaptive"):
-                    params["level"] = int(fld)
-                else:
-                    raise StackSpecError(f"{name} takes no positional argument")
-        layers.append((name, params))
-    for name, _params in layers[:-1]:
-        if name in NETWORKING:
-            raise StackSpecError(f"networking layer {name!r} must be last")
-    bottom = layers[-1][0]
-    if bottom not in NETWORKING:
-        raise StackSpecError(f"bottom layer {bottom!r} is not a networking driver")
-    return layers
+    parsed = as_spec(spec, warn=False)
+    return [(layer.name, layer.params) for layer in parsed.layers]
 
 
-def links_required(spec: str) -> int:
+def links_required(spec: SpecLike) -> int:
     """How many established data links the spec's bottom layer needs."""
-    layers = parse_stack(spec)
-    name, params = layers[-1]
-    if name == "tcp_block":
-        return 1
-    return int(params.get("streams", 2))
+    return as_spec(spec, warn=False).links_required
 
 
 def build_stack(
-    spec: str,
+    spec: SpecLike,
     links: Sequence[Link],
     host=None,
 ) -> Driver:
@@ -104,31 +78,38 @@ def build_stack(
     :func:`find_driver` and run ``handshake_client``/``handshake_server``
     before moving data.
     """
-    layers = parse_stack(spec)
-    name, params = layers[-1]
-    if name == "tcp_block":
+    parsed = as_spec(spec, warn=False)
+    bottom = parsed.bottom
+    if bottom.name == "tcp_block":
         if len(links) != 1:
             raise StackSpecError(f"tcp_block needs exactly 1 link, got {len(links)}")
         driver: Driver = TcpBlockDriver(links[0])
     else:
-        streams = int(params.get("streams", 2))
+        streams = int(bottom.get("streams", 2))
         if len(links) != streams:
             raise StackSpecError(f"parallel:{streams} needs {streams} links, got {len(links)}")
         driver = ParallelStreamsDriver(
-            links, host=host, fragment=int(params.get("fragment", DEFAULT_FRAGMENT))
+            links, host=host, fragment=int(bottom.get("fragment", DEFAULT_FRAGMENT))
         )
-    for name, params in reversed(layers[:-1]):
-        if name == "compress":
-            driver = CompressionDriver(driver, host=host, level=int(params.get("level", 1)))
-        elif name == "adaptive":
+    for layer in reversed(parsed.layers[:-1]):
+        if layer.name == "compress":
+            driver = CompressionDriver(driver, host=host, level=int(layer.get("level", 1)))
+        elif layer.name == "adaptive":
             driver = AdaptiveCompressionDriver(
                 driver,
                 host,
-                level=int(params.get("level", 1)),
-                probe_every=int(params.get("probe", 16)),
+                level=int(layer.get("level", 1)),
+                probe_every=int(layer.get("probe", 16)),
             )
-        elif name == "tls":
+        elif layer.name == "tls":
             driver = TlsDriver(driver, host=host)
+    obs.event(
+        "stack.built",
+        spec=str(parsed),
+        links=len(links),
+        backend="sim",
+        drivers=",".join(type(d).__name__ for d in iter_drivers(driver)),
+    )
     return driver
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import struct
 from typing import Generator
 
+from ... import obs
 from .base import Driver
 
 __all__ = ["BlockChannel", "DEFAULT_BLOCK"]
@@ -81,11 +82,13 @@ class BlockChannel:
         yield from self.write(struct.pack("!I", len(payload)))
         yield from self.write(payload)
         yield from self.flush()
+        obs.event("channel.message", direction="tx", bytes=len(payload))
 
     def recv_message(self) -> Generator:
         header = yield from self.read_exactly(4)
         length = struct.unpack("!I", header)[0]
         payload = yield from self.read_exactly(length)
+        obs.event("channel.message", direction="rx", bytes=len(payload))
         return payload
 
     def close(self) -> None:

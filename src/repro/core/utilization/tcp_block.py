@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Generator
 
+from ... import obs
 from ..links import Link
 from ..wire import recv_frame, send_frame
 from .base import Driver
@@ -32,6 +33,13 @@ class TcpBlockDriver(Driver):
 
     def send_block(self, block: bytes) -> Generator:
         self.blocks_sent += 1
+        reg = obs.metrics()
+        reg.counter(
+            "driver.bytes_total", driver=self.name, direction="tx", backend="sim"
+        ).inc(len(block))
+        reg.histogram(
+            "driver.block_bytes", driver=self.name, direction="tx", backend="sim"
+        ).observe(len(block))
         yield from send_frame(self.link, block)
 
     def recv_block(self) -> Generator:
@@ -40,6 +48,13 @@ class TcpBlockDriver(Driver):
         except EOFError:
             raise
         self.blocks_received += 1
+        reg = obs.metrics()
+        reg.counter(
+            "driver.bytes_total", driver=self.name, direction="rx", backend="sim"
+        ).inc(len(block))
+        reg.histogram(
+            "driver.block_bytes", driver=self.name, direction="rx", backend="sim"
+        ).observe(len(block))
         return block
 
     def close(self) -> None:

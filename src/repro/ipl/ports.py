@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from .. import obs
 from ..core.utilization.stream import BlockChannel
 from ..simnet.engine import Event
 from .identifiers import PortIdentifier
@@ -76,7 +77,7 @@ class SendPort:
     def identifier(self) -> PortIdentifier:
         return PortIdentifier(self.runtime.identifier, self.name)
 
-    def connect(self, port_name: str, spec: Optional[str] = None) -> Generator:
+    def connect(self, port_name: str, spec=None) -> Generator:
         """Connect to a named receive port (resolved via the name service).
 
         May be called multiple times — one send port, many receive ports.
@@ -110,6 +111,15 @@ class SendPort:
             yield from channel.send_message(payload)
         self.messages_sent += 1
         self.bytes_sent += len(payload)
+        reg = obs.metrics()
+        reg.counter("ipl.messages_total", port=self.name, direction="tx").inc()
+        reg.histogram("ipl.message_bytes", port=self.name, direction="tx").observe(
+            len(payload)
+        )
+        obs.event(
+            "ipl.message", port=self.name, direction="tx", bytes=len(payload),
+            fanout=len(self.channels),
+        )
 
     def _message_done(self, message: WriteMessage) -> None:
         if self._active_message is message:
@@ -153,6 +163,17 @@ class ReceivePort:
                 payload = yield from channel.recv_message()
                 message = ReadMessage(payload, origin=origin)
                 self.messages_received += 1
+                reg = obs.metrics()
+                reg.counter(
+                    "ipl.messages_total", port=self.name, direction="rx"
+                ).inc()
+                reg.histogram(
+                    "ipl.message_bytes", port=self.name, direction="rx"
+                ).observe(len(payload))
+                obs.event(
+                    "ipl.message", port=self.name, direction="rx",
+                    bytes=len(payload), origin=origin,
+                )
                 if self._waiters:
                     self._waiters.pop(0).succeed(message)
                 else:

@@ -20,11 +20,12 @@ Connection flow for ``send_port.connect("worker-in")``:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator, Optional, Union
 
 from ..core.addressing import EndpointInfo
 from ..core.factory import BrokeredConnectionFactory, TlsConfig
 from ..core.node import GridNode
+from ..core.utilization.spec import StackSpec, as_spec
 from ..core.wire import recv_frame, send_frame
 from ..simnet.packet import Addr
 from ..util.framing import ByteReader, ByteWriter
@@ -54,7 +55,7 @@ class Ibis:
         relay_addr: Addr,
         registry_addr: Addr,
         reflector_addr: Optional[Addr] = None,
-        default_spec: str = "tcp_block",
+        default_spec: Union[str, StackSpec, None] = None,
         tls_config: Optional[TlsConfig] = None,
         connector: Optional[Callable] = None,
         pool: str = "default",
@@ -64,7 +65,9 @@ class Ibis:
         self.name = name
         self.identifier = IbisIdentifier(name, pool)
         self.info = info
-        self.default_spec = default_spec
+        self.default_spec = (
+            StackSpec.tcp() if default_spec is None else as_spec(default_spec)
+        )
         self.node = GridNode(
             host, info, relay_addr, reflector_addr=reflector_addr, connector=connector
         )
@@ -122,7 +125,7 @@ class Ibis:
 
     # -- connection machinery ---------------------------------------------------
     def _connect_port(
-        self, send_port: SendPort, port_name: str, spec: Optional[str]
+        self, send_port: SendPort, port_name: str, spec: Union[str, StackSpec, None]
     ) -> Generator:
         if not self.started:
             raise IbisError("Ibis instance not started")

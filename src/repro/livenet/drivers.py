@@ -13,6 +13,7 @@ import struct
 import zlib
 from typing import Iterable, Optional, Sequence
 
+from .. import obs
 from ..core.utilization.compression import FLAG_DEFLATE, FLAG_RAW
 from ..core.utilization.parallel import DEFAULT_FRAGMENT
 from ..security.certs import Certificate
@@ -44,21 +45,57 @@ class AsyncDriver:
 
 
 class AsyncTcpBlockDriver(AsyncDriver):
-    """Length-prefixed blocks over one live socket."""
+    """Length-prefixed blocks over one live socket.
 
-    def __init__(self, sock: LiveSocket):
-        self.sock = sock
+    Takes ``link`` like its simulated twin; the old ``sock`` keyword (and
+    attribute) still work.
+    """
+
+    name = "tcp_block"
+
+    def __init__(
+        self,
+        link: Optional[LiveSocket] = None,
+        host=None,
+        *,
+        sock: Optional[LiveSocket] = None,
+    ):
+        if link is None:
+            link = sock
+        if link is None:
+            raise ValueError("tcp_block driver needs a socket")
+        self.link = link
+        self.host = host
+
+    @property
+    def sock(self) -> LiveSocket:
+        return self.link
 
     async def send_block(self, block: bytes) -> None:
-        await self.sock.send_all(struct.pack("!I", len(block)) + block)
+        await self.link.send_all(struct.pack("!I", len(block)) + block)
+        reg = obs.metrics()
+        reg.counter(
+            "driver.bytes_total", driver=self.name, direction="tx", backend="live"
+        ).inc(len(block))
+        reg.histogram(
+            "driver.block_bytes", driver=self.name, direction="tx", backend="live"
+        ).observe(len(block))
 
     async def recv_block(self) -> bytes:
-        header = await self.sock.recv_exactly(4)
+        header = await self.link.recv_exactly(4)
         length = struct.unpack("!I", header)[0]
-        return await self.sock.recv_exactly(length)
+        block = await self.link.recv_exactly(length)
+        reg = obs.metrics()
+        reg.counter(
+            "driver.bytes_total", driver=self.name, direction="rx", backend="live"
+        ).inc(len(block))
+        reg.histogram(
+            "driver.block_bytes", driver=self.name, direction="rx", backend="live"
+        ).observe(len(block))
+        return block
 
     def close(self) -> None:
-        self.sock.close()
+        self.link.close()
 
 
 class AsyncParallelStreamsDriver(AsyncDriver):
@@ -69,22 +106,41 @@ class AsyncParallelStreamsDriver(AsyncDriver):
     simulated implementation.
     """
 
-    def __init__(self, socks: Sequence[LiveSocket], fragment: int = DEFAULT_FRAGMENT):
-        if not socks:
+    name = "parallel"
+
+    def __init__(
+        self,
+        links: Optional[Sequence[LiveSocket]] = None,
+        host=None,
+        fragment: int = DEFAULT_FRAGMENT,
+        *,
+        socks: Optional[Sequence[LiveSocket]] = None,
+    ):
+        if links is None:
+            links = socks
+        if not links:
             raise ValueError("parallel driver needs at least one socket")
-        self.socks = list(socks)
+        self.links = list(links)
+        self.host = host
         self.fragment = fragment
         self._send_seq = 0
         self._recv_seq = 0
-        self._queues = [asyncio.Queue(maxsize=8) for _ in self.socks]
+        self._queues = [asyncio.Queue(maxsize=8) for _ in self.links]
         self._writers = [
             asyncio.ensure_future(self._writer(q, s))
-            for q, s in zip(self._queues, self.socks)
+            for q, s in zip(self._queues, self.links)
         ]
+        obs.metrics().gauge(
+            "driver.streams", driver=self.name, backend="live"
+        ).set(len(self.links))
+
+    @property
+    def socks(self) -> list:
+        return self.links
 
     @property
     def nstreams(self) -> int:
-        return len(self.socks)
+        return len(self.links)
 
     async def _writer(self, queue: asyncio.Queue, sock: LiveSocket) -> None:
         while True:
@@ -103,22 +159,37 @@ class AsyncParallelStreamsDriver(AsyncDriver):
             await self._queues[(start + i) % n].put(
                 block[offset : offset + self.fragment]
             )
+        reg = obs.metrics()
+        reg.counter(
+            "driver.bytes_total", driver=self.name, direction="tx", backend="live"
+        ).inc(len(block))
+        reg.histogram(
+            "driver.block_bytes", driver=self.name, direction="tx", backend="live"
+        ).observe(len(block))
 
     async def recv_block(self) -> bytes:
         n = self.nstreams
         start = self._recv_seq % n
         self._recv_seq += 1
-        header = await self.socks[start].recv_exactly(4)
+        header = await self.links[start].recv_exactly(4)
         length = struct.unpack("!I", header)[0]
         parts = []
         remaining = length
         i = 0
         while remaining > 0:
             take = min(self.fragment, remaining)
-            parts.append(await self.socks[(start + i) % n].recv_exactly(take))
+            parts.append(await self.links[(start + i) % n].recv_exactly(take))
             remaining -= take
             i += 1
-        return b"".join(parts)
+        block = b"".join(parts)
+        reg = obs.metrics()
+        reg.counter(
+            "driver.bytes_total", driver=self.name, direction="rx", backend="live"
+        ).inc(len(block))
+        reg.histogram(
+            "driver.block_bytes", driver=self.name, direction="rx", backend="live"
+        ).observe(len(block))
+        return block
 
     def close(self) -> None:
         for queue in self._queues:
@@ -128,11 +199,20 @@ class AsyncParallelStreamsDriver(AsyncDriver):
 class AsyncCompressionDriver(AsyncDriver):
     """Per-block zlib filter (same flag bytes as the sim driver)."""
 
-    def __init__(self, child: AsyncDriver, level: int = 1):
+    name = "compress"
+
+    def __init__(self, child: AsyncDriver, host=None, level: int = 1):
         self.child = child
+        self.host = host
         self.level = level
         self.bytes_in = 0
         self.bytes_out = 0
+
+    @property
+    def ratio(self) -> float:
+        if self.bytes_out == 0:
+            return 1.0
+        return self.bytes_in / self.bytes_out
 
     async def send_block(self, block: bytes) -> None:
         deflated = zlib.compress(block, self.level)
@@ -142,6 +222,14 @@ class AsyncCompressionDriver(AsyncDriver):
             payload = bytes([FLAG_RAW]) + block
         self.bytes_in += len(block)
         self.bytes_out += len(payload)
+        reg = obs.metrics()
+        reg.counter(
+            "compress.bytes_total", driver=self.name, stage="in", backend="live"
+        ).inc(len(block))
+        reg.counter(
+            "compress.bytes_total", driver=self.name, stage="out", backend="live"
+        ).inc(len(payload))
+        reg.gauge("compress.ratio", driver=self.name, backend="live").set(self.ratio)
         await self.child.send_block(payload)
 
     async def recv_block(self) -> bytes:
@@ -158,8 +246,11 @@ class AsyncCompressionDriver(AsyncDriver):
 class AsyncTlsDriver(AsyncDriver):
     """The sans-IO handshake + record layer over an async sub-driver."""
 
-    def __init__(self, child: AsyncDriver):
+    name = "tls"
+
+    def __init__(self, child: AsyncDriver, host=None):
         self.child = child
+        self.host = host
         self.session = None
 
     async def handshake_client(
@@ -263,10 +354,13 @@ class AsyncBlockChannel:
         await self.write(struct.pack("!I", len(payload)))
         await self.write(payload)
         await self.flush()
+        obs.event("channel.message", direction="tx", bytes=len(payload))
 
     async def recv_message(self) -> bytes:
         header = await self.read_exactly(4)
-        return await self.read_exactly(struct.unpack("!I", header)[0])
+        payload = await self.read_exactly(struct.unpack("!I", header)[0])
+        obs.event("channel.message", direction="rx", bytes=len(payload))
+        return payload
 
     def close(self) -> None:
         self.driver.close()

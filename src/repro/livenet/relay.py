@@ -12,6 +12,7 @@ import asyncio
 import itertools
 from typing import Optional, Tuple
 
+from .. import obs
 from ..core.relay import (
     MAX_MSG,
     T_CLOSE,
@@ -116,6 +117,9 @@ class LiveRelayServer:
             )
             return
         self.forwarded_messages += 1
+        reg = obs.metrics()
+        reg.counter("relay.forwarded_total", backend="live").inc()
+        reg.counter("relay.forwarded_bytes_total", backend="live").inc(len(body))
         await _write_frame(dest, body)
 
     def close(self) -> None:

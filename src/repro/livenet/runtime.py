@@ -18,7 +18,9 @@ import asyncio
 import struct
 from typing import Optional, Tuple
 
+from .. import obs
 from ..core.addressing import EndpointInfo
+from ..core.utilization.spec import StackSpec, as_spec
 from ..ipl.serialization import MessageReader, MessageWriter
 from ..util.framing import ByteReader, ByteWriter
 from .drivers import (
@@ -54,25 +56,28 @@ async def _read_frame(stream) -> bytes:
     return await stream.recv_exactly(int.from_bytes(header, "big"))
 
 
-def _build_stack(spec: str, socks: list, tls_config=None):
+def _build_stack(spec, socks: list, tls_config=None):
     """Assemble async drivers from a stack spec (subset of the sim specs)."""
-    from ..core.utilization.stack import parse_stack
-
-    layers = parse_stack(spec)
-    name, params = layers[-1]
-    if name == "tcp_block":
+    parsed = as_spec(spec, warn=False)
+    bottom = parsed.bottom
+    if bottom.name == "tcp_block":
         driver = AsyncTcpBlockDriver(socks[0])
     else:
         driver = AsyncParallelStreamsDriver(
-            socks, fragment=int(params.get("fragment", 16384))
+            socks, fragment=int(bottom.get("fragment", 16384))
         )
-    for name, params in reversed(layers[:-1]):
-        if name in ("compress", "adaptive"):
-            driver = AsyncCompressionDriver(driver, level=int(params.get("level", 1)))
-        elif name == "tls":
+    for layer in reversed(parsed.layers[:-1]):
+        if layer.name in ("compress", "adaptive"):
+            driver = AsyncCompressionDriver(driver, level=int(layer.get("level", 1)))
+        elif layer.name == "tls":
             driver = AsyncTlsDriver(driver)
         else:
-            raise LiveIbisError(f"layer {name!r} unsupported on the live backend")
+            raise LiveIbisError(
+                f"layer {layer.name!r} unsupported on the live backend"
+            )
+    obs.event(
+        "stack.built", spec=str(parsed), links=len(socks), backend="live"
+    )
     return driver
 
 
@@ -155,11 +160,13 @@ class LiveIbis:
         name: str,
         registry_addr: Addr,
         relay_addr: Addr,
-        default_spec: str = "tcp_block",
+        default_spec=None,
         listen_host: str = "127.0.0.1",
     ):
         self.name = name
-        self.default_spec = default_spec
+        self.default_spec = (
+            StackSpec.tcp() if default_spec is None else as_spec(default_spec)
+        )
         self.registry = LiveRegistryClient(registry_addr)
         self.relay = LiveRelayClient(name, relay_addr)
         self.listen_host = listen_host
@@ -211,8 +218,8 @@ class LiveIbis:
         return await self.registry.elect(election, self.name)
 
     # -- connecting --------------------------------------------------------------
-    async def _connect_port(self, port_name: str, spec: Optional[str]):
-        spec = spec or self.default_spec
+    async def _connect_port(self, port_name: str, spec):
+        parsed = self.default_spec if spec is None else as_spec(spec)
         owner, owner_info = await self.registry.lookup_port(port_name)
         service = await self._open_service(owner, owner_info)
         request = (
@@ -228,16 +235,14 @@ class LiveIbis:
             raise LiveIbisError(f"connect rejected: {reply.lp_str()}")
         # Stack agreement + data connections (direct TCP or routed).
         await _write_frame(
-            service, ByteWriter().lp_str(spec).u32(65536).getvalue()
+            service, ByteWriter().lp_str(str(parsed)).u32(65536).getvalue()
         )
-        from ..core.utilization.stack import links_required
-
-        n = links_required(spec)
+        n = parsed.links_required
         socks = []
         for _ in range(n):
             sock = await self._open_data(owner, owner_info, service)
             socks.append(sock)
-        driver = _build_stack(spec, socks)
+        driver = _build_stack(parsed, socks)
         return AsyncBlockChannel(driver)
 
     async def _open_service(self, owner: str, info: EndpointInfo):
@@ -293,11 +298,10 @@ class LiveIbis:
             return
         await _write_frame(service, ByteWriter().u8(RESP_OK).getvalue())
         agreement = ByteReader(await _read_frame(service))
-        spec = agreement.lp_str()
+        # The spec string is the wire format: parse it silently.
+        parsed = StackSpec.parse(agreement.lp_str())
         _block_size = agreement.u32()
-        from ..core.utilization.stack import links_required
-
-        n = links_required(spec)
+        n = parsed.links_required
         socks = []
         for index in range(n):
             await _read_frame(service)  # the data-connection request byte
@@ -313,5 +317,5 @@ class LiveIbis:
             sock = await listener.accept()
             listener.close()
             socks.append(sock)
-        driver = _build_stack(spec, socks)
+        driver = _build_stack(parsed, socks)
         port._attach(AsyncBlockChannel(driver), origin=sender)

@@ -1,0 +1,161 @@
+"""JSON-lines export and schema validation for observability data.
+
+One line per record.  Two record types share the file:
+
+* ``{"type": "metric", "kind": "counter"|"gauge"|"histogram", "name",
+  "labels", ...}`` — counters/gauges carry ``value``; histograms carry
+  ``count``, ``sum`` and ``buckets`` (``[[upper_bound, count], ...]``
+  with ``"inf"`` as the overflow bound).
+* ``{"type": "trace", "kind": "span"|"event", "name", "ts", "attrs"}``
+  — spans additionally carry ``duration``.
+
+:func:`validate_record` pins that shape; the smoke test validates whole
+exports with :func:`validate_jsonl`, and ``python -m repro.obs.report``
+summarizes them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Union
+
+from .metrics import MetricsRegistry
+from .trace import TraceRecorder
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "export_jsonl",
+    "read_jsonl",
+    "validate_record",
+    "validate_jsonl",
+]
+
+SCHEMA_VERSION = 1
+
+_NUMBER = (int, float)
+
+
+class SchemaError(Exception):
+    """An exported record does not match the observability schema."""
+
+
+def _records(registry: Optional[MetricsRegistry], recorder: Optional[TraceRecorder]):
+    header = {"type": "meta", "schema": SCHEMA_VERSION}
+    if recorder is not None and recorder.dropped:
+        header["dropped_trace_records"] = recorder.dropped
+    yield header
+    if registry is not None:
+        yield from registry.snapshot()
+    if recorder is not None:
+        yield from recorder.records
+
+
+def export_jsonl(
+    path_or_file: Union[str, IO],
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[TraceRecorder] = None,
+) -> int:
+    """Write metrics and trace records as JSON lines; returns line count.
+
+    With no explicit ``registry``/``recorder``, exports the process-wide
+    registry and the active trace recorder (if tracing is enabled).
+    """
+    from . import get_registry
+    from .trace import tracer
+
+    if registry is None:
+        registry = get_registry()
+    if recorder is None:
+        recorder = tracer()
+
+    def write(out: IO) -> int:
+        n = 0
+        for record in _records(registry, recorder):
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+            n += 1
+        return n
+
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as out:
+            return write(out)
+    return write(path_or_file)
+
+
+def read_jsonl(path: str) -> list:
+    """Parse a JSON-lines file into a list of records (no validation)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"line {lineno}: not JSON: {exc}") from exc
+    return records
+
+
+def _require(record: dict, key: str, types) -> object:
+    if key not in record:
+        raise SchemaError(f"record missing {key!r}: {record!r}")
+    value = record[key]
+    if not isinstance(value, types):
+        raise SchemaError(f"{key!r} has wrong type in {record!r}")
+    return value
+
+
+def validate_record(record: object) -> str:
+    """Validate one record; returns its ``type``/``kind`` tag."""
+    if not isinstance(record, dict):
+        raise SchemaError(f"record is not an object: {record!r}")
+    rtype = _require(record, "type", str)
+    if rtype == "meta":
+        _require(record, "schema", int)
+        return "meta"
+    if rtype == "metric":
+        kind = _require(record, "kind", str)
+        _require(record, "name", str)
+        labels = _require(record, "labels", dict)
+        for key, value in labels.items():
+            if not isinstance(key, str) or not isinstance(value, (str,) + _NUMBER):
+                raise SchemaError(f"bad label {key!r}={value!r} in {record!r}")
+        if kind in ("counter", "gauge"):
+            _require(record, "value", _NUMBER)
+        elif kind == "histogram":
+            _require(record, "count", int)
+            _require(record, "sum", _NUMBER)
+            buckets = _require(record, "buckets", list)
+            for pair in buckets:
+                ok = (
+                    isinstance(pair, list)
+                    and len(pair) == 2
+                    and isinstance(pair[0], _NUMBER + (str,))
+                    and isinstance(pair[1], int)
+                )
+                if not ok:
+                    raise SchemaError(f"bad histogram bucket {pair!r} in {record!r}")
+        else:
+            raise SchemaError(f"unknown metric kind {kind!r}")
+        return f"metric/{kind}"
+    if rtype == "trace":
+        kind = _require(record, "kind", str)
+        if kind not in ("span", "event"):
+            raise SchemaError(f"unknown trace kind {kind!r}")
+        _require(record, "name", str)
+        _require(record, "ts", _NUMBER)
+        _require(record, "attrs", dict)
+        if kind == "span":
+            _require(record, "duration", _NUMBER)
+        return f"trace/{kind}"
+    raise SchemaError(f"unknown record type {rtype!r}")
+
+
+def validate_jsonl(path: str) -> dict:
+    """Validate every line of an export; returns ``{tag: count}``."""
+    counts: dict[str, int] = {}
+    for record in read_jsonl(path):
+        tag = validate_record(record)
+        counts[tag] = counts.get(tag, 0) + 1
+    return counts

@@ -1,0 +1,138 @@
+"""Summarize an observability JSON-lines export.
+
+Usage::
+
+    python -m repro.obs.report out.jsonl [--json]
+
+Prints counters and gauges, histogram statistics, span summaries grouped
+by name (count, outcomes, total duration) and event counts.  ``--json``
+emits the same summary as one JSON object for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .export import SchemaError, read_jsonl, validate_record
+
+__all__ = ["summarize", "render", "main"]
+
+
+def _labels_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def summarize(records: list) -> dict:
+    """Reduce validated records to a JSON-able summary structure."""
+    summary: dict = {
+        "schema": None,
+        "metrics": [],
+        "spans": {},
+        "events": {},
+        "records": len(records),
+    }
+    for record in records:
+        tag = validate_record(record)
+        if tag == "meta":
+            summary["schema"] = record.get("schema")
+        elif tag.startswith("metric/"):
+            entry = {
+                "kind": record["kind"],
+                "name": record["name"],
+                "labels": record["labels"],
+            }
+            if record["kind"] == "histogram":
+                entry["count"] = record["count"]
+                entry["sum"] = record["sum"]
+                entry["mean"] = record["sum"] / record["count"] if record["count"] else 0.0
+                entry["buckets"] = record["buckets"]
+            else:
+                entry["value"] = record["value"]
+            summary["metrics"].append(entry)
+        elif tag == "trace/span":
+            name = record["name"]
+            group = summary["spans"].setdefault(
+                name, {"count": 0, "total_duration": 0.0, "outcomes": {}}
+            )
+            group["count"] += 1
+            group["total_duration"] += record["duration"]
+            outcome = str(record["attrs"].get("outcome", "?"))
+            group["outcomes"][outcome] = group["outcomes"].get(outcome, 0) + 1
+        elif tag == "trace/event":
+            name = record["name"]
+            summary["events"][name] = summary["events"].get(name, 0) + 1
+    return summary
+
+
+def render(summary: dict) -> str:
+    """Human-readable rendering of :func:`summarize` output."""
+    lines = [f"observability export: {summary['records']} records "
+             f"(schema v{summary['schema']})"]
+    metrics = summary["metrics"]
+    if metrics:
+        lines.append("")
+        lines.append(f"== metrics ({len(metrics)}) ==")
+        for m in metrics:
+            key = f"{m['name']}{_labels_str(m['labels'])}"
+            if m["kind"] == "histogram":
+                lines.append(
+                    f"  histogram {key:58s} count={m['count']:<8d} "
+                    f"sum={m['sum']:<14.6g} mean={m['mean']:.6g}"
+                )
+            else:
+                lines.append(f"  {m['kind']:9s} {key:58s} {m['value']:.6g}")
+    if summary["spans"]:
+        lines.append("")
+        lines.append(f"== spans ({sum(g['count'] for g in summary['spans'].values())}) ==")
+        for name in sorted(summary["spans"]):
+            group = summary["spans"][name]
+            outcomes = ", ".join(
+                f"{count} {outcome}"
+                for outcome, count in sorted(group["outcomes"].items())
+            )
+            lines.append(
+                f"  {name:40s} {group['count']:6d} spans  "
+                f"total {group['total_duration']:.6g}s  ({outcomes})"
+            )
+    if summary["events"]:
+        lines.append("")
+        lines.append(f"== events ({sum(summary['events'].values())}) ==")
+        for name in sorted(summary["events"]):
+            lines.append(f"  {name:40s} {summary['events'][name]:6d}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a repro.obs JSON-lines export.",
+    )
+    parser.add_argument("path", help="JSON-lines file written by export_jsonl")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+    try:
+        records = read_jsonl(args.path)
+        summary = summarize(records)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.path}", file=sys.stderr)
+        return 2
+    except SchemaError as exc:
+        print(f"error: invalid export: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        print(render(summary))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Structured trace events: ``span(name, **attrs)`` / ``event(name, **attrs)``.
+
+Generalizes the packet-level :mod:`repro.simnet.trace` one level up, to
+the *protocol* events the paper's mechanisms produce — establishment
+attempts and decision-tree fallbacks, driver-stack assembly, relay hops,
+per-message send/receive.  Records are plain dicts of JSON-able
+attributes so the JSON-lines exporter and the report CLI need no schema
+negotiation.
+
+Tracing is off by default and every instrumentation site goes through
+the module-level :func:`span` / :func:`event` helpers, which collapse to
+a no-op when no recorder is installed — hot paths pay one global load
+and one ``is None`` test.  Like the metrics registry, a recorder takes
+an injectable clock, so spans measure simulated seconds under simnet and
+wall-clock seconds under livenet.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = [
+    "TraceRecorder",
+    "Span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracer",
+    "span",
+    "event",
+]
+
+
+class TraceRecorder:
+    """Collects spans and events; one per tracing session."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        limit: Optional[int] = None,
+    ):
+        self._clock = clock or time.time
+        self.limit = limit
+        self.records: list[dict] = []
+        self.dropped = 0
+
+    def now(self) -> float:
+        return self._clock()
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    # -- recording ------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def event(self, name: str, **attrs) -> None:
+        self._append(
+            {"type": "trace", "kind": "event", "name": name,
+             "ts": self._clock(), "attrs": attrs}
+        )
+
+    def span(self, name: str, **attrs) -> "Span":
+        return Span(self, name, attrs)
+
+    # -- inspection ------------------------------------------------------------
+    def spans(self, name: Optional[str] = None) -> list:
+        return [
+            r for r in self.records
+            if r["kind"] == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> list:
+        return [
+            r for r in self.records
+            if r["kind"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+
+class Span:
+    """A timed region; use as a context manager.
+
+    The span is recorded on exit with its duration and an ``outcome``
+    attribute — ``"ok"``, or ``"error"`` plus the exception type when the
+    body raised.  Set attributes discovered mid-flight with :meth:`set`
+    (including an explicit ``outcome`` that overrides the automatic one).
+    """
+
+    __slots__ = ("_recorder", "name", "attrs", "_t0")
+
+    def __init__(self, recorder: TraceRecorder, name: str, attrs: dict):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._t0 = self._recorder.now()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        now = self._recorder.now()
+        attrs = self.attrs
+        if "outcome" not in attrs:
+            attrs["outcome"] = "ok" if exc_type is None else "error"
+        if exc_type is not None and "error" not in attrs:
+            attrs["error"] = exc_type.__name__
+        self._recorder._append(
+            {"type": "trace", "kind": "span", "name": self.name,
+             "ts": self._t0, "duration": now - self._t0, "attrs": attrs}
+        )
+        return False
+
+
+class _NullSpan:
+    """The do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **_attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_recorder: Optional[TraceRecorder] = None
+
+
+def enable_tracing(
+    clock: Optional[Callable[[], float]] = None,
+    limit: Optional[int] = None,
+) -> TraceRecorder:
+    """Install (and return) a fresh process-wide trace recorder."""
+    global _recorder
+    _recorder = TraceRecorder(clock=clock, limit=limit)
+    return _recorder
+
+
+def disable_tracing() -> Optional[TraceRecorder]:
+    """Stop tracing; returns the recorder that was active, if any."""
+    global _recorder
+    recorder, _recorder = _recorder, None
+    return recorder
+
+
+def tracer() -> Optional[TraceRecorder]:
+    """The active recorder, or None when tracing is disabled."""
+    return _recorder
+
+
+def span(name: str, **attrs):
+    """A timed span on the active recorder (no-op context when disabled)."""
+    rec = _recorder
+    if rec is None:
+        return _NULL_SPAN
+    return Span(rec, name, attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """A point event on the active recorder (no-op when disabled)."""
+    rec = _recorder
+    if rec is not None:
+        rec._append(
+            {"type": "trace", "kind": "event", "name": name,
+             "ts": rec.now(), "attrs": attrs}
+        )

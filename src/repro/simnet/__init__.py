@@ -38,7 +38,7 @@ from .sockets import (
     listen,
 )
 from .socks import SocksError, SocksServer, socks_accept_bound, socks_bind, socks_connect
-from .stats import SeriesRecorder, TransferMeter, mb_per_s
+from ..obs.meters import SeriesRecorder, TransferMeter, mb_per_s
 from .tcp import (
     ConnectRefused,
     ConnectTimeout,

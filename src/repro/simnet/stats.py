@@ -1,73 +1,26 @@
-"""Measurement helpers over simulated time."""
+"""Deprecated location of the measurement helpers.
+
+:class:`TransferMeter`, :class:`SeriesRecorder` and :func:`mb_per_s` now
+live in :mod:`repro.obs.meters` (the observability subsystem).  Importing
+them from here still works but emits a :class:`DeprecationWarning`.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
 
 __all__ = ["TransferMeter", "SeriesRecorder", "mb_per_s"]
 
 
-def mb_per_s(nbytes: int, seconds: float) -> float:
-    """Throughput in MB/s (1 MB = 1e6 bytes, as the paper reports)."""
-    if seconds <= 0:
-        return float("inf")
-    return nbytes / seconds / 1e6
+def __getattr__(name):
+    if name in __all__:
+        from .. import obs
 
-
-class TransferMeter:
-    """Measures bytes moved between ``start()`` and ``stop()``."""
-
-    def __init__(self, sim):
-        self.sim = sim
-        self.t0: Optional[float] = None
-        self.t1: Optional[float] = None
-        self.nbytes = 0
-
-    def start(self) -> None:
-        self.t0 = self.sim.now
-        self.t1 = None
-        self.nbytes = 0
-
-    def add(self, nbytes: int) -> None:
-        self.nbytes += nbytes
-
-    def stop(self) -> None:
-        self.t1 = self.sim.now
-
-    @property
-    def seconds(self) -> float:
-        if self.t0 is None:
-            raise RuntimeError("meter never started")
-        end = self.t1 if self.t1 is not None else self.sim.now
-        return end - self.t0
-
-    @property
-    def throughput(self) -> float:
-        """MB/s over the measured interval."""
-        return mb_per_s(self.nbytes, self.seconds)
-
-
-class SeriesRecorder:
-    """Collects (x, y) points for a figure series."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self.points: list[tuple[float, float]] = []
-
-    def add(self, x: float, y: float) -> None:
-        self.points.append((x, y))
-
-    def ys(self) -> list[float]:
-        return [y for _x, y in self.points]
-
-    def xs(self) -> list[float]:
-        return [x for x, _y in self.points]
-
-    def peak(self) -> float:
-        return max(self.ys()) if self.points else 0.0
-
-    def format_rows(self, xfmt: str = "{:>10}", yfmt: str = "{:8.2f}") -> str:
-        return "\n".join(
-            f"{xfmt.format(int(x) if float(x).is_integer() else x)} {yfmt.format(y)}"
-            for x, y in self.points
+        warnings.warn(
+            f"repro.simnet.stats.{name} moved to repro.obs; "
+            f"import it from repro.obs (or repro.obs.meters) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return getattr(obs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

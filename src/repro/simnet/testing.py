@@ -12,7 +12,7 @@ from typing import Callable, Generator, Optional
 from .engine import Simulator
 from .packet import Addr
 from .sockets import SimSocket, connect, listen
-from .stats import mb_per_s
+from ..obs.meters import mb_per_s
 from .tcp import TcpConfig
 from .topology import Host, Internet
 

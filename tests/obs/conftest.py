@@ -1,0 +1,17 @@
+"""Observability tests run against an isolated registry and recorder."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def fresh_obs():
+    """A fresh process-wide registry; tracing off before and after."""
+    previous = obs.set_registry(obs.MetricsRegistry())
+    obs.disable_tracing()
+    try:
+        yield obs.get_registry()
+    finally:
+        obs.disable_tracing()
+        obs.set_registry(previous)

@@ -1,0 +1,146 @@
+"""MetricsRegistry semantics: dedup, kinds, buckets, snapshots, clocks."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BYTE_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+class TestLabelDedup:
+    def test_same_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x.total", driver="tcp", direction="tx")
+        b = reg.counter("x.total", direction="tx", driver="tcp")  # order-free
+        assert a is b
+        a.inc(5)
+        assert b.value == 5
+
+    def test_different_labels_different_instruments(self):
+        reg = MetricsRegistry()
+        tx = reg.counter("x.total", direction="tx")
+        rx = reg.counter("x.total", direction="rx")
+        assert tx is not rx
+        tx.inc()
+        assert rx.value == 0
+
+    def test_get_returns_existing_or_none(self):
+        reg = MetricsRegistry()
+        created = reg.gauge("g", k="v")
+        assert reg.get("g", k="v") is created
+        assert reg.get("g", k="other") is None
+        assert reg.get("missing") is None
+
+
+class TestKindAndBucketConflicts:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(MetricError):
+            reg.gauge("m")
+        with pytest.raises(MetricError):
+            reg.histogram("m")
+
+    def test_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1, 2, 3))
+        with pytest.raises(MetricError):
+            reg.histogram("h", buckets=(10, 20))
+        # same buckets (or unspecified) is fine
+        reg.histogram("h", buckets=(1, 2, 3))
+        reg.histogram("h")
+
+    def test_counter_cannot_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.counter("c").inc(-1)
+
+
+class TestHistogram:
+    def test_bucket_placement_le_semantics(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(10, 20))
+        for value in (5, 10, 15, 25):
+            h.observe(value)
+        assert h.count == 4
+        assert h.sum == 55
+        counts = dict(h.bucket_counts())
+        assert counts[10] == 2  # 5 and the boundary value 10
+        assert counts[20] == 1  # 15
+        assert counts["inf"] == 1  # 25 overflows
+        assert h.mean == pytest.approx(13.75)
+
+    def test_default_buckets_are_bytes(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes")
+        assert h.buckets == DEFAULT_BYTE_BUCKETS
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry(clock=lambda: 7.0)
+        reg.counter("c.total", a="1").inc(3)
+        reg.gauge("g").set(2.5)
+        reg.histogram("h", buckets=(10,)).observe(4)
+        records = reg.snapshot()
+        assert [r["name"] for r in records] == ["c.total", "g", "h"]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["c.total"] == {
+            "type": "metric", "kind": "counter", "name": "c.total",
+            "labels": {"a": "1"}, "value": 3,
+        }
+        assert by_name["g"]["value"] == 2.5
+        assert by_name["g"]["updated_at"] == 7.0
+        assert by_name["h"]["count"] == 1
+        assert by_name["h"]["buckets"] == [[10, 1], ["inf", 0]]
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c.total")
+        c.inc(9)
+        reg.reset()
+        assert reg.counter("c.total") is c
+        assert c.value == 0
+
+    def test_clear_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c.total").inc()
+        reg.clear()
+        assert reg.names() == []
+
+
+class TestClocks:
+    def test_wall_clock_is_default(self):
+        import time
+
+        reg = MetricsRegistry()
+        before = time.time()
+        reg.gauge("g").set(1.0)
+        assert reg.gauge("g").updated_at >= before
+
+    def test_sim_clock_injection_and_rebinding(self):
+        class FakeSim:
+            now = 0.0
+
+        sim = FakeSim()
+        reg = MetricsRegistry(clock=lambda: 111.0)
+        g = reg.gauge("g")
+        g.set(1.0)
+        assert g.updated_at == 111.0
+        # rebinding the registry clock rebinds existing gauges too
+        reg.set_clock(lambda: sim.now)
+        sim.now = 42.5
+        g.set(2.0)
+        assert g.updated_at == 42.5
+        assert reg.now() == 42.5
+
+    def test_use_sim_clock_binds_global_registry(self, fresh_obs):
+        from repro import obs
+
+        class FakeSim:
+            now = 9.25
+
+        obs.use_sim_clock(FakeSim())
+        assert obs.get_registry().now() == 9.25

@@ -1,0 +1,44 @@
+"""Smoke: a traced simnet scenario exports schema-valid observability data.
+
+Runs a small brokered transfer with tracing enabled, exports the JSON-lines
+file, validates every record against the schema and renders the report —
+the same flow as ``make smoke-obs``.
+"""
+
+from repro import StackSpec, obs
+from repro.core.scenarios import GridScenario
+from repro.obs import report, validate_jsonl
+
+
+def test_traced_scenario_exports_valid_jsonl(tmp_path, capsys):
+    previous = obs.set_registry(obs.MetricsRegistry())
+    obs.enable_tracing()
+    try:
+        sc = GridScenario(seed=7)
+        sc.add_site("a", "open", access_bandwidth=4e6, access_delay=0.005)
+        sc.add_site("b", "firewall", access_bandwidth=4e6, access_delay=0.005)
+        sc.add_node("a", "src")
+        sc.add_node("b", "dst")
+        result = sc.measure_stack_throughput(
+            "src", "dst", StackSpec.parallel(2).with_compression(),
+            b"smoke" * 13108, 500_000,
+        )
+        assert result["received"] >= 500_000
+
+        path = str(tmp_path / "smoke.jsonl")
+        lines = obs.export_jsonl(path)
+        counts = validate_jsonl(path)
+        assert sum(counts.values()) == lines
+        assert counts["meta"] == 1
+        assert counts["metric/counter"] >= 4   # driver, compress, establish
+        assert counts["metric/histogram"] >= 2
+        assert counts["trace/span"] >= 6       # attempts + stack assembly
+        assert counts["trace/event"] >= 1
+
+        assert report.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "observability export" in out
+        assert "establish.attempt" in out
+    finally:
+        obs.disable_tracing()
+        obs.set_registry(previous)

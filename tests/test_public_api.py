@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.livenet",
     "repro.workloads",
     "repro.util",
+    "repro.obs",
 ]
 
 
@@ -51,6 +52,54 @@ def test_top_level_convenience_exports():
     assert repro.LiveIbis.__name__ == "LiveIbis"
     with pytest.raises(AttributeError):
         repro.NotAThing
+
+
+def test_top_level_surface_is_coherent():
+    """The redesigned top-level API: one import for the common objects."""
+    import repro
+
+    for name in (
+        "GridNode",
+        "BrokeredConnectionFactory",
+        "TlsConfig",
+        "StackSpec",
+        "LayerSpec",
+        "SendPort",
+        "ReceivePort",
+        "PathMonitor",
+        "select_spec",
+        "MetricsRegistry",
+        "get_registry",
+        "enable_tracing",
+        "disable_tracing",
+        "span",
+        "event",
+        "export_jsonl",
+    ):
+        assert name in repro.__all__, name
+        assert getattr(repro, name) is not None, name
+    # __dir__ advertises the lazy exports too
+    assert "StackSpec" in dir(repro)
+
+
+def test_typed_stack_spec_round_trip():
+    import repro
+
+    spec = repro.StackSpec.parallel(4).with_compression()
+    assert str(spec) == "compress:1|parallel:4"
+    assert repro.StackSpec.parse(str(spec)) == spec
+
+
+def test_string_specs_are_deprecated_but_work():
+    import warnings
+
+    from repro.core.utilization.spec import StackSpec, as_spec
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        parsed = as_spec("compress:1|parallel:4")
+    assert parsed == StackSpec.parallel(4).with_compression()
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
 
 def test_version_is_pep440ish():
