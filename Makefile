@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-obs smoke-obs
+.PHONY: test test-fast test-obs smoke-obs chaos chaos-sweep
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,3 +15,19 @@ smoke-obs:
 	$(PYTHON) -m pytest -q tests/test_obs_smoke.py
 	$(PYTHON) examples/auto_selection.py --trace /tmp/repro-obs-smoke.jsonl
 	$(PYTHON) -m repro.obs.report /tmp/repro-obs-smoke.jsonl
+
+# Skip tests that bind real loopback sockets (useful in sandboxes).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not livenet"
+
+# The demo fault plan from the chaos harness: relay crash mid-transfer
+# plus two link flaps.  Recovery is visible in the exported trace.
+CHAOS_PLAN := relay_crash@2:for=8;link_down@12:site=A,for=0.4;link_down@13.5:site=B,for=0.4
+
+chaos:
+	$(PYTHON) -m repro.chaos --seed 1 --plan "$(CHAOS_PLAN)" \
+		--trace /tmp/repro-chaos.jsonl
+	$(PYTHON) -m repro.obs.report /tmp/repro-chaos.jsonl
+
+chaos-sweep:
+	$(PYTHON) -m repro.chaos --seeds 1-20 --plan "$(CHAOS_PLAN)"

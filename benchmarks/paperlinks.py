@@ -16,7 +16,10 @@ implied by the paper's slow-link compression numbers.
 
 from __future__ import annotations
 
+from typing import Union
+
 from repro.core.scenarios import GridScenario
+from repro.core.utilization.spec import StackSpec
 from repro.simnet.cpu import CpuModel
 from repro.workloads import payload_with_ratio
 
@@ -71,7 +74,7 @@ def build_paper_wan(link: dict, seed: int = 9) -> GridScenario:
 
 def measure(
     link: dict,
-    spec: str,
+    spec: Union[str, StackSpec],
     message_size: int,
     total_bytes: int,
     seed: int = 9,

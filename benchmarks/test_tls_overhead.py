@@ -12,6 +12,7 @@ from paperlinks import AMSTERDAM_RENNES, build_paper_wan
 from repro.core.factory import BrokeredConnectionFactory, TlsConfig
 from repro.core.scenarios import GridScenario
 from repro.core.utilization import TlsDriver, find_driver
+from repro.core.utilization.spec import StackSpec
 from repro.security import CertificateAuthority, Identity
 from repro.simnet import mb_per_s
 from repro.workloads import incompressible
@@ -30,6 +31,7 @@ def _pki():
 
 
 def _secure_transfer(kind_a, kind_b, spec, seed=19):
+    spec = StackSpec.parse(spec) if isinstance(spec, str) else spec
     sc = GridScenario(seed=seed)
     sc.add_site("A", kind_a, access_bandwidth=4e6, access_delay=0.01)
     sc.add_site("B", kind_b, access_bandwidth=4e6, access_delay=0.01)

@@ -11,6 +11,7 @@ Run:  python examples/live_ibis.py
 import array
 import asyncio
 
+from repro.core.utilization.spec import StackSpec
 from repro.livenet import LiveIbis, LiveRegistryServer, LiveRelayServer
 
 
@@ -38,7 +39,7 @@ async def coordinator(node: LiveIbis, n_workers: int) -> None:
         port = node.create_send_port(f"to-{index}")
         for _attempt in range(50):
             try:
-                await port.connect(f"tasks-{index}", spec="compress|parallel:2")
+                await port.connect(f"tasks-{index}", spec=StackSpec.parallel(2).with_compression())
                 break
             except Exception:
                 await asyncio.sleep(0.05)

@@ -11,6 +11,7 @@ Run:  python examples/secure_channel.py
 from repro.core.factory import BrokeredConnectionFactory, TlsConfig
 from repro.core.scenarios import GridScenario
 from repro.core.utilization import TlsDriver, find_driver
+from repro.core.utilization.spec import StackSpec
 from repro.security import CertificateAuthority, Identity, RecordError
 
 
@@ -47,7 +48,7 @@ def main() -> None:
         service = yield from alice.open_service_link("bob")
         factory = BrokeredConnectionFactory(alice, alice_tls)
         channel = yield from factory.connect(
-            service, bob.info, spec="tls|compress|tcp_block"
+            service, bob.info, spec=StackSpec.tcp().with_compression().with_tls()
         )
         tls = find_driver(channel.driver, TlsDriver)
         print(f"[alice] authenticated peer: {tls.peer_subject}")

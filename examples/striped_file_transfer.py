@@ -14,6 +14,7 @@ import hashlib
 from repro.core.autotune import recommend_streams
 from repro.core.factory import BrokeredConnectionFactory
 from repro.core.scenarios import GridScenario
+from repro.core.utilization.spec import StackSpec
 from repro.workloads import scientific_mesh
 
 CAPACITY = 9e6
@@ -41,7 +42,7 @@ def transfer(nstreams: int, dataset: bytes) -> tuple[float, str]:
             yield scenario.sim.timeout(0.05)
         service = yield from src.open_service_link("dst")
         factory = BrokeredConnectionFactory(src)
-        spec = f"parallel:{nstreams}" if nstreams > 1 else "tcp_block"
+        spec = StackSpec.parallel(nstreams) if nstreams > 1 else StackSpec.tcp()
         channel = yield from factory.connect(service, dst.info, spec=spec)
         t0 = scenario.sim.now
         yield from channel.write(dataset)

@@ -16,6 +16,8 @@ problems of grid wide-area communication, re-implemented in Python:
 * :mod:`repro.livenet` — the same driver API over real asyncio sockets.
 * :mod:`repro.obs` — observability: a process-wide metrics registry and
   structured trace events over both backends, with JSON-lines export.
+* :mod:`repro.chaos` — deterministic fault injection: seeded
+  ``FaultPlan``s, a scenario runner and end-to-end invariant checks.
 
 The names below are the supported top-level surface; everything is
 imported lazily so ``import repro`` stays light.
@@ -43,6 +45,12 @@ _EXPORTS = {
     "PathMonitor": ("repro.core.monitor", "PathMonitor"),
     "PathEstimate": ("repro.core.monitor", "PathEstimate"),
     "select_spec": ("repro.core.monitor", "select_spec"),
+    # retry / chaos
+    "RetryPolicy": ("repro.core.retry", "RetryPolicy"),
+    "RetryExhausted": ("repro.core.retry", "RetryExhausted"),
+    "FaultPlan": ("repro.chaos", "FaultPlan"),
+    "run_chaos": ("repro.chaos", "run_chaos"),
+    "ChaosReport": ("repro.chaos", "ChaosReport"),
     # observability
     "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
     "get_registry": ("repro.obs", "get_registry"),

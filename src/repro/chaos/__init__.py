@@ -1,0 +1,47 @@
+"""Deterministic chaos harness for the simulated grid stack.
+
+The paper's establishment machinery exists because wide-area links,
+middleboxes and relays *fail*; this package makes those failures a
+first-class, reproducible test input.  A :class:`FaultPlan` (parsed from
+a one-line spec such as ``relay_crash@2:for=8;link_down@12:site=A,for=0.4``)
+is armed against a :class:`~repro.core.scenarios.GridScenario` by the
+:class:`FaultScheduler`; :func:`run_chaos` drives a workload under the
+plan and checks end-to-end invariants — exactly-once in-order delivery,
+no leaked sockets or timers, obs counters consistent with the bytes
+moved.  A failure is reported as the replayable ``(scenario, seed,
+plan)`` triple, and the report JSON is byte-identical across reruns.
+"""
+
+from .faults import (
+    ConntrackFlush,
+    Fault,
+    FaultPlan,
+    FaultPlanError,
+    FaultScheduler,
+    LinkDown,
+    LossBurst,
+    NatExpiry,
+    PeerDrop,
+    RelayCrash,
+)
+from .invariants import ChannelAudit, check_invariants
+from .runner import SCENARIOS, ChaosReport, Workload, run_chaos
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultScheduler",
+    "LinkDown",
+    "LossBurst",
+    "RelayCrash",
+    "PeerDrop",
+    "ConntrackFlush",
+    "NatExpiry",
+    "ChannelAudit",
+    "check_invariants",
+    "ChaosReport",
+    "Workload",
+    "run_chaos",
+    "SCENARIOS",
+]

@@ -1,0 +1,86 @@
+"""Run chaos scenarios from the command line.
+
+Examples::
+
+    python -m repro.chaos --seed 1 \
+        --plan "relay_crash@2:for=8;link_down@12:site=A,for=0.4"
+    python -m repro.chaos --seeds 1-20 --plan "relay_crash@2:for=8"
+
+Exits non-zero if any run violates an invariant, printing the
+``(scenario, seed, plan)`` triple needed to replay it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .runner import SCENARIOS, run_chaos
+
+
+def _parse_seeds(text: str) -> list[int]:
+    seeds: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            seeds.extend(range(int(lo), int(hi) + 1))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--scenario", default="wan_transfer", choices=sorted(SCENARIOS),
+    )
+    parser.add_argument(
+        "--seed", "--seeds", dest="seeds", default="1",
+        help="seed, comma list, or inclusive range: 7 | 1,2,5 | 1-20",
+    )
+    parser.add_argument(
+        "--plan", default="",
+        help='fault plan, e.g. "relay_crash@2:for=8;link_down@12:site=A,for=0.4"',
+    )
+    parser.add_argument(
+        "--no-retries", action="store_true",
+        help="disable the retry/backoff layer (expect failures under faults)",
+    )
+    parser.add_argument(
+        "--until", type=float, default=900.0, help="simulated-seconds budget"
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="export obs trace JSONL (single-seed runs only)",
+    )
+    parser.add_argument("--json", action="store_true", help="print full reports")
+    args = parser.parse_args(argv)
+
+    seeds = _parse_seeds(args.seeds)
+    trace_path = args.trace if len(seeds) == 1 else None
+    failures = 0
+    for seed in seeds:
+        report = run_chaos(
+            scenario=args.scenario,
+            seed=seed,
+            plan=args.plan,
+            retries=not args.no_retries,
+            until=args.until,
+            trace_path=trace_path,
+        )
+        print(report.summary())
+        if args.json:
+            print(report.to_json())
+        if not report.ok:
+            failures += 1
+            print(f"  replay: {report.triple()!r}", file=sys.stderr)
+    print(f"{len(seeds) - failures}/{len(seeds)} chaos runs passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

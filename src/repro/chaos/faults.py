@@ -1,0 +1,319 @@
+"""Seeded, time-stamped fault plans for simulated grid scenarios.
+
+A :class:`FaultPlan` is an ordered set of :class:`Fault` objects, each
+carrying an absolute injection time on the simulation clock.  Plans have a
+canonical one-line string form::
+
+    relay_crash@2:for=8;link_down@12:site=A,for=0.4;conntrack_flush@5:site=B
+
+which round-trips through :meth:`FaultPlan.parse` — that string, together
+with a scenario name and a seed, is the complete *replayable triple* a
+failing chaos run is reported as.
+
+The :class:`FaultScheduler` arms a plan against a running
+:class:`~repro.core.scenarios.GridScenario`: every fault fires at its
+timestamp via the injection hooks the simnet/core layers expose
+(``Link.set_down``, ``Transmitter.loss``, ``RelayServer.stop/start``,
+``RelayClient.drop``, ``StatefulFirewall.flush``,
+``NatBox.expire_mappings``) and is traced as a ``chaos.inject`` /
+``chaos.heal`` event pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from .. import obs
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultScheduler",
+    "FaultPlanError",
+    "LinkDown",
+    "LossBurst",
+    "RelayCrash",
+    "PeerDrop",
+    "ConntrackFlush",
+    "NatExpiry",
+]
+
+
+class FaultPlanError(ValueError):
+    """Malformed fault-plan specification."""
+
+
+def _fmt(value: float) -> str:
+    """Canonical float rendering: no trailing zeros, no scientific noise."""
+    text = f"{value:.6f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single scheduled fault.  ``at`` is absolute simulated time."""
+
+    at: float
+
+    #: canonical kind tag used in the plan string (set per subclass)
+    kind = ""
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        """Apply the fault; returns attrs for the ``chaos.inject`` event."""
+        raise NotImplementedError
+
+    def _args(self) -> dict:
+        """Arguments in canonical order for :meth:`describe`."""
+        return {}
+
+    def describe(self) -> str:
+        args = self._args()
+        head = f"{self.kind}@{_fmt(self.at)}"
+        if not args:
+            return head
+        body = ",".join(
+            f"{k}={_fmt(v) if isinstance(v, float) else v}"
+            for k, v in args.items()
+        )
+        return f"{head}:{body}"
+
+
+@dataclass(frozen=True)
+class LinkDown(Fault):
+    """Cut a site's WAN access link for ``duration`` seconds (a flap)."""
+
+    site: str = ""
+    duration: float = 1.0
+
+    kind = "link_down"
+
+    def _args(self) -> dict:
+        return {"site": self.site, "for": self.duration}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        link = ctx.scenario.site_wan_link(self.site)
+        link.set_down(True)
+        ctx.heal_later(
+            self.duration, lambda: link.set_down(False), self, site=self.site
+        )
+        return {"site": self.site, "for": self.duration}
+
+
+@dataclass(frozen=True)
+class LossBurst(Fault):
+    """Raise a site's WAN-link loss rate to ``loss`` for ``duration`` s."""
+
+    site: str = ""
+    loss: float = 0.5
+    duration: float = 1.0
+
+    kind = "loss_burst"
+
+    def _args(self) -> dict:
+        return {"site": self.site, "loss": self.loss, "for": self.duration}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        link = ctx.scenario.site_wan_link(self.site)
+        previous = (link.a_to_b.loss, link.b_to_a.loss)
+        link.a_to_b.loss = self.loss
+        link.b_to_a.loss = self.loss
+
+        def heal():
+            link.a_to_b.loss, link.b_to_a.loss = previous
+
+        ctx.heal_later(self.duration, heal, self, site=self.site)
+        return {"site": self.site, "loss": self.loss, "for": self.duration}
+
+
+@dataclass(frozen=True)
+class RelayCrash(Fault):
+    """Crash the relay server, restarting it ``duration`` seconds later.
+
+    Every registered node loses its session (and every routed link EOFs);
+    clients with ``auto_reconnect`` re-register once the relay is back.
+    """
+
+    duration: float = 5.0
+
+    kind = "relay_crash"
+
+    def _args(self) -> dict:
+        return {"for": self.duration}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        relay = ctx.scenario.relay
+        sessions = len(relay.sessions)
+        relay.stop()
+        ctx.heal_later(self.duration, relay.start, self)
+        return {"for": self.duration, "sessions": sessions}
+
+
+@dataclass(frozen=True)
+class PeerDrop(Fault):
+    """Sever one node's relay session mid-whatever-it-was-doing.
+
+    From every peer's point of view the node disappears (its service and
+    routed links EOF) — the "broker peer disappearing mid-negotiation"
+    case.  The node itself reconnects only with ``auto_reconnect``.
+    """
+
+    node: str = ""
+
+    kind = "peer_drop"
+
+    def _args(self) -> dict:
+        return {"node": self.node}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        ctx.scenario.nodes[self.node].relay_client.drop()
+        return {"node": self.node}
+
+
+@dataclass(frozen=True)
+class ConntrackFlush(Fault):
+    """Flush a site firewall's connection-tracking table (FW reboot)."""
+
+    site: str = ""
+
+    kind = "conntrack_flush"
+
+    def _args(self) -> dict:
+        return {"site": self.site}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        flows = ctx.scenario.site_firewall(self.site).flush()
+        return {"site": self.site, "flows": flows}
+
+
+@dataclass(frozen=True)
+class NatExpiry(Fault):
+    """Expire every mapping in a site's NAT translation table."""
+
+    site: str = ""
+
+    kind = "nat_expiry"
+
+    def _args(self) -> dict:
+        return {"site": self.site}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        mappings = ctx.scenario.site_nat(self.site).expire_mappings()
+        return {"site": self.site, "mappings": mappings}
+
+
+_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (LinkDown, LossBurst, RelayCrash, PeerDrop, ConntrackFlush, NatExpiry)
+}
+
+#: plan-string argument name -> dataclass field name
+_ARG_FIELDS = {"for": "duration"}
+_FLOAT_ARGS = {"for", "loss"}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, canonically-ordered set of faults."""
+
+    faults: tuple = ()
+
+    def __post_init__(self):
+        ordered = tuple(
+            sorted(self.faults, key=lambda f: (f.at, f.kind, f.describe()))
+        )
+        object.__setattr__(self, "faults", ordered)
+
+    @classmethod
+    def of(cls, *faults: Fault) -> "FaultPlan":
+        return cls(tuple(faults))
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the canonical ``kind@t:k=v,...;kind@t:...`` form."""
+        faults = []
+        for part in filter(None, (p.strip() for p in text.split(";"))):
+            head, _, body = part.partition(":")
+            kind, at_sep, at_text = head.partition("@")
+            fault_cls = _KINDS.get(kind.strip())
+            if fault_cls is None or not at_sep:
+                raise FaultPlanError(f"bad fault {part!r}")
+            try:
+                at = float(at_text)
+            except ValueError:
+                raise FaultPlanError(f"bad time in {part!r}") from None
+            kwargs = {}
+            for pair in filter(None, (p.strip() for p in body.split(","))):
+                key, eq, value = pair.partition("=")
+                if not eq:
+                    raise FaultPlanError(f"bad argument {pair!r} in {part!r}")
+                field = _ARG_FIELDS.get(key, key)
+                kwargs[field] = float(value) if key in _FLOAT_ARGS else value
+            try:
+                faults.append(fault_cls(at=at, **kwargs))
+            except TypeError as exc:
+                raise FaultPlanError(f"bad arguments in {part!r}: {exc}") from None
+        return cls(tuple(faults))
+
+    def spec(self) -> str:
+        """The canonical string form (round-trips through :meth:`parse`)."""
+        return ";".join(f.describe() for f in self.faults)
+
+    def __str__(self) -> str:
+        return self.spec()
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+class FaultContext:
+    """What a firing fault may touch: the scenario plus heal scheduling."""
+
+    def __init__(self, scenario, scheduler: "FaultScheduler"):
+        self.scenario = scenario
+        self.scheduler = scheduler
+
+    @property
+    def sim(self):
+        return self.scenario.sim
+
+    def heal_later(
+        self, delay: float, fn: Callable[[], None], fault: Fault, **attrs
+    ) -> None:
+        """Schedule the fault's recovery and its ``chaos.heal`` event."""
+
+        def run():
+            fn()
+            obs.event("chaos.heal", kind=fault.kind, **attrs)
+            self.scheduler.healed.append(
+                {"kind": fault.kind, "t": self.sim.now, **attrs}
+            )
+
+        self.sim.call_later(delay, run)
+
+
+class FaultScheduler:
+    """Arms a :class:`FaultPlan` against a scenario's simulation clock."""
+
+    def __init__(self, scenario, plan: FaultPlan):
+        self.scenario = scenario
+        self.plan = plan
+        self.ctx = FaultContext(scenario, self)
+        #: chronological record of fired injections (report material)
+        self.injected: list[dict] = []
+        self.healed: list[dict] = []
+
+    def arm(self) -> None:
+        """Schedule every fault.  Call once, before running the scenario."""
+        for fault in self.plan:
+            self.scenario.sim.call_at(fault.at, self._fire, fault)
+
+    def _fire(self, fault: Fault) -> None:
+        with obs.span("chaos.inject", kind=fault.kind, at=fault.at) as sp:
+            attrs = fault.inject(self.ctx) or {}
+            sp.set(**attrs)
+        self.injected.append({"kind": fault.kind, "at": fault.at, **attrs})
+        obs.event("chaos.injected", kind=fault.kind, at=fault.at, **attrs)

@@ -1,0 +1,163 @@
+"""End-to-end invariants checked after a chaos run.
+
+Three families, mirroring the tentpole spec:
+
+* **delivery** — every payload byte reaches the receiver exactly once and
+  in order, per channel.  Each logical channel gets a
+  :class:`ChannelAudit`: both endpoints feed the bytes they wrote/read
+  into running SHA-256 digests, so reordering, duplication and loss all
+  surface as a count or digest mismatch without buffering the payload.
+* **resources** — after teardown plus a drain window, the engine holds no
+  live TCP connections on any host and no pending events in the heap
+  (leaked sockets and timers keep the heap busy or the connection tables
+  populated).
+* **observability** — obs counters agree with what actually moved: the
+  relay's forwarded-byte counter matches the server's own accounting, and
+  every ``establish.attempt`` span has exactly one attempts counter
+  increment.
+
+Violations are plain sorted strings so a report is byte-identical across
+reruns of the same ``(scenario, seed, plan)`` triple.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+from ..obs import MetricsRegistry, TraceRecorder
+
+__all__ = ["ChannelAudit", "check_invariants"]
+
+
+class ChannelAudit:
+    """Both endpoints' view of one logical channel's payload stream."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.sent_bytes = 0
+        self.received_bytes = 0
+        self._sent_sha = hashlib.sha256()
+        self._received_sha = hashlib.sha256()
+        self.sender_done = False
+        self.receiver_done = False
+
+    # -- endpoint feeds ----------------------------------------------------
+    def record_sent(self, data: bytes) -> None:
+        self.sent_bytes += len(data)
+        self._sent_sha.update(data)
+
+    def record_received(self, data: bytes) -> None:
+        self.received_bytes += len(data)
+        self._received_sha.update(data)
+
+    def finish_sender(self) -> None:
+        self.sender_done = True
+
+    def finish_receiver(self) -> None:
+        self.receiver_done = True
+
+    # -- verdicts ----------------------------------------------------------
+    @property
+    def sent_digest(self) -> str:
+        return self._sent_sha.hexdigest()
+
+    @property
+    def received_digest(self) -> str:
+        return self._received_sha.hexdigest()
+
+    def violations(self) -> list[str]:
+        out = []
+        if not self.sender_done:
+            out.append(f"delivery[{self.name}]: sender did not complete")
+        if not self.receiver_done:
+            out.append(f"delivery[{self.name}]: receiver did not complete")
+        if self.sender_done and self.receiver_done:
+            if self.received_bytes != self.sent_bytes:
+                out.append(
+                    f"delivery[{self.name}]: {self.received_bytes} bytes "
+                    f"received, {self.sent_bytes} sent"
+                )
+            elif self.received_digest != self.sent_digest:
+                out.append(
+                    f"delivery[{self.name}]: stream digest mismatch "
+                    f"(bytes reordered or duplicated)"
+                )
+        return out
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "sent_bytes": self.sent_bytes,
+            "received_bytes": self.received_bytes,
+            "sent_digest": self.sent_digest,
+            "received_digest": self.received_digest,
+            "complete": self.sender_done and self.receiver_done,
+        }
+
+
+def _live_connections(scenario) -> list[str]:
+    """Descriptions of TCP connections still alive anywhere in the net."""
+    leaks = []
+    hosts = scenario.inet.net.hosts
+    for name in sorted(hosts):
+        host = hosts[name]
+        stack = getattr(host, "_tcp", None)
+        if stack is None:
+            continue
+        for (laddr, raddr), sock in sorted(stack._conns.items()):
+            leaks.append(
+                f"{name} {laddr[0]}:{laddr[1]}->{raddr[0]}:{raddr[1]} "
+                f"[{sock.state}]"
+            )
+    return leaks
+
+
+def check_invariants(
+    scenario,
+    audits: Iterable[ChannelAudit],
+    errors: Iterable[str],
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[TraceRecorder] = None,
+) -> list[str]:
+    """Run every invariant; returns a sorted list of violation strings.
+
+    Call after the scenario has been torn down (nodes stopped, relay
+    stopped) and the simulation drained past the last TIME_WAIT/timer
+    deadline — live connections at that point are leaks, not residue.
+    """
+    violations = [f"process: {e}" for e in errors]
+
+    for audit in audits:
+        violations.extend(audit.violations())
+
+    for leak in _live_connections(scenario):
+        violations.append(f"resources: leaked connection {leak}")
+    pending = len(scenario.sim._heap)
+    if pending:
+        violations.append(
+            f"resources: {pending} events still pending in the engine heap"
+        )
+
+    if registry is not None:
+        forwarded = sum(
+            c.value for c in registry.instruments("relay.forwarded_bytes_total")
+        )
+        if forwarded != scenario.relay.forwarded_bytes:
+            violations.append(
+                "obs: relay.forwarded_bytes_total counter "
+                f"({forwarded}) != relay accounting "
+                f"({scenario.relay.forwarded_bytes})"
+            )
+    if registry is not None and recorder is not None:
+        counted = sum(
+            c.value for c in registry.instruments("establish.attempts_total")
+        )
+        spans = len(recorder.spans("establish.attempt"))
+        if counted != spans:
+            violations.append(
+                f"obs: establish.attempts_total ({counted}) != "
+                f"establish.attempt spans ({spans})"
+            )
+
+    return sorted(violations)

@@ -1,0 +1,275 @@
+"""Scenario runner: workloads under a fault plan, with invariant checks.
+
+:func:`run_chaos` executes a named workload inside a fresh simulated
+grid while a :class:`~repro.chaos.faults.FaultScheduler` injects the
+plan's faults, then tears everything down, drains the clock past the
+last TIME_WAIT / retransmit deadline and runs the invariant suite.  The
+result is a :class:`ChaosReport` whose JSON form is **byte-identical**
+for the same ``(scenario, seed, plan)`` triple — a failing run is fully
+described (and replayed) by those three values::
+
+    from repro.chaos import run_chaos
+
+    report = run_chaos(
+        scenario="wan_transfer",
+        seed=7,
+        plan="relay_crash@2:for=8;link_down@12:site=A,for=0.4",
+    )
+    assert report.ok, report.violations
+
+Each run installs its own metrics registry and trace recorder (restoring
+the previous ones afterwards), so fault events (``chaos.*``), retry
+recoveries (``broker.*``, ``relay.client.*``) and establishment spans
+from one run never bleed into another.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional, Union
+
+from .. import obs
+from ..core.factory import BrokeredConnectionFactory
+from ..core.scenarios import GridScenario
+from ..core.utilization.spec import StackSpec
+from ..obs import MetricsRegistry, TraceRecorder
+from .faults import FaultPlan, FaultScheduler
+from .invariants import ChannelAudit, check_invariants
+
+__all__ = ["ChaosReport", "Workload", "run_chaos", "SCENARIOS"]
+
+#: drain window after teardown: covers TIME_WAIT (2 s), the longest
+#: retransmit backoff (60 s) and any cancelled-timer heap residue.
+DRAIN_SECONDS = 150.0
+
+#: chunk sizes for the staged-transfer workload
+_WRITE_CHUNK = 32 * 1024
+_READ_CHUNK = 64 * 1024
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run produced, in deterministic JSON-able form."""
+
+    scenario: str
+    seed: int
+    plan: str
+    retries: bool
+    ok: bool
+    violations: list = field(default_factory=list)
+    injected: list = field(default_factory=list)
+    healed: list = field(default_factory=list)
+    channels: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    def triple(self) -> tuple:
+        """The replayable ``(scenario, seed, plan)`` identity of this run."""
+        return (self.scenario, self.seed, self.plan)
+
+    def to_json(self) -> str:
+        """Canonical JSON: byte-identical across reruns of the same triple."""
+        return json.dumps(
+            {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "plan": self.plan,
+                "retries": self.retries,
+                "ok": self.ok,
+                "violations": self.violations,
+                "injected": self.injected,
+                "healed": self.healed,
+                "channels": self.channels,
+                "errors": self.errors,
+                "stats": self.stats,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"FAILED ({len(self.violations)})"
+        return (
+            f"chaos {self.scenario} seed={self.seed} "
+            f"plan={self.plan or '<none>'} retries={self.retries}: {verdict}"
+        )
+
+
+class Workload:
+    """A built scenario plus the audit state its processes feed."""
+
+    def __init__(self, scenario: GridScenario):
+        self.scenario = scenario
+        self.audits: list[ChannelAudit] = []
+        self.errors: list[str] = []
+
+    def audit(self, name: str) -> ChannelAudit:
+        a = ChannelAudit(name)
+        self.audits.append(a)
+        return a
+
+    def fail(self, where: str, exc: BaseException) -> None:
+        self.errors.append(f"{where}: {type(exc).__name__}: {exc}")
+
+
+def _build_wan_transfer(seed: int, retries: bool) -> Workload:
+    """Two staged bulk transfers, open site -> firewalled site.
+
+    Stage 1's data link is spliced/direct, so a mid-transfer relay crash
+    must not disturb it; stage 2 starts afterwards and needs a *fresh*
+    brokered establishment, which only survives relay downtime or WAN
+    flaps through the retry layer (``retries=True``).  With retries off
+    the same plan reproducibly strands stage 2.
+    """
+    scn = GridScenario(seed=seed)
+    # Slow WAN access (1.25 MB/s) so a multi-MiB stage spans several
+    # simulated seconds — faults land *mid-transfer*, not between stages.
+    scn.add_site("A", "open", access_bandwidth=1_250_000.0, access_delay=0.01)
+    scn.add_site("B", "firewall", access_bandwidth=1_250_000.0, access_delay=0.01)
+    sender = scn.add_node("A", "alice", auto_reconnect=retries)
+    receiver = scn.add_node("B", "bob", auto_reconnect=retries)
+
+    wl = Workload(scn)
+    stage_bytes = 4 * (1 << 20)
+    payloads = [
+        random.Random(f"{seed}:chaos:stage{i}").randbytes(stage_bytes)
+        for i in range(2)
+    ]
+    audits = [wl.audit(f"stage{i}") for i in range(2)]
+
+    def run_sender() -> Generator:
+        try:
+            yield from sender.start()
+            factory = BrokeredConnectionFactory(sender)
+            for stage, (payload, audit) in enumerate(zip(payloads, audits)):
+                if retries:
+                    channel = yield from factory.connect_retrying(
+                        "bob", receiver.info, spec=StackSpec.tcp()
+                    )
+                else:
+                    yield from receiver.relay_client.wait_connected(timeout=30.0)
+                    service = yield from sender.open_service_link("bob")
+                    channel = yield from factory.connect(
+                        service, receiver.info, spec=StackSpec.tcp()
+                    )
+                    service.close()
+                for off in range(0, len(payload), _WRITE_CHUNK):
+                    chunk = payload[off : off + _WRITE_CHUNK]
+                    yield from channel.write(chunk)
+                    audit.record_sent(chunk)
+                yield from channel.flush()
+                channel.close()
+                audit.finish_sender()
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("sender", exc)
+
+    def run_receiver() -> Generator:
+        try:
+            yield from receiver.start()
+            factory = BrokeredConnectionFactory(receiver)
+            for stage, audit in enumerate(audits):
+                if retries:
+                    channel = yield from factory.accept_retrying()
+                else:
+                    _peer, service = yield from receiver.accept_service_link()
+                    channel = yield from factory.accept(service)
+                    service.close()
+                while True:
+                    data = yield from channel.read(_READ_CHUNK)
+                    if not data:
+                        break
+                    audit.record_received(data)
+                channel.close()
+                audit.finish_receiver()
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("receiver", exc)
+
+    scn.sim.process(run_sender(), name="chaos-sender")
+    scn.sim.process(run_receiver(), name="chaos-receiver")
+    return wl
+
+
+#: name -> builder(seed, retries) -> Workload
+SCENARIOS: dict[str, Callable[[int, bool], Workload]] = {
+    "wan_transfer": _build_wan_transfer,
+}
+
+
+def run_chaos(
+    scenario: str = "wan_transfer",
+    seed: int = 1,
+    plan: Union[str, FaultPlan] = "",
+    retries: bool = True,
+    until: float = 900.0,
+    trace_path: Optional[str] = None,
+) -> ChaosReport:
+    """Run ``scenario`` under ``plan``; returns the invariant report.
+
+    ``plan`` accepts either a :class:`FaultPlan` or its canonical string
+    form.  ``trace_path`` optionally exports the run's metrics + trace as
+    JSON lines (the :mod:`repro.obs.export` schema).
+    """
+    try:
+        build = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos scenario {scenario!r}; have {sorted(SCENARIOS)}"
+        ) from None
+    parsed = plan if isinstance(plan, FaultPlan) else FaultPlan.parse(plan)
+
+    # Scoped observability: a fresh registry + recorder per run, installed
+    # *before* the scenario is built so use_sim_clock binds them both.
+    registry = MetricsRegistry()
+    recorder = TraceRecorder()
+    prev_registry = obs.set_registry(registry)
+    prev_recorder = obs.set_tracer(recorder)
+    try:
+        wl = build(seed, retries)
+        scn = wl.scenario
+        scheduler = FaultScheduler(scn, parsed)
+        scheduler.arm()
+        scn.sim.run(until=until)
+
+        # Teardown, then drain: anything still alive afterwards is a leak.
+        for node in scn.nodes.values():
+            node.stop()
+        scn.relay.stop()
+        scn.sim.run(until=scn.sim.now + DRAIN_SECONDS)
+
+        violations = check_invariants(
+            scn, wl.audits, wl.errors, registry=registry, recorder=recorder
+        )
+        if len(scheduler.injected) != len(parsed):
+            violations.append(
+                f"chaos: only {len(scheduler.injected)}/{len(parsed)} "
+                "faults fired before the deadline"
+            )
+        report = ChaosReport(
+            scenario=scenario,
+            seed=seed,
+            plan=parsed.spec(),
+            retries=retries,
+            ok=not violations,
+            violations=sorted(violations),
+            injected=list(scheduler.injected),
+            healed=list(scheduler.healed),
+            channels=[a.summary() for a in wl.audits],
+            errors=list(wl.errors),
+            stats={
+                "sim_seconds": scn.sim.now,
+                "relay_forwarded_bytes": scn.relay.forwarded_bytes,
+                "relay_forwarded_messages": scn.relay.forwarded_messages,
+                "reconnects": sum(
+                    n.relay_client.reconnects for n in scn.nodes.values()
+                ),
+                "trace_records": len(recorder.records),
+            },
+        )
+        if trace_path is not None:
+            obs.export_jsonl(trace_path, registry=registry, recorder=recorder)
+        return report
+    finally:
+        obs.set_registry(prev_registry)
+        obs.set_tracer(prev_recorder)

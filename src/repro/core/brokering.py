@@ -213,10 +213,23 @@ class Broker:
                 .getvalue()
             )
             yield from send_frame(service_link, attempt)
-            peer_params = yield from self._await_params(service_link, nonce)
-            # Only the network attempt itself runs under the timeout — the
-            # service link is reliable, and interrupting a read on it would
-            # leave a dead waiter that desynchronizes later frames.
+            # The responder's reply is also bounded: a peer disappearing
+            # mid-negotiation (crashed node, dead relay session) must not
+            # hang the initiator forever.  A timeout here may leave a dead
+            # waiter on the service link (the interrupted read), so it is
+            # reported as a BrokerError: negotiation-fatal, the caller must
+            # abandon this service link and renegotiate on a fresh one.
+            try:
+                peer_params = yield from with_timeout(
+                    self.sim,
+                    self._await_params(service_link, nonce),
+                    self.attempt_timeout,
+                )
+            except TimeoutError:
+                raise BrokerError(
+                    f"{method}: no PARAMS/NAK within {self.attempt_timeout}s "
+                    f"(responder vanished mid-negotiation?)"
+                ) from None
             return (
                 yield from with_timeout(
                     self.sim,

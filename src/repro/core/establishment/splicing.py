@@ -23,14 +23,22 @@ from ...simnet.packet import Addr
 from ...simnet.sockets import SimSocket, connect, connect_simultaneous
 from ...simnet.tcp import TcpConfig
 from ..links import TcpLink
+from ..retry import RetryExhausted, RetryPolicy, retrying
 from .base import SPLICING
 from .verify import verify_initiator, verify_responder
 
-__all__ = ["SPLICE_CONFIG", "prepare_endpoint", "splice_and_verify"]
+__all__ = ["SPLICE_CONFIG", "SPLICE_RETRY", "prepare_endpoint", "splice_and_verify"]
 
 #: connect settings for spliced attempts: give up reasonably fast so a
 #: failed attempt falls back without stalling establishment for long
 SPLICE_CONFIG = TcpConfig(syn_rto=0.4, syn_retries=4)
+
+#: retry policy for a refused/reset spliced connect: the crossing-SYN
+#: window only needs to be hit once, so retry quickly, without jitter —
+#: both sides must keep their start times roughly aligned (§3.2)
+SPLICE_RETRY = RetryPolicy(
+    max_attempts=3, base_delay=0.35, multiplier=1.0, max_delay=0.35, jitter=0.0
+)
 
 
 def prepare_endpoint(
@@ -56,12 +64,6 @@ def prepare_endpoint(
     return lport, (ip, int(port)), probe
 
 
-#: how many times a refused spliced connect is retried (the peer may not
-#: have bound its socket yet when our SYN lands)
-SPLICE_RETRIES = 3
-SPLICE_RETRY_DELAY = 0.35
-
-
 def splice_and_verify(
     host,
     peer_addr: Addr,
@@ -70,44 +72,56 @@ def splice_and_verify(
     initiator: bool,
     config: Optional[TcpConfig] = None,
     probe: Optional[SimSocket] = None,
+    policy: RetryPolicy = SPLICE_RETRY,
 ) -> Generator:
     """Run one side of the simultaneous open + cookie verification.
 
     A refused connect (the peer's RST because its socket isn't bound yet,
-    or a middlebox reset) is retried a few times: the crossing-SYN window
-    only needs to be hit once.
+    or a middlebox reset) is retried under ``policy``: the crossing-SYN
+    window only needs to be hit once.
     """
     from ...simnet.tcp import ConnectRefused, ConnectionReset
 
+    class _RetrySplice(Exception):
+        pass
+
+    def attempt(_i: int) -> Generator:
+        try:
+            sock = yield from connect_simultaneous(
+                host, peer_addr, lport, config=config or SPLICE_CONFIG, reuse=True
+            )
+        except (ConnectRefused, ConnectionReset) as exc:
+            raise _RetrySplice(exc) from exc
+        link = TcpLink(sock, SPLICING)
+        try:
+            if initiator:
+                yield from verify_initiator(link, nonce)
+            else:
+                yield from verify_responder(link, nonce)
+        except (EOFError, ConnectionReset) as exc:
+            # Half-open connection torn down under us (e.g. a broken
+            # NAT resetting the peer): retry, then give up.
+            link.abort()
+            raise _RetrySplice(exc) from exc
+        except Exception:
+            link.abort()
+            raise
+        return link
+
     try:
-        last_exc: Optional[Exception] = None
-        for attempt in range(SPLICE_RETRIES):
-            if attempt:
-                yield host.sim.timeout(SPLICE_RETRY_DELAY)
-            try:
-                sock = yield from connect_simultaneous(
-                    host, peer_addr, lport, config=config or SPLICE_CONFIG, reuse=True
-                )
-            except (ConnectRefused, ConnectionReset) as exc:
-                last_exc = exc
-                continue
-            link = TcpLink(sock, SPLICING)
-            try:
-                if initiator:
-                    yield from verify_initiator(link, nonce)
-                else:
-                    yield from verify_responder(link, nonce)
-            except (EOFError, ConnectionReset) as exc:
-                # Half-open connection torn down under us (e.g. a broken
-                # NAT resetting the peer): retry, then give up.
-                link.abort()
-                last_exc = exc
-                continue
-            except Exception:
-                link.abort()
-                raise
-            return link
-        raise last_exc if last_exc is not None else ConnectRefused("splice failed")
+        return (
+            yield from retrying(
+                host.sim,
+                attempt,
+                policy,
+                retry_on=(_RetrySplice,),
+                key=f"{host.ip}:{lport}->{peer_addr[0]}:{peer_addr[1]}",
+                name="splice",
+            )
+        )
+    except RetryExhausted as exc:
+        cause = exc.last.__cause__ if exc.last is not None else None
+        raise cause if cause is not None else ConnectRefused("splice failed")
     finally:
         if probe is not None:
             probe.close()

@@ -20,18 +20,51 @@ from __future__ import annotations
 from typing import Generator, Optional, Union
 
 from .. import obs
-from ..util.framing import ByteReader, ByteWriter
+from ..simnet.tcp import TcpError
+from ..util.framing import ByteReader, ByteWriter, FrameError
 from .addressing import EndpointInfo
+from .establishment.base import EstablishmentError
 from .links import Link
 from .node import GridNode
+from .relay import RelayError
+from .retry import RetryPolicy, retrying
 from .utilization.spec import StackSpec, as_spec
 from .utilization.stack import build_stack
 from .utilization.stream import DEFAULT_BLOCK, BlockChannel
 from .utilization.tls import TlsDriver
 from .utilization.stack import find_driver
-from .wire import recv_frame, send_frame
+from .wire import WireError, recv_frame, send_frame
 
-__all__ = ["BrokeredConnectionFactory", "TlsConfig"]
+__all__ = [
+    "BrokeredConnectionFactory",
+    "TlsConfig",
+    "TRANSIENT_ERRORS",
+    "CONNECT_RETRY",
+    "ACCEPT_RETRY",
+]
+
+#: failures that justify renegotiating on a fresh service link: anything
+#: from "every method failed" to the service link itself dying under us
+TRANSIENT_ERRORS = (
+    EstablishmentError,  # includes BrokerError
+    WireError,
+    FrameError,
+    EOFError,
+    RelayError,
+    TcpError,
+    TimeoutError,
+)
+
+#: initiator-side default: backs off while the relay restarts or the WAN heals
+CONNECT_RETRY = RetryPolicy(
+    max_attempts=6, base_delay=0.5, multiplier=2.0, max_delay=8.0, jitter=0.25
+)
+
+#: responder-side default: redial immediately — accept_service_link blocks
+#: until the initiator's next attempt arrives, so pacing is initiator-driven
+ACCEPT_RETRY = RetryPolicy(
+    max_attempts=10, base_delay=0.0, multiplier=1.0, max_delay=0.0, jitter=0.0
+)
 
 
 class TlsConfig:
@@ -91,6 +124,54 @@ class BrokeredConnectionFactory:
             yield from self._maybe_tls(stack, client=True)
         return BlockChannel(stack, block_size=block_size)
 
+    def connect_retrying(
+        self,
+        peer_id: str,
+        peer_info: EndpointInfo,
+        spec: Union[str, StackSpec, None] = None,
+        block_size: int = DEFAULT_BLOCK,
+        policy: RetryPolicy = CONNECT_RETRY,
+        connect_timeout: float = 15.0,
+    ) -> Generator:
+        """Like :meth:`connect`, but owns the whole bootstrap and survives
+        transient failures.
+
+        Each attempt waits for a live relay registration, opens a fresh
+        service link to ``peer_id`` and negotiates the channel; on any
+        :data:`TRANSIENT_ERRORS` failure the service link is closed (which
+        unblocks a responder still parked on it) and the attempt is
+        retried under ``policy`` with backoff.  This is what lets a
+        brokered connection ride out a relay crash/restart or a dropped
+        negotiation peer instead of hanging (ISSUE: fall back, don't hang).
+        """
+        node = self.node
+
+        def attempt(_i: int) -> Generator:
+            yield from node.relay_client.wait_connected(timeout=connect_timeout)
+            service = yield from node.open_service_link(peer_id)
+            try:
+                channel = yield from self.connect(
+                    service, peer_info, spec=spec, block_size=block_size
+                )
+            except BaseException:
+                # Closing tells a responder blocked on this link to give
+                # up on it and accept our next, fresh service link.
+                service.close()
+                raise
+            service.close()
+            return channel
+
+        return (
+            yield from retrying(
+                node.sim,
+                attempt,
+                policy,
+                retry_on=TRANSIENT_ERRORS,
+                key=f"{node.node_id}->{peer_id}",
+                name="broker.connect",
+            )
+        )
+
     # -- responder -----------------------------------------------------------
     def accept(self, service_link: Link) -> Generator:
         """Serve one channel negotiation on ``service_link``."""
@@ -115,6 +196,39 @@ class BrokeredConnectionFactory:
             stack = build_stack(parsed, links, host=self.node.host)
             yield from self._maybe_tls(stack, client=False)
         return BlockChannel(stack, block_size=block_size)
+
+    def accept_retrying(
+        self,
+        policy: RetryPolicy = ACCEPT_RETRY,
+    ) -> Generator:
+        """Like :meth:`accept`, but serves negotiations until one succeeds.
+
+        A failed or abandoned negotiation (the initiator gave up and closed
+        its service link, the relay restarted, ...) just loops back to
+        waiting for the initiator's next service link.
+        """
+        node = self.node
+
+        def attempt(_i: int) -> Generator:
+            _peer, service = yield from node.accept_service_link()
+            try:
+                channel = yield from self.accept(service)
+            except BaseException:
+                service.close()
+                raise
+            service.close()
+            return channel
+
+        return (
+            yield from retrying(
+                node.sim,
+                attempt,
+                policy,
+                retry_on=TRANSIENT_ERRORS,
+                key=f"{node.node_id}:accept",
+                name="broker.accept",
+            )
+        )
 
     # -- helpers --------------------------------------------------------------
     def _maybe_tls(self, stack, client: bool) -> Generator:

@@ -47,6 +47,7 @@ class GridNode:
         relay_addr: Addr,
         reflector_addr: Optional[Addr] = None,
         connector: Optional[Callable] = None,
+        auto_reconnect: bool = False,
     ):
         self.host = host
         self.sim = host.sim
@@ -54,7 +55,11 @@ class GridNode:
         self.relay_addr = relay_addr
         self.reflector_addr = reflector_addr or (relay_addr[0], 3478)
         self.relay_client = RelayClient(
-            host, info.node_id, relay_addr, connector=connector
+            host,
+            info.node_id,
+            relay_addr,
+            connector=connector,
+            auto_reconnect=auto_reconnect,
         )
         self.dispatcher: Optional[RoutedDispatcher] = None
         self.broker: Optional[Broker] = None

@@ -22,7 +22,7 @@ import itertools
 from typing import Callable, Generator, Optional
 
 from .. import obs
-from ..simnet.engine import Event, Simulator
+from ..simnet.engine import Event, Simulator, any_of
 from ..simnet.packet import Addr
 from ..simnet.sockets import SimSocket, connect, listen
 from ..simnet.tcp import TcpError
@@ -307,6 +307,13 @@ class RelayClient:
     ``connector`` customizes how the relay itself is reached (e.g. through
     a SOCKS proxy on a severely firewalled site); it is a generator
     ``connector(host, relay_addr) -> stream``.
+
+    With ``auto_reconnect`` the client transparently re-registers after
+    losing its relay session (relay crash/restart, severed TCP): existing
+    routed links are still EOF'd — frames in flight during the outage may
+    be gone, so a live stream cannot be resumed exactly-once — but new
+    service/data links work again as soon as registration succeeds, which
+    is what the establishment retry layer builds on.
     """
 
     def __init__(
@@ -315,23 +322,37 @@ class RelayClient:
         node_id: str,
         relay_addr: Addr,
         connector: Optional[Callable] = None,
+        auto_reconnect: bool = False,
+        reconnect_policy=None,
     ):
+        from .retry import RetryPolicy
+
         self.host = host
         self.sim: Simulator = host.sim
         self.node_id = node_id
         self.relay_addr = relay_addr
         self.connector = connector
+        self.auto_reconnect = auto_reconnect
+        self.reconnect_policy = reconnect_policy or RetryPolicy(
+            max_attempts=10, base_delay=0.25, multiplier=2.0, max_delay=5.0
+        )
         self._sock: Optional[SimSocket] = None
         # key: (peer, channel, owned_by_me)
         self._links: dict[tuple[str, int, bool], RoutedLink] = {}
         self._accept_queue: list[RoutedLink] = []
         self._accept_waiters: list[Event] = []
+        self._connect_waiters: list[Event] = []
         self._channel_ids = itertools.count(1)
         self.connected = False
+        #: True once :meth:`close` was called (suppresses reconnection)
+        self.closed = False
+        #: successful re-registrations after a lost session
+        self.reconnects = 0
 
     # -- lifecycle -----------------------------------------------------------
     def connect(self) -> Generator:
         """Register with the relay and start the demux loop."""
+        self.closed = False
         if self.connector is not None:
             self._sock = yield from self.connector(self.host, self.relay_addr)
         else:
@@ -343,15 +364,48 @@ class RelayClient:
         if ByteReader(body).u8() != T_REGISTER_OK:
             raise RelayError(f"registration rejected: {body!r}")
         self.connected = True
+        for ev in self._connect_waiters:
+            ev.succeed(self)
+        self._connect_waiters.clear()
         self.sim.process(self._reader(), name=f"relay-client-{self.node_id}")
         return self
 
+    def wait_connected(self, timeout: float = 30.0) -> Generator:
+        """Wait until the client holds a live relay registration."""
+        if self.connected:
+            return self
+        if self.closed:
+            raise RelayError("relay client closed")
+        ev = self.sim.event()
+        self._connect_waiters.append(ev)
+        expiry = self.sim.timeout(timeout)
+        result = yield any_of(self.sim, [ev, expiry])
+        if ev in result:
+            return self
+        try:
+            self._connect_waiters.remove(ev)
+        except ValueError:
+            pass
+        raise TimeoutError(f"relay connection not up within {timeout}s")
+
     def close(self) -> None:
+        self.closed = True
         self.connected = False
         if self._sock is not None:
             self._sock.close()
         for link in list(self._links.values()):
             link._deliver_eof()
+
+    def drop(self) -> None:
+        """Fault-injection hook: sever the relay session abruptly.
+
+        Unlike :meth:`close` this looks like a network failure — the
+        session socket is reset, the relay sees the peer disappear
+        mid-conversation, and (with ``auto_reconnect``) the client will
+        try to re-register.
+        """
+        if self._sock is not None:
+            self._sock.abort()
 
     # -- outgoing ---------------------------------------------------------------
     def _send_routed(
@@ -409,11 +463,53 @@ class RelayClient:
             while True:
                 body = yield from _read_frame(self._sock)
                 self._dispatch(body)
-        except (EOFError, RelayError, FrameError, TcpError):
-            # Relay unreachable/crashed: every routed link is dead.
+        except (EOFError, RelayError, FrameError, TcpError) as exc:
+            # Relay unreachable/crashed: every routed link is dead.  Close
+            # our half too, so a FIN'd session can't linger in CLOSE_WAIT.
             self.connected = False
+            if self._sock is not None:
+                self._sock.close()
             for link in list(self._links.values()):
                 link._deliver_eof()
+            if self.auto_reconnect and not self.closed:
+                obs.event(
+                    "relay.client.lost",
+                    node=self.node_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self.sim.process(
+                    self._reconnect_loop(),
+                    name=f"relay-reconnect-{self.node_id}",
+                )
+
+    def _reconnect_loop(self) -> Generator:
+        """Re-register with (jittered, bounded) backoff after a lost session."""
+        from ..simnet.tcp import TcpError
+        from .retry import RetryExhausted, retrying
+
+        def attempt(_i: int) -> Generator:
+            if self.closed:
+                return None
+            return (yield from self.connect())
+
+        try:
+            yield from retrying(
+                self.sim,
+                attempt,
+                self.reconnect_policy,
+                retry_on=(TcpError, RelayError, FrameError, EOFError),
+                key=self.node_id,
+                name="relay.client.reconnect",
+            )
+        except RetryExhausted:
+            return  # stays disconnected; wait_connected() callers time out
+        if self.connected:
+            self.reconnects += 1
+            obs.event(
+                "relay.client.reconnected",
+                node=self.node_id,
+                reconnects=self.reconnects,
+            )
 
     def _dispatch(self, body: bytes) -> None:
         reader = ByteReader(body)

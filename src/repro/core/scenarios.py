@@ -22,15 +22,19 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from typing import Union
+
 from .. import obs
 from ..simnet.engine import all_of
-from ..simnet.nat import BrokenNAT, ConeNAT, SymmetricNAT
+from ..simnet.nat import BrokenNAT, ConeNAT, NatBox, SymmetricNAT
 from ..simnet.firewall import StatefulFirewall
+from ..simnet.link import Link
 from ..simnet.socks import SocksServer
 from ..simnet.topology import Host, Internet, Site
 from .addressing import EndpointInfo
 from .node import GridNode
 from .relay import ReflectorServer, RelayServer
+from .utilization.spec import StackSpec
 
 __all__ = ["GridScenario", "SITE_KINDS"]
 
@@ -125,7 +129,9 @@ class GridScenario:
             outbound_blocked=(kind == "severe"),
         )
 
-    def add_node(self, site_name: str, node_id: str) -> GridNode:
+    def add_node(
+        self, site_name: str, node_id: str, auto_reconnect: bool = False
+    ) -> GridNode:
         """Add a compute node to a site, wrapped as a GridNode."""
         site = self.sites[site_name]
         host = site.add_node(f"{site_name}-{node_id}")
@@ -147,6 +153,7 @@ class GridScenario:
             (self.relay_host.ip, RELAY_PORT),
             reflector_addr=(self.relay_host.ip, REFLECTOR_PORT),
             connector=connector,
+            auto_reconnect=auto_reconnect,
         )
         self.nodes[node_id] = node
         return node
@@ -192,6 +199,23 @@ class GridScenario:
         self.nodes[name] = ibis.node
         return ibis
 
+    # -- fault-injection surface (used by repro.chaos) -----------------------
+    def site_wan_link(self, name: str) -> Link:
+        """The access link joining site ``name`` to the backbone."""
+        return self.sites[name].wan_link
+
+    def site_firewall(self, name: str) -> StatefulFirewall:
+        fw = self.sites[name].firewall
+        if fw is None:
+            raise ValueError(f"site {name!r} has no firewall")
+        return fw
+
+    def site_nat(self, name: str) -> NatBox:
+        nat = self.sites[name].nat
+        if nat is None:
+            raise ValueError(f"site {name!r} has no NAT")
+        return nat
+
     # -- execution helpers ---------------------------------------------------
     def start_all(self) -> Generator:
         """Start every node (register with the relay)."""
@@ -205,7 +229,7 @@ class GridScenario:
         self,
         sender_id: str,
         receiver_id: str,
-        spec: str,
+        spec: Union[str, StackSpec],
         payload: bytes,
         total_bytes: int,
         message_size: int = 65536,
@@ -226,16 +250,18 @@ class GridScenario:
         sim = self.sim
         sender = self.nodes[sender_id]
         receiver = self.nodes[receiver_id]
+        # ``spec`` doubles as the experiment axis label, so the canonical
+        # string form is accepted here and parsed silently (wire format).
+        parsed = spec if isinstance(spec, StackSpec) else StackSpec.parse(spec)
         res: dict = {}
 
         def run_sender() -> Generator:
             yield from sender.start()
-            while not receiver.relay_client.connected:
-                yield sim.timeout(0.05)
+            yield from receiver.relay_client.wait_connected(timeout=until)
             service = yield from sender.open_service_link(receiver_id)
             factory = BrokeredConnectionFactory(sender)
             channel = yield from factory.connect(
-                service, receiver.info, spec=spec,
+                service, receiver.info, spec=parsed,
                 block_size=min(message_size, 65536),
             )
             res["method"] = None
@@ -300,8 +326,7 @@ class GridScenario:
 
         def run_initiator() -> Generator:
             yield from initiator.start()
-            while not responder.relay_client.connected:
-                yield self.sim.timeout(0.05)
+            yield from responder.relay_client.wait_connected(timeout=until)
             service = yield from initiator.open_service_link(responder_id)
             t0 = self.sim.now
             link = yield from initiator.connect_data(

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import asyncio
 import struct
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from .. import obs
 from ..core.addressing import EndpointInfo
@@ -105,7 +105,9 @@ class LiveSendPort:
         self.channels: dict[str, AsyncBlockChannel] = {}
         self.messages_sent = 0
 
-    async def connect(self, port_name: str, spec: Optional[str] = None) -> None:
+    async def connect(
+        self, port_name: str, spec: Union[str, StackSpec, None] = None
+    ) -> None:
         if port_name in self.channels:
             raise LiveIbisError(f"already connected to {port_name!r}")
         channel = await self.runtime._connect_port(port_name, spec)

@@ -53,6 +53,7 @@ from .trace import (
     disable_tracing,
     enable_tracing,
     event,
+    set_tracer,
     span,
     tracer,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "Span",
     "enable_tracing",
     "disable_tracing",
+    "set_tracer",
     "tracer",
     "span",
     "event",

@@ -25,6 +25,7 @@ __all__ = [
     "Span",
     "enable_tracing",
     "disable_tracing",
+    "set_tracer",
     "tracer",
     "span",
     "event",
@@ -157,6 +158,17 @@ def disable_tracing() -> Optional[TraceRecorder]:
     global _recorder
     recorder, _recorder = _recorder, None
     return recorder
+
+
+def set_tracer(recorder: Optional[TraceRecorder]) -> Optional[TraceRecorder]:
+    """Install ``recorder`` (or None); returns the previous one.
+
+    Lets a scoped tracing session (e.g. one chaos run) restore whatever
+    recorder was active before it.
+    """
+    global _recorder
+    previous, _recorder = _recorder, recorder
+    return previous
 
 
 def tracer() -> Optional[TraceRecorder]:

@@ -118,9 +118,17 @@ class StatefulFirewall(PacketFilter):
         self.stats.in_dropped += 1
         return None
 
-    def flush(self) -> None:
-        """Drop all conntrack state (e.g. to simulate a firewall reboot)."""
+    def flush(self) -> int:
+        """Drop all conntrack state (e.g. to simulate a firewall reboot).
+
+        Returns the number of flows forgotten.  Established TCP flows
+        recover on their next *outbound* segment (retransmission or ACK),
+        which re-creates the entry — matching real conntrack-flush
+        behaviour for outbound-initiated connections.
+        """
+        flows = len(self._conntrack)
         self._conntrack.clear()
+        return flows
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

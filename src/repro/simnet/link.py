@@ -36,6 +36,7 @@ class LinkStats:
         "delivered_bytes",
         "drops_queue",
         "drops_loss",
+        "drops_down",
     )
 
     def __init__(self):
@@ -45,6 +46,7 @@ class LinkStats:
         self.delivered_bytes = 0
         self.drops_queue = 0
         self.drops_loss = 0
+        self.drops_down = 0
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -86,6 +88,9 @@ class Transmitter:
         #: than a packet's serialization time cause genuine reordering
         self.jitter = jitter
         self.deliver: Optional[Callable[[Segment], None]] = None
+        #: fault-injection hook: while True, serialized packets vanish
+        #: (a flapped/cut link) — see :meth:`Link.set_down`
+        self.down = False
         self._queue: list[Segment] = []
         self._queued_bytes = 0
         self._busy = False
@@ -112,7 +117,9 @@ class Transmitter:
         self._queued_bytes -= segment.size
         self.stats.tx_packets += 1
         self.stats.tx_bytes += segment.size
-        if self.loss and self.rng.random() < self.loss:
+        if self.down:
+            self.stats.drops_down += 1
+        elif self.loss and self.rng.random() < self.loss:
             self.stats.drops_loss += 1
         else:
             extra = self.rng.random() * self.jitter if self.jitter else 0.0
@@ -185,6 +192,20 @@ class Link:
         iface_b.attach(self, self.b_to_a)
         self.a_to_b.deliver = iface_b.receive
         self.b_to_a.deliver = iface_a.receive
+
+    def set_down(self, down: bool) -> None:
+        """Cut (or restore) both directions of the link.
+
+        While down, packets still occupy the wire for their serialization
+        time and are then dropped — a clean model of a flapped WAN link.
+        TCP retransmission recovers transparently once the link heals.
+        """
+        self.a_to_b.down = down
+        self.b_to_a.down = down
+
+    @property
+    def down(self) -> bool:
+        return self.a_to_b.down and self.b_to_a.down
 
     @property
     def delay(self) -> float:

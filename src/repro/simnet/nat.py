@@ -71,6 +71,21 @@ class NatBox(PacketFilter):
         self.external_ip = external_ip
         self.site = site
 
+    def expire_mappings(self) -> int:
+        """Fault-injection hook: drop every translation table entry.
+
+        Models an idle-timeout sweep or a NAT reboot.  In-flight flows
+        lose their mapping: replies to the old external ports are dropped
+        (or passed to the gateway untranslated) and the next outbound
+        packet allocates a fresh mapping.  Returns the number of mappings
+        expired.  Allocated external ports stay reserved so a new mapping
+        can never collide with a stale peer's view of an old one.
+        """
+        expired = len(self._out_map)
+        self._out_map.clear()
+        self._in_map.clear()
+        return expired
+
     # -- mapping policy (overridden per flavour) -------------------------------
     def _map_key(self, internal: Addr, dst: Addr):
         """Mapping key: per-endpoint for cone, per-(endpoint, dst) for symmetric."""

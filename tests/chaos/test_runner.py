@@ -1,0 +1,125 @@
+"""Chaos scenario runner: the ISSUE's acceptance demo + determinism.
+
+The demo plan crashes the relay for 8 s in the middle of stage 1's bulk
+transfer and flaps both sites' WAN links while stage 2 is being
+re-established.  With the retry layer on, the run must complete with all
+invariants green and the recovery visible in the trace; with retries off
+the *same* plan must fail, reproducibly.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.chaos import ChaosReport, FaultPlan, run_chaos
+
+DEMO_PLAN = (
+    "relay_crash@2:for=8;"
+    "link_down@12:site=A,for=0.4;"
+    "link_down@13.5:site=B,for=0.4"
+)
+
+
+def test_clean_run_passes_invariants():
+    report = run_chaos(scenario="wan_transfer", seed=1, plan="")
+    assert report.ok, report.violations
+    assert report.injected == [] and report.healed == []
+    assert all(c["complete"] for c in report.channels)
+    assert all(
+        c["sent_digest"] == c["received_digest"] for c in report.channels
+    )
+
+
+def test_demo_relay_crash_and_flaps_recovers_with_retries():
+    report = run_chaos(
+        scenario="wan_transfer", seed=1, plan=DEMO_PLAN, retries=True
+    )
+    assert report.ok, report.violations
+    # All three faults fired and healed.
+    assert [e["kind"] for e in report.injected] == [
+        "relay_crash", "link_down", "link_down",
+    ]
+    assert len(report.healed) == 3
+    # Recovery actually happened (both nodes re-registered).
+    assert report.stats["reconnects"] >= 2
+    # Every payload byte arrived exactly once, in order.
+    for channel in report.channels:
+        assert channel["complete"]
+        assert channel["received_bytes"] == channel["sent_bytes"] > 0
+        assert channel["received_digest"] == channel["sent_digest"]
+
+
+def test_demo_recovery_is_visible_in_trace(tmp_path):
+    trace = tmp_path / "chaos.jsonl"
+    report = run_chaos(
+        scenario="wan_transfer",
+        seed=1,
+        plan=DEMO_PLAN,
+        retries=True,
+        trace_path=str(trace),
+    )
+    assert report.ok, report.violations
+    records = [json.loads(line) for line in trace.read_text().splitlines()]
+    names = [r.get("name") for r in records if r.get("type") == "trace"]
+    assert names.count("chaos.injected") == 3
+    assert names.count("chaos.heal") == 3
+    assert "relay.client.lost" in names
+    assert "relay.client.reconnected" in names
+    # The stage-2 establishment had to back off at least once.
+    assert any(n in names for n in ("broker.connect.retry", "broker.connect.recovered"))
+
+
+def test_same_plan_without_retries_reproducibly_fails():
+    a = run_chaos(scenario="wan_transfer", seed=1, plan=DEMO_PLAN, retries=False)
+    assert not a.ok
+    # Stage 2 was stranded by the relay crash.
+    assert any("stage1" in v for v in a.violations)
+    assert any(v.startswith("process: sender") for v in a.violations)
+    b = run_chaos(scenario="wan_transfer", seed=1, plan=DEMO_PLAN, retries=False)
+    assert a.to_json() == b.to_json()
+
+
+def test_reports_are_byte_identical_for_same_triple():
+    a = run_chaos(scenario="wan_transfer", seed=5, plan=DEMO_PLAN)
+    b = run_chaos(scenario="wan_transfer", seed=5, plan=DEMO_PLAN)
+    assert a.triple() == b.triple()
+    assert a.to_json() == b.to_json()
+
+
+def test_different_seed_changes_payload_but_still_passes():
+    a = run_chaos(scenario="wan_transfer", seed=1, plan=DEMO_PLAN)
+    c = run_chaos(scenario="wan_transfer", seed=2, plan=DEMO_PLAN)
+    assert c.ok, c.violations
+    assert a.to_json() != c.to_json()
+
+
+def test_plan_object_and_string_are_equivalent():
+    plan = FaultPlan.parse(DEMO_PLAN)
+    a = run_chaos(scenario="wan_transfer", seed=3, plan=plan)
+    b = run_chaos(scenario="wan_transfer", seed=3, plan=DEMO_PLAN)
+    assert a.to_json() == b.to_json()
+
+
+def test_runner_restores_process_wide_obs_state():
+    registry = obs.get_registry()
+    recorder = obs.tracer()
+    run_chaos(scenario="wan_transfer", seed=1, plan="")
+    assert obs.get_registry() is registry
+    assert obs.tracer() is recorder
+
+
+def test_unknown_scenario_is_an_error():
+    with pytest.raises(ValueError, match="unknown chaos scenario"):
+        run_chaos(scenario="nope", seed=1, plan="")
+
+
+def test_report_json_shape():
+    report = run_chaos(scenario="wan_transfer", seed=1, plan="")
+    data = json.loads(report.to_json())
+    assert isinstance(report, ChaosReport)
+    assert data["scenario"] == "wan_transfer"
+    assert data["seed"] == 1
+    assert data["retries"] is True
+    assert data["ok"] is True
+    assert {"violations", "injected", "healed", "channels", "errors", "stats"} <= set(data)

@@ -4,10 +4,14 @@ import pytest
 
 from repro.core.factory import BrokeredConnectionFactory, TlsConfig
 from repro.core.scenarios import GridScenario
+from repro.core.utilization.spec import StackSpec
 from repro.security import CertificateAuthority, Identity
 
 
 def _run_channel(kind_a, kind_b, spec, payload, tls=False, seed=11, until=300):
+    # Parametrized specs stay strings (readable test IDs); the factory
+    # itself gets the typed form.
+    spec = StackSpec.parse(spec) if isinstance(spec, str) else spec
     sc = GridScenario(seed=seed)
     sc.add_site("A", kind_a)
     sc.add_site("B", kind_b)

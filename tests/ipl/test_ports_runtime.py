@@ -5,6 +5,7 @@ import array
 import pytest
 
 from repro.core.scenarios import GridScenario
+from repro.core.utilization.spec import StackSpec
 from repro.ipl.ports import PortClosed
 
 
@@ -200,7 +201,7 @@ class TestRuntimeBehaviour:
         def sender():
             yield from ia.start()
             sp = ia.create_send_port("out")
-            yield from _connect_with_retry(sc, sp, "in", spec="compress|parallel:2")
+            yield from _connect_with_retry(sc, sp, "in", spec=StackSpec.parse("compress|parallel:2"))
             m = sp.new_message()
             m.write_bytes(b"pattern" * 5000)
             yield from m.finish()

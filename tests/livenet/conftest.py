@@ -1,0 +1,27 @@
+"""Livenet test configuration: real sockets get real deadlines.
+
+Unlike the simulated backend, these tests run over actual loopback TCP,
+so a wedged handshake would otherwise hang the whole suite.  Every test
+body runs inside its own event loop under a hard wall-clock deadline
+(``asyncio.wait_for``), and every module here is marked ``livenet`` so
+constrained environments can deselect them with ``-m "not livenet"``.
+"""
+
+import asyncio
+
+import pytest
+
+#: hard per-test wall-clock deadline (seconds); generous on purpose —
+#: loopback operations finish in milliseconds, so hitting this means hung
+#: I/O, not slowness.
+LIVENET_DEADLINE = 30.0
+
+
+@pytest.fixture
+def live_run():
+    """Run a coroutine in a fresh event loop under the livenet deadline."""
+
+    def run(coro, timeout: float = LIVENET_DEADLINE):
+        return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+    return run

@@ -1,6 +1,7 @@
 """Live backend integration tests on loopback TCP."""
 
 import asyncio
+import contextlib
 
 import pytest
 
@@ -17,172 +18,182 @@ from repro.livenet import (
 )
 from repro.security import CertificateAuthority, Identity
 
-
-def run(coro):
-    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+pytestmark = pytest.mark.livenet
 
 
-async def _socket_pair(n=1):
+@contextlib.asynccontextmanager
+async def socket_pairs(n=1):
+    """``n`` connected (client, server) LiveSocket pairs, closed on exit."""
     listener = await live_listen()
-    client_socks = []
-    server_socks = []
-    for _ in range(n):
-        client, server = await asyncio.gather(
-            live_connect(listener.addr), listener.accept()
-        )
-        client_socks.append(client)
-        server_socks.append(server)
-    listener.close()
-    return client_socks, server_socks
+    client_socks, server_socks = [], []
+    try:
+        for _ in range(n):
+            client, server = await asyncio.gather(
+                live_connect(listener.addr), listener.accept()
+            )
+            client_socks.append(client)
+            server_socks.append(server)
+        listener.close()
+        yield client_socks, server_socks
+    finally:
+        listener.close()
+        for sock in client_socks + server_socks:
+            sock.close()
 
 
 class TestTransport:
-    def test_connect_send_recv(self):
+    def test_connect_send_recv(self, live_run):
         async def main():
-            (c,), (s,) = await _socket_pair()
-            await c.send_all(b"hello-live")
-            data = await s.recv_exactly(10)
-            c.close()
-            return data
+            async with socket_pairs() as ((c,), (s,)):
+                await c.send_all(b"hello-live")
+                return await s.recv_exactly(10)
 
-        assert run(main()) == b"hello-live"
+        assert live_run(main()) == b"hello-live"
 
-    def test_eof(self):
+    def test_eof(self, live_run):
         async def main():
-            (c,), (s,) = await _socket_pair()
-            c.close()
-            return await s.recv(10)
+            async with socket_pairs() as ((c,), (s,)):
+                c.close()
+                return await s.recv(10)
 
-        assert run(main()) == b""
+        assert live_run(main()) == b""
 
 
 class TestAsyncDrivers:
-    def test_tcp_block_round_trip(self):
+    def test_tcp_block_round_trip(self, live_run):
         async def main():
-            (c,), (s,) = await _socket_pair()
-            tx, rx = AsyncTcpBlockDriver(c), AsyncTcpBlockDriver(s)
-            await tx.send_block(b"block-data" * 100)
-            return await rx.recv_block()
+            async with socket_pairs() as ((c,), (s,)):
+                tx, rx = AsyncTcpBlockDriver(c), AsyncTcpBlockDriver(s)
+                await tx.send_block(b"block-data" * 100)
+                return await rx.recv_block()
 
-        assert run(main()) == b"block-data" * 100
+        assert live_run(main()) == b"block-data" * 100
 
     @pytest.mark.parametrize("nstreams", [1, 2, 4])
-    def test_parallel_striping(self, nstreams):
+    def test_parallel_striping(self, live_run, nstreams):
         async def main():
-            cs, ss = await _socket_pair(nstreams)
-            tx = AsyncParallelStreamsDriver(cs, fragment=512)
-            rx = AsyncParallelStreamsDriver(ss, fragment=512)
-            blocks = [bytes([i]) * (700 * i + 1) for i in range(5)]
-            out = []
+            async with socket_pairs(nstreams) as (cs, ss):
+                tx = AsyncParallelStreamsDriver(cs, fragment=512)
+                rx = AsyncParallelStreamsDriver(ss, fragment=512)
+                blocks = [bytes([i]) * (700 * i + 1) for i in range(5)]
+                out = []
 
-            async def sender():
-                for block in blocks:
-                    await tx.send_block(block)
+                async def sender():
+                    for block in blocks:
+                        await tx.send_block(block)
 
-            async def receiver():
-                for _ in blocks:
-                    out.append(await rx.recv_block())
+                async def receiver():
+                    for _ in blocks:
+                        out.append(await rx.recv_block())
 
-            await asyncio.gather(sender(), receiver())
-            return out == blocks
+                await asyncio.gather(sender(), receiver())
+                return out == blocks
 
-        assert run(main())
+        assert live_run(main())
 
-    def test_compression_round_trip(self):
+    def test_compression_round_trip(self, live_run):
         async def main():
-            (c,), (s,) = await _socket_pair()
-            tx = AsyncCompressionDriver(AsyncTcpBlockDriver(c))
-            rx = AsyncCompressionDriver(AsyncTcpBlockDriver(s))
-            block = b"compressible " * 2000
-            await tx.send_block(block)
-            got = await rx.recv_block()
-            return got == block and tx.bytes_out < tx.bytes_in
+            async with socket_pairs() as ((c,), (s,)):
+                tx = AsyncCompressionDriver(AsyncTcpBlockDriver(c))
+                rx = AsyncCompressionDriver(AsyncTcpBlockDriver(s))
+                block = b"compressible " * 2000
+                await tx.send_block(block)
+                got = await rx.recv_block()
+                return got == block and tx.bytes_out < tx.bytes_in
 
-        assert run(main())
+        assert live_run(main())
 
-    def test_tls_over_live_sockets(self):
+    def test_tls_over_live_sockets(self, live_run):
         ca = CertificateAuthority("live-root")
         key, cert = ca.issue_identity("live-server")
         identity = Identity(key, [cert])
 
         async def main():
-            (c,), (s,) = await _socket_pair()
-            tx = AsyncTlsDriver(AsyncTcpBlockDriver(c))
-            rx = AsyncTlsDriver(AsyncTcpBlockDriver(s))
-            await asyncio.gather(
-                tx.handshake_client([ca.certificate]),
-                rx.handshake_server(identity),
-            )
-            await tx.send_block(b"secret over real tcp")
-            got = await rx.recv_block()
-            return got, tx.peer_subject
+            async with socket_pairs() as ((c,), (s,)):
+                tx = AsyncTlsDriver(AsyncTcpBlockDriver(c))
+                rx = AsyncTlsDriver(AsyncTcpBlockDriver(s))
+                await asyncio.gather(
+                    tx.handshake_client([ca.certificate]),
+                    rx.handshake_server(identity),
+                )
+                await tx.send_block(b"secret over real tcp")
+                got = await rx.recv_block()
+                return got, tx.peer_subject
 
-        got, subject = run(main())
+        got, subject = live_run(main())
         assert got == b"secret over real tcp"
         assert subject == "live-server"
 
-    def test_full_stack_channel(self):
+    def test_full_stack_channel(self, live_run):
         async def main():
-            cs, ss = await _socket_pair(2)
-            tx = AsyncBlockChannel(
-                AsyncCompressionDriver(AsyncParallelStreamsDriver(cs))
-            )
-            rx = AsyncBlockChannel(
-                AsyncCompressionDriver(AsyncParallelStreamsDriver(ss))
-            )
-            payload = bytes(range(256)) * 1000
+            async with socket_pairs(2) as (cs, ss):
+                tx = AsyncBlockChannel(
+                    AsyncCompressionDriver(AsyncParallelStreamsDriver(cs))
+                )
+                rx = AsyncBlockChannel(
+                    AsyncCompressionDriver(AsyncParallelStreamsDriver(ss))
+                )
+                payload = bytes(range(256)) * 1000
 
-            async def sender():
-                await tx.send_message(payload)
+                async def sender():
+                    await tx.send_message(payload)
 
-            async def receiver():
-                return await rx.recv_message()
+                async def receiver():
+                    return await rx.recv_message()
 
-            _, got = await asyncio.gather(sender(), receiver())
-            return got == payload
+                _, got = await asyncio.gather(sender(), receiver())
+                return got == payload
 
-        assert run(main())
+        assert live_run(main())
 
 
 class TestLiveRelay:
-    def test_routed_link_over_live_relay(self):
+    def test_routed_link_over_live_relay(self, live_run):
         async def main():
             relay = await LiveRelayServer().start()
-            a = await LiveRelayClient("node-a", relay.addr).connect()
-            b = await LiveRelayClient("node-b", relay.addr).connect()
-            link_a = await a.open_link("node-b", payload=b"service")
+            a = b = None
+            try:
+                a = await LiveRelayClient("node-a", relay.addr).connect()
+                b = await LiveRelayClient("node-b", relay.addr).connect()
+                link_a = await a.open_link("node-b", payload=b"service")
 
-            async def side_a():
-                await link_a.send_all(b"through-the-relay")
-                return await link_a.recv_exactly(2)
+                async def side_a():
+                    await link_a.send_all(b"through-the-relay")
+                    return await link_a.recv_exactly(2)
 
-            async def side_b():
-                link = await b.accept_link()
-                data = await link.recv_exactly(17)
-                await link.send_all(b"ok")
-                return data, link.open_payload
+                async def side_b():
+                    link = await b.accept_link()
+                    data = await link.recv_exactly(17)
+                    await link.send_all(b"ok")
+                    return data, link.open_payload
 
-            reply, (data, tag) = await asyncio.gather(side_a(), side_b())
-            a.close()
-            b.close()
-            relay.close()
-            return reply, data, tag
+                reply, (data, tag) = await asyncio.gather(side_a(), side_b())
+                return reply, data, tag
+            finally:
+                for client in (a, b):
+                    if client is not None:
+                        client.close()
+                relay.close()
 
-        reply, data, tag = run(main())
+        reply, data, tag = live_run(main())
         assert reply == b"ok"
         assert data == b"through-the-relay"
         assert tag == b"service"
 
-    def test_unknown_peer_gets_eof(self):
+    def test_unknown_peer_gets_eof(self, live_run):
         async def main():
             relay = await LiveRelayServer().start()
-            a = await LiveRelayClient("solo", relay.addr).connect()
-            link = await a.open_link("nobody")
-            await link.send_all(b"x")
-            # The relay answers with T_ERROR; the live client surfaces EOF.
-            data = await asyncio.wait_for(link.recv(10), timeout=5)
-            a.close()
-            relay.close()
-            return data
+            a = None
+            try:
+                a = await LiveRelayClient("solo", relay.addr).connect()
+                link = await a.open_link("nobody")
+                await link.send_all(b"x")
+                # The relay answers with T_ERROR; the live client surfaces
+                # EOF.  The outer deadline bounds this wait.
+                return await link.recv(10)
+            finally:
+                if a is not None:
+                    a.close()
+                relay.close()
 
-        assert run(main()) == b""
+        assert live_run(main()) == b""

@@ -1,157 +1,134 @@
 """LiveIbis: the full runtime over real loopback sockets."""
 
 import array
-import asyncio
+import contextlib
 
 import pytest
 
+from repro.core.utilization.spec import StackSpec
 from repro.livenet.registry import LiveRegistryClient, LiveRegistryServer
 from repro.livenet.relay import LiveRelayServer
-from repro.livenet.runtime import LiveIbis, LiveIbisError
+from repro.livenet.runtime import LiveIbis
+
+pytestmark = pytest.mark.livenet
 
 
-def run(coro):
-    return asyncio.run(asyncio.wait_for(coro, timeout=60))
-
-
-async def _infrastructure():
+@contextlib.asynccontextmanager
+async def grid(*names, **ibis_kwargs):
+    """Registry + relay + one started LiveIbis per name, torn down on exit."""
     registry = await LiveRegistryServer().start()
     relay = await LiveRelayServer().start()
-    return registry, relay
-
-
-async def _ibis(name, registry, relay, **kwargs):
-    node = LiveIbis(name, registry.addr, relay.addr, **kwargs)
-    await node.start()
-    return node
+    nodes = []
+    try:
+        for name in names:
+            node = LiveIbis(name, registry.addr, relay.addr, **ibis_kwargs)
+            await node.start()
+            nodes.append(node)
+        yield (registry, relay, *nodes)
+    finally:
+        for node in nodes:
+            with contextlib.suppress(Exception):
+                await node.leave()
+        registry.close()
+        relay.close()
 
 
 class TestLiveRegistry:
-    def test_register_lookup_elect(self):
+    def test_register_lookup_elect(self, live_run):
         async def main():
-            registry, relay = await _infrastructure()
             from repro.core.addressing import EndpointInfo
 
-            client = await LiveRegistryClient(registry.addr).connect()
-            await client.register("n1", EndpointInfo("n1", "127.0.0.1"))
-            info = await client.lookup_node("n1")
-            winner = await client.elect("boss", "n1")
-            names = await client.list_nodes()
-            client.close()
-            registry.close()
-            relay.close()
-            return info.node_id, winner, names
+            async with grid() as (registry, _relay):
+                client = await LiveRegistryClient(registry.addr).connect()
+                try:
+                    await client.register("n1", EndpointInfo("n1", "127.0.0.1"))
+                    info = await client.lookup_node("n1")
+                    winner = await client.elect("boss", "n1")
+                    names = await client.list_nodes()
+                finally:
+                    client.close()
+                return info.node_id, winner, names
 
-        node_id, winner, names = run(main())
+        node_id, winner, names = live_run(main())
         assert node_id == "n1"
         assert winner == "n1"
         assert names == ["n1"]
 
 
 class TestLiveIbis:
-    def test_typed_message_end_to_end(self):
+    def test_typed_message_end_to_end(self, live_run):
         async def main():
-            registry, relay = await _infrastructure()
-            alice = await _ibis("alice", registry, relay)
-            bob = await _ibis("bob", registry, relay)
-            inbox = await bob.create_receive_port("bob-in")
-            out = alice.create_send_port("alice-out")
-            await out.connect("bob-in")
-            message = out.new_message()
-            message.write_string("live!").write_int(7)
-            message.write_array(array.array("d", [2.5]))
-            await message.finish()
-            got = await inbox.receive()
-            result = (
-                got.origin,
-                got.read_string(),
-                got.read_int(),
-                list(got.read_array()),
-            )
-            await alice.leave()
-            await bob.leave()
-            registry.close()
-            relay.close()
-            return result
-
-        assert run(main()) == ("alice", "live!", 7, [2.5])
-
-    def test_compressed_parallel_stack(self):
-        async def main():
-            registry, relay = await _infrastructure()
-            alice = await _ibis("alice", registry, relay)
-            bob = await _ibis("bob", registry, relay)
-            inbox = await bob.create_receive_port("bulk-in")
-            out = alice.create_send_port("out")
-            await out.connect("bulk-in", spec="compress|parallel:3")
-            payload = b"live-grid-data " * 10_000
-            message = out.new_message()
-            message.write_bytes(payload)
-            await message.finish()
-            got = await inbox.receive()
-            data = got.read_bytes()
-            await alice.leave()
-            await bob.leave()
-            registry.close()
-            relay.close()
-            return data == payload
-
-        assert run(main())
-
-    def test_fan_in_from_two_senders(self):
-        async def main():
-            registry, relay = await _infrastructure()
-            sink = await _ibis("sink", registry, relay)
-            s1 = await _ibis("s1", registry, relay)
-            s2 = await _ibis("s2", registry, relay)
-            inbox = await sink.create_receive_port("gather")
-            for sender, value in ((s1, 10), (s2, 20)):
-                port = sender.create_send_port("out")
-                await port.connect("gather")
-                message = port.new_message()
-                message.write_int(value)
+            async with grid("alice", "bob") as (_reg, _rel, alice, bob):
+                inbox = await bob.create_receive_port("bob-in")
+                out = alice.create_send_port("alice-out")
+                await out.connect("bob-in")
+                message = out.new_message()
+                message.write_string("live!").write_int(7)
+                message.write_array(array.array("d", [2.5]))
                 await message.finish()
-            got = {}
-            for _ in range(2):
-                m = await inbox.receive()
-                got[m.origin] = m.read_int()
-            for node in (sink, s1, s2):
-                await node.leave()
-            registry.close()
-            relay.close()
-            return got
+                got = await inbox.receive()
+                return (
+                    got.origin,
+                    got.read_string(),
+                    got.read_int(),
+                    list(got.read_array()),
+                )
 
-        assert run(main()) == {"s1": 10, "s2": 20}
+        assert live_run(main()) == ("alice", "live!", 7, [2.5])
 
-    def test_connect_to_unknown_port_fails(self):
+    def test_compressed_parallel_stack(self, live_run):
         async def main():
-            registry, relay = await _infrastructure()
-            alice = await _ibis("alice", registry, relay)
-            port = alice.create_send_port("out")
-            try:
-                await port.connect("nonexistent")
-                return "connected"
-            except Exception as exc:
-                return type(exc).__name__
-            finally:
-                await alice.leave()
-                registry.close()
-                relay.close()
+            async with grid("alice", "bob") as (_reg, _rel, alice, bob):
+                inbox = await bob.create_receive_port("bulk-in")
+                out = alice.create_send_port("out")
+                await out.connect(
+                    "bulk-in", spec=StackSpec.parse("compress|parallel:3")
+                )
+                payload = b"live-grid-data " * 10_000
+                message = out.new_message()
+                message.write_bytes(payload)
+                await message.finish()
+                got = await inbox.receive()
+                return got.read_bytes() == payload
 
-        assert run(main()) == "RegistryError"
+        assert live_run(main())
 
-    def test_election_between_live_nodes(self):
+    def test_fan_in_from_two_senders(self, live_run):
         async def main():
-            registry, relay = await _infrastructure()
-            a = await _ibis("a", registry, relay)
-            b = await _ibis("b", registry, relay)
-            first = await a.elect("leader")
-            second = await b.elect("leader")
-            await a.leave()
-            await b.leave()
-            registry.close()
-            relay.close()
-            return first, second
+            async with grid("sink", "s1", "s2") as (_reg, _rel, sink, s1, s2):
+                inbox = await sink.create_receive_port("gather")
+                for sender, value in ((s1, 10), (s2, 20)):
+                    port = sender.create_send_port("out")
+                    await port.connect("gather")
+                    message = port.new_message()
+                    message.write_int(value)
+                    await message.finish()
+                got = {}
+                for _ in range(2):
+                    m = await inbox.receive()
+                    got[m.origin] = m.read_int()
+                return got
 
-        first, second = run(main())
+        assert live_run(main()) == {"s1": 10, "s2": 20}
+
+    def test_connect_to_unknown_port_fails(self, live_run):
+        async def main():
+            async with grid("alice") as (_reg, _rel, alice):
+                port = alice.create_send_port("out")
+                try:
+                    await port.connect("nonexistent")
+                    return "connected"
+                except Exception as exc:
+                    return type(exc).__name__
+
+        assert live_run(main()) == "RegistryError"
+
+    def test_election_between_live_nodes(self, live_run):
+        async def main():
+            async with grid("a", "b") as (_reg, _rel, a, b):
+                first = await a.elect("leader")
+                second = await b.elect("leader")
+                return first, second
+
+        first, second = live_run(main())
         assert first == second == "a"

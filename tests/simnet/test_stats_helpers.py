@@ -2,11 +2,25 @@
 
 import pytest
 
+from repro.obs import SeriesRecorder, TransferMeter
 from repro.simnet import Tracer, connect, handshake_diagram, mb_per_s
 from repro.simnet.engine import Simulator
-from repro.simnet.stats import SeriesRecorder, TransferMeter
 from repro.simnet.testing import drive, echo_server, two_public_hosts
 from repro.simnet.trace import format_trace
+
+
+class TestDeprecatedStatsShim:
+    """The old ``repro.simnet.stats`` home still works, but warns."""
+
+    @pytest.mark.filterwarnings("always::DeprecationWarning")
+    def test_shim_warns_and_reexports(self):
+        import repro.simnet.stats as stats
+
+        with pytest.warns(DeprecationWarning, match="moved to repro.obs"):
+            shimmed = stats.TransferMeter
+        assert shimmed is TransferMeter
+        with pytest.warns(DeprecationWarning, match="moved to repro.obs"):
+            assert stats.SeriesRecorder is SeriesRecorder
 
 
 class TestMbPerS:

@@ -5,6 +5,7 @@ import pytest
 from repro.core.factory import BrokeredConnectionFactory, TlsConfig
 from repro.core.scenarios import GridScenario
 from repro.core.utilization import DriverError
+from repro.core.utilization.spec import StackSpec
 from repro.security import CertificateAuthority, Identity
 from repro.simnet import ConnectionReset, connect, listen
 from repro.simnet.packet import Segment
@@ -105,7 +106,7 @@ class TestTampering:
                 yield sc.sim.timeout(0.05)
             service = yield from src.open_service_link("dst")
             factory = BrokeredConnectionFactory(src, tls_a)
-            channel = yield from factory.connect(service, dst.info, spec="tls|tcp_block")
+            channel = yield from factory.connect(service, dst.info, spec=StackSpec.parse("tls|tcp_block"))
             flipper.armed = True  # handshake done; tamper with data records
             for i in range(20):
                 yield from channel.send_message(b"record-%03d" % i * 50)

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.util",
     "repro.obs",
+    "repro.chaos",
 ]
 
 
