@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-obs smoke-obs chaos chaos-sweep
+.PHONY: test test-fast test-obs smoke-obs chaos chaos-sweep chaos-resume
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,3 +31,20 @@ chaos:
 
 chaos-sweep:
 	$(PYTHON) -m repro.chaos --seeds 1-20 --plan "$(CHAOS_PLAN)"
+
+# Mid-stream fault matrix for the session layer (docs/SESSIONS.md):
+# each fault kills an in-flight stream; --sessions must carry it.
+chaos-resume:
+	$(PYTHON) -m repro.chaos --sessions --seeds 1-5 \
+		--scenario wan_transfer --plan "conntrack_flush@3:site=B"
+	$(PYTHON) -m repro.chaos --sessions --seeds 1-5 \
+		--scenario wan_transfer --plan "nat_expiry@3:site=B"
+	$(PYTHON) -m repro.chaos --sessions --seeds 1-5 \
+		--scenario wan_transfer_routed --plan "relay_crash@2:for=4"
+	$(PYTHON) -m repro.chaos --sessions --seeds 1-5 \
+		--scenario wan_transfer_routed --plan "peer_drop@2:node=bob"
+	$(PYTHON) -m repro.chaos --sessions --seeds 1-5 \
+		--scenario socks_transfer --plan "proxy_restart@2:site=B,for=2"
+	$(PYTHON) -m repro.chaos --sessions --seeds 1-5 \
+		--scenario ipl_fanin \
+		--plan "conntrack_flush@2.5:site=HUB;link_down@3.5:site=W2,for=0.5"

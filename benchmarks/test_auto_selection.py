@@ -14,6 +14,7 @@ configuration from Figures 9/10.
 from conftest import once
 from paperlinks import AMSTERDAM_RENNES, DELFT_SOPHIA, PAYLOAD_RATIO, build_paper_wan, measure
 from repro.core import PathMonitor, select_spec
+from repro.core.utilization.spec import StackSpec
 from repro.workloads import payload_with_ratio
 
 TOTAL = 8_000_000
@@ -26,7 +27,7 @@ HAND_TUNED = {
 }
 
 
-def _probe_and_select(link: dict) -> str:
+def _probe_and_select(link: dict) -> "StackSpec":
     scenario = build_paper_wan(link, seed=41)
     src = scenario.nodes["src"]
     dst = scenario.nodes["dst"]
@@ -65,7 +66,7 @@ def _run():
         naive = measure(link, "tcp_block", MSG, TOTAL)
         selected = measure(link, spec, MSG, TOTAL)
         tuned = measure(link, HAND_TUNED[link["name"]], MSG, TOTAL)
-        rows.append((link["name"], spec, naive, selected, tuned))
+        rows.append((link["name"], str(spec), naive, selected, tuned))
     return rows
 
 

@@ -89,7 +89,7 @@ def run_wan(label, capacity, owd, loss, compress_rate):
     results = {}
     for name, use_spec in (
         ("naive plain TCP", StackSpec.tcp()),
-        (f"selected  ({spec})", StackSpec.parse(spec)),
+        (f"selected  ({spec})", spec),
     ):
         sc2, _src, _dst = build()
         r = sc2.measure_stack_throughput(

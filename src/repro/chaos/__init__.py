@@ -22,6 +22,7 @@ from .faults import (
     LossBurst,
     NatExpiry,
     PeerDrop,
+    ProxyRestart,
     RelayCrash,
 )
 from .invariants import ChannelAudit, check_invariants
@@ -38,6 +39,7 @@ __all__ = [
     "PeerDrop",
     "ConntrackFlush",
     "NatExpiry",
+    "ProxyRestart",
     "ChannelAudit",
     "check_invariants",
     "ChaosReport",

@@ -51,6 +51,11 @@ def main(argv=None) -> int:
         help="disable the retry/backoff layer (expect failures under faults)",
     )
     parser.add_argument(
+        "--sessions", action="store_true",
+        help="wrap data channels in survivable sessions "
+        "(mid-stream faults are recovered by reconnect + replay)",
+    )
+    parser.add_argument(
         "--until", type=float, default=900.0, help="simulated-seconds budget"
     )
     parser.add_argument(
@@ -69,6 +74,7 @@ def main(argv=None) -> int:
             seed=seed,
             plan=args.plan,
             retries=not args.no_retries,
+            sessions=args.sessions,
             until=args.until,
             trace_path=trace_path,
         )

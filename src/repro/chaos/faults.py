@@ -15,8 +15,8 @@ The :class:`FaultScheduler` arms a plan against a running
 timestamp via the injection hooks the simnet/core layers expose
 (``Link.set_down``, ``Transmitter.loss``, ``RelayServer.stop/start``,
 ``RelayClient.drop``, ``StatefulFirewall.flush``,
-``NatBox.expire_mappings``) and is traced as a ``chaos.inject`` /
-``chaos.heal`` event pair.
+``NatBox.expire_mappings``, ``SocksServer.stop/start``) and is traced as
+a ``chaos.inject`` / ``chaos.heal`` event pair.
 """
 
 from __future__ import annotations
@@ -37,6 +37,7 @@ __all__ = [
     "PeerDrop",
     "ConntrackFlush",
     "NatExpiry",
+    "ProxyRestart",
 ]
 
 
@@ -202,9 +203,43 @@ class NatExpiry(Fault):
         return {"site": self.site, "mappings": mappings}
 
 
+@dataclass(frozen=True)
+class ProxyRestart(Fault):
+    """Reboot a site's gateway SOCKS proxy for ``duration`` seconds.
+
+    Every stream spliced through the proxy is reset, and new SOCKS
+    connections are refused until the restart completes — the only fault
+    that touches SOCKS-proxied paths, since those bypass the site's own
+    firewall state (the gateway is exempt).
+    """
+
+    site: str = ""
+    duration: float = 2.0
+
+    kind = "proxy_restart"
+
+    def _args(self) -> dict:
+        return {"site": self.site, "for": self.duration}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        proxy = ctx.scenario.site_proxy(self.site)
+        streams = len(proxy._active)
+        proxy.stop()
+        ctx.heal_later(self.duration, proxy.start, self, site=self.site)
+        return {"site": self.site, "for": self.duration, "streams": streams}
+
+
 _KINDS: dict[str, type] = {
     cls.kind: cls
-    for cls in (LinkDown, LossBurst, RelayCrash, PeerDrop, ConntrackFlush, NatExpiry)
+    for cls in (
+        LinkDown,
+        LossBurst,
+        RelayCrash,
+        PeerDrop,
+        ConntrackFlush,
+        NatExpiry,
+        ProxyRestart,
+    )
 }
 
 #: plan-string argument name -> dataclass field name

@@ -12,9 +12,10 @@ Three families, mirroring the tentpole spec:
   (leaked sockets and timers keep the heap busy or the connection tables
   populated).
 * **observability** — obs counters agree with what actually moved: the
-  relay's forwarded-byte counter matches the server's own accounting, and
+  relay's forwarded-byte counter matches the server's own accounting,
   every ``establish.attempt`` span has exactly one attempts counter
-  increment.
+  increment, and every successful ``session.resume`` span has exactly
+  one initiator-side reconnect counter increment.
 
 Violations are plain sorted strings so a report is byte-identical across
 reruns of the same ``(scenario, seed, plan)`` triple.
@@ -158,6 +159,25 @@ def check_invariants(
             violations.append(
                 f"obs: establish.attempts_total ({counted}) != "
                 f"establish.attempt spans ({spans})"
+            )
+        # Every successful session resume is driven by the initiator and
+        # increments its reconnect counter exactly once — a mismatch means
+        # a recovery path bumped the counter without completing (or vice
+        # versa).
+        reconnects = sum(
+            c.value
+            for c in registry.instruments("session.reconnects_total")
+            if c.labels.get("role") == "initiator"
+        )
+        resumed = sum(
+            1
+            for s in recorder.spans("session.resume")
+            if s.get("attrs", {}).get("outcome") == "ok"
+        )
+        if reconnects != resumed:
+            violations.append(
+                f"obs: initiator session.reconnects_total ({reconnects}) != "
+                f"successful session.resume spans ({resumed})"
             )
 
     return sorted(violations)

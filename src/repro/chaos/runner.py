@@ -17,10 +17,26 @@ described (and replayed) by those three values::
     )
     assert report.ok, report.violations
 
+Two independent robustness layers can be toggled per run:
+
+* ``retries`` — the establishment-time decision-tree retry/backoff layer
+  (``connect_retrying`` / ``auto_reconnect``).  It survives faults that
+  strike *between* transfers but cannot help a stream already in flight.
+* ``sessions`` — the :class:`~repro.core.session.SessionLink` layer
+  (``StackSpec...with_session()``).  It survives faults that strike
+  *mid-stream*: the transport error (or heartbeat watchdog) triggers a
+  transparent reconnect + offset negotiation + replay, and the
+  application-visible byte stream continues exactly where it stopped.
+
+The acceptance matrix for the session layer is the polarity of the two:
+a mid-stream ``conntrack_flush`` / ``nat_expiry`` / ``peer_drop`` /
+``relay_crash`` completes byte-identically with ``sessions=True`` and
+reproducibly fails with ``sessions=False``.
+
 Each run installs its own metrics registry and trace recorder (restoring
 the previous ones afterwards), so fault events (``chaos.*``), retry
-recoveries (``broker.*``, ``relay.client.*``) and establishment spans
-from one run never bleed into another.
+recoveries (``broker.*``, ``relay.client.*``, ``session.*``) and
+establishment spans from one run never bleed into another.
 """
 
 from __future__ import annotations
@@ -57,6 +73,7 @@ class ChaosReport:
     seed: int
     plan: str
     retries: bool
+    sessions: bool
     ok: bool
     violations: list = field(default_factory=list)
     injected: list = field(default_factory=list)
@@ -77,6 +94,7 @@ class ChaosReport:
                 "seed": self.seed,
                 "plan": self.plan,
                 "retries": self.retries,
+                "sessions": self.sessions,
                 "ok": self.ok,
                 "violations": self.violations,
                 "injected": self.injected,
@@ -93,7 +111,8 @@ class ChaosReport:
         verdict = "OK" if self.ok else f"FAILED ({len(self.violations)})"
         return (
             f"chaos {self.scenario} seed={self.seed} "
-            f"plan={self.plan or '<none>'} retries={self.retries}: {verdict}"
+            f"plan={self.plan or '<none>'} retries={self.retries} "
+            f"sessions={self.sessions}: {verdict}"
         )
 
 
@@ -114,45 +133,57 @@ class Workload:
         self.errors.append(f"{where}: {type(exc).__name__}: {exc}")
 
 
-def _build_wan_transfer(seed: int, retries: bool) -> Workload:
-    """Two staged bulk transfers, open site -> firewalled site.
+def _spec(sessions: bool) -> StackSpec:
+    """The data-channel stack for a run: plain TCP, optionally survivable."""
+    return StackSpec.tcp().with_session() if sessions else StackSpec.tcp()
 
-    Stage 1's data link is spliced/direct, so a mid-transfer relay crash
-    must not disturb it; stage 2 starts afterwards and needs a *fresh*
-    brokered establishment, which only survives relay downtime or WAN
-    flaps through the retry layer (``retries=True``).  With retries off
-    the same plan reproducibly strands stage 2.
+
+def _staged_transfer(
+    wl: Workload,
+    sender,
+    receiver,
+    *,
+    seed: int,
+    retries: bool,
+    sessions: bool,
+    stages: int = 2,
+    stage_bytes: int = 4 * (1 << 20),
+    methods: Optional[list] = None,
+    label: str = "stage",
+) -> None:
+    """Spawn sender/receiver processes moving ``stages`` seeded payloads.
+
+    Each stage is a fresh brokered establishment followed by a bulk
+    write/read; both ends feed a :class:`ChannelAudit` so loss,
+    duplication and reordering all surface as violations.  ``methods``
+    optionally pins the establishment decision tree (e.g. ``["routed"]``
+    to force every byte through the relay).
     """
-    scn = GridScenario(seed=seed)
-    # Slow WAN access (1.25 MB/s) so a multi-MiB stage spans several
-    # simulated seconds — faults land *mid-transfer*, not between stages.
-    scn.add_site("A", "open", access_bandwidth=1_250_000.0, access_delay=0.01)
-    scn.add_site("B", "firewall", access_bandwidth=1_250_000.0, access_delay=0.01)
-    sender = scn.add_node("A", "alice", auto_reconnect=retries)
-    receiver = scn.add_node("B", "bob", auto_reconnect=retries)
-
-    wl = Workload(scn)
-    stage_bytes = 4 * (1 << 20)
+    scn = wl.scenario
+    spec = _spec(sessions)
     payloads = [
-        random.Random(f"{seed}:chaos:stage{i}").randbytes(stage_bytes)
-        for i in range(2)
+        random.Random(f"{seed}:chaos:{label}{i}").randbytes(stage_bytes)
+        for i in range(stages)
     ]
-    audits = [wl.audit(f"stage{i}") for i in range(2)]
+    audits = [wl.audit(f"{label}{i}") for i in range(stages)]
 
     def run_sender() -> Generator:
         try:
             yield from sender.start()
             factory = BrokeredConnectionFactory(sender)
-            for stage, (payload, audit) in enumerate(zip(payloads, audits)):
+            for payload, audit in zip(payloads, audits):
                 if retries:
                     channel = yield from factory.connect_retrying(
-                        "bob", receiver.info, spec=StackSpec.tcp()
+                        receiver.info.node_id, receiver.info, spec=spec,
+                        methods=methods,
                     )
                 else:
                     yield from receiver.relay_client.wait_connected(timeout=30.0)
-                    service = yield from sender.open_service_link("bob")
+                    service = yield from sender.open_service_link(
+                        receiver.info.node_id
+                    )
                     channel = yield from factory.connect(
-                        service, receiver.info, spec=StackSpec.tcp()
+                        service, receiver.info, spec=spec, methods=methods
                     )
                     service.close()
                 for off in range(0, len(payload), _WRITE_CHUNK):
@@ -169,7 +200,7 @@ def _build_wan_transfer(seed: int, retries: bool) -> Workload:
         try:
             yield from receiver.start()
             factory = BrokeredConnectionFactory(receiver)
-            for stage, audit in enumerate(audits):
+            for audit in audits:
                 if retries:
                     channel = yield from factory.accept_retrying()
                 else:
@@ -188,12 +219,205 @@ def _build_wan_transfer(seed: int, retries: bool) -> Workload:
 
     scn.sim.process(run_sender(), name="chaos-sender")
     scn.sim.process(run_receiver(), name="chaos-receiver")
+
+
+def _build_wan_transfer(seed: int, retries: bool, sessions: bool) -> Workload:
+    """Two staged bulk transfers, open site -> NATted+firewalled site.
+
+    Site B sits behind the common campus gateway: a stateful firewall
+    *and* a cone NAT, so both mid-stream middlebox faults apply
+    (``conntrack_flush`` silently stalls the inbound stream;
+    ``nat_expiry`` remaps B's external ports out from under it).  Stage
+    1's data link is native (spliced or reverse), so a mid-transfer relay
+    crash must not disturb it; stage 2 starts afterwards and needs a
+    *fresh* brokered establishment, which only survives relay downtime or
+    WAN flaps through the retry layer (``retries=True``).  Mid-stream
+    middlebox faults are survived only by the session layer
+    (``sessions=True``).
+    """
+    scn = GridScenario(seed=seed)
+    # Slow WAN access (1.25 MB/s) so a multi-MiB stage spans several
+    # simulated seconds — faults land *mid-transfer*, not between stages.
+    scn.add_site("A", "open", access_bandwidth=1_250_000.0, access_delay=0.01)
+    scn.add_site(
+        "B", "nat_firewall", access_bandwidth=1_250_000.0, access_delay=0.01
+    )
+    sender = scn.add_node("A", "alice", auto_reconnect=retries)
+    receiver = scn.add_node("B", "bob", auto_reconnect=retries)
+
+    wl = Workload(scn)
+    _staged_transfer(
+        wl, sender, receiver, seed=seed, retries=retries, sessions=sessions
+    )
     return wl
 
 
-#: name -> builder(seed, retries) -> Workload
-SCENARIOS: dict[str, Callable[[int, bool], Workload]] = {
+def _build_wan_transfer_routed(
+    seed: int, retries: bool, sessions: bool
+) -> Workload:
+    """One bulk transfer with the data channel pinned to relay routing.
+
+    Every payload byte crosses the relay (``methods=["routed"]``), so a
+    mid-stream ``relay_crash`` or ``peer_drop`` kills the data channel
+    outright — the faults that a native (spliced/reverse) link shrugs
+    off.  Only the session layer can carry the stream across: the routed
+    link EOFs, the initiator re-brokers a fresh one once the relay (and
+    the dropped peer's registration) come back, and the replay window
+    fills the gap.
+    """
+    scn = GridScenario(seed=seed)
+    scn.add_site("A", "open", access_bandwidth=1_250_000.0, access_delay=0.01)
+    scn.add_site(
+        "B", "nat_firewall", access_bandwidth=1_250_000.0, access_delay=0.01
+    )
+    sender = scn.add_node("A", "alice", auto_reconnect=retries)
+    receiver = scn.add_node("B", "bob", auto_reconnect=retries)
+
+    wl = Workload(scn)
+    _staged_transfer(
+        wl,
+        sender,
+        receiver,
+        seed=seed,
+        retries=retries,
+        sessions=sessions,
+        stages=1,
+        methods=["routed"],
+        label="routed",
+    )
+    return wl
+
+
+def _build_socks_transfer(seed: int, retries: bool, sessions: bool) -> Workload:
+    """One bulk transfer into a severe site: everything through SOCKS.
+
+    Site B blocks all direct traffic; its nodes reach the world (the
+    relay included) only via the gateway's SOCKS proxy, so the data
+    channel is a stream spliced through the proxy process.  The matching
+    fault is ``proxy_restart``: a gateway reboot resets every proxied
+    stream at once even though neither endpoint's network blinked.  The
+    session layer re-brokers through the recovered proxy and replays.
+    """
+    scn = GridScenario(seed=seed)
+    scn.add_site("A", "open", access_bandwidth=1_250_000.0, access_delay=0.01)
+    scn.add_site("B", "severe", access_bandwidth=1_250_000.0, access_delay=0.01)
+    sender = scn.add_node("A", "alice", auto_reconnect=retries)
+    receiver = scn.add_node("B", "bob", auto_reconnect=retries)
+
+    wl = Workload(scn)
+    _staged_transfer(
+        wl,
+        sender,
+        receiver,
+        seed=seed,
+        retries=retries,
+        sessions=sessions,
+        stages=1,
+        label="socks",
+    )
+    return wl
+
+
+#: ipl_fanin geometry: (site name, site kind, worker name)
+_FANIN_WORKERS = (
+    ("W1", "open", "w1"),
+    ("W2", "firewall", "w2"),
+    ("W3", "cone_nat", "w3"),
+)
+_FANIN_MESSAGES = 16
+_FANIN_MESSAGE_BYTES = 256 * 1024
+
+
+def _build_ipl_fanin(seed: int, retries: bool, sessions: bool) -> Workload:
+    """Many-node IPL port fan-in: three workers stream into one collector.
+
+    Workers on heterogeneous sites (open / firewalled / NATted) each
+    connect a send port to the collector's ``gather`` receive port — the
+    collector sits behind the campus NAT+firewall gateway, so a
+    ``conntrack_flush`` there stalls *all three* inbound streams at once.
+    Per-worker audits check that every message arrives intact and
+    FIFO-ordered per origin; the fan-in queue itself may interleave
+    origins freely.
+    """
+    scn = GridScenario(seed=seed)
+    scn.add_site(
+        "HUB", "nat_firewall", access_bandwidth=12_500_000.0, access_delay=0.01
+    )
+    for site, kind, _name in _FANIN_WORKERS:
+        scn.add_site(site, kind, access_bandwidth=2_500_000.0, access_delay=0.01)
+
+    spec = _spec(sessions)
+    sink = scn.add_ibis("HUB", "sink", default_spec=spec, auto_reconnect=retries)
+    workers = [
+        scn.add_ibis(site, name, default_spec=spec, auto_reconnect=retries)
+        for site, _kind, name in _FANIN_WORKERS
+    ]
+
+    wl = Workload(scn)
+    audits = {w.name: wl.audit(f"fanin-{w.name}") for w in workers}
+    payloads = {
+        w.name: [
+            random.Random(f"{seed}:chaos:fanin:{w.name}:{i}").randbytes(
+                _FANIN_MESSAGE_BYTES
+            )
+            for i in range(_FANIN_MESSAGES)
+        ]
+        for w in workers
+    }
+
+    def run_worker(ibis, audit, messages) -> Generator:
+        try:
+            yield from ibis.start()
+            sp = ibis.create_send_port("out")
+            # The collector registers "gather" concurrently with our
+            # startup; retry the name-service lookup until it appears.
+            for attempt in range(40):
+                try:
+                    yield from sp.connect("gather")
+                    break
+                except Exception:
+                    if attempt == 39:
+                        raise
+                    yield from scn.sim.timeout(0.25)
+            for payload in messages:
+                m = sp.new_message()
+                m.write_bytes(payload)
+                yield from m.finish()
+                audit.record_sent(payload)
+            audit.finish_sender()
+            yield from ibis.leave()
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail(f"worker:{ibis.name}", exc)
+
+    def run_collector() -> Generator:
+        try:
+            yield from sink.start()
+            port = yield from sink.create_receive_port("gather")
+            expected = len(workers) * _FANIN_MESSAGES
+            for _ in range(expected):
+                msg = yield from port.receive()
+                audits[msg.origin].record_received(msg.read_bytes())
+            for audit in audits.values():
+                audit.finish_receiver()
+            yield from sink.leave()
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("collector", exc)
+
+    scn.sim.process(run_collector(), name="chaos-collector")
+    for w in workers:
+        scn.sim.process(
+            run_worker(w, audits[w.name], payloads[w.name]),
+            name=f"chaos-{w.name}",
+        )
+    return wl
+
+
+#: name -> builder(seed, retries, sessions) -> Workload
+SCENARIOS: dict[str, Callable[[int, bool, bool], Workload]] = {
     "wan_transfer": _build_wan_transfer,
+    "wan_transfer_routed": _build_wan_transfer_routed,
+    "socks_transfer": _build_socks_transfer,
+    "ipl_fanin": _build_ipl_fanin,
 }
 
 
@@ -202,14 +426,17 @@ def run_chaos(
     seed: int = 1,
     plan: Union[str, FaultPlan] = "",
     retries: bool = True,
+    sessions: bool = False,
     until: float = 900.0,
     trace_path: Optional[str] = None,
 ) -> ChaosReport:
     """Run ``scenario`` under ``plan``; returns the invariant report.
 
     ``plan`` accepts either a :class:`FaultPlan` or its canonical string
-    form.  ``trace_path`` optionally exports the run's metrics + trace as
-    JSON lines (the :mod:`repro.obs.export` schema).
+    form.  ``sessions`` wraps every data channel in a survivable
+    :class:`~repro.core.session.SessionLink`.  ``trace_path`` optionally
+    exports the run's metrics + trace as JSON lines (the
+    :mod:`repro.obs.export` schema).
     """
     try:
         build = SCENARIOS[scenario]
@@ -226,7 +453,7 @@ def run_chaos(
     prev_registry = obs.set_registry(registry)
     prev_recorder = obs.set_tracer(recorder)
     try:
-        wl = build(seed, retries)
+        wl = build(seed, retries, sessions)
         scn = wl.scenario
         scheduler = FaultScheduler(scn, parsed)
         scheduler.arm()
@@ -251,6 +478,7 @@ def run_chaos(
             seed=seed,
             plan=parsed.spec(),
             retries=retries,
+            sessions=sessions,
             ok=not violations,
             violations=sorted(violations),
             injected=list(scheduler.injected),
@@ -263,6 +491,14 @@ def run_chaos(
                 "relay_forwarded_messages": scn.relay.forwarded_messages,
                 "reconnects": sum(
                     n.relay_client.reconnects for n in scn.nodes.values()
+                ),
+                "session_reconnects": sum(
+                    c.value
+                    for c in registry.instruments("session.reconnects_total")
+                ),
+                "session_replayed_bytes": sum(
+                    c.value
+                    for c in registry.instruments("session.replayed_bytes_total")
                 ),
                 "trace_records": len(recorder.records),
             },

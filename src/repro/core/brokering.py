@@ -390,19 +390,28 @@ class Broker:
                 )
                 yield from send_frame(service_link, nak)
                 return None
-            yield from send_frame(
-                service_link,
-                ByteWriter().u8(M_PARAMS).u64(nonce).lp_bytes(params).getvalue(),
-            )
-
-            # Run the local half of the attempt concurrently with reading the
-            # initiator's RESULT.  The guard parks failures so an early error
-            # (e.g. our spliced SYN refused) waits for the verdict instead of
-            # crashing the negotiation.
+            # Run the local half of the attempt concurrently with sending
+            # PARAMS and reading the initiator's RESULT.  The guard parks
+            # failures so an early error (e.g. our spliced SYN refused)
+            # waits for the verdict instead of crashing the negotiation.
+            # Spawning *before* touching the service link matters: the
+            # pending generator owns method resources (a reflector probe,
+            # a listener), and only running it to completion releases them
+            # — so if the service link dies mid-negotiation we interrupt
+            # the attempt rather than dropping it un-started.
             attempt_proc = self.sim.process(
                 _guarded(pending), name=f"broker-attempt-{method}"
             )
-            ok = yield from self._await_result(service_link, nonce)
+            try:
+                yield from send_frame(
+                    service_link,
+                    ByteWriter().u8(M_PARAMS).u64(nonce).lp_bytes(params).getvalue(),
+                )
+                ok = yield from self._await_result(service_link, nonce)
+            except BaseException:
+                if attempt_proc.is_alive:
+                    attempt_proc.interrupt("negotiation aborted")
+                raise
             if ok:
                 status, value = yield attempt_proc
                 if status != "ok":
@@ -490,6 +499,8 @@ class Broker:
                         )
                     )
                 finally:
+                    if probe is not None:
+                        probe.close()  # idempotent; also closed post-splice
                     self.host.tcp.release_port(lport)
 
             return params, pending()

@@ -7,6 +7,9 @@ Every routed channel is opened with a purpose tag (see
 * ``b"service"`` — a peer establishing its service link to us.
 * ``b"data:<nonce>"`` — a brokered data-link attempt falling back to
   routed messages; matched to the negotiation that expects it.
+* ``b"sessres:<sid>"`` — a session initiator re-establishing a broken
+  data link (see :mod:`~repro.core.session`); handed to the node's
+  :class:`~repro.core.session.SessionRegistry`.
 """
 
 from __future__ import annotations
@@ -16,13 +19,18 @@ from typing import Generator, Optional
 from ..simnet.engine import Event
 from .relay import RelayClient, RoutedLink
 
-__all__ = ["RoutedDispatcher", "SERVICE_TAG", "data_tag"]
+__all__ = ["RoutedDispatcher", "SERVICE_TAG", "RESUME_PREFIX", "data_tag", "resume_tag"]
 
 SERVICE_TAG = b"service"
+RESUME_PREFIX = b"sessres:"
 
 
 def data_tag(nonce: int) -> bytes:
     return b"data:%016x" % nonce
+
+
+def resume_tag(sid: int) -> bytes:
+    return RESUME_PREFIX + b"%016x" % sid
 
 
 class RoutedDispatcher:
@@ -33,6 +41,8 @@ class RoutedDispatcher:
         self.sim = client.sim
         self._service_queue: list[RoutedLink] = []
         self._service_waiters: list[Event] = []
+        self._resume_queue: list[RoutedLink] = []
+        self._resume_waiters: list[Event] = []
         self._data_waiters: dict[bytes, Event] = {}
         self._early_data: dict[bytes, RoutedLink] = {}
         self._proc = self.sim.process(self._loop(), name=f"dispatch-{client.node_id}")
@@ -47,6 +57,11 @@ class RoutedDispatcher:
                     waiter.succeed(link)
                 else:
                     self._early_data[tag] = link
+            elif tag.startswith(RESUME_PREFIX):
+                if self._resume_waiters:
+                    self._resume_waiters.pop(0).succeed(link)
+                else:
+                    self._resume_queue.append(link)
             else:
                 # Default: a service channel.
                 if self._service_waiters:
@@ -61,6 +76,16 @@ class RoutedDispatcher:
             ev.succeed(self._service_queue.pop(0))
         else:
             self._service_waiters.append(ev)
+        link = yield ev
+        return link
+
+    def accept_resume(self) -> Generator:
+        """Wait for a peer re-establishing a broken session link."""
+        ev = self.sim.event()
+        if self._resume_queue:
+            ev.succeed(self._resume_queue.pop(0))
+        else:
+            self._resume_waiters.append(ev)
         link = yield ev
         return link
 

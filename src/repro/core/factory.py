@@ -17,7 +17,7 @@ filtering drivers for link utilization."
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Union
+from typing import Generator, Optional
 
 from .. import obs
 from ..simnet.tcp import TcpError
@@ -28,7 +28,8 @@ from .links import Link
 from .node import GridNode
 from .relay import RelayError
 from .retry import RetryPolicy, retrying
-from .utilization.spec import StackSpec, as_spec
+from .session import SessionConfig, SessionLink
+from .utilization.spec import StackSpec
 from .utilization.stack import build_stack
 from .utilization.stream import DEFAULT_BLOCK, BlockChannel
 from .utilization.tls import TlsDriver
@@ -67,6 +68,17 @@ ACCEPT_RETRY = RetryPolicy(
 )
 
 
+def _typed_spec(spec: Optional[StackSpec]) -> StackSpec:
+    if spec is None:
+        return StackSpec.tcp()
+    if not isinstance(spec, StackSpec):
+        raise TypeError(
+            f"expected StackSpec, got {type(spec).__name__}; the string form "
+            f"is wire-only — use StackSpec.parse(...) or the typed builders"
+        )
+    return spec
+
+
 class TlsConfig:
     """Credentials for stacks containing a ``tls`` layer."""
 
@@ -95,43 +107,64 @@ class BrokeredConnectionFactory:
         self,
         service_link: Link,
         peer_info: EndpointInfo,
-        spec: Union[str, StackSpec, None] = None,
+        spec: Optional[StackSpec] = None,
         block_size: int = DEFAULT_BLOCK,
+        methods: Optional[list] = None,
     ) -> Generator:
         """Negotiate ``spec`` with the peer and build the channel.
 
-        ``spec`` is a :class:`StackSpec` (default: plain ``TCP_Block``);
-        the legacy string form still works but is deprecated.
+        ``spec`` is a :class:`StackSpec` (default: plain ``TCP_Block``).
+        ``methods`` restricts the establishment methods attempted for the
+        data links (and for session re-establishment after a fault).
+
+        When the spec carries a ``session`` layer, this side generates one
+        session id per data link, sends them along with the spec, and
+        wraps each established link in a
+        :class:`~repro.core.session.SessionLink` before stack assembly —
+        so the whole driver stack survives mid-stream link failure.
         """
-        parsed = StackSpec.tcp() if spec is None else as_spec(spec)
+        parsed = _typed_spec(spec)
         n = parsed.links_required
-        yield from send_frame(
-            service_link, ByteWriter().lp_str(str(parsed)).u32(block_size).getvalue()
-        )
+        sids = [self.node.next_session_id() for _ in range(n)] if parsed.session else []
+        frame = ByteWriter().lp_str(str(parsed)).u32(block_size)
+        for sid in sids:
+            frame.u64(sid)
+        yield from send_frame(service_link, frame.getvalue())
         links = []
         try:
             for _ in range(n):
-                link = yield from self.node.broker.initiate(service_link, peer_info)
+                link = yield from self.node.broker.initiate(
+                    service_link, peer_info, methods
+                )
                 links.append(link)
         except BaseException:
             for link in links:
                 link.abort()
             raise
-        with obs.span(
-            "stack.assemble", spec=str(parsed), role="initiator", links=n
-        ):
-            stack = build_stack(parsed, links, host=self.node.host)
-            yield from self._maybe_tls(stack, client=True)
+        links = self._wrap_sessions(
+            parsed, links, sids, SessionLink.INITIATOR, peer_info, methods
+        )
+        try:
+            with obs.span(
+                "stack.assemble", spec=str(parsed), role="initiator", links=n
+            ):
+                stack = build_stack(parsed, links, host=self.node.host)
+                yield from self._maybe_tls(stack, client=True)
+        except BaseException:
+            for link in links:
+                link.abort()
+            raise
         return BlockChannel(stack, block_size=block_size)
 
     def connect_retrying(
         self,
         peer_id: str,
         peer_info: EndpointInfo,
-        spec: Union[str, StackSpec, None] = None,
+        spec: Optional[StackSpec] = None,
         block_size: int = DEFAULT_BLOCK,
         policy: RetryPolicy = CONNECT_RETRY,
         connect_timeout: float = 15.0,
+        methods: Optional[list] = None,
     ) -> Generator:
         """Like :meth:`connect`, but owns the whole bootstrap and survives
         transient failures.
@@ -151,7 +184,7 @@ class BrokeredConnectionFactory:
             service = yield from node.open_service_link(peer_id)
             try:
                 channel = yield from self.connect(
-                    service, peer_info, spec=spec, block_size=block_size
+                    service, peer_info, spec=spec, block_size=block_size, methods=methods
                 )
             except BaseException:
                 # Closing tells a responder blocked on this link to give
@@ -181,6 +214,7 @@ class BrokeredConnectionFactory:
         parsed = StackSpec.parse(reader.lp_str())
         block_size = reader.u32()
         n = parsed.links_required
+        sids = [reader.u64() for _ in range(n)] if parsed.session else []
         links = []
         try:
             for _ in range(n):
@@ -190,11 +224,20 @@ class BrokeredConnectionFactory:
             for link in links:
                 link.abort()
             raise
-        with obs.span(
-            "stack.assemble", spec=str(parsed), role="responder", links=n
-        ):
-            stack = build_stack(parsed, links, host=self.node.host)
-            yield from self._maybe_tls(stack, client=False)
+        peer_id = getattr(service_link, "peer", "")
+        links = self._wrap_sessions(
+            parsed, links, sids, SessionLink.RESPONDER, None, None, peer_id=peer_id
+        )
+        try:
+            with obs.span(
+                "stack.assemble", spec=str(parsed), role="responder", links=n
+            ):
+                stack = build_stack(parsed, links, host=self.node.host)
+                yield from self._maybe_tls(stack, client=False)
+        except BaseException:
+            for link in links:
+                link.abort()
+            raise
         return BlockChannel(stack, block_size=block_size)
 
     def accept_retrying(
@@ -231,6 +274,55 @@ class BrokeredConnectionFactory:
         )
 
     # -- helpers --------------------------------------------------------------
+    def _wrap_sessions(
+        self,
+        parsed: StackSpec,
+        links: list,
+        sids: list,
+        role: str,
+        peer_info: Optional[EndpointInfo],
+        methods: Optional[list],
+        peer_id: str = "",
+    ) -> list:
+        layer = parsed.session
+        if layer is None:
+            return links
+        config = SessionConfig.from_layer(layer)
+        wrapped = []
+        for link, sid in zip(links, sids):
+            reconnect = None
+            if role == SessionLink.INITIATOR:
+                peer_id = peer_info.node_id
+                reconnect = self._session_reconnect(peer_info, methods)
+            session = SessionLink(
+                link, sid, role, config=config, reconnect=reconnect, peer=peer_id
+            )
+            self.node.sessions.add(session)
+            wrapped.append(session)
+        return wrapped
+
+    def _session_reconnect(
+        self, peer_info: EndpointInfo, methods: Optional[list]
+    ) -> callable:
+        """The re-establishment closure a session runs after a fault: wait
+        for a live relay registration, open a ``sessres:<sid>``-tagged
+        service link, and re-run the Figure 4 decision tree to the same
+        peer (restricted to the same ``methods`` as the original link)."""
+        node = self.node
+
+        def reconnect(session: SessionLink) -> Generator:
+            yield from node.relay_client.wait_connected(timeout=12.0)
+            service = yield from node.open_resume_link(peer_info.node_id, session.sid)
+            try:
+                link = yield from node.broker.initiate(service, peer_info, methods)
+            except BaseException:
+                service.close()
+                raise
+            service.close()
+            return link
+
+        return reconnect
+
     def _maybe_tls(self, stack, client: bool) -> Generator:
         tls = find_driver(stack, TlsDriver)
         if tls is None:

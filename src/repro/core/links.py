@@ -17,7 +17,16 @@ from typing import Generator, Optional
 from ..simnet.packet import Addr
 from ..simnet.sockets import SimSocket
 
-__all__ = ["Link", "TcpLink", "LinkClosed", "LINK_KIND_DATA", "LINK_KIND_SERVICE", "LINK_KIND_BOOTSTRAP"]
+__all__ = [
+    "Link",
+    "TcpLink",
+    "LinkClosed",
+    "TRANSPORT_ERRORS",
+    "transport_errors",
+    "LINK_KIND_DATA",
+    "LINK_KIND_SERVICE",
+    "LINK_KIND_BOOTSTRAP",
+]
 
 LINK_KIND_DATA = "data"
 LINK_KIND_SERVICE = "service"
@@ -26,6 +35,29 @@ LINK_KIND_BOOTSTRAP = "bootstrap"
 
 class LinkClosed(Exception):
     """Operation on a closed link."""
+
+
+def transport_errors() -> tuple:
+    """The exception classes that mean "the underlying transport died".
+
+    Computed lazily to avoid an import cycle (``relay`` imports ``links``).
+    Session-layer recovery treats exactly these — plus :class:`EOFError`
+    from a mid-frame stream end — as survivable transport failures.
+    """
+    from ..simnet.tcp import TcpError
+    from .relay import RelayError
+
+    return (EOFError, LinkClosed, TcpError, RelayError)
+
+
+#: resolved on first attribute access via __getattr__ below
+TRANSPORT_ERRORS: tuple
+
+
+def __getattr__(name: str):
+    if name == "TRANSPORT_ERRORS":
+        return transport_errors()
+    raise AttributeError(name)
 
 
 class Link:

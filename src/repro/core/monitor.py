@@ -32,6 +32,7 @@ from ..simnet.packet import Addr
 from .autotune import recommend_streams
 from .links import Link
 from .node import GridNode
+from .utilization.spec import StackSpec
 from .wire import recv_frame, send_frame
 
 __all__ = ["PathEstimate", "PathMonitor", "select_spec"]
@@ -216,7 +217,7 @@ def select_spec(
     compress_rate: Optional[float] = None,
     payload_ratio: Optional[float] = None,
     max_streams: int = 16,
-) -> str:
+) -> "StackSpec":
     """The §8 goal: pick a driver stack for the measured WAN settings.
 
     * stream count — the BDP rule over the measured capacity;
@@ -224,17 +225,27 @@ def select_spec(
       wire (``compress_rate`` and the workload's ``payload_ratio`` known),
       disabled when it clearly cannot, and left to the *adaptive* driver
       when unknown.
+
+    Returns a :class:`~repro.core.utilization.spec.StackSpec` whose
+    ``label`` records the decision (the canonical string plus the reason),
+    ready to use as an experiment axis.
     """
     streams = recommend_streams(
         estimate.capacity, estimate.rtt, rcvbuf, max_streams=max_streams
     )
-    bottom = f"parallel:{streams}" if streams > 1 else "tcp_block"
+    bottom = StackSpec.parallel(streams) if streams > 1 else StackSpec.tcp()
     if compress_rate is not None and payload_ratio is not None:
         wire = min(estimate.capacity, streams * (rcvbuf / estimate.rtt))
         compressed_throughput = min(compress_rate, payload_ratio * wire)
-        spec = f"compress|{bottom}" if compressed_throughput > 1.1 * wire else bottom
+        if compressed_throughput > 1.1 * wire:
+            spec, reason = bottom.with_compression(), "cpu-beats-wire"
+        else:
+            spec, reason = bottom, "wire-beats-cpu"
     else:
-        spec = f"adaptive|{bottom}"
-    obs.metrics().counter("monitor.spec_selections_total", spec=spec).inc()
-    obs.event("monitor.spec_selected", spec=spec, streams=streams)
+        spec, reason = bottom.with_adaptive(), "compressibility-unknown"
+    spec = spec.with_label(f"{spec}#{reason}")
+    obs.metrics().counter("monitor.spec_selections_total", spec=str(spec)).inc()
+    obs.event(
+        "monitor.spec_selected", spec=str(spec), streams=streams, reason=reason
+    )
     return spec

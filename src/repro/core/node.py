@@ -14,9 +14,10 @@ from typing import Callable, Generator, Optional
 from ..simnet.packet import Addr
 from .addressing import EndpointInfo
 from .brokering import Broker
-from .dispatch import SERVICE_TAG, RoutedDispatcher
+from .dispatch import SERVICE_TAG, RoutedDispatcher, resume_tag
 from .links import Link
 from .relay import RelayClient
+from .session import SessionRegistry
 
 __all__ = ["GridNode"]
 
@@ -63,6 +64,9 @@ class GridNode:
         )
         self.dispatcher: Optional[RoutedDispatcher] = None
         self.broker: Optional[Broker] = None
+        #: live survivable sessions (responder side serves re-attachment)
+        self.sessions = SessionRegistry(self)
+        self._sid_seq = 0
 
     @property
     def node_id(self) -> str:
@@ -97,6 +101,18 @@ class GridNode:
         link = yield from self.dispatcher.accept_service()
         return link.peer, link
 
+    # -- survivable sessions -------------------------------------------------
+    def next_session_id(self) -> int:
+        """A deterministic 64-bit session id unique to this node."""
+        self._sid_seq += 1
+        base = int.from_bytes(self.node_id.encode()[:6].ljust(6, b"\0"), "big")
+        return (base << 16) | (self._sid_seq & 0xFFFF)
+
+    def open_resume_link(self, peer_id: str, sid: int) -> Generator:
+        """Open the service link a session uses to re-establish itself."""
+        link = yield from self.relay_client.open_link(peer_id, payload=resume_tag(sid))
+        return link
+
     # -- data links ------------------------------------------------------------
     def connect_data(
         self,
@@ -114,4 +130,5 @@ class GridNode:
         return link
 
     def stop(self) -> None:
+        self.sessions.close()
         self.relay_client.close()

@@ -37,6 +37,7 @@ T_OPEN = 3
 T_MSG = 4
 T_CLOSE = 5
 T_ERROR = 6
+T_PING = 7
 
 #: maximum payload per routed message
 MAX_MSG = 32768
@@ -141,6 +142,8 @@ class RelayServer:
 
             while True:
                 body = yield from _read_frame(sock)
+                if body and body[0] == T_PING:
+                    continue  # client keepalive: refreshes middlebox state
                 yield from self._forward(node_id, body, sock)
         except (EOFError, RelayError, FrameError, TcpError):
             pass
@@ -178,7 +181,23 @@ class RelayServer:
         reg = obs.metrics()
         reg.counter("relay.forwarded_total", backend="sim").inc()
         reg.counter("relay.forwarded_bytes_total", backend="sim").inc(len(payload))
-        yield from _write_frame(dest_sock, body)
+        try:
+            yield from _write_frame(dest_sock, body)
+        except (EOFError, TcpError):
+            # The destination died mid-write.  That is *its* problem, not
+            # the sender's: drop the dead registration and answer exactly
+            # as if the destination were already unknown, keeping the
+            # sender's own session alive.
+            if self.sessions.get(dst) is dest_sock:
+                del self.sessions[dst]
+            dest_sock.abort()
+            yield from _write_frame(
+                src_sock,
+                _routed_body(
+                    T_ERROR, dst, src, channel, b"unknown destination",
+                    sender_owns_channel=False,
+                ),
+            )
 
 
 class ReflectorServer:
@@ -296,6 +315,16 @@ class RoutedLink(Link):
             return
         self.closed = True
         self.client._close_channel(self)
+        # Local readers see EOF too (same as when the relay session dies),
+        # so a pump parked on recv() cannot leak past the link's lifetime.
+        self._deliver_eof()
+
+    def abort(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.client._close_channel(self)
+        self._deliver_error(RelayError("routed link aborted"))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RoutedLink to {self.peer} ch={self.channel}>"
@@ -311,9 +340,12 @@ class RelayClient:
     With ``auto_reconnect`` the client transparently re-registers after
     losing its relay session (relay crash/restart, severed TCP): existing
     routed links are still EOF'd — frames in flight during the outage may
-    be gone, so a live stream cannot be resumed exactly-once — but new
-    service/data links work again as soon as registration succeeds, which
-    is what the establishment retry layer builds on.
+    be gone, so a raw routed stream cannot be resumed exactly-once — but
+    new service/data links work again as soon as registration succeeds.
+    Exactly-once mid-stream recovery on top of that is the session
+    layer's job (:mod:`~repro.core.session`): a ``SessionLink`` re-runs
+    establishment over the reconnected relay and negotiates a resume
+    offset, replaying whatever the outage swallowed.
     """
 
     def __init__(
@@ -324,6 +356,7 @@ class RelayClient:
         connector: Optional[Callable] = None,
         auto_reconnect: bool = False,
         reconnect_policy=None,
+        keepalive: float = 10.0,
     ):
         from .retry import RetryPolicy
 
@@ -333,6 +366,11 @@ class RelayClient:
         self.relay_addr = relay_addr
         self.connector = connector
         self.auto_reconnect = auto_reconnect
+        #: seconds between T_PING frames to the relay (0 disables).  The
+        #: ping keeps the registration's conntrack/NAT entries warm: after
+        #: a firewall reboot flushes its table, the next outbound ping
+        #: re-creates the entry and the relay's queued frames flow again.
+        self.keepalive = keepalive
         self.reconnect_policy = reconnect_policy or RetryPolicy(
             max_attempts=10, base_delay=0.25, multiplier=2.0, max_delay=5.0
         )
@@ -368,6 +406,11 @@ class RelayClient:
             ev.succeed(self)
         self._connect_waiters.clear()
         self.sim.process(self._reader(), name=f"relay-client-{self.node_id}")
+        if self.keepalive > 0:
+            self.sim.process(
+                self._keepalive_loop(self._sock),
+                name=f"relay-keepalive-{self.node_id}",
+            )
         return self
 
     def wait_connected(self, timeout: float = 30.0) -> Generator:
@@ -406,6 +449,17 @@ class RelayClient:
         """
         if self._sock is not None:
             self._sock.abort()
+
+    def _keepalive_loop(self, sock: SimSocket) -> Generator:
+        """Ping the relay periodically while this registration is alive."""
+        while True:
+            yield self.sim.timeout(self.keepalive)
+            if self.closed or not self.connected or self._sock is not sock:
+                return
+            try:
+                yield from _write_frame(sock, bytes([T_PING]))
+            except (EOFError, TcpError, RelayError):
+                return  # the reader notices the loss and handles it
 
     # -- outgoing ---------------------------------------------------------------
     def _send_routed(
@@ -447,13 +501,21 @@ class RelayClient:
 
     def _close_channel(self, link: RoutedLink) -> None:
         self._links.pop((link.peer, link.channel, link.owned), None)
-        if self.connected:
-            self.sim.process(
-                self._send_routed(
+        if not self.connected:
+            return
+
+        def notify() -> Generator:
+            # Best-effort: the relay session may die under us mid-frame
+            # (crash, reset) — the peer learns about the close from its
+            # own session loss in that case.
+            try:
+                yield from self._send_routed(
                     T_CLOSE, link.peer, link.channel, b"", owned=link.owned
-                ),
-                name="routed-close",
-            )
+                )
+            except (EOFError, TcpError, RelayError):
+                pass
+
+        self.sim.process(notify(), name="routed-close")
 
     # -- incoming ----------------------------------------------------------------
     def _reader(self) -> Generator:

@@ -10,6 +10,9 @@ kind            meaning
 ``open``        publicly routed addresses, no middleboxes
 ``firewall``    stateful firewall blocking unsolicited inbound
 ``cone_nat``    predictable (endpoint-independent) NAT, private addresses
+``nat_firewall`` stateful firewall *and* a predictable NAT on the same
+                gateway — the common campus setup; both fault-injection
+                hooks (``conntrack_flush``, ``nat_expiry``) apply
 ``broken_nat``  standards-noncompliant NAT that resets crossing SYNs;
                 a SOCKS proxy runs on the gateway (the paper's fall-back)
 ``symmetric_nat`` unpredictable per-destination mappings + gateway SOCKS
@@ -38,7 +41,15 @@ from .utilization.spec import StackSpec
 
 __all__ = ["GridScenario", "SITE_KINDS"]
 
-SITE_KINDS = ("open", "firewall", "cone_nat", "broken_nat", "symmetric_nat", "severe")
+SITE_KINDS = (
+    "open",
+    "firewall",
+    "cone_nat",
+    "nat_firewall",
+    "broken_nat",
+    "symmetric_nat",
+    "severe",
+)
 
 RELAY_PORT = 4000
 REFLECTOR_PORT = 3478
@@ -84,6 +95,9 @@ class GridScenario:
             kwargs["firewall"] = StatefulFirewall(sim=self.sim)
         elif kind == "cone_nat":
             kwargs["nat"] = ConeNAT()
+        elif kind == "nat_firewall":
+            kwargs["firewall"] = StatefulFirewall(sim=self.sim)
+            kwargs["nat"] = ConeNAT()
         elif kind == "broken_nat":
             kwargs["nat"] = BrokenNAT()
             needs_proxy = True
@@ -118,10 +132,11 @@ class GridScenario:
         return EndpointInfo(
             node_id=node_id,
             local_ip=node.ip,
-            behind_firewall=kind in ("firewall", "severe"),
-            behind_nat=kind in ("cone_nat", "broken_nat", "symmetric_nat"),
+            behind_firewall=kind in ("firewall", "nat_firewall", "severe"),
+            behind_nat=kind in ("cone_nat", "nat_firewall", "broken_nat", "symmetric_nat"),
             nat_predictable={
                 "cone_nat": True,
+                "nat_firewall": True,
                 "broken_nat": True,  # looks predictable; fails behaviourally
                 "symmetric_nat": False,
             }.get(kind),
@@ -215,6 +230,12 @@ class GridScenario:
         if nat is None:
             raise ValueError(f"site {name!r} has no NAT")
         return nat
+
+    def site_proxy(self, name: str) -> SocksServer:
+        proxy = self.proxies.get(name)
+        if proxy is None:
+            raise ValueError(f"site {name!r} has no SOCKS proxy")
+        return proxy
 
     # -- execution helpers ---------------------------------------------------
     def start_all(self) -> Generator:

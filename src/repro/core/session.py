@@ -1,0 +1,906 @@
+"""Survivable sessions: mid-stream link recovery with offset negotiation.
+
+The paper separates connection *establishment* from link *utilization*
+(§3–§4), but an established link still dies with the one physical
+connection it started on: a NAT table flush, a relay crash or an abrupt
+peer drop mid-transfer severs the stream and the bytes in flight are
+gone.  GridFTP answers this with restart markers and MPWide with
+reconnecting wide-area paths; this module is the reproduction's version
+of that cure.
+
+:class:`SessionLink` wraps any established data :class:`~repro.core.links.Link`
+with
+
+* a session id and per-direction delivered-byte counters,
+* a bounded replay buffer of unacknowledged bytes, trimmed by periodic
+  cumulative acks carried on the same stream (control frames interleave
+  with data frames),
+* transparent re-establishment on transport error: the initiator re-runs
+  the decision-tree factory (through the shared
+  :class:`~repro.core.retry.RetryPolicy` backoff), sends
+  ``RESUME <sid, rx_off>``, the responder's :class:`SessionRegistry`
+  re-attaches the surviving session state, both sides trim their replay
+  buffers to the peer's delivered offset and retransmit the rest.
+
+The logical stream above (a utilization driver stack, an IPL port
+channel) never observes the fault — ``send_all``/``recv`` simply stall
+during recovery and the byte stream resumes exactly where it broke, so
+delivery stays byte-identical and FIFO.
+
+Wire format (all integers big-endian, on the established link)::
+
+    DATA      = u8(1) u32(len) bytes      # len <= MAX_CHUNK
+    ACK       = u8(2) u64(rx_off)         # cumulative delivered bytes
+    PING      = u8(3)
+    PONG      = u8(4) u64(rx_off)
+    FIN       = u8(5) u64(fin_off)        # sender finished at fin_off
+    FINACK    = u8(6) u64(fin_off)
+    RESUME    = u8(7) u64(sid) u64(rx_off) u8(fin?) u64(fin_off)
+    RESUME_OK = u8(8) u64(rx_off) u8(fin?) u64(fin_off)
+
+``RESUME``/``RESUME_OK`` only ever appear as the first frame in each
+direction of a re-established link; everything else flows on an attached
+link.  A silent stall (a firewall eating packets without erroring — TCP
+retransmits forever in the simulator) is detected by the initiator-side
+watchdog: no inbound frame for ``dead_after`` seconds breaks the link
+deliberately and enters the same recovery path.
+
+Both roles send ``PING`` when their receive side has been idle for the
+heartbeat interval.  Beyond keeping the watchdog fed, the responder's
+pings double as middlebox keepalives: after a conntrack flush or NAT
+table expiry any *outbound* packet from inside the site re-creates the
+state entry, so a heartbeat from the quiet end often heals the stall at
+the transport level before the watchdog has to force a reconnect.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from .. import obs
+from ..simnet.engine import with_timeout
+from .links import Link, transport_errors
+from .retry import RetryPolicy, retrying
+
+__all__ = [
+    "SessionLink",
+    "SessionError",
+    "SessionConfig",
+    "SessionRegistry",
+    "ReplayBuffer",
+    "RESUME_POLICY",
+    "MAX_CHUNK",
+]
+
+F_DATA = 1
+F_ACK = 2
+F_PING = 3
+F_PONG = 4
+F_FIN = 5
+F_FINACK = 6
+F_RESUME = 7
+F_RESUME_OK = 8
+
+_DATA_HDR = struct.Struct("!BI")
+_OFF_HDR = struct.Struct("!BQ")
+_RESUME_HDR = struct.Struct("!BQQBQ")
+_RESUME_OK_HDR = struct.Struct("!BQBQ")
+
+#: largest payload per DATA frame (also the replay-retransmit chunk size)
+MAX_CHUNK = 32768
+
+#: backoff for re-running establishment after a mid-stream fault; total
+#: nominal delay ~15s so recovery outlives short outages but exhausts
+#: well inside a chaos run's drain window
+RESUME_POLICY = RetryPolicy(
+    max_attempts=6, base_delay=0.5, multiplier=2.0, max_delay=8.0, jitter=0.25
+)
+
+ACTIVE = "active"
+RECOVERING = "recovering"
+FINISHED = "finished"
+FAILED = "failed"
+
+
+class SessionError(Exception):
+    """Session protocol failure or unrecoverable session loss."""
+
+
+class _StaleLink(SessionError):
+    """Internal: the link generation changed while waiting to send."""
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Tuning knobs, settable from the spec layer (``session:ack=..,buf=..,hb=..``)."""
+
+    ack_every: int = 65536
+    max_buffer: int = 1 << 20
+    heartbeat: float = 2.0
+    dead_factor: float = 3.0
+    resume_timeout: float = 20.0
+
+    @property
+    def dead_after(self) -> float:
+        return self.heartbeat * self.dead_factor
+
+    @classmethod
+    def from_layer(cls, layer) -> "SessionConfig":
+        """Build from a ``session`` :class:`~repro.core.utilization.spec.LayerSpec`."""
+        if layer is None:
+            return cls()
+        return cls(
+            ack_every=int(layer.get("ack", cls.ack_every)),
+            max_buffer=int(layer.get("buf", cls.max_buffer)),
+            heartbeat=float(layer.get("hb", cls.heartbeat)),
+        )
+
+
+class ReplayBuffer:
+    """Unacknowledged sent bytes: a byte window [start, end) over the stream.
+
+    ``append`` extends the window as data is sent; ``ack(off)`` trims it
+    up to a cumulative delivered offset.  Stale (non-monotone) acks are
+    ignored; an ack beyond what was ever sent is a protocol violation.
+    """
+
+    def __init__(self) -> None:
+        self.start = 0
+        self._data = bytearray()
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self._data)
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def append(self, data: bytes) -> None:
+        self._data.extend(data)
+
+    def ack(self, off: int) -> int:
+        """Trim to cumulative offset ``off``; returns bytes released."""
+        if off < self.start:
+            return 0
+        if off > self.end:
+            raise SessionError(f"ack beyond sent data: {off} > {self.end}")
+        cut = off - self.start
+        del self._data[:cut]
+        self.start = off
+        return cut
+
+    def unacked(self) -> bytes:
+        return bytes(self._data)
+
+
+class _Mutex:
+    """FIFO mutex for generator processes (serializes writes to the raw link)."""
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._locked = False
+        self._waiters: list = []
+
+    def acquire(self) -> Generator:
+        while self._locked:
+            ev = self._sim.event()
+            self._waiters.append(ev)
+            yield ev
+        self._locked = True
+
+    def release(self) -> None:
+        self._locked = False
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+
+
+class SessionLink(Link):
+    """A logical stream that survives the death of its physical link.
+
+    ``reconnect`` (initiator only) is a generator ``reconnect(session) ->
+    Link`` that re-runs establishment to the same peer; the responder
+    side is passive and re-attached through its node's
+    :class:`SessionRegistry`.
+    """
+
+    INITIATOR = "initiator"
+    RESPONDER = "responder"
+
+    def __init__(
+        self,
+        raw: Link,
+        sid: int,
+        role: str,
+        config: Optional[SessionConfig] = None,
+        reconnect: Optional[Callable[["SessionLink"], Generator]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        peer: str = "",
+    ):
+        if role not in (self.INITIATOR, self.RESPONDER):
+            raise ValueError(f"bad session role {role!r}")
+        if role == self.INITIATOR and reconnect is None:
+            raise ValueError("initiator sessions need a reconnect callable")
+        self.sid = sid
+        self.role = role
+        self.peer = peer
+        self.config = config or SessionConfig()
+        self.reconnects = 0
+        self.replayed_bytes = 0
+        self._reconnect = reconnect
+        self._retry_policy = retry_policy or RESUME_POLICY
+        self._sim = raw.sim
+        self._raw = raw
+        self._gen = 0
+        self._state = ACTIVE
+        self._failure: Optional[Exception] = None
+        self._registry: Optional["SessionRegistry"] = None
+        # tx side
+        self._replay = ReplayBuffer()
+        self._tx_off = 0
+        self._tx_fin: Optional[int] = None
+        self._tx_fin_acked = False
+        self._mutex = _Mutex(self._sim)
+        self._window_waiters: list = []
+        # rx side
+        self._rx = bytearray()
+        self._rx_off = 0
+        self._rx_fin: Optional[int] = None
+        self._rx_finack_sent = False
+        self._last_ack_sent = 0
+        self._last_rx = self._sim.now
+        self._rx_waiters: list = []
+        # coordination
+        self._cond_waiters: list = []
+        self._flags = {"ack": False, "pong": False, "finack": False, "ping": False}
+        self._control_ev = None
+        self._transport = transport_errors()
+        obs.event("session.established", sid=f"{sid:016x}", role=role, peer=peer)
+        self._start_pump()
+        self._sim.process(self._control_loop(), name=f"session-ctl-{sid:x}-{role[0]}")
+        self._sim.process(
+            self._heartbeat_loop(), name=f"session-hb-{sid:x}-{role[0]}"
+        )
+
+    # -- metadata ----------------------------------------------------------------
+    @property
+    def sim(self):
+        return self._sim
+
+    @property
+    def method(self) -> str:  # type: ignore[override]
+        return self._raw.method
+
+    @property
+    def native_tcp(self) -> bool:  # type: ignore[override]
+        return self._raw.native_tcp
+
+    @property
+    def relayed(self) -> bool:  # type: ignore[override]
+        return self._raw.relayed
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def raw(self) -> Link:
+        """The current physical link (changes across recoveries)."""
+        return self._raw
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SessionLink {self.sid:016x} {self.role} {self._state}"
+            f" tx={self._tx_off} rx={self._rx_off} over {self._raw!r}>"
+        )
+
+    # -- Link interface ----------------------------------------------------------
+    def send_all(self, data: bytes) -> Generator:
+        if self._tx_fin is not None:
+            raise SessionError("send on closed session")
+        view = memoryview(bytes(data))
+        offset = 0
+        while offset < len(view):
+            yield from self._await_active()
+            if self._replay.size >= self.config.max_buffer:
+                # backpressure: wait for acks to release replay space
+                ev = self._sim.event()
+                self._window_waiters.append(ev)
+                yield ev
+                continue
+            chunk = bytes(view[offset : offset + MAX_CHUNK])
+            # into the replay buffer *before* the write: if the link dies
+            # mid-frame the bytes are retransmitted after resume
+            self._replay.append(chunk)
+            self._tx_off += len(chunk)
+            offset += len(chunk)
+            gen = self._gen
+            try:
+                yield from self._locked_send(gen, _DATA_HDR.pack(F_DATA, len(chunk)) + chunk)
+            except _StaleLink:
+                pass  # recovery replays the chunk
+            except self._transport as exc:
+                self._transport_broken(gen, exc)
+
+    def recv(self, maxbytes: int) -> Generator:
+        while True:
+            if self._rx:
+                take = bytes(self._rx[:maxbytes])
+                del self._rx[: len(take)]
+                return take
+            if self._failure is not None:
+                raise SessionError(f"session {self.sid:016x} failed") from self._failure
+            if self._rx_fin is not None and self._rx_off >= self._rx_fin:
+                return b""
+            ev = self._sim.event()
+            self._rx_waiters.append(ev)
+            yield ev
+
+    def close(self) -> None:
+        """Graceful close: FIN at the current offset, then linger until the
+        peer has everything (FINACK) and has finished its own direction."""
+        if self._state in (FINISHED, FAILED) or self._tx_fin is not None:
+            return
+        self._tx_fin = self._tx_off
+        self._sim.process(self._closer(), name=f"session-close-{self.sid:x}-{self.role[0]}")
+
+    def abort(self) -> None:
+        self._fail(SessionError("session aborted"))
+
+    # -- send-side plumbing ------------------------------------------------------
+    def _locked_send(self, gen: int, data: bytes) -> Generator:
+        yield from self._mutex.acquire()
+        try:
+            if gen != self._gen:
+                raise _StaleLink("link replaced while waiting to send")
+            yield from self._raw.send_all(data)
+        finally:
+            self._mutex.release()
+
+    def _await_active(self) -> Generator:
+        while self._state == RECOVERING:
+            ev = self._sim.event()
+            self._cond_waiters.append(ev)
+            yield ev
+        if self._state == FAILED:
+            raise SessionError(f"session {self.sid:016x} failed") from self._failure
+        if self._state == FINISHED:
+            raise SessionError("session closed")
+
+    def _wake_window(self) -> None:
+        waiters, self._window_waiters = self._window_waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def _wake_rx(self) -> None:
+        waiters, self._rx_waiters = self._rx_waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def _notify(self) -> None:
+        waiters, self._cond_waiters = self._cond_waiters, []
+        for ev in waiters:
+            ev.succeed()
+        self._poke_control()
+
+    def _wait(self, cond) -> Generator:
+        while not cond():
+            ev = self._sim.event()
+            self._cond_waiters.append(ev)
+            yield ev
+
+    # -- control channel ---------------------------------------------------------
+    def _poke_control(self) -> None:
+        ev = self._control_ev
+        if ev is not None and not ev.triggered:
+            self._control_ev = None
+            ev.succeed()
+
+    def _flag(self, name: str) -> None:
+        self._flags[name] = True
+        self._poke_control()
+
+    def _control_loop(self) -> Generator:
+        while True:
+            if self._state in (FINISHED, FAILED):
+                return
+            pending = self._state == ACTIVE and any(self._flags.values())
+            if not pending:
+                ev = self._sim.event()
+                self._control_ev = ev
+                yield ev
+                continue
+            frames = []
+            if self._flags["pong"]:
+                frames.append(_OFF_HDR.pack(F_PONG, self._rx_off))
+                self._last_ack_sent = self._rx_off
+                self._flags["pong"] = False
+                self._flags["ack"] = False
+            elif self._flags["ack"]:
+                frames.append(_OFF_HDR.pack(F_ACK, self._rx_off))
+                self._last_ack_sent = self._rx_off
+                self._flags["ack"] = False
+            if self._flags["ping"]:
+                frames.append(struct.pack("!B", F_PING))
+                self._flags["ping"] = False
+            sent_finack = False
+            if (
+                self._flags["finack"]
+                and self._rx_fin is not None
+                and self._rx_off >= self._rx_fin
+            ):
+                frames.append(_OFF_HDR.pack(F_FINACK, self._rx_fin))
+                self._flags["finack"] = False
+                sent_finack = True
+            if not frames:
+                continue
+            gen = self._gen
+            try:
+                yield from self._locked_send(gen, b"".join(frames))
+            except _StaleLink:
+                continue
+            except self._transport as exc:
+                self._transport_broken(gen, exc)
+                continue
+            if sent_finack and not self._rx_finack_sent:
+                self._rx_finack_sent = True
+                self._notify()
+
+    def _heartbeat_loop(self) -> Generator:
+        hb = self.config.heartbeat
+        while True:
+            if self._state in (FINISHED, FAILED):
+                return
+            yield self._sim.timeout(hb)
+            if self._state in (FINISHED, FAILED):
+                return
+            if self._state != ACTIVE:
+                continue  # recovery paces itself
+            idle = self._sim.now - self._last_rx
+            if idle >= self.config.dead_after and self.role == self.INITIATOR:
+                # silent stall: the transport never errored but the peer
+                # went quiet — break the link on purpose and recover
+                gen = self._gen
+                obs.event(
+                    "session.watchdog",
+                    sid=f"{self.sid:016x}",
+                    idle=round(idle, 3),
+                )
+                self._transport_broken(
+                    gen, SessionError(f"peer silent for {idle:.1f}s")
+                )
+            elif idle >= hb:
+                self._flag("ping")
+
+    # -- inbound pump ------------------------------------------------------------
+    def _start_pump(self) -> None:
+        self._sim.process(
+            self._pump(self._raw, self._gen),
+            name=f"session-pump-{self.sid:x}-{self.role[0]}-g{self._gen}",
+        )
+
+    def _pump(self, raw: Link, gen: int) -> Generator:
+        try:
+            while True:
+                head = yield from raw.recv_exactly(1)
+                kind = head[0]
+                self._last_rx = self._sim.now
+                if kind == F_DATA:
+                    body = yield from raw.recv_exactly(_DATA_HDR.size - 1)
+                    (length,) = struct.unpack("!I", body)
+                    if length == 0 or length > MAX_CHUNK:
+                        raise SessionError(f"bad DATA length {length}")
+                    payload = yield from raw.recv_exactly(length)
+                    if gen != self._gen:
+                        return
+                    self._on_data(payload)
+                elif kind in (F_ACK, F_PONG, F_FIN, F_FINACK):
+                    body = yield from raw.recv_exactly(_OFF_HDR.size - 1)
+                    (off,) = struct.unpack("!Q", body)
+                    if gen != self._gen:
+                        return
+                    if kind == F_ACK or kind == F_PONG:
+                        self._on_ack(off)
+                    elif kind == F_FIN:
+                        self._on_fin(off)
+                    else:
+                        self._on_finack(off)
+                elif kind == F_PING:
+                    if gen != self._gen:
+                        return
+                    self._flag("pong")
+                else:
+                    raise SessionError(f"unexpected frame type {kind}")
+        except SessionError as exc:
+            if gen == self._gen and self._state not in (FINISHED, FAILED):
+                self._fail(exc)  # protocol violation: not survivable
+        except self._transport as exc:
+            if gen != self._gen or self._state in (FINISHED, FAILED):
+                return
+            if (
+                isinstance(exc, EOFError)
+                and self._tx_fin is not None
+                and self._tx_fin_acked
+                and self._rx_fin is not None
+                and self._rx_off >= self._rx_fin
+            ):
+                return  # normal teardown: the peer closed first
+            self._transport_broken(gen, exc)
+
+    def _on_data(self, payload: bytes) -> None:
+        self._rx_off += len(payload)
+        if self._rx_fin is not None and self._rx_off > self._rx_fin:
+            raise SessionError("data past the peer's FIN offset")
+        self._rx.extend(payload)
+        self._wake_rx()
+        if self._rx_fin is not None and self._rx_off >= self._rx_fin:
+            self._flag("finack")
+        if self._rx_off - self._last_ack_sent >= self.config.ack_every:
+            self._flag("ack")
+
+    def _on_ack(self, off: int) -> None:
+        if self._replay.ack(off):
+            self._wake_window()
+
+    def _on_fin(self, off: int) -> None:
+        if off < self._rx_off:
+            raise SessionError(
+                f"peer FIN at {off} below delivered offset {self._rx_off}"
+            )
+        self._rx_fin = off
+        self._wake_rx()
+        if self._rx_off >= off:
+            self._flag("finack")
+        self._notify()
+
+    def _on_finack(self, off: int) -> None:
+        if self._tx_fin is not None and off == self._tx_fin:
+            self._replay.ack(off)
+            self._wake_window()
+            self._tx_fin_acked = True
+            self._notify()
+
+    # -- failure & recovery ------------------------------------------------------
+    def _transport_broken(self, gen: int, exc: BaseException) -> None:
+        if gen != self._gen or self._state != ACTIVE:
+            return
+        self._state = RECOVERING
+        self._gen += 1
+        obs.event(
+            "session.broken",
+            sid=f"{self.sid:016x}",
+            role=self.role,
+            at_tx=self._tx_off,
+            at_rx=self._rx_off,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        try:
+            self._raw.abort()
+        except Exception:
+            pass
+        if self.role == self.INITIATOR:
+            self._sim.process(self._recovery(), name=f"session-recover-{self.sid:x}")
+        self._notify()
+
+    def _fail(self, exc: Exception) -> None:
+        if self._state in (FINISHED, FAILED):
+            return
+        self._state = FAILED
+        self._failure = exc
+        self._gen += 1
+        try:
+            self._raw.abort()
+        except Exception:
+            pass
+        if self._registry is not None:
+            self._registry.remove(self.sid)
+        obs.event(
+            "session.failed",
+            sid=f"{self.sid:016x}",
+            role=self.role,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        self._wake_rx()
+        self._wake_window()
+        self._notify()
+
+    def _recovery(self) -> Generator:
+        started = self._sim.now
+        with obs.span("session.resume", sid=f"{self.sid:016x}", role=self.role) as span:
+            retry_on = self._transport + (
+                TimeoutError,
+                SessionError,
+                _establishment_errors(),
+            )
+
+            def attempt(_i: int) -> Generator:
+                if self._state != RECOVERING:
+                    raise _ResumeAborted("session no longer recovering")
+                raw = yield from self._reconnect(self)
+                try:
+                    yield from with_timeout(
+                        self._sim,
+                        self._resume_initiator(raw),
+                        self.config.resume_timeout,
+                    )
+                except BaseException:
+                    try:
+                        raw.abort()
+                    except Exception:
+                        pass
+                    raise
+                return None
+
+            try:
+                yield from retrying(
+                    self._sim,
+                    attempt,
+                    self._retry_policy,
+                    retry_on=retry_on,
+                    key=f"session:{self.sid:x}",
+                    name="session.reconnect",
+                )
+            except _ResumeAborted:
+                span.set(outcome="aborted")
+                return
+            except Exception as exc:
+                span.set(outcome="failed")
+                self._fail(
+                    SessionError(f"session {self.sid:016x} could not be resumed")
+                )
+                obs.event(
+                    "session.resume_exhausted",
+                    sid=f"{self.sid:016x}",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                return
+            span.set(outcome="ok")
+        self.reconnects += 1
+        reg = obs.metrics()
+        reg.counter("session.reconnects_total", role=self.role).inc()
+        reg.histogram("session.resume_seconds").observe(self._sim.now - started)
+        obs.event(
+            "session.resumed",
+            sid=f"{self.sid:016x}",
+            role=self.role,
+            after=round(self._sim.now - started, 6),
+            reconnects=self.reconnects,
+        )
+
+    def _resume_initiator(self, raw: Link) -> Generator:
+        fin = self._tx_fin
+        yield from raw.send_all(
+            _RESUME_HDR.pack(
+                F_RESUME, self.sid, self._rx_off, 1 if fin is not None else 0, fin or 0
+            )
+        )
+        buf = yield from raw.recv_exactly(_RESUME_OK_HDR.size)
+        kind, peer_rx, fin_flag, fin_off = _RESUME_OK_HDR.unpack(buf)
+        if kind != F_RESUME_OK:
+            raise SessionError(f"expected RESUME_OK, got frame type {kind}")
+        self._note_peer_fin(fin_flag, fin_off)
+        yield from self._complete_resume(raw, peer_rx)
+
+    def _resume_responder(self, raw: Link) -> Generator:
+        buf = yield from raw.recv_exactly(_RESUME_HDR.size)
+        kind, sid, peer_rx, fin_flag, fin_off = _RESUME_HDR.unpack(buf)
+        if kind != F_RESUME or sid != self.sid:
+            raise SessionError(f"bad RESUME (type {kind}, sid {sid:016x})")
+        self._note_peer_fin(fin_flag, fin_off)
+        fin = self._tx_fin
+        yield from raw.send_all(
+            _RESUME_OK_HDR.pack(
+                F_RESUME_OK, self._rx_off, 1 if fin is not None else 0, fin or 0
+            )
+        )
+        yield from self._complete_resume(raw, peer_rx)
+        self.reconnects += 1
+        obs.metrics().counter("session.reconnects_total", role=self.role).inc()
+
+    def _note_peer_fin(self, fin_flag: int, fin_off: int) -> None:
+        if not fin_flag:
+            return
+        if fin_off < self._rx_off:
+            raise SessionError(
+                f"peer FIN at {fin_off} below delivered offset {self._rx_off}"
+            )
+        self._rx_fin = fin_off
+
+    def _complete_resume(self, raw: Link, peer_rx: int) -> Generator:
+        """Trim the replay window to the peer's delivered offset, retransmit
+        the rest (plus FIN, if we were closing) on the fresh link, then
+        attach it.  Runs before anyone else can write to ``raw``, so
+        replayed bytes keep their stream position."""
+        if self._replay.ack(peer_rx):
+            self._wake_window()
+        pending = self._replay.unacked()
+        for i in range(0, len(pending), MAX_CHUNK):
+            chunk = pending[i : i + MAX_CHUNK]
+            yield from raw.send_all(_DATA_HDR.pack(F_DATA, len(chunk)) + chunk)
+        if self._tx_fin is not None:
+            yield from raw.send_all(_OFF_HDR.pack(F_FIN, self._tx_fin))
+        if pending:
+            self.replayed_bytes += len(pending)
+            obs.metrics().counter(
+                "session.replayed_bytes_total", role=self.role
+            ).inc(len(pending))
+        self._attach(raw)
+        # let the peer trim its replay window even if no data flows soon
+        self._flag("ack")
+        if self._rx_fin is not None and self._rx_off >= self._rx_fin:
+            self._flag("finack")
+
+    def _attach(self, raw: Link) -> None:
+        self._raw = raw
+        self._gen += 1
+        self._state = ACTIVE
+        self._last_rx = self._sim.now
+        self._start_pump()
+        self._wake_window()
+        self._notify()
+
+    def _reattach(self, raw: Link) -> Generator:
+        """Responder side: adopt a re-established link (from the registry).
+
+        Tolerates a session that never noticed the fault (silent stall):
+        the surviving link is deliberately broken first.
+        """
+        if self._state in (FINISHED, FAILED):
+            raise SessionError(f"session {self.sid:016x} is {self._state}")
+        if self._state == ACTIVE:
+            self._transport_broken(self._gen, SessionError("peer re-established"))
+        try:
+            yield from with_timeout(
+                self._sim, self._resume_responder(raw), self.config.resume_timeout
+            )
+        except BaseException as exc:
+            try:
+                raw.abort()
+            except Exception:
+                pass
+            obs.event(
+                "session.reattach_failed",
+                sid=f"{self.sid:016x}",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            # stay in RECOVERING: the initiator retries
+
+    # -- teardown ----------------------------------------------------------------
+    def _closer(self) -> Generator:
+        # send FIN on whatever link is current (recovery re-sends it)
+        while True:
+            try:
+                yield from self._await_active()
+            except SessionError:
+                return  # failed (or finished by a concurrent path)
+            gen = self._gen
+            try:
+                yield from self._locked_send(gen, _OFF_HDR.pack(F_FIN, self._tx_fin))
+                break
+            except _StaleLink:
+                continue
+            except self._transport as exc:
+                self._transport_broken(gen, exc)
+                continue
+        yield from self._wait(
+            lambda: self._state == FAILED
+            or (
+                self._tx_fin_acked
+                and self._rx_fin is not None
+                and self._rx_finack_sent
+            )
+        )
+        if self._state == FAILED:
+            return
+        self._finish()
+
+    def _finish(self) -> None:
+        if self._state in (FINISHED, FAILED):
+            return
+        self._state = FINISHED
+        if self._registry is not None:
+            self._registry.remove(self.sid)
+        obs.event(
+            "session.finished",
+            sid=f"{self.sid:016x}",
+            role=self.role,
+            tx=self._tx_off,
+            rx=self._rx_off,
+            reconnects=self.reconnects,
+        )
+        try:
+            self._raw.close()
+        except Exception:
+            pass
+        self._wake_rx()
+        self._notify()
+
+
+class _ResumeAborted(Exception):
+    """Internal: recovery loop noticed the session is no longer recovering."""
+
+
+def _establishment_errors():
+    from .brokering import EstablishmentError
+
+    return EstablishmentError
+
+
+class SessionRegistry:
+    """Per-node session table: tracks live sessions and serves re-attachment.
+
+    The initiator of a broken session opens a routed link tagged
+    ``sessres:<sid>`` to the responder's node; the registry's accept loop
+    runs the establishment responder over it and hands the resulting raw
+    link back to the surviving :class:`SessionLink`.
+    """
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self.sim = node.sim
+        self._sessions: dict[int, SessionLink] = {}
+        self._acceptor = None
+        self._closed = False
+
+    def add(self, session: SessionLink) -> None:
+        self._sessions[session.sid] = session
+        session._registry = self
+        if session.role == SessionLink.RESPONDER:
+            self.ensure_acceptor()
+
+    def get(self, sid: int) -> Optional[SessionLink]:
+        return self._sessions.get(sid)
+
+    def remove(self, sid: int) -> None:
+        self._sessions.pop(sid, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def ensure_acceptor(self) -> None:
+        if self._acceptor is None and not self._closed:
+            self._acceptor = self.sim.process(
+                self._accept_loop(), name=f"session-acceptor-{self.node.node_id}"
+            )
+
+    def close(self) -> None:
+        """Node shutdown: abort whatever is still alive."""
+        self._closed = True
+        for session in list(self._sessions.values()):
+            session.abort()
+        self._sessions.clear()
+
+    def _accept_loop(self) -> Generator:
+        from .dispatch import RESUME_PREFIX
+
+        while not self._closed:
+            service = yield from self.node.dispatcher.accept_resume()
+            try:
+                sid = int(service.open_payload[len(RESUME_PREFIX) :], 16)
+            except ValueError:
+                service.close()
+                continue
+            self.sim.process(
+                self._serve(sid, service), name=f"session-reattach-{sid:x}"
+            )
+
+    def _serve(self, sid: int, service) -> Generator:
+        session = self._sessions.get(sid)
+        if session is None or session.state in (FINISHED, FAILED):
+            obs.event("session.resume_unknown", sid=f"{sid:016x}")
+            service.close()
+            return
+        try:
+            raw = yield from self.node.broker.respond(service)
+        except Exception as exc:
+            obs.event(
+                "session.reattach_failed",
+                sid=f"{sid:016x}",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            service.close()
+            return
+        service.close()
+        yield from session._reattach(raw)

@@ -11,7 +11,7 @@ from .base import Driver, DriverError, FilterDriver
 from .compression import CompressionDriver
 from .parallel import DEFAULT_FRAGMENT, ParallelStreamsDriver
 from .reliable import ReliableUdpDriver
-from .spec import FILTERING, NETWORKING, LayerSpec, StackSpec, StackSpecError, as_spec
+from .spec import FILTERING, NETWORKING, SESSION, LayerSpec, StackSpec, StackSpecError
 from .stack import (
     build_stack,
     find_driver,
@@ -44,7 +44,7 @@ __all__ = [
     "StackSpec",
     "LayerSpec",
     "StackSpecError",
-    "as_spec",
     "NETWORKING",
     "FILTERING",
+    "SESSION",
 ]

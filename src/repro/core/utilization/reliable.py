@@ -72,6 +72,7 @@ class ReliableUdpDriver(Driver):
         self._rexmit = _Timer(self.sim, self._on_timeout)
         self._eof_sent = False
         self.retransmissions = 0
+        self.eof_drops = 0  # EOF markers given up on after the peer closed
 
         # Receiver state.
         self._expected = 0
@@ -115,11 +116,31 @@ class ReliableUdpDriver(Driver):
             return
         self._retries += 1
         if self._retries > self.max_retries:
+            if all(raw[0] == T_EOF for raw in self._unacked.values()):
+                # Only the EOF marker is outstanding: the peer took every
+                # data byte (EOF is sent last and acks are cumulative) and
+                # has almost certainly closed its socket already, so the
+                # ack will never arrive.  Half-closed UDP has no FIN to
+                # tell us apart from loss — treat the stream as delivered
+                # and count the drop rather than failing a completed
+                # transfer.
+                self.eof_drops += 1
+                self._unacked.clear()
+                self._rexmit.cancel()
+                waiters, self._window_waiters = self._window_waiters, []
+                for ev in waiters:
+                    ev.succeed()
+                return
             self._fail(DriverError("reliable UDP peer unreachable"))
             return
-        # Go-back-N: resend everything outstanding, in order.
+        # Go-back-N: resend everything outstanding, in order.  This runs
+        # from a timer callback, so a socket torn down between schedule
+        # and fire must not raise into the engine.
         for seq in sorted(self._unacked):
-            self.sock.sendto(self._unacked[seq], self.peer)
+            try:
+                self.sock.sendto(self._unacked[seq], self.peer)
+            except Exception:
+                return
             self.retransmissions += 1
         self._rexmit.start(self.rto * min(4, 1 + self._retries / 4))
 
@@ -220,9 +241,12 @@ class ReliableUdpDriver(Driver):
         def shutdown() -> Generator:
             try:
                 yield from self._send_datagram(T_EOF, b"")
-                # Linger until the EOF is acknowledged or retries exhaust.
-                while self._unacked and self._error is None:
+                # Linger until the EOF is acknowledged, given up on, or
+                # retries exhaust on unacked data.
+                while self._unacked and self._error is None and not self._closed:
                     yield self.sim.timeout(self.rto)
+            except Exception:
+                pass  # teardown is best-effort; _error already records why
             finally:
                 self._closed = True
                 self.sock.close()

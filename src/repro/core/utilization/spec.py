@@ -8,16 +8,24 @@ and a canonical string rendering that is byte-compatible with the old
 wire format (the service link still carries ``str(spec)``, so "driver
 assembly consistency on both endpoints" — §5.2 — is unchanged).
 
-The string form remains accepted everywhere through :func:`as_spec`,
-which parses it and emits a :class:`DeprecationWarning`; internal code
-that *receives* a spec string from the wire parses it silently with
-:meth:`StackSpec.parse`.
+The string form is now *only* a wire/axis-label format: code that
+receives a spec string from the service link (or uses one as an
+experiment axis) parses it explicitly with :meth:`StackSpec.parse`.
+The ``as_spec`` deprecation shim that silently coerced strings is gone.
+
+Layer categories:
+
+* **filtering** (``compress``, ``adaptive``, ``tls``) — any number, on top;
+* **networking** (``tcp_block``, ``parallel``) — exactly one;
+* **session** — optional, *below* the networking layer: the established
+  links are wrapped in :class:`~repro.core.session.SessionLink` before the
+  drivers are assembled, so the whole stack survives mid-stream link
+  failure via reconnect + offset negotiation.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence
 
 from .base import DriverError
 
@@ -25,13 +33,16 @@ __all__ = [
     "LayerSpec",
     "StackSpec",
     "StackSpecError",
-    "as_spec",
     "NETWORKING",
     "FILTERING",
+    "SESSION",
 ]
 
 NETWORKING = {"tcp_block", "parallel"}
 FILTERING = {"compress", "adaptive", "tls"}
+SESSION = {"session"}
+
+_ALL_LAYERS = NETWORKING | FILTERING | SESSION
 
 #: layer-specific meaning of the positional argument in the string form
 _POSITIONAL = {"parallel": "streams", "compress": "level", "adaptive": "level"}
@@ -41,13 +52,24 @@ class StackSpecError(DriverError):
     """Invalid stack specification."""
 
 
+def _parse_value(value: str):
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
 class LayerSpec:
     """One driver layer: a name plus its parameters (immutable)."""
 
     __slots__ = ("name", "_params")
 
     def __init__(self, name: str, params: Optional[dict] = None):
-        if name not in NETWORKING | FILTERING:
+        if name not in _ALL_LAYERS:
             raise StackSpecError(f"unknown layer {name!r}")
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "_params", tuple(sorted((params or {}).items())))
@@ -62,6 +84,10 @@ class LayerSpec:
     @property
     def is_networking(self) -> bool:
         return self.name in NETWORKING
+
+    @property
+    def is_session(self) -> bool:
+        return self.name in SESSION
 
     def get(self, key: str, default=None):
         return dict(self._params).get(key, default)
@@ -98,13 +124,13 @@ def _parse_text(text: str) -> list:
     for part in text.split("|"):
         fields = part.strip().split(":")
         name = fields[0]
-        if name not in NETWORKING | FILTERING:
+        if name not in _ALL_LAYERS:
             raise StackSpecError(f"unknown layer {name!r}")
         params: dict = {}
         for fld in fields[1:]:
             if "=" in fld:
                 key, value = fld.split("=", 1)
-                params[key] = int(value) if value.isdigit() else value
+                params[key] = _parse_value(value)
             elif fld:
                 positional = _POSITIONAL.get(name)
                 if positional is None:
@@ -122,31 +148,45 @@ class StackSpec:
         StackSpec.tcp()                                # plain TCP_Block
         StackSpec.parallel(4).with_compression()       # zlib over 4 streams
         StackSpec.tcp().with_tls()                     # TLS over TCP_Block
+        StackSpec.tcp().with_session()                 # survivable stream
 
-    or parse the legacy string form with :meth:`parse`.  The bottom layer
-    must be a networking driver; everything above is filtering — the
-    same invariants the string parser always enforced.
+    or parse the wire string form with :meth:`parse`.  Exactly one layer
+    must be a networking driver; everything above it is filtering; below
+    it an optional ``session`` layer wraps each established link in a
+    survivable :class:`~repro.core.session.SessionLink`.
+
+    ``label`` is a free-form experiment-axis tag (e.g. what
+    :func:`~repro.core.monitor.select_spec` decided and why); it is not
+    part of the wire form and does not affect equality.
     """
 
-    __slots__ = ("layers",)
+    __slots__ = ("layers", "label")
 
-    def __init__(self, layers: Sequence[LayerSpec]):
+    def __init__(self, layers: Sequence[LayerSpec], label: Optional[str] = None):
         layers = tuple(
             layer if isinstance(layer, LayerSpec) else LayerSpec(layer[0], layer[1])
             for layer in layers
         )
         if not layers:
             raise StackSpecError("empty stack spec")
-        for layer in layers[:-1]:
-            if layer.is_networking:
-                raise StackSpecError(
-                    f"networking layer {layer.name!r} must be last"
-                )
-        if not layers[-1].is_networking:
+        networking = [i for i, layer in enumerate(layers) if layer.is_networking]
+        if len(networking) != 1:
             raise StackSpecError(
-                f"bottom layer {layers[-1].name!r} is not a networking driver"
+                f"stack needs exactly one networking layer, got {len(networking)}"
+            )
+        nl = networking[0]
+        for layer in layers[:nl]:
+            if layer.name not in FILTERING:
+                raise StackSpecError(
+                    f"layer {layer.name!r} cannot sit above the networking layer"
+                )
+        below = layers[nl + 1 :]
+        if len(below) > 1 or (below and not below[0].is_session):
+            raise StackSpecError(
+                "only a single session layer may sit below the networking layer"
             )
         object.__setattr__(self, "layers", layers)
+        object.__setattr__(self, "label", label)
 
     def __setattr__(self, *_args):  # pragma: no cover - defensive
         raise AttributeError("StackSpec is immutable")
@@ -154,7 +194,7 @@ class StackSpec:
     # -- constructors ---------------------------------------------------------
     @classmethod
     def parse(cls, text: str) -> "StackSpec":
-        """Parse the legacy ``"compress|parallel:4|tcp_block"`` form."""
+        """Parse the wire string form (``"compress|parallel:4|tcp_block"``)."""
         return cls([LayerSpec(name, params) for name, params in _parse_text(text)])
 
     @classmethod
@@ -177,7 +217,7 @@ class StackSpec:
 
     # -- composition ----------------------------------------------------------
     def _pushed(self, layer: LayerSpec) -> "StackSpec":
-        return StackSpec((layer,) + self.layers)
+        return StackSpec((layer,) + self.layers, label=self.label)
 
     def with_compression(self, level: int = 1) -> "StackSpec":
         """Static zlib compression above the current stack."""
@@ -196,15 +236,66 @@ class StackSpec:
         """The TLS-like security layer above the current stack."""
         return self._pushed(LayerSpec("tls"))
 
+    def with_session(
+        self,
+        ack_every: Optional[int] = None,
+        max_buffer: Optional[int] = None,
+        heartbeat: Optional[float] = None,
+    ) -> "StackSpec":
+        """Wrap every established link in a survivable session (below the
+        networking layer): replay buffer + cumulative acks + transparent
+        re-establishment with offset negotiation on transport failure.
+        """
+        if self.session is not None:
+            raise StackSpecError("stack already has a session layer")
+        params: dict = {}
+        if ack_every is not None:
+            params["ack"] = int(ack_every)
+        if max_buffer is not None:
+            params["buf"] = int(max_buffer)
+        if heartbeat is not None:
+            params["hb"] = heartbeat
+        return StackSpec(
+            self.layers + (LayerSpec("session", params),), label=self.label
+        )
+
+    def with_label(self, label: Optional[str]) -> "StackSpec":
+        """The same stack tagged with an experiment-axis label."""
+        return StackSpec(self.layers, label=label)
+
+    def without_session(self) -> "StackSpec":
+        """The same stack minus any session layer."""
+        if self.session is None:
+            return self
+        return StackSpec(
+            tuple(l for l in self.layers if not l.is_session), label=self.label
+        )
+
     # -- inspection ------------------------------------------------------------
     @property
     def bottom(self) -> LayerSpec:
         """The networking layer."""
-        return self.layers[-1]
+        for layer in self.layers:
+            if layer.is_networking:
+                return layer
+        raise StackSpecError("stack has no networking layer")  # pragma: no cover
+
+    @property
+    def filters(self) -> tuple:
+        """The filtering layers, top to bottom."""
+        return tuple(layer for layer in self.layers if layer.name in FILTERING)
+
+    @property
+    def session(self) -> Optional[LayerSpec]:
+        """The session layer, or None."""
+        for layer in self.layers:
+            if layer.is_session:
+                return layer
+        return None
 
     @property
     def links_required(self) -> int:
-        """How many established data links the bottom layer needs."""
+        """How many established data links the networking layer needs."""
         if self.bottom.name == "tcp_block":
             return 1
         return int(self.bottom.get("streams", 2))
@@ -234,29 +325,6 @@ class StackSpec:
         return "|".join(layer.render() for layer in self.layers)
 
     def __repr__(self) -> str:
+        if self.label is not None:
+            return f"StackSpec.parse({str(self)!r}).with_label({self.label!r})"
         return f"StackSpec.parse({str(self)!r})"
-
-
-def as_spec(
-    spec: Union[str, StackSpec], warn: bool = True, stacklevel: int = 3
-) -> StackSpec:
-    """Coerce a user-supplied spec to :class:`StackSpec`.
-
-    Strings still work, but are the deprecated surface: they parse through
-    the legacy grammar and (by default) emit a :class:`DeprecationWarning`
-    pointing at the typed constructors.
-    """
-    if isinstance(spec, StackSpec):
-        return spec
-    if isinstance(spec, str):
-        parsed = StackSpec.parse(spec)
-        if warn:
-            warnings.warn(
-                f"string driver specs are deprecated; use "
-                f"StackSpec.parse({spec!r}) or the typed StackSpec "
-                f"constructors",
-                DeprecationWarning,
-                stacklevel=stacklevel,
-            )
-        return parsed
-    raise TypeError(f"expected StackSpec or str, got {type(spec).__name__}")

@@ -5,24 +5,27 @@ and receive ports completely configurable, either by configuration file or
 by run-time properties."
 
 Specs are :class:`~repro.core.utilization.spec.StackSpec` values (typed,
-immutable, validated); the legacy string form, e.g.::
+immutable, validated).  The string form, e.g.::
 
     "compress|parallel:4|tcp_block"
     "tls|tcp_block"
-    "adaptive|parallel:8:fragment=8192|tcp_block"
+    "adaptive|parallel:8:fragment=8192|tcp_block|session"
 
-is still accepted everywhere (it is what travels over the service link,
-so "driver assembly consistency on both endpoints" holds — §5.2), but
-user-facing entry points emit a :class:`DeprecationWarning` for it.  The
-bottom layer must be a networking driver (``tcp_block`` or ``parallel``);
-everything above is filtering.  :func:`links_required` tells the factory
-how many data links to establish; :func:`build_stack` assembles the tree
-on both endpoints.
+is only a *wire format*: it is what travels over the service link (so
+"driver assembly consistency on both endpoints" holds — §5.2) and is
+parsed explicitly with :meth:`StackSpec.parse` at the receiving end.
+Exactly one layer is a networking driver (``tcp_block`` or ``parallel``);
+everything above is filtering; an optional ``session`` layer below it is
+handled at establishment time (the factory wraps the links in
+:class:`~repro.core.session.SessionLink` before assembly, so
+:func:`build_stack` sees it only as part of the spec).
+:func:`links_required` tells the factory how many data links to
+establish; :func:`build_stack` assembles the tree on both endpoints.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 from ... import obs
 from ..links import Link
@@ -30,7 +33,7 @@ from .adaptive import AdaptiveCompressionDriver
 from .base import Driver, DriverError, FilterDriver
 from .compression import CompressionDriver
 from .parallel import DEFAULT_FRAGMENT, ParallelStreamsDriver
-from .spec import FILTERING, NETWORKING, LayerSpec, StackSpec, StackSpecError, as_spec
+from .spec import FILTERING, NETWORKING, SESSION, LayerSpec, StackSpec, StackSpecError
 from .tcp_block import TcpBlockDriver
 from .tls import TlsDriver
 
@@ -43,32 +46,33 @@ __all__ = [
     "StackSpec",
     "LayerSpec",
     "StackSpecError",
-    "as_spec",
     "NETWORKING",
     "FILTERING",
+    "SESSION",
 ]
 
-SpecLike = Union[str, StackSpec]
+
+def _typed(spec: StackSpec) -> StackSpec:
+    if not isinstance(spec, StackSpec):
+        raise TypeError(
+            f"expected StackSpec, got {type(spec).__name__}; the string form "
+            f"is wire-only — use StackSpec.parse(...) or the typed builders"
+        )
+    return spec
 
 
-def parse_stack(spec: SpecLike) -> list[tuple[str, dict]]:
-    """Parse a spec into the legacy ``[(layer_name, params), ...]`` form.
-
-    Layer syntax of the string form: ``name[:positional][:key=value]...``
-    — the positional argument is layer-specific (stream count for
-    ``parallel``, zlib level for ``compress``/``adaptive``).
-    """
-    parsed = as_spec(spec, warn=False)
-    return [(layer.name, layer.params) for layer in parsed.layers]
+def parse_stack(spec: StackSpec) -> list[tuple[str, dict]]:
+    """Flatten a spec into the ``[(layer_name, params), ...]`` form."""
+    return [(layer.name, layer.params) for layer in _typed(spec).layers]
 
 
-def links_required(spec: SpecLike) -> int:
-    """How many established data links the spec's bottom layer needs."""
-    return as_spec(spec, warn=False).links_required
+def links_required(spec: StackSpec) -> int:
+    """How many established data links the spec's networking layer needs."""
+    return _typed(spec).links_required
 
 
 def build_stack(
-    spec: SpecLike,
+    spec: StackSpec,
     links: Sequence[Link],
     host=None,
 ) -> Driver:
@@ -78,7 +82,7 @@ def build_stack(
     :func:`find_driver` and run ``handshake_client``/``handshake_server``
     before moving data.
     """
-    parsed = as_spec(spec, warn=False)
+    parsed = _typed(spec)
     bottom = parsed.bottom
     if bottom.name == "tcp_block":
         if len(links) != 1:
@@ -91,7 +95,7 @@ def build_stack(
         driver = ParallelStreamsDriver(
             links, host=host, fragment=int(bottom.get("fragment", DEFAULT_FRAGMENT))
         )
-    for layer in reversed(parsed.layers[:-1]):
+    for layer in reversed(parsed.filters):
         if layer.name == "compress":
             driver = CompressionDriver(driver, host=host, level=int(layer.get("level", 1)))
         elif layer.name == "adaptive":

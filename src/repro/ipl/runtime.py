@@ -20,12 +20,12 @@ Connection flow for ``send_port.connect("worker-in")``:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional, Union
+from typing import Callable, Generator, Optional
 
 from ..core.addressing import EndpointInfo
 from ..core.factory import BrokeredConnectionFactory, TlsConfig
 from ..core.node import GridNode
-from ..core.utilization.spec import StackSpec, as_spec
+from ..core.utilization.spec import StackSpec
 from ..core.wire import recv_frame, send_frame
 from ..simnet.packet import Addr
 from ..util.framing import ByteReader, ByteWriter
@@ -55,21 +55,29 @@ class Ibis:
         relay_addr: Addr,
         registry_addr: Addr,
         reflector_addr: Optional[Addr] = None,
-        default_spec: Union[str, StackSpec, None] = None,
+        default_spec: Optional[StackSpec] = None,
         tls_config: Optional[TlsConfig] = None,
         connector: Optional[Callable] = None,
         pool: str = "default",
+        auto_reconnect: bool = False,
     ):
         self.host = host
         self.sim = host.sim
         self.name = name
         self.identifier = IbisIdentifier(name, pool)
         self.info = info
-        self.default_spec = (
-            StackSpec.tcp() if default_spec is None else as_spec(default_spec)
-        )
+        if default_spec is not None and not isinstance(default_spec, StackSpec):
+            raise TypeError(
+                f"default_spec must be a StackSpec, got {type(default_spec).__name__}"
+            )
+        self.default_spec = default_spec or StackSpec.tcp()
         self.node = GridNode(
-            host, info, relay_addr, reflector_addr=reflector_addr, connector=connector
+            host,
+            info,
+            relay_addr,
+            reflector_addr=reflector_addr,
+            connector=connector,
+            auto_reconnect=auto_reconnect,
         )
         self.registry = RegistryClient(host, registry_addr, connector=connector)
         self.factory: Optional[BrokeredConnectionFactory] = None
@@ -125,7 +133,7 @@ class Ibis:
 
     # -- connection machinery ---------------------------------------------------
     def _connect_port(
-        self, send_port: SendPort, port_name: str, spec: Union[str, StackSpec, None]
+        self, send_port: SendPort, port_name: str, spec: Optional[StackSpec]
     ) -> Generator:
         if not self.started:
             raise IbisError("Ibis instance not started")

@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import asyncio
 import struct
-from typing import Optional, Tuple, Union
+from typing import Optional, Tuple
 
 from .. import obs
 from ..core.addressing import EndpointInfo
-from ..core.utilization.spec import StackSpec, as_spec
+from ..core.utilization.spec import StackSpec
 from ..ipl.serialization import MessageReader, MessageWriter
 from ..util.framing import ByteReader, ByteWriter
 from .drivers import (
@@ -56,9 +56,23 @@ async def _read_frame(stream) -> bytes:
     return await stream.recv_exactly(int.from_bytes(header, "big"))
 
 
+def _typed_spec(spec) -> StackSpec:
+    if not isinstance(spec, StackSpec):
+        raise TypeError(
+            f"expected StackSpec, got {type(spec).__name__}; the string form "
+            f"is wire-only — use StackSpec.parse(...)"
+        )
+    return spec
+
+
 def _build_stack(spec, socks: list, tls_config=None):
     """Assemble async drivers from a stack spec (subset of the sim specs)."""
-    parsed = as_spec(spec, warn=False)
+    parsed = _typed_spec(spec)
+    if parsed.session is not None:
+        raise LiveIbisError(
+            "survivable sessions are simulator-only; the live backend "
+            "cannot wrap its sockets in a session layer yet"
+        )
     bottom = parsed.bottom
     if bottom.name == "tcp_block":
         driver = AsyncTcpBlockDriver(socks[0])
@@ -66,7 +80,7 @@ def _build_stack(spec, socks: list, tls_config=None):
         driver = AsyncParallelStreamsDriver(
             socks, fragment=int(bottom.get("fragment", 16384))
         )
-    for layer in reversed(parsed.layers[:-1]):
+    for layer in reversed(parsed.filters):
         if layer.name in ("compress", "adaptive"):
             driver = AsyncCompressionDriver(driver, level=int(layer.get("level", 1)))
         elif layer.name == "tls":
@@ -105,9 +119,7 @@ class LiveSendPort:
         self.channels: dict[str, AsyncBlockChannel] = {}
         self.messages_sent = 0
 
-    async def connect(
-        self, port_name: str, spec: Union[str, StackSpec, None] = None
-    ) -> None:
+    async def connect(self, port_name: str, spec: Optional[StackSpec] = None) -> None:
         if port_name in self.channels:
             raise LiveIbisError(f"already connected to {port_name!r}")
         channel = await self.runtime._connect_port(port_name, spec)
@@ -167,7 +179,7 @@ class LiveIbis:
     ):
         self.name = name
         self.default_spec = (
-            StackSpec.tcp() if default_spec is None else as_spec(default_spec)
+            StackSpec.tcp() if default_spec is None else _typed_spec(default_spec)
         )
         self.registry = LiveRegistryClient(registry_addr)
         self.relay = LiveRelayClient(name, relay_addr)
@@ -221,7 +233,7 @@ class LiveIbis:
 
     # -- connecting --------------------------------------------------------------
     async def _connect_port(self, port_name: str, spec):
-        parsed = self.default_spec if spec is None else as_spec(spec)
+        parsed = self.default_spec if spec is None else _typed_spec(spec)
         owner, owner_info = await self.registry.lookup_port(port_name)
         service = await self._open_service(owner, owner_info)
         request = (

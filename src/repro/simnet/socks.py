@@ -26,6 +26,7 @@ from typing import Generator, Optional
 
 from .packet import Addr, int_to_ip, ip_to_int
 from .sockets import SimSocket, connect, listen
+from .tcp import SocketClosed
 
 __all__ = [
     "SocksServer",
@@ -75,23 +76,46 @@ class SocksServer:
         self.listener = None
         self.sessions = 0
         self._process = None
+        #: sockets of in-flight proxied streams, severed on :meth:`stop`
+        self._active: set[SimSocket] = set()
 
     def start(self) -> None:
         """Begin accepting SOCKS clients (spawns the accept loop)."""
         self.listener = listen(self.host, self.port)
         self._process = self.host.sim.process(self._accept_loop(), name="socks-accept")
 
+    def stop(self) -> None:
+        """Crash the proxy: stop accepting and sever every proxied stream.
+
+        Fault-injection hook (``proxy_restart``): a gateway proxy reboot
+        resets every stream spliced through it, even though the endpoints'
+        own networks never blinked.  :meth:`start` brings it back.
+        """
+        if self.listener is not None:
+            self.listener.close()
+            self.listener = None
+        for sock in list(self._active):
+            try:
+                sock.abort()
+            except Exception:
+                pass
+        self._active.clear()
+
     @property
     def addr(self) -> Addr:
         return (self.host.ip, self.port)
 
     def _accept_loop(self) -> Generator:
-        while True:
-            client = yield from self.listener.accept()
-            self.host.sim.process(self._session(client), name="socks-session")
-            self.sessions += 1
+        try:
+            while True:
+                client = yield from self.listener.accept()
+                self.host.sim.process(self._session(client), name="socks-session")
+                self.sessions += 1
+        except SocketClosed:
+            return  # stopped
 
     def _session(self, client: SimSocket) -> Generator:
+        self._active.add(client)
         try:
             # Greeting: VER NMETHODS METHODS...
             head = yield from client.recv_exactly(2)
@@ -117,6 +141,7 @@ class SocksServer:
                 client.close()
         except (EOFError, SocksError):
             client.abort()
+            self._active.discard(client)
 
     def _do_connect(self, client: SimSocket, target: Addr) -> Generator:
         try:
@@ -124,6 +149,7 @@ class SocksServer:
         except Exception:
             yield from client.send_all(_reply(REP_REFUSED))
             client.close()
+            self._active.discard(client)
             return
         yield from client.send_all(_reply(REP_OK, upstream.laddr))
         self._start_pipes(client, upstream)
@@ -140,8 +166,18 @@ class SocksServer:
 
     def _start_pipes(self, a: SimSocket, b: SimSocket) -> None:
         sim = self.host.sim
-        sim.process(_pipe(a, b), name="socks-pipe")
-        sim.process(_pipe(b, a), name="socks-pipe")
+        self._active.update((a, b))
+        done = {"count": 0}
+
+        def run(src: SimSocket, dst: SimSocket) -> Generator:
+            yield from _pipe(src, dst)
+            done["count"] += 1
+            if done["count"] == 2:
+                self._active.discard(a)
+                self._active.discard(b)
+
+        sim.process(run(a, b), name="socks-pipe")
+        sim.process(run(b, a), name="socks-pipe")
 
 
 def _pipe(src: SimSocket, dst: SimSocket) -> Generator:

@@ -311,7 +311,15 @@ class ListenSocket:
             self.stack._register(sock)
             self._embryonic[(sock.laddr, sock.raddr)] = sock
             sock._passive_open(segment, self)
-        # Anything else for an unknown connection: ignore (stray retransmit).
+            return
+        if segment.ack_flag:
+            # RFC 793: an ACK on a port in LISTEN belongs to no connection
+            # this host knows about — answer with RST.  This matters beyond
+            # protocol hygiene: when a peer's NAT mapping expires and its
+            # segments start arriving from a fresh external port, this reset
+            # is the only signal that tells the peer its connection is dead.
+            self.stack._send_rst(segment)
+        # Anything else (bare non-SYN, non-ACK): ignore as a stray.
 
     def _child_established(self, sock: "TcpSocket") -> None:
         self._embryonic.pop((sock.laddr, sock.raddr), None)

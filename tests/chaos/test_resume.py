@@ -1,0 +1,93 @@
+"""The session layer's acceptance matrix: mid-stream faults, both polarities.
+
+Each cell pairs a workload with the fault that kills its data path
+*mid-transfer* — after establishment succeeded, while payload bytes are
+in flight — which is exactly the gap the retry layer cannot cover:
+
+========================  =========================================  =============================
+workload                  mid-stream fault                           what dies
+========================  =========================================  =============================
+``wan_transfer``          ``conntrack_flush`` at site B              firewall state: silent stall
+``wan_transfer``          ``nat_expiry`` at site B                   NAT mapping: B remapped away
+``wan_transfer_routed``   ``relay_crash``                            every routed byte path
+``wan_transfer_routed``   ``peer_drop`` of bob                       the receiving endpoint
+``socks_transfer``        ``proxy_restart`` at site B                every proxied stream
+``ipl_fanin``             ``conntrack_flush`` at HUB + worker flap   all three fan-in streams
+========================  =========================================  =============================
+
+Every cell must complete byte-identically with ``sessions=True`` and
+reproducibly fail with ``sessions=False`` — the polarity is the proof
+that the session layer (not luck, not the retry layer) carries the
+stream across the fault.
+"""
+
+import pytest
+
+from repro.chaos import run_chaos
+
+#: (scenario, plan) -> faults that only the session layer survives
+CELLS = [
+    ("wan_transfer", "conntrack_flush@3:site=B"),
+    ("wan_transfer", "nat_expiry@3:site=B"),
+    ("wan_transfer_routed", "relay_crash@2:for=4"),
+    ("wan_transfer_routed", "peer_drop@2:node=bob"),
+    ("socks_transfer", "proxy_restart@2:site=B,for=2"),
+    ("ipl_fanin", "conntrack_flush@2.5:site=HUB;link_down@3.5:site=W2,for=0.5"),
+]
+
+#: cells whose recovery is a full session resume (reconnect + replay);
+#: ``conntrack_flush`` cells heal at the transport level instead — the
+#: responder's heartbeat re-creates the firewall state entry, so the TCP
+#: stream un-stalls without the link ever being replaced.
+RESUME_CELLS = {
+    ("wan_transfer", "nat_expiry@3:site=B"),
+    ("wan_transfer_routed", "relay_crash@2:for=4"),
+    ("wan_transfer_routed", "peer_drop@2:node=bob"),
+    ("socks_transfer", "proxy_restart@2:site=B,for=2"),
+}
+
+
+@pytest.mark.parametrize("scenario,plan", CELLS)
+def test_mid_stream_fault_survived_with_sessions(scenario, plan):
+    report = run_chaos(scenario=scenario, seed=3, plan=plan, sessions=True)
+    assert report.ok, report.violations
+    for channel in report.channels:
+        assert channel["complete"]
+        assert channel["received_bytes"] == channel["sent_bytes"] > 0
+        assert channel["received_digest"] == channel["sent_digest"]
+    if (scenario, plan) in RESUME_CELLS:
+        # Recovery was a real resume: links were re-established and the
+        # replay window refilled the gap.
+        assert report.stats["session_reconnects"] > 0
+        assert report.stats["session_replayed_bytes"] > 0
+
+
+@pytest.mark.parametrize("scenario,plan", CELLS)
+def test_same_fault_reproducibly_fails_without_sessions(scenario, plan):
+    first = run_chaos(scenario=scenario, seed=3, plan=plan, sessions=False)
+    assert not first.ok, (
+        "fault plan no longer kills the unsessioned run - the cell "
+        "proves nothing about the session layer"
+    )
+    second = run_chaos(scenario=scenario, seed=3, plan=plan, sessions=False)
+    assert first.to_json() == second.to_json()
+
+
+def test_sessions_do_not_disturb_a_clean_run():
+    report = run_chaos(scenario="wan_transfer", seed=1, plan="", sessions=True)
+    assert report.ok, report.violations
+    assert report.stats["session_reconnects"] == 0
+    assert report.stats["session_replayed_bytes"] == 0
+
+
+def test_fanin_clean_run_passes_invariants():
+    report = run_chaos(scenario="ipl_fanin", seed=1, plan="")
+    assert report.ok, report.violations
+    assert len(report.channels) == 3
+    assert all(c["complete"] for c in report.channels)
+
+
+def test_socks_clean_run_passes_invariants():
+    report = run_chaos(scenario="socks_transfer", seed=1, plan="")
+    assert report.ok, report.violations
+    assert all(c["complete"] for c in report.channels)

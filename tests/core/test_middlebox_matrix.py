@@ -20,10 +20,14 @@ is why brokering retries down the method list instead of trusting the
 prediction.
 """
 
+import random
+
 import pytest
 
 from repro.core import EstablishmentError, choose_method, feasible_methods
+from repro.core.factory import BrokeredConnectionFactory
 from repro.core.scenarios import GridScenario
+from repro.core.utilization.spec import StackSpec
 
 KINDS = ["firewall", "cone_nat", "broken_nat", "symmetric_nat"]
 METHODS = ["client_server", "splicing", "socks_proxy", "routed"]
@@ -66,6 +70,72 @@ def test_unrestricted_negotiation_lands_on_a_working_method(kind):
     res = scn.establish_pair("ini", "res", until=120)
     assert res["method"] in EXPECTED_OK[kind]
     assert res["echo"] == b"ping"
+
+
+#: every cell where establishment works must also support mid-stream
+#: session resumption: resume re-runs the *same* establishment method, so
+#: the resumable matrix is exactly the establishable one.
+RESUME_CELLS = [(k, m) for k in KINDS for m in sorted(EXPECTED_OK[k])]
+
+
+@pytest.mark.parametrize("kind,method", RESUME_CELLS)
+def test_session_resumes_exactly_where_establishment_works(kind, method):
+    """Matrix extension: kill the physical link mid-transfer in each
+    working cell; a sessioned channel must reconnect (with the same
+    method) and deliver the stream byte-identically."""
+    scn = build(kind)
+    ini, res = scn.nodes["ini"], scn.nodes["res"]
+    spec = StackSpec.tcp().with_session()
+    payload = random.Random(f"resume:{kind}:{method}").randbytes(1 << 20)
+    received = bytearray()
+    state: dict = {}
+
+    def run_initiator():
+        yield from ini.start()
+        yield from res.relay_client.wait_connected(timeout=60)
+        factory = BrokeredConnectionFactory(ini)
+        service = yield from ini.open_service_link("res")
+        channel = yield from factory.connect(
+            service, res.info, spec=spec, methods=[method]
+        )
+        service.close()
+        for off in range(0, len(payload), 32768):
+            yield from channel.write(payload[off : off + 32768])
+        yield from channel.flush()
+        channel.close()
+        state["sent"] = True
+
+    def run_responder():
+        yield from res.start()
+        factory = BrokeredConnectionFactory(res)
+        _peer, service = yield from res.accept_service_link()
+        channel = yield from factory.accept(service)
+        service.close()
+        while True:
+            data = yield from channel.read(65536)
+            if not data:
+                break
+            received.extend(data)
+        channel.close()
+
+    def killer():
+        # Once a quarter of the stream has landed, sever the physical
+        # link out from under the session.
+        while len(received) < len(payload) // 4:
+            yield scn.sim.timeout(0.05)
+        session = next(iter(ini.sessions._sessions.values()), None)
+        assert session is not None, "no live session to kill"
+        state["session"] = session
+        session.raw.abort()
+
+    scn.sim.process(run_initiator(), name="resume-initiator")
+    scn.sim.process(run_responder(), name="resume-responder")
+    scn.sim.process(killer(), name="resume-killer")
+    scn.sim.run(until=scn.sim.now + 600)
+    assert state.get("sent"), "initiator never finished"
+    assert bytes(received) == payload
+    assert state["session"].reconnects >= 1
+    assert state["session"].state == "finished"
 
 
 @pytest.mark.parametrize("kind", KINDS)

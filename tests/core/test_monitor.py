@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.monitor import PathEstimate, PathMonitor, select_spec
 from repro.core.scenarios import GridScenario
+from repro.core.utilization.spec import StackSpec
 
 
 def _measure(capacity, one_way_delay, kind_a="firewall", kind_b="firewall", seed=81):
@@ -81,12 +82,14 @@ class TestSelectSpec:
     def test_low_bdp_single_stream(self):
         spec = select_spec(self._estimate(1e6, 0.01), compress_rate=1e5,
                            payload_ratio=1.0)
-        assert spec == "tcp_block"
+        assert isinstance(spec, StackSpec)
+        assert spec == StackSpec.tcp()
+        assert str(spec) == "tcp_block"
 
     def test_high_bdp_gets_streams(self):
         spec = select_spec(self._estimate(9e6, 0.043), compress_rate=1e5,
                            payload_ratio=1.0)
-        assert spec == "parallel:8"
+        assert spec == StackSpec.parallel(8)
 
     def test_slow_link_fast_cpu_compresses(self):
         spec = select_spec(
@@ -94,7 +97,7 @@ class TestSelectSpec:
             compress_rate=3.6e6,
             payload_ratio=3.6,
         )
-        assert spec.startswith("compress|")
+        assert spec.layer("compress") is not None
 
     def test_fast_link_slow_cpu_skips_compression(self):
         spec = select_spec(
@@ -102,11 +105,12 @@ class TestSelectSpec:
             compress_rate=5.2e6,
             payload_ratio=3.6,
         )
-        assert "compress" not in spec
+        assert "compress" not in spec and "adaptive" not in spec
 
     def test_unknown_cpu_uses_adaptive(self):
         spec = select_spec(self._estimate(2e6, 0.02))
-        assert spec.startswith("adaptive|")
+        assert spec.layers[0].name == "adaptive"
+        assert spec.label.endswith("#compressibility-unknown")
 
 
 class TestEndToEndSelection:
@@ -141,5 +145,6 @@ class TestEndToEndSelection:
         sc.sim.process(initiator())
         sc.sim.process(responder())
         sc.run(until=600)
-        assert res["spec"].startswith("parallel:")
-        assert int(res["spec"].split(":")[1]) >= 4
+        assert res["spec"].bottom.name == "parallel"
+        assert res["spec"].links_required >= 4
+        assert res["spec"].label  # the decision is recorded for the axis

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.utilization import BlockChannel, ReliableUdpDriver
+from repro.core.utilization import BlockChannel, DriverError, ReliableUdpDriver
 from repro.simnet.testing import two_public_hosts, wan_pair
 
 
@@ -123,6 +123,51 @@ class TestUnderLoss:
         tx, rx = _driver_pair(inet, a, b, rto=0.03)
         got = _exchange(inet, tx, rx, [payload], until=600)
         assert got == [payload]
+
+    def test_eof_after_receiver_closed_is_dropped_not_fatal(self):
+        # The receiver reads everything and closes its socket; the
+        # sender's EOF marker then retransmits into the void.  Once only
+        # the EOF is outstanding, retry exhaustion must count a drop and
+        # finish the close — not mark a completed transfer as failed or
+        # raise through the engine.
+        inet, a, b = two_public_hosts(seed=7)
+        tx, rx = _driver_pair(inet, a, b, rto=0.02, max_retries=5)
+        res = {}
+
+        def sender():
+            yield from tx.send_block(b"payload")
+            yield inet.sim.timeout(1.0)  # let the receiver read and vanish
+            tx.close()
+
+        def receiver():
+            res["block"] = yield from rx.recv_block()
+            rx.abort()  # gone before the sender's EOF arrives
+
+        inet.sim.process(sender())
+        inet.sim.process(receiver())
+        inet.sim.run(until=inet.sim.now + 60)
+        assert res["block"] == b"payload"
+        assert tx.eof_drops == 1
+        assert tx._error is None
+        assert tx._closed and tx.sock.closed
+        assert not inet.sim._heap  # shutdown lingers must all drain
+
+    def test_eof_drop_requires_all_data_acked(self):
+        # If data is still unacked alongside the EOF, exhaustion is a
+        # real delivery failure and must stay one.
+        inet, a, b = two_public_hosts(seed=8)
+        sock_a = a.udp.bind(7000)
+        tx = ReliableUdpDriver(sock_a, (b.ip, 7999), rto=0.02, max_retries=5)
+
+        def sender():
+            yield from tx.send_block(b"x")
+            tx.close()
+
+        inet.sim.process(sender())
+        inet.sim.run(until=inet.sim.now + 60)
+        assert tx.eof_drops == 0
+        assert isinstance(tx._error, DriverError)
+        assert tx._closed and tx.sock.closed
 
     def test_peer_unreachable_raises(self):
         inet, a, b = two_public_hosts(seed=6)

@@ -91,16 +91,18 @@ def test_typed_stack_spec_round_trip():
     assert repro.StackSpec.parse(str(spec)) == spec
 
 
-def test_string_specs_are_deprecated_but_work():
-    import warnings
+def test_string_spec_coercion_shim_is_gone():
+    # The as_spec deprecation shim was deleted: strings are wire-only and
+    # must go through StackSpec.parse explicitly.
+    import pytest
 
-    from repro.core.utilization.spec import StackSpec, as_spec
+    with pytest.raises(ImportError):
+        from repro.core.utilization.spec import as_spec  # noqa: F401
 
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        parsed = as_spec("compress:1|parallel:4")
-    assert parsed == StackSpec.parallel(4).with_compression()
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    from repro.core.utilization.stack import parse_stack
+
+    with pytest.raises(TypeError):
+        parse_stack("compress:1|parallel:4")
 
 
 def test_version_is_pep440ish():
