@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-obs smoke-obs chaos chaos-sweep chaos-resume
+.PHONY: test test-fast test-obs smoke-obs smoke-assemble chaos chaos-sweep chaos-resume
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,19 @@ smoke-obs:
 	$(PYTHON) -m pytest -q tests/test_obs_smoke.py
 	$(PYTHON) examples/auto_selection.py --trace /tmp/repro-obs-smoke.jsonl
 	$(PYTHON) -m repro.obs.report /tmp/repro-obs-smoke.jsonl
+
+# Routed 3-node chaos transfer -> per-node JSONL exports -> assembled
+# causal trace; the checker asserts the initiator/relay/target hop
+# structure (the PR-4 tentpole, end to end).
+ASSEMBLE_DIR := /tmp/repro-assemble-smoke
+
+smoke-assemble:
+	rm -rf $(ASSEMBLE_DIR)
+	$(PYTHON) -m repro.chaos --scenario wan_transfer_routed --sessions \
+		--seed 3 --plan "relay_crash@2:for=4" --export-dir $(ASSEMBLE_DIR)
+	$(PYTHON) -m repro.obs.assemble $(ASSEMBLE_DIR)/*.jsonl
+	$(PYTHON) -m repro.obs.assemble $(ASSEMBLE_DIR)/*.jsonl --json \
+		| $(PYTHON) scripts/check_assembled_trace.py
 
 # Skip tests that bind real loopback sockets (useful in sandboxes).
 test-fast:

@@ -5,17 +5,26 @@ DESIGN.md's experiment index).  Besides the pytest-benchmark timing, each
 writes its paper-comparison table to ``benchmarks/results/<name>.txt``;
 those tables are echoed into the terminal summary so the full report
 appears in captured bench output.
+
+Benchmarks that track the perf trajectory additionally record their
+headline numbers through the ``bench_json`` fixture; the session merges
+them into ``benchmarks/results/BENCH_obs.json`` (a flat machine-readable
+file, uploaded as a CI artifact) so throughput and tracing-overhead
+regressions are diffable across commits without parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_obs.json"
 
 _written: list[pathlib.Path] = []
+_bench: dict[str, dict] = {}
 
 
 @pytest.fixture
@@ -32,8 +41,41 @@ def report():
     return _write
 
 
+@pytest.fixture
+def bench_json():
+    """``bench_json(name, **metrics)`` — record numbers for BENCH_obs.json.
+
+    Metrics are plain scalars (floats/ints/strings); one flat dict per
+    benchmark name.  Recording the same name twice in a session merges
+    the dicts (later keys win).
+    """
+
+    def _record(name: str, **metrics) -> None:
+        _bench.setdefault(name, {}).update(metrics)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _bench:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    # Merge with an existing file so partial runs (CI shards, -k filters)
+    # accumulate rather than clobber each other's sections.
+    data = {"schema": 1, "benchmarks": {}}
+    if BENCH_JSON.exists():
+        try:
+            previous = json.loads(BENCH_JSON.read_text())
+            data["benchmarks"].update(previous.get("benchmarks", {}))
+        except (ValueError, OSError):
+            pass
+    for name, metrics in _bench.items():
+        data["benchmarks"].setdefault(name, {}).update(metrics)
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _written:
+    if not _written and not _bench:
         return
     terminalreporter.section("paper reproduction tables")
     for path in _written:
@@ -41,6 +83,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         for line in path.read_text().splitlines():
             terminalreporter.write_line(line)
         terminalreporter.write_line("")
+    if _bench:
+        terminalreporter.write_line(f"--- {BENCH_JSON.name} sections updated ---")
+        for name in sorted(_bench):
+            terminalreporter.write_line(f"  {name}")
 
 
 def once(benchmark, fn):

@@ -16,8 +16,6 @@ implied by the paper's slow-link compression numbers.
 
 from __future__ import annotations
 
-from typing import Union
-
 from repro.core.scenarios import GridScenario
 from repro.core.utilization.spec import StackSpec
 from repro.simnet.cpu import CpuModel
@@ -74,7 +72,7 @@ def build_paper_wan(link: dict, seed: int = 9) -> GridScenario:
 
 def measure(
     link: dict,
-    spec: Union[str, StackSpec],
+    spec: StackSpec,
     message_size: int,
     total_bytes: int,
     seed: int = 9,

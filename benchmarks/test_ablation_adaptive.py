@@ -10,6 +10,7 @@ BDP-derived stream count matching the best static sweep.
 from conftest import once
 from paperlinks import AMSTERDAM_RENNES, DELFT_SOPHIA, measure
 from repro.core.autotune import recommend_streams
+from repro.core.utilization import StackSpec
 
 TOTAL = 8_000_000
 MSG = 65536
@@ -24,14 +25,15 @@ def _run():
         ("slow", AMSTERDAM_RENNES, 4),
         ("fast", DELFT_SOPHIA, 8),
     ):
+        base = StackSpec.parallel(streams)
         rows[name] = {
-            "raw": measure(link, f"parallel:{streams}", MSG, TOTAL),
-            "compress": measure(link, f"compress|parallel:{streams}", MSG, TOTAL),
-            "adaptive": measure(link, f"adaptive|parallel:{streams}", MSG, TOTAL),
+            "raw": measure(link, base, MSG, TOTAL),
+            "compress": measure(link, base.with_compression(), MSG, TOTAL),
+            "adaptive": measure(link, base.with_adaptive(), MSG, TOTAL),
         }
     # Stream-count auto-tuning vs a sweep on the fast link.
     sweep = {
-        n: measure(DELFT_SOPHIA, f"parallel:{n}", MSG, 20_000_000)
+        n: measure(DELFT_SOPHIA, StackSpec.parallel(n), MSG, 20_000_000)
         for n in (1, 2, 4, 8, 12)
     }
     recommended = recommend_streams(

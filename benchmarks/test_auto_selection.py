@@ -22,8 +22,8 @@ MSG = 65536
 
 #: the best static configuration per link, from the Figure 9/10 sweeps
 HAND_TUNED = {
-    "amsterdam-rennes": "compress|parallel:4",
-    "delft-sophia": "parallel:8",
+    "amsterdam-rennes": StackSpec.parallel(4).with_compression(),
+    "delft-sophia": StackSpec.parallel(8),
 }
 
 
@@ -63,7 +63,7 @@ def _run():
     rows = []
     for link in (AMSTERDAM_RENNES, DELFT_SOPHIA):
         spec = _probe_and_select(link)
-        naive = measure(link, "tcp_block", MSG, TOTAL)
+        naive = measure(link, StackSpec.tcp(), MSG, TOTAL)
         selected = measure(link, spec, MSG, TOTAL)
         tuned = measure(link, HAND_TUNED[link["name"]], MSG, TOTAL)
         rows.append((link["name"], str(spec), naive, selected, tuned))

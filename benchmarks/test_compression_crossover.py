@@ -12,6 +12,7 @@ stream.
 
 from conftest import once
 from paperlinks import DELFT_SOPHIA, measure
+from repro.core.utilization import StackSpec
 
 CAPACITIES = [1e6, 2e6, 4e6, 6e6, 8e6, 10e6, 12e6]
 TOTAL = 10_000_000
@@ -31,8 +32,10 @@ def _run():
         # "plain" uses 8 streams so the comparison isolates the compression
         # stage, not the per-stream window cap (the paper's additional
         # measurements had TCP tuned well).
-        plain = measure(link, "parallel:8", 65536, TOTAL)
-        compressed = measure(link, "compress|parallel:8", 65536, TOTAL)
+        plain = measure(link, StackSpec.parallel(8), 65536, TOTAL)
+        compressed = measure(
+            link, StackSpec.parallel(8).with_compression(), 65536, TOTAL
+        )
         rows.append((capacity, plain, compressed))
     return rows
 

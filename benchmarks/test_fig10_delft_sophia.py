@@ -15,14 +15,15 @@ claim — compression loses to plain striping on a fast link — holds.
 
 from conftest import once
 from paperlinks import DELFT_SOPHIA, format_series, measure
+from repro.core.utilization import StackSpec
 
 MESSAGE_SIZES = [46656, 279936, 1679616]  # the paper's x-axis values
 SERIES = {
-    "plain": "tcp_block",
-    "4 streams": "parallel:4",
-    "8 streams": "parallel:8",
-    "compression": "compress|tcp_block",
-    "compression+4 streams": "compress|parallel:4",
+    "plain": StackSpec.tcp(),
+    "4 streams": StackSpec.parallel(4),
+    "8 streams": StackSpec.parallel(8),
+    "compression": StackSpec.tcp().with_compression(),
+    "compression+4 streams": StackSpec.parallel(4).with_compression(),
 }
 PAPER = {"plain": 1.7, "4 streams": 4.6, "8 streams": 7.95,
          "compression": 5.0, "compression+4 streams": 3.5}
@@ -40,10 +41,18 @@ def _run():
     return rows
 
 
-def test_fig10_bandwidth_series(benchmark, report):
+def test_fig10_bandwidth_series(benchmark, report, bench_json):
     rows = once(benchmark, _run)
     peak = {label: max(values[label] for _s, values in rows) for label in SERIES}
     capacity = DELFT_SOPHIA["capacity"] / 1e6
+    bench_json(
+        "fig10_delft_sophia",
+        unit="MB/s",
+        **{
+            f"peak_{label.replace(' ', '_').replace('+', '_')}": round(v, 3)
+            for label, v in peak.items()
+        },
+    )
 
     table = format_series(
         "Figure 10 — Delft-Sophia (9 MB/s, 43 ms RTT), MB/s",

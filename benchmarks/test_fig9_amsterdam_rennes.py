@@ -11,13 +11,14 @@ compression series exceeds the physical link capacity (the 200% effect).
 
 from conftest import once
 from paperlinks import AMSTERDAM_RENNES, format_series, measure
+from repro.core.utilization import StackSpec
 
 MESSAGE_SIZES = [16384, 65536, 262144, 1048576, 4194304]
 SERIES = {
-    "plain": "tcp_block",
-    "4 streams": "parallel:4",
-    "compression": "compress|tcp_block",
-    "compression+4 streams": "compress|parallel:4",
+    "plain": StackSpec.tcp(),
+    "4 streams": StackSpec.parallel(4),
+    "compression": StackSpec.tcp().with_compression(),
+    "compression+4 streams": StackSpec.parallel(4).with_compression(),
 }
 PAPER = {"plain": 0.9, "4 streams": 1.5, "compression": 3.25,
          "compression+4 streams": 3.4}
@@ -35,11 +36,19 @@ def _run():
     return rows
 
 
-def test_fig9_bandwidth_series(benchmark, report):
+def test_fig9_bandwidth_series(benchmark, report, bench_json):
     rows = once(benchmark, _run)
 
     peak = {label: max(values[label] for _s, values in rows) for label in SERIES}
     capacity = AMSTERDAM_RENNES["capacity"] / 1e6
+    bench_json(
+        "fig9_amsterdam_rennes",
+        unit="MB/s",
+        **{
+            f"peak_{label.replace(' ', '_').replace('+', '_')}": round(v, 3)
+            for label, v in peak.items()
+        },
+    )
 
     table = format_series(
         "Figure 9 — Amsterdam-Rennes (1.6 MB/s, 30 ms RTT), MB/s",

@@ -130,8 +130,16 @@ def _run():
     return aggregated, per_send, rtt, nodelay_lat, nagle_lat
 
 
-def test_lan_aggregation_bandwidth(benchmark, report):
+def test_lan_aggregation_bandwidth(benchmark, report, bench_json):
     aggregated, per_send, rtt, nodelay_lat, nagle_lat = once(benchmark, _run)
+    bench_json(
+        "lan_block",
+        aggregated_mb_per_s=round(aggregated, 3),
+        per_send_mb_per_s=round(per_send, 3),
+        rtt_us=round(rtt * 1e6, 1),
+        nodelay_latency_us=round(nodelay_lat * 1e6, 1),
+        nagle_latency_us=round(nagle_lat * 1e6, 1),
+    )
 
     lines = [
         "§4.1 — TCP_Block aggregation on a 100 Mbit/s LAN",

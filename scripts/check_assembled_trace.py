@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""CI gate for `make smoke-assemble`: verify the assembled hop structure.
+
+Reads the JSON form of ``python -m repro.obs.assemble`` from stdin (or a
+file argument) and asserts that the routed-transfer smoke scenario
+produced what the tentpole promises: at least one causal trace spanning
+the initiator, the relay and the target, with cross-node hops attributed
+from the initiator and a non-empty critical path.  Exits non-zero with a
+reason otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REQUIRED_NODES = {"alice", "bob", "relay"}
+
+
+def check(result: dict) -> str | None:
+    """Returns an error string, or None if the structure is as expected."""
+    if not result.get("traces"):
+        return "no traces assembled"
+    spanning = [
+        t for t in result["traces"] if REQUIRED_NODES <= set(t["nodes"])
+    ]
+    if not spanning:
+        return (
+            f"no trace spans {sorted(REQUIRED_NODES)}; saw "
+            f"{[t['nodes'] for t in result['traces']]}"
+        )
+    trace = spanning[0]
+    hop_edges = {(h["from"]["node"], h["to"]["node"]) for h in trace["hops"]}
+    for edge in (("alice", "relay"), ("alice", "bob")):
+        if edge not in hop_edges:
+            return f"missing hop {edge[0]} -> {edge[1]}; have {sorted(hop_edges)}"
+    if any(h["latency"] < 0 for h in trace["hops"]):
+        return "negative hop latency survived skew correction"
+    if not trace["critical_path"]:
+        return "empty critical path"
+    if trace["critical_path"][0]["node"] != "alice":
+        return (
+            "critical path does not start at the initiator: "
+            f"{trace['critical_path'][0]}"
+        )
+    return None
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            result = json.load(handle)
+    else:
+        result = json.load(sys.stdin)
+    error = check(result)
+    if error:
+        print(f"smoke-assemble: FAIL: {error}", file=sys.stderr)
+        return 1
+    trace = [
+        t for t in result["traces"] if REQUIRED_NODES <= set(t["nodes"])
+    ][0]
+    print(
+        f"smoke-assemble: OK: trace {trace['trace_id']} spans "
+        f"{','.join(trace['nodes'])} with {len(trace['hops'])} hops, "
+        f"critical path of {len(trace['critical_path'])} spans"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

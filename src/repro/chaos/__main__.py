@@ -62,11 +62,22 @@ def main(argv=None) -> int:
         "--trace", metavar="PATH",
         help="export obs trace JSONL (single-seed runs only)",
     )
+    parser.add_argument(
+        "--export-dir", metavar="DIR",
+        help="write per-node JSONL exports (+ run.jsonl) for "
+        "`python -m repro.obs.assemble` (single-seed runs only)",
+    )
+    parser.add_argument(
+        "--bundle", metavar="DIR",
+        help="on invariant failure, dump a postmortem bundle "
+        "(plan, report, per-node flight recorders, assembled trace) here",
+    )
     parser.add_argument("--json", action="store_true", help="print full reports")
     args = parser.parse_args(argv)
 
     seeds = _parse_seeds(args.seeds)
     trace_path = args.trace if len(seeds) == 1 else None
+    export_dir = args.export_dir if len(seeds) == 1 else None
     failures = 0
     for seed in seeds:
         report = run_chaos(
@@ -77,6 +88,8 @@ def main(argv=None) -> int:
             sessions=args.sessions,
             until=args.until,
             trace_path=trace_path,
+            export_dir=export_dir,
+            bundle_dir=args.bundle,
         )
         print(report.summary())
         if args.json:

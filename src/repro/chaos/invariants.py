@@ -179,5 +179,33 @@ def check_invariants(
                 f"obs: initiator session.reconnects_total ({reconnects}) != "
                 f"successful session.resume spans ({resumed})"
             )
+        # Causal identity must be well-formed on every stamped record:
+        # ids are 16 hex digits, a parent implies a span, a span implies
+        # a trace.  A malformed context means some wire carrier decoded
+        # garbage (or an instrumentation site stamped a partial triple).
+        malformed = 0
+        for record in recorder.records:
+            for field in ("trace_id", "span_id", "parent_id"):
+                value = record.get(field)
+                if value is None:
+                    continue
+                try:
+                    ok = isinstance(value, str) and len(value) == 16
+                    ok = ok and int(value, 16) >= 0
+                except ValueError:
+                    ok = False
+                if not ok:
+                    malformed += 1
+                    break
+            else:
+                if ("parent_id" in record and "span_id" not in record) or (
+                    "span_id" in record and "trace_id" not in record
+                ):
+                    malformed += 1
+        if malformed:
+            violations.append(
+                f"obs: {malformed} trace records carry a malformed "
+                "causal identity"
+            )
 
     return sorted(violations)

@@ -42,6 +42,7 @@ establishment spans from one run never bleed into another.
 from __future__ import annotations
 
 import json
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional, Union
@@ -50,7 +51,8 @@ from .. import obs
 from ..core.factory import BrokeredConnectionFactory
 from ..core.scenarios import GridScenario
 from ..core.utilization.spec import StackSpec
-from ..obs import MetricsRegistry, TraceRecorder
+from ..obs import MetricsRegistry, TraceContext, TraceRecorder, seed_ids
+from ..obs.assemble import assemble, render_text
 from .faults import FaultPlan, FaultScheduler
 from .invariants import ChannelAudit, check_invariants
 
@@ -167,32 +169,55 @@ def _staged_transfer(
     ]
     audits = [wl.audit(f"{label}{i}") for i in range(stages)]
 
+    def send_stage(factory, ctx, payload, audit) -> Generator:
+        if retries:
+            channel = yield from factory.connect_retrying(
+                receiver.info.node_id, receiver.info, spec=spec,
+                methods=methods, ctx=ctx,
+            )
+        else:
+            yield from receiver.relay_client.wait_connected(timeout=30.0)
+            service = yield from sender.open_service_link(receiver.info.node_id)
+            channel = yield from factory.connect(
+                service, receiver.info, spec=spec, methods=methods, ctx=ctx
+            )
+            service.close()
+        for off in range(0, len(payload), _WRITE_CHUNK):
+            chunk = payload[off : off + _WRITE_CHUNK]
+            yield from channel.write(chunk)
+            audit.record_sent(chunk)
+        yield from channel.flush()
+        channel.close()
+        audit.finish_sender()
+
     def run_sender() -> Generator:
         try:
             yield from sender.start()
             factory = BrokeredConnectionFactory(sender)
-            for payload, audit in zip(payloads, audits):
-                if retries:
-                    channel = yield from factory.connect_retrying(
-                        receiver.info.node_id, receiver.info, spec=spec,
-                        methods=methods,
+            for i, (payload, audit) in enumerate(zip(payloads, audits)):
+                # One root trace per stage: establishment, relay routing,
+                # the responder's records and any session resumes all hang
+                # off this context in the assembled cross-node tree.
+                ctx = TraceContext.new()
+                t0 = scn.sim.now
+                try:
+                    yield from send_stage(factory, ctx, payload, audit)
+                except GeneratorExit:
+                    # Finalization of a parked process (possibly long after
+                    # the run ended) — never record into a later run.
+                    raise
+                except BaseException:
+                    obs.record_span(
+                        "chaos.stage", t0, scn.sim.now, ctx=ctx,
+                        node=sender.info.node_id,
+                        stage=f"{label}{i}", outcome="error",
                     )
-                else:
-                    yield from receiver.relay_client.wait_connected(timeout=30.0)
-                    service = yield from sender.open_service_link(
-                        receiver.info.node_id
-                    )
-                    channel = yield from factory.connect(
-                        service, receiver.info, spec=spec, methods=methods
-                    )
-                    service.close()
-                for off in range(0, len(payload), _WRITE_CHUNK):
-                    chunk = payload[off : off + _WRITE_CHUNK]
-                    yield from channel.write(chunk)
-                    audit.record_sent(chunk)
-                yield from channel.flush()
-                channel.close()
-                audit.finish_sender()
+                    raise
+                obs.record_span(
+                    "chaos.stage", t0, scn.sim.now, ctx=ctx,
+                    node=sender.info.node_id,
+                    stage=f"{label}{i}", bytes=len(payload),
+                )
         except BaseException as exc:  # noqa: BLE001 - reported as a violation
             wl.fail("sender", exc)
 
@@ -429,6 +454,8 @@ def run_chaos(
     sessions: bool = False,
     until: float = 900.0,
     trace_path: Optional[str] = None,
+    export_dir: Optional[str] = None,
+    bundle_dir: Optional[str] = None,
 ) -> ChaosReport:
     """Run ``scenario`` under ``plan``; returns the invariant report.
 
@@ -437,6 +464,17 @@ def run_chaos(
     :class:`~repro.core.session.SessionLink`.  ``trace_path`` optionally
     exports the run's metrics + trace as JSON lines (the
     :mod:`repro.obs.export` schema).
+
+    ``export_dir`` writes *per-node* JSONL exports (one file per grid
+    node, the relay, and every SOCKS proxy — each carrying that node's
+    trace records plus its flight-recorder ring) alongside a combined
+    ``run.jsonl``; feed them to ``python -m repro.obs.assemble``.
+
+    ``bundle_dir`` arms the postmortem trigger: when the run violates an
+    invariant, a bundle is dumped there — fault plan and seed
+    (``manifest.json``), the full report, metrics, every node's flight
+    recorder, and the assembled causal trace — enough to diagnose the
+    failure without re-running it.
     """
     try:
         build = SCENARIOS[scenario]
@@ -448,10 +486,13 @@ def run_chaos(
 
     # Scoped observability: a fresh registry + recorder per run, installed
     # *before* the scenario is built so use_sim_clock binds them both.
+    # Trace ids are reseeded from the run seed so the assembled causal
+    # tree (ids included) is as replayable as the report itself.
     registry = MetricsRegistry()
     recorder = TraceRecorder()
     prev_registry = obs.set_registry(registry)
     prev_recorder = obs.set_tracer(recorder)
+    seed_ids(seed)
     try:
         wl = build(seed, retries, sessions)
         scn = wl.scenario
@@ -505,7 +546,104 @@ def run_chaos(
         )
         if trace_path is not None:
             obs.export_jsonl(trace_path, registry=registry, recorder=recorder)
+        if export_dir is not None:
+            _export_per_node(export_dir, scn, registry, recorder)
+        if bundle_dir is not None and not report.ok:
+            _write_bundle(bundle_dir, report, scn, registry, recorder)
         return report
     finally:
         obs.set_registry(prev_registry)
         obs.set_tracer(prev_recorder)
+
+
+# -- per-node exports & postmortem bundles -------------------------------------
+
+
+def _node_flights(scn: GridScenario) -> dict:
+    """Every flight recorder in the scenario, keyed by its node tag."""
+    flights = {node_id: node.flight for node_id, node in scn.nodes.items()}
+    flights["relay"] = scn.relay.flight
+    for proxy in scn.proxies.values():
+        flights[proxy.flight.node] = proxy.flight
+    return flights
+
+
+def _safe_name(node: str) -> str:
+    return node.replace(":", "_").replace("/", "_")
+
+
+def _export_per_node(
+    out_dir: str,
+    scn: GridScenario,
+    registry: MetricsRegistry,
+    recorder: TraceRecorder,
+) -> list:
+    """One JSONL file per node (traces + flight ring) plus ``run.jsonl``."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for node, flight in sorted(_node_flights(scn).items()):
+        path = os.path.join(out_dir, f"{_safe_name(node)}.jsonl")
+        obs.export_jsonl(path, recorder=recorder, node=node, flight=flight)
+        paths.append(path)
+    combined = os.path.join(out_dir, "run.jsonl")
+    obs.export_jsonl(combined, registry=registry, recorder=recorder)
+    paths.append(combined)
+    return paths
+
+
+def _write_bundle(
+    bundle_dir: str,
+    report: ChaosReport,
+    scn: GridScenario,
+    registry: MetricsRegistry,
+    recorder: TraceRecorder,
+) -> str:
+    """Dump a postmortem bundle for a failed run; returns its directory."""
+    root = os.path.join(
+        bundle_dir, f"{report.scenario}-seed{report.seed}"
+    )
+    nodes_dir = os.path.join(root, "nodes")
+    os.makedirs(nodes_dir, exist_ok=True)
+
+    flights = _node_flights(scn)
+    with open(os.path.join(root, "report.json"), "w", encoding="utf-8") as out:
+        out.write(report.to_json() + "\n")
+    for node, flight in sorted(flights.items()):
+        obs.export_jsonl(
+            os.path.join(nodes_dir, f"{_safe_name(node)}.jsonl"),
+            recorder=recorder, node=node, flight=flight,
+        )
+    obs.export_jsonl(
+        os.path.join(root, "metrics.jsonl"), registry=registry, recorder=recorder
+    )
+
+    # Assembled causal trace: stitch the recorder's records and every
+    # node's flight ring exactly the way the CLI would stitch the files.
+    records = list(recorder.records)
+    for flight in flights.values():
+        records.extend(flight.records())
+    assembled = assemble(records)
+    with open(os.path.join(root, "trace.json"), "w", encoding="utf-8") as out:
+        json.dump(assembled, out, indent=2, sort_keys=True)
+        out.write("\n")
+    with open(os.path.join(root, "trace.txt"), "w", encoding="utf-8") as out:
+        out.write(render_text(assembled) + "\n")
+
+    manifest = {
+        "scenario": report.scenario,
+        "seed": report.seed,
+        "plan": report.plan,
+        "retries": report.retries,
+        "sessions": report.sessions,
+        "violations": report.violations,
+        "injected": report.injected,
+        "healed": report.healed,
+        "nodes": sorted(flights),
+        "traces": [t["trace_id"] for t in assembled["traces"]],
+        "files": ["report.json", "metrics.jsonl", "trace.json", "trace.txt"]
+        + [f"nodes/{_safe_name(n)}.jsonl" for n in sorted(flights)],
+    }
+    with open(os.path.join(root, "manifest.json"), "w", encoding="utf-8") as out:
+        json.dump(manifest, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return root

@@ -26,7 +26,8 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from .. import obs
-from ..obs import DEFAULT_SECONDS_BUCKETS
+from ..obs import DEFAULT_SECONDS_BUCKETS, TraceContext
+from ..obs.flight import FlightRecorder
 from ..simnet.engine import with_timeout
 from ..simnet.packet import Addr
 from ..util.framing import ByteReader, ByteWriter, FrameError
@@ -97,6 +98,7 @@ class Broker:
         dispatcher: Optional[RoutedDispatcher] = None,
         reflector: Optional[Addr] = None,
         attempt_timeout: float = ATTEMPT_TIMEOUT,
+        flight: Optional[FlightRecorder] = None,
     ):
         self.host = host
         self.sim = host.sim
@@ -105,6 +107,7 @@ class Broker:
         self.dispatcher = dispatcher
         self.reflector = reflector
         self.attempt_timeout = attempt_timeout
+        self.flight = flight
         self._nonce_seq = 0
         #: history of (method, ok) per negotiation, observable in tests
         self.attempt_log: list[tuple[str, bool]] = []
@@ -123,40 +126,61 @@ class Broker:
             "establish.attempt_seconds", buckets=DEFAULT_SECONDS_BUCKETS, method=method
         ).observe(elapsed)
 
+    def _note(self, name: str, ctx: Optional[TraceContext], **attrs) -> None:
+        if self.flight is not None:
+            self.flight.note(name, ctx=ctx, **attrs)
+
     # ------------------------------------------------------------- initiator
     def initiate(
         self,
         service_link: Link,
         peer_info: EndpointInfo,
         methods: Optional[list[str]] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> Generator:
         """Negotiate and establish a data link to ``peer_info``.
 
         Returns the established :class:`Link`.  Raises
         :class:`EstablishmentError` when every feasible method failed.
+
+        ``ctx`` is the causal parent of the negotiation; each attempt
+        gets a child context which rides the ATTEMPT frame so the
+        responder's spans join the same trace.
         """
         if methods is None:
             methods = feasible_methods(self.info, peer_info, bootstrap=False)
             if self.relay_client is None and ROUTED in methods:
                 methods.remove(ROUTED)
+        if ctx is None:
+            ctx = obs.current() or TraceContext.new()
+        node = self.info.node_id
         obs.event(
             "establish.decision",
+            ctx=ctx,
+            node=node,
             peer=peer_info.node_id,
             methods=",".join(methods),
         )
         failures = []
         for method in methods:
             nonce = self._next_nonce()
+            attempt_ctx = ctx.child()
+            self._note(
+                "establish.attempt", attempt_ctx,
+                method=method, peer=peer_info.node_id, role="initiator",
+            )
             t0 = self.sim.now
             with obs.span(
                 "establish.attempt",
+                ctx=attempt_ctx,
+                node=node,
                 method=method,
                 peer=peer_info.node_id,
                 role="initiator",
             ) as sp:
                 try:
                     link = yield from self._attempt_initiator(
-                        service_link, peer_info, method, nonce
+                        service_link, peer_info, method, nonce, attempt_ctx
                     )
                 except _NakReceived as nak:
                     sp.set(outcome="nak")
@@ -164,7 +188,12 @@ class Broker:
                     self.attempt_log.append((method, False))
                     failures.append(f"{method}: peer NAK ({nak})")
                     obs.event(
-                        "establish.fallback", method=method, reason=f"nak: {nak}"
+                        "establish.fallback", ctx=ctx, node=node,
+                        method=method, reason=f"nak: {nak}",
+                    )
+                    self._note(
+                        "establish.fallback", attempt_ctx,
+                        method=method, reason="nak",
                     )
                     continue
                 except (WireError, FrameError, EOFError, BrokerError):
@@ -181,8 +210,14 @@ class Broker:
                     failures.append(f"{method}: {type(exc).__name__}: {exc}")
                     obs.event(
                         "establish.fallback",
+                        ctx=ctx,
+                        node=node,
                         method=method,
                         reason=f"{type(exc).__name__}: {exc}",
+                    )
+                    self._note(
+                        "establish.fallback", attempt_ctx,
+                        method=method, reason=type(exc).__name__,
                     )
                     yield from send_frame(
                         service_link, _result(nonce, False, str(exc))
@@ -190,6 +225,9 @@ class Broker:
                     continue
                 sp.set(outcome="ok")
                 self._record_attempt(method, "ok", "initiator", self.sim.now - t0)
+            self._note(
+                "establish.ok", attempt_ctx, method=method, peer=peer_info.node_id
+            )
             self.attempt_log.append((method, True))
             yield from send_frame(service_link, _result(nonce, True, ""))
             return link
@@ -198,7 +236,12 @@ class Broker:
         )
 
     def _attempt_initiator(
-        self, service_link: Link, peer_info: EndpointInfo, method: str, nonce: int
+        self,
+        service_link: Link,
+        peer_info: EndpointInfo,
+        method: str,
+        nonce: int,
+        ctx: Optional[TraceContext] = None,
     ) -> Generator:
         params, cleanup, state = yield from self._initiator_params(method)
         try:
@@ -210,6 +253,9 @@ class Broker:
                 .lp_str(method)
                 .lp_bytes(self.info.encode())
                 .lp_bytes(params)
+                # Trailing causal context: the responder parents its
+                # attempt span on the initiator's, joining the traces.
+                .lp_bytes(ctx.encode() if ctx is not None else b"")
                 .getvalue()
             )
             yield from send_frame(service_link, attempt)
@@ -234,7 +280,7 @@ class Broker:
                 yield from with_timeout(
                     self.sim,
                     self._execute_initiator(
-                        method, nonce, peer_info, peer_params, state
+                        method, nonce, peer_info, peer_params, state, ctx
                     ),
                     self.attempt_timeout,
                 )
@@ -287,6 +333,7 @@ class Broker:
         peer_info: EndpointInfo,
         peer_params: bytes,
         state,
+        ctx: Optional[TraceContext] = None,
     ) -> Generator:
         r = ByteReader(peer_params)
         if method == CLIENT_SERVER:
@@ -296,12 +343,12 @@ class Broker:
                 # the local proxy when one is configured.
                 return (
                     yield from proxy.connect_via_proxy_and_verify(
-                        self.host, self.info.socks_proxy, addr, nonce
+                        self.host, self.info.socks_proxy, addr, nonce, ctx=ctx
                     )
                 )
             return (
                 yield from client_server.connect_and_verify(
-                    self.host, addr, nonce, config=splicing.SPLICE_CONFIG
+                    self.host, addr, nonce, config=splicing.SPLICE_CONFIG, ctx=ctx
                 )
             )
         if method == SPLICING:
@@ -309,7 +356,8 @@ class Broker:
             lport, probe = state
             return (
                 yield from splicing.splice_and_verify(
-                    self.host, peer_addr, lport, nonce, initiator=True, probe=probe
+                    self.host, peer_addr, lport, nonce, initiator=True, probe=probe,
+                    ctx=ctx,
                 )
             )
         if method == SOCKS_PROXY:
@@ -317,15 +365,19 @@ class Broker:
             if self.info.socks_proxy is not None:
                 return (
                     yield from proxy.connect_via_proxy_and_verify(
-                        self.host, self.info.socks_proxy, addr, nonce
+                        self.host, self.info.socks_proxy, addr, nonce, ctx=ctx
                     )
                 )
-            return (yield from proxy.connect_direct_and_verify(self.host, addr, nonce))
+            return (
+                yield from proxy.connect_direct_and_verify(
+                    self.host, addr, nonce, ctx=ctx
+                )
+            )
         if method == ROUTED:
             if self.relay_client is None:
                 raise BrokerError("routed method needs a relay client")
             link = yield from self.relay_client.open_link(
-                peer_info.node_id, payload=data_tag(nonce)
+                peer_info.node_id, payload=data_tag(nonce), ctx=ctx
             )
             yield from verify_initiator(link, nonce)
             return link
@@ -351,8 +403,13 @@ class Broker:
             method = r.lp_str()
             peer_info = EndpointInfo.decode(r.lp_bytes())
             peer_params = r.lp_bytes()
+            ctx = None
+            if r.remaining:
+                blob = r.lp_bytes()
+                if blob:
+                    ctx = TraceContext.decode(blob)
             link = yield from self._attempt_responder(
-                service_link, method, nonce, peer_info, peer_params, owd
+                service_link, method, nonce, peer_info, peer_params, owd, ctx
             )
             if link is not None:
                 return link
@@ -365,18 +422,28 @@ class Broker:
         peer_info: EndpointInfo,
         peer_params: bytes,
         owd: float,
+        ctx: Optional[TraceContext] = None,
     ) -> Generator:
         """One responder-side attempt; returns the link or None (fall back)."""
         t0 = self.sim.now
+        # Parent this side's span on the initiator's attempt span (which
+        # arrived in the ATTEMPT frame), so both halves share one trace.
+        rctx = ctx.child() if ctx is not None else None
+        self._note(
+            "establish.attempt", rctx,
+            method=method, peer=peer_info.node_id, role="responder",
+        )
         with obs.span(
             "establish.attempt",
+            ctx=rctx,
+            node=self.info.node_id,
             method=method,
             peer=peer_info.node_id,
             role="responder",
         ) as sp:
             try:
                 params, pending = yield from self._responder_params(
-                    method, nonce, peer_info, peer_params, owd
+                    method, nonce, peer_info, peer_params, owd, ctx=rctx
                 )
             except Exception as exc:
                 sp.set(outcome="nak")
@@ -426,7 +493,18 @@ class Broker:
                     )
                 sp.set(outcome="ok")
                 self._record_attempt(method, "ok", "responder", self.sim.now - t0)
+                self._note(
+                    "establish.ok", rctx, method=method, peer=peer_info.node_id
+                )
                 self.attempt_log.append((method, True))
+                if rctx is not None:
+                    try:
+                        # expose the causal identity on the link so upper
+                        # layers (stack assembly, sessions) can join the
+                        # initiator's trace
+                        value.ctx = rctx
+                    except AttributeError:
+                        pass
                 return value
             # Initiator reported failure: cancel our half if still running.
             if attempt_proc.is_alive:
@@ -456,6 +534,7 @@ class Broker:
         peer_info: EndpointInfo,
         peer_params: bytes,
         owd: float = 0.0,
+        ctx: Optional[TraceContext] = None,
     ) -> Generator:
         """Prepare responder-side parameters and the pending local half.
 
@@ -468,7 +547,9 @@ class Broker:
             def pending():
                 try:
                     return (
-                        yield from client_server.accept_and_verify(listener, nonce)
+                        yield from client_server.accept_and_verify(
+                            listener, nonce, ctx=ctx
+                        )
                     )
                 finally:
                     listener.close()
@@ -496,6 +577,7 @@ class Broker:
                             nonce,
                             initiator=False,
                             probe=probe,
+                            ctx=ctx,
                         )
                     )
                 finally:
@@ -517,7 +599,7 @@ class Broker:
                 def pending():
                     try:
                         link = yield from client_server.accept_and_verify(
-                            listener, nonce
+                            listener, nonce, ctx=ctx
                         )
                         link.method = SOCKS_PROXY
                         link.relayed = True
@@ -533,7 +615,11 @@ class Broker:
 
             def pending():
                 try:
-                    return (yield from proxy.await_bound_and_verify(control, nonce))
+                    return (
+                        yield from proxy.await_bound_and_verify(
+                            control, nonce, ctx=ctx
+                        )
+                    )
                 except BaseException:
                     control.abort()
                     raise
@@ -546,7 +632,7 @@ class Broker:
 
             def pending():
                 link = yield from self.dispatcher.await_data(nonce)
-                yield from routed.accept_routed_and_verify(link, nonce)
+                yield from routed.accept_routed_and_verify(link, nonce, ctx=ctx)
                 return link
 
             return b"", pending()

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ... import obs
+from ...obs import TraceContext
 from ...simnet.packet import Addr
 from ...simnet.sockets import connect, listen
 from ...simnet.tcp import TcpConfig
@@ -25,7 +27,11 @@ def open_listener(host, port: int = 0):
 
 
 def connect_and_verify(
-    host, addr: Addr, nonce: int, config: Optional[TcpConfig] = None
+    host,
+    addr: Addr,
+    nonce: int,
+    config: Optional[TcpConfig] = None,
+    ctx: Optional[TraceContext] = None,
 ) -> Generator:
     """Initiator side: dial the listener, run the cookie exchange."""
     sock = yield from connect(host, addr, config=config)
@@ -35,10 +41,15 @@ def connect_and_verify(
     except Exception:
         link.abort()
         raise
+    obs.event(
+        "establish.link", ctx=ctx, method=CLIENT_SERVER, role="initiator"
+    )
     return link
 
 
-def accept_and_verify(listener, nonce: int) -> Generator:
+def accept_and_verify(
+    listener, nonce: int, ctx: Optional[TraceContext] = None
+) -> Generator:
     """Responder side: accept one connection, run the cookie exchange."""
     sock = yield from listener.accept()
     link = TcpLink(sock, CLIENT_SERVER)
@@ -47,4 +58,7 @@ def accept_and_verify(listener, nonce: int) -> Generator:
     except Exception:
         link.abort()
         raise
+    obs.event(
+        "establish.link", ctx=ctx, method=CLIENT_SERVER, role="responder"
+    )
     return link

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ... import obs
+from ...obs import TraceContext
 from ...simnet.packet import Addr
 from ...simnet.sockets import SimSocket, connect
 from ...simnet.socks import socks_accept_bound, socks_bind, socks_connect
@@ -33,20 +35,24 @@ __all__ = [
 
 
 def connect_via_proxy_and_verify(
-    host, proxy: Addr, target: Addr, nonce: int
+    host, proxy: Addr, target: Addr, nonce: int,
+    ctx: Optional[TraceContext] = None,
 ) -> Generator:
     """Initiator: CONNECT through ``proxy`` to ``target`` and verify."""
-    sock = yield from socks_connect(host, proxy, target)
+    sock = yield from socks_connect(host, proxy, target, ctx=ctx)
     link = TcpLink(sock, SOCKS_PROXY, relayed=True)
     try:
         yield from verify_initiator(link, nonce)
     except Exception:
         link.abort()
         raise
+    obs.event("establish.link", ctx=ctx, method=SOCKS_PROXY, role="initiator")
     return link
 
 
-def connect_direct_and_verify(host, target: Addr, nonce: int) -> Generator:
+def connect_direct_and_verify(
+    host, target: Addr, nonce: int, ctx: Optional[TraceContext] = None
+) -> Generator:
     """Initiator without a proxy dialing a proxy-bound address directly."""
     sock = yield from connect(host, target)
     link = TcpLink(sock, SOCKS_PROXY, relayed=True)
@@ -55,6 +61,7 @@ def connect_direct_and_verify(host, target: Addr, nonce: int) -> Generator:
     except Exception:
         link.abort()
         raise
+    obs.event("establish.link", ctx=ctx, method=SOCKS_PROXY, role="initiator")
     return link
 
 
@@ -64,7 +71,9 @@ def bind_via_proxy(host, proxy: Addr) -> Generator:
     return sock, bound
 
 
-def await_bound_and_verify(sock: SimSocket, nonce: int) -> Generator:
+def await_bound_and_verify(
+    sock: SimSocket, nonce: int, ctx: Optional[TraceContext] = None
+) -> Generator:
     """Responder: wait for the initiator on the bound port and verify."""
     yield from socks_accept_bound(sock)
     link = TcpLink(sock, SOCKS_PROXY, relayed=True)
@@ -73,4 +82,5 @@ def await_bound_and_verify(sock: SimSocket, nonce: int) -> Generator:
     except Exception:
         link.abort()
         raise
+    obs.event("establish.link", ctx=ctx, method=SOCKS_PROXY, role="responder")
     return link

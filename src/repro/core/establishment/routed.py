@@ -9,30 +9,40 @@ possible."
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
+from ... import obs
+from ...obs import TraceContext
 from ..relay import RelayClient, RoutedLink
+from .base import ROUTED
 from .verify import verify_initiator, verify_responder
 
 __all__ = ["open_routed_and_verify", "accept_routed_and_verify"]
 
 
-def open_routed_and_verify(client: RelayClient, peer_id: str, nonce: int) -> Generator:
+def open_routed_and_verify(
+    client: RelayClient, peer_id: str, nonce: int,
+    ctx: Optional[TraceContext] = None,
+) -> Generator:
     """Initiator: open a routed channel to ``peer_id`` and verify."""
-    link = yield from client.open_link(peer_id)
+    link = yield from client.open_link(peer_id, ctx=ctx)
     try:
         yield from verify_initiator(link, nonce)
     except Exception:
         link.close()
         raise
+    obs.event("establish.link", ctx=ctx, method=ROUTED, role="initiator")
     return link
 
 
-def accept_routed_and_verify(link: RoutedLink, nonce: int) -> Generator:
+def accept_routed_and_verify(
+    link: RoutedLink, nonce: int, ctx: Optional[TraceContext] = None
+) -> Generator:
     """Responder: verify an incoming routed channel."""
     try:
         yield from verify_responder(link, nonce)
     except Exception:
         link.close()
         raise
+    obs.event("establish.link", ctx=ctx, method=ROUTED, role="responder")
     return link

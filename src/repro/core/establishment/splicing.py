@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ... import obs
+from ...obs import TraceContext
 from ...simnet.packet import Addr
 from ...simnet.sockets import SimSocket, connect, connect_simultaneous
 from ...simnet.tcp import TcpConfig
@@ -73,6 +75,7 @@ def splice_and_verify(
     config: Optional[TcpConfig] = None,
     probe: Optional[SimSocket] = None,
     policy: RetryPolicy = SPLICE_RETRY,
+    ctx: Optional[TraceContext] = None,
 ) -> Generator:
     """Run one side of the simultaneous open + cookie verification.
 
@@ -106,6 +109,10 @@ def splice_and_verify(
         except Exception:
             link.abort()
             raise
+        obs.event(
+            "establish.link", ctx=ctx, method=SPLICING,
+            role="initiator" if initiator else "responder",
+        )
         return link
 
     try:

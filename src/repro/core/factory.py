@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from .. import obs
+from ..obs import TraceContext
 from ..simnet.tcp import TcpError
 from ..util.framing import ByteReader, ByteWriter, FrameError
 from .addressing import EndpointInfo
@@ -110,6 +111,7 @@ class BrokeredConnectionFactory:
         spec: Optional[StackSpec] = None,
         block_size: int = DEFAULT_BLOCK,
         methods: Optional[list] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> Generator:
         """Negotiate ``spec`` with the peer and build the channel.
 
@@ -123,6 +125,7 @@ class BrokeredConnectionFactory:
         :class:`~repro.core.session.SessionLink` before stack assembly —
         so the whole driver stack survives mid-stream link failure.
         """
+        ctx = ctx or obs.current() or TraceContext.new()
         parsed = _typed_spec(spec)
         n = parsed.links_required
         sids = [self.node.next_session_id() for _ in range(n)] if parsed.session else []
@@ -134,7 +137,7 @@ class BrokeredConnectionFactory:
         try:
             for _ in range(n):
                 link = yield from self.node.broker.initiate(
-                    service_link, peer_info, methods
+                    service_link, peer_info, methods, ctx=ctx
                 )
                 links.append(link)
         except BaseException:
@@ -142,11 +145,16 @@ class BrokeredConnectionFactory:
                 link.abort()
             raise
         links = self._wrap_sessions(
-            parsed, links, sids, SessionLink.INITIATOR, peer_info, methods
+            parsed, links, sids, SessionLink.INITIATOR, peer_info, methods, ctx=ctx
         )
         try:
             with obs.span(
-                "stack.assemble", spec=str(parsed), role="initiator", links=n
+                "stack.assemble",
+                ctx=ctx.child(),
+                node=self.node.node_id,
+                spec=str(parsed),
+                role="initiator",
+                links=n,
             ):
                 stack = build_stack(parsed, links, host=self.node.host)
                 yield from self._maybe_tls(stack, client=True)
@@ -165,6 +173,7 @@ class BrokeredConnectionFactory:
         policy: RetryPolicy = CONNECT_RETRY,
         connect_timeout: float = 15.0,
         methods: Optional[list] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> Generator:
         """Like :meth:`connect`, but owns the whole bootstrap and survives
         transient failures.
@@ -184,7 +193,12 @@ class BrokeredConnectionFactory:
             service = yield from node.open_service_link(peer_id)
             try:
                 channel = yield from self.connect(
-                    service, peer_info, spec=spec, block_size=block_size, methods=methods
+                    service,
+                    peer_info,
+                    spec=spec,
+                    block_size=block_size,
+                    methods=methods,
+                    ctx=ctx,
                 )
             except BaseException:
                 # Closing tells a responder blocked on this link to give
@@ -228,9 +242,18 @@ class BrokeredConnectionFactory:
         links = self._wrap_sessions(
             parsed, links, sids, SessionLink.RESPONDER, None, None, peer_id=peer_id
         )
+        # On this side the causal identity arrives per-link inside the
+        # brokering ATTEMPT frames; the assembly span is stamped with the
+        # first data link's context so it joins the initiator's trace.
+        rctx = next((l.ctx for l in links if getattr(l, "ctx", None)), None)
         try:
             with obs.span(
-                "stack.assemble", spec=str(parsed), role="responder", links=n
+                "stack.assemble",
+                ctx=rctx.child() if rctx is not None else None,
+                node=self.node.node_id,
+                spec=str(parsed),
+                role="responder",
+                links=n,
             ):
                 stack = build_stack(parsed, links, host=self.node.host)
                 yield from self._maybe_tls(stack, client=False)
@@ -283,6 +306,7 @@ class BrokeredConnectionFactory:
         peer_info: Optional[EndpointInfo],
         methods: Optional[list],
         peer_id: str = "",
+        ctx: Optional[TraceContext] = None,
     ) -> list:
         layer = parsed.session
         if layer is None:
@@ -295,7 +319,15 @@ class BrokeredConnectionFactory:
                 peer_id = peer_info.node_id
                 reconnect = self._session_reconnect(peer_info, methods)
             session = SessionLink(
-                link, sid, role, config=config, reconnect=reconnect, peer=peer_id
+                link,
+                sid,
+                role,
+                config=config,
+                reconnect=reconnect,
+                peer=peer_id,
+                ctx=ctx or getattr(link, "ctx", None),
+                node=self.node.node_id,
+                flight=getattr(self.node, "flight", None),
             )
             self.node.sessions.add(session)
             wrapped.append(session)
@@ -314,7 +346,11 @@ class BrokeredConnectionFactory:
             yield from node.relay_client.wait_connected(timeout=12.0)
             service = yield from node.open_resume_link(peer_info.node_id, session.sid)
             try:
-                link = yield from node.broker.initiate(service, peer_info, methods)
+                # re-establishment inherits the recovery's trace context, so
+                # its establish.attempt spans nest under the resume span
+                link = yield from node.broker.initiate(
+                    service, peer_info, methods, ctx=session._resume_ctx
+                )
             except BaseException:
                 service.close()
                 raise

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Optional
 
+from ..obs.flight import FlightRecorder
 from ..simnet.packet import Addr
 from .addressing import EndpointInfo
 from .brokering import Broker
@@ -64,6 +65,9 @@ class GridNode:
         )
         self.dispatcher: Optional[RoutedDispatcher] = None
         self.broker: Optional[Broker] = None
+        #: always-on black box: last ~512 lifecycle notes, dumped into
+        #: postmortem bundles when a chaos invariant fails
+        self.flight = FlightRecorder(info.node_id, clock=lambda: host.sim.now)
         #: live survivable sessions (responder side serves re-attachment)
         self.sessions = SessionRegistry(self)
         self._sid_seq = 0
@@ -82,6 +86,7 @@ class GridNode:
             relay_client=self.relay_client,
             dispatcher=self.dispatcher,
             reflector=self.reflector_addr,
+            flight=self.flight,
         )
         return self
 

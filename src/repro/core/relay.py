@@ -22,6 +22,8 @@ import itertools
 from typing import Callable, Generator, Optional
 
 from .. import obs
+from ..obs import TraceContext
+from ..obs.flight import FlightRecorder
 from ..simnet.engine import Event, Simulator, any_of
 from ..simnet.packet import Addr
 from ..simnet.sockets import SimSocket, connect, listen
@@ -67,12 +69,18 @@ def _routed_body(
     channel: int,
     payload: bytes = b"",
     sender_owns_channel: bool = True,
+    ctx: Optional[TraceContext] = None,
 ) -> bytes:
     """Channel ids are allocated by the endpoint that opened the channel,
     so every frame carries whose numbering ``channel`` belongs to —
     otherwise two nodes opening channels to each other would collide on
-    (peer, channel)."""
-    return (
+    (peer, channel).
+
+    OPEN frames may carry a trailing 24-byte causal trace context; the
+    relay and the accepting peer parent their spans on it, which is what
+    stitches a routed path's three processes into one trace.
+    """
+    w = (
         ByteWriter()
         .u8(kind)
         .u8(1 if sender_owns_channel else 0)
@@ -80,8 +88,10 @@ def _routed_body(
         .lp_str(dst)
         .u64(channel)
         .lp_bytes(payload)
-        .getvalue()
     )
+    if ctx is not None:
+        w.raw(ctx.encode())
+    return w.getvalue()
 
 
 class RelayServer:
@@ -94,6 +104,11 @@ class RelayServer:
         self.forwarded_messages = 0
         self.forwarded_bytes = 0
         self._listener = None
+        #: always-on black box: recent registrations/routes/errors
+        self.flight = FlightRecorder("relay", clock=lambda: host.sim.now)
+        # open routed channels, keyed (opener, acceptor, channel):
+        # [open time, opener's trace context (or None), forwarded bytes]
+        self._routes: dict[tuple[str, str, int], list] = {}
 
     @property
     def addr(self) -> Addr:
@@ -108,9 +123,36 @@ class RelayServer:
         if self._listener is not None:
             self._listener.close()
             self._listener = None
+        self.flight.note("relay.stop", sessions=len(self.sessions))
+        for key in list(self._routes):
+            self._finish_route(key, "error", reason="relay stopped")
         for sock in list(self.sessions.values()):
             sock.abort()
         self.sessions.clear()
+
+    def _finish_route(self, key: tuple, outcome: str, **attrs) -> None:
+        entry = self._routes.pop(key, None)
+        if entry is None:
+            return
+        t0, ctx, nbytes = entry
+        src, dst, channel = key
+        obs.record_span(
+            "relay.route",
+            t0,
+            self.host.sim.now,
+            ctx=ctx,
+            node="relay",
+            src=src,
+            dst=dst,
+            channel=channel,
+            bytes=nbytes,
+            outcome=outcome,
+            **attrs,
+        )
+        self.flight.note(
+            "relay.route.closed", ctx=ctx,
+            src=src, dst=dst, channel=channel, bytes=nbytes, outcome=outcome,
+        )
 
     def _accept_loop(self) -> Generator:
         from ..simnet.tcp import SocketClosed
@@ -138,6 +180,7 @@ class RelayServer:
                 sock.close()
                 return
             self.sessions[node_id] = sock
+            self.flight.note("relay.register", node_id=node_id)
             yield from _write_frame(sock, ByteWriter().u8(T_REGISTER_OK).getvalue())
 
             while True:
@@ -150,6 +193,10 @@ class RelayServer:
         finally:
             if node_id is not None and self.sessions.get(node_id) is sock:
                 del self.sessions[node_id]
+                self.flight.note("relay.unregister", node_id=node_id)
+                for key in list(self._routes):
+                    if node_id in (key[0], key[1]):
+                        self._finish_route(key, "error", reason="session lost")
             sock.close()
 
     def _forward(self, src: str, body: bytes, src_sock: SimSocket) -> Generator:
@@ -157,17 +204,37 @@ class RelayServer:
         kind = reader.u8()
         if kind not in (T_OPEN, T_MSG, T_CLOSE):
             raise RelayError(f"unexpected frame type {kind}")
-        reader.u8()  # channel-ownership flag: forwarded untouched
+        sender_owns = bool(reader.u8())  # flag itself forwarded untouched
         claimed_src = reader.lp_str()
         dst = reader.lp_str()
         channel = reader.u64()
         payload = reader.lp_bytes()
         if claimed_src != src:
             raise RelayError("source spoofing")
+        # Channel identity in the opener's numbering, both directions.
+        route_key = (src, dst, channel) if sender_owns else (dst, src, channel)
+        if kind == T_OPEN:
+            ctx = None
+            if reader.remaining:
+                try:
+                    ctx = TraceContext.decode(reader.raw(reader.remaining))
+                except ValueError:
+                    ctx = None
+            # The relay's route span is its own node in the causal tree,
+            # a child of the opener's establishment attempt.
+            self._routes[route_key] = [
+                self.host.sim.now, ctx.child() if ctx is not None else None, 0
+            ]
+            self.flight.note(
+                "relay.route.open",
+                ctx=self._routes[route_key][1],
+                src=src, dst=dst, channel=channel,
+            )
         dest_sock = self.sessions.get(dst)
         if dest_sock is None:
             # The error goes back to the channel's opener: from their point
             # of view the channel is their own numbering.
+            self._finish_route(route_key, "error", reason="unknown destination")
             yield from _write_frame(
                 src_sock,
                 _routed_body(
@@ -178,6 +245,9 @@ class RelayServer:
             return
         self.forwarded_messages += 1
         self.forwarded_bytes += len(payload)
+        route = self._routes.get(route_key)
+        if route is not None:
+            route[2] += len(payload)
         reg = obs.metrics()
         reg.counter("relay.forwarded_total", backend="sim").inc()
         reg.counter("relay.forwarded_bytes_total", backend="sim").inc(len(payload))
@@ -191,6 +261,7 @@ class RelayServer:
             if self.sessions.get(dst) is dest_sock:
                 del self.sessions[dst]
             dest_sock.abort()
+            self._finish_route(route_key, "error", reason="destination died")
             yield from _write_frame(
                 src_sock,
                 _routed_body(
@@ -198,6 +269,9 @@ class RelayServer:
                     sender_owns_channel=False,
                 ),
             )
+            return
+        if kind == T_CLOSE:
+            self._finish_route(route_key, "ok")
 
 
 class ReflectorServer:
@@ -259,6 +333,8 @@ class RoutedLink(Link):
         self.closed = False
         #: the T_OPEN payload (purpose tag) this channel was opened with
         self.open_payload: bytes = b""
+        #: causal context the channel was opened under (rides T_OPEN)
+        self.ctx: Optional[TraceContext] = None
 
     @property
     def sim(self):
@@ -463,30 +539,44 @@ class RelayClient:
 
     # -- outgoing ---------------------------------------------------------------
     def _send_routed(
-        self, kind: int, peer: str, channel: int, payload: bytes, owned: bool = True
+        self,
+        kind: int,
+        peer: str,
+        channel: int,
+        payload: bytes,
+        owned: bool = True,
+        ctx: Optional[TraceContext] = None,
     ) -> Generator:
         if self._sock is None:
             raise RelayError("relay client not connected")
         yield from _write_frame(
             self._sock,
             _routed_body(
-                kind, self.node_id, peer, channel, payload, sender_owns_channel=owned
+                kind, self.node_id, peer, channel, payload,
+                sender_owns_channel=owned, ctx=ctx,
             ),
         )
 
-    def open_link(self, peer: str, payload: bytes = b"") -> Generator:
+    def open_link(
+        self, peer: str, payload: bytes = b"",
+        ctx: Optional[TraceContext] = None,
+    ) -> Generator:
         """Open a routed link to ``peer`` (optimistic, like the paper's
         request forwarding; an unknown peer surfaces as a link error).
 
         ``payload`` tags the channel's purpose for the peer's dispatcher
-        (e.g. ``b"service"`` vs ``b"data:<nonce>"``).
+        (e.g. ``b"service"`` vs ``b"data:<nonce>"``).  ``ctx`` rides the
+        OPEN frame so the relay and the peer join this trace.
         """
         channel = next(self._channel_ids)
         link = RoutedLink(self, peer, channel, owned=True)
         link.open_payload = payload
+        link.ctx = ctx
         self._links[(peer, channel, True)] = link
-        obs.event("relay.open", peer=peer, channel=channel)
-        yield from self._send_routed(T_OPEN, peer, channel, payload, owned=True)
+        obs.event(
+            "relay.open", ctx=ctx, node=self.node_id, peer=peer, channel=channel
+        )
+        yield from self._send_routed(T_OPEN, peer, channel, payload, owned=True, ctx=ctx)
         return link
 
     def accept_link(self) -> Generator:
@@ -584,6 +674,12 @@ class RelayClient:
             payload = reader.lp_bytes()
         except FrameError:
             return
+        ctx = None
+        if kind == T_OPEN and reader.remaining:
+            try:
+                ctx = TraceContext.decode(reader.raw(reader.remaining))
+            except ValueError:
+                ctx = None
         # The frame names the channel in its owner's numbering: if the
         # sender owns it, locally it is a not-owned (accepted) channel.
         owned_by_me = not sender_owns
@@ -597,6 +693,7 @@ class RelayClient:
             if link is None:
                 link = RoutedLink(self, src, channel, owned=owned_by_me)
                 link.open_payload = payload
+                link.ctx = ctx
                 self._links[key] = link
                 if self._accept_waiters:
                     self._accept_waiters.pop(0).succeed(link)

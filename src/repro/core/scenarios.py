@@ -25,8 +25,6 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from typing import Union
-
 from .. import obs
 from ..simnet.engine import all_of
 from ..simnet.nat import BrokenNAT, ConeNAT, NatBox, SymmetricNAT
@@ -250,7 +248,7 @@ class GridScenario:
         self,
         sender_id: str,
         receiver_id: str,
-        spec: Union[str, StackSpec],
+        spec: StackSpec,
         payload: bytes,
         total_bytes: int,
         message_size: int = 65536,
@@ -271,9 +269,13 @@ class GridScenario:
         sim = self.sim
         sender = self.nodes[sender_id]
         receiver = self.nodes[receiver_id]
-        # ``spec`` doubles as the experiment axis label, so the canonical
-        # string form is accepted here and parsed silently (wire format).
-        parsed = spec if isinstance(spec, StackSpec) else StackSpec.parse(spec)
+        if not isinstance(spec, StackSpec):
+            raise TypeError(
+                f"expected StackSpec, got {type(spec).__name__}; the string "
+                f"form is wire-only — use StackSpec.parse(...) or the typed "
+                f"builders"
+            )
+        parsed = spec
         res: dict = {}
 
         def run_sender() -> Generator:

@@ -60,6 +60,8 @@ from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
 from .. import obs
+from ..obs import TraceContext
+from ..obs.flight import FlightRecorder
 from ..simnet.engine import with_timeout
 from .links import Link, transport_errors
 from .retry import RetryPolicy, retrying
@@ -218,6 +220,9 @@ class SessionLink(Link):
         reconnect: Optional[Callable[["SessionLink"], Generator]] = None,
         retry_policy: Optional[RetryPolicy] = None,
         peer: str = "",
+        ctx: Optional[TraceContext] = None,
+        node: str = "",
+        flight: Optional[FlightRecorder] = None,
     ):
         if role not in (self.INITIATOR, self.RESPONDER):
             raise ValueError(f"bad session role {role!r}")
@@ -226,6 +231,13 @@ class SessionLink(Link):
         self.sid = sid
         self.role = role
         self.peer = peer
+        #: causal identity of the connect that created this session — resume
+        #: spans are children of it, so a reconnect shows up in the same
+        #: trace as the original transfer
+        self.ctx = ctx
+        self.node = node
+        self.flight = flight
+        self._resume_ctx: Optional[TraceContext] = None
         self.config = config or SessionConfig()
         self.reconnects = 0
         self.replayed_bytes = 0
@@ -257,12 +269,24 @@ class SessionLink(Link):
         self._flags = {"ack": False, "pong": False, "finack": False, "ping": False}
         self._control_ev = None
         self._transport = transport_errors()
-        obs.event("session.established", sid=f"{sid:016x}", role=role, peer=peer)
+        obs.event(
+            "session.established",
+            ctx=ctx,
+            node=node or None,
+            sid=f"{sid:016x}",
+            role=role,
+            peer=peer,
+        )
+        self._note("session.established", ctx, sid=f"{sid:016x}", role=role)
         self._start_pump()
         self._sim.process(self._control_loop(), name=f"session-ctl-{sid:x}-{role[0]}")
         self._sim.process(
             self._heartbeat_loop(), name=f"session-hb-{sid:x}-{role[0]}"
         )
+
+    def _note(self, name: str, ctx: Optional[TraceContext], **attrs) -> None:
+        if self.flight is not None:
+            self.flight.note(name, ctx=ctx or self.ctx, **attrs)
 
     # -- metadata ----------------------------------------------------------------
     @property
@@ -570,11 +594,19 @@ class SessionLink(Link):
         self._gen += 1
         obs.event(
             "session.broken",
+            ctx=self.ctx,
+            node=self.node or None,
             sid=f"{self.sid:016x}",
             role=self.role,
             at_tx=self._tx_off,
             at_rx=self._rx_off,
             error=f"{type(exc).__name__}: {exc}",
+        )
+        self._note(
+            "session.broken",
+            None,
+            sid=f"{self.sid:016x}",
+            error=type(exc).__name__,
         )
         try:
             self._raw.abort()
@@ -598,9 +630,14 @@ class SessionLink(Link):
             self._registry.remove(self.sid)
         obs.event(
             "session.failed",
+            ctx=self.ctx,
+            node=self.node or None,
             sid=f"{self.sid:016x}",
             role=self.role,
             error=f"{type(exc).__name__}: {exc}",
+        )
+        self._note(
+            "session.failed", None, sid=f"{self.sid:016x}", error=type(exc).__name__
         )
         self._wake_rx()
         self._wake_window()
@@ -608,7 +645,18 @@ class SessionLink(Link):
 
     def _recovery(self) -> Generator:
         started = self._sim.now
-        with obs.span("session.resume", sid=f"{self.sid:016x}", role=self.role) as span:
+        # Each recovery is one child span of the session's originating
+        # trace; the same ctx rides the re-establishment handshake and the
+        # RESUME frame so relay/responder records join the tree.
+        resume_ctx = self.ctx.child() if self.ctx is not None else None
+        self._resume_ctx = resume_ctx
+        with obs.span(
+            "session.resume",
+            ctx=resume_ctx,
+            node=self.node or None,
+            sid=f"{self.sid:016x}",
+            role=self.role,
+        ) as span:
             retry_on = self._transport + (
                 TimeoutError,
                 SessionError,
@@ -663,18 +711,29 @@ class SessionLink(Link):
         reg.histogram("session.resume_seconds").observe(self._sim.now - started)
         obs.event(
             "session.resumed",
+            ctx=resume_ctx,
+            node=self.node or None,
             sid=f"{self.sid:016x}",
             role=self.role,
             after=round(self._sim.now - started, 6),
             reconnects=self.reconnects,
         )
+        self._note(
+            "session.resumed", resume_ctx,
+            sid=f"{self.sid:016x}", reconnects=self.reconnects,
+        )
 
     def _resume_initiator(self, raw: Link) -> Generator:
         fin = self._tx_fin
+        # RESUME carries the recovery's trace context as a fixed 24-byte
+        # trailer (all-zero = untraced) so the responder's records land in
+        # the same span tree as the initiator's resume span.
+        ctx = self._resume_ctx
         yield from raw.send_all(
             _RESUME_HDR.pack(
                 F_RESUME, self.sid, self._rx_off, 1 if fin is not None else 0, fin or 0
             )
+            + (ctx.encode() if ctx is not None else b"\0" * TraceContext.WIRE_SIZE)
         )
         buf = yield from raw.recv_exactly(_RESUME_OK_HDR.size)
         kind, peer_rx, fin_flag, fin_off = _RESUME_OK_HDR.unpack(buf)
@@ -688,6 +747,13 @@ class SessionLink(Link):
         kind, sid, peer_rx, fin_flag, fin_off = _RESUME_HDR.unpack(buf)
         if kind != F_RESUME or sid != self.sid:
             raise SessionError(f"bad RESUME (type {kind}, sid {sid:016x})")
+        blob = yield from raw.recv_exactly(TraceContext.WIRE_SIZE)
+        rctx: Optional[TraceContext] = None
+        if any(blob):
+            try:
+                rctx = TraceContext.decode(blob).child()
+            except ValueError:
+                rctx = None
         self._note_peer_fin(fin_flag, fin_off)
         fin = self._tx_fin
         yield from raw.send_all(
@@ -698,6 +764,20 @@ class SessionLink(Link):
         yield from self._complete_resume(raw, peer_rx)
         self.reconnects += 1
         obs.metrics().counter("session.reconnects_total", role=self.role).inc()
+        # events only on this side: the invariant layer counts every ok
+        # ``session.resume`` *span* against the initiator reconnect counter
+        obs.event(
+            "session.resumed",
+            ctx=rctx,
+            node=self.node or None,
+            sid=f"{self.sid:016x}",
+            role=self.role,
+            reconnects=self.reconnects,
+        )
+        self._note(
+            "session.resumed", rctx,
+            sid=f"{self.sid:016x}", reconnects=self.reconnects,
+        )
 
     def _note_peer_fin(self, fin_flag: int, fin_off: int) -> None:
         if not fin_flag:
@@ -804,10 +884,18 @@ class SessionLink(Link):
             self._registry.remove(self.sid)
         obs.event(
             "session.finished",
+            ctx=self.ctx,
+            node=self.node or None,
             sid=f"{self.sid:016x}",
             role=self.role,
             tx=self._tx_off,
             rx=self._rx_off,
+            reconnects=self.reconnects,
+        )
+        self._note(
+            "session.finished",
+            None,
+            sid=f"{self.sid:016x}",
             reconnects=self.reconnects,
         )
         try:

@@ -9,14 +9,19 @@ on top (used by the IPL's Write/Read messages).
 from __future__ import annotations
 
 import struct
-from typing import Generator
+from typing import Generator, Optional
 
 from ... import obs
+from ...obs import TraceContext
 from .base import Driver
 
 __all__ = ["BlockChannel", "DEFAULT_BLOCK"]
 
 DEFAULT_BLOCK = 65536
+
+#: message frame header: flags (bit 0 = trace context follows) + length
+_MSG_HDR = struct.Struct("!BI")
+_F_CTX = 1
 
 
 class BlockChannel:
@@ -32,6 +37,8 @@ class BlockChannel:
         self._eof = False
         self.bytes_written = 0
         self.bytes_read = 0
+        #: trace context carried by the most recently received message
+        self.last_ctx: Optional[TraceContext] = None
 
     # -- writing ------------------------------------------------------------
     def write(self, data: bytes) -> Generator:
@@ -77,18 +84,34 @@ class BlockChannel:
         return b"".join(parts)
 
     # -- message framing ------------------------------------------------------
-    def send_message(self, payload: bytes) -> Generator:
-        """One framed message: length prefix + payload + flush."""
-        yield from self.write(struct.pack("!I", len(payload)))
+    def send_message(
+        self, payload: bytes, ctx: Optional[TraceContext] = None
+    ) -> Generator:
+        """One framed message: flags + length prefix (+ trace context) +
+        payload + flush.  ``ctx`` rides the header so the receiving node's
+        records join the sender's trace."""
+        ctx = ctx or obs.current()
+        flags = _F_CTX if ctx is not None else 0
+        yield from self.write(_MSG_HDR.pack(flags, len(payload)))
+        if ctx is not None:
+            yield from self.write(ctx.encode())
         yield from self.write(payload)
         yield from self.flush()
-        obs.event("channel.message", direction="tx", bytes=len(payload))
+        obs.event("channel.message", ctx=ctx, direction="tx", bytes=len(payload))
 
     def recv_message(self) -> Generator:
-        header = yield from self.read_exactly(4)
-        length = struct.unpack("!I", header)[0]
+        header = yield from self.read_exactly(_MSG_HDR.size)
+        flags, length = _MSG_HDR.unpack(header)
+        ctx = None
+        if flags & _F_CTX:
+            blob = yield from self.read_exactly(TraceContext.WIRE_SIZE)
+            try:
+                ctx = TraceContext.decode(blob)
+            except ValueError:
+                ctx = None
+        self.last_ctx = ctx
         payload = yield from self.read_exactly(length)
-        obs.event("channel.message", direction="rx", bytes=len(payload))
+        obs.event("channel.message", ctx=ctx, direction="rx", bytes=len(payload))
         return payload
 
     def close(self) -> None:

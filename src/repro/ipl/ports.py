@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from .. import obs
+from ..obs import TraceContext
 from ..core.utilization.stream import BlockChannel
 from ..simnet.engine import Event
 from .identifiers import PortIdentifier
@@ -55,10 +56,17 @@ class WriteMessage(MessageWriter):
 class ReadMessage(MessageReader):
     """A received message; read items in the order they were written."""
 
-    def __init__(self, payload: bytes, origin: Optional[str] = None):
+    def __init__(
+        self,
+        payload: bytes,
+        origin: Optional[str] = None,
+        ctx: Optional[TraceContext] = None,
+    ):
         super().__init__(payload)
         #: name of the sending Ibis node, when known
         self.origin = origin
+        #: trace context that rode the message header, when the sender traced
+        self.ctx = ctx
 
 
 class SendPort:
@@ -107,8 +115,12 @@ class SendPort:
         return self._active_message
 
     def _transmit(self, payload: bytes) -> Generator:
+        # One trace per IPL message: the same context rides every fan-out
+        # channel's header, so all receive-side records share the tree.
+        parent = obs.current()
+        ctx = parent.child() if parent is not None else TraceContext.new()
         for channel in self.channels.values():
-            yield from channel.send_message(payload)
+            yield from channel.send_message(payload, ctx=ctx)
         self.messages_sent += 1
         self.bytes_sent += len(payload)
         reg = obs.metrics()
@@ -117,7 +129,8 @@ class SendPort:
             len(payload)
         )
         obs.event(
-            "ipl.message", port=self.name, direction="tx", bytes=len(payload),
+            "ipl.message", ctx=ctx, node=self.runtime.name,
+            port=self.name, direction="tx", bytes=len(payload),
             fanout=len(self.channels),
         )
 
@@ -161,7 +174,8 @@ class ReceivePort:
         try:
             while True:
                 payload = yield from channel.recv_message()
-                message = ReadMessage(payload, origin=origin)
+                rctx = channel.last_ctx.child() if channel.last_ctx else None
+                message = ReadMessage(payload, origin=origin, ctx=rctx)
                 self.messages_received += 1
                 reg = obs.metrics()
                 reg.counter(
@@ -171,7 +185,8 @@ class ReceivePort:
                     "ipl.message_bytes", port=self.name, direction="rx"
                 ).observe(len(payload))
                 obs.event(
-                    "ipl.message", port=self.name, direction="rx",
+                    "ipl.message", ctx=rctx, node=self.runtime.name,
+                    port=self.name, direction="rx",
                     bytes=len(payload), origin=origin,
                 )
                 if self._waiters:

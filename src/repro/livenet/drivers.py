@@ -14,6 +14,7 @@ import zlib
 from typing import Iterable, Optional, Sequence
 
 from .. import obs
+from ..obs import TraceContext
 from ..core.utilization.compression import FLAG_DEFLATE, FLAG_RAW
 from ..core.utilization.parallel import DEFAULT_FRAGMENT
 from ..security.certs import Certificate
@@ -309,12 +310,19 @@ class AsyncTlsDriver(AsyncDriver):
 class AsyncBlockChannel:
     """Buffered channel + framed messages over an async driver stack."""
 
+    #: message frame header — must match the simulated BlockChannel's
+    #: (flags u8, bit 0 = trace context follows; length u32)
+    _MSG_HDR = struct.Struct("!BI")
+    _F_CTX = 1
+
     def __init__(self, driver: AsyncDriver, block_size: int = 65536):
         self.driver = driver
         self.block_size = block_size
         self._out = bytearray()
         self._in = bytearray()
         self._eof = False
+        #: trace context carried by the most recently received message
+        self.last_ctx = None
 
     async def write(self, data: bytes) -> None:
         self._out.extend(data)
@@ -350,16 +358,29 @@ class AsyncBlockChannel:
             remaining -= len(data)
         return b"".join(parts)
 
-    async def send_message(self, payload: bytes) -> None:
-        await self.write(struct.pack("!I", len(payload)))
+    async def send_message(self, payload: bytes, ctx=None) -> None:
+        ctx = ctx or obs.current()
+        flags = self._F_CTX if ctx is not None else 0
+        await self.write(self._MSG_HDR.pack(flags, len(payload)))
+        if ctx is not None:
+            await self.write(ctx.encode())
         await self.write(payload)
         await self.flush()
-        obs.event("channel.message", direction="tx", bytes=len(payload))
+        obs.event("channel.message", ctx=ctx, direction="tx", bytes=len(payload))
 
     async def recv_message(self) -> bytes:
-        header = await self.read_exactly(4)
-        payload = await self.read_exactly(struct.unpack("!I", header)[0])
-        obs.event("channel.message", direction="rx", bytes=len(payload))
+        header = await self.read_exactly(self._MSG_HDR.size)
+        flags, length = self._MSG_HDR.unpack(header)
+        ctx = None
+        if flags & self._F_CTX:
+            blob = await self.read_exactly(TraceContext.WIRE_SIZE)
+            try:
+                ctx = TraceContext.decode(blob)
+            except ValueError:
+                ctx = None
+        self.last_ctx = ctx
+        payload = await self.read_exactly(length)
+        obs.event("channel.message", ctx=ctx, direction="rx", bytes=len(payload))
         return payload
 
     def close(self) -> None:

@@ -29,6 +29,15 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from .context import (
+    TraceContext,
+    current,
+    fmt_id,
+    next_id,
+    seed_ids,
+    set_current,
+    use,
+)
 from .export import (
     SCHEMA_VERSION,
     SchemaError,
@@ -37,6 +46,7 @@ from .export import (
     validate_jsonl,
     validate_record,
 )
+from .flight import FlightRecorder
 from .meters import SeriesRecorder, TransferMeter, mb_per_s
 from .metrics import (
     DEFAULT_BYTE_BUCKETS,
@@ -53,6 +63,7 @@ from .trace import (
     disable_tracing,
     enable_tracing,
     event,
+    record_span,
     set_tracer,
     span,
     tracer,
@@ -79,6 +90,17 @@ __all__ = [
     "tracer",
     "span",
     "event",
+    "record_span",
+    # causal context
+    "TraceContext",
+    "current",
+    "use",
+    "set_current",
+    "seed_ids",
+    "next_id",
+    "fmt_id",
+    # flight recorder
+    "FlightRecorder",
     # clocks
     "use_sim_clock",
     # export / report

@@ -1,0 +1,405 @@
+"""Stitch per-node observability exports into end-to-end causal traces.
+
+Each node of a run (grid nodes, the relay, SOCKS proxies) exports its own
+JSON-lines file (:func:`repro.obs.export.export_jsonl` with ``node=``).
+Every record carries the causal identity its :class:`~repro.obs.context.
+TraceContext` stamped on it, so the records of one logical operation —
+a brokered connect, a routed transfer, a session resume — are scattered
+across files but share one ``trace_id``.  This module loads any number
+of exports and rebuilds the cross-node span tree:
+
+* **spans** nest by ``parent_id``; spans whose parent was never recorded
+  (dropped file, crashed node) become *orphans* attached at the root and
+  flagged, not discarded;
+* **events**, **packet** records and **flight** entries attach to the
+  span whose ``span_id`` they carry (falling back to ``parent_id``);
+* per-node **clock skew** is estimated from cross-node parent/child
+  edges (a child cannot start before its parent) and subtracted, or
+  given explicitly per node;
+* each cross-node edge gets a **hop latency** (child start − parent
+  start, after skew correction), and every trace gets its **critical
+  path** — the chain of spans ending at the latest-finishing leaf.
+
+Usage::
+
+    python -m repro.obs.assemble out/*.jsonl            # text report
+    python -m repro.obs.assemble out/*.jsonl --json     # machine form
+    python -m repro.obs.assemble out/*.jsonl --trace 00ab12...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, Optional
+
+from .export import read_jsonl
+
+__all__ = ["assemble", "assemble_files", "render_text", "main"]
+
+
+class _Span:
+    __slots__ = ("record", "children", "attached", "orphan", "offset")
+
+    def __init__(self, record: dict):
+        self.record = record
+        self.children: list[_Span] = []
+        self.attached: list[dict] = []  # events / packets / flight entries
+        self.orphan = False
+        self.offset = 0.0  # clock-skew correction for this span's node
+
+    @property
+    def span_id(self) -> str:
+        return self.record["span_id"]
+
+    @property
+    def parent_id(self) -> Optional[str]:
+        return self.record.get("parent_id")
+
+    @property
+    def node(self) -> str:
+        return self.record.get("node", "?")
+
+    @property
+    def start(self) -> float:
+        return self.record["ts"] + self.offset
+
+    @property
+    def end(self) -> float:
+        return self.record["ts"] + self.record.get("duration", 0.0) + self.offset
+
+
+def _is_traced(record: dict) -> bool:
+    return record.get("type") in ("trace", "flight") and "trace_id" in record
+
+
+def _estimate_offsets(roots: list, base: Optional[dict] = None) -> dict:
+    """Per-node skew from the happens-before structure of the tree.
+
+    Walking parent → child, a child span cannot start before its parent
+    started: if it appears to, the child's node clock is behind by at
+    least the difference.  The maximum such deficit per node (relative
+    to the root's node, pinned at zero) is that node's offset.  Real
+    skews larger than genuine hop latencies are recovered exactly; the
+    estimate never *introduces* negative hops.  ``base`` seeds the walk
+    with explicit per-node offsets, so estimation only adds what those
+    have not already repaired.
+    """
+    offsets: dict[str, float] = dict(base or {})
+    for root in roots:
+        offsets.setdefault(root.node, 0.0)
+        stack = [root]
+        while stack:
+            parent = stack.pop()
+            poff = offsets.get(parent.node, 0.0)
+            for child in parent.children:
+                if child.node != parent.node:
+                    deficit = (parent.record["ts"] + poff) - (
+                        child.record["ts"] + offsets.get(child.node, 0.0)
+                    )
+                    if deficit > 0:
+                        offsets[child.node] = offsets.get(child.node, 0.0) + deficit
+                stack.append(child)
+    return {node: off for node, off in offsets.items() if off}
+
+
+def _critical_path(root: _Span) -> list:
+    """The chain of spans ending at the latest-finishing descendant."""
+    path = [root]
+    span = root
+    while span.children:
+        span = max(span.children, key=lambda s: s.end)
+        path.append(span)
+    return path
+
+
+def _span_dict(span: _Span) -> dict:
+    rec = span.record
+    out = {
+        "name": rec["name"],
+        "node": span.node,
+        "span_id": rec["span_id"],
+        "start": round(span.start, 6),
+        "duration": round(rec.get("duration", 0.0), 6),
+        "attrs": rec.get("attrs", {}),
+    }
+    if span.orphan:
+        out["orphan"] = True
+    if span.attached:
+        out["events"] = [
+            {
+                "name": e["name"],
+                "node": e.get("node", "?"),
+                "ts": round(e["ts"] + span.offset, 6),
+                "kind": e.get("kind", e["type"]),
+                "attrs": e.get("attrs", {}),
+            }
+            for e in sorted(span.attached, key=lambda e: e["ts"])
+        ]
+    if span.children:
+        out["children"] = [_span_dict(c) for c in span.children]
+    return out
+
+
+def assemble(
+    records: Iterable[dict],
+    offsets: Optional[dict] = None,
+    adjust_skew: bool = True,
+) -> dict:
+    """Rebuild causal traces from a pile of schema-v2 records.
+
+    ``offsets`` maps node name → seconds to *add* to that node's clock;
+    when ``adjust_skew`` is true, additional per-node skew is estimated
+    from the tree structure on top of any explicit offsets.
+    """
+    records = list(records)
+    # Overlapping exports (a per-node file plus a combined run file, or a
+    # re-exported bundle) legitimately repeat records — stitch each one
+    # exactly once.
+    seen: set = set()
+    traced = []
+    for record in records:
+        if not _is_traced(record):
+            continue
+        key = json.dumps(record, sort_keys=True)
+        if key in seen:
+            continue
+        seen.add(key)
+        traced.append(record)
+    by_trace: dict[str, list] = {}
+    for record in traced:
+        by_trace.setdefault(record["trace_id"], []).append(record)
+
+    traces = []
+    for trace_id in sorted(by_trace):
+        group = by_trace[trace_id]
+        spans: dict[str, _Span] = {}
+        loose: list[dict] = []
+        for record in group:
+            if record.get("type") == "trace" and record.get("kind") == "span":
+                sid = record.get("span_id")
+                if sid:
+                    spans[sid] = _Span(record)
+                    continue
+            loose.append(record)
+
+        roots: list[_Span] = []
+        for span in spans.values():
+            parent = spans.get(span.parent_id) if span.parent_id else None
+            if parent is not None and parent is not span:
+                parent.children.append(span)
+            else:
+                span.orphan = bool(span.parent_id)
+                roots.append(span)
+        for span in spans.values():
+            span.children.sort(key=lambda s: s.record["ts"])
+        roots.sort(key=lambda s: s.record["ts"])
+
+        # Attach events / packets / flight records to their span: primary
+        # key is span_id (the record was stamped with the span's own
+        # context), fallback is parent_id (a child context whose span was
+        # never opened).
+        unattached = 0
+        for record in loose:
+            target = spans.get(record.get("span_id")) or spans.get(
+                record.get("parent_id")
+            )
+            if target is not None:
+                target.attached.append(record)
+            else:
+                unattached += 1
+
+        # Clock-skew correction, then derived timings.
+        skew = dict(offsets or {})
+        if adjust_skew:
+            skew = _estimate_offsets(roots, base=skew)
+        if skew:
+            for span in spans.values():
+                span.offset = skew.get(span.node, 0.0)
+
+        hops = []
+        for span in spans.values():
+            for child in span.children:
+                if child.node != span.node:
+                    hops.append(
+                        {
+                            "from": {"name": span.record["name"], "node": span.node},
+                            "to": {"name": child.record["name"], "node": child.node},
+                            "latency": round(child.start - span.start, 6),
+                        }
+                    )
+        hops.sort(key=lambda h: (h["from"]["node"], h["to"]["node"], h["latency"]))
+
+        main_root = max(roots, key=lambda s: s.end) if roots else None
+        critical = (
+            [
+                {
+                    "name": s.record["name"],
+                    "node": s.node,
+                    "start": round(s.start, 6),
+                    "end": round(s.end, 6),
+                }
+                for s in _critical_path(main_root)
+            ]
+            if main_root is not None
+            else []
+        )
+
+        traces.append(
+            {
+                "trace_id": trace_id,
+                "nodes": sorted({r["node"] for r in group if r.get("node")}),
+                "spans": len(spans),
+                "events": sum(
+                    1 for r in loose if r.get("type") == "trace"
+                ),
+                "flight": sum(1 for r in loose if r.get("type") == "flight"),
+                "orphans": sum(1 for s in spans.values() if s.orphan),
+                "unattached": unattached,
+                "skew": {n: round(v, 6) for n, v in sorted(skew.items())},
+                "roots": [_span_dict(r) for r in roots],
+                "hops": hops,
+                "critical_path": critical,
+            }
+        )
+
+    return {
+        "traces": traces,
+        "records": len(traced),
+        "untraced": sum(
+            1
+            for r in records
+            if r.get("type") in ("trace", "flight") and "trace_id" not in r
+        ),
+    }
+
+
+def assemble_files(
+    paths: Iterable[str],
+    offsets: Optional[dict] = None,
+    adjust_skew: bool = True,
+) -> dict:
+    """Load JSONL exports and :func:`assemble` their records."""
+    records: list[dict] = []
+    for path in paths:
+        records.extend(read_jsonl(path))
+    return assemble(records, offsets=offsets, adjust_skew=adjust_skew)
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _render_span(span: dict, base: float, out: list, depth: int) -> None:
+    pad = "  " * depth
+    delta = span["start"] - base
+    flags = " (orphan)" if span.get("orphan") else ""
+    attrs = span.get("attrs", {})
+    outcome = f" outcome={attrs['outcome']}" if "outcome" in attrs else ""
+    out.append(
+        f"{pad}{span['name']} [{span['node']}]  "
+        f"+{delta * 1000:.3f}ms  {span['duration'] * 1000:.3f}ms"
+        f"{outcome}{flags}"
+    )
+    for event in span.get("events", []):
+        edelta = event["ts"] - base
+        out.append(
+            f"{pad}  · {event['name']} [{event['node']}] "
+            f"+{edelta * 1000:.3f}ms ({event['kind']})"
+        )
+    for child in span.get("children", []):
+        _render_span(child, base, out, depth + 1)
+
+
+def render_text(result: dict) -> str:
+    """A human-readable multi-trace report."""
+    out: list[str] = []
+    traces = result["traces"]
+    out.append(
+        f"{len(traces)} trace(s) from {result['records']} records"
+        + (f" ({result['untraced']} untraced)" if result.get("untraced") else "")
+    )
+    for trace in traces:
+        out.append("")
+        out.append(
+            f"trace {trace['trace_id']}  nodes={','.join(trace['nodes'])}  "
+            f"spans={trace['spans']} events={trace['events']} "
+            f"flight={trace['flight']}"
+            + (f" orphans={trace['orphans']}" if trace["orphans"] else "")
+        )
+        if trace["skew"]:
+            skews = ", ".join(f"{n}={v:+.6f}s" for n, v in trace["skew"].items())
+            out.append(f"  clock skew: {skews}")
+        base = trace["roots"][0]["start"] if trace["roots"] else 0.0
+        for root in trace["roots"]:
+            _render_span(root, base, out, 1)
+        if trace["hops"]:
+            out.append("  hops:")
+            for hop in trace["hops"]:
+                out.append(
+                    f"    {hop['from']['node']} -> {hop['to']['node']}  "
+                    f"{hop['latency'] * 1000:.3f}ms  "
+                    f"({hop['from']['name']} -> {hop['to']['name']})"
+                )
+        if trace["critical_path"]:
+            chain = " -> ".join(
+                f"{s['name']}@{s['node']}" for s in trace["critical_path"]
+            )
+            total = trace["critical_path"][-1]["end"] - trace["critical_path"][0][
+                "start"
+            ]
+            out.append(f"  critical path ({total * 1000:.3f}ms): {chain}")
+    return "\n".join(out)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.assemble",
+        description="Stitch per-node obs exports into causal span trees.",
+    )
+    parser.add_argument("files", nargs="+", help="JSONL export files")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable form"
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PREFIX",
+        help="only the trace(s) whose id starts with PREFIX",
+    )
+    parser.add_argument(
+        "--offset", action="append", default=[], metavar="NODE=SECONDS",
+        help="explicit clock offset for a node (repeatable)",
+    )
+    parser.add_argument(
+        "--no-skew", action="store_true",
+        help="disable automatic clock-skew estimation",
+    )
+    args = parser.parse_args(argv)
+
+    offsets = {}
+    for spec in args.offset:
+        node, _, value = spec.partition("=")
+        try:
+            offsets[node] = float(value)
+        except ValueError:
+            parser.error(f"bad --offset {spec!r} (want NODE=SECONDS)")
+
+    result = assemble_files(
+        args.files, offsets=offsets, adjust_skew=not args.no_skew
+    )
+    if args.trace:
+        result["traces"] = [
+            t for t in result["traces"] if t["trace_id"].startswith(args.trace)
+        ]
+    if args.json:
+        json.dump(result, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(render_text(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,13 +1,25 @@
 """JSON-lines export and schema validation for observability data.
 
-One line per record.  Two record types share the file:
+One line per record.  Record types sharing the file (schema v2):
 
+* ``{"type": "meta", "schema": 2, ...}`` — the header; optionally
+  carries ``node`` (which node this export belongs to) and drop
+  counters.
 * ``{"type": "metric", "kind": "counter"|"gauge"|"histogram", "name",
   "labels", ...}`` — counters/gauges carry ``value``; histograms carry
   ``count``, ``sum`` and ``buckets`` (``[[upper_bound, count], ...]``
   with ``"inf"`` as the overflow bound).
-* ``{"type": "trace", "kind": "span"|"event", "name", "ts", "attrs"}``
-  — spans additionally carry ``duration``.
+* ``{"type": "trace", "kind": "span"|"event"|"packet", "name", "ts",
+  "attrs"}`` — spans additionally carry ``duration``; packet records
+  are :mod:`repro.simnet.trace` entries lowered into the obs schema.
+* ``{"type": "flight", "name", "ts", "node"}`` — flight-recorder ring
+  entries (:mod:`repro.obs.flight`), optionally with ``attrs``.
+
+Trace and flight records may carry the causal-identity fields
+``trace_id``/``span_id``/``parent_id`` (16-hex-digit strings) and a
+``node`` tag; :mod:`repro.obs.assemble` stitches multiple exports into
+span trees on those.  Schema v1 records (no identity fields) remain
+valid — the fields are optional.
 
 :func:`validate_record` pins that shape; the smoke test validates whole
 exports with :func:`validate_jsonl`, and ``python -m repro.obs.report``
@@ -19,6 +31,7 @@ from __future__ import annotations
 import json
 from typing import IO, Optional, Union
 
+from .flight import FlightRecorder
 from .metrics import MetricsRegistry
 from .trace import TraceRecorder
 
@@ -31,47 +44,73 @@ __all__ = [
     "validate_jsonl",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _NUMBER = (int, float)
+_ID_FIELDS = ("trace_id", "span_id", "parent_id")
 
 
 class SchemaError(Exception):
     """An exported record does not match the observability schema."""
 
 
-def _records(registry: Optional[MetricsRegistry], recorder: Optional[TraceRecorder]):
+def _records(
+    registry: Optional[MetricsRegistry],
+    recorder: Optional[TraceRecorder],
+    node: Optional[str],
+    flight: Optional[FlightRecorder],
+):
     header = {"type": "meta", "schema": SCHEMA_VERSION}
+    if node is not None:
+        header["node"] = node
     if recorder is not None and recorder.dropped:
         header["dropped_trace_records"] = recorder.dropped
+    if flight is not None and flight.dropped:
+        header["dropped_flight_records"] = flight.dropped
     yield header
     if registry is not None:
         yield from registry.snapshot()
     if recorder is not None:
-        yield from recorder.records
+        if node is None:
+            yield from recorder.records
+        else:
+            for record in recorder.records:
+                if record.get("node") == node:
+                    yield record
+    if flight is not None:
+        yield from flight.records()
 
 
 def export_jsonl(
     path_or_file: Union[str, IO],
     registry: Optional[MetricsRegistry] = None,
     recorder: Optional[TraceRecorder] = None,
+    *,
+    node: Optional[str] = None,
+    flight: Optional[FlightRecorder] = None,
 ) -> int:
     """Write metrics and trace records as JSON lines; returns line count.
 
     With no explicit ``registry``/``recorder``, exports the process-wide
     registry and the active trace recorder (if tracing is enabled).
+
+    ``node`` narrows the export to one node's view: the meta header is
+    tagged with it and only trace records stamped with that node are
+    written (metrics registries are process-wide, so pass
+    ``registry=None`` for strictly per-node files).  ``flight`` appends
+    a flight recorder's ring contents.
     """
     from . import get_registry
     from .trace import tracer
 
-    if registry is None:
+    if registry is None and node is None:
         registry = get_registry()
     if recorder is None:
         recorder = tracer()
 
     def write(out: IO) -> int:
         n = 0
-        for record in _records(registry, recorder):
+        for record in _records(registry, recorder, node, flight):
             out.write(json.dumps(record, sort_keys=True) + "\n")
             n += 1
         return n
@@ -106,6 +145,28 @@ def _require(record: dict, key: str, types) -> object:
     return value
 
 
+def _check_identity(record: dict) -> None:
+    for field in _ID_FIELDS:
+        if field in record:
+            value = record[field]
+            ok = isinstance(value, str) and len(value) == 16
+            if ok:
+                try:
+                    int(value, 16)
+                except ValueError:
+                    ok = False
+            if not ok:
+                raise SchemaError(
+                    f"{field!r} must be 16 hex digits in {record!r}"
+                )
+    if "parent_id" in record and "span_id" not in record:
+        raise SchemaError(f"parent_id without span_id in {record!r}")
+    if "span_id" in record and "trace_id" not in record:
+        raise SchemaError(f"span_id without trace_id in {record!r}")
+    if "node" in record and not isinstance(record["node"], str):
+        raise SchemaError(f"'node' has wrong type in {record!r}")
+
+
 def validate_record(record: object) -> str:
     """Validate one record; returns its ``type``/``kind`` tag."""
     if not isinstance(record, dict):
@@ -113,6 +174,8 @@ def validate_record(record: object) -> str:
     rtype = _require(record, "type", str)
     if rtype == "meta":
         _require(record, "schema", int)
+        if "node" in record and not isinstance(record["node"], str):
+            raise SchemaError(f"'node' has wrong type in {record!r}")
         return "meta"
     if rtype == "metric":
         kind = _require(record, "kind", str)
@@ -141,14 +204,23 @@ def validate_record(record: object) -> str:
         return f"metric/{kind}"
     if rtype == "trace":
         kind = _require(record, "kind", str)
-        if kind not in ("span", "event"):
+        if kind not in ("span", "event", "packet"):
             raise SchemaError(f"unknown trace kind {kind!r}")
         _require(record, "name", str)
         _require(record, "ts", _NUMBER)
         _require(record, "attrs", dict)
         if kind == "span":
             _require(record, "duration", _NUMBER)
+        _check_identity(record)
         return f"trace/{kind}"
+    if rtype == "flight":
+        _require(record, "name", str)
+        _require(record, "ts", _NUMBER)
+        _require(record, "node", str)
+        if "attrs" in record and not isinstance(record["attrs"], dict):
+            raise SchemaError(f"'attrs' has wrong type in {record!r}")
+        _check_identity(record)
+        return "flight"
     raise SchemaError(f"unknown record type {rtype!r}")
 
 

@@ -1,0 +1,72 @@
+"""Always-on flight recorder: a bounded ring of recent lifecycle events.
+
+The opt-in :class:`~repro.obs.trace.TraceRecorder` is a scalpel — it
+records everything, costs memory proportional to the run, and is off by
+default.  The flight recorder is the black box: every node keeps a
+small ``deque(maxlen=...)`` of its most recent *lifecycle* notes (link
+opened, route established, session resumed, attempt failed, ...) at
+negligible cost, whether or not tracing is enabled.  When a chaos
+invariant fails, the runner dumps each node's ring into the postmortem
+bundle so the last moments before the failure are reconstructable even
+though nobody asked for a trace up front.
+
+Notes deliberately exclude per-message/per-packet events; the ring is
+for the dozens-per-run control-plane transitions, which is what keeps
+the overhead under the benchmarked noise floor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .context import TraceContext, current
+
+__all__ = ["FlightRecorder", "DEFAULT_CAPACITY"]
+
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent events for one node."""
+
+    __slots__ = ("node", "clock", "_ring", "dropped")
+
+    def __init__(self, node: str, capacity: int = DEFAULT_CAPACITY, clock=None):
+        self.node = node
+        self.clock = clock  # callable -> float; None = record ts 0.0
+        self._ring: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def note(self, name: str, ctx: Optional[TraceContext] = None, **attrs) -> None:
+        """Append one lifecycle note (evicting the oldest when full)."""
+        if ctx is None:
+            ctx = current()
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        ts = self.clock() if self.clock is not None else 0.0
+        self._ring.append((ts, name, ctx, attrs))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    def records(self) -> list:
+        """The ring as schema-v2 ``flight`` records, oldest first."""
+        out = []
+        for ts, name, ctx, attrs in self._ring:
+            rec = {
+                "type": "flight",
+                "name": name,
+                "ts": ts,
+                "node": self.node,
+            }
+            if ctx is not None:
+                rec.update(ctx.ids())
+            if attrs:
+                rec["attrs"] = dict(attrs)
+            out.append(rec)
+        return out

@@ -3,8 +3,8 @@
 These predate the metrics registry and remain the convenient tool for
 benchmark-style measurement: a :class:`TransferMeter` brackets one
 transfer, a :class:`SeriesRecorder` collects the points of one figure
-series.  They live here so both backends share them; ``repro.simnet.stats``
-re-exports them as a deprecation shim.
+series.  They live here so both backends share them (the old
+``repro.simnet.stats`` home is gone).
 """
 
 from __future__ import annotations

@@ -7,6 +7,13 @@ per-message send/receive.  Records are plain dicts of JSON-able
 attributes so the JSON-lines exporter and the report CLI need no schema
 negotiation.
 
+Records may carry a causal identity: pass a
+:class:`~repro.obs.context.TraceContext` as ``ctx=`` and the record is
+stamped with ``trace_id``/``span_id``/``parent_id`` (16-hex-digit
+strings), plus ``node`` when the producing node is known.  Context
+allocation happens at the call sites (so identities flow across the
+wire whether or not tracing is enabled); this module only stamps them.
+
 Tracing is off by default and every instrumentation site goes through
 the module-level :func:`span` / :func:`event` helpers, which collapse to
 a no-op when no recorder is installed — hot paths pay one global load
@@ -20,6 +27,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
+from .context import TraceContext
+
 __all__ = [
     "TraceRecorder",
     "Span",
@@ -29,7 +38,16 @@ __all__ = [
     "tracer",
     "span",
     "event",
+    "record_span",
 ]
+
+
+def _stamp(record: dict, ctx: Optional[TraceContext], node: Optional[str]) -> dict:
+    if ctx is not None:
+        record.update(ctx.ids())
+    if node is not None:
+        record["node"] = node
+    return record
 
 
 class TraceRecorder:
@@ -58,14 +76,49 @@ class TraceRecorder:
             return
         self.records.append(record)
 
-    def event(self, name: str, **attrs) -> None:
-        self._append(
+    def event(
+        self,
+        name: str,
+        ctx: Optional[TraceContext] = None,
+        node: Optional[str] = None,
+        **attrs,
+    ) -> None:
+        self._append(_stamp(
             {"type": "trace", "kind": "event", "name": name,
-             "ts": self._clock(), "attrs": attrs}
-        )
+             "ts": self._clock(), "attrs": attrs},
+            ctx, node,
+        ))
 
-    def span(self, name: str, **attrs) -> "Span":
-        return Span(self, name, attrs)
+    def span(
+        self,
+        name: str,
+        ctx: Optional[TraceContext] = None,
+        node: Optional[str] = None,
+        **attrs,
+    ) -> "Span":
+        return Span(self, name, attrs, ctx=ctx, node=node)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        ctx: Optional[TraceContext] = None,
+        node: Optional[str] = None,
+        **attrs,
+    ) -> None:
+        """Record a span from explicit timestamps (no context manager).
+
+        For producers that observe a region's start and end as separate
+        callbacks — the relay sees OPEN and CLOSE frames minutes apart —
+        rather than wrapping a code block.
+        """
+        attrs.setdefault("outcome", "ok")
+        self._append(_stamp(
+            {"type": "trace", "kind": "span", "name": name,
+             "ts": start, "duration": end - start, "attrs": attrs},
+            ctx, node,
+        ))
 
     # -- inspection ------------------------------------------------------------
     def spans(self, name: Optional[str] = None) -> list:
@@ -92,14 +145,28 @@ class Span:
     attribute — ``"ok"``, or ``"error"`` plus the exception type when the
     body raised.  Set attributes discovered mid-flight with :meth:`set`
     (including an explicit ``outcome`` that overrides the automatic one).
+
+    When constructed with a :class:`TraceContext` the span records that
+    identity verbatim — the context *is* the span's name in the causal
+    tree, so the same ``ctx`` object can be put on the wire for remote
+    children to parent themselves on.
     """
 
-    __slots__ = ("_recorder", "name", "attrs", "_t0")
+    __slots__ = ("_recorder", "name", "attrs", "ctx", "node", "_t0")
 
-    def __init__(self, recorder: TraceRecorder, name: str, attrs: dict):
+    def __init__(
+        self,
+        recorder: TraceRecorder,
+        name: str,
+        attrs: dict,
+        ctx: Optional[TraceContext] = None,
+        node: Optional[str] = None,
+    ):
         self._recorder = recorder
         self.name = name
         self.attrs = attrs
+        self.ctx = ctx
+        self.node = node
         self._t0 = 0.0
 
     def set(self, **attrs) -> "Span":
@@ -117,10 +184,11 @@ class Span:
             attrs["outcome"] = "ok" if exc_type is None else "error"
         if exc_type is not None and "error" not in attrs:
             attrs["error"] = exc_type.__name__
-        self._recorder._append(
+        self._recorder._append(_stamp(
             {"type": "trace", "kind": "span", "name": self.name,
-             "ts": self._t0, "duration": now - self._t0, "attrs": attrs}
-        )
+             "ts": self._t0, "duration": now - self._t0, "attrs": attrs},
+            self.ctx, self.node,
+        ))
         return False
 
 
@@ -128,6 +196,7 @@ class _NullSpan:
     """The do-nothing span returned while tracing is disabled."""
 
     __slots__ = ()
+    ctx = None
 
     def set(self, **_attrs) -> "_NullSpan":
         return self
@@ -176,19 +245,44 @@ def tracer() -> Optional[TraceRecorder]:
     return _recorder
 
 
-def span(name: str, **attrs):
+def span(
+    name: str,
+    ctx: Optional[TraceContext] = None,
+    node: Optional[str] = None,
+    **attrs,
+):
     """A timed span on the active recorder (no-op context when disabled)."""
     rec = _recorder
     if rec is None:
         return _NULL_SPAN
-    return Span(rec, name, attrs)
+    return Span(rec, name, attrs, ctx=ctx, node=node)
 
 
-def event(name: str, **attrs) -> None:
+def event(
+    name: str,
+    ctx: Optional[TraceContext] = None,
+    node: Optional[str] = None,
+    **attrs,
+) -> None:
     """A point event on the active recorder (no-op when disabled)."""
     rec = _recorder
     if rec is not None:
-        rec._append(
+        rec._append(_stamp(
             {"type": "trace", "kind": "event", "name": name,
-             "ts": rec.now(), "attrs": attrs}
-        )
+             "ts": rec.now(), "attrs": attrs},
+            ctx, node,
+        ))
+
+
+def record_span(
+    name: str,
+    start: float,
+    end: float,
+    ctx: Optional[TraceContext] = None,
+    node: Optional[str] = None,
+    **attrs,
+) -> None:
+    """Record a span from explicit timestamps (no-op when disabled)."""
+    rec = _recorder
+    if rec is not None:
+        rec.record_span(name, start, end, ctx=ctx, node=node, **attrs)

@@ -17,6 +17,14 @@ We implement the two commands the paper's scenarios need:
 
 Wire format follows RFC 1928 (no-auth method, IPv4 address type) so the
 byte-level framing is real, not a stand-in.
+
+Causal tracing rides the method negotiation: RFC 1928 reserves methods
+``0x80``–``0xFE`` for private use, so a client holding a
+:class:`~repro.obs.context.TraceContext` offers method ``0x80``
+("trace metadata") alongside no-auth.  A server that understands it
+selects ``0x80`` and reads the 24-byte context before the request; any
+other SOCKS server simply picks no-auth and the handshake proceeds
+untraced — the extension degrades cleanly.
 """
 
 from __future__ import annotations
@@ -24,6 +32,9 @@ from __future__ import annotations
 import struct
 from typing import Generator, Optional
 
+from .. import obs
+from ..obs import TraceContext
+from ..obs.flight import FlightRecorder
 from .packet import Addr, int_to_ip, ip_to_int
 from .sockets import SimSocket, connect, listen
 from .tcp import SocketClosed
@@ -35,6 +46,7 @@ __all__ = [
     "socks_bind",
     "socks_accept_bound",
     "PIPE_CHUNK",
+    "METHOD_TRACE",
 ]
 
 SOCKS_VERSION = 5
@@ -44,6 +56,9 @@ ATYP_IPV4 = 1
 REP_OK = 0
 REP_FAILURE = 1
 REP_REFUSED = 5
+METHOD_NOAUTH = 0
+#: private-use method (RFC 1928 §3) carrying a 24-byte trace context
+METHOD_TRACE = 0x80
 
 PIPE_CHUNK = 65536
 
@@ -78,6 +93,10 @@ class SocksServer:
         self._process = None
         #: sockets of in-flight proxied streams, severed on :meth:`stop`
         self._active: set[SimSocket] = set()
+        #: always-on black box (node-tagged by the proxy host's address)
+        self.flight = FlightRecorder(
+            f"proxy:{host.ip}", clock=lambda: host.sim.now
+        )
 
     def start(self) -> None:
         """Begin accepting SOCKS clients (spawns the accept loop)."""
@@ -122,8 +141,19 @@ class SocksServer:
             ver, nmethods = head[0], head[1]
             if ver != SOCKS_VERSION:
                 raise SocksError(f"bad version {ver}")
-            yield from client.recv_exactly(nmethods)
-            yield from client.send_all(bytes([SOCKS_VERSION, 0]))  # no auth
+            methods = yield from client.recv_exactly(nmethods)
+            ctx = None
+            if METHOD_TRACE in methods:
+                # Select the trace-metadata method: the client follows up
+                # with its 24-byte context before the request.
+                yield from client.send_all(bytes([SOCKS_VERSION, METHOD_TRACE]))
+                blob = yield from client.recv_exactly(24)
+                try:
+                    ctx = TraceContext.decode(blob).child()
+                except ValueError:
+                    ctx = None
+            else:
+                yield from client.send_all(bytes([SOCKS_VERSION, METHOD_NOAUTH]))
 
             # Request: VER CMD RSV ATYP ADDR PORT
             req = yield from client.recv_exactly(4 + 4 + 2)
@@ -131,11 +161,16 @@ class SocksServer:
             target = _parse_addr(req[3:])
             if ver != SOCKS_VERSION:
                 raise SocksError(f"bad version {ver}")
+            self.flight.note(
+                "socks.request", ctx=ctx,
+                cmd="connect" if cmd == CMD_CONNECT else f"cmd{cmd}",
+                target=f"{target[0]}:{target[1]}",
+            )
 
             if cmd == CMD_CONNECT:
-                yield from self._do_connect(client, target)
+                yield from self._do_connect(client, target, ctx)
             elif cmd == CMD_BIND:
-                yield from self._do_bind(client, target)
+                yield from self._do_bind(client, target, ctx)
             else:
                 yield from client.send_all(_reply(REP_FAILURE))
                 client.close()
@@ -143,18 +178,23 @@ class SocksServer:
             client.abort()
             self._active.discard(client)
 
-    def _do_connect(self, client: SimSocket, target: Addr) -> Generator:
+    def _do_connect(
+        self, client: SimSocket, target: Addr, ctx: Optional[TraceContext] = None
+    ) -> Generator:
         try:
             upstream = yield from connect(self.host, target)
         except Exception:
+            self.flight.note("socks.refused", ctx=ctx, target=f"{target[0]}:{target[1]}")
             yield from client.send_all(_reply(REP_REFUSED))
             client.close()
             self._active.discard(client)
             return
         yield from client.send_all(_reply(REP_OK, upstream.laddr))
-        self._start_pipes(client, upstream)
+        self._start_pipes(client, upstream, ctx)
 
-    def _do_bind(self, client: SimSocket, _hint: Addr) -> Generator:
+    def _do_bind(
+        self, client: SimSocket, _hint: Addr, ctx: Optional[TraceContext] = None
+    ) -> Generator:
         bound = listen(self.host, 0, backlog=1)
         # First reply: where the remote peer should connect.
         yield from client.send_all(_reply(REP_OK, bound.addr))
@@ -162,45 +202,68 @@ class SocksServer:
         bound.close()
         # Second reply: who connected.
         yield from client.send_all(_reply(REP_OK, inbound.raddr))
-        self._start_pipes(client, inbound)
+        self._start_pipes(client, inbound, ctx)
 
-    def _start_pipes(self, a: SimSocket, b: SimSocket) -> None:
+    def _start_pipes(
+        self, a: SimSocket, b: SimSocket, ctx: Optional[TraceContext] = None
+    ) -> None:
         sim = self.host.sim
+        node = self.flight.node
         self._active.update((a, b))
-        done = {"count": 0}
+        done = {"count": 0, "bytes": 0}
+        t0 = sim.now
 
         def run(src: SimSocket, dst: SimSocket) -> Generator:
-            yield from _pipe(src, dst)
+            done["bytes"] += yield from _pipe(src, dst)
             done["count"] += 1
             if done["count"] == 2:
                 self._active.discard(a)
                 self._active.discard(b)
+                obs.record_span(
+                    "socks.pipe", t0, sim.now, ctx=ctx, node=node,
+                    bytes=done["bytes"],
+                )
 
         sim.process(run(a, b), name="socks-pipe")
         sim.process(run(b, a), name="socks-pipe")
 
 
 def _pipe(src: SimSocket, dst: SimSocket) -> Generator:
-    """Copy bytes src -> dst until EOF, then half-close dst."""
+    """Copy src -> dst until EOF, then half-close dst; returns byte count."""
+    copied = 0
     try:
         while True:
             data = yield from src.recv(PIPE_CHUNK)
             if not data:
                 break
+            copied += len(data)
             yield from dst.send_all(data)
     except Exception:
         dst.abort()
-        return
+        return copied
     dst.close()
+    return copied
 
 
 # -- client side ---------------------------------------------------------------
 
 
-def _client_handshake(sock: SimSocket) -> Generator:
-    yield from sock.send_all(bytes([SOCKS_VERSION, 1, 0]))
+def _client_handshake(
+    sock: SimSocket, ctx: Optional[TraceContext] = None
+) -> Generator:
+    if ctx is None:
+        yield from sock.send_all(bytes([SOCKS_VERSION, 1, METHOD_NOAUTH]))
+    else:
+        # Offer trace metadata alongside no-auth; either answer is fine.
+        yield from sock.send_all(
+            bytes([SOCKS_VERSION, 2, METHOD_TRACE, METHOD_NOAUTH])
+        )
     resp = yield from sock.recv_exactly(2)
-    if resp != bytes([SOCKS_VERSION, 0]):
+    if resp[0] != SOCKS_VERSION:
+        raise SocksError(f"method negotiation failed: {resp!r}")
+    if resp[1] == METHOD_TRACE and ctx is not None:
+        yield from sock.send_all(ctx.encode())
+    elif resp[1] != METHOD_NOAUTH:
         raise SocksError(f"method negotiation failed: {resp!r}")
 
 
@@ -214,7 +277,9 @@ def _read_reply(sock: SimSocket) -> Generator:
     return addr
 
 
-def socks_connect(host, proxy: Addr, target: Addr) -> Generator:
+def socks_connect(
+    host, proxy: Addr, target: Addr, ctx: Optional[TraceContext] = None
+) -> Generator:
     """CONNECT to ``target`` through the SOCKS proxy at ``proxy``.
 
     Returns a :class:`SimSocket` whose byte stream is piped to the target —
@@ -222,7 +287,7 @@ def socks_connect(host, proxy: Addr, target: Addr) -> Generator:
     """
     sock = yield from connect(host, proxy)
     try:
-        yield from _client_handshake(sock)
+        yield from _client_handshake(sock, ctx)
         yield from sock.send_all(
             struct.pack("!BBB", SOCKS_VERSION, CMD_CONNECT, 0) + _pack_addr(target)
         )
@@ -233,7 +298,9 @@ def socks_connect(host, proxy: Addr, target: Addr) -> Generator:
     return sock
 
 
-def socks_bind(host, proxy: Addr) -> Generator:
+def socks_bind(
+    host, proxy: Addr, ctx: Optional[TraceContext] = None
+) -> Generator:
     """BIND: ask the proxy for an inbound listening address.
 
     Returns ``(sock, bound_addr)``; share ``bound_addr`` with the remote
@@ -241,7 +308,7 @@ def socks_bind(host, proxy: Addr) -> Generator:
     """
     sock = yield from connect(host, proxy)
     try:
-        yield from _client_handshake(sock)
+        yield from _client_handshake(sock, ctx)
         yield from sock.send_all(
             struct.pack("!BBB", SOCKS_VERSION, CMD_BIND, 0) + _pack_addr(("0.0.0.0", 0))
         )

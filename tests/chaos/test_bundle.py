@@ -1,0 +1,142 @@
+"""Postmortem bundles and per-node exports: the observability acceptance.
+
+Two behaviours are pinned here:
+
+* **Polarity** — a run that violates an invariant dumps a postmortem
+  bundle (manifest, report, per-node flight recorders, assembled causal
+  trace); the *same* run healed by the session layer dumps nothing.
+* **End-to-end stitching** — a routed chaos transfer's per-node exports
+  assemble into one causal span tree that spans initiator, relay and
+  target, with cross-node hops and a critical path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import run_chaos
+from repro.obs.assemble import assemble_files
+from repro.obs.export import read_jsonl, validate_jsonl
+
+SCENARIO = "wan_transfer_routed"
+PLAN = "relay_crash@2:for=4"
+
+
+@pytest.fixture(scope="module")
+def failed_bundle(tmp_path_factory):
+    """One failing run (no retries, no sessions) with the bundle armed."""
+    bundle_dir = str(tmp_path_factory.mktemp("bundle"))
+    report = run_chaos(
+        scenario=SCENARIO, seed=3, plan=PLAN,
+        retries=False, sessions=False, bundle_dir=bundle_dir,
+    )
+    assert not report.ok
+    return report, os.path.join(bundle_dir, f"{SCENARIO}-seed3")
+
+
+def test_no_bundle_when_invariants_hold(tmp_path):
+    bundle_dir = str(tmp_path / "bundle")
+    report = run_chaos(
+        scenario=SCENARIO, seed=3, plan=PLAN,
+        sessions=True, bundle_dir=bundle_dir,
+    )
+    assert report.ok
+    assert not os.path.exists(bundle_dir)
+
+
+def test_bundle_layout_matches_manifest(failed_bundle):
+    report, root = failed_bundle
+    with open(os.path.join(root, "manifest.json")) as fh:
+        manifest = json.load(fh)
+
+    assert manifest["scenario"] == SCENARIO
+    assert manifest["seed"] == 3
+    assert manifest["plan"] == PLAN
+    assert manifest["violations"] == report.violations
+    assert {"alice", "bob", "relay"} <= set(manifest["nodes"])
+    for rel in manifest["files"]:
+        assert os.path.exists(os.path.join(root, rel)), rel
+
+    with open(os.path.join(root, "report.json")) as fh:
+        assert json.load(fh) == json.loads(report.to_json())
+
+
+def test_bundle_node_files_validate_and_carry_flight_rings(failed_bundle):
+    _, root = failed_bundle
+    with open(os.path.join(root, "manifest.json")) as fh:
+        manifest = json.load(fh)
+    failing_traces = set(manifest["traces"])
+    assert failing_traces
+
+    # every node that took part in the failed transfer kept flight-ring
+    # evidence stamped with the failing trace identity
+    for node in ("alice", "bob", "relay"):
+        path = os.path.join(root, "nodes", f"{node}.jsonl")
+        validate_jsonl(path)
+        records = read_jsonl(path)
+        assert records[0]["node"] == node
+        flights = [r for r in records if r["type"] == "flight"]
+        assert flights, f"{node} has an empty flight ring"
+        assert any(r.get("trace_id") in failing_traces for r in flights), (
+            f"{node}'s flight ring never saw the failing trace"
+        )
+
+
+def test_bundle_trace_spans_all_three_nodes(failed_bundle):
+    _, root = failed_bundle
+    with open(os.path.join(root, "trace.json")) as fh:
+        assembled = json.load(fh)
+    nodes = set()
+    for trace in assembled["traces"]:
+        nodes.update(trace["nodes"])
+    assert {"alice", "bob", "relay"} <= nodes
+
+    with open(os.path.join(root, "trace.txt")) as fh:
+        text = fh.read()
+    assert "chaos.stage [alice]" in text
+    assert "critical path" in text
+
+
+def test_export_dir_assembles_into_cross_node_tree(tmp_path):
+    """The headline acceptance: routed transfer with sessions, per-node
+    exports stitched by the assembler into one initiator→relay→target
+    tree with per-hop latencies and a critical path."""
+    out = str(tmp_path / "export")
+    report = run_chaos(
+        scenario=SCENARIO, seed=3, plan=PLAN,
+        sessions=True, export_dir=out,
+    )
+    assert report.ok
+
+    files = sorted(os.listdir(out))
+    assert {"alice.jsonl", "bob.jsonl", "relay.jsonl", "run.jsonl"} <= set(files)
+    for name in files:
+        validate_jsonl(os.path.join(out, name))
+
+    result = assemble_files(os.path.join(out, f) for f in files)
+    # the transfer stage is one trace spanning all three nodes
+    spanning = [
+        t for t in result["traces"]
+        if {"alice", "bob", "relay"} <= set(t["nodes"])
+    ]
+    assert spanning, [t["nodes"] for t in result["traces"]]
+    trace = spanning[0]
+    assert trace["roots"][0]["name"] == "chaos.stage"
+    assert trace["roots"][0]["node"] == "alice"
+    hop_nodes = {(h["from"]["node"], h["to"]["node"]) for h in trace["hops"]}
+    assert ("alice", "relay") in hop_nodes
+    assert ("alice", "bob") in hop_nodes
+    assert all(h["latency"] >= 0 for h in trace["hops"])
+    assert trace["critical_path"][0]["node"] == "alice"
+    # the relay crash forced a session resume inside the same trace
+    span_names = set()
+
+    def walk(span):
+        span_names.add(span["name"])
+        for child in span.get("children", []):
+            walk(child)
+
+    for root_span in trace["roots"]:
+        walk(root_span)
+    assert "session.resume" in span_names

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.scenarios import SITE_KINDS, GridScenario
+from repro.core.utilization import StackSpec
 from repro.simnet.packet import is_private
 
 
@@ -58,7 +59,7 @@ class TestMeasurement:
         sc.add_node("a", "src")
         sc.add_node("b", "dst")
         result = sc.measure_stack_throughput(
-            "src", "dst", "tcp_block", b"p" * 65536, 2_000_000
+            "src", "dst", StackSpec.tcp(), b"p" * 65536, 2_000_000
         )
         # The sender rounds up to whole messages.
         assert 2_000_000 <= result["received"] < 2_000_000 + 65536 * 2

@@ -1,0 +1,340 @@
+"""Cross-node trace assembly: stitching, skew, orphans, round-trips.
+
+The assembler's contract is that per-node JSONL exports — each a partial,
+possibly overlapping, possibly clock-skewed view of a run — rebuild into
+the same causal span tree the run actually executed.  These tests feed it
+hand-built record sets with known shapes (so every assertion is exact)
+plus a full export/validate/read/assemble round-trip through real
+recorder objects.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import context as obs_context
+from repro.obs.assemble import assemble, assemble_files, main, render_text
+from repro.obs.context import TraceContext, fmt_id, next_id, seed_ids
+from repro.obs.export import export_jsonl, read_jsonl, validate_jsonl
+from repro.obs.flight import FlightRecorder
+
+
+def _span(name, node, ctx, ts, duration, **attrs):
+    rec = {
+        "type": "trace",
+        "kind": "span",
+        "name": name,
+        "node": node,
+        "ts": ts,
+        "duration": duration,
+        "attrs": attrs,
+    }
+    rec.update(ctx.ids())
+    return rec
+
+
+def _event(name, node, ctx, ts, **attrs):
+    rec = {
+        "type": "trace",
+        "kind": "event",
+        "name": name,
+        "node": node,
+        "ts": ts,
+        "attrs": attrs,
+    }
+    rec.update(ctx.ids())
+    return rec
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_ids():
+    seed_ids(1234)
+    yield
+    seed_ids(0)
+
+
+def _three_node_records(skew_bob=0.0):
+    """A connect spanning alice -> relay -> bob, one record list per node.
+
+    ``skew_bob`` shifts every bob-recorded timestamp, simulating a node
+    whose clock runs behind the others.
+    """
+    root = TraceContext.new()
+    relay_ctx = root.child()
+    bob_ctx = root.child()
+    alice = [
+        _span("chaos.stage", "alice", root, 1.0, 4.0, stage="tx0"),
+        _event("session.established", "alice", root, 1.2),
+    ]
+    relay = [
+        _span("relay.route", "relay", relay_ctx, 1.5, 3.0),
+    ]
+    bob = [
+        _span("stack.assemble", "bob", bob_ctx, 2.0 + skew_bob, 0.5),
+        _event("link.accepted", "bob", bob_ctx, 2.1 + skew_bob),
+    ]
+    return root, alice, relay, bob
+
+
+def test_multi_node_stitching_builds_one_tree():
+    root, alice, relay, bob = _three_node_records()
+    result = assemble(alice + relay + bob)
+
+    assert result["records"] == 5
+    assert result["untraced"] == 0
+    assert len(result["traces"]) == 1
+    trace = result["traces"][0]
+    assert trace["trace_id"] == fmt_id(root.trace_id)
+    assert trace["nodes"] == ["alice", "bob", "relay"]
+    assert trace["spans"] == 3
+    assert trace["orphans"] == 0
+
+    [tree] = trace["roots"]
+    assert tree["name"] == "chaos.stage"
+    assert tree["node"] == "alice"
+    children = {c["name"]: c for c in tree["children"]}
+    assert set(children) == {"relay.route", "stack.assemble"}
+    assert children["relay.route"]["node"] == "relay"
+    assert children["stack.assemble"]["node"] == "bob"
+    # events attach to the span whose context stamped them
+    assert [e["name"] for e in tree["events"]] == ["session.established"]
+    assert [e["name"] for e in children["stack.assemble"]["events"]] == [
+        "link.accepted"
+    ]
+
+
+def test_cross_node_hops_and_critical_path():
+    _, alice, relay, bob = _three_node_records()
+    trace = assemble(alice + relay + bob)["traces"][0]
+
+    hops = {(h["from"]["node"], h["to"]["node"]): h["latency"] for h in trace["hops"]}
+    assert hops == {("alice", "bob"): pytest.approx(1.0),
+                    ("alice", "relay"): pytest.approx(0.5)}
+    # the relay span ends latest (1.5 + 3.0), so it is the critical leaf
+    path = [(s["name"], s["node"]) for s in trace["critical_path"]]
+    assert path == [("chaos.stage", "alice"), ("relay.route", "relay")]
+    assert trace["critical_path"][-1]["end"] == pytest.approx(4.5)
+
+
+def test_clock_skew_estimated_and_subtracted():
+    # bob's clock runs 2s behind: its spans *appear* to start before the
+    # parent that caused them, which is impossible — the assembler must
+    # recover (at least) that deficit.
+    root, alice, relay, bob = _three_node_records(skew_bob=-2.0)
+    trace = assemble(alice + relay + bob)["traces"][0]
+
+    assert trace["skew"] == {"bob": pytest.approx(1.0)}  # parent ts 1.0 - child ts 0.0
+    [tree] = trace["roots"]
+    child = {c["name"]: c for c in tree["children"]}["stack.assemble"]
+    assert child["start"] >= tree["start"]  # no negative hop survives
+    hops = {(h["from"]["node"], h["to"]["node"]): h["latency"] for h in trace["hops"]}
+    assert hops[("alice", "bob")] >= 0.0
+
+
+def test_explicit_offsets_compose_with_estimation():
+    _, alice, relay, bob = _three_node_records(skew_bob=-2.0)
+    trace = assemble(alice + relay + bob, offsets={"bob": 2.0})["traces"][0]
+    # the explicit offset already repairs the deficit; estimation adds nothing
+    assert trace["skew"] == {"bob": pytest.approx(2.0)}
+    child = {c["name"]: c
+             for c in trace["roots"][0]["children"]}["stack.assemble"]
+    assert child["start"] == pytest.approx(2.0)
+
+    noskew = assemble(alice + relay + bob, adjust_skew=False)["traces"][0]
+    assert noskew["skew"] == {}
+
+
+def test_dropped_parent_makes_orphan_not_loss():
+    # bob's file survived but alice's (holding the root span) was lost.
+    _, alice, relay, bob = _three_node_records()
+    trace = assemble(relay + bob)["traces"][0]
+
+    assert trace["spans"] == 2
+    assert trace["orphans"] == 2  # both reference the missing root
+    names = {r["name"] for r in trace["roots"]}
+    assert names == {"relay.route", "stack.assemble"}
+    assert all(r["orphan"] for r in trace["roots"])
+    # the orphaned bob span still keeps its own attached event
+    bob_root = [r for r in trace["roots"] if r["node"] == "bob"][0]
+    assert [e["name"] for e in bob_root["events"]] == ["link.accepted"]
+
+
+def test_unattached_records_are_counted_not_dropped():
+    root, alice, _, _ = _three_node_records()
+    stray = _event("late.event", "bob", root.child().child(), 9.0)
+    trace = assemble(alice + [stray])["traces"][0]
+    assert trace["unattached"] == 1
+    assert trace["events"] == 2  # both counted, one attached
+
+
+def test_overlapping_exports_deduplicate():
+    _, alice, relay, bob = _three_node_records()
+    combined = alice + relay + bob
+    # per-node files plus a combined run.jsonl: every record appears twice
+    result = assemble(combined + combined)
+    assert result["records"] == 5
+    assert result["traces"][0]["spans"] == 3
+    assert len(result["traces"][0]["roots"][0]["events"]) == 1
+
+
+def test_flight_records_attach_by_identity():
+    root, alice, relay, bob = _three_node_records()
+    flight = FlightRecorder("relay")
+    flight.note("relay.accept", ctx=TraceContext(
+        root.trace_id, next_id(), root.span_id))
+    records = alice + relay + bob + flight.records()
+    trace = assemble(records)["traces"][0]
+    assert trace["flight"] == 1
+    # attaches via parent_id fallback (its own span was never opened)
+    assert any(
+        e["name"] == "relay.accept"
+        for e in trace["roots"][0].get("events", [])
+    )
+
+
+def test_separate_traces_stay_separate():
+    _, alice_a, relay_a, bob_a = _three_node_records()
+    _, alice_b, relay_b, bob_b = _three_node_records()
+    result = assemble(alice_a + relay_a + bob_a + alice_b + relay_b + bob_b)
+    assert len(result["traces"]) == 2
+    assert result["traces"][0]["trace_id"] != result["traces"][1]["trace_id"]
+
+
+def test_schema_v2_export_roundtrip(fresh_obs, tmp_path):
+    """Real recorder -> per-node export -> validate -> read -> assemble."""
+    obs.enable_tracing()
+    root = TraceContext.new()
+    child = root.child()
+    obs.record_span("chaos.stage", 0.0, 3.0, ctx=root, node="alice")
+    obs.record_span("stack.assemble", 1.0, 2.0, ctx=child, node="bob")
+    obs.event("session.established", ctx=root, node="alice")
+    flight = FlightRecorder("bob")
+    flight.note("link.opened", ctx=child)
+
+    alice_path = str(tmp_path / "alice.jsonl")
+    bob_path = str(tmp_path / "bob.jsonl")
+    export_jsonl(alice_path, registry=None, node="alice")
+    export_jsonl(bob_path, registry=None, node="bob", flight=flight)
+
+    # every line of both files passes schema v2
+    counts_a = validate_jsonl(alice_path)
+    counts_b = validate_jsonl(bob_path)
+    assert counts_a == {"meta": 1, "trace/span": 1, "trace/event": 1}
+    assert counts_b == {"meta": 1, "trace/span": 1, "flight": 1}
+
+    # node filtering really happened
+    meta_a = read_jsonl(alice_path)[0]
+    assert meta_a == {"type": "meta", "schema": 2, "node": "alice"}
+    assert all(r["node"] == "alice" for r in read_jsonl(alice_path)[1:])
+
+    trace = assemble_files([alice_path, bob_path])["traces"][0]
+    assert trace["nodes"] == ["alice", "bob"]
+    assert trace["spans"] == 2
+    assert trace["flight"] == 1
+    [tree] = trace["roots"]
+    assert tree["name"] == "chaos.stage"
+    assert tree["children"][0]["name"] == "stack.assemble"
+
+
+def test_export_to_file_object(fresh_obs):
+    obs.enable_tracing()
+    obs.record_span("x", 0.0, 1.0, ctx=TraceContext.new(), node="n")
+    buf = io.StringIO()
+    lines = export_jsonl(buf, registry=None, node="n")
+    assert lines == 2
+    assert json.loads(buf.getvalue().splitlines()[0])["schema"] == 2
+
+
+def test_cli_text_and_json(tmp_path, capsys):
+    _, alice, relay, bob = _three_node_records()
+    path = str(tmp_path / "run.jsonl")
+    with open(path, "w") as out:
+        for rec in alice + relay + bob:
+            out.write(json.dumps(rec) + "\n")
+
+    assert main([path]) == 0
+    text = capsys.readouterr().out
+    assert "chaos.stage [alice]" in text
+    assert "relay.route [relay]" in text
+    assert "critical path" in text
+    assert "hops:" in text
+
+    assert main([path, "--json", "--offset", "bob=0.5"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["traces"][0]["skew"] == {"bob": 0.5}
+
+
+def test_render_text_marks_orphans():
+    _, alice, relay, bob = _three_node_records()
+    text = render_text(assemble(relay + bob))
+    assert "(orphan)" in text
+
+
+class TestTraceContext:
+    def test_ids_are_deterministic_per_seed(self):
+        seed_ids(7)
+        a = [next_id() for _ in range(5)]
+        seed_ids(7)
+        b = [next_id() for _ in range(5)]
+        assert a == b
+        seed_ids(8)
+        assert [next_id() for _ in range(5)] != a
+
+    def test_wire_roundtrip(self):
+        ctx = TraceContext.new().child()
+        blob = ctx.encode()
+        assert len(blob) == TraceContext.WIRE_SIZE == 24
+        assert TraceContext.decode(blob) == ctx
+        with pytest.raises(ValueError):
+            TraceContext.decode(blob[:-1])
+
+    def test_child_keeps_trace_and_links_parent(self):
+        root = TraceContext.new()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        assert root.parent_id == 0
+        assert "parent_id" not in root.ids()
+        assert child.ids()["parent_id"] == fmt_id(root.span_id)
+
+    def test_ambient_context_scoping(self):
+        assert obs_context.current() is None
+        ctx = TraceContext.new()
+        with obs_context.use(ctx):
+            assert obs_context.current() is ctx
+            with obs_context.use(None):
+                assert obs_context.current() is None
+            assert obs_context.current() is ctx
+        assert obs_context.current() is None
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_counts_drops(self):
+        flight = FlightRecorder("n", capacity=3)
+        for i in range(5):
+            flight.note(f"e{i}")
+        assert len(flight) == 3
+        assert flight.dropped == 2
+        assert [r["name"] for r in flight.records()] == ["e2", "e3", "e4"]
+
+    def test_notes_capture_ambient_context(self):
+        flight = FlightRecorder("n")
+        ctx = TraceContext.new()
+        with obs_context.use(ctx):
+            flight.note("auto")
+        flight.note("explicit", ctx=ctx.child(), detail=1)
+        auto, explicit = flight.records()
+        assert auto["trace_id"] == fmt_id(ctx.trace_id)
+        assert explicit["parent_id"] == fmt_id(ctx.span_id)
+        assert explicit["attrs"] == {"detail": 1}
+
+    def test_clock_callable_stamps_ts(self):
+        now = [0.0]
+        flight = FlightRecorder("n", clock=lambda: now[0])
+        flight.note("a")
+        now[0] = 2.5
+        flight.note("b")
+        assert [r["ts"] for r in flight.records()] == [0.0, 2.5]

@@ -2,7 +2,6 @@
 
 import io
 import json
-import warnings
 
 import pytest
 
@@ -165,17 +164,3 @@ class TestReport:
         assert report.main([str(bad)]) == 1
         capsys.readouterr()
 
-
-class TestStatsShim:
-    def test_simnet_stats_warns_and_forwards(self):
-        import repro.simnet.stats as stats
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            meter_cls = stats.TransferMeter
-            helper = stats.mb_per_s
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        from repro.obs.meters import TransferMeter, mb_per_s
-
-        assert meter_cls is TransferMeter
-        assert helper is mb_per_s

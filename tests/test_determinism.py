@@ -5,6 +5,7 @@ whole stack to it — same seeds, same event ordering, same numbers.
 """
 
 from repro.core.scenarios import GridScenario
+from repro.core.utilization import StackSpec
 from repro.simnet.testing import run_transfer, wan_pair
 from repro.workloads import payload_with_ratio
 
@@ -48,7 +49,8 @@ def test_stacked_transfer_is_deterministic():
         sc.add_node("y", "dst")
         payload = payload_with_ratio(1 << 18, 3.0, seed=1)
         r = sc.measure_stack_throughput(
-            "src", "dst", "compress|parallel:2", payload, 1_500_000
+            "src", "dst", StackSpec.parallel(2).with_compression(),
+            payload, 1_500_000,
         )
         return r["throughput"], r["seconds"], r["received"]
 

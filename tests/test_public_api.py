@@ -110,3 +110,26 @@ def test_version_is_pep440ish():
 
     parts = repro.__version__.split(".")
     assert all(part.isdigit() for part in parts)
+
+
+def test_stats_shim_module_is_gone():
+    # repro.simnet.stats (the deprecated meters home) was removed outright;
+    # the helpers live in repro.obs.meters.
+    import pytest
+
+    with pytest.raises(ModuleNotFoundError):
+        import repro.simnet.stats  # noqa: F401
+
+
+def test_measure_stack_throughput_rejects_strings():
+    import pytest
+
+    from repro.core.scenarios import GridScenario
+
+    sc = GridScenario(seed=1)
+    sc.add_site("a", "open")
+    sc.add_site("b", "open")
+    sc.add_node("a", "src")
+    sc.add_node("b", "dst")
+    with pytest.raises(TypeError, match="wire-only"):
+        sc.measure_stack_throughput("src", "dst", "tcp_block", b"x", 1024)
