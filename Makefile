@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-obs smoke-obs smoke-assemble chaos chaos-sweep chaos-resume
+.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux chaos chaos-sweep chaos-resume chaos-mux
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,19 @@ smoke-assemble:
 	$(PYTHON) -m repro.obs.assemble $(ASSEMBLE_DIR)/*.jsonl --json \
 		| $(PYTHON) scripts/check_assembled_trace.py
 
+# Routed 3-node muxed fan-in: 32 channels over ONE carrier through the
+# relay -> per-node JSONL exports -> assembled causal trace; the checker
+# additionally asserts the cross-node muxed-conversation shape.
+MUX_SMOKE_DIR := /tmp/repro-mux-smoke
+
+smoke-mux:
+	rm -rf $(MUX_SMOKE_DIR)
+	$(PYTHON) -m repro.chaos --scenario mux_fanin --seed 3 \
+		--export-dir $(MUX_SMOKE_DIR)
+	$(PYTHON) -m repro.obs.assemble $(MUX_SMOKE_DIR)/*.jsonl
+	$(PYTHON) -m repro.obs.assemble $(MUX_SMOKE_DIR)/*.jsonl --json \
+		| $(PYTHON) scripts/check_assembled_trace.py --mux
+
 # Skip tests that bind real loopback sockets (useful in sandboxes).
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not livenet"
@@ -47,6 +60,12 @@ chaos-sweep:
 
 # Mid-stream fault matrix for the session layer (docs/SESSIONS.md):
 # each fault kills an in-flight stream; --sessions must carry it.
+# Mux chaos seed sweep: fan-in fairness/credit-conservation plus the
+# bulk-vs-interactive starvation bound (docs/MUX.md).
+chaos-mux:
+	$(PYTHON) -m repro.chaos --seeds 1-5 --scenario mux_fanin
+	$(PYTHON) -m repro.chaos --seeds 1-5 --scenario mux_starvation
+
 chaos-resume:
 	$(PYTHON) -m repro.chaos --sessions --seeds 1-5 \
 		--scenario wan_transfer --plan "conntrack_flush@3:site=B"

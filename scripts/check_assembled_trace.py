@@ -1,12 +1,14 @@
 #!/usr/bin/env python
-"""CI gate for `make smoke-assemble`: verify the assembled hop structure.
+"""CI gate for `make smoke-assemble` / `make smoke-mux`.
 
 Reads the JSON form of ``python -m repro.obs.assemble`` from stdin (or a
-file argument) and asserts that the routed-transfer smoke scenario
-produced what the tentpole promises: at least one causal trace spanning
-the initiator, the relay and the target, with cross-node hops attributed
-from the initiator and a non-empty critical path.  Exits non-zero with a
-reason otherwise.
+file argument) and asserts that the routed smoke scenario produced what
+the tentpole promises: at least one causal trace spanning the initiator,
+the relay and the target, with cross-node hops attributed from the
+initiator and a non-empty critical path.  With ``--mux`` it additionally
+verifies the muxed fan-in shape: many conversations whose channel-open
+spans cross from the initiator to the responder over one shared carrier.
+Exits non-zero with a reason otherwise.
 """
 
 from __future__ import annotations
@@ -15,6 +17,23 @@ import json
 import sys
 
 REQUIRED_NODES = {"alice", "bob", "relay"}
+
+#: --mux: at least this many conversations must assemble cross-node
+MIN_MUX_CONVERSATIONS = 16
+
+
+def _span_names(span: dict, out: set) -> set:
+    out.add(span.get("name"))
+    for child in span.get("children", []):
+        _span_names(child, out)
+    return out
+
+
+def _trace_span_names(trace: dict) -> set:
+    names: set = set()
+    for root in trace.get("roots", []):
+        _span_names(root, names)
+    return names
 
 
 def check(result: dict) -> str | None:
@@ -46,23 +65,63 @@ def check(result: dict) -> str | None:
     return None
 
 
+def check_mux(result: dict) -> str | None:
+    """Muxed fan-in: conversations join the causal trace across nodes.
+
+    Only the first conversation runs establishment; every later one just
+    opens a channel over the shared carrier — its OPEN frame carries the
+    trace context, so its (tiny) trace must still span both endpoints.
+    """
+    established = [
+        t for t in result["traces"]
+        if "mux.establish" in _trace_span_names(t)
+    ]
+    if not established:
+        return "no trace contains a mux.establish span"
+    conversations = [
+        t for t in result["traces"]
+        if "mux.channel_open" in _trace_span_names(t)
+        and {"alice", "bob"} <= set(t["nodes"])
+    ]
+    if len(conversations) < MIN_MUX_CONVERSATIONS:
+        return (
+            f"only {len(conversations)} cross-node muxed conversations "
+            f"assembled (need >= {MIN_MUX_CONVERSATIONS})"
+        )
+    return None
+
+
 def main(argv: list[str]) -> int:
+    mux = "--mux" in argv
+    argv = [a for a in argv if a != "--mux"]
     if len(argv) > 1:
         with open(argv[1], "r", encoding="utf-8") as handle:
             result = json.load(handle)
     else:
         result = json.load(sys.stdin)
+    gate = "smoke-mux" if mux else "smoke-assemble"
     error = check(result)
+    if error is None and mux:
+        error = check_mux(result)
     if error:
-        print(f"smoke-assemble: FAIL: {error}", file=sys.stderr)
+        print(f"{gate}: FAIL: {error}", file=sys.stderr)
         return 1
     trace = [
         t for t in result["traces"] if REQUIRED_NODES <= set(t["nodes"])
     ][0]
+    extra = ""
+    if mux:
+        n = sum(
+            1
+            for t in result["traces"]
+            if "mux.channel_open" in _trace_span_names(t)
+            and {"alice", "bob"} <= set(t["nodes"])
+        )
+        extra = f", {n} cross-node muxed conversations"
     print(
-        f"smoke-assemble: OK: trace {trace['trace_id']} spans "
+        f"{gate}: OK: trace {trace['trace_id']} spans "
         f"{','.join(trace['nodes'])} with {len(trace['hops'])} hops, "
-        f"critical path of {len(trace['critical_path'])} spans"
+        f"critical path of {len(trace['critical_path'])} spans{extra}"
     )
     return 0
 

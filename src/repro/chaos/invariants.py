@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 from typing import Iterable, Optional
 
+from ..mux import DEFAULT_WINDOW
 from ..obs import MetricsRegistry, TraceRecorder
 
 __all__ = ["ChannelAudit", "check_invariants"]
@@ -97,6 +98,56 @@ class ChannelAudit:
         }
 
 
+def _mux_violations(registry: MetricsRegistry) -> list[str]:
+    """Credit-conservation and no-leakage checks over mux counters.
+
+    Conservation: every DATA byte a sender put on the wire for a channel
+    was delivered to exactly one receiver (summed per channel id across
+    the run's nodes, tx == rx — a muxed grid pair shares the channel id
+    on both sides).  Credit: no endpoint ever transmitted more than the
+    peer's initial window plus everything the peer granted back, so the
+    flow-control contract held for the entire run.  A run without mux
+    counters checks nothing.
+    """
+    tx: dict = {}          # channel -> total DATA bytes sent
+    rx: dict = {}          # channel -> total DATA bytes delivered
+    tx_by_node: dict = {}  # (node, channel) -> DATA bytes sent
+    granted: dict = {}     # (node, channel) -> credit bytes granted
+    for counter in registry.instruments("mux.tx_bytes"):
+        ch = counter.labels.get("channel", "?")
+        node = counter.labels.get("node", "?")
+        tx[ch] = tx.get(ch, 0) + counter.value
+        tx_by_node[(node, ch)] = tx_by_node.get((node, ch), 0) + counter.value
+    for counter in registry.instruments("mux.rx_bytes"):
+        ch = counter.labels.get("channel", "?")
+        rx[ch] = rx.get(ch, 0) + counter.value
+    for counter in registry.instruments("mux.credit_granted"):
+        ch = counter.labels.get("channel", "?")
+        node = counter.labels.get("node", "?")
+        granted[(node, ch)] = granted.get((node, ch), 0) + counter.value
+
+    out = []
+    for ch in sorted(set(tx) | set(rx), key=lambda c: int(c) if c.isdigit() else 0):
+        sent, got = tx.get(ch, 0), rx.get(ch, 0)
+        if sent != got:
+            out.append(
+                f"mux: channel {ch} conservation broken: "
+                f"{sent} bytes sent, {got} delivered"
+            )
+    for (node, ch), sent in sorted(tx_by_node.items()):
+        peer_grants = sum(
+            v for (n, c), v in granted.items() if c == ch and n != node
+        )
+        allowed = DEFAULT_WINDOW + peer_grants
+        if sent > allowed:
+            out.append(
+                f"mux: channel {ch} credit overrun on {node}: "
+                f"{sent} bytes sent, {allowed} allowed "
+                f"(window {DEFAULT_WINDOW} + {peer_grants} granted)"
+            )
+    return out
+
+
 def _live_connections(scenario) -> list[str]:
     """Descriptions of TCP connections still alive anywhere in the net."""
     leaks = []
@@ -141,6 +192,7 @@ def check_invariants(
         )
 
     if registry is not None:
+        violations.extend(_mux_violations(registry))
         forwarded = sum(
             c.value for c in registry.instruments("relay.forwarded_bytes_total")
         )

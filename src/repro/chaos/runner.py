@@ -125,6 +125,9 @@ class Workload:
         self.scenario = scenario
         self.audits: list[ChannelAudit] = []
         self.errors: list[str] = []
+        #: scenario-specific invariants, run after the generic suite; each
+        #: callable returns a list of violation strings
+        self.post_checks: list[Callable[[], list]] = []
 
     def audit(self, name: str) -> ChannelAudit:
         a = ChannelAudit(name)
@@ -437,12 +440,293 @@ def _build_ipl_fanin(seed: int, retries: bool, sessions: bool) -> Workload:
     return wl
 
 
+#: mux_fanin geometry
+_MUX_CHANNELS = 32
+_MUX_CHANNEL_BYTES = 128 * 1024
+
+
+def _mux_spec(sessions: bool) -> StackSpec:
+    spec = StackSpec.tcp().with_mux()
+    return spec.with_session() if sessions else spec
+
+
+def _build_mux_fanin(seed: int, retries: bool, sessions: bool) -> Workload:
+    """32 logical channels share ONE routed WAN link (the tentpole claim).
+
+    Every conversation between the pair runs ``tcp_block|mux`` pinned to
+    relay routing, so the factory's per-peer endpoint sharing puts all 32
+    channels on a single carrier link through the relay — establishment
+    happens once, conversations 2..32 only exchange agreement frames.
+    All channels then transfer concurrently; the post-checks assert the
+    round-robin scheduler kept them fair (completion times cluster) on
+    top of the generic per-channel delivery audits and the registry-wide
+    mux credit-conservation invariant.
+    """
+    scn = GridScenario(seed=seed)
+    scn.add_site("A", "open", access_bandwidth=2_500_000.0, access_delay=0.01)
+    scn.add_site(
+        "B", "nat_firewall", access_bandwidth=2_500_000.0, access_delay=0.01
+    )
+    sender = scn.add_node("A", "alice", auto_reconnect=retries)
+    receiver = scn.add_node("B", "bob", auto_reconnect=retries)
+
+    wl = Workload(scn)
+    spec = _mux_spec(sessions)
+    payloads = [
+        random.Random(f"{seed}:chaos:muxfanin:{i}").randbytes(_MUX_CHANNEL_BYTES)
+        for i in range(_MUX_CHANNELS)
+    ]
+    audits = [wl.audit(f"mux{i:02d}") for i in range(_MUX_CHANNELS)]
+    completions: dict[int, float] = {}
+    started: dict[str, float] = {}
+
+    def send_one(channel, idx) -> Generator:
+        try:
+            payload = payloads[idx]
+            yield from channel.write(idx.to_bytes(4, "big"))
+            for off in range(0, len(payload), _WRITE_CHUNK):
+                chunk = payload[off : off + _WRITE_CHUNK]
+                yield from channel.write(chunk)
+                audits[idx].record_sent(chunk)
+            yield from channel.flush()
+            channel.close()
+            audits[idx].finish_sender()
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail(f"mux-sender:{idx}", exc)
+
+    def run_sender() -> Generator:
+        try:
+            yield from sender.start()
+            factory = BrokeredConnectionFactory(sender)
+            channels = []
+            for i in range(_MUX_CHANNELS):
+                ctx = TraceContext.new()
+                if retries:
+                    channel = yield from factory.connect_retrying(
+                        receiver.info.node_id, receiver.info, spec=spec,
+                        methods=["routed"], ctx=ctx,
+                    )
+                else:
+                    yield from receiver.relay_client.wait_connected(timeout=30.0)
+                    service = yield from sender.open_service_link(
+                        receiver.info.node_id
+                    )
+                    channel = yield from factory.connect(
+                        service, receiver.info, spec=spec,
+                        methods=["routed"], ctx=ctx,
+                    )
+                    service.close()
+                channels.append(channel)
+            # all channels are up before any payload moves, so the fair
+            # scheduler sees 32 simultaneously-ready channels
+            started["t0"] = scn.sim.now
+            for i, channel in enumerate(channels):
+                scn.sim.process(send_one(channel, i), name=f"mux-send-{i}")
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("mux-sender", exc)
+
+    def read_one(channel) -> Generator:
+        try:
+            idx = int.from_bytes((yield from channel.read_exactly(4)), "big")
+            while True:
+                data = yield from channel.read(_READ_CHUNK)
+                if not data:
+                    break
+                audits[idx].record_received(data)
+            channel.close()
+            audits[idx].finish_receiver()
+            completions[idx] = scn.sim.now
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("mux-reader", exc)
+
+    def run_receiver() -> Generator:
+        try:
+            yield from receiver.start()
+            factory = BrokeredConnectionFactory(receiver)
+            for i in range(_MUX_CHANNELS):
+                if retries:
+                    channel = yield from factory.accept_retrying()
+                else:
+                    _peer, service = yield from receiver.accept_service_link()
+                    channel = yield from factory.accept(service)
+                    service.close()
+                scn.sim.process(read_one(channel), name=f"mux-read-{i}")
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("mux-receiver", exc)
+
+    def check_fairness() -> list:
+        if len(completions) != _MUX_CHANNELS or "t0" not in started:
+            return []  # delivery audits already report the missing channels
+        finish = sorted(completions.values())
+        spread = finish[-1] - finish[0]
+        elapsed = finish[-1] - started["t0"]
+        if elapsed > 0 and spread > 0.35 * elapsed:
+            return [
+                "mux: unfair scheduling: completion spread "
+                f"{spread:.3f}s over a {elapsed:.3f}s transfer"
+            ]
+        return []
+
+    wl.post_checks.append(check_fairness)
+    scn.sim.process(run_sender(), name="chaos-mux-sender")
+    scn.sim.process(run_receiver(), name="chaos-mux-receiver")
+    return wl
+
+
+#: mux_starvation geometry
+_STARVE_BULK_BYTES = 4 * (1 << 20)
+_STARVE_PINGS = 24
+_STARVE_LATENCY_BOUND = 2.0
+
+
+def _build_mux_starvation(seed: int, retries: bool, sessions: bool) -> Workload:
+    """Bulk + interactive channels on one carrier: no starvation allowed.
+
+    A 4 MiB bulk stream and a tiny request/echo conversation share one
+    routed link through the shared mux endpoint.  Without fair
+    scheduling the interactive channel's first echo would arrive only
+    after the bulk transfer drains (seconds); the post-check bounds
+    every round trip, so a scheduler that lets bulk monopolise the
+    carrier fails the run.
+    """
+    scn = GridScenario(seed=seed)
+    scn.add_site("A", "open", access_bandwidth=1_250_000.0, access_delay=0.01)
+    scn.add_site(
+        "B", "nat_firewall", access_bandwidth=1_250_000.0, access_delay=0.01
+    )
+    alice = scn.add_node("A", "alice", auto_reconnect=retries)
+    bob = scn.add_node("B", "bob", auto_reconnect=retries)
+
+    wl = Workload(scn)
+    spec = _mux_spec(sessions)
+    bulk_payload = random.Random(f"{seed}:chaos:muxbulk").randbytes(
+        _STARVE_BULK_BYTES
+    )
+    bulk_audit = wl.audit("bulk")
+    ping_audit = wl.audit("interactive")
+    latencies: list[float] = []
+
+    def connect_one(factory, ctx) -> Generator:
+        if retries:
+            channel = yield from factory.connect_retrying(
+                bob.info.node_id, bob.info, spec=spec,
+                methods=["routed"], ctx=ctx,
+            )
+        else:
+            yield from bob.relay_client.wait_connected(timeout=30.0)
+            service = yield from alice.open_service_link(bob.info.node_id)
+            channel = yield from factory.connect(
+                service, bob.info, spec=spec, methods=["routed"], ctx=ctx
+            )
+            service.close()
+        return channel
+
+    def send_bulk(channel) -> Generator:
+        try:
+            yield from channel.write(b"B")
+            for off in range(0, len(bulk_payload), _WRITE_CHUNK):
+                chunk = bulk_payload[off : off + _WRITE_CHUNK]
+                yield from channel.write(chunk)
+                bulk_audit.record_sent(chunk)
+            yield from channel.flush()
+            channel.close()
+            bulk_audit.finish_sender()
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("bulk-sender", exc)
+
+    def ping_pong(channel) -> Generator:
+        try:
+            yield from channel.write(b"I")
+            yield from channel.flush()
+            for i in range(_STARVE_PINGS):
+                msg = bytes([i]) * 64
+                t0 = scn.sim.now
+                yield from channel.write(msg)
+                yield from channel.flush()
+                ping_audit.record_sent(msg)
+                echo = yield from channel.read_exactly(len(msg))
+                latencies.append(scn.sim.now - t0)
+                if echo != msg:
+                    raise ValueError(f"interactive echo {i} corrupted")
+            channel.close()
+            ping_audit.finish_sender()
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("interactive-sender", exc)
+
+    def run_alice() -> Generator:
+        try:
+            yield from alice.start()
+            factory = BrokeredConnectionFactory(alice)
+            bulk = yield from connect_one(factory, TraceContext.new())
+            ping = yield from connect_one(factory, TraceContext.new())
+            scn.sim.process(send_bulk(bulk), name="mux-bulk")
+            scn.sim.process(ping_pong(ping), name="mux-interactive")
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("alice", exc)
+
+    def serve_one(channel) -> Generator:
+        kind = yield from channel.read_exactly(1)
+        if kind == b"B":
+            while True:
+                data = yield from channel.read(_READ_CHUNK)
+                if not data:
+                    break
+                bulk_audit.record_received(data)
+            channel.close()
+            bulk_audit.finish_receiver()
+        else:
+            for _ in range(_STARVE_PINGS):
+                msg = yield from channel.read_exactly(64)
+                ping_audit.record_received(msg)
+                yield from channel.write(msg)
+                yield from channel.flush()
+            channel.close()
+            ping_audit.finish_receiver()
+
+    def run_bob() -> Generator:
+        try:
+            yield from bob.start()
+            factory = BrokeredConnectionFactory(bob)
+            for i in range(2):
+                if retries:
+                    channel = yield from factory.accept_retrying()
+                else:
+                    _peer, service = yield from bob.accept_service_link()
+                    channel = yield from factory.accept(service)
+                    service.close()
+                scn.sim.process(serve_one(channel), name=f"mux-serve-{i}")
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("bob", exc)
+
+    def check_latency() -> list:
+        out = []
+        if len(latencies) != _STARVE_PINGS:
+            out.append(
+                f"mux: only {len(latencies)}/{_STARVE_PINGS} interactive "
+                "round trips completed"
+            )
+        worst = max(latencies, default=0.0)
+        if worst > _STARVE_LATENCY_BOUND:
+            out.append(
+                "mux: interactive channel starved: worst round trip "
+                f"{worst:.3f}s > {_STARVE_LATENCY_BOUND}s bound"
+            )
+        return out
+
+    wl.post_checks.append(check_latency)
+    scn.sim.process(run_alice(), name="chaos-mux-alice")
+    scn.sim.process(run_bob(), name="chaos-mux-bob")
+    return wl
+
+
 #: name -> builder(seed, retries, sessions) -> Workload
 SCENARIOS: dict[str, Callable[[int, bool, bool], Workload]] = {
     "wan_transfer": _build_wan_transfer,
     "wan_transfer_routed": _build_wan_transfer_routed,
     "socks_transfer": _build_socks_transfer,
     "ipl_fanin": _build_ipl_fanin,
+    "mux_fanin": _build_mux_fanin,
+    "mux_starvation": _build_mux_starvation,
 }
 
 
@@ -509,6 +793,8 @@ def run_chaos(
         violations = check_invariants(
             scn, wl.audits, wl.errors, registry=registry, recorder=recorder
         )
+        for check in wl.post_checks:
+            violations.extend(check())
         if len(scheduler.injected) != len(parsed):
             violations.append(
                 f"chaos: only {len(scheduler.injected)}/{len(parsed)} "

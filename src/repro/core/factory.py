@@ -17,9 +17,12 @@ filtering drivers for link utilization."
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Generator, Optional
 
 from .. import obs
+from ..mux import DEFAULT_WINDOW, MuxEndpoint
+from ..mux.scheduler import make_scheduler
 from ..obs import TraceContext
 from ..simnet.tcp import TcpError
 from ..util.framing import ByteReader, ByteWriter, FrameError
@@ -102,6 +105,13 @@ class BrokeredConnectionFactory:
     def __init__(self, node: GridNode, tls_config: Optional[TlsConfig] = None):
         self.node = node
         self.tls_config = tls_config
+        # Shared mux endpoints, one per peer pair: the first muxed connect
+        # to a peer establishes the carrier link, later connects open more
+        # channels over it instead of re-running establishment.  Initiator
+        # side is keyed by peer node id; responder side by (peer, eid)
+        # where the endpoint id travels in the agreement frame.
+        self._shared_mux: dict[str, tuple[int, MuxEndpoint]] = {}
+        self._shared_mux_resp: dict[tuple[str, int], MuxEndpoint] = {}
 
     # -- initiator ----------------------------------------------------------
     def connect(
@@ -129,18 +139,64 @@ class BrokeredConnectionFactory:
         parsed = _typed_spec(spec)
         n = parsed.links_required
         sids = [self.node.next_session_id() for _ in range(n)] if parsed.session else []
+        cached = None
+        eid = 0
+        if parsed.mux is not None:
+            cached = self._shared_mux.get(peer_info.node_id)
+            if cached is not None and not cached[1].alive:
+                self._shared_mux.pop(peer_info.node_id, None)
+                cached = None
+            eid = cached[0] if cached is not None else self.node.next_session_id()
         frame = ByteWriter().lp_str(str(parsed)).u32(block_size)
         for sid in sids:
             frame.u64(sid)
+        nonce = 0
+        if parsed.mux is not None:
+            # the nonce tags this conversation's channels so concurrent
+            # connects over a shared endpoint can't claim each other's
+            nonce = self.node.next_session_id()
+            frame.u8(1 if cached is not None else 0).u64(eid).u64(nonce)
         yield from send_frame(service_link, frame.getvalue())
         links = []
+        endpoint = None
         try:
-            for _ in range(n):
-                link = yield from self.node.broker.initiate(
-                    service_link, peer_info, methods, ctx=ctx
-                )
-                links.append(link)
+            if parsed.mux is not None:
+                if cached is not None:
+                    # the peer pair already shares a carrier link — just
+                    # open more channels over it (no establishment at all)
+                    endpoint = cached[1]
+                    obs.event(
+                        "mux.endpoint_reused",
+                        ctx=ctx,
+                        node=self.node.node_id,
+                        peer=peer_info.node_id,
+                        eid=f"{eid:016x}",
+                    )
+                else:
+                    # one expensively-established physical link carries
+                    # every channel the networking layer needs (ISSUE:
+                    # reuse, don't re-establish per conversation)
+                    raw = yield from self.node.broker.initiate(
+                        service_link, peer_info, methods, ctx=ctx
+                    )
+                    endpoint = yield from self._mux_endpoint(
+                        raw, parsed, MuxEndpoint.INITIATOR, ctx=ctx
+                    )
+                    self._shared_mux[peer_info.node_id] = (eid, endpoint)
+                tag = nonce.to_bytes(8, "big")
+                for _ in range(n):
+                    channel = yield from endpoint.open_channel(tag, ctx=ctx)
+                    links.append(channel)
+            else:
+                for _ in range(n):
+                    link = yield from self.node.broker.initiate(
+                        service_link, peer_info, methods, ctx=ctx
+                    )
+                    links.append(link)
         except BaseException:
+            if endpoint is not None and cached is None:
+                endpoint.close()
+                self._shared_mux.pop(peer_info.node_id, None)
             for link in links:
                 link.abort()
             raise
@@ -229,16 +285,49 @@ class BrokeredConnectionFactory:
         block_size = reader.u32()
         n = parsed.links_required
         sids = [reader.u64() for _ in range(n)] if parsed.session else []
+        peer_id = getattr(service_link, "peer", "")
+        reuse = False
+        eid = nonce = 0
+        if parsed.mux is not None:
+            reuse = bool(reader.u8())
+            eid = reader.u64()
+            nonce = reader.u64()
         links = []
+        endpoint = None
+        created = False
         try:
-            for _ in range(n):
-                link = yield from self.node.broker.respond(service_link)
-                links.append(link)
+            if parsed.mux is not None:
+                if reuse:
+                    endpoint = self._shared_mux_resp.get((peer_id, eid))
+                    if endpoint is None or not endpoint.alive:
+                        self._shared_mux_resp.pop((peer_id, eid), None)
+                        raise EstablishmentError(
+                            f"peer asked to reuse unknown mux endpoint "
+                            f"{eid:016x}"
+                        )
+                else:
+                    raw = yield from self.node.broker.respond(service_link)
+                    endpoint = yield from self._mux_endpoint(
+                        raw, parsed, MuxEndpoint.RESPONDER,
+                        ctx=getattr(raw, "ctx", None),
+                    )
+                    self._shared_mux_resp[(peer_id, eid)] = endpoint
+                    created = True
+                tag = nonce.to_bytes(8, "big")
+                for _ in range(n):
+                    channel = yield from endpoint.accept_channel(tag)
+                    links.append(channel)
+            else:
+                for _ in range(n):
+                    link = yield from self.node.broker.respond(service_link)
+                    links.append(link)
         except BaseException:
+            if endpoint is not None and created:
+                endpoint.close()
+                self._shared_mux_resp.pop((peer_id, eid), None)
             for link in links:
                 link.abort()
             raise
-        peer_id = getattr(service_link, "peer", "")
         links = self._wrap_sessions(
             parsed, links, sids, SessionLink.RESPONDER, None, None, peer_id=peer_id
         )
@@ -297,6 +386,34 @@ class BrokeredConnectionFactory:
         )
 
     # -- helpers --------------------------------------------------------------
+    def _mux_endpoint(
+        self,
+        raw: Link,
+        parsed: StackSpec,
+        role: str,
+        ctx: Optional[TraceContext] = None,
+    ) -> Generator:
+        """Wrap the single brokered link in a running mux endpoint.
+
+        ``close_when_idle`` ties the endpoint's (and the physical link's)
+        lifetime to its channels: when both sides have closed every
+        channel, the carrier link is torn down too, mirroring what
+        closing a dedicated per-conversation link used to do.
+        """
+        layer = parsed.mux
+        window = int(layer.get("win", DEFAULT_WINDOW))
+        endpoint = yield from MuxEndpoint.establish(
+            raw,
+            role,
+            window=window,
+            scheduler=make_scheduler(str(layer.get("sched", "rr"))),
+            node=self.node.node_id,
+            flight=getattr(self.node, "flight", None),
+            ctx=ctx,
+        )
+        endpoint.close_when_idle = True
+        return endpoint
+
     def _wrap_sessions(
         self,
         parsed: StackSpec,
@@ -312,6 +429,13 @@ class BrokeredConnectionFactory:
         if layer is None:
             return links
         config = SessionConfig.from_layer(layer)
+        if parsed.mux is not None:
+            # Session-under-mux: the replay buffer may never outgrow the
+            # channel credit window, so per-session memory is bounded by
+            # the receiver's grant even under many concurrent sessions
+            # (the ROADMAP per-session flow-control item).
+            window = int(parsed.mux.get("win", DEFAULT_WINDOW))
+            config = replace(config, max_buffer=min(config.max_buffer, window))
         wrapped = []
         for link, sid in zip(links, sids):
             reconnect = None

@@ -314,6 +314,16 @@ class SessionLink(Link):
         """The current physical link (changes across recoveries)."""
         return self._raw
 
+    @property
+    def acked_tx(self) -> int:
+        """Cumulative sent bytes the peer has acknowledged delivered.
+
+        The authority a rebalancing parallel stack uses to decide which
+        blocks are safely down and which must be retransmitted over
+        surviving members when this session cannot be resumed.
+        """
+        return self._replay.start
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<SessionLink {self.sid:016x} {self.role} {self._state}"

@@ -9,7 +9,11 @@ and adaptive) and TLS — assembled into stacks by
 from .adaptive import AdaptiveCompressionDriver
 from .base import Driver, DriverError, FilterDriver
 from .compression import CompressionDriver
-from .parallel import DEFAULT_FRAGMENT, ParallelStreamsDriver
+from .parallel import (
+    DEFAULT_FRAGMENT,
+    ParallelStreamsDriver,
+    RebalancingParallelDriver,
+)
 from .reliable import ReliableUdpDriver
 from .spec import FILTERING, NETWORKING, SESSION, LayerSpec, StackSpec, StackSpecError
 from .stack import (
@@ -29,6 +33,7 @@ __all__ = [
     "DriverError",
     "TcpBlockDriver",
     "ParallelStreamsDriver",
+    "RebalancingParallelDriver",
     "DEFAULT_FRAGMENT",
     "ReliableUdpDriver",
     "CompressionDriver",

@@ -33,7 +33,11 @@ from ...simnet.engine import Event
 from ..links import Link
 from .base import Driver, DriverError
 
-__all__ = ["ParallelStreamsDriver", "DEFAULT_FRAGMENT"]
+__all__ = [
+    "ParallelStreamsDriver",
+    "RebalancingParallelDriver",
+    "DEFAULT_FRAGMENT",
+]
 
 DEFAULT_FRAGMENT = 16384
 
@@ -43,10 +47,13 @@ _CLOSE = object()
 class _StreamWriter:
     """Bounded outbound queue + writer process for one stream."""
 
-    def __init__(self, sim, link: Link, limit_bytes: int):
+    def __init__(self, sim, link: Link, limit_bytes: int, on_error=None):
         self.sim = sim
         self.link = link
         self.limit = limit_bytes
+        self.on_error = on_error
+        self.written = 0
+        self.closed = False
         self._queue: list = []
         self._queued_bytes = 0
         self._space_waiters: list[Event] = []
@@ -62,6 +69,8 @@ class _StreamWriter:
             yield ev
         if self.error is not None:
             raise self.error
+        if self.closed:
+            raise DriverError("stream writer closed")
         self._queue.append(data)
         self._queued_bytes += len(data)
         self._kick()
@@ -83,6 +92,7 @@ class _StreamWriter:
                     yield self._data_waiter
                 item = self._queue.pop(0)
                 if item is _CLOSE:
+                    self.closed = True
                     self.link.close()
                     return
                 self._queued_bytes -= len(item)
@@ -90,11 +100,14 @@ class _StreamWriter:
                     ev.succeed()
                 self._space_waiters.clear()
                 yield from self.link.send_all(item)
+                self.written += len(item)
         except BaseException as exc:
             self.error = exc
             for ev in self._space_waiters:
                 ev.succeed()
             self._space_waiters.clear()
+            if self.on_error is not None:
+                self.on_error(exc)
 
 
 class _StreamReader:
@@ -273,6 +286,316 @@ class ParallelStreamsDriver(Driver):
         else:
             for link in self.links:
                 link.close()
+
+    def abort(self) -> None:
+        self._closed = True
+        for link in self.links:
+            link.abort()
+
+
+#: self-describing frame header in rebalance mode: block seq, payload length
+_REBAL_HDR = struct.Struct("!QI")
+
+#: sanity bound on a rebalance-mode frame (blocks are block_size-bounded
+#: far below this; anything larger is stream corruption)
+_REBAL_MAX = 1 << 26
+
+
+class RebalancingParallelDriver(Driver):
+    """Parallel streams that survive member death (``rebalance=1``).
+
+    Deterministic striping (:class:`ParallelStreamsDriver`) needs every
+    stream alive forever: reassembly is a pure function of the block
+    counter, so one dead member kills the transfer.  This variant trades
+    a little framing overhead for survivability — each block travels
+    whole on one stream behind a self-describing ``(seq, len)`` header,
+    and the receiver reassembles from a reorder map keyed by ``seq``, so
+    *which* stream carried a block stops mattering.
+
+    Every sent block stays in a per-member pending set until it is known
+    delivered — for :class:`~repro.core.session.SessionLink` members the
+    peer's cumulative ack (``acked_tx``) is the authority, for raw links
+    completion of the write is the best available signal.  When a member
+    dies (for session members: the session could not be resumed), its
+    pending blocks are retransmitted over the surviving members and the
+    receiver's dedup drops any copies that did arrive.  The transfer
+    fails only when *no* member survives.
+
+    Clean end-of-stream still requires every member to terminate; a
+    member wedged in unresumable recovery on the receive side stalls the
+    EOF signal, so message boundaries above (``BlockChannel`` frames)
+    remain the authority on completeness mid-stream.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        links: Sequence[Link],
+        host=None,
+        fragment: int = DEFAULT_FRAGMENT,
+        queue_limit: int = 131072,
+    ):
+        if not links:
+            raise DriverError("parallel driver needs at least one link")
+        self.links = list(links)
+        self.host = host
+        self.fragment = fragment  # accepted for spec symmetry; blocks go whole
+        self.blocks_sent = 0
+        self.blocks_received = 0
+        self.rebalanced_blocks = 0
+        self._queue_limit = queue_limit
+        self._closed = False
+        self._fatal: Optional[BaseException] = None
+        # tx side
+        self._send_seq = 0
+        self._rr = 0
+        self._alive = [True] * len(self.links)
+        self._pending: list[dict[int, tuple[int, bytes]]] = [
+            {} for _ in self.links
+        ]
+        self._put_bytes = [0] * len(self.links)
+        self._writers: Optional[list[_StreamWriter]] = None
+        # rx side
+        self._readers: Optional[list[_StreamReader]] = None
+        self._reorder: dict[int, bytes] = {}
+        self._deliver_seq = 0
+        self._dead_rx = 0
+        self._rx_error: Optional[BaseException] = None
+        self._rx_waiters: list[Event] = []
+        obs.metrics().gauge(
+            "driver.streams", driver=self.name, backend="sim"
+        ).set(len(self.links))
+
+    @property
+    def nstreams(self) -> int:
+        return len(self.links)
+
+    @property
+    def alive_members(self) -> int:
+        return sum(self._alive)
+
+    # -- sending -----------------------------------------------------------------
+    def _ensure_writers(self) -> list[_StreamWriter]:
+        if self._writers is None:
+            sim = self.links[0].sim
+            self._writers = [
+                _StreamWriter(
+                    sim,
+                    link,
+                    self._queue_limit,
+                    on_error=lambda exc, i=i: self._writer_died(i),
+                )
+                for i, link in enumerate(self.links)
+            ]
+        return self._writers
+
+    def send_block(self, block: bytes) -> Generator:
+        if self._closed:
+            raise DriverError("driver closed")
+        if self._fatal is not None:
+            raise DriverError("all parallel members dead") from self._fatal
+        self._ensure_writers()
+        self._prune_pending()
+        if self.host is not None:
+            yield charge(self.host, "serialize", len(block))
+        seq = self._send_seq
+        self._send_seq += 1
+        frame = _REBAL_HDR.pack(seq, len(block)) + block
+        yield from self._put_frame([(seq, frame)])
+        self.blocks_sent += 1
+        reg = obs.metrics()
+        reg.counter(
+            "driver.bytes_total", driver=self.name, direction="tx", backend="sim"
+        ).inc(len(block))
+        reg.histogram(
+            "driver.block_bytes", driver=self.name, direction="tx", backend="sim"
+        ).observe(len(block))
+
+    def _put_frame(self, backlog: list[tuple[int, bytes]]) -> Generator:
+        """Place frames on alive members, absorbing member deaths."""
+        writers = self._ensure_writers()
+        while backlog:
+            seq, frame = backlog.pop(0)
+            while True:
+                index = self._next_alive()
+                writer = writers[index]
+                try:
+                    yield from writer.put(frame)
+                except Exception:
+                    backlog.extend(self._member_died(index))
+                    continue
+                self._put_bytes[index] += len(frame)
+                self._pending[index][seq] = (self._put_bytes[index], frame)
+                break
+
+    def _next_alive(self) -> int:
+        n = len(self.links)
+        for _ in range(n):
+            index = self._rr % n
+            self._rr += 1
+            if self._alive[index]:
+                return index
+        self._fatal = self._fatal or DriverError("all parallel members dead")
+        raise DriverError("all parallel members dead")
+
+    def _prune_pending(self) -> None:
+        writers = self._writers or []
+        for index, writer in enumerate(writers):
+            if not self._alive[index] or not self._pending[index]:
+                continue
+            threshold = getattr(self.links[index], "acked_tx", None)
+            if threshold is None:
+                threshold = writer.written
+            pending = self._pending[index]
+            for seq in [s for s, (end, _) in pending.items() if end <= threshold]:
+                del pending[seq]
+
+    def _member_died(self, index: int) -> list[tuple[int, bytes]]:
+        """Mark a member dead; returns its pending frames for requeueing."""
+        if not self._alive[index]:
+            return []
+        self._alive[index] = False
+        orphans = sorted(
+            (seq, frame) for seq, (_end, frame) in self._pending[index].items()
+        )
+        self._pending[index].clear()
+        self.rebalanced_blocks += len(orphans)
+        reg = obs.metrics()
+        reg.counter("parallel.member_deaths_total").inc()
+        reg.counter("parallel.rebalanced_blocks_total").inc(len(orphans))
+        obs.event(
+            "parallel.member_dead",
+            member=index,
+            survivors=self.alive_members,
+            rebalanced=len(orphans),
+        )
+        return orphans
+
+    def _writer_died(self, index: int) -> None:
+        """Async death (writer process, not a ``put`` call): rebalance in
+        the background so tail blocks are recovered even when the sender
+        never touches this member again."""
+        if not self._alive[index]:
+            return
+        orphans = self._member_died(index)
+        if not orphans:
+            return
+
+        def requeue() -> Generator:
+            try:
+                yield from self._put_frame(orphans)
+            except DriverError:
+                pass  # no survivors; send_block reports via self._fatal
+
+        self.links[index].sim.process(requeue(), name="stripe-rebalance")
+
+    # -- receiving ---------------------------------------------------------------
+    def _ensure_readers(self) -> list[_StreamReader]:
+        if self._readers is None:
+            sim = self.links[0].sim
+            self._readers = [
+                _StreamReader(sim, link, self._queue_limit) for link in self.links
+            ]
+            for reader in self._readers:
+                sim.process(self._parse(reader), name="stripe-parser")
+        return self._readers
+
+    def _parse(self, reader: _StreamReader) -> Generator:
+        """Per-stream frame parser feeding the shared reorder map."""
+        try:
+            while True:
+                head = yield from reader.take(_REBAL_HDR.size)
+                seq, length = _REBAL_HDR.unpack(head)
+                if length > _REBAL_MAX:
+                    raise DriverError(f"bad rebalance frame length {length}")
+                payload = yield from reader.take(length)
+                if seq >= self._deliver_seq and seq not in self._reorder:
+                    self._reorder[seq] = payload
+                    self._wake_rx()
+        except BaseException as exc:
+            self._dead_rx += 1
+            if not isinstance(exc, EOFError):
+                self._rx_error = exc
+            self._wake_rx()
+
+    def _wake_rx(self) -> None:
+        waiters, self._rx_waiters = self._rx_waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def recv_block(self) -> Generator:
+        readers = self._ensure_readers()
+        sim = self.links[0].sim
+        while True:
+            if self._deliver_seq in self._reorder:
+                block = self._reorder.pop(self._deliver_seq)
+                self._deliver_seq += 1
+                if self.host is not None:
+                    yield charge(self.host, "serialize", len(block))
+                self.blocks_received += 1
+                reg = obs.metrics()
+                reg.counter(
+                    "driver.bytes_total",
+                    driver=self.name,
+                    direction="rx",
+                    backend="sim",
+                ).inc(len(block))
+                reg.histogram(
+                    "driver.block_bytes",
+                    driver=self.name,
+                    direction="rx",
+                    backend="sim",
+                ).observe(len(block))
+                return block
+            if self._dead_rx >= len(readers):
+                if self._reorder:
+                    raise DriverError(
+                        f"{len(self._reorder)} blocks lost with all "
+                        f"members dead (next seq {self._deliver_seq})"
+                    ) from self._rx_error
+                if self._rx_error is not None:
+                    raise self._rx_error
+                raise EOFError("all parallel members closed")
+            ev = sim.event()
+            self._rx_waiters.append(ev)
+            yield ev
+
+    # -- teardown ----------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._writers is None:
+            for link in self.links:
+                link.close()
+            return
+        # Unlike deterministic striping, close must linger: a member death
+        # after the last send_block requeues orphaned frames onto the
+        # survivors, and closing the survivors' writers too early would
+        # trap those frames behind the close marker.
+        self.links[0].sim.process(self._graceful_close(), name="stripe-close")
+
+    def _graceful_close(self) -> Generator:
+        writers = self._writers or []
+        sim = self.links[0].sim
+        while self._fatal is None:
+            busy = any(
+                self._alive[index]
+                and (writer._queue or writer.written < self._put_bytes[index])
+                for index, writer in enumerate(writers)
+            )
+            if not busy:
+                break
+            yield sim.timeout(0.05)
+        for index, writer in enumerate(writers):
+            if self._alive[index] and not writer.closed:
+                writer.close()  # links close after their queues drain
+            elif not self._alive[index]:
+                try:
+                    self.links[index].abort()
+                except Exception:
+                    pass
 
     def abort(self) -> None:
         self._closed = True

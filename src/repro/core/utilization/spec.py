@@ -36,16 +36,23 @@ __all__ = [
     "NETWORKING",
     "FILTERING",
     "SESSION",
+    "MUX",
 ]
 
 NETWORKING = {"tcp_block", "parallel"}
 FILTERING = {"compress", "adaptive", "tls"}
 SESSION = {"session"}
+MUX = {"mux"}
 
-_ALL_LAYERS = NETWORKING | FILTERING | SESSION
+_ALL_LAYERS = NETWORKING | FILTERING | SESSION | MUX
 
 #: layer-specific meaning of the positional argument in the string form
-_POSITIONAL = {"parallel": "streams", "compress": "level", "adaptive": "level"}
+_POSITIONAL = {
+    "parallel": "streams",
+    "compress": "level",
+    "adaptive": "level",
+    "mux": "win",
+}
 
 
 class StackSpecError(DriverError):
@@ -88,6 +95,10 @@ class LayerSpec:
     @property
     def is_session(self) -> bool:
         return self.name in SESSION
+
+    @property
+    def is_mux(self) -> bool:
+        return self.name in MUX
 
     def get(self, key: str, default=None):
         return dict(self._params).get(key, default)
@@ -180,10 +191,11 @@ class StackSpec:
                 raise StackSpecError(
                     f"layer {layer.name!r} cannot sit above the networking layer"
                 )
-        below = layers[nl + 1 :]
-        if len(below) > 1 or (below and not below[0].is_session):
+        below = [layer.name for layer in layers[nl + 1 :]]
+        if below not in ([], ["session"], ["mux"], ["session", "mux"]):
             raise StackSpecError(
-                "only a single session layer may sit below the networking layer"
+                "below the networking layer only an optional session layer "
+                "followed by an optional mux layer may appear"
             )
         object.__setattr__(self, "layers", layers)
         object.__setattr__(self, "label", label)
@@ -255,8 +267,44 @@ class StackSpec:
             params["buf"] = int(max_buffer)
         if heartbeat is not None:
             params["hb"] = heartbeat
+        # the session layer sits between the networking layer and any mux
+        above = tuple(l for l in self.layers if not l.is_mux)
+        mux = tuple(l for l in self.layers if l.is_mux)
         return StackSpec(
-            self.layers + (LayerSpec("session", params),), label=self.label
+            above + (LayerSpec("session", params),) + mux, label=self.label
+        )
+
+    def with_mux(
+        self,
+        window: Optional[int] = None,
+        scheduler: Optional[str] = None,
+    ) -> "StackSpec":
+        """Multiplex every data channel of this stack over **one**
+        established link (below any session layer): the factory brokers a
+        single physical connection, wraps it in a
+        :class:`~repro.mux.MuxEndpoint`, and opens one credit-controlled
+        channel per link the networking layer needs.
+
+        ``window`` is the per-channel credit window in bytes (``win`` in
+        the wire form); ``scheduler`` picks the transmission policy
+        (``"rr"`` round robin — the default — or ``"drr"`` weighted
+        deficit round robin).
+        """
+        if self.mux is not None:
+            raise StackSpecError("stack already has a mux layer")
+        params: dict = {}
+        if window is not None:
+            params["win"] = int(window)
+        if scheduler is not None:
+            params["sched"] = scheduler
+        return StackSpec(self.layers + (LayerSpec("mux", params),), label=self.label)
+
+    def without_mux(self) -> "StackSpec":
+        """The same stack minus any mux layer."""
+        if self.mux is None:
+            return self
+        return StackSpec(
+            tuple(l for l in self.layers if not l.is_mux), label=self.label
         )
 
     def with_label(self, label: Optional[str]) -> "StackSpec":
@@ -290,6 +338,14 @@ class StackSpec:
         """The session layer, or None."""
         for layer in self.layers:
             if layer.is_session:
+                return layer
+        return None
+
+    @property
+    def mux(self) -> Optional[LayerSpec]:
+        """The mux layer, or None."""
+        for layer in self.layers:
+            if layer.is_mux:
                 return layer
         return None
 

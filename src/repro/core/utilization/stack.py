@@ -32,7 +32,11 @@ from ..links import Link
 from .adaptive import AdaptiveCompressionDriver
 from .base import Driver, DriverError, FilterDriver
 from .compression import CompressionDriver
-from .parallel import DEFAULT_FRAGMENT, ParallelStreamsDriver
+from .parallel import (
+    DEFAULT_FRAGMENT,
+    ParallelStreamsDriver,
+    RebalancingParallelDriver,
+)
 from .spec import FILTERING, NETWORKING, SESSION, LayerSpec, StackSpec, StackSpecError
 from .tcp_block import TcpBlockDriver
 from .tls import TlsDriver
@@ -92,7 +96,12 @@ def build_stack(
         streams = int(bottom.get("streams", 2))
         if len(links) != streams:
             raise StackSpecError(f"parallel:{streams} needs {streams} links, got {len(links)}")
-        driver = ParallelStreamsDriver(
+        cls = (
+            RebalancingParallelDriver
+            if int(bottom.get("rebalance", 0))
+            else ParallelStreamsDriver
+        )
+        driver = cls(
             links, host=host, fragment=int(bottom.get("fragment", DEFAULT_FRAGMENT))
         )
     for layer in reversed(parsed.filters):

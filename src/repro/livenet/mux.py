@@ -1,0 +1,427 @@
+"""Channel multiplexing on the live (asyncio) backend.
+
+The same frame protocol, credit semantics and scheduler contract as
+:mod:`repro.mux.endpoint` — the codec (:mod:`repro.mux.frames`) and the
+schedulers (:mod:`repro.mux.scheduler`) are shared verbatim; only the
+concurrency substrate differs (asyncio tasks and events instead of
+simulator processes).  An :class:`AsyncMuxChannel` exposes the live
+socket surface (``send_all`` / ``recv`` / ``recv_exactly`` / ``close``),
+so the async driver stacks compose over channels unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Optional
+
+from .. import obs
+from ..mux.frames import (
+    CLOSE_ERROR,
+    CLOSE_GRACEFUL,
+    MUX_VERSION,
+    MuxProtocolError,
+    T_ACCEPT,
+    T_CLOSE,
+    T_CREDIT,
+    T_DATA,
+    T_HELLO,
+    T_OPEN,
+    decode_frame,
+    encode_accept,
+    encode_close,
+    encode_credit,
+    encode_data,
+    encode_hello,
+    encode_open,
+)
+from ..mux.scheduler import RoundRobinScheduler, Scheduler
+from ..obs import TraceContext
+from ..util.framing import ByteWriter
+
+__all__ = ["AsyncMuxEndpoint", "AsyncMuxChannel", "LiveMuxError"]
+
+_DEFAULT_WINDOW = 65536
+_MAX_DATA = 16384
+
+
+class LiveMuxError(Exception):
+    """Live mux endpoint failure."""
+
+
+async def _write_frame(sock, body: bytes) -> None:
+    await sock.send_all(ByteWriter().u32(len(body)).raw(body).getvalue())
+
+
+async def _read_frame(sock) -> bytes:
+    header = await sock.recv_exactly(4)
+    return await sock.recv_exactly(int.from_bytes(header, "big"))
+
+
+class AsyncMuxChannel:
+    """One logical stream over a shared live socket."""
+
+    muxed = True
+
+    def __init__(self, endpoint: "AsyncMuxEndpoint", channel_id: int,
+                 tag: bytes, window: int,
+                 ctx: Optional[TraceContext] = None):
+        self._ep = endpoint
+        self.channel_id = channel_id
+        self.tag = tag
+        self.ctx = ctx
+        self._tx_credit = 0
+        self._txq: deque = deque()
+        self._tx_buffered = 0
+        self._tx_drained = asyncio.Event()
+        self._tx_drained.set()
+        self._rx_window = window
+        self._rx_allowance = window
+        self._rxq: deque = deque()
+        self._rx_available = asyncio.Event()
+        self._consumed_since_grant = 0
+        self._accepted = asyncio.Event()
+        self._local_closed = False
+        self._close_sent = False
+        self._remote_closed = False
+        self._error: Optional[BaseException] = None
+
+    async def send_all(self, data: bytes) -> None:
+        if self._error is not None:
+            raise self._error
+        if self._local_closed:
+            raise LiveMuxError(f"mux channel {self.channel_id} closed")
+        if not data:
+            return
+        self._txq.append(bytes(data))
+        self._tx_buffered += len(data)
+        self._tx_drained.clear()
+        self._ep._update_ready(self)
+        await self._tx_drained.wait()
+        if self._error is not None:
+            raise self._error
+
+    async def recv(self, maxbytes: int) -> bytes:
+        while not self._rxq:
+            if self._error is not None:
+                raise self._error
+            if self._remote_closed:
+                return b""
+            self._rx_available.clear()
+            await self._rx_available.wait()
+        chunk = self._rxq.popleft()
+        if len(chunk) > maxbytes:
+            self._rxq.appendleft(chunk[maxbytes:])
+            chunk = chunk[:maxbytes]
+        self._ep._consumed(self, len(chunk))
+        return chunk
+
+    async def recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining > 0:
+            data = await self.recv(remaining)
+            if not data:
+                raise EOFError(f"mux channel ended {remaining}/{n} bytes short")
+            chunks.append(data)
+            remaining -= len(data)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        self._ep._close_channel(self, CLOSE_GRACEFUL)
+
+    def abort(self) -> None:
+        self._txq.clear()
+        self._tx_buffered = 0
+        self._ep._close_channel(self, CLOSE_ERROR, reason="aborted")
+
+    @property
+    def _tx_ready(self) -> bool:
+        return (
+            self._tx_buffered > 0
+            and self._tx_credit > 0
+            and self._accepted.is_set()
+            and not self._close_sent
+            and self._error is None
+        )
+
+    def _take_tx(self, limit: int) -> bytes:
+        chunk = self._txq.popleft()
+        if len(chunk) > limit:
+            self._txq.appendleft(chunk[limit:])
+            chunk = chunk[:limit]
+        self._tx_buffered -= len(chunk)
+        return chunk
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._error is None:
+            self._error = exc
+        self._tx_drained.set()
+        self._rx_available.set()
+        self._accepted.set()
+
+
+class AsyncMuxEndpoint:
+    """Multiplexes logical channels over one live socket."""
+
+    INITIATOR = "initiator"
+    RESPONDER = "responder"
+
+    def __init__(self, sock, role: str, *, window: int = _DEFAULT_WINDOW,
+                 scheduler: Optional[Scheduler] = None, node: str = ""):
+        self.sock = sock
+        self.role = role
+        self.window = int(window)
+        self.node = node
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self._channels: dict[int, AsyncMuxChannel] = {}
+        self._next_cid = 1 if role == self.INITIATOR else 2
+        self._accept_q: "asyncio.Queue[AsyncMuxChannel]" = asyncio.Queue()
+        self._ctlq: deque = deque()
+        self._tx_wake = asyncio.Event()
+        self._closed = False
+        self._error: Optional[BaseException] = None
+        self._tasks: list = []
+
+    @classmethod
+    async def establish(cls, sock, role: str, *,
+                        window: int = _DEFAULT_WINDOW,
+                        scheduler: Optional[Scheduler] = None,
+                        node: str = "",
+                        ctx: Optional[TraceContext] = None
+                        ) -> "AsyncMuxEndpoint":
+        ctx = ctx or obs.current()
+        await _write_frame(sock, encode_hello(MUX_VERSION, window))
+        hello = decode_frame(await _read_frame(sock))
+        if hello.kind != T_HELLO:
+            raise MuxProtocolError(f"expected HELLO, got {hello.name}")
+        if hello.version != MUX_VERSION:
+            raise MuxProtocolError(
+                f"mux version mismatch: ours {MUX_VERSION}, peer {hello.version}")
+        obs.event("mux.establish", ctx=ctx, node=node, role=role,
+                  backend="live")
+        endpoint = cls(sock, role, window=window, scheduler=scheduler,
+                       node=node)
+        endpoint._tasks = [
+            asyncio.ensure_future(endpoint._rx_pump()),
+            asyncio.ensure_future(endpoint._tx_pump()),
+        ]
+        return endpoint
+
+    async def open_channel(self, tag: bytes = b"", *,
+                           window: Optional[int] = None,
+                           weight: int = 1,
+                           ctx: Optional[TraceContext] = None
+                           ) -> AsyncMuxChannel:
+        self._check_alive()
+        ctx = ctx or obs.current() or TraceContext.new()
+        cid = self._next_cid
+        self._next_cid += 2
+        channel = AsyncMuxChannel(self, cid, tag, window or self.window,
+                                  ctx=ctx)
+        self._channels[cid] = channel
+        self.scheduler.add(cid, weight)
+        child = ctx.child()
+        self._send_ctl(encode_open(cid, channel._rx_window, tag,
+                                   child.encode()))
+        await channel._accepted.wait()
+        if channel._error is not None:
+            raise channel._error
+        obs.event("mux.channel_open", ctx=child, node=self.node, channel=cid,
+                  backend="live")
+        return channel
+
+    async def accept_channel(self) -> AsyncMuxChannel:
+        while True:
+            self._check_alive()
+            channel = await self._accept_q.get()
+            if channel is None:  # sentinel from _fail
+                self._check_alive()
+                continue
+            channel._accepted.set()
+            self._send_ctl(encode_accept(channel.channel_id,
+                                         channel._rx_window))
+            return channel
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        exc = LiveMuxError("mux endpoint closed")
+        for channel in list(self._channels.values()):
+            channel._fail(exc)
+        self._channels.clear()
+        self._tx_wake.set()
+        self._accept_q.put_nowait(None)
+        for task in self._tasks:
+            task.cancel()
+        self.sock.close()
+
+    # -- pumps ----------------------------------------------------------------
+    async def _rx_pump(self) -> None:
+        try:
+            while not self._closed:
+                frame = decode_frame(await _read_frame(self.sock))
+                self._dispatch(frame)
+        except asyncio.CancelledError:
+            raise
+        except (EOFError, ConnectionError, OSError, MuxProtocolError) as exc:
+            self._fail(exc)
+
+    async def _tx_pump(self) -> None:
+        try:
+            while True:
+                sent = False
+                while self._ctlq:
+                    await _write_frame(self.sock, self._ctlq.popleft())
+                    sent = True
+                channel = self._pick_ready()
+                if channel is not None:
+                    n = min(_MAX_DATA, channel._tx_credit,
+                            channel._tx_buffered)
+                    payload = channel._take_tx(n)
+                    channel._tx_credit -= len(payload)
+                    self._update_ready(channel)
+                    await _write_frame(
+                        self.sock, encode_data(channel.channel_id, payload))
+                    self.scheduler.sent(channel.channel_id, len(payload))
+                    if channel._tx_buffered == 0:
+                        channel._tx_drained.set()
+                        self._flush_pending_close(channel)
+                    sent = True
+                if sent:
+                    continue
+                if self._closed or self._error is not None:
+                    return
+                self._tx_wake.clear()
+                await self._tx_wake.wait()
+        except asyncio.CancelledError:
+            raise
+        except (EOFError, ConnectionError, OSError) as exc:
+            self._fail(exc)
+
+    def _pick_ready(self) -> Optional[AsyncMuxChannel]:
+        try:
+            cid = self.scheduler.pick()
+        except LookupError:
+            return None
+        channel = self._channels.get(cid)
+        if channel is None or not channel._tx_ready:
+            self.scheduler.set_ready(cid, False)
+            return None
+        return channel
+
+    # -- dispatch --------------------------------------------------------------
+    def _dispatch(self, frame) -> None:
+        if frame.kind == T_OPEN:
+            expected = 0 if self.role == self.INITIATOR else 1
+            if frame.channel % 2 != expected or frame.channel in self._channels:
+                raise MuxProtocolError(f"bad OPEN channel id {frame.channel}")
+            ctx = None
+            if frame.ctx:
+                try:
+                    ctx = TraceContext.decode(frame.ctx)
+                except Exception:
+                    ctx = None
+            channel = AsyncMuxChannel(self, frame.channel, frame.tag,
+                                      self.window, ctx=ctx)
+            channel._tx_credit = frame.window
+            self._channels[frame.channel] = channel
+            self.scheduler.add(frame.channel, 1)
+            self._accept_q.put_nowait(channel)
+        elif frame.kind == T_ACCEPT:
+            channel = self._channels.get(frame.channel)
+            if channel is None:
+                raise MuxProtocolError(
+                    f"ACCEPT for unknown channel {frame.channel}")
+            channel._tx_credit += frame.window
+            channel._accepted.set()
+            self._update_ready(channel)
+        elif frame.kind == T_DATA:
+            channel = self._channels.get(frame.channel)
+            if channel is None:
+                raise MuxProtocolError(
+                    f"DATA for unknown channel {frame.channel}")
+            channel._rx_allowance -= len(frame.payload)
+            if channel._rx_allowance < 0:
+                raise MuxProtocolError(
+                    f"credit violation on channel {frame.channel}")
+            channel._rxq.append(frame.payload)
+            channel._rx_available.set()
+        elif frame.kind == T_CREDIT:
+            channel = self._channels.get(frame.channel)
+            if channel is not None:
+                channel._tx_credit += frame.grant
+                self._update_ready(channel)
+        elif frame.kind == T_CLOSE:
+            channel = self._channels.get(frame.channel)
+            if channel is None:
+                return
+            channel._remote_closed = True
+            if frame.flags == CLOSE_ERROR and channel._error is None:
+                channel._error = LiveMuxError(
+                    f"peer aborted channel {frame.channel}: {frame.reason}")
+            channel._rx_available.set()
+            if channel._close_sent:
+                self._drop_channel(channel)
+        else:
+            raise MuxProtocolError(f"unexpected frame {frame.name}")
+
+    # -- hooks -----------------------------------------------------------------
+    def _consumed(self, channel: AsyncMuxChannel, n: int) -> None:
+        channel._consumed_since_grant += n
+        if channel._remote_closed:
+            return
+        if channel._consumed_since_grant >= max(1, channel._rx_window // 2):
+            grant = channel._consumed_since_grant
+            channel._consumed_since_grant = 0
+            channel._rx_allowance += grant
+            self._send_ctl(encode_credit(channel.channel_id, grant))
+
+    def _update_ready(self, channel: AsyncMuxChannel) -> None:
+        self.scheduler.set_ready(channel.channel_id, channel._tx_ready)
+        if channel._tx_ready:
+            self._tx_wake.set()
+
+    def _send_ctl(self, frame: bytes) -> None:
+        self._check_alive()
+        self._ctlq.append(frame)
+        self._tx_wake.set()
+
+    def _close_channel(self, channel: AsyncMuxChannel, flags: int,
+                       reason: str = "") -> None:
+        if channel._local_closed:
+            return
+        channel._local_closed = True
+        channel._pending_close = (flags, reason)
+        if channel._tx_buffered == 0 or flags == CLOSE_ERROR:
+            self._flush_pending_close(channel)
+
+    def _flush_pending_close(self, channel: AsyncMuxChannel) -> None:
+        pending = getattr(channel, "_pending_close", None)
+        if pending is None or channel._close_sent:
+            return
+        flags, reason = pending
+        channel._close_sent = True
+        if not self._closed and self._error is None:
+            self._send_ctl(encode_close(channel.channel_id, flags, reason))
+        if channel._remote_closed:
+            self._drop_channel(channel)
+
+    def _drop_channel(self, channel: AsyncMuxChannel) -> None:
+        self._channels.pop(channel.channel_id, None)
+        self.scheduler.remove(channel.channel_id)
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._error is None:
+            self._error = exc
+        for channel in list(self._channels.values()):
+            channel._fail(exc)
+        self._tx_wake.set()
+        self._accept_q.put_nowait(None)
+
+    def _check_alive(self) -> None:
+        if self._error is not None:
+            raise self._error
+        if self._closed:
+            raise LiveMuxError("mux endpoint closed")

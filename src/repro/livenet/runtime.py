@@ -23,6 +23,8 @@ from ..core.addressing import EndpointInfo
 from ..core.utilization.spec import StackSpec
 from ..ipl.serialization import MessageReader, MessageWriter
 from ..util.framing import ByteReader, ByteWriter
+from ..mux import DEFAULT_WINDOW
+from ..mux.scheduler import make_scheduler
 from .drivers import (
     AsyncBlockChannel,
     AsyncCompressionDriver,
@@ -30,6 +32,7 @@ from .drivers import (
     AsyncTcpBlockDriver,
     AsyncTlsDriver,
 )
+from .mux import AsyncMuxEndpoint
 from .registry import LiveRegistryClient
 from .relay import LiveRelayClient
 from .transport import LiveListener, LiveSocket, live_connect, live_listen
@@ -235,28 +238,51 @@ class LiveIbis:
     async def _connect_port(self, port_name: str, spec):
         parsed = self.default_spec if spec is None else _typed_spec(spec)
         owner, owner_info = await self.registry.lookup_port(port_name)
-        service = await self._open_service(owner, owner_info)
-        request = (
-            ByteWriter()
-            .u8(REQ_PORT_CONNECT)
-            .lp_str(port_name)
-            .lp_str(self.name)
-            .getvalue()
-        )
-        await _write_frame(service, request)
-        reply = ByteReader(await _read_frame(service))
-        if reply.u8() != RESP_OK:
-            raise LiveIbisError(f"connect rejected: {reply.lp_str()}")
-        # Stack agreement + data connections (direct TCP or routed).
-        await _write_frame(
-            service, ByteWriter().lp_str(str(parsed)).u32(65536).getvalue()
-        )
-        n = parsed.links_required
-        socks = []
-        for _ in range(n):
-            sock = await self._open_data(owner, owner_info, service)
-            socks.append(sock)
-        driver = _build_stack(parsed, socks)
+        ctx = obs.current() or obs.TraceContext.new()
+        with obs.span(
+            "port.connect", ctx=ctx, port=port_name, node=self.name,
+            backend="live",
+        ):
+            service = await self._open_service(owner, owner_info)
+            request = (
+                ByteWriter()
+                .u8(REQ_PORT_CONNECT)
+                .lp_str(port_name)
+                .lp_str(self.name)
+                .getvalue()
+            )
+            await _write_frame(service, request)
+            reply = ByteReader(await _read_frame(service))
+            if reply.u8() != RESP_OK:
+                raise LiveIbisError(f"connect rejected: {reply.lp_str()}")
+            # Stack agreement + data connections (direct TCP or routed).
+            await _write_frame(
+                service, ByteWriter().lp_str(str(parsed)).u32(65536).getvalue()
+            )
+            n = parsed.links_required
+            if parsed.mux is not None:
+                # One shared data connection; every logical link is a
+                # multiplexed channel over it.
+                sock = await self._open_data(owner, owner_info, service, ctx=ctx)
+                endpoint = await AsyncMuxEndpoint.establish(
+                    sock,
+                    AsyncMuxEndpoint.INITIATOR,
+                    window=int(parsed.mux.get("win", DEFAULT_WINDOW)),
+                    scheduler=make_scheduler(str(parsed.mux.get("sched", "rr"))),
+                    node=self.name,
+                    ctx=ctx,
+                )
+                socks = [
+                    await endpoint.open_channel(ctx=ctx) for _ in range(n)
+                ]
+            else:
+                socks = []
+                for _ in range(n):
+                    sock = await self._open_data(
+                        owner, owner_info, service, ctx=ctx
+                    )
+                    socks.append(sock)
+            driver = _build_stack(parsed, socks)
         return AsyncBlockChannel(driver)
 
     async def _open_service(self, owner: str, info: EndpointInfo):
@@ -267,15 +293,30 @@ class LiveIbis:
         except (ConnectionError, OSError, IndexError):
             return await self.relay.open_link(owner, payload=b"service")
 
-    async def _open_data(self, owner: str, info: EndpointInfo, service):
-        await _write_frame(service, b"\x01")  # data-connection request
+    async def _open_data(
+        self, owner: str, info: EndpointInfo, service, ctx=None
+    ):
+        # The request frame carries the caller's trace context so the
+        # responder's side of the data connection joins the same causal
+        # trace: u8 request kind, lp_bytes encoded context (empty when
+        # the caller has none).
+        child = ctx.child() if ctx is not None else None
+        encoded = child.encode() if child is not None else b""
+        await _write_frame(
+            service, ByteWriter().u8(1).lp_bytes(encoded).getvalue()
+        )
         reply = ByteReader(await _read_frame(service))
         kind = reply.u8()
         if kind != 0:
             raise LiveIbisError("responder offered no data listener")
         host = reply.lp_str()
         port = reply.u16()
-        return await live_connect((host, port))
+        sock = await live_connect((host, port))
+        obs.event(
+            "data.connected", ctx=child, node=self.name, peer=owner,
+            backend="live",
+        )
+        return sock
 
     # -- serving --------------------------------------------------------------------
     async def _direct_service_loop(self) -> None:
@@ -316,20 +357,54 @@ class LiveIbis:
         parsed = StackSpec.parse(agreement.lp_str())
         _block_size = agreement.u32()
         n = parsed.links_required
-        socks = []
-        for index in range(n):
-            await _read_frame(service)  # the data-connection request byte
-            listener = await live_listen(self.listen_host, 0)
-            reply = (
-                ByteWriter()
-                .u8(0)
-                .lp_str(listener.addr[0])
-                .u16(listener.port)
-                .getvalue()
+        if parsed.mux is not None:
+            sock, ctx = await self._accept_data(service, sender)
+            endpoint = await AsyncMuxEndpoint.establish(
+                sock,
+                AsyncMuxEndpoint.RESPONDER,
+                window=int(parsed.mux.get("win", DEFAULT_WINDOW)),
+                scheduler=make_scheduler(str(parsed.mux.get("sched", "rr"))),
+                node=self.name,
+                ctx=ctx,
             )
-            await _write_frame(service, reply)
-            sock = await listener.accept()
-            listener.close()
-            socks.append(sock)
+            socks = [await endpoint.accept_channel() for _ in range(n)]
+        else:
+            socks = []
+            for _ in range(n):
+                sock, _ctx = await self._accept_data(service, sender)
+                socks.append(sock)
         driver = _build_stack(parsed, socks)
         port._attach(AsyncBlockChannel(driver), origin=sender)
+
+    async def _accept_data(self, service, sender: str):
+        """One responder round of the data-connection sub-protocol.
+
+        Returns ``(socket, trace_context)`` — the context decoded from
+        the request frame (``None`` when the caller sent none), so the
+        accept joins the initiator's causal trace.
+        """
+        request = ByteReader(await _read_frame(service))
+        request.u8()  # request kind; only data connections are defined
+        ctx = None
+        encoded = request.lp_bytes()
+        if encoded:
+            try:
+                ctx = obs.TraceContext.decode(encoded)
+            except Exception:
+                ctx = None
+        listener = await live_listen(self.listen_host, 0)
+        reply = (
+            ByteWriter()
+            .u8(0)
+            .lp_str(listener.addr[0])
+            .u16(listener.port)
+            .getvalue()
+        )
+        await _write_frame(service, reply)
+        sock = await listener.accept()
+        listener.close()
+        obs.event(
+            "data.accepted", ctx=ctx, node=self.name, peer=sender,
+            backend="live",
+        )
+        return sock, ctx

@@ -42,6 +42,7 @@ from .export import (
     SCHEMA_VERSION,
     SchemaError,
     export_jsonl,
+    iter_jsonl,
     read_jsonl,
     validate_jsonl,
     validate_record,
@@ -106,6 +107,7 @@ __all__ = [
     # export / report
     "export_jsonl",
     "read_jsonl",
+    "iter_jsonl",
     "validate_record",
     "validate_jsonl",
     "SchemaError",

@@ -34,7 +34,7 @@ import json
 import sys
 from typing import Iterable, Optional
 
-from .export import read_jsonl
+from .export import iter_jsonl
 
 __all__ = ["assemble", "assemble_files", "render_text", "main"]
 
@@ -149,26 +149,34 @@ def assemble(
 ) -> dict:
     """Rebuild causal traces from a pile of schema-v2 records.
 
+    ``records`` may be any iterable — including a lazy generator such as
+    :func:`repro.obs.export.iter_jsonl` — and is consumed in a single
+    pass: only the traced records themselves are retained (bucketed by
+    ``trace_id``), never the full input.
+
     ``offsets`` maps node name → seconds to *add* to that node's clock;
     when ``adjust_skew`` is true, additional per-node skew is estimated
     from the tree structure on top of any explicit offsets.
     """
-    records = list(records)
+    # One streaming pass: dedup + bucket traced records, count the rest.
     # Overlapping exports (a per-node file plus a combined run file, or a
     # re-exported bundle) legitimately repeat records — stitch each one
     # exactly once.
     seen: set = set()
-    traced = []
+    by_trace: dict[str, list] = {}
+    n_traced = 0
+    untraced = 0
     for record in records:
+        if record.get("type") not in ("trace", "flight"):
+            continue
         if not _is_traced(record):
+            untraced += 1
             continue
         key = json.dumps(record, sort_keys=True)
         if key in seen:
             continue
         seen.add(key)
-        traced.append(record)
-    by_trace: dict[str, list] = {}
-    for record in traced:
+        n_traced += 1
         by_trace.setdefault(record["trace_id"], []).append(record)
 
     traces = []
@@ -266,12 +274,8 @@ def assemble(
 
     return {
         "traces": traces,
-        "records": len(traced),
-        "untraced": sum(
-            1
-            for r in records
-            if r.get("type") in ("trace", "flight") and "trace_id" not in r
-        ),
+        "records": n_traced,
+        "untraced": untraced,
     }
 
 
@@ -280,11 +284,13 @@ def assemble_files(
     offsets: Optional[dict] = None,
     adjust_skew: bool = True,
 ) -> dict:
-    """Load JSONL exports and :func:`assemble` their records."""
-    records: list[dict] = []
-    for path in paths:
-        records.extend(read_jsonl(path))
-    return assemble(records, offsets=offsets, adjust_skew=adjust_skew)
+    """Stream JSONL exports into :func:`assemble` (never materialized)."""
+
+    def stream():
+        for path in paths:
+            yield from iter_jsonl(path)
+
+    return assemble(stream(), offsets=offsets, adjust_skew=adjust_skew)
 
 
 # -- rendering -----------------------------------------------------------------

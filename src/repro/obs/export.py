@@ -40,6 +40,7 @@ __all__ = [
     "SchemaError",
     "export_jsonl",
     "read_jsonl",
+    "iter_jsonl",
     "validate_record",
     "validate_jsonl",
 ]
@@ -121,19 +122,27 @@ def export_jsonl(
     return write(path_or_file)
 
 
-def read_jsonl(path: str) -> list:
-    """Parse a JSON-lines file into a list of records (no validation)."""
-    records = []
+def iter_jsonl(path: str):
+    """Lazily parse a JSON-lines file, one record at a time.
+
+    Unlike :func:`read_jsonl` this never materializes the file: large
+    chaos exports stream straight into :func:`repro.obs.assemble.assemble`
+    with O(1) records held per file.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                yield json.loads(line)
             except json.JSONDecodeError as exc:
                 raise SchemaError(f"line {lineno}: not JSON: {exc}") from exc
-    return records
+
+
+def read_jsonl(path: str) -> list:
+    """Parse a JSON-lines file into a list of records (no validation)."""
+    return list(iter_jsonl(path))
 
 
 def _require(record: dict, key: str, types) -> object:

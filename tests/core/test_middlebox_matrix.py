@@ -138,6 +138,54 @@ def test_session_resumes_exactly_where_establishment_works(kind, method):
     assert state["session"].state == "finished"
 
 
+#: every establishable cell must also carry a muxed stack: the mux layer
+#: rides whatever carrier brokering lands on, so the muxed matrix is
+#: exactly the establishable one.
+MUX_CELLS = [(k, m) for k in KINDS for m in sorted(EXPECTED_OK[k])]
+
+
+@pytest.mark.parametrize("kind,method", MUX_CELLS)
+def test_mux_works_exactly_where_establishment_works(kind, method):
+    """Matrix extension: each working cell, with the data channel built
+    as ``tcp_block|mux`` through the factory.  The logical channel must
+    mirror the carrier's Table-1 metadata and round-trip a payload."""
+    scn = build(kind)
+    ini, res = scn.nodes["ini"], scn.nodes["res"]
+    spec = StackSpec.parse("tcp_block|mux")
+    payload = random.Random(f"mux:{kind}:{method}").randbytes(128 * 1024)
+    state: dict = {}
+
+    def run_initiator():
+        yield from ini.start()
+        yield from res.relay_client.wait_connected(timeout=60)
+        factory = BrokeredConnectionFactory(ini)
+        service = yield from ini.open_service_link("res")
+        channel = yield from factory.connect(
+            service, res.info, spec=spec, methods=[method]
+        )
+        service.close()
+        state["method"] = channel.driver.link.method
+        yield from channel.send_message(payload)
+        state["echo"] = yield from channel.recv_message()
+        channel.close()
+
+    def run_responder():
+        yield from res.start()
+        factory = BrokeredConnectionFactory(res)
+        _peer, service = yield from res.accept_service_link()
+        channel = yield from factory.accept(service)
+        service.close()
+        msg = yield from channel.recv_message()
+        yield from channel.send_message(msg)
+        channel.close()
+
+    scn.sim.process(run_initiator(), name="mux-initiator")
+    scn.sim.process(run_responder(), name="mux-responder")
+    scn.sim.run(until=scn.sim.now + 300)
+    assert state.get("echo") == payload
+    assert state["method"] == method
+
+
 @pytest.mark.parametrize("kind", KINDS)
 def test_successful_methods_were_predicted_feasible(kind):
     """Working cells are a subset of the decision tree's predictions.

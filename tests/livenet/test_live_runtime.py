@@ -123,6 +123,71 @@ class TestLiveIbis:
 
         assert live_run(main()) == "RegistryError"
 
+    def test_muxed_stack_end_to_end(self, live_run):
+        async def main():
+            async with grid("alice", "bob") as (_reg, _rel, alice, bob):
+                inbox = await bob.create_receive_port("mux-in")
+                out = alice.create_send_port("out")
+                await out.connect("mux-in", spec=StackSpec.parse("tcp_block|mux"))
+                payload = b"muxed-live-data " * 8_000
+                message = out.new_message()
+                message.write_bytes(payload)
+                await message.finish()
+                got = await inbox.receive()
+                return got.read_bytes() == payload
+
+        assert live_run(main())
+
+    def test_muxed_parallel_channels_share_one_connection(self, live_run):
+        async def main():
+            async with grid("alice", "bob") as (_reg, _rel, alice, bob):
+                inbox = await bob.create_receive_port("fat-in")
+                out = alice.create_send_port("out")
+                await out.connect(
+                    "fat-in", spec=StackSpec.parse("parallel:4|mux:16384")
+                )
+                channel = out.channels["fat-in"]
+                links = channel.driver.links
+                endpoints = {link._ep for link in links}
+                payload = b"wide " * 20_000
+                message = out.new_message()
+                message.write_bytes(payload)
+                await message.finish()
+                got = await inbox.receive()
+                return len(links), len(endpoints), got.read_bytes() == payload
+
+        n_links, n_endpoints, ok = live_run(main())
+        assert n_links == 4
+        assert n_endpoints == 1  # all four logical links share one socket
+        assert ok
+
+    def test_trace_context_crosses_data_request(self, live_run):
+        from repro import obs
+        from repro.obs import TraceRecorder
+
+        recorder = TraceRecorder()
+        previous = obs.set_tracer(recorder)
+
+        async def main():
+            async with grid("alice", "bob") as (_reg, _rel, alice, bob):
+                await bob.create_receive_port("traced-in")
+                out = alice.create_send_port("out")
+                await out.connect("traced-in")
+
+        try:
+            live_run(main())
+        finally:
+            obs.set_tracer(previous)
+        events = {r["name"]: r for r in recorder.records if r["kind"] == "event"}
+        spans = {r["name"]: r for r in recorder.records if r["kind"] == "span"}
+        assert "port.connect" in spans
+        assert "data.connected" in events
+        assert "data.accepted" in events
+        root = spans["port.connect"]["trace_id"]
+        # Both ends of the data connection join the initiator's trace.
+        assert events["data.connected"]["trace_id"] == root
+        assert events["data.accepted"]["trace_id"] == root
+
     def test_election_between_live_nodes(self, live_run):
         async def main():
             async with grid("a", "b") as (_reg, _rel, a, b):

@@ -1,0 +1,369 @@
+"""MuxEndpoint: channels, credit flow control, scheduling, failure."""
+
+import pytest
+
+from repro import obs
+from repro.core.links import LinkClosed, TcpLink
+from repro.mux import (
+    DEFAULT_WINDOW,
+    MuxEndpoint,
+    MuxProtocolError,
+    WeightedScheduler,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.simnet import connect, listen
+from repro.simnet.testing import two_public_hosts
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = obs.set_registry(MetricsRegistry())
+    yield
+    obs.set_registry(previous)
+
+
+def make_pair(window=DEFAULT_WINDOW, scheduler_a=None, scheduler_b=None):
+    """Two running MuxEndpoints over one simulated TCP link."""
+    inet, a, b = two_public_hosts()
+    sim = inet.sim
+    out = {}
+
+    def srv():
+        listener = listen(b, 5000)
+        sock = yield from listener.accept()
+        out["resp"] = yield from MuxEndpoint.establish(
+            TcpLink(sock, "client_server"), MuxEndpoint.RESPONDER,
+            window=window, scheduler=scheduler_b, node="resp")
+
+    def cli():
+        sock = yield from connect(a, (b.ip, 5000))
+        out["ini"] = yield from MuxEndpoint.establish(
+            TcpLink(sock, "client_server"), MuxEndpoint.INITIATOR,
+            window=window, scheduler=scheduler_a, node="ini")
+
+    sim.process(srv())
+    sim.process(cli())
+    sim.run(until=30)
+    return sim, out["ini"], out["resp"]
+
+
+def run(sim, until=300):
+    sim.run(until=until)
+
+
+class TestChannels:
+    def test_open_accept_round_trip(self):
+        sim, ini, resp = make_pair()
+        got = {}
+
+        def opener():
+            ch = yield from ini.open_channel(tag=b"greeting")
+            yield from ch.send_all(b"hello over mux")
+            got["reply"] = yield from ch.recv_exactly(2)
+
+        def acceptor():
+            ch = yield from resp.accept_channel()
+            got["tag"] = ch.tag
+            got["data"] = yield from ch.recv_exactly(14)
+            yield from ch.send_all(b"ok")
+
+        sim.process(opener())
+        sim.process(acceptor())
+        run(sim)
+        assert got["tag"] == b"greeting"
+        assert got["data"] == b"hello over mux"
+        assert got["reply"] == b"ok"
+
+    def test_many_channels_no_cross_leakage(self):
+        sim, ini, resp = make_pair()
+        n = 12
+        payloads = {i: bytes([i]) * (3000 + 137 * i) for i in range(n)}
+        received = {}
+
+        def opener(i):
+            ch = yield from ini.open_channel(tag=str(i).encode())
+            yield from ch.send_all(payloads[i])
+            ch.close()
+
+        def acceptor():
+            for _ in range(n):
+                ch = yield from resp.accept_channel()
+                sim.process(drain(ch), name=f"drain-{ch.tag!r}")
+
+        def drain(ch):
+            chunks = []
+            while True:
+                data = yield from ch.recv(4096)
+                if not data:
+                    break
+                chunks.append(data)
+            received[int(ch.tag)] = b"".join(chunks)
+
+        for i in range(n):
+            sim.process(opener(i))
+        sim.process(acceptor())
+        run(sim)
+        assert received == payloads
+
+    def test_both_sides_can_open(self):
+        sim, ini, resp = make_pair()
+        got = {}
+
+        def from_resp():
+            ch = yield from resp.open_channel(tag=b"reverse")
+            yield from ch.send_all(b"responder speaks first")
+            ch.close()
+
+        def on_ini():
+            ch = yield from ini.accept_channel()
+            got["tag"] = ch.tag
+            got["data"] = yield from ch.recv_exactly(22)
+
+        sim.process(from_resp())
+        sim.process(on_ini())
+        run(sim)
+        assert got == {"tag": b"reverse", "data": b"responder speaks first"}
+
+    def test_channel_ids_do_not_collide(self):
+        sim, ini, resp = make_pair()
+        ids = {}
+
+        def open_two(ep, key):
+            a = yield from ep.open_channel()
+            b = yield from ep.open_channel()
+            ids[key] = (a.channel_id, b.channel_id)
+
+        def accept_two(ep):
+            yield from ep.accept_channel()
+            yield from ep.accept_channel()
+
+        sim.process(open_two(ini, "ini"))
+        sim.process(open_two(resp, "resp"))
+        sim.process(accept_two(ini))
+        sim.process(accept_two(resp))
+        run(sim)
+        assert ids["ini"] == (1, 3)
+        assert ids["resp"] == (2, 4)
+
+
+class TestCredit:
+    def test_sender_blocks_until_receiver_drains(self):
+        # window of 4 KiB, payload of 64 KiB: the sender cannot finish
+        # before the receiver starts consuming.
+        sim, ini, resp = make_pair(window=4096)
+        events = []
+
+        def opener():
+            ch = yield from ini.open_channel()
+            yield from ch.send_all(b"x" * 65536)
+            events.append(("sent", sim.now))
+            ch.close()
+
+        def acceptor():
+            ch = yield from resp.accept_channel()
+            yield sim.timeout(5.0)  # let the sender hit the credit wall
+            events.append(("drain_start", sim.now))
+            total = 0
+            while total < 65536:
+                data = yield from ch.recv(65536)
+                total += len(data)
+            events.append(("drained", sim.now))
+
+        sim.process(opener())
+        sim.process(acceptor())
+        run(sim)
+        order = [name for name, _ in sorted(events, key=lambda e: e[1])]
+        assert order == ["drain_start", "sent", "drained"]
+        reg = obs.metrics()
+        assert reg.counter("mux.backpressure_waits", node="ini").value > 0
+
+    def test_credit_conservation_counters(self):
+        sim, ini, resp = make_pair(window=8192)
+        total = 50_000
+
+        def opener():
+            ch = yield from ini.open_channel()
+            yield from ch.send_all(b"y" * total)
+            ch.close()
+
+        def acceptor():
+            ch = yield from resp.accept_channel()
+            got = 0
+            while got < total:
+                data = yield from ch.recv(4096)
+                got += len(data)
+
+        sim.process(opener())
+        sim.process(acceptor())
+        run(sim)
+        reg = obs.metrics()
+        tx = reg.counter("mux.tx_bytes", node="ini", channel="1").value
+        rx = reg.counter("mux.rx_bytes", node="resp", channel="1").value
+        granted = reg.counter("mux.credit_granted", node="resp",
+                              channel="1").value
+        assert tx == rx == total
+        # sent bytes never exceed the initial window plus explicit grants
+        assert tx <= 8192 + granted
+
+    def test_zero_copy_of_dropped_bytes_never_happens(self):
+        # backpressure means blocking, not dropping: every byte arrives
+        sim, ini, resp = make_pair(window=1024)
+        payload = bytes(range(256)) * 100
+        got = []
+
+        def opener():
+            ch = yield from ini.open_channel()
+            yield from ch.send_all(payload)
+            ch.close()
+
+        def acceptor():
+            ch = yield from resp.accept_channel()
+            while True:
+                data = yield from ch.recv(777)
+                if not data:
+                    break
+                got.append(data)
+
+        sim.process(opener())
+        sim.process(acceptor())
+        run(sim)
+        assert b"".join(got) == payload
+
+
+class TestScheduling:
+    def test_round_robin_interleaves_bulk_and_small(self):
+        sim, ini, resp = make_pair()
+        finish = {}
+
+        def bulk():
+            ch = yield from ini.open_channel(tag=b"bulk")
+            yield from ch.send_all(b"b" * 4_000_000)
+            finish["bulk"] = sim.now
+
+        def small():
+            ch = yield from ini.open_channel(tag=b"small")
+            yield from ch.send_all(b"s" * 2000)
+            finish["small"] = sim.now
+
+        def acceptor():
+            for _ in range(2):
+                ch = yield from resp.accept_channel()
+                sim.process(drain(ch))
+
+        def drain(ch):
+            while True:
+                data = yield from ch.recv(65536)
+                if not data:
+                    return
+
+        sim.process(bulk())
+        sim.process(small())
+        sim.process(acceptor())
+        run(sim, until=600)
+        # the small channel must not wait for the bulk transfer to finish
+        assert finish["small"] < finish["bulk"]
+
+    def test_weighted_scheduler_biases_throughput(self):
+        sim, ini, resp = make_pair(scheduler_a=WeightedScheduler(quantum=4096))
+        total = 300_000
+        first_done = {}
+
+        def sender(tag, weight):
+            ch = yield from ini.open_channel(tag=tag, weight=weight)
+            yield from ch.send_all(tag * (total // len(tag)))
+            first_done.setdefault("winner", tag)
+
+        def acceptor():
+            for _ in range(2):
+                ch = yield from resp.accept_channel()
+                sim.process(drain(ch))
+
+        def drain(ch):
+            while True:
+                data = yield from ch.recv(65536)
+                if not data:
+                    return
+
+        sim.process(sender(b"heavy", 4))
+        sim.process(sender(b"light", 1))
+        sim.process(acceptor())
+        run(sim, until=900)
+        assert first_done["winner"] == b"heavy"
+
+
+class TestFailure:
+    def test_link_death_fails_all_channels(self):
+        sim, ini, resp = make_pair()
+        errors = []
+
+        def opener():
+            ch = yield from ini.open_channel()
+            yield from ch.send_all(b"z" * 1000)
+            yield sim.timeout(2.0)
+            ini.link.abort()  # the shared link dies under us
+            try:
+                yield from ch.send_all(b"z" * 200_000)
+            except Exception as exc:
+                errors.append(type(exc).__name__)
+
+        def acceptor():
+            ch = yield from resp.accept_channel()
+            try:
+                while True:
+                    data = yield from ch.recv(4096)
+                    if not data:
+                        return
+            except Exception as exc:
+                errors.append(type(exc).__name__)
+
+        sim.process(opener())
+        sim.process(acceptor())
+        run(sim)
+        assert len(errors) == 2
+
+    def test_endpoint_close_is_clean(self):
+        sim, ini, resp = make_pair()
+
+        def opener():
+            ch = yield from ini.open_channel()
+            yield from ch.send_all(b"bye")
+            ch.close()
+            ini.close()
+
+        def acceptor():
+            ch = yield from resp.accept_channel()
+            data = yield from ch.recv_exactly(3)
+            assert data == b"bye"
+
+        sim.process(opener())
+        sim.process(acceptor())
+        run(sim)
+        assert not ini.alive
+
+    def test_version_mismatch_refused(self):
+        from repro.core.wire import recv_frame, send_frame
+        from repro.mux.frames import encode_hello
+
+        inet, a, b = two_public_hosts()
+        sim = inet.sim
+        failures = []
+
+        def srv():
+            listener = listen(b, 5000)
+            sock = yield from listener.accept()
+            link = TcpLink(sock, "client_server")
+            yield from send_frame(link, encode_hello(version=99))
+            yield from recv_frame(link)
+
+        def cli():
+            sock = yield from connect(a, (b.ip, 5000))
+            link = TcpLink(sock, "client_server")
+            try:
+                yield from MuxEndpoint.establish(link, MuxEndpoint.INITIATOR)
+            except MuxProtocolError as exc:
+                failures.append(str(exc))
+
+        sim.process(srv())
+        sim.process(cli())
+        sim.run(until=30)
+        assert failures and "version mismatch" in failures[0]

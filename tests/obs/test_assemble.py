@@ -194,6 +194,52 @@ def test_flight_records_attach_by_identity():
     )
 
 
+def test_assemble_accepts_one_shot_streaming_iterator():
+    # ROADMAP: streaming input — a generator is consumed in one pass,
+    # never re-iterated or materialized.
+    root, alice, relay, bob = _three_node_records()
+    untraced = {"type": "trace", "kind": "event", "name": "loose",
+                "ts": 0.5, "attrs": {}}
+
+    consumed = []
+
+    def stream():
+        for record in alice + relay + bob + [untraced]:
+            consumed.append(record)
+            yield record
+
+    result = assemble(stream())
+    assert len(consumed) == 6  # fully drained, exactly once
+    assert result["records"] == 5
+    assert result["untraced"] == 1
+    assert result["traces"][0]["spans"] == 3
+
+
+def test_assemble_files_streams_from_disk(tmp_path):
+    import json as _json
+
+    _, alice, relay, bob = _three_node_records()
+    for name, records in (("alice", alice), ("relay", relay), ("bob", bob)):
+        path = tmp_path / f"{name}.jsonl"
+        path.write_text(
+            "".join(_json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+    result = assemble_files(sorted(str(p) for p in tmp_path.iterdir()))
+    assert result["records"] == 5
+    assert result["traces"][0]["spans"] == 3
+
+
+def test_iter_jsonl_is_lazy(tmp_path):
+    from repro.obs.export import SchemaError, iter_jsonl
+
+    path = tmp_path / "mixed.jsonl"
+    path.write_text('{"ok": 1}\nnot-json\n', encoding="utf-8")
+    stream = iter_jsonl(str(path))
+    assert next(stream) == {"ok": 1}  # first record before the bad line
+    with pytest.raises(SchemaError, match="line 2"):
+        next(stream)
+
+
 def test_separate_traces_stay_separate():
     _, alice_a, relay_a, bob_a = _three_node_records()
     _, alice_b, relay_b, bob_b = _three_node_records()
