@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux chaos chaos-sweep chaos-resume chaos-mux
+.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux smoke-flow chaos chaos-sweep chaos-resume chaos-mux
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +41,12 @@ smoke-mux:
 	$(PYTHON) -m repro.obs.assemble $(MUX_SMOKE_DIR)/*.jsonl
 	$(PYTHON) -m repro.obs.assemble $(MUX_SMOKE_DIR)/*.jsonl --json \
 		| $(PYTHON) scripts/check_assembled_trace.py --mux
+
+# Fleet-scale flow-tier smoke: 100k endpoints fan into one hub across
+# a mid-run partition, full invariant suite, <60s wall-clock budget
+# (docs/SIMNET.md).
+smoke-flow:
+	$(PYTHON) scripts/smoke_flow.py
 
 # Skip tests that bind real loopback sockets (useful in sandboxes).
 test-fast:

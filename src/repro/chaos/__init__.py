@@ -26,7 +26,8 @@ from .faults import (
     RelayCrash,
 )
 from .invariants import ChannelAudit, check_invariants
-from .runner import SCENARIOS, ChaosReport, Workload, run_chaos
+from .registry import SCENARIOS, ScenarioDef, get_scenario, scenario, scenario_names
+from .runner import ChaosReport, Workload, run_chaos
 
 __all__ = [
     "Fault",
@@ -45,5 +46,9 @@ __all__ = [
     "ChaosReport",
     "Workload",
     "run_chaos",
+    "scenario",
+    "ScenarioDef",
+    "get_scenario",
+    "scenario_names",
     "SCENARIOS",
 ]

@@ -15,7 +15,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .runner import SCENARIOS, run_chaos
+from .registry import scenario_names
+from .runner import run_chaos
 
 
 def _parse_seeds(text: str) -> list[int]:
@@ -36,7 +37,11 @@ def main(argv=None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
-        "--scenario", default="wan_transfer", choices=sorted(SCENARIOS),
+        "--scenario", default="wan_transfer", choices=scenario_names(),
+    )
+    parser.add_argument(
+        "--fidelity", choices=("packet", "flow"), default=None,
+        help="simulation tier (default: the scenario's native tier)",
     )
     parser.add_argument(
         "--seed", "--seeds", dest="seeds", default="1",
@@ -87,6 +92,7 @@ def main(argv=None) -> int:
             retries=not args.no_retries,
             sessions=args.sessions,
             until=args.until,
+            fidelity=args.fidelity,
             trace_path=trace_path,
             export_dir=export_dir,
             bundle_dir=args.bundle,

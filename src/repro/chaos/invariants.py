@@ -126,6 +126,12 @@ def _mux_violations(registry: MetricsRegistry) -> list[str]:
         node = counter.labels.get("node", "?")
         granted[(node, ch)] = granted.get((node, ch), 0) + counter.value
 
+    # per-channel grant totals up front: fleet-scale runs carry one
+    # channel per endpoint, so the credit check must stay linear
+    granted_by_ch: dict = {}
+    for (node, ch), value in granted.items():
+        granted_by_ch[ch] = granted_by_ch.get(ch, 0) + value
+
     out = []
     for ch in sorted(set(tx) | set(rx), key=lambda c: int(c) if c.isdigit() else 0):
         sent, got = tx.get(ch, 0), rx.get(ch, 0)
@@ -135,9 +141,7 @@ def _mux_violations(registry: MetricsRegistry) -> list[str]:
                 f"{sent} bytes sent, {got} delivered"
             )
     for (node, ch), sent in sorted(tx_by_node.items()):
-        peer_grants = sum(
-            v for (n, c), v in granted.items() if c == ch and n != node
-        )
+        peer_grants = granted_by_ch.get(ch, 0) - granted.get((node, ch), 0)
         allowed = DEFAULT_WINDOW + peer_grants
         if sent > allowed:
             out.append(
@@ -148,21 +152,19 @@ def _mux_violations(registry: MetricsRegistry) -> list[str]:
     return out
 
 
-def _live_connections(scenario) -> list[str]:
-    """Descriptions of TCP connections still alive anywhere in the net."""
-    leaks = []
-    hosts = scenario.inet.net.hosts
-    for name in sorted(hosts):
-        host = hosts[name]
-        stack = getattr(host, "_tcp", None)
-        if stack is None:
-            continue
-        for (laddr, raddr), sock in sorted(stack._conns.items()):
-            leaks.append(
-                f"{name} {laddr[0]}:{laddr[1]}->{raddr[0]}:{raddr[1]} "
-                f"[{sock.state}]"
-            )
-    return leaks
+def _backend(scenario):
+    """The scenario's :class:`~repro.simnet.backend.SimBackend`.
+
+    Scenarios expose one directly (``scenario.backend``); for any
+    legacy scenario object that predates the protocol, a packet-tier
+    adapter is built around its network so the probes still work.
+    """
+    backend = getattr(scenario, "backend", None)
+    if backend is not None:
+        return backend
+    from ..simnet.backend import PacketBackend
+
+    return PacketBackend(net=scenario.inet.net)
 
 
 def check_invariants(
@@ -183,9 +185,12 @@ def check_invariants(
     for audit in audits:
         violations.extend(audit.violations())
 
-    for leak in _live_connections(scenario):
+    # Resource probes go through the SimBackend protocol, so packet-tier
+    # TCP leaks and flow-tier stuck transfers surface identically.
+    backend = _backend(scenario)
+    for leak in backend.live_connections():
         violations.append(f"resources: leaked connection {leak}")
-    pending = len(scenario.sim._heap)
+    pending = backend.pending_events
     if pending:
         violations.append(
             f"resources: {pending} events still pending in the engine heap"

@@ -1,0 +1,166 @@
+"""Chaos scenario registry: ``@scenario(...)`` self-registration.
+
+Scenarios used to live in an ad-hoc name→function dict at the bottom of
+``runner.py``; anything new (and anything living in another module, like
+the fleet-scale scenarios) had to edit that dict by hand.  Builders now
+self-register::
+
+    from repro.chaos.registry import scenario
+
+    @scenario("fleet_fanin", fidelities=("flow",))
+    def _build_fleet_fanin(seed, retries, sessions, fidelity="flow"):
+        ...
+        return workload
+
+A :class:`ScenarioDef` records which fidelity tiers the workload can run
+on (default: packet only) and whether the builder wants the ``fidelity``
+keyword; :func:`get_scenario` is the lookup the runner and CLI use.
+
+``SCENARIOS`` remains importable as a read-only mapping view for one
+release; it warns on use — iterate :func:`scenario_names` and call
+:func:`get_scenario` instead.
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+from typing import Callable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "ScenarioDef",
+    "scenario",
+    "get_scenario",
+    "scenario_names",
+    "SCENARIOS",
+]
+
+_REGISTRY: dict[str, "ScenarioDef"] = {}
+
+
+class ScenarioDef:
+    """One registered chaos scenario: builder + the tiers it runs on."""
+
+    __slots__ = ("name", "builder", "fidelities", "description", "_takes_fidelity")
+
+    def __init__(
+        self,
+        name: str,
+        builder: Callable,
+        fidelities: Sequence[str],
+        description: str = "",
+    ):
+        self.name = name
+        self.builder = builder
+        self.fidelities = tuple(fidelities)
+        self.description = description
+        params = inspect.signature(builder).parameters
+        self._takes_fidelity = "fidelity" in params
+
+    @property
+    def default_fidelity(self) -> str:
+        return self.fidelities[0]
+
+    def build(self, seed: int, retries: bool, sessions: bool, fidelity: str):
+        """Build the workload at ``fidelity`` (must be a supported tier)."""
+        if fidelity not in self.fidelities:
+            raise ValueError(
+                f"scenario {self.name!r} does not support fidelity "
+                f"{fidelity!r}; supported: {self.fidelities}"
+            )
+        if self._takes_fidelity:
+            return self.builder(seed, retries, sessions, fidelity=fidelity)
+        return self.builder(seed, retries, sessions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ScenarioDef {self.name} fidelities={self.fidelities}>"
+
+
+def scenario(
+    name: str,
+    *,
+    fidelities: Sequence[str] = ("packet",),
+) -> Callable:
+    """Decorator: register a workload builder under ``name``.
+
+    The builder is called ``builder(seed, retries, sessions)`` — plus a
+    ``fidelity=`` keyword if its signature declares one — and must
+    return a :class:`~repro.chaos.runner.Workload`.  ``fidelities``
+    lists the simulation tiers the workload is valid on, default-first.
+    """
+    from ..simnet.backend import FIDELITIES
+
+    for tier in fidelities:
+        if tier not in FIDELITIES:
+            raise ValueError(f"unknown fidelity {tier!r}; have {FIDELITIES}")
+    if not fidelities:
+        raise ValueError("a scenario needs at least one fidelity tier")
+
+    def register(builder: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"chaos scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioDef(
+            name, builder, fidelities, description=(builder.__doc__ or "").strip()
+        )
+        return builder
+
+    return register
+
+
+def get_scenario(name: str) -> ScenarioDef:
+    """Look up a registered scenario (importing known scenario modules)."""
+    _load_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos scenario {name!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def scenario_names() -> list:
+    """Every registered scenario name, sorted."""
+    _load_builtin()
+    return sorted(_REGISTRY)
+
+
+def _load_builtin() -> None:
+    """Import the modules whose ``@scenario`` decorators populate us."""
+    from . import fleet, runner  # noqa: F401 - imported for registration
+
+
+class _ScenariosView(Mapping):
+    """Deprecated read-only ``name -> builder`` view of the registry.
+
+    Kept for one release so existing ``SCENARIOS[name]`` /
+    ``sorted(SCENARIOS)`` call sites keep working; every access warns.
+    """
+
+    def _warn(self) -> None:
+        warnings.warn(
+            "SCENARIOS is deprecated; use repro.chaos.get_scenario(name) "
+            "and repro.chaos.scenario_names() instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, name: str) -> Callable:
+        self._warn()
+        _load_builtin()
+        return _REGISTRY[name].builder
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        _load_builtin()
+        return iter(sorted(_REGISTRY))
+
+    def __len__(self) -> int:
+        _load_builtin()
+        return len(_REGISTRY)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        _load_builtin()
+        return f"<SCENARIOS (deprecated view) {sorted(_REGISTRY)}>"
+
+
+SCENARIOS = _ScenariosView()

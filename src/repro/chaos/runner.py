@@ -55,8 +55,9 @@ from ..obs import MetricsRegistry, TraceContext, TraceRecorder, seed_ids
 from ..obs.assemble import assemble, render_text
 from .faults import FaultPlan, FaultScheduler
 from .invariants import ChannelAudit, check_invariants
+from .registry import SCENARIOS, get_scenario, scenario
 
-__all__ = ["ChaosReport", "Workload", "run_chaos", "SCENARIOS"]
+__all__ = ["ChaosReport", "Workload", "run_chaos", "SCENARIOS", "scenario"]
 
 #: drain window after teardown: covers TIME_WAIT (2 s), the longest
 #: retransmit backoff (60 s) and any cancelled-timer heap residue.
@@ -77,6 +78,7 @@ class ChaosReport:
     retries: bool
     sessions: bool
     ok: bool
+    fidelity: str = "packet"
     violations: list = field(default_factory=list)
     injected: list = field(default_factory=list)
     healed: list = field(default_factory=list)
@@ -97,6 +99,7 @@ class ChaosReport:
                 "plan": self.plan,
                 "retries": self.retries,
                 "sessions": self.sessions,
+                "fidelity": self.fidelity,
                 "ok": self.ok,
                 "violations": self.violations,
                 "injected": self.injected,
@@ -114,14 +117,22 @@ class ChaosReport:
         return (
             f"chaos {self.scenario} seed={self.seed} "
             f"plan={self.plan or '<none>'} retries={self.retries} "
-            f"sessions={self.sessions}: {verdict}"
+            f"sessions={self.sessions} fidelity={self.fidelity}: {verdict}"
         )
 
 
 class Workload:
-    """A built scenario plus the audit state its processes feed."""
+    """A built scenario plus the audit state its processes feed.
 
-    def __init__(self, scenario: GridScenario):
+    ``scenario`` is any object with the chaos scenario surface:
+    ``sim``, ``backend``, ``nodes``, ``relay``, ``proxies``,
+    ``site_wan_link(...)`` (plus the other fault attach points it
+    supports), ``shutdown()`` and ``chaos_stats()`` —
+    :class:`~repro.core.scenarios.GridScenario` on the packet tier,
+    :class:`~repro.chaos.fleet.FleetScenario` on the flow tier.
+    """
+
+    def __init__(self, scenario):
         self.scenario = scenario
         self.audits: list[ChannelAudit] = []
         self.errors: list[str] = []
@@ -249,6 +260,7 @@ def _staged_transfer(
     scn.sim.process(run_receiver(), name="chaos-receiver")
 
 
+@scenario("wan_transfer")
 def _build_wan_transfer(seed: int, retries: bool, sessions: bool) -> Workload:
     """Two staged bulk transfers, open site -> NATted+firewalled site.
 
@@ -280,6 +292,7 @@ def _build_wan_transfer(seed: int, retries: bool, sessions: bool) -> Workload:
     return wl
 
 
+@scenario("wan_transfer_routed")
 def _build_wan_transfer_routed(
     seed: int, retries: bool, sessions: bool
 ) -> Workload:
@@ -316,6 +329,7 @@ def _build_wan_transfer_routed(
     return wl
 
 
+@scenario("socks_transfer")
 def _build_socks_transfer(seed: int, retries: bool, sessions: bool) -> Workload:
     """One bulk transfer into a severe site: everything through SOCKS.
 
@@ -356,6 +370,7 @@ _FANIN_MESSAGES = 16
 _FANIN_MESSAGE_BYTES = 256 * 1024
 
 
+@scenario("ipl_fanin")
 def _build_ipl_fanin(seed: int, retries: bool, sessions: bool) -> Workload:
     """Many-node IPL port fan-in: three workers stream into one collector.
 
@@ -450,6 +465,7 @@ def _mux_spec(sessions: bool) -> StackSpec:
     return spec.with_session() if sessions else spec
 
 
+@scenario("mux_fanin")
 def _build_mux_fanin(seed: int, retries: bool, sessions: bool) -> Workload:
     """32 logical channels share ONE routed WAN link (the tentpole claim).
 
@@ -579,6 +595,7 @@ _STARVE_PINGS = 24
 _STARVE_LATENCY_BOUND = 2.0
 
 
+@scenario("mux_starvation")
 def _build_mux_starvation(seed: int, retries: bool, sessions: bool) -> Workload:
     """Bulk + interactive channels on one carrier: no starvation allowed.
 
@@ -719,17 +736,6 @@ def _build_mux_starvation(seed: int, retries: bool, sessions: bool) -> Workload:
     return wl
 
 
-#: name -> builder(seed, retries, sessions) -> Workload
-SCENARIOS: dict[str, Callable[[int, bool, bool], Workload]] = {
-    "wan_transfer": _build_wan_transfer,
-    "wan_transfer_routed": _build_wan_transfer_routed,
-    "socks_transfer": _build_socks_transfer,
-    "ipl_fanin": _build_ipl_fanin,
-    "mux_fanin": _build_mux_fanin,
-    "mux_starvation": _build_mux_starvation,
-}
-
-
 def run_chaos(
     scenario: str = "wan_transfer",
     seed: int = 1,
@@ -737,6 +743,7 @@ def run_chaos(
     retries: bool = True,
     sessions: bool = False,
     until: float = 900.0,
+    fidelity: Optional[str] = None,
     trace_path: Optional[str] = None,
     export_dir: Optional[str] = None,
     bundle_dir: Optional[str] = None,
@@ -745,9 +752,12 @@ def run_chaos(
 
     ``plan`` accepts either a :class:`FaultPlan` or its canonical string
     form.  ``sessions`` wraps every data channel in a survivable
-    :class:`~repro.core.session.SessionLink`.  ``trace_path`` optionally
-    exports the run's metrics + trace as JSON lines (the
-    :mod:`repro.obs.export` schema).
+    :class:`~repro.core.session.SessionLink`.  ``fidelity`` picks the
+    simulation tier (default: the scenario's first registered tier —
+    ``packet`` for the classic workloads, ``flow`` for fleet-scale
+    ones); the teardown, drain, invariant suite and report are identical
+    either way.  ``trace_path`` optionally exports the run's metrics +
+    trace as JSON lines (the :mod:`repro.obs.export` schema).
 
     ``export_dir`` writes *per-node* JSONL exports (one file per grid
     node, the relay, and every SOCKS proxy — each carrying that node's
@@ -760,12 +770,9 @@ def run_chaos(
     recorder, and the assembled causal trace — enough to diagnose the
     failure without re-running it.
     """
-    try:
-        build = SCENARIOS[scenario]
-    except KeyError:
-        raise ValueError(
-            f"unknown chaos scenario {scenario!r}; have {sorted(SCENARIOS)}"
-        ) from None
+    sdef = get_scenario(scenario)
+    if fidelity is None:
+        fidelity = sdef.default_fidelity
     parsed = plan if isinstance(plan, FaultPlan) else FaultPlan.parse(plan)
 
     # Scoped observability: a fresh registry + recorder per run, installed
@@ -778,16 +785,14 @@ def run_chaos(
     prev_recorder = obs.set_tracer(recorder)
     seed_ids(seed)
     try:
-        wl = build(seed, retries, sessions)
+        wl = sdef.build(seed, retries, sessions, fidelity)
         scn = wl.scenario
         scheduler = FaultScheduler(scn, parsed)
         scheduler.arm()
         scn.sim.run(until=until)
 
         # Teardown, then drain: anything still alive afterwards is a leak.
-        for node in scn.nodes.values():
-            node.stop()
-        scn.relay.stop()
+        scn.shutdown()
         scn.sim.run(until=scn.sim.now + DRAIN_SECONDS)
 
         violations = check_invariants(
@@ -800,25 +805,10 @@ def run_chaos(
                 f"chaos: only {len(scheduler.injected)}/{len(parsed)} "
                 "faults fired before the deadline"
             )
-        report = ChaosReport(
-            scenario=scenario,
-            seed=seed,
-            plan=parsed.spec(),
-            retries=retries,
-            sessions=sessions,
-            ok=not violations,
-            violations=sorted(violations),
-            injected=list(scheduler.injected),
-            healed=list(scheduler.healed),
-            channels=[a.summary() for a in wl.audits],
-            errors=list(wl.errors),
-            stats={
+        stats = dict(scn.chaos_stats())
+        stats.update(
+            {
                 "sim_seconds": scn.sim.now,
-                "relay_forwarded_bytes": scn.relay.forwarded_bytes,
-                "relay_forwarded_messages": scn.relay.forwarded_messages,
-                "reconnects": sum(
-                    n.relay_client.reconnects for n in scn.nodes.values()
-                ),
                 "session_reconnects": sum(
                     c.value
                     for c in registry.instruments("session.reconnects_total")
@@ -828,7 +818,22 @@ def run_chaos(
                     for c in registry.instruments("session.replayed_bytes_total")
                 ),
                 "trace_records": len(recorder.records),
-            },
+            }
+        )
+        report = ChaosReport(
+            scenario=scenario,
+            seed=seed,
+            plan=parsed.spec(),
+            retries=retries,
+            sessions=sessions,
+            fidelity=fidelity,
+            ok=not violations,
+            violations=sorted(violations),
+            injected=list(scheduler.injected),
+            healed=list(scheduler.healed),
+            channels=[a.summary() for a in wl.audits],
+            errors=list(wl.errors),
+            stats=stats,
         )
         if trace_path is not None:
             obs.export_jsonl(trace_path, registry=registry, recorder=recorder)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from .. import obs
+from ..simnet.backend import PacketBackend
 from ..simnet.engine import all_of
 from ..simnet.nat import BrokenNAT, ConeNAT, NatBox, SymmetricNAT
 from ..simnet.firewall import StatefulFirewall
@@ -65,6 +66,10 @@ class GridScenario:
     ):
         self.inet = Internet(seed=seed)
         self.sim = self.inet.sim
+        #: the scenario's :class:`~repro.simnet.backend.SimBackend` — the
+        #: fidelity-agnostic surface chaos invariants and tooling use for
+        #: clock access and resource-leak probes
+        self.backend = PacketBackend(net=self.inet.net)
         # Timestamps in metrics/traces follow the simulation clock.
         obs.use_sim_clock(self.sim)
         # The relay machine's own uplink: on a real grid this is a site
@@ -234,6 +239,23 @@ class GridScenario:
         if proxy is None:
             raise ValueError(f"site {name!r} has no SOCKS proxy")
         return proxy
+
+    # -- chaos scenario protocol ---------------------------------------------
+    def shutdown(self) -> None:
+        """Tear down every node and the relay (chaos teardown surface)."""
+        for node in self.nodes.values():
+            node.stop()
+        self.relay.stop()
+
+    def chaos_stats(self) -> dict:
+        """Scenario-side stats merged into a chaos report's ``stats``."""
+        return {
+            "relay_forwarded_bytes": self.relay.forwarded_bytes,
+            "relay_forwarded_messages": self.relay.forwarded_messages,
+            "reconnects": sum(
+                n.relay_client.reconnects for n in self.nodes.values()
+            ),
+        }
 
     # -- execution helpers ---------------------------------------------------
     def start_all(self) -> Generator:

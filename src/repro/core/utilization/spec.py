@@ -169,11 +169,25 @@ class StackSpec:
     ``label`` is a free-form experiment-axis tag (e.g. what
     :func:`~repro.core.monitor.select_spec` decided and why); it is not
     part of the wire form and does not affect equality.
+
+    ``fidelity`` names the simulation tier the stack is meant to run on
+    (``"packet"`` — the default per-segment TCP model — or ``"flow"``,
+    the fluid fast path for fleet-scale runs; see
+    :data:`repro.simnet.backend.FIDELITIES`).  Like ``label`` it is an
+    execution hint, not part of the protocol: it never travels the
+    service link and does not affect equality, so both endpoints of a
+    brokered connection can assemble the same stack at different
+    fidelities.
     """
 
-    __slots__ = ("layers", "label")
+    __slots__ = ("layers", "label", "fidelity")
 
-    def __init__(self, layers: Sequence[LayerSpec], label: Optional[str] = None):
+    def __init__(
+        self,
+        layers: Sequence[LayerSpec],
+        label: Optional[str] = None,
+        fidelity: str = "packet",
+    ):
         layers = tuple(
             layer if isinstance(layer, LayerSpec) else LayerSpec(layer[0], layer[1])
             for layer in layers
@@ -197,8 +211,13 @@ class StackSpec:
                 "below the networking layer only an optional session layer "
                 "followed by an optional mux layer may appear"
             )
+        if fidelity not in ("packet", "flow"):
+            raise StackSpecError(
+                f"unknown fidelity {fidelity!r}; expected 'packet' or 'flow'"
+            )
         object.__setattr__(self, "layers", layers)
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "fidelity", fidelity)
 
     def __setattr__(self, *_args):  # pragma: no cover - defensive
         raise AttributeError("StackSpec is immutable")
@@ -229,7 +248,7 @@ class StackSpec:
 
     # -- composition ----------------------------------------------------------
     def _pushed(self, layer: LayerSpec) -> "StackSpec":
-        return StackSpec((layer,) + self.layers, label=self.label)
+        return StackSpec((layer,) + self.layers, label=self.label, fidelity=self.fidelity)
 
     def with_compression(self, level: int = 1) -> "StackSpec":
         """Static zlib compression above the current stack."""
@@ -271,7 +290,9 @@ class StackSpec:
         above = tuple(l for l in self.layers if not l.is_mux)
         mux = tuple(l for l in self.layers if l.is_mux)
         return StackSpec(
-            above + (LayerSpec("session", params),) + mux, label=self.label
+            above + (LayerSpec("session", params),) + mux,
+            label=self.label,
+            fidelity=self.fidelity,
         )
 
     def with_mux(
@@ -297,26 +318,44 @@ class StackSpec:
             params["win"] = int(window)
         if scheduler is not None:
             params["sched"] = scheduler
-        return StackSpec(self.layers + (LayerSpec("mux", params),), label=self.label)
+        return StackSpec(
+            self.layers + (LayerSpec("mux", params),),
+            label=self.label,
+            fidelity=self.fidelity,
+        )
 
     def without_mux(self) -> "StackSpec":
         """The same stack minus any mux layer."""
         if self.mux is None:
             return self
         return StackSpec(
-            tuple(l for l in self.layers if not l.is_mux), label=self.label
+            tuple(l for l in self.layers if not l.is_mux),
+            label=self.label,
+            fidelity=self.fidelity,
         )
 
     def with_label(self, label: Optional[str]) -> "StackSpec":
         """The same stack tagged with an experiment-axis label."""
-        return StackSpec(self.layers, label=label)
+        return StackSpec(self.layers, label=label, fidelity=self.fidelity)
+
+    def with_fidelity(self, fidelity: str) -> "StackSpec":
+        """The same stack pinned to a simulation fidelity tier.
+
+        ``"packet"`` (default) assembles real drivers over the
+        per-segment TCP model; ``"flow"`` marks the stack for the fluid
+        fast path, where transfers become
+        :class:`~repro.simnet.flow.FluidFlow` rate processes.
+        """
+        return StackSpec(self.layers, label=self.label, fidelity=fidelity)
 
     def without_session(self) -> "StackSpec":
         """The same stack minus any session layer."""
         if self.session is None:
             return self
         return StackSpec(
-            tuple(l for l in self.layers if not l.is_session), label=self.label
+            tuple(l for l in self.layers if not l.is_session),
+            label=self.label,
+            fidelity=self.fidelity,
         )
 
     # -- inspection ------------------------------------------------------------
@@ -381,6 +420,9 @@ class StackSpec:
         return "|".join(layer.render() for layer in self.layers)
 
     def __repr__(self) -> str:
+        text = f"StackSpec.parse({str(self)!r})"
         if self.label is not None:
-            return f"StackSpec.parse({str(self)!r}).with_label({self.label!r})"
-        return f"StackSpec.parse({str(self)!r})"
+            text += f".with_label({self.label!r})"
+        if self.fidelity != "packet":
+            text += f".with_fidelity({self.fidelity!r})"
+        return text

@@ -8,12 +8,21 @@ control.
 
 Entry points:
 
+* :class:`~repro.simnet.backend.SimBackend` — the fidelity-agnostic
+  engine protocol; :func:`~repro.simnet.backend.make_backend` picks the
+  ``packet`` (per-segment TCP) or ``flow`` (fluid AIMD) tier.
 * :class:`~repro.simnet.engine.Simulator` — the event loop.
-* :class:`~repro.simnet.topology.Internet` — scenario builder (sites,
-  public hosts).
+* :class:`~repro.simnet.topology.Internet` — packet-tier scenario
+  builder (sites, public hosts).
+* :class:`~repro.simnet.flow.FlowNetwork` — flow-tier topology +
+  max-min rate solver for fleet-scale runs.
 * :mod:`~repro.simnet.sockets` — blocking-style sockets for sim processes.
+
+See ``docs/SIMNET.md`` for the fidelity-tier architecture and when each
+tier's numbers are trustworthy.
 """
 
+from .backend import FIDELITIES, PacketBackend, SimBackend, make_backend
 from .engine import (
     Event,
     Interrupt,
@@ -26,6 +35,16 @@ from .engine import (
     with_timeout,
 )
 from .firewall import StatefulFirewall
+from .flow import (
+    FlowBackend,
+    FlowHost,
+    FlowLink,
+    FlowNetwork,
+    FluidFlow,
+    aimd_rate,
+    slow_start_penalty,
+    spec_flow_params,
+)
 from .link import Link
 from .nat import BrokenNAT, ConeNAT, NatBox, SymmetricNAT
 from .packet import Addr, Segment, in_prefix, int_to_ip, ip_to_int, is_private
@@ -52,6 +71,18 @@ from .trace import Tracer, handshake_diagram
 from .udp import MAX_DATAGRAM, UdpError, UdpSocket, UdpStack
 
 __all__ = [
+    "SimBackend",
+    "PacketBackend",
+    "FlowBackend",
+    "make_backend",
+    "FIDELITIES",
+    "FlowNetwork",
+    "FlowHost",
+    "FlowLink",
+    "FluidFlow",
+    "aimd_rate",
+    "slow_start_penalty",
+    "spec_flow_params",
     "Simulator",
     "Event",
     "Process",

@@ -1,0 +1,169 @@
+"""Cross-validation of the flow tier against the packet tier.
+
+The flow tier (:mod:`repro.simnet.flow`) is only trustworthy if its
+closed-form AIMD model reproduces what the from-scratch TCP actually
+does on the WANs the paper measured.  This module runs the *same* bulk
+transfer both ways — a dumbbell topology with the profile's capacity /
+one-way delay / loss, ``streams`` parallel connections, one clock — and
+compares end-to-end throughput (connection setup and slow start
+included on both tiers).
+
+:data:`PROFILES` carries the two measurement WANs from the paper's §6
+(the fig9/fig10 link parameters, mirroring
+``benchmarks/paperlinks.py``); ``tests/simnet/test_crossval.py`` pins
+the two tiers within :data:`TOLERANCE` on both, single-stream and
+parallel-stream, which is what licenses using the flow tier for
+fleet-scale runs.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from .flow import FlowNetwork
+from .sockets import connect, listen
+from .testing import wan_pair
+
+__all__ = [
+    "PROFILES",
+    "TOLERANCE",
+    "crossval",
+    "measure_flow",
+    "measure_packet",
+]
+
+#: paper §6 measurement WANs (same constants as benchmarks/paperlinks.py)
+PROFILES = {
+    "fig9": {  # Amsterdam–Rennes: high latency, low bandwidth, lossy
+        "capacity": 1.6e6,
+        "one_way_delay": 0.015,
+        "loss": 0.0025,
+    },
+    "fig10": {  # Delft–Sophia: high latency, high bandwidth, clean
+        "capacity": 9e6,
+        "one_way_delay": 0.0215,
+        "loss": 0.0005,
+    },
+}
+
+#: acceptance bound on |flow/packet - 1| for the pinned profiles
+TOLERANCE = 0.15
+
+
+def measure_packet(
+    capacity: float,
+    one_way_delay: float,
+    loss: float,
+    *,
+    streams: int = 1,
+    total_bytes: int = 8 << 20,
+    seed: int = 0,
+    until: float = 3600.0,
+) -> float:
+    """Packet-tier throughput (B/s) of a bulk transfer on a dumbbell WAN.
+
+    ``streams`` parallel TCP connections split ``total_bytes`` evenly;
+    the clock runs from t=0 (connects start immediately) to the last
+    byte's arrival, so handshake and slow start are paid exactly as the
+    flow tier pays its setup delay and ramp penalty.
+    """
+    inet, sender, receiver = wan_pair(capacity, one_way_delay, loss, seed=seed)
+    sim = inet.sim
+    per_stream = total_bytes // streams
+    sizes = [per_stream] * streams
+    sizes[0] += total_bytes - per_stream * streams
+    done: dict[int, float] = {}
+    chunk = 64 * 1024
+    payload = bytes(256) * (chunk // 256)
+
+    def client(i: int, nbytes: int) -> Generator:
+        sock = yield from connect(sender, (receiver.ip, 5001 + i))
+        remaining = nbytes
+        while remaining > 0:
+            n = min(chunk, remaining)
+            yield from sock.send_all(payload[:n])
+            remaining -= n
+        sock.close()
+
+    def server(i: int, nbytes: int) -> Generator:
+        listener = listen(receiver, 5001 + i)
+        sock = yield from listener.accept()
+        total = 0
+        while total < nbytes:
+            data = yield from sock.recv(chunk)
+            if not data:
+                break
+            total += len(data)
+        done[i] = sim.now
+        sock.close()
+        listener.close()
+
+    for i, nbytes in enumerate(sizes):
+        sim.process(server(i, nbytes), name=f"xval-server-{i}")
+        sim.process(client(i, nbytes), name=f"xval-client-{i}")
+    sim.run(until=until)
+    if len(done) != streams:
+        raise RuntimeError(
+            f"packet transfer incomplete: {len(done)}/{streams} streams"
+        )
+    return total_bytes / max(done.values())
+
+
+def measure_flow(
+    capacity: float,
+    one_way_delay: float,
+    loss: float,
+    *,
+    streams: int = 1,
+    total_bytes: int = 8 << 20,
+    seed: int = 0,
+    until: float = 3600.0,
+) -> float:
+    """Flow-tier throughput (B/s) of the same transfer on the same WAN.
+
+    One fluid flow with ``streams`` parallelism, over the same dumbbell:
+    each side's uplink carries half the one-way delay and the full
+    capacity, loss on the sender side — the exact geometry
+    :func:`~repro.simnet.testing.wan_pair` builds for the packet tier.
+    """
+    net = FlowNetwork(seed=seed)
+    net.add_host("wan")
+    net.add_host(
+        "left", "wan", bandwidth=capacity, delay=one_way_delay / 2, loss=loss
+    )
+    net.add_host("right", "wan", bandwidth=capacity, delay=one_way_delay / 2)
+    flow = net.start_flow("left", "right", total_bytes, streams=streams)
+    net.sim.run(until=until)
+    if flow.state != "done" or flow.finished_at is None:
+        raise RuntimeError(f"flow transfer incomplete: {flow!r}")
+    return total_bytes / flow.finished_at
+
+
+def crossval(
+    profile: str,
+    *,
+    streams: int = 1,
+    total_bytes: Optional[int] = None,
+    seed: int = 0,
+) -> dict:
+    """Both tiers on one named profile; returns rates and their ratio."""
+    params = PROFILES[profile]
+    if total_bytes is None:
+        # ~10 simulated seconds of steady state at the link capacity
+        total_bytes = int(params["capacity"] * 10)
+    packet = measure_packet(
+        params["capacity"], params["one_way_delay"], params["loss"],
+        streams=streams, total_bytes=total_bytes, seed=seed,
+    )
+    flow = measure_flow(
+        params["capacity"], params["one_way_delay"], params["loss"],
+        streams=streams, total_bytes=total_bytes, seed=seed,
+    )
+    return {
+        "profile": profile,
+        "streams": streams,
+        "total_bytes": total_bytes,
+        "packet_bps": packet,
+        "flow_bps": flow,
+        "ratio": flow / packet,
+    }

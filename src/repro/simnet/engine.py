@@ -523,5 +523,16 @@ class Simulator:
         ev.defused = False
         self._schedule(ev, 0.0)
 
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled (public; don't touch ``_heap``).
+
+        This is the blessed resource-leak probe: after a scenario is torn
+        down and drained, a non-zero ``pending`` means timers or sockets
+        leaked.  Part of the :class:`~repro.simnet.backend.SimBackend`
+        surface so invariant checks work on any fidelity tier.
+        """
+        return len(self._heap)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator t={self.now} pending={len(self._heap)}>"

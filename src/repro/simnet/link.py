@@ -147,7 +147,7 @@ class Link:
     Parameters
     ----------
     delay:
-        One-way propagation delay in seconds.
+        One-way propagation delay in seconds (a→b direction).
     bandwidth:
         Serialization rate in bytes/second (per direction).
     queue_bytes:
@@ -158,6 +158,12 @@ class Link:
         Per-packet Bernoulli loss probability.
     seed:
         Seed for the per-direction RNGs.
+    delay_back:
+        One-way propagation delay of the b→a direction.  Defaults to
+        ``delay`` (a symmetric link).  Real WAN paths are often
+        asymmetric; the RTT both fidelity tiers agree on is always the
+        explicit sum :attr:`rtt` = ``delay_ab + delay_ba``, never
+        ``2 * delay``.
     """
 
     def __init__(
@@ -170,18 +176,21 @@ class Link:
         seed: int = 0,
         name: str = "link",
         jitter: float = 0.0,
+        delay_back: Optional[float] = None,
     ):
         self.sim = sim
         self.name = name
+        if delay_back is None:
+            delay_back = delay
         if queue_bytes is None:
-            queue_bytes = max(65536, int(bandwidth * delay))
+            queue_bytes = max(65536, int(bandwidth * max(delay, delay_back)))
         self.a_to_b = Transmitter(
             sim, delay, bandwidth, queue_bytes, loss,
             random.Random(f"{seed}:{name}:a"), name=f"{name}:a->b",
             jitter=jitter,
         )
         self.b_to_a = Transmitter(
-            sim, delay, bandwidth, queue_bytes, loss,
+            sim, delay_back, bandwidth, queue_bytes, loss,
             random.Random(f"{seed}:{name}:b"), name=f"{name}:b->a",
             jitter=jitter,
         )
@@ -208,7 +217,39 @@ class Link:
         return self.a_to_b.down and self.b_to_a.down
 
     @property
+    def delay_ab(self) -> float:
+        """Propagation delay of the a→b direction."""
+        return self.a_to_b.delay
+
+    @property
+    def delay_ba(self) -> float:
+        """Propagation delay of the b→a direction."""
+        return self.b_to_a.delay
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip propagation time: the *sum* of the two halves.
+
+        Use this (never ``2 * delay``) wherever an RTT is derived from a
+        topology, so asymmetric links give the same answer on the packet
+        and flow fidelity tiers.
+        """
+        return self.a_to_b.delay + self.b_to_a.delay
+
+    @property
     def delay(self) -> float:
+        """The a→b delay — only meaningful on symmetric links.
+
+        Asymmetric links must use :attr:`delay_ab` / :attr:`delay_ba`;
+        this accessor raises when the halves differ rather than silently
+        reporting half a wrong RTT.
+        """
+        if self.a_to_b.delay != self.b_to_a.delay:
+            raise ValueError(
+                f"link {self.name} is asymmetric "
+                f"({self.a_to_b.delay}s / {self.b_to_a.delay}s); "
+                "use delay_ab/delay_ba or rtt"
+            )
         return self.a_to_b.delay
 
     @property

@@ -269,8 +269,14 @@ class Network:
         queue_bytes: Optional[int] = None,
         name: str = "",
         jitter: float = 0.0,
+        delay_back: Optional[float] = None,
     ) -> Link:
-        """Create a link between two hosts, adding connected interfaces."""
+        """Create a link between two hosts, adding connected interfaces.
+
+        ``delay`` is the a→b propagation half; ``delay_back`` (defaulting
+        to ``delay``) the b→a half.  Asymmetric paths are explicit so the
+        RTT is always the sum of the two halves on every fidelity tier.
+        """
         self._link_seq += 1
         link = Link(
             self.sim,
@@ -281,6 +287,7 @@ class Network:
             seed=self.seed + self._link_seq,
             name=name or f"{a.name}--{b.name}",
             jitter=jitter,
+            delay_back=delay_back,
         )
         iface_a = a.add_interface(ip_a, prefixlen)
         iface_b = b.add_interface(ip_b, prefixlen)

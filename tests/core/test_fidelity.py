@@ -1,0 +1,77 @@
+"""The fidelity= knob on StackSpec and the factory.
+
+Fidelity is an execution hint — which simulation tier should run this
+stack — not a protocol field: it never travels the wire, never affects
+spec equality, and a packet-tier factory refuses flow-pinned work with a
+pointer at the fluid path.
+"""
+
+import pytest
+
+from repro.core.factory import BrokeredConnectionFactory
+from repro.core.scenarios import GridScenario
+from repro.core.utilization.spec import StackSpec, StackSpecError
+
+
+class TestSpecFidelity:
+    def test_default_is_packet(self):
+        assert StackSpec.tcp().fidelity == "packet"
+
+    def test_with_fidelity_returns_pinned_copy(self):
+        spec = StackSpec.parse("tls|parallel:streams=4")
+        flow = spec.with_fidelity("flow")
+        assert flow.fidelity == "flow"
+        assert spec.fidelity == "packet"  # original untouched
+        assert flow.layers == spec.layers
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(StackSpecError, match="unknown fidelity"):
+            StackSpec.tcp().with_fidelity("quantum")
+
+    def test_composition_preserves_fidelity(self):
+        spec = StackSpec.parallel(4).with_fidelity("flow")
+        assert spec.with_compression().fidelity == "flow"
+        assert spec.with_session().fidelity == "flow"
+        assert spec.with_mux().fidelity == "flow"
+        assert spec.with_label("x").fidelity == "flow"
+
+    def test_excluded_from_wire_form(self):
+        spec = StackSpec.parse("compress:level=6|parallel:streams=4")
+        assert str(spec.with_fidelity("flow")) == str(spec)
+
+    def test_excluded_from_equality_and_hash(self):
+        spec = StackSpec.tcp()
+        flow = spec.with_fidelity("flow")
+        assert spec == flow
+        assert hash(spec) == hash(flow)
+
+    def test_repr_round_trips_the_pin(self):
+        flow = StackSpec.tcp().with_fidelity("flow")
+        assert "with_fidelity('flow')" in repr(flow)
+        assert "with_fidelity" not in repr(StackSpec.tcp())
+
+
+def _node():
+    sc = GridScenario(seed=1)
+    sc.add_site("A", "open")
+    return sc.add_node("A", "a")
+
+
+class TestFactoryFidelity:
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(StackSpecError, match="unknown fidelity"):
+            BrokeredConnectionFactory(_node(), fidelity="quantum")
+
+    def test_flow_factory_refuses_driver_assembly(self):
+        factory = BrokeredConnectionFactory(_node(), fidelity="flow")
+        with pytest.raises(StackSpecError, match="start_flow"):
+            factory._check_fidelity(StackSpec.tcp().with_fidelity("flow"))
+
+    def test_packet_factory_refuses_flow_pinned_spec(self):
+        factory = BrokeredConnectionFactory(_node())
+        with pytest.raises(StackSpecError, match="pinned to fidelity"):
+            factory._check_fidelity(StackSpec.tcp().with_fidelity("flow"))
+
+    def test_packet_spec_passes(self):
+        factory = BrokeredConnectionFactory(_node())
+        factory._check_fidelity(StackSpec.parse("tls|parallel:streams=2"))

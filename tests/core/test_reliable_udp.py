@@ -150,7 +150,7 @@ class TestUnderLoss:
         assert tx.eof_drops == 1
         assert tx._error is None
         assert tx._closed and tx.sock.closed
-        assert not inet.sim._heap  # shutdown lingers must all drain
+        assert inet.sim.pending == 0  # shutdown lingers must all drain
 
     def test_eof_drop_requires_all_data_acked(self):
         # If data is still unacked alongside the EOF, exhaustion is a

@@ -1,0 +1,49 @@
+"""Flow tier vs packet tier on the paper's measured WANs (fig9/fig10).
+
+These are the acceptance pins for the flow fast path: the same bulk
+transfer, same dumbbell, same clock on both tiers must agree within
+``TOLERANCE`` on throughput.  If a calibration constant in
+``repro.simnet.flow`` drifts, this is the suite that catches it.
+"""
+
+import pytest
+
+from repro.simnet.crossval import PROFILES, TOLERANCE, crossval
+
+# fig10 is 9 MB/s; the default ~10s-of-steady-state transfer costs ~30s
+# of wall clock per cell on the packet tier.  24 MB keeps slow start
+# amortized (ratio well inside tolerance) at a quarter of the cost.
+_CELLS = [
+    ("fig9", 1, None),
+    ("fig9", 8, None),
+    ("fig10", 1, 24 << 20),
+    ("fig10", 8, 24 << 20),
+]
+
+
+@pytest.mark.parametrize("profile,streams,total_bytes", _CELLS)
+def test_tiers_agree(profile, streams, total_bytes):
+    result = crossval(profile, streams=streams, total_bytes=total_bytes)
+    assert result["packet_bps"] > 0 and result["flow_bps"] > 0
+    assert abs(result["ratio"] - 1.0) <= TOLERANCE, (
+        f"{profile} x{streams}: flow {result['flow_bps']:.0f} B/s vs "
+        f"packet {result['packet_bps']:.0f} B/s (ratio {result['ratio']:.3f})"
+    )
+
+
+def test_profiles_match_paper_benchmarks():
+    # the crossval WANs must stay in lockstep with benchmarks/paperlinks.py
+    assert PROFILES["fig9"]["capacity"] == pytest.approx(1.6e6)
+    assert PROFILES["fig10"]["capacity"] == pytest.approx(9e6)
+    assert set(PROFILES) == {"fig9", "fig10"}
+
+
+def test_parallel_streams_beat_single_on_lossy_wan():
+    # the paper's headline: parallel streams recover lossy-WAN bandwidth;
+    # both tiers must reproduce the direction of that effect
+    one = crossval("fig9", streams=1)
+    eight = crossval("fig9", streams=8)
+    # 8 streams saturate the 1.6 MB/s link, so the speedup is capacity-
+    # capped well below 8x; both tiers land around 1.4-1.6x
+    assert eight["packet_bps"] > one["packet_bps"] * 1.3
+    assert eight["flow_bps"] > one["flow_bps"] * 1.3

@@ -1,0 +1,133 @@
+"""Property: on loss-free WAN mixes the two tiers agree within 15%.
+
+Hypothesis draws a small random topology (sites with random access
+capacities hanging off one backbone) plus a random transfer mix, builds
+the *same* experiment on the packet tier and the flow tier, and compares
+aggregate throughput (total bytes / makespan).  The draw is constrained
+to the regime the flow tier claims to model: bulk transfers
+(>= 1.5 MiB, so the fluid slow-start approximation is amortized),
+configured loss zero (drop-tail queue loss still happens under
+congestion), equal WAN-scale access delays so no flow is RTT-biased,
+one-directional site roles, and one transfer per (src, dst) site pair.
+The excluded shapes are exactly the documented model limits (see
+docs/SIMNET.md): opposite-direction transfers on one path disturb each
+other's ACK clocking, and a bundle of loss-free connections on one
+short-RTT path synchronizes its drop-tail sawteeth — both packet-tier
+effects a fluid rate model deliberately does not represent (and which
+statistical multiplexing washes out at the fleet scale this tier
+targets).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.flow import FlowNetwork
+from repro.simnet.testing import sink_server
+from repro.simnet.topology import Internet
+from repro.simnet.sockets import connect
+
+AGREEMENT = 0.15
+
+sites_strategy = st.lists(
+    st.floats(min_value=1.5e6, max_value=2.5e6),  # access capacity, B/s
+    min_size=2,
+    max_size=4,
+)
+transfers_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 3),  # src site index (mod n_sites)
+        st.integers(0, 3),  # dst offset (never 0 after mod)
+        st.integers(1536 * 1024, 3 * 1024 * 1024),  # bytes
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def _mix(capacities, raw_transfers):
+    # bipartite roles (a site either sends or receives) and distinct
+    # (src, dst) pairs: flows share links only through partially
+    # overlapping pairs; surplus draws are dropped once pairs run out
+    n = len(capacities)
+    split = max(1, n // 2)
+    pairs = [(a, b) for a in range(split) for b in range(split, n)]
+    transfers = []
+    used = set()
+    for src, off, size in raw_transfers:
+        start = (src * 7 + off) % len(pairs)
+        for k in range(len(pairs)):
+            pair = pairs[(start + k) % len(pairs)]
+            if pair not in used:
+                used.add(pair)
+                transfers.append((pair[0], pair[1], size))
+                break
+    return transfers
+
+
+def _packet_makespan(capacities, transfers, delay, seed):
+    inet = Internet(seed=seed)
+    nodes = []
+    for i, cap in enumerate(capacities):
+        site = inet.add_site(
+            f"s{i}",
+            access_delay=delay,
+            access_bandwidth=cap,
+            queue_bytes=max(65536, int(cap * 4 * delay)),
+        )
+        # one node per transfer endpoint keeps ports trivially distinct
+        nodes.append(site)
+    done = {}
+    for t, (a, b, size) in enumerate(transfers):
+        sender = nodes[a].add_node(f"tx{t}")
+        receiver = nodes[b].add_node(f"rx{t}")
+        inet.sim.process(sink_server(receiver, 5001, done, key=str(t)))
+
+        def client(sender=sender, receiver=receiver, size=size):
+            sock = yield from connect(sender, (receiver.ip, 5001))
+            chunk = bytes(65536)
+            remaining = size
+            while remaining > 0:
+                n = min(len(chunk), remaining)
+                yield from sock.send_all(chunk[:n])
+                remaining -= n
+            sock.close()
+
+        inet.sim.process(client())
+    inet.sim.run(until=3600.0)
+    stamps = [done.get(f"{t}_t") for t in range(len(transfers))]
+    assert all(s is not None for s in stamps), "packet transfer incomplete"
+    return max(stamps)
+
+
+def _flow_makespan(capacities, transfers, delay, seed):
+    net = FlowNetwork(seed=seed)
+    net.add_host("wan")
+    for i, cap in enumerate(capacities):
+        net.add_host(f"s{i}", "wan", bandwidth=cap, delay=delay)
+    flows = [
+        net.start_flow(f"s{a}", f"s{b}", size)
+        for a, b, size in transfers
+    ]
+    net.sim.run(until=3600.0)
+    assert all(f.state == "done" for f in flows), "flow transfer incomplete"
+    return max(f.finished_at for f in flows)
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(
+    capacities=sites_strategy,
+    raw_transfers=transfers_strategy,
+    delay=st.sampled_from([0.015, 0.020, 0.025]),
+    seed=st.integers(0, 100),
+)
+def test_tiers_agree_on_random_mix(capacities, raw_transfers, delay, seed):
+    transfers = _mix(capacities, raw_transfers)
+    total = sum(size for _, _, size in transfers)
+    packet = total / _packet_makespan(capacities, transfers, delay, seed)
+    flow = total / _flow_makespan(capacities, transfers, delay, seed)
+    ratio = flow / packet
+    assert abs(ratio - 1.0) <= AGREEMENT, (
+        f"sites={[f'{c:.2e}' for c in capacities]} transfers={transfers} "
+        f"delay={delay}: flow {flow:.0f} vs packet {packet:.0f} B/s "
+        f"(ratio {ratio:.3f})"
+    )

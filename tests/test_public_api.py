@@ -105,6 +105,43 @@ def test_string_spec_coercion_shim_is_gone():
         parse_stack("compress:1|parallel:4")
 
 
+def test_fidelity_tier_surface_is_public():
+    """The SimBackend protocol and both tiers are first-class exports."""
+    import repro.simnet as simnet
+
+    for name in (
+        "SimBackend",
+        "PacketBackend",
+        "FlowBackend",
+        "FlowNetwork",
+        "FluidFlow",
+        "make_backend",
+        "FIDELITIES",
+        "aimd_rate",
+        "spec_flow_params",
+    ):
+        assert name in simnet.__all__, name
+        assert getattr(simnet, name) is not None, name
+    assert simnet.FIDELITIES == ("packet", "flow")
+
+
+def test_chaos_registry_surface_is_public():
+    """Scenario lookup goes through the registry, not the legacy dict."""
+    import repro.chaos as chaos
+
+    for name in ("scenario", "get_scenario", "scenario_names", "ScenarioDef"):
+        assert name in chaos.__all__, name
+        assert getattr(chaos, name) is not None, name
+    assert "fleet_fanin" in chaos.scenario_names()
+
+
+def test_legacy_scenarios_dict_warns():
+    import repro.chaos as chaos
+
+    with pytest.warns(DeprecationWarning, match="SCENARIOS is deprecated"):
+        chaos.SCENARIOS["wan_transfer"]
+
+
 def test_version_is_pep440ish():
     import repro
 
