@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux smoke-flow chaos chaos-sweep chaos-resume chaos-mux
+.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux smoke-flow chaos chaos-sweep chaos-resume chaos-mux live-chaos golden-gate golden-capture golden-soak
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -63,6 +63,22 @@ chaos:
 
 chaos-sweep:
 	$(PYTHON) -m repro.chaos --seeds 1-20 --plan "$(CHAOS_PLAN)"
+
+# Live-socket chaos tier (docs/TESTING.md §4): the marked suite runs
+# real loopback transfers through the fault-injecting proxy, then the
+# golden-trace gate diffs assembled-trace structure against goldens/.
+live-chaos:
+	$(PYTHON) -m pytest -q -m live_chaos
+	$(PYTHON) -m repro.chaos.live validate
+
+golden-gate:
+	$(PYTHON) -m repro.chaos.live validate
+
+golden-capture:
+	$(PYTHON) -m repro.chaos.live capture
+
+golden-soak:
+	$(PYTHON) -m repro.chaos.live soak --seeds 1,2,3
 
 # Mid-stream fault matrix for the session layer (docs/SESSIONS.md):
 # each fault kills an in-flight stream; --sessions must carry it.

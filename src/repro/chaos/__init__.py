@@ -13,20 +13,33 @@ plan)`` triple, and the report JSON is byte-identical across reruns.
 """
 
 from .faults import (
+    Blackhole,
+    ConnKill,
     ConntrackFlush,
     Fault,
     FaultPlan,
     FaultPlanError,
     FaultScheduler,
+    LatencySpike,
     LinkDown,
     LossBurst,
     NatExpiry,
     PeerDrop,
     ProxyRestart,
     RelayCrash,
+    Stall,
+    Truncate,
+    require_backend,
 )
-from .invariants import ChannelAudit, check_invariants
-from .registry import SCENARIOS, ScenarioDef, get_scenario, scenario, scenario_names
+from .invariants import ChannelAudit, check_invariants, obs_consistency_violations
+from .registry import (
+    SCENARIOS,
+    ScenarioDef,
+    get_scenario,
+    live_scenario,
+    scenario,
+    scenario_names,
+)
 from .runner import ChaosReport, Workload, run_chaos
 
 __all__ = [
@@ -34,6 +47,7 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "FaultScheduler",
+    "require_backend",
     "LinkDown",
     "LossBurst",
     "RelayCrash",
@@ -41,14 +55,34 @@ __all__ = [
     "ConntrackFlush",
     "NatExpiry",
     "ProxyRestart",
+    "ConnKill",
+    "Stall",
+    "Blackhole",
+    "LatencySpike",
+    "Truncate",
     "ChannelAudit",
     "check_invariants",
+    "obs_consistency_violations",
     "ChaosReport",
     "Workload",
     "run_chaos",
+    "run_live_chaos",
     "scenario",
+    "live_scenario",
     "ScenarioDef",
     "get_scenario",
     "scenario_names",
     "SCENARIOS",
 ]
+
+
+def run_live_chaos(*args, **kwargs):
+    """Lazy alias for :func:`repro.chaos.live.run_live_chaos`.
+
+    Imported on first call so ``repro.chaos`` stays importable without
+    pulling the asyncio livenet stack in (the sim harness has no need
+    for it).
+    """
+    from .live import run_live_chaos as _run
+
+    return _run(*args, **kwargs)

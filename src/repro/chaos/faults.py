@@ -31,6 +31,7 @@ __all__ = [
     "FaultPlan",
     "FaultScheduler",
     "FaultPlanError",
+    "require_backend",
     "LinkDown",
     "LossBurst",
     "RelayCrash",
@@ -38,6 +39,11 @@ __all__ = [
     "ConntrackFlush",
     "NatExpiry",
     "ProxyRestart",
+    "ConnKill",
+    "Stall",
+    "Blackhole",
+    "LatencySpike",
+    "Truncate",
 ]
 
 
@@ -59,6 +65,13 @@ class Fault:
 
     #: canonical kind tag used in the plan string (set per subclass)
     kind = ""
+
+    #: which chaos backends can express this fault.  The classic kinds
+    #: drive simulated middleboxes and links ("sim"); the proxy-based
+    #: kinds drive the live :class:`~repro.livenet.proxy.ChaosTcpProxy`
+    #: ("live").  A plan is validated against the chosen backend before
+    #: the run starts (:func:`require_backend`).
+    backends = ("sim",)
 
     def inject(self, ctx: "FaultContext") -> dict:
         """Apply the fault; returns attrs for the ``chaos.inject`` event."""
@@ -229,6 +242,135 @@ class ProxyRestart(Fault):
         return {"site": self.site, "for": self.duration, "streams": streams}
 
 
+# -- live-backend faults -------------------------------------------------------
+#
+# These drive the in-process chaos proxy a live scenario interposes as a
+# site's gateway (``scenario.chaos_proxy(site)``), mirroring the sim
+# vocabulary on real sockets: conn_kill ~ conntrack_flush (the stream
+# dies with a hard reset), stall ~ a silent middlebox black-holing ACKs
+# (backpressure, no error), blackhole ~ link_down for payload bytes,
+# latency ~ a WAN path flap, truncate ~ a mid-datagram cut.
+
+
+@dataclass(frozen=True)
+class ConnKill(Fault):
+    """RST every connection currently flowing through a site's gateway."""
+
+    site: str = "B"
+
+    kind = "conn_kill"
+    backends = ("live",)
+
+    def _args(self) -> dict:
+        return {"site": self.site}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        killed = ctx.scenario.chaos_proxy(self.site).kill_all()
+        return {"site": self.site, "connections": killed}
+
+
+@dataclass(frozen=True)
+class Stall(Fault):
+    """Gateway stops reading for ``duration`` s: silent backpressure."""
+
+    site: str = "B"
+    duration: float = 1.0
+
+    kind = "stall"
+    backends = ("live",)
+
+    def _args(self) -> dict:
+        return {"site": self.site, "for": self.duration}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        proxy = ctx.scenario.chaos_proxy(self.site)
+        proxy.set_stall(True)
+        ctx.heal_later(
+            self.duration, lambda: proxy.set_stall(False), self, site=self.site
+        )
+        return {"site": self.site, "for": self.duration}
+
+
+@dataclass(frozen=True)
+class Blackhole(Fault):
+    """Gateway reads and silently discards for ``duration`` seconds."""
+
+    site: str = "B"
+    duration: float = 1.0
+
+    kind = "blackhole"
+    backends = ("live",)
+
+    def _args(self) -> dict:
+        return {"site": self.site, "for": self.duration}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        proxy = ctx.scenario.chaos_proxy(self.site)
+        proxy.set_blackhole(True)
+        ctx.heal_later(
+            self.duration,
+            lambda: proxy.set_blackhole(False),
+            self,
+            site=self.site,
+        )
+        return {"site": self.site, "for": self.duration}
+
+
+@dataclass(frozen=True)
+class LatencySpike(Fault):
+    """Add ``delay`` (+ seeded jitter up to ``jitter``) per forwarded chunk."""
+
+    site: str = "B"
+    delay: float = 0.05
+    jitter: float = 0.0
+    duration: float = 1.0
+
+    kind = "latency"
+    backends = ("live",)
+
+    def _args(self) -> dict:
+        return {
+            "site": self.site,
+            "delay": self.delay,
+            "jitter": self.jitter,
+            "for": self.duration,
+        }
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        proxy = ctx.scenario.chaos_proxy(self.site)
+        proxy.set_latency(self.delay, self.jitter)
+        ctx.heal_later(
+            self.duration,
+            lambda: proxy.set_latency(0.0, 0.0),
+            self,
+            site=self.site,
+        )
+        return {
+            "site": self.site,
+            "delay": self.delay,
+            "jitter": self.jitter,
+            "for": self.duration,
+        }
+
+
+@dataclass(frozen=True)
+class Truncate(Fault):
+    """Forward exactly ``nbytes`` more payload bytes, then RST the stream."""
+
+    site: str = "B"
+    nbytes: int = 65536
+
+    kind = "truncate"
+    backends = ("live",)
+
+    def _args(self) -> dict:
+        return {"site": self.site, "bytes": self.nbytes}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        ctx.scenario.chaos_proxy(self.site).truncate_after(self.nbytes)
+        return {"site": self.site, "bytes": self.nbytes}
+
+
 _KINDS: dict[str, type] = {
     cls.kind: cls
     for cls in (
@@ -239,12 +381,27 @@ _KINDS: dict[str, type] = {
         ConntrackFlush,
         NatExpiry,
         ProxyRestart,
+        ConnKill,
+        Stall,
+        Blackhole,
+        LatencySpike,
+        Truncate,
     )
 }
 
 #: plan-string argument name -> dataclass field name
-_ARG_FIELDS = {"for": "duration"}
-_FLOAT_ARGS = {"for", "loss"}
+_ARG_FIELDS = {"for": "duration", "bytes": "nbytes"}
+_FLOAT_ARGS = {"for", "loss", "delay", "jitter"}
+_INT_ARGS = {"bytes"}
+
+
+def require_backend(plan: "FaultPlan", backend: str) -> None:
+    """Reject a plan containing faults the chosen backend cannot express."""
+    bad = sorted({f.kind for f in plan if backend not in f.backends})
+    if bad:
+        raise FaultPlanError(
+            f"fault kinds {bad} are not available on the {backend!r} backend"
+        )
 
 
 @dataclass(frozen=True)
@@ -283,7 +440,12 @@ class FaultPlan:
                 if not eq:
                     raise FaultPlanError(f"bad argument {pair!r} in {part!r}")
                 field = _ARG_FIELDS.get(key, key)
-                kwargs[field] = float(value) if key in _FLOAT_ARGS else value
+                if key in _FLOAT_ARGS:
+                    kwargs[field] = float(value)
+                elif key in _INT_ARGS:
+                    kwargs[field] = int(value)
+                else:
+                    kwargs[field] = value
             try:
                 faults.append(fault_cls(at=at, **kwargs))
             except TypeError as exc:

@@ -29,7 +29,7 @@ from typing import Iterable, Optional
 from ..mux import DEFAULT_WINDOW
 from ..obs import MetricsRegistry, TraceRecorder
 
-__all__ = ["ChannelAudit", "check_invariants"]
+__all__ = ["ChannelAudit", "check_invariants", "obs_consistency_violations"]
 
 
 class ChannelAudit:
@@ -208,61 +208,76 @@ def check_invariants(
                 f"({scenario.relay.forwarded_bytes})"
             )
     if registry is not None and recorder is not None:
-        counted = sum(
-            c.value for c in registry.instruments("establish.attempts_total")
-        )
-        spans = len(recorder.spans("establish.attempt"))
-        if counted != spans:
-            violations.append(
-                f"obs: establish.attempts_total ({counted}) != "
-                f"establish.attempt spans ({spans})"
-            )
-        # Every successful session resume is driven by the initiator and
-        # increments its reconnect counter exactly once — a mismatch means
-        # a recovery path bumped the counter without completing (or vice
-        # versa).
-        reconnects = sum(
-            c.value
-            for c in registry.instruments("session.reconnects_total")
-            if c.labels.get("role") == "initiator"
-        )
-        resumed = sum(
-            1
-            for s in recorder.spans("session.resume")
-            if s.get("attrs", {}).get("outcome") == "ok"
-        )
-        if reconnects != resumed:
-            violations.append(
-                f"obs: initiator session.reconnects_total ({reconnects}) != "
-                f"successful session.resume spans ({resumed})"
-            )
-        # Causal identity must be well-formed on every stamped record:
-        # ids are 16 hex digits, a parent implies a span, a span implies
-        # a trace.  A malformed context means some wire carrier decoded
-        # garbage (or an instrumentation site stamped a partial triple).
-        malformed = 0
-        for record in recorder.records:
-            for field in ("trace_id", "span_id", "parent_id"):
-                value = record.get(field)
-                if value is None:
-                    continue
-                try:
-                    ok = isinstance(value, str) and len(value) == 16
-                    ok = ok and int(value, 16) >= 0
-                except ValueError:
-                    ok = False
-                if not ok:
-                    malformed += 1
-                    break
-            else:
-                if ("parent_id" in record and "span_id" not in record) or (
-                    "span_id" in record and "trace_id" not in record
-                ):
-                    malformed += 1
-        if malformed:
-            violations.append(
-                f"obs: {malformed} trace records carry a malformed "
-                "causal identity"
-            )
+        violations.extend(obs_consistency_violations(registry, recorder))
 
     return sorted(violations)
+
+
+def obs_consistency_violations(
+    registry: MetricsRegistry, recorder: TraceRecorder
+) -> list[str]:
+    """Counter/span/identity agreement checks shared by both backends.
+
+    The live chaos runner has no simulated network to probe, but these
+    observability invariants are backend-agnostic: counters must agree
+    with the spans that narrate them, and every stamped causal identity
+    must be well-formed.
+    """
+    violations: list[str] = []
+    counted = sum(
+        c.value for c in registry.instruments("establish.attempts_total")
+    )
+    spans = len(recorder.spans("establish.attempt"))
+    if counted != spans:
+        violations.append(
+            f"obs: establish.attempts_total ({counted}) != "
+            f"establish.attempt spans ({spans})"
+        )
+    # Every successful session resume is driven by the initiator and
+    # increments its reconnect counter exactly once — a mismatch means
+    # a recovery path bumped the counter without completing (or vice
+    # versa).
+    reconnects = sum(
+        c.value
+        for c in registry.instruments("session.reconnects_total")
+        if c.labels.get("role") == "initiator"
+    )
+    resumed = sum(
+        1
+        for s in recorder.spans("session.resume")
+        if s.get("attrs", {}).get("outcome") == "ok"
+    )
+    if reconnects != resumed:
+        violations.append(
+            f"obs: initiator session.reconnects_total ({reconnects}) != "
+            f"successful session.resume spans ({resumed})"
+        )
+    # Causal identity must be well-formed on every stamped record:
+    # ids are 16 hex digits, a parent implies a span, a span implies
+    # a trace.  A malformed context means some wire carrier decoded
+    # garbage (or an instrumentation site stamped a partial triple).
+    malformed = 0
+    for record in recorder.records:
+        for field in ("trace_id", "span_id", "parent_id"):
+            value = record.get(field)
+            if value is None:
+                continue
+            try:
+                ok = isinstance(value, str) and len(value) == 16
+                ok = ok and int(value, 16) >= 0
+            except ValueError:
+                ok = False
+            if not ok:
+                malformed += 1
+                break
+        else:
+            if ("parent_id" in record and "span_id" not in record) or (
+                "span_id" in record and "trace_id" not in record
+            ):
+                malformed += 1
+    if malformed:
+        violations.append(
+            f"obs: {malformed} trace records carry a malformed "
+            "causal identity"
+        )
+    return violations

@@ -30,6 +30,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 __all__ = [
     "ScenarioDef",
     "scenario",
+    "live_scenario",
     "get_scenario",
     "scenario_names",
     "SCENARIOS",
@@ -39,9 +40,22 @@ _REGISTRY: dict[str, "ScenarioDef"] = {}
 
 
 class ScenarioDef:
-    """One registered chaos scenario: builder + the tiers it runs on."""
+    """One registered chaos scenario: builder(s) + the tiers it runs on.
 
-    __slots__ = ("name", "builder", "fidelities", "description", "_takes_fidelity")
+    ``builder`` constructs the simulated workload (``None`` for a
+    live-only scenario); ``live_builder`` is an *async* builder the live
+    chaos runner awaits inside its event loop — a scenario carrying both
+    runs unmodified on either backend.
+    """
+
+    __slots__ = (
+        "name",
+        "builder",
+        "fidelities",
+        "description",
+        "_takes_fidelity",
+        "live_builder",
+    )
 
     def __init__(
         self,
@@ -54,15 +68,33 @@ class ScenarioDef:
         self.builder = builder
         self.fidelities = tuple(fidelities)
         self.description = description
-        params = inspect.signature(builder).parameters
-        self._takes_fidelity = "fidelity" in params
+        self.live_builder = None
+        if builder is None:
+            self._takes_fidelity = False
+        else:
+            params = inspect.signature(builder).parameters
+            self._takes_fidelity = "fidelity" in params
 
     @property
     def default_fidelity(self) -> str:
         return self.fidelities[0]
 
+    @property
+    def backends(self) -> tuple:
+        out = []
+        if self.builder is not None:
+            out.append("sim")
+        if self.live_builder is not None:
+            out.append("live")
+        return tuple(out)
+
     def build(self, seed: int, retries: bool, sessions: bool, fidelity: str):
         """Build the workload at ``fidelity`` (must be a supported tier)."""
+        if self.builder is None:
+            raise ValueError(
+                f"scenario {self.name!r} is live-only; run it with "
+                "backend='live'"
+            )
         if fidelity not in self.fidelities:
             raise ValueError(
                 f"scenario {self.name!r} does not support fidelity "
@@ -72,8 +104,20 @@ class ScenarioDef:
             return self.builder(seed, retries, sessions, fidelity=fidelity)
         return self.builder(seed, retries, sessions)
 
+    def build_live(self, seed: int, retries: bool, sessions: bool):
+        """Await-able live workload construction (coroutine, not a value)."""
+        if self.live_builder is None:
+            raise ValueError(
+                f"scenario {self.name!r} has no live builder; supported "
+                f"backends: {self.backends}"
+            )
+        return self.live_builder(seed, retries, sessions)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<ScenarioDef {self.name} fidelities={self.fidelities}>"
+        return (
+            f"<ScenarioDef {self.name} fidelities={self.fidelities} "
+            f"backends={self.backends}>"
+        )
 
 
 def scenario(
@@ -107,6 +151,34 @@ def scenario(
     return register
 
 
+def live_scenario(name: str) -> Callable:
+    """Decorator: attach an *async* live-backend builder under ``name``.
+
+    The builder is an ``async def builder(seed, retries, sessions)``
+    returning a :class:`~repro.chaos.runner.Workload` whose scenario is a
+    live one (real sockets, a :class:`~repro.livenet.proxy.ChaosTcpProxy`
+    gateway).  If a sim scenario of the same name exists the two share
+    the registry entry — ``run_chaos(name, backend=...)`` picks the
+    builder; otherwise the scenario is live-only.
+    """
+
+    def register(builder: Callable) -> Callable:
+        sdef = _REGISTRY.get(name)
+        if sdef is None:
+            sdef = ScenarioDef(
+                name, None, (), description=(builder.__doc__ or "").strip()
+            )
+            _REGISTRY[name] = sdef
+        if sdef.live_builder is not None:
+            raise ValueError(
+                f"chaos scenario {name!r} already has a live builder"
+            )
+        sdef.live_builder = builder
+        return builder
+
+    return register
+
+
 def get_scenario(name: str) -> ScenarioDef:
     """Look up a registered scenario (importing known scenario modules)."""
     _load_builtin()
@@ -126,7 +198,7 @@ def scenario_names() -> list:
 
 def _load_builtin() -> None:
     """Import the modules whose ``@scenario`` decorators populate us."""
-    from . import fleet, runner  # noqa: F401 - imported for registration
+    from . import fleet, live, runner  # noqa: F401 - imported for registration
 
 
 class _ScenariosView(Mapping):

@@ -53,7 +53,7 @@ from ..core.scenarios import GridScenario
 from ..core.utilization.spec import StackSpec
 from ..obs import MetricsRegistry, TraceContext, TraceRecorder, seed_ids
 from ..obs.assemble import assemble, render_text
-from .faults import FaultPlan, FaultScheduler
+from .faults import FaultPlan, FaultScheduler, require_backend
 from .invariants import ChannelAudit, check_invariants
 from .registry import SCENARIOS, get_scenario, scenario
 
@@ -79,6 +79,7 @@ class ChaosReport:
     sessions: bool
     ok: bool
     fidelity: str = "packet"
+    backend: str = "sim"
     violations: list = field(default_factory=list)
     injected: list = field(default_factory=list)
     healed: list = field(default_factory=list)
@@ -100,6 +101,7 @@ class ChaosReport:
                 "retries": self.retries,
                 "sessions": self.sessions,
                 "fidelity": self.fidelity,
+                "backend": self.backend,
                 "ok": self.ok,
                 "violations": self.violations,
                 "injected": self.injected,
@@ -114,10 +116,11 @@ class ChaosReport:
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else f"FAILED ({len(self.violations)})"
+        tier = self.fidelity if self.backend == "sim" else self.backend
         return (
             f"chaos {self.scenario} seed={self.seed} "
             f"plan={self.plan or '<none>'} retries={self.retries} "
-            f"sessions={self.sessions} fidelity={self.fidelity}: {verdict}"
+            f"sessions={self.sessions} fidelity={tier}: {verdict}"
         )
 
 
@@ -744,6 +747,7 @@ def run_chaos(
     sessions: bool = False,
     until: float = 900.0,
     fidelity: Optional[str] = None,
+    backend: str = "sim",
     trace_path: Optional[str] = None,
     export_dir: Optional[str] = None,
     bundle_dir: Optional[str] = None,
@@ -756,8 +760,13 @@ def run_chaos(
     simulation tier (default: the scenario's first registered tier —
     ``packet`` for the classic workloads, ``flow`` for fleet-scale
     ones); the teardown, drain, invariant suite and report are identical
-    either way.  ``trace_path`` optionally exports the run's metrics +
-    trace as JSON lines (the :mod:`repro.obs.export` schema).
+    either way.  ``backend`` selects where the scenario runs: ``"sim"``
+    (this function's own deterministic engine) or ``"live"``, which
+    delegates to :func:`repro.chaos.live.run_live_chaos` — real sockets,
+    the same ``(scenario, seed, plan)`` triple, wall-clock fault
+    scheduling through the in-process chaos proxy.  ``trace_path``
+    optionally exports the run's metrics + trace as JSON lines (the
+    :mod:`repro.obs.export` schema).
 
     ``export_dir`` writes *per-node* JSONL exports (one file per grid
     node, the relay, and every SOCKS proxy — each carrying that node's
@@ -770,10 +779,28 @@ def run_chaos(
     recorder, and the assembled causal trace — enough to diagnose the
     failure without re-running it.
     """
+    if backend == "live":
+        from .live import run_live_chaos
+
+        return run_live_chaos(
+            scenario=scenario,
+            seed=seed,
+            plan=plan,
+            retries=retries,
+            sessions=sessions,
+            until=until,
+            trace_path=trace_path,
+            export_dir=export_dir,
+            bundle_dir=bundle_dir,
+        )
+    if backend != "sim":
+        raise ValueError(f"unknown chaos backend {backend!r} (sim|live)")
+
     sdef = get_scenario(scenario)
     if fidelity is None:
         fidelity = sdef.default_fidelity
     parsed = plan if isinstance(plan, FaultPlan) else FaultPlan.parse(plan)
+    require_backend(parsed, "sim")
 
     # Scoped observability: a fresh registry + recorder per run, installed
     # *before* the scenario is built so use_sim_clock binds them both.

@@ -13,15 +13,18 @@ from .drivers import (
     AsyncTcpBlockDriver,
     AsyncTlsDriver,
 )
+from .proxy import ChaosTcpProxy, ProxyStats
 from .registry import LiveRegistryClient, LiveRegistryServer
 from .relay import LiveRelayClient, LiveRelayServer, LiveRoutedLink
 from .runtime import LiveIbis, LiveIbisError, LiveReceivePort, LiveSendPort
+from .session import AsyncSessionError, AsyncSessionLink, AsyncSessionListener
 from .transport import (
     LiveListener,
     LiveSocket,
     live_connect,
     live_connect_simultaneous,
     live_listen,
+    set_connect_hook,
 )
 
 __all__ = [
@@ -30,6 +33,12 @@ __all__ = [
     "live_connect",
     "live_listen",
     "live_connect_simultaneous",
+    "set_connect_hook",
+    "ChaosTcpProxy",
+    "ProxyStats",
+    "AsyncSessionLink",
+    "AsyncSessionListener",
+    "AsyncSessionError",
     "AsyncDriver",
     "AsyncTcpBlockDriver",
     "AsyncParallelStreamsDriver",

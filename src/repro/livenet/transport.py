@@ -25,9 +25,24 @@ __all__ = [
     "live_connect",
     "live_listen",
     "live_connect_simultaneous",
+    "set_connect_hook",
 ]
 
 Addr = Tuple[str, int]
+
+#: optional dial hook: every ``live_connect`` target passes through it,
+#: letting a harness interpose a gateway (e.g. the chaos proxy) between
+#: endpoints without the endpoint factories knowing.  The hook receives
+#: the requested address and returns the address to actually dial.
+_connect_hook = None
+
+
+def set_connect_hook(hook):
+    """Install (or with ``None`` clear) the dial hook; returns the old one."""
+    global _connect_hook
+    previous = _connect_hook
+    _connect_hook = hook
+    return previous
 
 
 class LiveSocket:
@@ -62,6 +77,13 @@ class LiveSocket:
 
     def close(self) -> None:
         self._writer.close()
+
+    def write_eof(self) -> None:
+        """Half-close: signal EOF to the peer, keep receiving."""
+        try:
+            self._writer.write_eof()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
 
     async def wait_closed(self) -> None:
         try:
@@ -110,6 +132,8 @@ async def live_listen(host: str = "127.0.0.1", port: int = 0) -> LiveListener:
 
 async def live_connect(addr: Addr, lport: int = 0) -> LiveSocket:
     """Connect to ``addr``; optionally from a fixed local port."""
+    if _connect_hook is not None:
+        addr = _connect_hook(addr) or addr
     local_addr = ("0.0.0.0", lport) if lport else None
     reader, writer = await asyncio.open_connection(
         addr[0], addr[1], local_addr=local_addr

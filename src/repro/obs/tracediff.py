@@ -1,0 +1,154 @@
+"""Structural trace signatures + diffs: the golden-trace gate's core.
+
+A live run never reproduces byte-identical timings, ids or byte counts,
+but the *shape* of its assembled causal trace is an invariant of the
+flow: which spans exist, how they nest, which node recorded them, the
+polarity of their events (a ``channel.message`` tx must have its rx, a
+``session.resume`` must carry ``outcome=ok``), and how many records
+failed to attach anywhere.  :func:`signature` boils an
+:func:`repro.obs.assemble.assemble` result down to exactly that —
+dropping ids, timestamps, durations and volumetric attrs — and
+:func:`diff` compares two signatures into human-readable divergence
+lines, empty when the structures agree.
+
+The signature is deliberately insensitive to concurrency: sibling spans,
+events within a span and whole traces are sorted by their canonical JSON
+form, so two runs that interleaved differently (but did the same things)
+produce identical signatures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = ["signature", "diff", "SIGNATURE_VERSION"]
+
+SIGNATURE_VERSION = 1
+
+#: span attrs that are structural (everything else — byte counts,
+#: attempt numbers, timings — varies run to run and is dropped)
+_SPAN_ATTRS = ("outcome", "direction", "stage", "role", "backend", "kind")
+
+#: event attrs that define polarity
+_EVENT_ATTRS = ("direction", "outcome", "role", "backend", "kind")
+
+
+def _canon(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _event_sig(event: dict) -> dict:
+    attrs = event.get("attrs") or {}
+    return {
+        "name": event.get("name"),
+        "node": event.get("node"),
+        "polarity": {k: attrs[k] for k in _EVENT_ATTRS if k in attrs},
+    }
+
+
+def _span_sig(span: dict) -> dict:
+    attrs = span.get("attrs") or {}
+    return {
+        "name": span.get("name"),
+        "node": span.get("node"),
+        "attrs": {k: attrs[k] for k in _SPAN_ATTRS if k in attrs},
+        "events": sorted(
+            (_event_sig(e) for e in span.get("events") or []), key=_canon
+        ),
+        "children": sorted(
+            (_span_sig(c) for c in span.get("children") or []), key=_canon
+        ),
+    }
+
+
+def signature(assembled: dict) -> dict:
+    """The structural signature of an assembled trace forest."""
+    traces = []
+    for trace in assembled.get("traces", []):
+        traces.append(
+            {
+                "nodes": sorted(trace.get("nodes") or []),
+                "orphans": trace.get("orphans", 0),
+                "unattached": trace.get("unattached", 0),
+                "roots": sorted(
+                    (_span_sig(r) for r in trace.get("roots") or []),
+                    key=_canon,
+                ),
+            }
+        )
+    traces.sort(key=_canon)
+    return {
+        "version": SIGNATURE_VERSION,
+        "untraced": assembled.get("untraced", 0),
+        "traces": traces,
+    }
+
+
+def _short(value) -> str:
+    if isinstance(value, dict) and "name" in value:
+        return f"<{value['name']}>"
+    text = _canon(value)
+    return text if len(text) <= 80 else text[:77] + "..."
+
+
+def _label(path: str, index: int, item) -> str:
+    if isinstance(item, dict) and "name" in item:
+        return f"{path}[{index}:{item['name']}]"
+    return f"{path}[{index}]"
+
+
+def _diff(path: str, golden, observed, out: list, limit: int) -> None:
+    if len(out) >= limit:
+        return
+    if type(golden) is not type(observed):
+        out.append(
+            f"{path}: golden {_short(golden)} != observed {_short(observed)}"
+        )
+        return
+    if isinstance(golden, dict):
+        for key in sorted(set(golden) | set(observed)):
+            if len(out) >= limit:
+                return
+            if key not in golden:
+                out.append(
+                    f"{path}.{key}: unexpected in observed: "
+                    f"{_short(observed[key])}"
+                )
+            elif key not in observed:
+                out.append(
+                    f"{path}.{key}: missing from observed "
+                    f"(golden: {_short(golden[key])})"
+                )
+            else:
+                _diff(f"{path}.{key}", golden[key], observed[key], out, limit)
+    elif isinstance(golden, list):
+        if len(golden) != len(observed):
+            out.append(
+                f"{path}: golden has {len(golden)} entries, "
+                f"observed has {len(observed)}"
+            )
+        for i, (g, o) in enumerate(zip(golden, observed)):
+            if len(out) >= limit:
+                return
+            _diff(_label(path, i, g), g, o, out, limit)
+        longer, tag = (
+            (golden, "missing from observed")
+            if len(golden) > len(observed)
+            else (observed, "unexpected in observed")
+        )
+        for i in range(min(len(golden), len(observed)), len(longer)):
+            if len(out) >= limit:
+                return
+            out.append(f"{_label(path, i, longer[i])}: {tag}: {_short(longer[i])}")
+    elif golden != observed:
+        out.append(
+            f"{path}: golden {_short(golden)} != observed {_short(observed)}"
+        )
+
+
+def diff(golden: dict, observed: dict, limit: int = 40) -> list:
+    """Divergence lines between two signatures; empty means they agree."""
+    out: list = []
+    _diff("trace", golden, observed, out, limit)
+    return out

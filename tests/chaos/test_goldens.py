@@ -1,0 +1,89 @@
+"""The golden-trace gate, proven in both directions.
+
+A validation gate is only trustworthy if it (a) passes a healthy run it
+has never seen — different seed, different scheduling — and (b) fails
+loudly when the structure actually regresses.  These tests run the real
+live flows for (a), and stage the canonical regression for (b): a
+resume flow whose fault plan was dropped, so the ``session.resume``
+span never happens.  The gate must name exactly that in its diff and
+exit non-zero through the CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.goldens import (
+    GOLDEN_DIR,
+    GOLDEN_SEED,
+    capture,
+    capture_flow,
+    flow_names,
+    golden_path,
+    validate,
+)
+
+pytestmark = [pytest.mark.livenet, pytest.mark.live_chaos]
+
+
+def test_checked_in_goldens_exist_and_are_wellformed():
+    """The gate must never pass vacuously: goldens are committed."""
+    assert flow_names() == ["handshake", "mux_open", "resume"]
+    for name in flow_names():
+        path = golden_path(name)
+        assert path.exists(), f"missing checked-in golden: {path}"
+        payload = json.loads(path.read_text())
+        assert payload["flow"] == name
+        assert payload["signature"]["traces"], f"{name}: empty signature"
+
+
+def test_signature_is_seed_and_schedule_independent():
+    from repro.obs.tracediff import diff
+
+    a = capture_flow("handshake", seed=GOLDEN_SEED)
+    b = capture_flow("handshake", seed=GOLDEN_SEED + 12)
+    assert diff(a, b) == []
+
+
+def test_gate_passes_a_clean_run_at_a_fresh_seed(tmp_path):
+    capture(["handshake"], seed=GOLDEN_SEED, root=tmp_path)
+    results = validate(["handshake"], seed=GOLDEN_SEED + 5, root=tmp_path)
+    assert results == {"handshake": []}
+
+
+def test_gate_catches_a_dropped_resume(tmp_path):
+    """The acceptance regression: no fault plan -> no resume span ->
+    the gate names the missing ``session.resume`` and fails."""
+    capture(["resume"], seed=GOLDEN_SEED, root=tmp_path)
+    results = validate(["resume"], seed=GOLDEN_SEED, root=tmp_path, plan="")
+    lines = results["resume"]
+    assert lines, "gate passed a run with the resume dropped"
+    assert any("session.resume" in line for line in lines)
+
+
+def test_gate_fails_when_a_golden_is_missing(tmp_path):
+    results = validate(["mux_open"], root=tmp_path)
+    assert results["mux_open"]
+    assert "golden missing" in results["mux_open"][0]
+
+
+def test_cli_exit_codes(tmp_path):
+    """Non-zero exit on divergence is the whole point of a CI gate."""
+    from repro.chaos.goldens import main
+
+    root = str(tmp_path)
+    assert main(["capture", "--flow", "handshake", "--dir", root]) == 0
+    assert main(["validate", "--flow", "handshake", "--dir", root]) == 0
+    # tamper with the golden: the observed run must now diverge
+    path = golden_path("handshake", tmp_path)
+    payload = json.loads(path.read_text())
+    payload["signature"]["untraced"] += 1
+    path.write_text(json.dumps(payload))
+    assert main(["validate", "--flow", "handshake", "--dir", root]) == 1
+
+
+def test_validate_against_checked_in_goldens():
+    """The committed goldens match reality right now (all three flows)."""
+    results = validate(root=GOLDEN_DIR)
+    failures = {k: v for k, v in results.items() if v}
+    assert not failures, failures

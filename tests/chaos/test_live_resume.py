@@ -1,0 +1,90 @@
+"""Session-resume polarity on the *live* backend, through the proxy.
+
+The sim acceptance matrix (``test_resume.py``) proves the session layer
+carries a stream across mid-transfer faults in simulated time.  These
+cells re-run the core polarity on real sockets: the same fault plan,
+injected by the in-process chaos gateway under wall-clock scheduling,
+must complete byte-identically with ``sessions=True`` and reproducibly
+fail with ``sessions=False``.  Passing here means the resume protocol —
+redial through the gateway, offset handshake, replay-window refill — is
+not an artifact of the simulator's cooperative scheduling.
+
+Marked ``live_chaos`` (implies real sockets + multi-second wall-clock
+runs); the CI ``live-chaos`` job runs this suite across several seeds,
+``LIVE_CHAOS_SEED`` selects the seed and ``LIVE_CHAOS_BUNDLE_DIR``
+makes failures drop postmortem bundles for artifact upload.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos import run_chaos
+
+pytestmark = [pytest.mark.livenet, pytest.mark.live_chaos]
+
+SEED = int(os.environ.get("LIVE_CHAOS_SEED", "1"))
+BUNDLE_DIR = os.environ.get("LIVE_CHAOS_BUNDLE_DIR")
+
+#: hard wall-clock budget per run: generous against loopback reality
+#: (a passing sessions run takes ~3-6s), tight enough that a wedged
+#: resume loop fails the suite instead of stalling it.
+POSITIVE_BUDGET = 45.0
+#: the failing polarity runs to its deadline by construction (the dead
+#: stage never completes), so give it a short one.
+NEGATIVE_DEADLINE = 8.0
+
+#: mid-stream fault plans whose recovery demands a full session resume
+PLANS = [
+    "conn_kill@0.3:site=B",
+    "conn_kill@0.25:site=B;conn_kill@0.8:site=B",
+    "truncate@0.3:site=B,bytes=100000",
+]
+
+
+def _run(plan: str, sessions: bool, until: float):
+    return run_chaos(
+        scenario="wan_transfer",
+        backend="live",
+        seed=SEED,
+        plan=plan,
+        sessions=sessions,
+        until=until,
+        bundle_dir=BUNDLE_DIR,
+    )
+
+
+@pytest.mark.parametrize("plan", PLANS)
+def test_mid_stream_fault_survived_with_sessions(plan):
+    report = _run(plan, sessions=True, until=POSITIVE_BUDGET)
+    assert report.ok, report.violations
+    assert report.backend == "live"
+    assert report.stats["wall_seconds"] < POSITIVE_BUDGET
+    # recovery was a real resume, observable end to end: the initiator
+    # reconnected and the replay window refilled the gap
+    assert report.stats["session_reconnects"] >= 1
+    assert report.stats["session_replayed_bytes"] >= 0
+    # the proxy's ledger balances even across the kill
+    assert (
+        report.stats["proxy.B.bytes_in"]
+        == report.stats["proxy.B.bytes_forwarded"]
+        + report.stats["proxy.B.bytes_dropped"]
+        + report.stats["proxy.B.bytes_lost"]
+    )
+
+
+@pytest.mark.parametrize("plan", PLANS)
+def test_mid_stream_fault_fatal_without_sessions(plan):
+    report = _run(plan, sessions=False, until=NEGATIVE_DEADLINE)
+    assert not report.ok
+    assert report.stats["session_reconnects"] == 0
+
+
+def test_polarity_is_the_session_layer_not_the_fault_being_soft():
+    """Control cell: with no fault at all, both polarities succeed —
+    so the failures above are the fault's doing, and the successes are
+    the session layer's."""
+    for sessions in (True, False):
+        report = _run("", sessions=sessions, until=POSITIVE_BUDGET)
+        assert report.ok, report.violations
+        assert report.stats["session_reconnects"] == 0

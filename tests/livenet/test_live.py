@@ -1,7 +1,6 @@
 """Live backend integration tests on loopback TCP."""
 
 import asyncio
-import contextlib
 
 import pytest
 
@@ -13,32 +12,13 @@ from repro.livenet import (
     AsyncTlsDriver,
     LiveRelayClient,
     LiveRelayServer,
-    live_connect,
     live_listen,
 )
 from repro.security import CertificateAuthority, Identity
 
+from .conftest import socket_pairs
+
 pytestmark = pytest.mark.livenet
-
-
-@contextlib.asynccontextmanager
-async def socket_pairs(n=1):
-    """``n`` connected (client, server) LiveSocket pairs, closed on exit."""
-    listener = await live_listen()
-    client_socks, server_socks = [], []
-    try:
-        for _ in range(n):
-            client, server = await asyncio.gather(
-                live_connect(listener.addr), listener.accept()
-            )
-            client_socks.append(client)
-            server_socks.append(server)
-        listener.close()
-        yield client_socks, server_socks
-    finally:
-        listener.close()
-        for sock in client_socks + server_socks:
-            sock.close()
 
 
 class TestTransport:

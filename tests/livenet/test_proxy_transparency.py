@@ -1,0 +1,128 @@
+"""Property: the chaos proxy is byte-transparent when no fault is armed.
+
+The whole live-chaos design rests on the gateway being *invisible* until
+a fault fires: any payload, any chunking, either direction, must arrive
+byte-identical through :class:`~repro.livenet.proxy.ChaosTcpProxy` —
+otherwise every live test result would be confounded by the test
+apparatus.  Hypothesis drives payload sizes and chunk boundaries
+(including the nasty cases: empty writes, 1-byte writes, chunks
+straddling the proxy's internal 16 KiB forwarding granularity), and the
+proxy's own conservation ledger is checked alongside the bytes.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.livenet import ChaosTcpProxy, live_connect, live_listen
+
+from .conftest import LIVENET_DEADLINE
+
+pytestmark = pytest.mark.livenet
+
+#: a payload plus how the sender slices it into write() calls
+payload_and_chunks = st.integers(min_value=0, max_value=200_000).flatmap(
+    lambda size: st.tuples(
+        st.binary(min_size=size, max_size=size),
+        st.lists(
+            st.integers(min_value=1, max_value=70_000),
+            min_size=0,
+            max_size=8,
+        ),
+    )
+)
+
+
+def _slices(payload: bytes, cuts: list) -> list:
+    """Slice ``payload`` at the given chunk lengths (remainder last)."""
+    out, off = [], 0
+    for cut in cuts:
+        if off >= len(payload):
+            break
+        out.append(payload[off : off + cut])
+        off += cut
+    if off < len(payload):
+        out.append(payload[off:])
+    return out
+
+
+async def _echo_through_proxy(payload: bytes, cuts: list,
+                              latency: float = 0.0) -> tuple:
+    """Send chunked payload client→server and echo server→client."""
+    listener = await live_listen()
+    proxy = await ChaosTcpProxy(listener.addr, name="transparent").start()
+    if latency:
+        proxy.set_latency(latency)
+    client = server = None
+    try:
+        client, server = await asyncio.gather(
+            live_connect(proxy.addr), listener.accept()
+        )
+
+        async def send(sock, data: bytes) -> None:
+            for chunk in _slices(data, cuts):
+                await sock.send_all(chunk)
+            sock.write_eof()
+
+        async def drain(sock) -> bytes:
+            buf = bytearray()
+            while True:
+                data = await sock.recv(65536)
+                if not data:
+                    return bytes(buf)
+                buf.extend(data)
+
+        # forward direction...
+        _, forward = await asyncio.gather(send(client, payload), drain(server))
+        # ...then the reverse direction over the same proxied connection
+        _, backward = await asyncio.gather(send(server, forward), drain(client))
+        return forward, backward, proxy.stats
+    finally:
+        for sock in (client, server):
+            if sock is not None:
+                sock.close()
+        proxy.close()
+        listener.close()
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(payload_and_chunks)
+def test_proxy_is_byte_transparent_with_no_faults(case):
+    payload, cuts = case
+    forward, backward, stats = asyncio.run(
+        asyncio.wait_for(
+            _echo_through_proxy(payload, cuts), timeout=LIVENET_DEADLINE
+        )
+    )
+    assert forward == payload
+    assert backward == payload
+    assert stats.conserved()
+    assert stats.bytes_dropped == 0
+    assert stats.bytes_lost == 0
+    assert stats.bytes_forwarded == 2 * len(payload)
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(payload_and_chunks)
+def test_latency_injection_preserves_bytes(case):
+    """Delay reorders nothing: a latency fault slows, never corrupts."""
+    payload, cuts = case
+    forward, backward, stats = asyncio.run(
+        asyncio.wait_for(
+            _echo_through_proxy(payload, cuts, latency=0.001),
+            timeout=LIVENET_DEADLINE,
+        )
+    )
+    assert forward == payload
+    assert backward == payload
+    assert stats.conserved()

@@ -1,0 +1,117 @@
+"""Unit tests for the structural signature + diff (no sockets needed).
+
+The live golden gate (``tests/chaos/test_goldens.py``) proves the gate
+end to end; these tests pin the signature's *contract* on hand-built
+assembled forests: what is kept (names, nesting, node, polarity attrs,
+orphan counts), what is dropped (ids, timings, byte counts), and that
+the diff names the precise path that moved.
+"""
+
+import copy
+
+from repro.obs.tracediff import SIGNATURE_VERSION, diff, signature
+
+
+def _span(name, node="n1", attrs=None, events=(), children=()):
+    return {
+        "name": name,
+        "node": node,
+        "attrs": attrs or {},
+        "events": list(events),
+        "children": list(children),
+        "trace_id": "t" * 16,
+        "span_id": "s" * 16,
+        "start": 1.0,
+        "end": 2.0,
+    }
+
+
+def _forest(*roots, untraced=0):
+    return {
+        "untraced": untraced,
+        "traces": [
+            {
+                "trace_id": "t" * 16,
+                "nodes": sorted({r["node"] for r in roots}),
+                "orphans": 0,
+                "unattached": 0,
+                "roots": list(roots),
+            }
+        ],
+    }
+
+
+def test_volatile_fields_are_dropped():
+    a = _forest(_span("stage", attrs={"outcome": "ok", "bytes": 123}))
+    b = copy.deepcopy(a)
+    root = b["traces"][0]["roots"][0]
+    root["attrs"]["bytes"] = 999_999      # volumetric: dropped
+    root["start"], root["end"] = 5.0, 9.0  # timing: dropped
+    root["span_id"] = "x" * 16             # identity: dropped
+    assert signature(a) == signature(b)
+    assert diff(signature(a), signature(b)) == []
+
+
+def test_structural_attrs_are_kept():
+    ok = _forest(_span("stage", attrs={"outcome": "ok"}))
+    err = _forest(_span("stage", attrs={"outcome": "error"}))
+    lines = diff(signature(ok), signature(err))
+    assert lines
+    assert any("outcome" in line for line in lines)
+
+
+def test_sibling_and_event_order_is_canonicalised():
+    ev_tx = {"name": "msg", "node": "n1", "attrs": {"direction": "tx"}}
+    ev_rx = {"name": "msg", "node": "n1", "attrs": {"direction": "rx"}}
+    child_a = _span("a")
+    child_b = _span("b")
+    one = _forest(_span("root", events=[ev_tx, ev_rx],
+                        children=[child_a, child_b]))
+    other = _forest(_span("root", events=[ev_rx, ev_tx],
+                          children=[child_b, child_a]))
+    assert signature(one) == signature(other)
+
+
+def test_missing_child_is_named_in_the_diff():
+    with_resume = _forest(
+        _span("chaos.stage", children=[_span("session.resume",
+                                             attrs={"outcome": "ok"})])
+    )
+    without = _forest(_span("chaos.stage"))
+    lines = diff(signature(with_resume), signature(without))
+    assert any("session.resume" in line for line in lines)
+    assert any("missing from observed" in line
+               or "entries" in line for line in lines)
+
+
+def test_extra_span_is_flagged_symmetrically():
+    lean = _forest(_span("chaos.stage"))
+    fat = _forest(_span("chaos.stage"), _span("surprise"))
+    lines = diff(signature(lean), signature(fat))
+    assert any("surprise" in line or "unexpected" in line for line in lines)
+
+
+def test_untraced_and_orphan_counts_are_load_bearing():
+    a = _forest(_span("root"), untraced=4)
+    b = _forest(_span("root"), untraced=0)
+    lines = diff(signature(a), signature(b))
+    assert any("untraced" in line for line in lines)
+
+    c = _forest(_span("root"))
+    d = copy.deepcopy(c)
+    d["traces"][0]["orphans"] = 2
+    lines = diff(signature(c), signature(d))
+    assert any("orphans" in line for line in lines)
+
+
+def test_diff_output_is_capped():
+    a = _forest(*[_span(f"s{i}", attrs={"outcome": "ok"})
+                  for i in range(100)])
+    b = _forest(*[_span(f"s{i}", attrs={"outcome": "error"})
+                  for i in range(100)])
+    lines = diff(signature(a), signature(b), limit=10)
+    assert len(lines) <= 10
+
+
+def test_signature_is_versioned():
+    assert signature(_forest(_span("x")))["version"] == SIGNATURE_VERSION
