@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux smoke-flow chaos chaos-sweep chaos-resume chaos-mux live-chaos golden-gate golden-capture golden-soak
+.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux smoke-flow chaos chaos-sweep chaos-resume chaos-mux chaos-mesh live-chaos golden-gate golden-capture golden-soak
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -87,6 +87,30 @@ golden-soak:
 chaos-mux:
 	$(PYTHON) -m repro.chaos --seeds 1-5 --scenario mux_fanin
 	$(PYTHON) -m repro.chaos --seeds 1-5 --scenario mux_starvation
+
+# Mesh failover smoke (docs/MESH.md): kill the carrying relay (and a
+# second one) mid-transfer over the 3-relay mesh on BOTH backends.
+# Sessions must resume on a surviving relay with zero byte loss inside
+# the gossip detection bound; invariant failures dump postmortem
+# bundles under $(MESH_BUNDLE_DIR) for CI artifact upload.
+MESH_BUNDLE_DIR := /tmp/repro-mesh-bundles
+MESH_PLAN_SIM := relay_kill@2:relay=r1;relay_kill@2.2:relay=r2
+MESH_PLAN_LIVE := relay_kill@0.45:relay=r1;relay_kill@0.6:relay=r2
+
+chaos-mesh:
+	$(PYTHON) -m repro.chaos --sessions --seeds 1-3 \
+		--scenario mesh_failover --plan "$(MESH_PLAN_SIM)" \
+		--bundle $(MESH_BUNDLE_DIR)
+	$(PYTHON) -m repro.chaos --sessions --seeds 1-3 \
+		--scenario relay_chain \
+		--plan "relay_partition@2:relay=r2,peers=r3,for=2" \
+		--bundle $(MESH_BUNDLE_DIR)
+	$(PYTHON) -m repro.chaos --sessions --seeds 1-3 \
+		--scenario nat_to_nat --plan "$(MESH_PLAN_SIM)" \
+		--bundle $(MESH_BUNDLE_DIR)
+	$(PYTHON) -m repro.chaos --backend live --sessions --seeds 1-3 \
+		--scenario mesh_failover --plan "$(MESH_PLAN_LIVE)" \
+		--bundle $(MESH_BUNDLE_DIR)
 
 chaos-resume:
 	$(PYTHON) -m repro.chaos --sessions --seeds 1-5 \

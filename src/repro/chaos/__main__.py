@@ -44,6 +44,11 @@ def main(argv=None) -> int:
         help="simulation tier (default: the scenario's native tier)",
     )
     parser.add_argument(
+        "--backend", choices=("sim", "live"), default="sim",
+        help="run in the deterministic simulator (default) or on real "
+        "loopback sockets with wall-clock fault scheduling",
+    )
+    parser.add_argument(
         "--seed", "--seeds", dest="seeds", default="1",
         help="seed, comma list, or inclusive range: 7 | 1,2,5 | 1-20",
     )
@@ -93,6 +98,7 @@ def main(argv=None) -> int:
             sessions=args.sessions,
             until=args.until,
             fidelity=args.fidelity,
+            backend=args.backend,
             trace_path=trace_path,
             export_dir=export_dir,
             bundle_dir=args.bundle,

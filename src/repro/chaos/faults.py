@@ -35,6 +35,8 @@ __all__ = [
     "LinkDown",
     "LossBurst",
     "RelayCrash",
+    "RelayKill",
+    "RelayPartition",
     "PeerDrop",
     "ConntrackFlush",
     "NatExpiry",
@@ -161,6 +163,86 @@ class RelayCrash(Fault):
         relay.stop()
         ctx.heal_later(self.duration, relay.start, self)
         return {"for": self.duration, "sessions": sessions}
+
+
+@dataclass(frozen=True)
+class RelayKill(Fault):
+    """Kill one relay of a mesh (optionally restarting it later).
+
+    Unlike :class:`RelayCrash` (which always targets the primary relay)
+    this addresses a relay by mesh id, works on both backends, and by
+    default leaves the relay dead — the failover case: surviving relays
+    must detect the death and absorb the traffic.
+    """
+
+    relay: str = "r1"
+    duration: float = 0.0
+
+    kind = "relay_kill"
+    backends = ("sim", "live")
+
+    def _args(self) -> dict:
+        args: dict = {"relay": self.relay}
+        if self.duration:
+            args["for"] = self.duration
+        return args
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        server = ctx.scenario.relays[self.relay]
+        sessions = len(server.sessions)
+        server.stop()
+        if self.duration:
+
+            def restart():
+                # The sim relay restarts synchronously; the live relay's
+                # start() is a coroutine that must be scheduled.
+                result = server.start()
+                if hasattr(result, "__await__"):
+                    import asyncio
+
+                    asyncio.ensure_future(result)
+
+            ctx.heal_later(self.duration, restart, self, relay=self.relay)
+        attrs = {"relay": self.relay, "sessions": sessions}
+        if self.duration:
+            attrs["for"] = self.duration
+        return attrs
+
+
+@dataclass(frozen=True)
+class RelayPartition(Fault):
+    """Symmetrically cut gossip + trunks between a relay and some peers.
+
+    ``peers`` is a ``+``-separated list of relay ids.  Both sides refuse
+    each other's gossip exchanges and trunk connections until the heal
+    ``duration`` seconds later; client registrations are untouched, so
+    this exercises routing-around rather than failover.
+    """
+
+    relay: str = "r1"
+    peers: str = ""
+    duration: float = 5.0
+
+    kind = "relay_partition"
+
+    def _args(self) -> dict:
+        return {"relay": self.relay, "peers": self.peers, "for": self.duration}
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        server = ctx.scenario.relays[self.relay]
+        ids = [p for p in self.peers.split("+") if p]
+        others = [ctx.scenario.relays[p] for p in ids]
+        server.partition(ids)
+        for other in others:
+            other.partition([self.relay])
+
+        def heal():
+            server.heal_partition(ids)
+            for other in others:
+                other.heal_partition([self.relay])
+
+        ctx.heal_later(self.duration, heal, self, relay=self.relay)
+        return {"relay": self.relay, "peers": self.peers, "for": self.duration}
 
 
 @dataclass(frozen=True)
@@ -377,6 +459,8 @@ _KINDS: dict[str, type] = {
         LinkDown,
         LossBurst,
         RelayCrash,
+        RelayKill,
+        RelayPartition,
         PeerDrop,
         ConntrackFlush,
         NatExpiry,

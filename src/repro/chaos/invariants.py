@@ -201,11 +201,17 @@ def check_invariants(
         forwarded = sum(
             c.value for c in registry.instruments("relay.forwarded_bytes_total")
         )
-        if forwarded != scenario.relay.forwarded_bytes:
+        relays = getattr(scenario, "relays", None)
+        accounted = (
+            sum(r.forwarded_bytes for r in relays.values())
+            if relays
+            else scenario.relay.forwarded_bytes
+        )
+        if forwarded != accounted:
             violations.append(
                 "obs: relay.forwarded_bytes_total counter "
                 f"({forwarded}) != relay accounting "
-                f"({scenario.relay.forwarded_bytes})"
+                f"({accounted})"
             )
     if registry is not None and recorder is not None:
         violations.extend(obs_consistency_violations(registry, recorder))

@@ -58,8 +58,10 @@ from typing import Callable, Optional, Union
 
 from .. import obs
 from ..livenet.proxy import ChaosTcpProxy
+from ..livenet.relay import LiveMeshRelayClient, LiveRelayServer
 from ..livenet.session import AsyncSessionLink, AsyncSessionListener
 from ..livenet.transport import live_connect, live_listen
+from ..mesh.config import MeshConfig
 from ..obs import MetricsRegistry, TraceContext, TraceRecorder, seed_ids
 from ..obs.assemble import assemble, render_text
 from .faults import FaultPlan, FaultScheduler, require_backend
@@ -90,6 +92,21 @@ _READ_CHUNK = 64 * 1024
 _LIVE_STAGES = 2
 _LIVE_STAGE_BYTES = 512 * 1024
 _LIVE_PACE = 0.04
+
+#: live mesh geometry: one ~768 KiB stage (~1 s paced), relay kills a few
+#: hundred milliseconds in land mid-stream
+_LIVE_MESH_BYTES = 768 * 1024
+_LIVE_MESH_RELAYS = ("r1", "r2", "r3")
+
+#: wall-clock allowance on top of the configured detection bound — the
+#: live gossip loop competes with the event loop's scheduling jitter,
+#: which simulated time does not model
+_LIVE_DETECT_SLACK = 1.0
+
+
+def _live_mesh_config() -> MeshConfig:
+    """Gossip cadence fast enough to converge within a short live run."""
+    return MeshConfig(gossip_interval=0.15, gossip_jitter=0.2, deadline=0.9)
 
 
 class LiveClock:
@@ -132,6 +149,11 @@ class LiveChaosScenario:
         self.sim = LiveClock()
         #: site name -> the gateway proxy the live fault kinds drive
         self.proxies: dict[str, ChaosTcpProxy] = {}
+        #: relay id -> LiveRelayServer (mesh scenarios; relay_kill target)
+        self.relays: dict[str, object] = {}
+        #: relay ids already down when the workload ended (vs. stopped by
+        #: shutdown itself) — the survivor-agreement check reads this
+        self.down_at_shutdown: list[str] = []
         #: node tag -> arbitrary endpoint object (report/debug material)
         self.nodes: dict[str, object] = {}
         self._tasks: list[asyncio.Task] = []
@@ -188,6 +210,11 @@ class LiveChaosScenario:
 
     def shutdown(self) -> None:
         self.sim.cancel_all()
+        # Which relays the *faults* killed (and never restarted), recorded
+        # before teardown stops the rest.
+        self.down_at_shutdown = sorted(
+            rid for rid, server in self.relays.items() if not server.running
+        )
         for task in self._tasks:
             task.cancel()
         for fn in self._closers:
@@ -195,6 +222,8 @@ class LiveChaosScenario:
                 fn()
             except Exception:  # noqa: BLE001 - teardown is best-effort
                 pass
+        for server in self.relays.values():
+            server.stop()
         for proxy in self.proxies.values():
             proxy.close()
 
@@ -203,6 +232,16 @@ class LiveChaosScenario:
         for site, proxy in sorted(self.proxies.items()):
             for key, value in proxy.stats.as_dict().items():
                 stats[f"proxy.{site}.{key}"] = value
+        for rid, server in sorted(self.relays.items()):
+            stats[f"relay.{rid}.forwarded"] = server.forwarded_messages
+            stats[f"relay.{rid}.trunk_tx"] = server.trunk_tx
+            stats[f"relay.{rid}.trunk_rx"] = server.trunk_rx
+        if self.relays:
+            stats["mesh_deaths"] = sum(
+                len(server.mesh.deaths)
+                for server in self.relays.values()
+                if server.mesh is not None
+            )
         return stats
 
 
@@ -319,6 +358,186 @@ async def _build_live_wan_transfer(
 
     scn.spawn(run_sender(), "chaos-sender")
     scn.spawn(run_receiver(), "chaos-receiver")
+    return wl
+
+
+# -- the live mesh_failover workload -------------------------------------------
+
+
+def _live_mesh_checks(wl: Workload, cfg: MeshConfig) -> None:
+    """Live twins of the sim mesh invariants, with wall-clock slack.
+
+    * every death record on every surviving relay stays within the
+      configured detection bound plus :data:`_LIVE_DETECT_SLACK`;
+    * every relay a fault killed (and no heal restarted) is declared
+      dead in every surviving relay's final view.
+    """
+    scn = wl.scenario
+
+    def check() -> list:
+        out = []
+        bound = cfg.detect_bound + _LIVE_DETECT_SLACK
+        killed = set(scn.down_at_shutdown)
+        for rid in sorted(scn.relays):
+            server = scn.relays[rid]
+            if server.mesh is None:
+                continue
+            for dead_id, last_heard, detected in server.mesh.deaths:
+                lag = detected - last_heard
+                if lag > bound:
+                    out.append(
+                        f"mesh: {rid} declared {dead_id} dead {lag:.3f}s "
+                        f"after its last heartbeat (bound {bound:.3f}s "
+                        f"incl. {_LIVE_DETECT_SLACK:.1f}s wall slack)"
+                    )
+            if rid in killed:
+                continue
+            for dead_rid in sorted(killed):
+                if dead_rid != rid and dead_rid not in server.mesh.dead:
+                    out.append(
+                        f"mesh: survivor {rid} never declared killed "
+                        f"relay {dead_rid} dead"
+                    )
+        return out
+
+    wl.post_checks.append(check)
+
+
+@live_scenario("mesh_failover")
+async def _build_live_mesh_failover(
+    seed: int, retries: bool, sessions: bool
+) -> Workload:
+    """One mesh-routed transfer across three real relay processes.
+
+    The live twin of the sim ``mesh_failover``: three
+    :class:`LiveRelayServer` mesh members gossiping over real sockets,
+    both endpoints holding registrations with all of them, and one paced
+    seeded payload pinned to relay-routed links.  A ``relay_kill`` on
+    the carrying relay EOFs the routed stream mid-transfer; with
+    ``sessions`` the replay window re-dials through the
+    :class:`LiveMeshRelayClient` route table, lands on a survivor, and
+    RESUMEs with zero loss — without sessions the same kill is fatal and
+    the delivery audit reports the hole.  A converge task holds the run
+    open until the survivors have declared the killed relays dead, so
+    the bounded-detection and survivor-agreement post-checks measure the
+    real gossip, not the teardown.
+    """
+    scn = LiveChaosScenario(seed)
+    wl = Workload(scn)
+    cfg = _live_mesh_config()
+
+    addrs: dict[str, tuple] = {}
+    for rid in _LIVE_MESH_RELAYS:
+        server = LiveRelayServer(name=rid)
+        await server.start()
+        scn.relays[rid] = server
+        addrs[rid] = ("127.0.0.1", server.port)
+    for rid, server in scn.relays.items():
+        peers = {pid: addr for pid, addr in addrs.items() if pid != rid}
+        server.enable_mesh(
+            rid, peers, seed=seed, config=cfg, clock=lambda: scn.sim.now
+        )
+
+    alice = LiveMeshRelayClient("alice", addrs, seed=seed, config=cfg)
+    bob = LiveMeshRelayClient("bob", addrs, seed=seed, config=cfg)
+    await alice.connect()
+    await bob.connect()
+    scn.add_closer(alice.close)
+    scn.add_closer(bob.close)
+    scn.nodes["alice"] = alice
+    scn.nodes["bob"] = bob
+
+    slistener = None
+    if sessions:
+        slistener = AsyncSessionListener(bob.link_listener(), node="bob")
+        scn.add_closer(slistener.close)
+
+    payload = random.Random(f"{seed}:chaos:mesh").randbytes(_LIVE_MESH_BYTES)
+    audit = wl.audit("mesh")
+
+    async def dial():
+        return await alice.open_link("bob", payload=b"session")
+
+    async def run_sender() -> None:
+        ctx = TraceContext.new()
+        t0 = time.time()
+        try:
+            if sessions:
+                link = await AsyncSessionLink.connect(
+                    dial, node="alice", ctx=ctx
+                )
+                for off in range(0, len(payload), _WRITE_CHUNK):
+                    chunk = payload[off : off + _WRITE_CHUNK]
+                    await link.send_all(chunk)
+                    audit.record_sent(chunk)
+                    await asyncio.sleep(_LIVE_PACE)
+                await link.aclose()
+            else:
+                link = await alice.open_link("bob")
+                for off in range(0, len(payload), _WRITE_CHUNK):
+                    chunk = payload[off : off + _WRITE_CHUNK]
+                    await link.send_all(chunk)
+                    audit.record_sent(chunk)
+                    await asyncio.sleep(_LIVE_PACE)
+                link.close()
+            audit.finish_sender()
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            obs.record_span(
+                "chaos.stage", t0, time.time(), ctx=ctx, node="alice",
+                stage="mesh", outcome="error", backend="live",
+            )
+            wl.fail("sender", exc)
+            return
+        obs.record_span(
+            "chaos.stage", t0, time.time(), ctx=ctx, node="alice",
+            stage="mesh", bytes=len(payload), backend="live",
+        )
+
+    async def run_receiver() -> None:
+        try:
+            if sessions:
+                link = await slistener.accept()
+                while True:
+                    data = await link.recv(_READ_CHUNK)
+                    if not data:
+                        break
+                    audit.record_received(data)
+                audit.finish_receiver()
+                await link.aclose()
+            else:
+                link = await bob.accept_link()
+                while True:
+                    data = await link.recv(_READ_CHUNK)
+                    if not data:
+                        break
+                    audit.record_received(data)
+                audit.finish_receiver()
+                link.close()
+        except BaseException as exc:  # noqa: BLE001 - reported as a violation
+            wl.fail("receiver", exc)
+
+    data_tasks = [
+        scn.spawn(run_sender(), "mesh-sender"),
+        scn.spawn(run_receiver(), "mesh-receiver"),
+    ]
+
+    async def run_converge() -> None:
+        # Hold the run open (bounded) until every survivor has declared
+        # every killed relay dead; the post-check then judges the result.
+        await asyncio.gather(*data_tasks, return_exceptions=True)
+        give_up = scn.sim.now + cfg.detect_bound + _LIVE_DETECT_SLACK + 1.0
+        while scn.sim.now < give_up:
+            down = {r for r, s in scn.relays.items() if not s.running}
+            if all(
+                down - {rid} <= set(server.mesh.dead)
+                for rid, server in scn.relays.items()
+                if server.running and server.mesh is not None
+            ):
+                return
+            await asyncio.sleep(0.05)
+
+    scn.spawn(run_converge(), "mesh-converge")
+    _live_mesh_checks(wl, cfg)
     return wl
 
 

@@ -332,6 +332,165 @@ def _build_wan_transfer_routed(
     return wl
 
 
+def _mesh_convergence_checks(wl: Workload) -> None:
+    """Attach the mesh invariants: bounded detection + survivor agreement.
+
+    * every death record on every observer stays within the configured
+      detection bound (``deadline + one jittered gossip interval``);
+    * every relay a fault killed (and no heal restarted) is declared dead
+      in every surviving relay's final view.
+    """
+    scn = wl.scenario
+
+    def check() -> list:
+        from ..mesh.config import DEFAULT_MESH_CONFIG
+
+        out = []
+        cfg = scn.mesh_config or DEFAULT_MESH_CONFIG
+        bound = cfg.detect_bound
+        for observer, dead_id, last_heard, detected in scn.mesh_deaths():
+            lag = detected - last_heard
+            if lag > bound + 1e-9:
+                out.append(
+                    f"mesh: {observer} declared {dead_id} dead {lag:.3f}s "
+                    f"after its last heartbeat (bound {bound:.3f}s)"
+                )
+        killed = set(getattr(scn, "down_at_shutdown", ()))
+        for rid in sorted(scn.relays):
+            server = scn.relays[rid]
+            if rid in killed or server.mesh is None:
+                continue
+            for dead_rid in sorted(killed):
+                if dead_rid != rid and dead_rid not in server.mesh.dead:
+                    out.append(
+                        f"mesh: survivor {rid} never declared killed "
+                        f"relay {dead_rid} dead"
+                    )
+        return out
+
+    wl.post_checks.append(check)
+
+
+def _mesh_scenario(seed: int, topology=None) -> GridScenario:
+    """Three public relays; full mesh unless a ``topology`` seeds gossip."""
+    scn = GridScenario(seed=seed)
+    scn.add_relay("r2")
+    scn.add_relay("r3")
+    scn.enable_mesh(topology=topology)
+    return scn
+
+
+@scenario("mesh_failover")
+def _build_mesh_failover(seed: int, retries: bool, sessions: bool) -> Workload:
+    """Relay-routed transfer over a 3-relay mesh, built to be killed.
+
+    Both nodes register with every relay; the data channel is pinned to
+    routed messages, so every byte crosses whichever relay the route
+    table picked.  A ``relay_kill`` on the carrying relay EOFs the
+    stream mid-transfer: the mesh detects the death within the gossip
+    deadline, the sender's next establishment lands on a surviving
+    relay, and (with ``sessions=True``) the replay window resumes the
+    payload with zero loss.  Without the mesh (``wan_transfer_routed``
+    plus an unhealed relay kill) the same fault is fatal — the polarity
+    the failover test suite pins.
+    """
+    scn = _mesh_scenario(seed)
+    scn.add_site("A", "open", access_bandwidth=1_250_000.0, access_delay=0.01)
+    scn.add_site(
+        "B", "nat_firewall", access_bandwidth=1_250_000.0, access_delay=0.01
+    )
+    sender = scn.add_node("A", "alice", relays="all")
+    receiver = scn.add_node("B", "bob", relays="all")
+
+    wl = Workload(scn)
+    _staged_transfer(
+        wl,
+        sender,
+        receiver,
+        seed=seed,
+        retries=retries,
+        sessions=sessions,
+        stages=1,
+        methods=["routed"],
+        label="mesh",
+    )
+    _mesh_convergence_checks(wl)
+    return wl
+
+
+@scenario("relay_chain")
+def _build_relay_chain(seed: int, retries: bool, sessions: bool) -> Workload:
+    """Endpoints pinned to the two ends of a gossip chain (r1 - r2 - r3).
+
+    The sender only registers with r1, the receiver only with r3, and
+    gossip is seeded as a chain — so reaching the receiver requires the
+    ownership map to propagate down the chain and the frames to cross an
+    inter-relay trunk.  A mid-stream ``relay_partition`` between the
+    trunk's ends forces the unknown-destination path until the heal;
+    sessions carry the stream across.
+    """
+    scn = _mesh_scenario(
+        seed, topology={"r1": ["r2"], "r2": ["r1", "r3"], "r3": ["r2"]}
+    )
+    scn.add_site("A", "open", access_bandwidth=1_250_000.0, access_delay=0.01)
+    scn.add_site(
+        "B", "nat_firewall", access_bandwidth=1_250_000.0, access_delay=0.01
+    )
+    sender = scn.add_node("A", "alice", relays=["r1"])
+    receiver = scn.add_node("B", "bob", relays=["r3"])
+
+    wl = Workload(scn)
+    _staged_transfer(
+        wl,
+        sender,
+        receiver,
+        seed=seed,
+        retries=retries,
+        sessions=sessions,
+        stages=1,
+        methods=["routed"],
+        label="chain",
+    )
+    _mesh_convergence_checks(wl)
+    return wl
+
+
+@scenario("nat_to_nat")
+def _build_nat_to_nat(seed: int, retries: bool, sessions: bool) -> Workload:
+    """Two NATted+firewalled sites, all traffic mesh-routed.
+
+    Neither site can accept unsolicited inbound, so the relay overlay is
+    the only viable path (the paper's extreme case, made survivable):
+    both endpoints hold registrations with every relay and the transfer
+    is pinned to routed messages.  Relay kills and restarts reshuffle
+    the route table mid-stream.
+    """
+    scn = _mesh_scenario(seed)
+    scn.add_site(
+        "A", "nat_firewall", access_bandwidth=1_250_000.0, access_delay=0.01
+    )
+    scn.add_site(
+        "B", "nat_firewall", access_bandwidth=1_250_000.0, access_delay=0.01
+    )
+    sender = scn.add_node("A", "alice", relays="all")
+    receiver = scn.add_node("B", "bob", relays="all")
+
+    wl = Workload(scn)
+    _staged_transfer(
+        wl,
+        sender,
+        receiver,
+        seed=seed,
+        retries=retries,
+        sessions=sessions,
+        stages=1,
+        methods=["routed"],
+        label="natnat",
+    )
+    _mesh_convergence_checks(wl)
+    return wl
+
+
 @scenario("socks_transfer")
 def _build_socks_transfer(seed: int, retries: bool, sessions: bool) -> Workload:
     """One bulk transfer into a severe site: everything through SOCKS.
@@ -880,7 +1039,8 @@ def run_chaos(
 def _node_flights(scn: GridScenario) -> dict:
     """Every flight recorder in the scenario, keyed by its node tag."""
     flights = {node_id: node.flight for node_id, node in scn.nodes.items()}
-    flights["relay"] = scn.relay.flight
+    for server in getattr(scn, "relays", {}).values() or [scn.relay]:
+        flights[server.flight.node] = server.flight
     for proxy in scn.proxies.values():
         flights[proxy.flight.node] = proxy.flight
     return flights

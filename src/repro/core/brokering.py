@@ -223,6 +223,20 @@ class Broker:
                         service_link, _result(nonce, False, str(exc))
                     )
                     continue
+                except BaseException as exc:
+                    # Process death (kill/interrupt) mid-attempt still exits
+                    # the span, so close the books: the attempts counter must
+                    # agree with the recorded spans (chaos obs invariant).
+                    # GeneratorExit is the one exception that must NOT record
+                    # — it arrives when a GC'd process generator is closed,
+                    # at a time no seed controls.
+                    if isinstance(exc, GeneratorExit):
+                        raise
+                    sp.set(outcome="aborted")
+                    self._record_attempt(
+                        method, "aborted", "initiator", self.sim.now - t0
+                    )
+                    raise
                 sp.set(outcome="ok")
                 self._record_attempt(method, "ok", "initiator", self.sim.now - t0)
             self._note(
@@ -475,9 +489,22 @@ class Broker:
                     ByteWriter().u8(M_PARAMS).u64(nonce).lp_bytes(params).getvalue(),
                 )
                 ok = yield from self._await_result(service_link, nonce)
-            except BaseException:
+            except BaseException as exc:
                 if attempt_proc.is_alive:
                     attempt_proc.interrupt("negotiation aborted")
+                # The service link died mid-negotiation (a partition or
+                # relay kill, not a method failure).  The span exits
+                # regardless, so record the attempt too: the chaos obs
+                # invariant holds counters and spans to exact agreement.
+                # GeneratorExit (a GC'd process generator being closed)
+                # must re-raise without recording — its timing is not
+                # seed-controlled.
+                if isinstance(exc, GeneratorExit):
+                    raise
+                sp.set(outcome="aborted")
+                self._record_attempt(
+                    method, "aborted", "responder", self.sim.now - t0
+                )
                 raise
             if ok:
                 status, value = yield attempt_proc

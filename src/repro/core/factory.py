@@ -71,6 +71,14 @@ ACCEPT_RETRY = RetryPolicy(
     max_attempts=10, base_delay=0.0, multiplier=1.0, max_delay=0.0, jitter=0.0
 )
 
+#: per-node replay-buffer budget shared by standalone (non-mux) sessions;
+#: muxed sessions are bounded by the channel credit window instead
+SESSION_BUFFER_BUDGET = 4 << 20
+
+#: floor under the per-session share — a session must always be able to
+#: keep at least one maximal chunk in flight, or it can't make progress
+MIN_SESSION_WINDOW = 64 << 10
+
 
 def _typed_spec(spec: Optional[StackSpec]) -> StackSpec:
     if spec is None:
@@ -172,6 +180,14 @@ class BrokeredConnectionFactory:
         frame = ByteWriter().lp_str(str(parsed)).u32(block_size)
         for sid in sids:
             frame.u64(sid)
+        window = 0
+        if parsed.session and parsed.mux is None:
+            # Standalone sessions negotiate the replay window: this side
+            # offers its budget share, the responder clamps to the min of
+            # the offer and its own share, so neither end over-retains
+            # under many concurrent sessions.
+            window = self._standalone_window(parsed)
+            frame.u32(window)
         nonce = 0
         if parsed.mux is not None:
             # the nonce tags this conversation's channels so concurrent
@@ -223,7 +239,8 @@ class BrokeredConnectionFactory:
                 link.abort()
             raise
         links = self._wrap_sessions(
-            parsed, links, sids, SessionLink.INITIATOR, peer_info, methods, ctx=ctx
+            parsed, links, sids, SessionLink.INITIATOR, peer_info, methods,
+            window=window, ctx=ctx,
         )
         try:
             with obs.span(
@@ -310,6 +327,11 @@ class BrokeredConnectionFactory:
         block_size = reader.u32()
         n = parsed.links_required
         sids = [reader.u64() for _ in range(n)] if parsed.session else []
+        window = 0
+        if parsed.session and parsed.mux is None:
+            # min(peer's offer, our own budget share): both replay
+            # buffers stay inside whichever end is more constrained
+            window = min(reader.u32(), self._standalone_window(parsed))
         peer_id = getattr(service_link, "peer", "")
         reuse = False
         eid = nonce = 0
@@ -354,7 +376,8 @@ class BrokeredConnectionFactory:
                 link.abort()
             raise
         links = self._wrap_sessions(
-            parsed, links, sids, SessionLink.RESPONDER, None, None, peer_id=peer_id
+            parsed, links, sids, SessionLink.RESPONDER, None, None,
+            peer_id=peer_id, window=window,
         )
         # On this side the causal identity arrives per-link inside the
         # brokering ATTEMPT frames; the assembly span is stamped with the
@@ -411,6 +434,22 @@ class BrokeredConnectionFactory:
         )
 
     # -- helpers --------------------------------------------------------------
+    def shared_endpoint(self, peer_id: str) -> Optional[MuxEndpoint]:
+        """The live shared mux endpoint to ``peer_id``, whichever role
+        established it — or ``None``.
+
+        Mux channels open from either end of the carrier link, so a
+        caller holding an endpoint this node *responded* on can still
+        initiate new channels over it (the IPL fast-open path).
+        """
+        cached = self._shared_mux.get(peer_id)
+        if cached is not None and cached[1].alive:
+            return cached[1]
+        for (pid, _eid), endpoint in self._shared_mux_resp.items():
+            if pid == peer_id and endpoint.alive:
+                return endpoint
+        return None
+
     def _check_fidelity(self, parsed: StackSpec) -> None:
         """Fail fast when a stack is pinned to a tier this factory isn't.
 
@@ -460,6 +499,25 @@ class BrokeredConnectionFactory:
         endpoint.close_when_idle = True
         return endpoint
 
+    def _standalone_window(self, parsed: StackSpec) -> int:
+        """This node's replay-window offer for one new standalone session.
+
+        The node-wide :data:`SESSION_BUFFER_BUDGET` is divided across the
+        sessions that would hold replay buffers once this negotiation
+        lands, floored at :data:`MIN_SESSION_WINDOW`, and never above the
+        spec's own ``buf=`` cap — so the first session on an idle node
+        still gets its full configured window, while the N-th concurrent
+        one gets a 1/(N+1) share instead of over-retaining.
+        """
+        config = SessionConfig.from_layer(parsed.session)
+        live = sum(
+            1
+            for session in self.node.sessions
+            if session.state not in ("finished", "failed")
+        )
+        share = SESSION_BUFFER_BUDGET // (live + parsed.links_required)
+        return min(config.max_buffer, max(MIN_SESSION_WINDOW, share))
+
     def _wrap_sessions(
         self,
         parsed: StackSpec,
@@ -469,6 +527,7 @@ class BrokeredConnectionFactory:
         peer_info: Optional[EndpointInfo],
         methods: Optional[list],
         peer_id: str = "",
+        window: int = 0,
         ctx: Optional[TraceContext] = None,
     ) -> list:
         layer = parsed.session
@@ -482,6 +541,13 @@ class BrokeredConnectionFactory:
             # (the ROADMAP per-session flow-control item).
             window = int(parsed.mux.get("win", DEFAULT_WINDOW))
             config = replace(config, max_buffer=min(config.max_buffer, window))
+        elif window:
+            # Standalone: the window negotiated on the service link (the
+            # min of both budget shares) bounds the replay buffer.
+            config = replace(config, max_buffer=min(config.max_buffer, window))
+            obs.metrics().gauge(
+                "session.negotiated_window", node=self.node.node_id
+            ).set(config.max_buffer)
         wrapped = []
         for link, sid in zip(links, sids):
             reconnect = None

@@ -34,7 +34,11 @@ class GridNode:
         This node's :class:`EndpointInfo` (``info.node_id`` is the identity
         under which the node registers with the relay).
     relay_addr:
-        The relay server's address (bootstrap rendezvous).
+        The relay server's address (bootstrap rendezvous) — or, for a
+        relay *mesh*, a mapping of relay id -> address: the node then
+        registers with every relay through a
+        :class:`~repro.mesh.client.MeshRelayClient` and routed links are
+        route-table picked (with mid-stream failover).
     reflector_addr:
         The address reflector (defaults to the relay host, port 3478).
     connector:
@@ -46,23 +50,39 @@ class GridNode:
         self,
         host,
         info: EndpointInfo,
-        relay_addr: Addr,
+        relay_addr,
         reflector_addr: Optional[Addr] = None,
         connector: Optional[Callable] = None,
         auto_reconnect: bool = False,
+        mesh_seed=0,
+        mesh_config=None,
     ):
         self.host = host
         self.sim = host.sim
         self.info = info
         self.relay_addr = relay_addr
-        self.reflector_addr = reflector_addr or (relay_addr[0], 3478)
-        self.relay_client = RelayClient(
-            host,
-            info.node_id,
-            relay_addr,
-            connector=connector,
-            auto_reconnect=auto_reconnect,
-        )
+        if isinstance(relay_addr, dict):
+            primary = relay_addr[min(relay_addr)]
+            self.reflector_addr = reflector_addr or (primary[0], 3478)
+            from ..mesh.client import MeshRelayClient
+
+            self.relay_client = MeshRelayClient(
+                host,
+                info.node_id,
+                relay_addr,
+                connector=connector,
+                seed=mesh_seed,
+                config=mesh_config,
+            )
+        else:
+            self.reflector_addr = reflector_addr or (relay_addr[0], 3478)
+            self.relay_client = RelayClient(
+                host,
+                info.node_id,
+                relay_addr,
+                connector=connector,
+                auto_reconnect=auto_reconnect,
+            )
         self.dispatcher: Optional[RoutedDispatcher] = None
         self.broker: Optional[Broker] = None
         #: always-on black box: last ~512 lifecycle notes, dumped into

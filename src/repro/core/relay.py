@@ -19,6 +19,7 @@ for data, except in extreme cases".
 from __future__ import annotations
 
 import itertools
+import random
 from typing import Callable, Generator, Optional
 
 from .. import obs
@@ -40,6 +41,12 @@ T_MSG = 4
 T_CLOSE = 5
 T_ERROR = 6
 T_PING = 7
+#: relay<->relay anti-entropy exchange (mesh mode)
+T_GOSSIP = 8
+#: relay->client mesh view push (mesh mode)
+T_MESH = 9
+#: relay<->relay trunk hello: subsequent frames are forwarded routed bodies
+T_TRUNK = 10
 
 #: maximum payload per routed message
 MAX_MSG = 32768
@@ -95,20 +102,52 @@ def _routed_body(
 
 
 class RelayServer:
-    """The relay process: registration plus frame forwarding."""
+    """The relay process: registration plus frame forwarding.
 
-    def __init__(self, host, port: int = 4000):
+    In **mesh mode** (:meth:`enable_mesh`) the relay additionally runs
+    seeded anti-entropy gossip rounds with its peer relays, declares
+    silent peers dead through a deadline/phi detector, pushes its
+    converged view to registered clients (``T_MESH``), and forwards
+    frames whose destination is registered at *another* relay over a
+    point-to-point trunk connection (``T_TRUNK``).  Trunk-delivered
+    frames are only ever delivered locally — never re-forwarded — so the
+    overlay cannot loop.
+    """
+
+    def __init__(self, host, port: int = 4000, name: str = "relay"):
         self.host = host
         self.port = port
+        self.name = name
         self.sessions: dict[str, SimSocket] = {}
         self.forwarded_messages = 0
         self.forwarded_bytes = 0
         self._listener = None
         #: always-on black box: recent registrations/routes/errors
-        self.flight = FlightRecorder("relay", clock=lambda: host.sim.now)
+        self.flight = FlightRecorder(name, clock=lambda: host.sim.now)
         # open routed channels, keyed (opener, acceptor, channel):
         # [open time, opener's trace context (or None), forwarded bytes]
         self._routes: dict[tuple[str, str, int], list] = {}
+        # -- mesh mode (all inert until enable_mesh) --
+        self.relay_id: Optional[str] = None
+        self.mesh = None  # MeshState once enabled
+        self._mesh_config = None
+        self._mesh_peers: dict[str, Addr] = {}
+        self._mesh_rng: Optional[random.Random] = None
+        self._incarnation = 0
+        self._gossip_token: Optional[object] = None
+        #: peer relay ids this relay refuses to gossip/trunk with (fault)
+        self._partitioned: set[str] = set()
+        #: outgoing trunk connections, keyed by peer relay id
+        self._trunks: dict[str, SimSocket] = {}
+        #: accepted (incoming) trunk connections, closed on stop()
+        self._trunks_in: set = set()
+        #: transient sockets in flight (gossip exchanges, accepted
+        #: connections awaiting classification, trunk dials mid-hello),
+        #: aborted on stop() so a mid-exchange crash/teardown leaks nothing
+        self._inflight_socks: set = set()
+        #: frames handed to / received from trunks (debug surface)
+        self.trunk_tx = 0
+        self.trunk_rx = 0
 
     @property
     def addr(self) -> Addr:
@@ -117,18 +156,375 @@ class RelayServer:
     def start(self) -> None:
         self._listener = listen(self.host, self.port, backlog=64)
         self.host.sim.process(self._accept_loop(), name="relay-accept")
+        if self.mesh is not None:
+            # Restart after a crash: a fresh incarnation must dominate
+            # stale rumours of the previous life, and silence accumulated
+            # while we were down is not evidence of anyone's death.
+            self._incarnation += 1
+            self.mesh.restarted(self.host.sim.now)
+            self._start_gossip()
 
     def stop(self) -> None:
         """Crash/stop the relay: drop every session and stop accepting."""
         if self._listener is not None:
             self._listener.close()
             self._listener = None
+        self._gossip_token = None
+        for rid in list(self._trunks):
+            self._drop_trunk(rid)
+        for sock in list(self._trunks_in):
+            sock.abort()
+        self._trunks_in.clear()
+        for sock in list(self._inflight_socks):
+            sock.abort()
+        self._inflight_socks.clear()
         self.flight.note("relay.stop", sessions=len(self.sessions))
         for key in list(self._routes):
             self._finish_route(key, "error", reason="relay stopped")
         for sock in list(self.sessions.values()):
             sock.abort()
         self.sessions.clear()
+
+    # -- mesh mode -----------------------------------------------------------
+    def enable_mesh(
+        self,
+        relay_id: str,
+        peers: dict[str, Addr],
+        seed,
+        config=None,
+    ) -> None:
+        """Join the relay mesh as ``relay_id``.
+
+        ``peers`` are the seed contacts (relay id -> address); the gossip
+        partner set self-extends to any relay learned through merges, so
+        a chain topology still converges end to end.
+        """
+        from ..mesh.config import DEFAULT_MESH_CONFIG
+        from ..mesh.state import MeshState
+
+        self.relay_id = relay_id
+        self._mesh_config = config or DEFAULT_MESH_CONFIG
+        self.mesh = MeshState(relay_id, self._mesh_config)
+        self._mesh_peers = {
+            rid: addr for rid, addr in peers.items() if rid != relay_id
+        }
+        self._mesh_rng = random.Random(f"{seed}:mesh:{relay_id}")
+        self._incarnation += 1
+        if self._listener is not None:
+            self._start_gossip()
+
+    def partition(self, peer_ids) -> None:
+        """Fault hook: refuse gossip/trunks with these peer relays."""
+        for rid in peer_ids:
+            self._partitioned.add(rid)
+            self._drop_trunk(rid)
+        self.flight.note("mesh.partition", peers=sorted(self._partitioned))
+
+    def heal_partition(self, peer_ids=None) -> None:
+        healed = set(peer_ids) if peer_ids is not None else set(self._partitioned)
+        self._partitioned -= healed
+        self.flight.note("mesh.partition.healed", peers=sorted(healed))
+
+    def _start_gossip(self) -> None:
+        token = object()
+        self._gossip_token = token
+        self.host.sim.process(
+            self._gossip_loop(token), name=f"mesh-gossip-{self.relay_id}"
+        )
+
+    def _gossip_loop(self, token: object) -> Generator:
+        from ..mesh.state import decode_entries, encode_entries
+
+        cfg = self._mesh_config
+        reg = obs.metrics()
+        while self._gossip_token is token and self._listener is not None:
+            now = self.host.sim.now
+            self.mesh.refresh_self(
+                now,
+                self.addr,
+                load=len(self.sessions),
+                nodes=self.sessions.keys(),
+                incarnation=self._incarnation,
+            )
+            newly_dead = self.mesh.sweep(now)
+            changed = bool(newly_dead)
+            for rid in newly_dead:
+                self.flight.note("mesh.dead", relay_id=rid)
+                obs.event("mesh.relay_dead", node=self.name, relay=rid)
+                self._drop_trunk(rid)
+            partner = self._pick_partner()
+            if partner is not None:
+                partner_id, partner_addr = partner
+                t0 = self.host.sim.now
+                ok = True
+                advanced: list[str] = []
+                try:
+                    sock = yield from connect(self.host, partner_addr)
+                    self._inflight_socks.add(sock)
+                    try:
+                        yield from _write_frame(
+                            sock,
+                            ByteWriter()
+                            .u8(T_GOSSIP)
+                            .lp_str(self.relay_id)
+                            .lp_bytes(encode_entries(self.mesh.entries.values()))
+                            .getvalue(),
+                        )
+                        reply = yield from _read_frame(sock)
+                        r = ByteReader(reply)
+                        if r.u8() == T_GOSSIP:
+                            r.lp_str()  # sender id
+                            advanced = self.mesh.merge(
+                                decode_entries(r.lp_bytes()), self.host.sim.now
+                            )
+                    finally:
+                        self._inflight_socks.discard(sock)
+                        sock.close()
+                except (TcpError, EOFError, RelayError, FrameError):
+                    ok = False
+                reg.counter("mesh.gossip_rounds_total", relay=self.relay_id).inc()
+                if advanced or not ok:
+                    # Only state-changing (or failed) rounds become trace
+                    # spans; steady-state rounds would drown the trace.
+                    obs.record_span(
+                        "mesh.gossip",
+                        t0,
+                        self.host.sim.now,
+                        node=self.name,
+                        peer=partner_id,
+                        outcome="ok" if ok else "unreachable",
+                        advanced=len(advanced),
+                    )
+                changed = changed or bool(advanced)
+            reg.gauge("mesh.relays_alive", relay=self.relay_id).set(
+                len(self.mesh.alive())
+            )
+            if changed:
+                yield from self._push_mesh_views()
+            jitter = (
+                cfg.gossip_jitter
+                * cfg.gossip_interval
+                * (2.0 * self._mesh_rng.random() - 1.0)
+            )
+            yield self.host.sim.timeout(max(cfg.gossip_interval + jitter, 0.05))
+
+    def _pick_partner(self) -> Optional[tuple[str, Addr]]:
+        """A seeded-random live gossip partner (seeds + learned relays)."""
+        candidates: dict[str, Addr] = dict(self._mesh_peers)
+        for entry in self.mesh.alive():
+            candidates.setdefault(entry.relay_id, entry.addr)
+        eligible = sorted(
+            rid
+            for rid in candidates
+            if rid != self.relay_id
+            and rid not in self.mesh.dead
+            and rid not in self._partitioned
+        )
+        if not eligible:
+            return None
+        rid = self._mesh_rng.choice(eligible)
+        return rid, candidates[rid]
+
+    def _mesh_view_frame(self) -> bytes:
+        from ..mesh.state import encode_entries
+
+        dead = sorted(self.mesh.dead)
+        w = (
+            ByteWriter()
+            .u8(T_MESH)
+            .lp_bytes(encode_entries(self.mesh.alive()))
+            .u32(len(dead))
+        )
+        for rid in dead:
+            w.lp_str(rid)
+        return w.getvalue()
+
+    def _push_mesh_views(self) -> Generator:
+        """Best-effort view push to every registered client."""
+        frame = self._mesh_view_frame()
+        for sock in list(self.sessions.values()):
+            try:
+                yield from _write_frame(sock, frame)
+            except (EOFError, TcpError):
+                continue  # the session loop notices and unregisters
+
+    def _serve_gossip(self, sock: SimSocket, reader: ByteReader) -> Generator:
+        """Answer one incoming anti-entropy exchange (push-pull)."""
+        from ..mesh.state import decode_entries, encode_entries
+
+        sender = reader.lp_str()
+        body = reader.lp_bytes()
+        if self.mesh is None or sender in self._partitioned:
+            sock.close()
+            return
+        self._inflight_socks.add(sock)
+        try:
+            advanced = self.mesh.merge(decode_entries(body), self.host.sim.now)
+            yield from _write_frame(
+                sock,
+                ByteWriter()
+                .u8(T_GOSSIP)
+                .lp_str(self.relay_id)
+                .lp_bytes(encode_entries(self.mesh.entries.values()))
+                .getvalue(),
+            )
+            if advanced:
+                yield from self._push_mesh_views()
+            try:
+                yield from _read_frame(sock)  # wait for the initiator's close
+            except (EOFError, TcpError, RelayError, FrameError):
+                pass
+        finally:
+            self._inflight_socks.discard(sock)
+            sock.close()
+
+    def _serve_trunk(self, sock: SimSocket, reader: ByteReader) -> Generator:
+        """Serve an incoming trunk: deliver forwarded bodies locally."""
+        peer_relay = reader.lp_str()
+        if self.mesh is None or peer_relay in self._partitioned:
+            sock.close()
+            return
+        self.flight.note("mesh.trunk.accept", peer=peer_relay)
+        self._trunks_in.add(sock)
+        try:
+            while True:
+                body = yield from _read_frame(sock)
+                yield from self._deliver_trunk(body, sock)
+        except (EOFError, RelayError, FrameError, TcpError):
+            pass
+        finally:
+            self._trunks_in.discard(sock)
+        sock.close()
+
+    def _deliver_trunk(self, body: bytes, trunk_sock: SimSocket) -> Generator:
+        """Deliver a trunk-forwarded routed body to a *local* session.
+
+        Trunk frames are never re-forwarded to another relay — that is
+        the loop-prevention rule of the overlay.  An unreachable local
+        destination turns into a routed ``T_ERROR`` sent back over the
+        same trunk, which the origin relay delivers to the opener.
+        """
+        reader = ByteReader(body)
+        kind = reader.u8()
+        if kind not in (T_OPEN, T_MSG, T_CLOSE, T_ERROR):
+            raise RelayError(f"unexpected trunk frame type {kind}")
+        reader.u8()  # ownership flag, forwarded untouched
+        src = reader.lp_str()
+        dst = reader.lp_str()
+        channel = reader.u64()
+        payload = reader.lp_bytes()
+        self.trunk_rx += 1
+        dest_sock = self.sessions.get(dst)
+        if dest_sock is None:
+            if kind != T_ERROR:  # errors about errors stop here
+                yield from _write_frame(
+                    trunk_sock,
+                    _routed_body(
+                        T_ERROR, dst, src, channel, b"unknown destination",
+                        sender_owns_channel=False,
+                    ),
+                )
+            return
+        self.forwarded_messages += 1
+        self.forwarded_bytes += len(payload)
+        reg = obs.metrics()
+        reg.counter("relay.forwarded_total", backend="sim").inc()
+        reg.counter("relay.forwarded_bytes_total", backend="sim").inc(len(payload))
+        try:
+            yield from _write_frame(dest_sock, body)
+        except (EOFError, TcpError):
+            if self.sessions.get(dst) is dest_sock:
+                del self.sessions[dst]
+            dest_sock.abort()
+            if kind != T_ERROR:
+                yield from _write_frame(
+                    trunk_sock,
+                    _routed_body(
+                        T_ERROR, dst, src, channel, b"unknown destination",
+                        sender_owns_channel=False,
+                    ),
+                )
+
+    def _get_trunk(self, relay_id: str, addr: Addr) -> Generator:
+        """A live outgoing trunk to ``relay_id`` (dial on first use)."""
+        sock = self._trunks.get(relay_id)
+        if sock is not None:
+            return sock
+        try:
+            sock = yield from connect(self.host, addr)
+            self._inflight_socks.add(sock)
+            try:
+                yield from _write_frame(
+                    sock,
+                    ByteWriter().u8(T_TRUNK).lp_str(self.relay_id).getvalue(),
+                )
+            finally:
+                self._inflight_socks.discard(sock)
+        except (TcpError, EOFError):
+            return None
+        existing = self._trunks.get(relay_id)
+        if existing is not None:
+            # A concurrent forward dialed the same peer while we were
+            # establishing; keep the winner, don't orphan our socket.
+            sock.close()
+            return existing
+        self._trunks[relay_id] = sock
+        self.flight.note("mesh.trunk.open", peer=relay_id)
+        self.host.sim.process(
+            self._trunk_reader(relay_id, sock),
+            name=f"mesh-trunk-{self.relay_id}-{relay_id}",
+        )
+        return sock
+
+    def _trunk_reader(self, relay_id: str, sock: SimSocket) -> Generator:
+        """Read replies (routed errors, return traffic) off an outgoing trunk."""
+        try:
+            while True:
+                body = yield from _read_frame(sock)
+                yield from self._deliver_trunk(body, sock)
+        except (EOFError, RelayError, FrameError, TcpError):
+            pass
+        if self._trunks.get(relay_id) is sock:
+            del self._trunks[relay_id]
+        sock.close()
+
+    def _drop_trunk(self, relay_id: str) -> None:
+        sock = self._trunks.pop(relay_id, None)
+        if sock is not None:
+            sock.abort()
+
+    def _trunk_forward(
+        self, dst: str, body: bytes, payload_len: int
+    ) -> Generator:
+        """Forward a routed body toward the relay owning ``dst``.
+
+        Returns True when the frame was handed to a trunk; False sends
+        the caller down the unknown-destination path.
+        """
+        if self.mesh is None:
+            return False
+        owner = self.mesh.owner_of(dst)
+        if (
+            owner is None
+            or owner.relay_id == self.relay_id
+            or owner.relay_id in self._partitioned
+        ):
+            return False
+        trunk = yield from self._get_trunk(owner.relay_id, owner.addr)
+        if trunk is None:
+            return False
+        try:
+            yield from _write_frame(trunk, body)
+        except (EOFError, TcpError):
+            self._drop_trunk(owner.relay_id)
+            return False
+        self.trunk_tx += 1
+        self.forwarded_messages += 1
+        self.forwarded_bytes += payload_len
+        reg = obs.metrics()
+        reg.counter("relay.forwarded_total", backend="sim").inc()
+        reg.counter("relay.forwarded_bytes_total", backend="sim").inc(payload_len)
+        return True
 
     def _finish_route(self, key: tuple, outcome: str, **attrs) -> None:
         entry = self._routes.pop(key, None)
@@ -141,7 +537,7 @@ class RelayServer:
             t0,
             self.host.sim.now,
             ctx=ctx,
-            node="relay",
+            node=self.name,
             src=src,
             dst=dst,
             channel=channel,
@@ -167,10 +563,21 @@ class RelayServer:
 
     def _session(self, sock: SimSocket) -> Generator:
         node_id: Optional[str] = None
+        # Until the first frame classifies this connection it belongs to
+        # no registry; track it so a stop() mid-hello leaks nothing.
+        self._inflight_socks.add(sock)
         try:
             body = yield from _read_frame(sock)
             reader = ByteReader(body)
-            if reader.u8() != T_REGISTER:
+            first = reader.u8()
+            self._inflight_socks.discard(sock)
+            if first == T_GOSSIP:
+                yield from self._serve_gossip(sock, reader)
+                return
+            if first == T_TRUNK:
+                yield from self._serve_trunk(sock, reader)
+                return
+            if first != T_REGISTER:
                 raise RelayError("expected REGISTER")
             node_id = reader.lp_str()
             if node_id in self.sessions:
@@ -182,6 +589,10 @@ class RelayServer:
             self.sessions[node_id] = sock
             self.flight.note("relay.register", node_id=node_id)
             yield from _write_frame(sock, ByteWriter().u8(T_REGISTER_OK).getvalue())
+            if self.mesh is not None:
+                # New registrations learn the mesh immediately (their
+                # route table needs the view before the first open).
+                yield from _write_frame(sock, self._mesh_view_frame())
 
             while True:
                 body = yield from _read_frame(sock)
@@ -191,6 +602,7 @@ class RelayServer:
         except (EOFError, RelayError, FrameError, TcpError):
             pass
         finally:
+            self._inflight_socks.discard(sock)
             if node_id is not None and self.sessions.get(node_id) is sock:
                 del self.sessions[node_id]
                 self.flight.note("relay.unregister", node_id=node_id)
@@ -231,6 +643,16 @@ class RelayServer:
                 src=src, dst=dst, channel=channel,
             )
         dest_sock = self.sessions.get(dst)
+        if dest_sock is None and self.mesh is not None:
+            # Not registered here — maybe at a peer relay (trunk hop).
+            sent = yield from self._trunk_forward(dst, body, len(payload))
+            if sent:
+                route = self._routes.get(route_key)
+                if route is not None:
+                    route[2] += len(payload)
+                if kind == T_CLOSE:
+                    self._finish_route(route_key, "ok", via="trunk")
+                return
         if dest_sock is None:
             # The error goes back to the channel's opener: from their point
             # of view the channel is their own numbering.
@@ -462,6 +884,12 @@ class RelayClient:
         self.closed = False
         #: successful re-registrations after a lost session
         self.reconnects = 0
+        #: latest relay-pushed mesh view (mesh mode; empty otherwise)
+        self.mesh_view: list = []
+        self.mesh_dead: frozenset = frozenset()
+        self.mesh_view_seq = 0
+        #: callback fired (with this client) on every new mesh view
+        self.on_mesh_view: Optional[Callable[["RelayClient"], None]] = None
 
     # -- lifecycle -----------------------------------------------------------
     def connect(self) -> Generator:
@@ -666,6 +1094,20 @@ class RelayClient:
     def _dispatch(self, body: bytes) -> None:
         reader = ByteReader(body)
         kind = reader.u8()
+        if kind == T_MESH:
+            from ..mesh.state import decode_entries
+
+            try:
+                entries = decode_entries(reader.lp_bytes())
+                dead = frozenset(reader.lp_str() for _ in range(reader.u32()))
+            except FrameError:
+                return
+            self.mesh_view = entries
+            self.mesh_dead = dead
+            self.mesh_view_seq += 1
+            if self.on_mesh_view is not None:
+                self.on_mesh_view(self)
+            return
         try:
             sender_owns = bool(reader.u8())
             src = reader.lp_str()

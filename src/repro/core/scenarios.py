@@ -64,6 +64,7 @@ class GridScenario:
         relay_bandwidth: float = 125_000_000.0,
         relay_delay: float = 0.002,
     ):
+        self.seed = seed
         self.inet = Internet(seed=seed)
         self.sim = self.inet.sim
         #: the scenario's :class:`~repro.simnet.backend.SimBackend` — the
@@ -72,6 +73,8 @@ class GridScenario:
         self.backend = PacketBackend(net=self.inet.net)
         # Timestamps in metrics/traces follow the simulation clock.
         obs.use_sim_clock(self.sim)
+        self._relay_bandwidth = relay_bandwidth
+        self._relay_delay = relay_delay
         # The relay machine's own uplink: on a real grid this is a site
         # gateway with finite capacity — the §3.4 bottleneck.
         self.relay_host = self.inet.add_public_host(
@@ -79,6 +82,12 @@ class GridScenario:
         )
         self.relay = RelayServer(self.relay_host, RELAY_PORT)
         self.relay.start()
+        #: every relay in the scenario, keyed by id (primary is "r1");
+        #: extra relays join via :meth:`add_relay`, gossip via
+        #: :meth:`enable_mesh`
+        self.relays: dict[str, RelayServer] = {"r1": self.relay}
+        self.mesh_enabled = False
+        self.mesh_config = None
         self.reflector = ReflectorServer(self.relay_host, REFLECTOR_PORT)
         self.reflector.start()
         self._registry = None
@@ -88,6 +97,47 @@ class GridScenario:
         self.nodes: dict[str, GridNode] = {}
 
     # -- construction -----------------------------------------------------------
+    def add_relay(
+        self,
+        relay_id: str,
+        bandwidth: Optional[float] = None,
+        delay: Optional[float] = None,
+    ) -> RelayServer:
+        """Add another public relay host (mesh member-to-be)."""
+        if relay_id in self.relays:
+            raise ValueError(f"duplicate relay id {relay_id!r}")
+        host = self.inet.add_public_host(
+            f"relay-{relay_id}",
+            delay=delay if delay is not None else self._relay_delay,
+            bandwidth=(
+                bandwidth if bandwidth is not None else self._relay_bandwidth
+            ),
+        )
+        server = RelayServer(host, RELAY_PORT, name=f"relay-{relay_id}")
+        server.start()
+        self.relays[relay_id] = server
+        return server
+
+    def relay_addrs(self) -> dict[str, tuple]:
+        return {rid: server.addr for rid, server in sorted(self.relays.items())}
+
+    def enable_mesh(self, topology=None, config=None) -> None:
+        """Turn the relays into a gossiping mesh.
+
+        ``topology`` maps relay id -> list of seed-peer ids; ``None``
+        means full mesh.  Gossip self-extends past the seeds, so sparse
+        topologies (chains) still converge end to end.
+        """
+        addrs = self.relay_addrs()
+        self.mesh_enabled = True
+        self.mesh_config = config
+        for rid, server in sorted(self.relays.items()):
+            if topology is None:
+                peers = {p: a for p, a in addrs.items() if p != rid}
+            else:
+                peers = {p: addrs[p] for p in topology.get(rid, ())}
+            server.enable_mesh(rid, peers, seed=self.seed, config=config)
+
     def add_site(self, name: str, kind: str = "open", **wan_kwargs) -> Site:
         """Add a site of the given kind (see module docstring)."""
         if kind not in SITE_KINDS:
@@ -147,8 +197,25 @@ class GridScenario:
             outbound_blocked=(kind == "severe"),
         )
 
+    def _relay_addr_arg(self, relays):
+        """Resolve an ``add_node``/``add_ibis`` relay pin to an address arg.
+
+        ``None`` keeps the single-relay default; ``"all"`` registers with
+        every relay (mesh client); a list of relay ids pins the node to a
+        subset (how the relay-chain scenario forces trunk hops).
+        """
+        if relays is None:
+            return (self.relay_host.ip, RELAY_PORT)
+        if relays == "all":
+            return self.relay_addrs()
+        return {rid: self.relays[rid].addr for rid in relays}
+
     def add_node(
-        self, site_name: str, node_id: str, auto_reconnect: bool = False
+        self,
+        site_name: str,
+        node_id: str,
+        auto_reconnect: bool = False,
+        relays=None,
     ) -> GridNode:
         """Add a compute node to a site, wrapped as a GridNode."""
         site = self.sites[site_name]
@@ -168,10 +235,12 @@ class GridScenario:
         node = GridNode(
             host,
             info,
-            (self.relay_host.ip, RELAY_PORT),
+            self._relay_addr_arg(relays),
             reflector_addr=(self.relay_host.ip, REFLECTOR_PORT),
             connector=connector,
             auto_reconnect=auto_reconnect,
+            mesh_seed=self.seed,
+            mesh_config=self.mesh_config,
         )
         self.nodes[node_id] = node
         return node
@@ -186,7 +255,7 @@ class GridScenario:
             self._registry.start()
         return self._registry
 
-    def add_ibis(self, site_name: str, name: str, **ibis_kwargs):
+    def add_ibis(self, site_name: str, name: str, relays=None, **ibis_kwargs):
         """Add a node running a full Ibis runtime instance."""
         from ..ipl.runtime import Ibis
 
@@ -208,10 +277,12 @@ class GridScenario:
             host,
             name,
             info,
-            relay_addr=(self.relay_host.ip, RELAY_PORT),
+            relay_addr=self._relay_addr_arg(relays),
             registry_addr=registry.addr,
             reflector_addr=(self.relay_host.ip, REFLECTOR_PORT),
             connector=connector,
+            mesh_seed=self.seed,
+            mesh_config=self.mesh_config,
             **ibis_kwargs,
         )
         self.nodes[name] = ibis.node
@@ -242,20 +313,59 @@ class GridScenario:
 
     # -- chaos scenario protocol ---------------------------------------------
     def shutdown(self) -> None:
-        """Tear down every node and the relay (chaos teardown surface)."""
+        """Tear down every node and every relay (chaos teardown surface)."""
+        # Which relays a fault had already taken down (and which were
+        # still up) — the mesh convergence post-checks need to know who
+        # was killed vs. merely torn down, after everything is stopped.
+        self.down_at_shutdown = sorted(
+            rid for rid, r in self.relays.items() if r._listener is None
+        )
         for node in self.nodes.values():
             node.stop()
-        self.relay.stop()
+        for server in self.relays.values():
+            server.stop()
 
     def chaos_stats(self) -> dict:
         """Scenario-side stats merged into a chaos report's ``stats``."""
-        return {
-            "relay_forwarded_bytes": self.relay.forwarded_bytes,
-            "relay_forwarded_messages": self.relay.forwarded_messages,
+        stats = {
+            "relay_forwarded_bytes": sum(
+                r.forwarded_bytes for r in self.relays.values()
+            ),
+            "relay_forwarded_messages": sum(
+                r.forwarded_messages for r in self.relays.values()
+            ),
             "reconnects": sum(
                 n.relay_client.reconnects for n in self.nodes.values()
             ),
         }
+        if self.mesh_enabled:
+            stats["mesh_relays"] = len(self.relays)
+            stats["mesh_deaths"] = sum(
+                len(r.mesh.deaths)
+                for r in self.relays.values()
+                if r.mesh is not None
+            )
+            stats["mesh_route_changes"] = sum(
+                getattr(n.relay_client, "table", None).route_changes
+                for n in self.nodes.values()
+                if getattr(n.relay_client, "table", None) is not None
+            )
+        return stats
+
+    def mesh_deaths(self) -> list[tuple[str, str, float, float]]:
+        """Every (observer, dead relay, last_heard, detected_at) record.
+
+        The chaos convergence invariant asserts ``detected_at -
+        last_heard`` stays within the configured detection bound on
+        every surviving observer.
+        """
+        out = []
+        for rid, server in sorted(self.relays.items()):
+            if server.mesh is None:
+                continue
+            for dead_id, last_heard, detected in server.mesh.deaths:
+                out.append((rid, dead_id, last_heard, detected))
+        return out
 
     # -- execution helpers ---------------------------------------------------
     def start_all(self) -> Generator:

@@ -957,6 +957,9 @@ class SessionRegistry:
     def __len__(self) -> int:
         return len(self._sessions)
 
+    def __iter__(self):
+        return iter(list(self._sessions.values()))
+
     def ensure_acceptor(self) -> None:
         if self._acceptor is None and not self._closed:
             self._acceptor = self.sim.process(

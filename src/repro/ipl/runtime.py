@@ -22,22 +22,76 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Optional
 
+from .. import obs
 from ..core.addressing import EndpointInfo
 from ..core.factory import BrokeredConnectionFactory, TlsConfig
 from ..core.node import GridNode
-from ..core.utilization.spec import StackSpec
+from ..core.utilization.spec import StackSpec, StackSpecError
+from ..core.utilization.stack import build_stack
+from ..core.utilization.stream import DEFAULT_BLOCK, BlockChannel
 from ..core.wire import recv_frame, send_frame
 from ..simnet.packet import Addr
-from ..util.framing import ByteReader, ByteWriter
+from ..util.framing import ByteReader, ByteWriter, FrameError
 from .identifiers import IbisIdentifier
 from .ports import ReceivePort, SendPort
 from .registry import RegistryClient
 
-__all__ = ["Ibis", "IbisError"]
+__all__ = [
+    "Ibis",
+    "IbisError",
+    "encode_port_tag",
+    "decode_port_tag",
+    "is_port_tag",
+]
 
 REQ_PORT_CONNECT = 1
 RESP_OK = 0
 RESP_ERR = 1
+
+#: mux OPEN tags carrying an in-band port-connect request start with this
+#: magic.  The factory's conversation tags are exactly 8 nonce bytes, so
+#: :func:`is_port_tag` requires the prefix AND a longer tag — it can never
+#: steal a nonce tag, whatever the nonce's bytes happen to be.
+PORT_TAG_MAGIC = b"ipl1"
+
+
+def encode_port_tag(
+    port_name: str, sender: str, spec: StackSpec, block_size: int
+) -> bytes:
+    """The OPEN tag for a fast port connect: the whole request, in-band.
+
+    Carrying the request (and the stack agreement) inside the mux OPEN
+    saves the service-link round trip the slow path spends on
+    ``REQ_PORT_CONNECT``/``RESP_OK`` before negotiation even starts.
+    """
+    return (
+        ByteWriter()
+        .raw(PORT_TAG_MAGIC)
+        .lp_str(port_name)
+        .lp_str(sender)
+        .lp_str(str(spec))
+        .u32(block_size)
+        .getvalue()
+    )
+
+
+def decode_port_tag(tag: bytes) -> tuple[str, str, str, int]:
+    """``(port_name, sender, spec_text, block_size)`` from a port tag."""
+    reader = ByteReader(tag)
+    if reader.raw(len(PORT_TAG_MAGIC)) != PORT_TAG_MAGIC:
+        raise FrameError("not a port-connect tag")
+    port_name = reader.lp_str()
+    sender = reader.lp_str()
+    spec_text = reader.lp_str()
+    block_size = reader.u32()
+    reader.expect_end()
+    return port_name, sender, spec_text, block_size
+
+
+def is_port_tag(tag: bytes) -> bool:
+    """Matcher for :meth:`MuxEndpoint.accept_channel`: claims only
+    port-connect tags, never a factory conversation's 8-byte nonce."""
+    return len(tag) > 8 and tag.startswith(PORT_TAG_MAGIC)
 
 
 class IbisError(Exception):
@@ -60,6 +114,8 @@ class Ibis:
         connector: Optional[Callable] = None,
         pool: str = "default",
         auto_reconnect: bool = False,
+        mesh_seed=0,
+        mesh_config=None,
     ):
         self.host = host
         self.sim = host.sim
@@ -78,6 +134,8 @@ class Ibis:
             reflector_addr=reflector_addr,
             connector=connector,
             auto_reconnect=auto_reconnect,
+            mesh_seed=mesh_seed,
+            mesh_config=mesh_config,
         )
         self.registry = RegistryClient(host, registry_addr, connector=connector)
         self.factory: Optional[BrokeredConnectionFactory] = None
@@ -85,6 +143,8 @@ class Ibis:
         self.receive_ports: dict[str, ReceivePort] = {}
         self.send_ports: dict[str, SendPort] = {}
         self.started = False
+        #: shared mux endpoints that already have a fast-open accept loop
+        self._port_acceptors: set = set()
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> Generator:
@@ -138,6 +198,10 @@ class Ibis:
         if not self.started:
             raise IbisError("Ibis instance not started")
         owner, owner_info = yield from self.registry.lookup_port(port_name)
+        parsed = spec or self.default_spec
+        fast = yield from self._fast_connect(owner, port_name, parsed)
+        if fast is not None:
+            return fast
         service = yield from self.node.open_service_link(owner)
         request = (
             ByteWriter()
@@ -151,10 +215,87 @@ class Ibis:
         r = ByteReader(reply)
         if r.u8() != RESP_OK:
             raise IbisError(f"connect to {port_name!r} rejected: {r.lp_str()}")
-        channel = yield from self.factory.connect(
-            service, owner_info, spec=spec or self.default_spec
-        )
+        channel = yield from self.factory.connect(service, owner_info, spec=parsed)
+        # a mux spec just created (or reused) a shared endpoint: serve
+        # fast opens the peer may initiate over it from now on
+        self._ensure_port_acceptors()
         return channel
+
+    def _fast_connect(
+        self, owner: str, port_name: str, parsed: StackSpec
+    ) -> Generator:
+        """Port connect carried in a mux OPEN tag — no service link at all.
+
+        Applies when the spec is muxed (single channel, no session/tls
+        layer, which would need per-link negotiation) and this node
+        already shares a live mux endpoint with the owner: the OPEN tag
+        carries the request plus the stack agreement, saving the slow
+        path's ``REQ_PORT_CONNECT``/``RESP_OK`` round trip.  Returns
+        ``None`` when the fast path does not apply.  Unlike the slow
+        path, an unknown receive port surfaces on first use (the
+        responder aborts the channel) rather than at connect time.
+        """
+        if (
+            parsed.mux is None
+            or parsed.session is not None
+            or parsed.links_required != 1
+            or any(layer.name == "tls" for layer in parsed.layers)
+        ):
+            return None
+        endpoint = self.factory.shared_endpoint(owner)
+        if endpoint is None:
+            return None
+        tag = encode_port_tag(port_name, self.name, parsed, DEFAULT_BLOCK)
+        channel = yield from endpoint.open_channel(tag)
+        stack = build_stack(parsed, [channel], host=self.node.host)
+        obs.event(
+            "ipl.fast_open", node=self.name, peer=owner, port=port_name
+        )
+        obs.metrics().counter("ipl.fast_opens_total", node=self.name).inc()
+        return BlockChannel(stack, block_size=DEFAULT_BLOCK)
+
+    def _ensure_port_acceptors(self) -> None:
+        """Run a fast-open accept loop on every live shared mux endpoint."""
+        seen = [cached[1] for cached in self.factory._shared_mux.values()]
+        seen.extend(self.factory._shared_mux_resp.values())
+        for endpoint in seen:
+            if endpoint.alive and endpoint not in self._port_acceptors:
+                self._port_acceptors.add(endpoint)
+                self.sim.process(
+                    self._port_accept_loop(endpoint),
+                    name=f"ibis-{self.name}-fastopen",
+                )
+
+    def _port_accept_loop(self, endpoint) -> Generator:
+        try:
+            while endpoint.alive:
+                channel = yield from endpoint.accept_channel(match=is_port_tag)
+                self.sim.process(
+                    self._serve_fast_open(channel),
+                    name=f"ibis-{self.name}-fastserve",
+                )
+        except Exception:  # noqa: BLE001 - endpoint died; loop is done
+            pass
+        finally:
+            self._port_acceptors.discard(endpoint)
+
+    def _serve_fast_open(self, channel) -> Generator:
+        try:
+            port_name, sender, spec_text, block_size = decode_port_tag(
+                channel.tag
+            )
+            parsed = StackSpec.parse(spec_text)
+        except (FrameError, StackSpecError, UnicodeDecodeError):
+            channel.abort()
+            return
+        port = self.receive_ports.get(port_name)
+        if port is None or port.closed:
+            channel.abort()
+            return
+        stack = build_stack(parsed, [channel], host=self.node.host)
+        port._attach(BlockChannel(stack, block_size=block_size), origin=sender)
+        return
+        yield  # pragma: no cover - makes this a generator for sim.process
 
     def _service_loop(self) -> Generator:
         while True:
@@ -185,4 +326,5 @@ class Ibis:
             return
         yield from send_frame(service, ByteWriter().u8(RESP_OK).getvalue())
         channel = yield from self.factory.accept(service)
+        self._ensure_port_acceptors()
         port._attach(channel, origin=sender)

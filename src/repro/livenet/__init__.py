@@ -15,7 +15,12 @@ from .drivers import (
 )
 from .proxy import ChaosTcpProxy, ProxyStats
 from .registry import LiveRegistryClient, LiveRegistryServer
-from .relay import LiveRelayClient, LiveRelayServer, LiveRoutedLink
+from .relay import (
+    LiveMeshRelayClient,
+    LiveRelayClient,
+    LiveRelayServer,
+    LiveRoutedLink,
+)
 from .runtime import LiveIbis, LiveIbisError, LiveReceivePort, LiveSendPort
 from .session import AsyncSessionError, AsyncSessionLink, AsyncSessionListener
 from .transport import (
@@ -48,6 +53,7 @@ __all__ = [
     "LiveRelayServer",
     "LiveRelayClient",
     "LiveRoutedLink",
+    "LiveMeshRelayClient",
     "LiveRegistryServer",
     "LiveRegistryClient",
     "LiveIbis",

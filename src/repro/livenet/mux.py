@@ -176,7 +176,8 @@ class AsyncMuxEndpoint:
         self.scheduler = scheduler or RoundRobinScheduler()
         self._channels: dict[int, AsyncMuxChannel] = {}
         self._next_cid = 1 if role == self.INITIATOR else 2
-        self._accept_q: "asyncio.Queue[AsyncMuxChannel]" = asyncio.Queue()
+        self._pending_accept: deque = deque()
+        self._accept_wake = asyncio.Event()
         self._ctlq: deque = deque()
         self._tx_wake = asyncio.Event()
         self._closed = False
@@ -231,17 +232,34 @@ class AsyncMuxEndpoint:
                   backend="live")
         return channel
 
-    async def accept_channel(self) -> AsyncMuxChannel:
+    async def accept_channel(self, tag: Optional[bytes] = None, *,
+                             match=None) -> AsyncMuxChannel:
+        """Accept the next incoming channel.
+
+        With ``tag``, only a channel whose OPEN carried exactly that tag
+        is claimed; with ``match`` (a predicate over the tag bytes), only
+        matching channels.  Either lets independent acceptors share one
+        endpoint without stealing each other's channels.
+        """
+        if tag is not None and match is not None:
+            raise ValueError("pass tag or match, not both")
+        if tag is not None:
+            match = lambda t, want=bytes(tag): t == want  # noqa: E731
         while True:
             self._check_alive()
-            channel = await self._accept_q.get()
-            if channel is None:  # sentinel from _fail
-                self._check_alive()
-                continue
-            channel._accepted.set()
-            self._send_ctl(encode_accept(channel.channel_id,
-                                         channel._rx_window))
-            return channel
+            for channel in self._pending_accept:
+                if match is None or match(channel.tag):
+                    self._pending_accept.remove(channel)
+                    channel._accepted.set()
+                    self._send_ctl(encode_accept(channel.channel_id,
+                                                 channel._rx_window))
+                    return channel
+            self._accept_wake.clear()
+            await self._accept_wake.wait()
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed and self._error is None
 
     def close(self) -> None:
         if self._closed:
@@ -252,7 +270,7 @@ class AsyncMuxEndpoint:
             channel._fail(exc)
         self._channels.clear()
         self._tx_wake.set()
-        self._accept_q.put_nowait(None)
+        self._accept_wake.set()
         for task in self._tasks:
             task.cancel()
         self.sock.close()
@@ -328,7 +346,8 @@ class AsyncMuxEndpoint:
             channel._tx_credit = frame.window
             self._channels[frame.channel] = channel
             self.scheduler.add(frame.channel, 1)
-            self._accept_q.put_nowait(channel)
+            self._pending_accept.append(channel)
+            self._accept_wake.set()
         elif frame.kind == T_ACCEPT:
             channel = self._channels.get(frame.channel)
             if channel is None:
@@ -418,7 +437,7 @@ class AsyncMuxEndpoint:
         for channel in list(self._channels.values()):
             channel._fail(exc)
         self._tx_wake.set()
-        self._accept_q.put_nowait(None)
+        self._accept_wake.set()
 
     def _check_alive(self) -> None:
         if self._error is not None:

@@ -15,6 +15,7 @@ matrix lives in the simulator.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import struct
 from typing import Optional, Tuple
 
@@ -191,6 +192,11 @@ class LiveIbis:
         self.receive_ports: dict[str, LiveReceivePort] = {}
         self._tasks: list[asyncio.Task] = []
         self.info: Optional[EndpointInfo] = None
+        #: initiator side: peer name -> (endpoint id, shared mux endpoint)
+        self._shared_mux: dict[str, tuple[int, AsyncMuxEndpoint]] = {}
+        #: responder side: (peer name, endpoint id) -> shared mux endpoint
+        self._shared_mux_resp: dict[tuple[str, int], AsyncMuxEndpoint] = {}
+        self._mux_ids = itertools.count(1)
 
     async def start(self) -> "LiveIbis":
         self.listener = await live_listen(self.listen_host, 0)
@@ -211,6 +217,12 @@ class LiveIbis:
     async def leave(self) -> None:
         for port in self.receive_ports.values():
             port.close()
+        for _eid, endpoint in self._shared_mux.values():
+            endpoint.close()
+        for endpoint in self._shared_mux_resp.values():
+            endpoint.close()
+        self._shared_mux.clear()
+        self._shared_mux_resp.clear()
         for task in self._tasks:
             task.cancel()
         await self.registry.leave(self.name)
@@ -256,26 +268,52 @@ class LiveIbis:
             if reply.u8() != RESP_OK:
                 raise LiveIbisError(f"connect rejected: {reply.lp_str()}")
             # Stack agreement + data connections (direct TCP or routed).
-            await _write_frame(
-                service, ByteWriter().lp_str(str(parsed)).u32(65536).getvalue()
-            )
+            agreement = ByteWriter().lp_str(str(parsed)).u32(65536)
             n = parsed.links_required
             if parsed.mux is not None:
-                # One shared data connection; every logical link is a
-                # multiplexed channel over it.
-                sock = await self._open_data(owner, owner_info, service, ctx=ctx)
-                endpoint = await AsyncMuxEndpoint.establish(
-                    sock,
-                    AsyncMuxEndpoint.INITIATOR,
-                    window=int(parsed.mux.get("win", DEFAULT_WINDOW)),
-                    scheduler=make_scheduler(str(parsed.mux.get("sched", "rr"))),
-                    node=self.name,
-                    ctx=ctx,
-                )
+                # One shared data connection per peer; every logical link
+                # is a multiplexed channel over it.  The agreement names
+                # the endpoint (eid) so later connects to the same peer
+                # reuse it, and a fresh nonce tags this conversation's
+                # channels so concurrent connects cannot steal them —
+                # the same scheme as the sim factory.
+                nonce = next(self._mux_ids)
+                cached = self._shared_mux.get(owner)
+                if cached is not None and not cached[1].alive:
+                    self._shared_mux.pop(owner, None)
+                    cached = None
+                reuse = 1 if cached is not None else 0
+                eid = cached[0] if cached is not None else next(self._mux_ids)
+                agreement.u8(reuse).u64(eid).u64(nonce)
+                await _write_frame(service, agreement.getvalue())
+                if cached is not None:
+                    endpoint = cached[1]
+                    obs.event(
+                        "mux.reuse", ctx=ctx, node=self.name, peer=owner,
+                        backend="live",
+                    )
+                else:
+                    sock = await self._open_data(
+                        owner, owner_info, service, ctx=ctx
+                    )
+                    endpoint = await AsyncMuxEndpoint.establish(
+                        sock,
+                        AsyncMuxEndpoint.INITIATOR,
+                        window=int(parsed.mux.get("win", DEFAULT_WINDOW)),
+                        scheduler=make_scheduler(
+                            str(parsed.mux.get("sched", "rr"))
+                        ),
+                        node=self.name,
+                        ctx=ctx,
+                    )
+                    self._shared_mux[owner] = (eid, endpoint)
+                tag = nonce.to_bytes(8, "big")
                 socks = [
-                    await endpoint.open_channel(ctx=ctx) for _ in range(n)
+                    await endpoint.open_channel(tag, ctx=ctx)
+                    for _ in range(n)
                 ]
             else:
+                await _write_frame(service, agreement.getvalue())
                 socks = []
                 for _ in range(n):
                     sock = await self._open_data(
@@ -358,16 +396,37 @@ class LiveIbis:
         _block_size = agreement.u32()
         n = parsed.links_required
         if parsed.mux is not None:
-            sock, ctx = await self._accept_data(service, sender)
-            endpoint = await AsyncMuxEndpoint.establish(
-                sock,
-                AsyncMuxEndpoint.RESPONDER,
-                window=int(parsed.mux.get("win", DEFAULT_WINDOW)),
-                scheduler=make_scheduler(str(parsed.mux.get("sched", "rr"))),
-                node=self.name,
-                ctx=ctx,
-            )
-            socks = [await endpoint.accept_channel() for _ in range(n)]
+            reuse = agreement.u8()
+            eid = agreement.u64()
+            nonce = agreement.u64()
+            key = (sender, eid)
+            endpoint = self._shared_mux_resp.get(key)
+            if endpoint is not None and not endpoint.alive:
+                self._shared_mux_resp.pop(key, None)
+                endpoint = None
+            if reuse:
+                if endpoint is None:
+                    raise LiveIbisError(
+                        f"peer {sender!r} asked to reuse unknown mux "
+                        f"endpoint {eid}"
+                    )
+            else:
+                sock, ctx = await self._accept_data(service, sender)
+                endpoint = await AsyncMuxEndpoint.establish(
+                    sock,
+                    AsyncMuxEndpoint.RESPONDER,
+                    window=int(parsed.mux.get("win", DEFAULT_WINDOW)),
+                    scheduler=make_scheduler(
+                        str(parsed.mux.get("sched", "rr"))
+                    ),
+                    node=self.name,
+                    ctx=ctx,
+                )
+                self._shared_mux_resp[key] = endpoint
+            tag = nonce.to_bytes(8, "big")
+            socks = [
+                await endpoint.accept_channel(tag) for _ in range(n)
+            ]
         else:
             socks = []
             for _ in range(n):

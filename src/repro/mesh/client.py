@@ -1,0 +1,236 @@
+"""The host-side mesh client: one registration per relay, one route table.
+
+:class:`MeshRelayClient` presents the exact surface of a single
+:class:`~repro.core.relay.RelayClient` — ``open_link`` / ``accept_link``
+/ ``wait_connected`` / ``close`` / ``drop`` / ``connected`` /
+``reconnects`` — so everything built on the single-relay client
+(:class:`~repro.core.dispatch.RoutedDispatcher`, the broker, the stack
+factory, session recovery) works unchanged on a mesh.  Underneath it
+holds one auto-reconnecting sub-client per relay and answers the mesh's
+question — *which relay carries this link* — with a
+:class:`~repro.mesh.routes.RouteTable` fed by relay-pushed ``T_MESH``
+views and ``path.rtt_seconds`` gauges.
+
+Failover falls out of the composition: when the incumbent relay dies,
+its sub-client disconnects (making it unusable to the route table) and
+the next ``open_link`` — including a session's RESUME re-establishment —
+lands on a surviving relay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generator, Optional
+
+from .. import obs
+from ..core.relay import RelayClient, RelayError, RoutedLink
+from ..obs import TraceContext
+from ..simnet.engine import Event
+from ..simnet.packet import Addr
+from ..simnet.tcp import TcpError
+from ..util.framing import FrameError
+from .config import DEFAULT_MESH_CONFIG, MeshConfig
+from .routes import RouteTable
+from .state import MeshState
+
+__all__ = ["MeshRelayClient"]
+
+
+class MeshRelayClient:
+    """A node's registrations with every relay of a mesh, route-table picked.
+
+    ``relays`` maps relay id -> address.  Sub-clients always run with
+    ``auto_reconnect`` so a crashed-then-restarted relay re-joins the
+    usable set without anyone asking.
+    """
+
+    def __init__(
+        self,
+        host,
+        node_id: str,
+        relays: dict[str, Addr],
+        connector: Optional[Callable] = None,
+        seed=0,
+        config: Optional[MeshConfig] = None,
+        keepalive: float = 10.0,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.node_id = node_id
+        self.config = config or DEFAULT_MESH_CONFIG
+        #: observer view (merged from relay-pushed T_MESH frames)
+        self.state = MeshState("", self.config)
+        self.table = RouteTable(self.state, self.config, usable=self._usable)
+        self._rng = random.Random(f"{seed}:meshclient:{node_id}")
+        self.clients: dict[str, RelayClient] = {}
+        for rid, addr in sorted(relays.items()):
+            client = RelayClient(
+                host,
+                node_id,
+                addr,
+                connector=connector,
+                auto_reconnect=True,
+                keepalive=keepalive,
+            )
+            client.on_mesh_view = self._on_view
+            self.clients[rid] = client
+        self._accept_queue: list[RoutedLink] = []
+        self._accept_waiters: list[Event] = []
+        self.closed = False
+        self._pumps_running = False
+        self._reported_changes = 0
+
+    # -- RelayClient surface: state ------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return any(c.connected for c in self.clients.values())
+
+    @property
+    def reconnects(self) -> int:
+        return sum(c.reconnects for c in self.clients.values())
+
+    @property
+    def relay_addr(self) -> Addr:
+        """Primary relay address (compat with single-relay callers)."""
+        first = min(self.clients)
+        return self.clients[first].relay_addr
+
+    def usable_relays(self) -> list[str]:
+        return [rid for rid in sorted(self.clients) if self._usable(rid)]
+
+    def _usable(self, relay_id: str) -> bool:
+        client = self.clients.get(relay_id)
+        return client is not None and client.connected
+
+    # -- lifecycle -----------------------------------------------------------
+    def connect(self) -> Generator:
+        """Register with every relay; at least one must accept us.
+
+        Relays unreachable at boot are retried in the background with the
+        sub-client's reconnect policy — the mesh is degraded, not down.
+        """
+        self.closed = False
+        up = 0
+        errors: list[str] = []
+        for rid in sorted(self.clients):
+            client = self.clients[rid]
+            try:
+                yield from client.connect()
+                up += 1
+            except (TcpError, RelayError, FrameError, EOFError) as exc:
+                errors.append(f"{rid}: {type(exc).__name__}: {exc}")
+                self.sim.process(
+                    client._reconnect_loop(),
+                    name=f"mesh-join-{self.node_id}-{rid}",
+                )
+        if up == 0:
+            raise RelayError(f"no relay reachable: {'; '.join(errors)}")
+        if not self._pumps_running:
+            self._pumps_running = True
+            for rid in sorted(self.clients):
+                self.sim.process(
+                    self._accept_pump(self.clients[rid]),
+                    name=f"mesh-accept-{self.node_id}-{rid}",
+                )
+        return self
+
+    def wait_connected(self, timeout: float = 30.0) -> Generator:
+        """Wait until *any* relay registration is live."""
+        deadline = self.sim.now + timeout
+        while True:
+            if self.connected:
+                return self
+            if self.closed:
+                raise RelayError("relay client closed")
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"no relay connection up within {timeout}s"
+                )
+            yield self.sim.timeout(min(0.2, remaining))
+
+    def close(self) -> None:
+        self.closed = True
+        for client in self.clients.values():
+            client.close()
+
+    def drop(self) -> None:
+        """Fault-injection hook: sever every relay session abruptly."""
+        for client in self.clients.values():
+            client.drop()
+
+    # -- mesh view / telemetry -----------------------------------------------
+    def _on_view(self, client: RelayClient) -> None:
+        self.state.merge(client.mesh_view, self.sim.now)
+        obs.metrics().gauge("mesh.relays_usable", node=self.node_id).set(
+            len(self.usable_relays())
+        )
+
+    def _feed_paths(self) -> None:
+        """Fold measured path RTTs into the route table.
+
+        :class:`~repro.core.monitor.PathMonitor` publishes
+        ``path.rtt_seconds{peer=...}``; gauges whose peer is one of our
+        relays refine that relay's score.  Unmeasured relays keep their
+        load-only score, so telemetry sharpens routing without gating it.
+        """
+        for inst in obs.metrics().instruments("path.rtt_seconds"):
+            peer = inst.labels.get("peer")
+            if peer in self.clients:
+                self.table.update_path(peer, inst.value)
+
+    # -- links ---------------------------------------------------------------
+    def pick_relay(self, peer: str) -> Optional[str]:
+        """The relay id the route table would use for ``peer`` right now."""
+        self._feed_paths()
+        entry = self.table.pick(peer, rng=self._rng)
+        if entry is not None and self._usable(entry.relay_id):
+            return entry.relay_id
+        for rid in sorted(self.clients):
+            if self._usable(rid):
+                return rid
+        return None
+
+    def open_link(
+        self, peer: str, payload: bytes = b"",
+        ctx: Optional[TraceContext] = None,
+    ) -> Generator:
+        """Open a routed link to ``peer`` through the best live relay."""
+        rid = self.pick_relay(peer)
+        if rid is None:
+            raise RelayError("no usable relay for routed open")
+        if self.table.route_changes > self._reported_changes:
+            obs.metrics().counter(
+                "mesh.route_changes_total", node=self.node_id
+            ).inc(self.table.route_changes - self._reported_changes)
+            self._reported_changes = self.table.route_changes
+        obs.event(
+            "mesh.route", ctx=ctx, node=self.node_id, peer=peer, relay=rid
+        )
+        link = yield from self.clients[rid].open_link(peer, payload, ctx=ctx)
+        return link
+
+    def _accept_pump(self, client: RelayClient) -> Generator:
+        """Funnel one sub-client's accepted links into the shared queue."""
+        while not self.closed:
+            link = yield from client.accept_link()
+            if self._accept_waiters:
+                self._accept_waiters.pop(0).succeed(link)
+            else:
+                self._accept_queue.append(link)
+
+    def accept_link(self) -> Generator:
+        """Wait for a peer-initiated routed link on *any* relay."""
+        ev = self.sim.event()
+        if self._accept_queue:
+            ev.succeed(self._accept_queue.pop(0))
+        else:
+            self._accept_waiters.append(ev)
+        link = yield ev
+        return link
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MeshRelayClient {self.node_id} "
+            f"usable={self.usable_relays()}>"
+        )

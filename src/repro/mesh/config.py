@@ -1,0 +1,63 @@
+"""Tuning knobs for the relay mesh (gossip, failure detection, routing).
+
+One frozen config object travels through every mesh component so a
+scenario (or a test) can tighten the timers without touching code.  The
+defaults are sized for the chaos harness: a relay death must be detected
+and routed around well inside a staged transfer's lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MeshConfig", "DEFAULT_MESH_CONFIG"]
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    """Mesh-wide tuning (see ``docs/MESH.md`` for the derivations).
+
+    gossip_interval:
+        Seconds between a relay's anti-entropy rounds.  Each round the
+        relay bumps its own heartbeat sequence and exchanges full state
+        with one seeded-random live peer (push-pull).
+    gossip_jitter:
+        Fractional jitter applied to the interval from the seeded RNG so
+        relays don't phase-lock (deterministic under seed).
+    phi_threshold:
+        Suspicion level at which a peer is declared dead: the observed
+        silence divided by the smoothed inter-arrival interval (a
+        deadline-style phi accrual detector).
+    deadline:
+        Hard upper bound (seconds) on silence before a peer is declared
+        dead regardless of history — bounds convergence time for the
+        chaos invariant: ``detect <= deadline + gossip_interval``.
+    hysteresis:
+        A challenger route must score at least ``(1 + hysteresis)`` times
+        the incumbent's score before the route table switches — the
+        anti-flapping margin.
+    load_weight:
+        How strongly a relay's registered-session count depresses its
+        route score (0 disables load balancing).
+    rtt_weight:
+        How strongly a measured path RTT toward a relay (from
+        :class:`~repro.core.monitor.PathMonitor` gauges) depresses its
+        score (0 ignores path telemetry).
+    """
+
+    gossip_interval: float = 0.5
+    gossip_jitter: float = 0.2
+    phi_threshold: float = 6.0
+    deadline: float = 3.0
+    hysteresis: float = 0.25
+    load_weight: float = 0.1
+    rtt_weight: float = 1.0
+
+    @property
+    def detect_bound(self) -> float:
+        """Worst-case seconds from a relay's death to its being declared
+        dead by any live observer (the chaos convergence bound)."""
+        return self.deadline + self.gossip_interval * (1.0 + self.gossip_jitter)
+
+
+DEFAULT_MESH_CONFIG = MeshConfig()

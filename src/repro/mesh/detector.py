@@ -1,0 +1,91 @@
+"""Deadline-style phi accrual failure detector.
+
+A full phi-accrual detector models inter-arrival times as a distribution
+and reports ``-log10 P(silence this long)``.  Heartbeats here arrive on a
+known cadence (the gossip interval), so a two-term approximation is
+enough and stays fully deterministic: suspicion is the observed silence
+divided by the smoothed inter-arrival interval, with a hard deadline
+backstop that *bounds* detection time — the property the chaos
+convergence invariant asserts.
+
+The detector never reads a clock; every method takes ``now``, so the sim
+relay feeds simulated time and the live relay feeds the event loop clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import DEFAULT_MESH_CONFIG, MeshConfig
+
+__all__ = ["DeadlineDetector"]
+
+#: exponential smoothing factor for the inter-arrival estimate
+_ALPHA = 0.2
+
+#: floor on the smoothed interval so one burst of rapid gossip cannot
+#: collapse the divisor and spuriously suspect a healthy peer
+_MIN_INTERVAL = 1e-3
+
+
+class DeadlineDetector:
+    """Per-peer liveness suspicion from heartbeat arrival history."""
+
+    def __init__(self, config: Optional[MeshConfig] = None):
+        self.config = config or DEFAULT_MESH_CONFIG
+        # peer -> (last_heard, smoothed_interval)
+        self._history: dict[str, tuple[float, float]] = {}
+
+    def heard(self, peer: str, now: float) -> None:
+        """Record a heartbeat advance (a dominating entry arrived)."""
+        prev = self._history.get(peer)
+        if prev is None:
+            self._history[peer] = (now, self.config.gossip_interval)
+            return
+        last, interval = prev
+        sample = max(now - last, 0.0)
+        smoothed = (1 - _ALPHA) * interval + _ALPHA * sample
+        self._history[peer] = (now, max(smoothed, _MIN_INTERVAL))
+
+    def last_heard(self, peer: str) -> float:
+        entry = self._history.get(peer)
+        return entry[0] if entry is not None else float("-inf")
+
+    def phi(self, peer: str, now: float) -> float:
+        """Suspicion level: silence measured in smoothed intervals."""
+        entry = self._history.get(peer)
+        if entry is None:
+            return float("inf")
+        last, interval = entry
+        return max(now - last, 0.0) / max(interval, _MIN_INTERVAL)
+
+    def suspect(self, peer: str, now: float) -> bool:
+        """True when the peer should be declared dead.
+
+        Either accrued suspicion crossed ``phi_threshold`` or silence hit
+        the hard ``deadline`` — whichever fires first.  The deadline term
+        guarantees ``detect_time <= deadline`` once the last heartbeat
+        aged out, which is what bounds mesh convergence.
+        """
+        entry = self._history.get(peer)
+        if entry is None:
+            return False  # never heard from: not ours to declare
+        last, _ = entry
+        silence = now - last
+        return (
+            self.phi(peer, now) >= self.config.phi_threshold
+            or silence >= self.config.deadline
+        )
+
+    def forget(self, peer: str) -> None:
+        self._history.pop(peer, None)
+
+    def reset_clock(self, now: float) -> None:
+        """Re-baseline every peer's last-heard time, keeping intervals.
+
+        Used when the *observer* itself was down: silence accumulated
+        while it could not listen is not evidence of anyone's death, so
+        suspicion restarts from ``now``.
+        """
+        for peer, (_last, interval) in list(self._history.items()):
+            self._history[peer] = (now, interval)

@@ -1,0 +1,156 @@
+"""The host-side route table: which relay carries the next routed link.
+
+The paper's Figure 4 decision tree answers *which method*; when the
+answer is routed messages, the mesh adds a second question: *which
+relay*.  The route table ranks live relays by a score combining
+
+* **liveness** — dead relays (per the gossiped view) score zero;
+* **load** — each registered session at a relay depresses its score by
+  ``load_weight`` (weighted balancing: new links spread away from busy
+  relays);
+* **path quality** — a measured RTT toward the relay (fed from
+  :class:`~repro.core.monitor.PathMonitor` ``path.rtt_seconds`` gauges)
+  depresses the score by ``rtt_weight``; unmeasured relays are scored on
+  load alone, so path telemetry refines but never gates routing;
+* **reachability of the peer** — relays that have the destination node
+  registered are strictly preferred over relays that would need a trunk
+  hop.
+
+Selection is sticky: an incumbent route is kept until a challenger beats
+it by the ``hysteresis`` margin (or the incumbent dies / loses the peer),
+so two relays trading small score differences cannot flap a stream's
+route.  With an RNG the choice among the top candidates is
+score-weighted — deterministic under seed, and balancing under load.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .config import DEFAULT_MESH_CONFIG, MeshConfig
+from .state import MeshState, RelayEntry
+
+__all__ = ["RouteTable", "ScoredRoute"]
+
+
+class ScoredRoute:
+    """One candidate relay with its computed score (debug/report surface)."""
+
+    __slots__ = ("entry", "score", "has_peer")
+
+    def __init__(self, entry: RelayEntry, score: float, has_peer: bool):
+        self.entry = entry
+        self.score = score
+        self.has_peer = has_peer
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ScoredRoute {self.entry.relay_id} score={self.score:.3f} "
+            f"has_peer={self.has_peer}>"
+        )
+
+
+class RouteTable:
+    """Ranks live relays and makes sticky, hysteresis-damped choices."""
+
+    def __init__(
+        self,
+        state: MeshState,
+        config: Optional[MeshConfig] = None,
+        usable: Optional[Callable[[str], bool]] = None,
+    ):
+        self.state = state
+        self.config = config or state.config or DEFAULT_MESH_CONFIG
+        #: local usability filter: is this relay one *we* hold a live
+        #: registration with?  (mesh clients pass their connection check)
+        self.usable = usable or (lambda relay_id: True)
+        #: measured RTT toward each relay, seconds (PathMonitor feed)
+        self.path_rtt: dict[str, float] = {}
+        #: incumbent route per destination peer (the hysteresis memory)
+        self._current: dict[str, str] = {}
+        #: route switches observed (per peer), for the mesh.* gauges
+        self.route_changes = 0
+
+    # -- telemetry feed ------------------------------------------------------
+    def update_path(self, relay_id: str, rtt: float) -> None:
+        self.path_rtt[relay_id] = rtt
+
+    # -- scoring -------------------------------------------------------------
+    def score(self, entry: RelayEntry) -> float:
+        cfg = self.config
+        s = 1.0 / (1.0 + cfg.load_weight * max(entry.load, 0))
+        rtt = self.path_rtt.get(entry.relay_id)
+        if rtt is not None and cfg.rtt_weight > 0:
+            s /= 1.0 + cfg.rtt_weight * max(rtt, 0.0)
+        return s
+
+    def candidates(self, peer: str) -> list[ScoredRoute]:
+        """Usable live relays, best first; peer-holding relays outrank
+        trunk-hop relays regardless of raw score."""
+        out = []
+        anyone_has_peer = False
+        for entry in self.state.alive():
+            if not self.usable(entry.relay_id):
+                continue
+            has_peer = peer in entry.nodes
+            anyone_has_peer = anyone_has_peer or has_peer
+            out.append(ScoredRoute(entry, self.score(entry), has_peer))
+        if anyone_has_peer:
+            # Ownership info exists, so honour it strictly; relays without
+            # the peer stay as trunk-hop fallbacks at the tail.
+            out.sort(key=lambda r: (not r.has_peer, -r.score, r.entry.relay_id))
+        else:
+            # No ownership info (gossip still converging): score order.
+            out.sort(key=lambda r: (-r.score, r.entry.relay_id))
+        return out
+
+    # -- selection -----------------------------------------------------------
+    def pick(
+        self, peer: str, rng: Optional[random.Random] = None
+    ) -> Optional[RelayEntry]:
+        """The relay to carry the next routed link toward ``peer``.
+
+        Returns ``None`` when no usable live relay exists (the caller
+        falls back to waiting/retrying).
+        """
+        ranked = self.candidates(peer)
+        if not ranked:
+            self._current.pop(peer, None)
+            return None
+        by_id = {r.entry.relay_id: r for r in ranked}
+        incumbent = by_id.get(self._current.get(peer, ""))
+        best = ranked[0]
+        if incumbent is not None:
+            challenger_wins = (
+                best.has_peer and not incumbent.has_peer
+            ) or best.score > incumbent.score * (1.0 + self.config.hysteresis)
+            if not challenger_wins:
+                return incumbent.entry
+        # New route.  With an RNG, weight the choice across the top tier
+        # (same has_peer class as the best) so concurrent links balance.
+        tier = [r for r in ranked if r.has_peer == best.has_peer]
+        if rng is not None and len(tier) > 1:
+            total = sum(r.score for r in tier)
+            roll = rng.random() * total
+            chosen = tier[-1]
+            for r in tier:
+                roll -= r.score
+                if roll <= 0:
+                    chosen = r
+                    break
+        else:
+            chosen = best
+        previous = self._current.get(peer)
+        self._current[peer] = chosen.entry.relay_id
+        if previous is not None and previous != chosen.entry.relay_id:
+            self.route_changes += 1
+        return chosen.entry
+
+    def current(self, peer: str) -> Optional[str]:
+        return self._current.get(peer)
+
+    def invalidate(self, relay_id: str) -> None:
+        """Forget incumbency for routes through a now-dead relay."""
+        for peer in [p for p, r in self._current.items() if r == relay_id]:
+            del self._current[peer]

@@ -1,0 +1,198 @@
+"""Gossiped mesh state: what every relay knows about every relay.
+
+The unit of gossip is a :class:`RelayEntry` — one relay's self-description,
+versioned by ``(incarnation, seq)``.  ``incarnation`` bumps when the relay
+process restarts (a fresh start must dominate stale rumours about its
+previous life); ``seq`` is the heartbeat counter the owner bumps every
+anti-entropy round.  Merging two views keeps, per relay id, the entry with
+the larger ``(incarnation, seq)`` — a join-semilattice, so **any** delivery
+order of the same set of entries converges to the same state (the
+hypothesis property test in ``tests/mesh`` pins this).
+
+:class:`MeshState` owns a node's (or relay's) view plus the arrival
+bookkeeping the failure detector feeds on.  It is backend-agnostic: the
+sim relay drives it with simulated time, the live relay with the event
+loop clock; nothing here imports either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional
+
+from ..util.framing import ByteReader, ByteWriter, FrameError
+from .config import DEFAULT_MESH_CONFIG, MeshConfig
+from .detector import DeadlineDetector
+
+__all__ = ["RelayEntry", "MeshState", "encode_entries", "decode_entries"]
+
+
+@dataclass(frozen=True)
+class RelayEntry:
+    """One relay's gossiped self-description."""
+
+    relay_id: str
+    addr: tuple[str, int]
+    incarnation: int
+    seq: int
+    #: registered-session count — the weighted-balancing load signal
+    load: int = 0
+    #: node ids registered at this relay (ownership map for trunk routing)
+    nodes: tuple[str, ...] = ()
+
+    @property
+    def version(self) -> tuple[int, int]:
+        return (self.incarnation, self.seq)
+
+    def dominates(self, other: "RelayEntry") -> bool:
+        return self.version > other.version
+
+
+def encode_entries(entries: Iterable[RelayEntry]) -> bytes:
+    """Wire form of a view: deterministic (sorted by relay id)."""
+    ordered = sorted(entries, key=lambda e: e.relay_id)
+    w = ByteWriter().u32(len(ordered))
+    for e in ordered:
+        w.lp_str(e.relay_id)
+        w.lp_str(e.addr[0]).u32(e.addr[1])
+        w.u64(e.incarnation).u64(e.seq).u32(e.load)
+        w.u32(len(e.nodes))
+        for n in sorted(e.nodes):
+            w.lp_str(n)
+    return w.getvalue()
+
+
+def decode_entries(body: bytes) -> list[RelayEntry]:
+    r = ByteReader(body)
+    count = r.u32()
+    if count > 4096:
+        raise FrameError(f"implausible mesh view size {count}")
+    out = []
+    for _ in range(count):
+        relay_id = r.lp_str()
+        addr = (r.lp_str(), r.u32())
+        incarnation, seq, load = r.u64(), r.u64(), r.u32()
+        n = r.u32()
+        nodes = tuple(r.lp_str() for _ in range(n))
+        out.append(
+            RelayEntry(relay_id, addr, incarnation, seq, load=load, nodes=nodes)
+        )
+    return out
+
+
+class MeshState:
+    """A mesh participant's converging view of every relay.
+
+    ``self_id`` is empty for pure observers (host-side mesh clients merge
+    relay-pushed views but never originate an entry).
+    """
+
+    def __init__(
+        self,
+        self_id: str = "",
+        config: Optional[MeshConfig] = None,
+    ):
+        self.self_id = self_id
+        self.config = config or DEFAULT_MESH_CONFIG
+        self.entries: dict[str, RelayEntry] = {}
+        self.detector = DeadlineDetector(self.config)
+        #: ids currently declared dead, with the detection timestamp —
+        #: cleared when a dominating (reincarnated/newer) entry arrives
+        self.dead: dict[str, float] = {}
+        #: audit trail for the chaos convergence invariant:
+        #: (relay_id, last_heard_at, detected_dead_at)
+        self.deaths: list[tuple[str, float, float]] = []
+
+    # -- owner side ----------------------------------------------------------
+    def refresh_self(
+        self, now: float, addr: tuple[str, int], load: int,
+        nodes: Iterable[str], incarnation: int,
+    ) -> RelayEntry:
+        """Bump our own heartbeat (one call per anti-entropy round)."""
+        prev = self.entries.get(self.self_id)
+        seq = prev.seq + 1 if prev is not None else 1
+        entry = RelayEntry(
+            self.self_id, addr, incarnation, seq,
+            load=load, nodes=tuple(sorted(nodes)),
+        )
+        self.entries[self.self_id] = entry
+        self.detector.heard(self.self_id, now)
+        return entry
+
+    # -- merge (the semilattice join) ----------------------------------------
+    def merge(self, entries: Iterable[RelayEntry], now: float) -> list[str]:
+        """Fold peer entries into the view; returns ids that advanced.
+
+        A dominating entry for a dead relay resurrects it (it restarted
+        with a higher incarnation, or fresher heartbeats are flowing
+        again through another gossip path).
+        """
+        advanced = []
+        for entry in entries:
+            if entry.relay_id == self.self_id:
+                # Nobody outranks a relay about itself — but a rumour of a
+                # *higher* incarnation means a clock-of-life conflict after
+                # restart; adopt the larger incarnation for our next refresh.
+                mine = self.entries.get(self.self_id)
+                if mine is not None and entry.incarnation > mine.incarnation:
+                    self.entries[self.self_id] = replace(
+                        mine, incarnation=entry.incarnation
+                    )
+                continue
+            current = self.entries.get(entry.relay_id)
+            if current is None or entry.dominates(current):
+                self.entries[entry.relay_id] = entry
+                self.detector.heard(entry.relay_id, now)
+                self.dead.pop(entry.relay_id, None)
+                advanced.append(entry.relay_id)
+        return advanced
+
+    def restarted(self, now: float) -> None:
+        """The observer was down until ``now``: re-baseline suspicion.
+
+        Without this, a relay coming back from a crash would immediately
+        declare every peer dead — their "silence" spans its own outage,
+        violating the detection bound the convergence invariant asserts.
+        """
+        self.detector.reset_clock(now)
+
+    # -- failure detection ---------------------------------------------------
+    def sweep(self, now: float) -> list[str]:
+        """Declare silent peers dead; returns newly dead ids (sorted)."""
+        newly = []
+        for relay_id in sorted(self.entries):
+            if relay_id == self.self_id or relay_id in self.dead:
+                continue
+            if self.detector.suspect(relay_id, now):
+                self.dead[relay_id] = now
+                self.deaths.append(
+                    (relay_id, self.detector.last_heard(relay_id), now)
+                )
+                newly.append(relay_id)
+        return newly
+
+    # -- queries -------------------------------------------------------------
+    def alive(self) -> list[RelayEntry]:
+        """Live relay entries, deterministic order (by relay id)."""
+        return [
+            e for rid, e in sorted(self.entries.items()) if rid not in self.dead
+        ]
+
+    def alive_ids(self) -> list[str]:
+        return [e.relay_id for e in self.alive()]
+
+    def owner_of(self, node_id: str) -> Optional[RelayEntry]:
+        """A live relay that has ``node_id`` registered (ties: lowest id)."""
+        for entry in self.alive():
+            if node_id in entry.nodes:
+                return entry
+        return None
+
+    def digest(self) -> dict[str, tuple[int, int]]:
+        return {rid: e.version for rid, e in self.entries.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MeshState {self.self_id or '<observer>'} "
+            f"alive={self.alive_ids()} dead={sorted(self.dead)}>"
+        )

@@ -317,22 +317,32 @@ class MuxEndpoint:
                              node=self.node)
         return channel
 
-    def accept_channel(self, tag: Optional[bytes] = None) -> Generator:
+    def accept_channel(self, tag: Optional[bytes] = None, *,
+                       match=None) -> Generator:
         """Wait for a peer OPEN, grant our window, return the channel.
 
         With ``tag`` set, only a channel opened with that exact tag is
         taken — concurrent accepts on a shared endpoint each claim their
         own conversation's channels instead of racing for arrival order.
+        ``match`` generalizes that to a predicate over the tag bytes
+        (e.g. an in-band service request prefix); it must be written so
+        it can never claim another consumer's tags — see
+        :func:`repro.ipl.runtime.is_port_tag` for the canonical example.
+        ``tag`` and ``match`` are mutually exclusive.
         """
+        if tag is not None and match is not None:
+            raise ValueError("accept_channel takes tag or match, not both")
+        if tag is not None:
+            match = lambda t, want=tag: t == want  # noqa: E731
         channel = None
         while channel is None:
-            if tag is None:
+            if match is None:
                 if self._accept_q:
                     channel = self._accept_q.popleft()
                     break
             else:
                 for queued in self._accept_q:
-                    if queued.tag == tag:
+                    if match(queued.tag):
                         channel = queued
                         self._accept_q.remove(queued)
                         break

@@ -296,6 +296,16 @@ class ListenSocket:
         for ev in self._waiters:
             ev.fail(SocketClosed("listener closed"))
         self._waiters.clear()
+        # A closed listener resets what it never handed out: half-open
+        # (embryonic) handshakes and established-but-unaccepted children.
+        # Otherwise a dial racing the close completes its handshake into
+        # a connection nobody owns — a leak on both ends.
+        for sock in list(self._embryonic.values()):
+            sock.abort()
+        self._embryonic.clear()
+        for sock in self._accept_queue:
+            sock.abort()
+        self._accept_queue.clear()
 
     # -- internal ---------------------------------------------------------------
     def _input(self, segment: Segment) -> None:

@@ -1,0 +1,87 @@
+"""Mesh failover polarity: the kill that sessions+mesh survive is fatal
+to every weaker configuration.
+
+The canonical plan kills the carrying relay (and then a second one) in
+the middle of a routed transfer over the 3-relay mesh:
+
+* **mesh + sessions** — survives: the death is gossiped within the
+  detection bound, the route table fails over to the survivor, and the
+  replay window resumes the stream with zero byte loss;
+* **mesh, no sessions** — fails: the routed link EOFs with the relay
+  and nothing can replay the in-flight bytes;
+* **no mesh** (``wan_transfer_routed``) — fails even WITH sessions and
+  retries: there is no surviving relay to fail over to.
+
+That asymmetry — not "it recovers" but "only this layering recovers" —
+is the acceptance polarity for the mesh subsystem.
+"""
+
+import pytest
+
+from repro.chaos import run_chaos
+
+#: kill the (seeded) carrying relay mid-transfer, then a second relay
+#: while recovery is in flight — the survivor must absorb both streams.
+KILL_PLAN = "relay_kill@2:relay=r1;relay_kill@2.2:relay=r2"
+
+
+class TestFailoverPolarity:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mesh_with_sessions_survives_double_kill(self, seed):
+        report = run_chaos(
+            scenario="mesh_failover",
+            seed=seed,
+            plan=KILL_PLAN,
+            retries=True,
+            sessions=True,
+        )
+        assert report.ok, report.violations
+        assert [e["kind"] for e in report.injected] == [
+            "relay_kill", "relay_kill",
+        ]
+        # Zero payload loss: every byte arrived exactly once, in order.
+        for channel in report.channels:
+            assert channel["complete"]
+            assert channel["received_bytes"] == channel["sent_bytes"] > 0
+            assert channel["received_digest"] == channel["sent_digest"]
+        # The recovery was real: the session resumed at least once and
+        # the survivors declared the dead relays dead (the convergence
+        # invariant would have flagged an unbounded detection).
+        assert report.stats["session_reconnects"] >= 1
+        assert report.stats["mesh_deaths"] >= 1
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mesh_without_sessions_fails(self, seed):
+        report = run_chaos(
+            scenario="mesh_failover",
+            seed=seed,
+            plan=KILL_PLAN,
+            retries=True,
+            sessions=False,
+        )
+        assert not report.ok
+        assert any("sender did not complete" in v for v in report.violations)
+
+    def test_without_mesh_the_same_kill_is_fatal(self):
+        # The single-relay routed scenario with the full recovery stack
+        # (sessions + retries) still cannot survive an unhealed kill of
+        # its only relay: failover needs somewhere to fail over TO.
+        report = run_chaos(
+            scenario="wan_transfer_routed",
+            seed=1,
+            plan="relay_kill@2:relay=r1",
+            retries=True,
+            sessions=True,
+        )
+        assert not report.ok
+
+    def test_failover_reports_are_deterministic(self):
+        a = run_chaos(
+            scenario="mesh_failover", seed=2, plan=KILL_PLAN,
+            retries=True, sessions=True,
+        )
+        b = run_chaos(
+            scenario="mesh_failover", seed=2, plan=KILL_PLAN,
+            retries=True, sessions=True,
+        )
+        assert a.to_json() == b.to_json()

@@ -89,3 +89,78 @@ class TestFactory:
         # of the simulation run.
         with pytest.raises(ValueError, match="TlsConfig"):
             _run_channel("open", "open", "tls|tcp_block", PAYLOAD, tls=False)
+
+
+class TestStandaloneSessionWindow:
+    """Negotiated replay-window flow control for non-mux sessions (PR 8).
+
+    The service-link agreement frame carries each side's budget share;
+    both ends clamp the replay buffer to the min, so N concurrent
+    standalone sessions split the node's buffer budget instead of each
+    retaining the full static default.
+    """
+
+    @staticmethod
+    def _open_channels(n, spec_str):
+        from repro.core.factory import SESSION_BUFFER_BUDGET  # noqa: F401
+
+        spec = StackSpec.parse(spec_str)
+        sc = GridScenario(seed=23)
+        sc.add_site("A", "open")
+        sc.add_site("B", "firewall")
+        node_a = sc.add_node("A", "a")
+        node_b = sc.add_node("B", "b")
+        windows = []
+
+        def run_a():
+            yield from node_a.start()
+            while not node_b.relay_client.connected:
+                yield sc.sim.timeout(0.05)
+            factory = BrokeredConnectionFactory(node_a)
+            for _ in range(n):
+                service = yield from node_a.open_service_link("b")
+                channel = yield from factory.connect(service, node_b.info, spec=spec)
+                yield from channel.send_message(b"probe")
+                session = channel.driver.link
+                windows.append(session.config.max_buffer)
+
+        def run_b():
+            yield from node_b.start()
+            factory = BrokeredConnectionFactory(node_b)
+            for _ in range(n):
+                _peer, service = yield from node_b.accept_service_link()
+                channel = yield from factory.accept(service)
+                yield from channel.recv_message()
+
+        sc.sim.process(run_a())
+        sc.sim.process(run_b())
+        sc.run(until=300)
+        return windows, node_a, node_b
+
+    def test_single_session_capped_by_budget_share(self):
+        from repro.core.factory import SESSION_BUFFER_BUDGET
+
+        # spec asks for 8 MiB, but the whole-node budget is 4 MiB
+        windows, node_a, node_b = self._open_channels(
+            1, f"tcp_block|session:buf={8 << 20}"
+        )
+        assert windows == [SESSION_BUFFER_BUDGET]
+        # both ends agreed on the same clamp
+        assert {s.config.max_buffer for s in node_b.sessions} == {
+            SESSION_BUFFER_BUDGET
+        }
+
+    def test_concurrent_sessions_split_the_budget(self):
+        from repro.core.factory import SESSION_BUFFER_BUDGET
+
+        windows, _, _ = self._open_channels(3, f"tcp_block|session:buf={8 << 20}")
+        # each later session is offered a smaller share: budget / (live+1)
+        assert windows == [
+            SESSION_BUFFER_BUDGET // 1,
+            SESSION_BUFFER_BUDGET // 2,
+            SESSION_BUFFER_BUDGET // 3,
+        ]
+
+    def test_spec_cap_still_wins_when_smaller(self):
+        windows, _, _ = self._open_channels(1, "tcp_block|session:buf=131072")
+        assert windows == [131072]

@@ -289,3 +289,96 @@ class TestRuntimeBehaviour:
         sc.sim.process(sender())
         sc.run(until=60)
         assert res == {"empty": None, "value": 5}
+
+
+class TestFastOpen:
+    """PR 8 satellite: the mux OPEN tag carries the port-connect request.
+
+    The first muxed connect to a peer walks the slow path (service link +
+    ``REQ_PORT_CONNECT`` round trip) and leaves a shared endpoint behind;
+    every later connect to that peer opens a channel whose OPEN tag *is*
+    the request, skipping the service link entirely.
+    """
+
+    def test_second_connect_rides_the_open_tag(self):
+        from repro import obs
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        prev = obs.set_registry(registry)
+        try:
+            sc, ia, ib = _two_node_setup()
+            spec = StackSpec.parse("tcp_block|mux")
+            res = {}
+
+            def receiver():
+                yield from ib.start()
+                p1 = yield from ib.create_receive_port("in1")
+                p2 = yield from ib.create_receive_port("in2")
+                m1 = yield from p1.receive()
+                res["v1"] = m1.read_int()
+                m1.finish()
+                m2 = yield from p2.receive()
+                res["v2"] = m2.read_int()
+                res["origin2"] = m2.origin
+                m2.finish()
+
+            def sender():
+                yield from ia.start()
+                sp1 = ia.create_send_port("out1")
+                sp2 = ia.create_send_port("out2")
+                yield from _connect_with_retry(sc, sp1, "in1", spec=spec)
+                yield from _connect_with_retry(sc, sp2, "in2", spec=spec)
+                for sp, value in ((sp1, 1), (sp2, 2)):
+                    m = sp.new_message()
+                    m.write_int(value)
+                    yield from m.finish()
+
+            sc.sim.process(receiver())
+            sc.sim.process(sender())
+            sc.run(until=120)
+            assert res == {"v1": 1, "v2": 2, "origin2": "alpha"}
+            fast = sum(
+                c.value for c in registry.instruments("ipl.fast_opens_total")
+            )
+            assert fast == 1, "second connect should ride the OPEN tag"
+        finally:
+            obs.set_registry(prev)
+
+    def test_non_mux_spec_never_fast_opens(self):
+        from repro import obs
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        prev = obs.set_registry(registry)
+        try:
+            sc, ia, ib = _two_node_setup()
+            res = {}
+
+            def receiver():
+                yield from ib.start()
+                p1 = yield from ib.create_receive_port("in1")
+                p2 = yield from ib.create_receive_port("in2")
+                for key, port in (("v1", p1), ("v2", p2)):
+                    msg = yield from port.receive()
+                    res[key] = msg.read_int()
+                    msg.finish()
+
+            def sender():
+                yield from ia.start()
+                sp1 = ia.create_send_port("out1")
+                sp2 = ia.create_send_port("out2")
+                yield from _connect_with_retry(sc, sp1, "in1")
+                yield from _connect_with_retry(sc, sp2, "in2")
+                for sp, value in ((sp1, 1), (sp2, 2)):
+                    m = sp.new_message()
+                    m.write_int(value)
+                    yield from m.finish()
+
+            sc.sim.process(receiver())
+            sc.sim.process(sender())
+            sc.run(until=120)
+            assert res == {"v1": 1, "v2": 2}
+            assert not list(registry.instruments("ipl.fast_opens_total"))
+        finally:
+            obs.set_registry(prev)

@@ -25,7 +25,11 @@ Rows:
   routed (the paper's universal fall-back: works even when inbound is
   refused, because nothing inbound ever crosses the gateway);
 * **session** — a resumable session link dialled through the gateway
-  (rides direct TCP, so its live feasibility column equals tcp's).
+  (rides direct TCP, so its live feasibility column equals tcp's);
+* **mesh** — both peers dial *out* to every relay of a live mesh and
+  the route table picks the carrier (the PR-8 extension of the routed
+  row: same outbound-only feasibility column, now without a single
+  point of relay failure).
 """
 
 import asyncio
@@ -37,6 +41,7 @@ from repro.livenet import (
     AsyncSessionLink,
     AsyncSessionListener,
     ChaosTcpProxy,
+    LiveMeshRelayClient,
     LiveRelayClient,
     LiveRelayServer,
     live_connect,
@@ -46,12 +51,12 @@ from repro.livenet import (
 pytestmark = pytest.mark.livenet
 
 KINDS = ["open", "firewall", "cone_nat", "broken_nat", "symmetric_nat"]
-ROWS = ["tcp", "relay", "session"]
+ROWS = ["tcp", "relay", "session", "mesh"]
 
 #: middlebox kind -> rows that must succeed on the live backend
 EXPECTED_OK = {
-    "open": {"tcp", "relay", "session"},
-    "firewall": {"relay"},
+    "open": {"tcp", "relay", "session", "mesh"},
+    "firewall": {"relay", "mesh"},
 }
 
 #: kinds the live loopback gateway cannot stage (no address translation)
@@ -186,7 +191,51 @@ async def _row_session(kind: str) -> bytes:
         listener.close()
 
 
-_ROW_IMPL = {"tcp": _row_tcp, "relay": _row_relay, "session": _row_session}
+async def _row_mesh(kind: str) -> bytes:
+    # Like the relay row, but through a two-relay mesh: both peers hold
+    # outbound registrations with every relay, and the initiator's route
+    # table picks the carrier.  Feasibility equals the relay row's — all
+    # traffic is outbound — with no single relay as a point of failure.
+    listener, proxy = await _gateway(kind)
+    relays = {rid: await LiveRelayServer(name=rid).start() for rid in ("r1", "r2")}
+    addrs = {rid: ("127.0.0.1", s.port) for rid, s in relays.items()}
+    for rid, server in relays.items():
+        server.enable_mesh(
+            rid, {p: a for p, a in addrs.items() if p != rid}, seed=11
+        )
+    a = b = None
+    try:
+        a = await LiveMeshRelayClient("matrix-ini", addrs, seed=11).connect()
+        b = await LiveMeshRelayClient("matrix-res", addrs, seed=12).connect()
+
+        async def initiator():
+            link = await a.open_link("matrix-res", payload=b"matrix")
+            await link.send_all(b"ping")
+            return await link.recv_exactly(4)
+
+        async def responder():
+            link = await b.accept_link()
+            data = await link.recv_exactly(4)
+            await link.send_all(data)
+
+        echo, _ = await asyncio.gather(initiator(), responder())
+        return echo
+    finally:
+        for client in (a, b):
+            if client is not None:
+                client.close()
+        for server in relays.values():
+            server.stop()
+        proxy.close()
+        listener.close()
+
+
+_ROW_IMPL = {
+    "tcp": _row_tcp,
+    "relay": _row_relay,
+    "session": _row_session,
+    "mesh": _row_mesh,
+}
 
 
 @pytest.mark.parametrize("kind", KINDS)

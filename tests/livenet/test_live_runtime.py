@@ -161,6 +161,41 @@ class TestLiveIbis:
         assert n_endpoints == 1  # all four logical links share one socket
         assert ok
 
+    def test_muxed_connects_to_same_peer_share_endpoint(self, live_run):
+        # Second muxed connect reuses the peer's shared endpoint instead
+        # of opening a second data connection — the live twin of the sim
+        # factory's per-peer endpoint cache.
+        async def main():
+            async with grid("alice", "bob") as (_reg, _rel, alice, bob):
+                in1 = await bob.create_receive_port("share-1")
+                in2 = await bob.create_receive_port("share-2")
+                out = alice.create_send_port("out")
+                spec = StackSpec.parse("tcp_block|mux")
+                await out.connect("share-1", spec=spec)
+                await out.connect("share-2", spec=spec)
+                eps = {
+                    name: channel.driver.link._ep
+                    for name, channel in out.channels.items()
+                }
+                message = out.new_message()
+                message.write_int(7)
+                await message.finish()  # fans out to both ports' channels
+                got = [
+                    (await in1.receive()).read_int(),
+                    (await in2.receive()).read_int(),
+                ]
+                return (
+                    eps["share-1"] is eps["share-2"],
+                    len(alice._shared_mux),
+                    len(bob._shared_mux_resp),
+                    got,
+                )
+
+        same, n_ini, n_resp, got = live_run(main())
+        assert same  # one endpoint carries both ports' channels
+        assert n_ini == 1 and n_resp == 1
+        assert got == [7, 7]
+
     def test_trace_context_crosses_data_request(self, live_run):
         from repro import obs
         from repro.obs import TraceRecorder

@@ -1,0 +1,60 @@
+"""DeadlineDetector: bounded, deterministic failure detection."""
+
+from repro.mesh.config import MeshConfig
+from repro.mesh.detector import DeadlineDetector
+
+CFG = MeshConfig(gossip_interval=0.5, phi_threshold=6.0, deadline=3.0)
+
+
+class TestDetector:
+    def test_never_heard_is_never_suspected(self):
+        det = DeadlineDetector(CFG)
+        assert not det.suspect("ghost", now=1e9)
+        assert det.phi("ghost", now=0.0) == float("inf")
+
+    def test_regular_heartbeats_stay_unsuspected(self):
+        det = DeadlineDetector(CFG)
+        now = 0.0
+        for _ in range(20):
+            det.heard("r2", now)
+            now += CFG.gossip_interval
+            assert not det.suspect("r2", now)
+
+    def test_deadline_bounds_detection(self):
+        det = DeadlineDetector(CFG)
+        det.heard("r2", 0.0)
+        assert not det.suspect("r2", CFG.deadline - 0.01)
+        assert det.suspect("r2", CFG.deadline)
+
+    def test_phi_fires_before_deadline_on_fast_cadence(self):
+        # After many rapid heartbeats the smoothed interval shrinks, so
+        # phi crosses the threshold well inside the hard deadline.
+        det = DeadlineDetector(CFG)
+        now = 0.0
+        for _ in range(50):
+            det.heard("r2", now)
+            now += 0.1
+        assert det.suspect("r2", now + 1.0)  # phi >= 6 after ~6 intervals
+        assert now + 1.0 < det.last_heard("r2") + CFG.deadline
+
+    def test_burst_cannot_collapse_the_interval(self):
+        # Many heartbeats at the same instant must not make an honest
+        # peer instantly suspect (the _MIN_INTERVAL floor).
+        det = DeadlineDetector(CFG)
+        for _ in range(100):
+            det.heard("r2", 5.0)
+        assert not det.suspect("r2", 5.0)
+
+    def test_reset_clock_keeps_intervals_but_forgives_silence(self):
+        det = DeadlineDetector(CFG)
+        det.heard("r2", 0.0)
+        det.reset_clock(100.0)
+        assert det.last_heard("r2") == 100.0
+        assert not det.suspect("r2", 100.0)
+        assert det.suspect("r2", 100.0 + CFG.deadline)
+
+    def test_forget_clears_history(self):
+        det = DeadlineDetector(CFG)
+        det.heard("r2", 0.0)
+        det.forget("r2")
+        assert not det.suspect("r2", 1e9)

@@ -1,0 +1,114 @@
+"""Property test: gossip converges from ANY delivery order.
+
+Seeded-random style (no hypothesis at runtime, same idiom as
+``tests/mux/test_frames_prop.py``).  The merge is a join-semilattice —
+per relay id, keep the larger ``(incarnation, seq)`` — so folding the
+same multiset of entries into a view must reach the same final state
+regardless of
+
+* the order entries are delivered,
+* how they are batched into gossip messages,
+* duplication (at-least-once delivery),
+* a round trip through the wire codec.
+
+Each seed fabricates a random history of entries (several relays, each
+with several versions), then delivers random shuffles/batchings of it to
+independent observers and asserts every observer's digest is identical
+— and equal to the per-id maximum version, computed independently.
+"""
+
+import random
+
+import pytest
+
+from repro.mesh.config import MeshConfig
+from repro.mesh.state import MeshState, RelayEntry, decode_entries, encode_entries
+
+CFG = MeshConfig()
+
+RELAY_IDS = ["r1", "r2", "r3", "r4", "r5"]
+NODE_POOL = ["alice", "bob", "carol", "dave"]
+
+
+def _random_history(rng: random.Random) -> list[RelayEntry]:
+    """A multiset of versioned entries: several lives per relay."""
+    history = []
+    for rid in rng.sample(RELAY_IDS, rng.randint(2, len(RELAY_IDS))):
+        for incarnation in range(1, rng.randint(2, 4)):
+            for seq in range(1, rng.randint(2, 6)):
+                history.append(
+                    RelayEntry(
+                        rid,
+                        ("10.0.0.1", 9000 + incarnation),
+                        incarnation,
+                        seq,
+                        load=rng.randrange(0, 20),
+                        nodes=tuple(
+                            sorted(
+                                rng.sample(
+                                    NODE_POOL, rng.randint(0, len(NODE_POOL))
+                                )
+                            )
+                        ),
+                    )
+                )
+    return history
+
+
+def _deliver(history, rng: random.Random, through_wire: bool) -> MeshState:
+    """Fold a random shuffle/batching (with duplicates) into a view."""
+    state = MeshState("", CFG)
+    deliveries = list(history)
+    # At-least-once: duplicate a random sample of entries.
+    deliveries.extend(rng.sample(history, rng.randint(0, len(history) // 2)))
+    rng.shuffle(deliveries)
+    now = 0.0
+    while deliveries:
+        batch = [deliveries.pop() for _ in range(
+            min(len(deliveries), rng.randint(1, 7)))]
+        if through_wire:
+            batch = decode_entries(encode_entries(batch))
+        state.merge(batch, now=now)
+        now += rng.random()
+    return state
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_any_delivery_order_converges(seed):
+    rng = random.Random(f"gossip-prop:{seed}")
+    history = _random_history(rng)
+    expected = {}
+    for e in history:
+        if e.relay_id not in expected or e.dominates(expected[e.relay_id]):
+            expected[e.relay_id] = e
+
+    observers = [
+        _deliver(history, random.Random(f"gossip-prop:{seed}:{i}"),
+                 through_wire=bool(i % 2))
+        for i in range(4)
+    ]
+    digests = [obs.digest() for obs in observers]
+    assert all(d == digests[0] for d in digests)
+    # Converged state is exactly the per-id maximum version, with the
+    # dominating entry's full body (load, ownership) — not just the tag.
+    for state in observers:
+        assert state.entries == expected
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_merge_is_idempotent_and_commutative_pairwise(seed):
+    rng = random.Random(f"gossip-pair:{seed}")
+    history = _random_history(rng)
+    a, b = history[: len(history) // 2], history[len(history) // 2:]
+
+    ab = MeshState("", CFG)
+    ab.merge(a, 0.0)
+    ab.merge(b, 1.0)
+    ba = MeshState("", CFG)
+    ba.merge(b, 0.0)
+    ba.merge(a, 1.0)
+    twice = MeshState("", CFG)
+    for _ in range(2):
+        twice.merge(history, 0.0)
+
+    assert ab.entries == ba.entries == twice.entries

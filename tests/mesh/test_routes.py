@@ -1,0 +1,91 @@
+"""RouteTable: scoring, peer preference, hysteresis, balancing."""
+
+import random
+
+from repro.mesh.config import MeshConfig
+from repro.mesh.routes import RouteTable
+from repro.mesh.state import MeshState, RelayEntry
+
+CFG = MeshConfig(hysteresis=0.25, load_weight=0.1, rtt_weight=1.0)
+
+
+def table(*entries, usable=None, cfg=CFG):
+    state = MeshState("", cfg)
+    state.merge(entries, now=0.0)
+    return state, RouteTable(state, cfg, usable=usable)
+
+
+def entry(rid, load=0, nodes=()):
+    return RelayEntry(rid, ("10.0.0.1", 9000), 1, 1, load=load,
+                      nodes=tuple(nodes))
+
+
+class TestScoring:
+    def test_load_depresses_score(self):
+        _, rt = table(entry("r1", load=0), entry("r2", load=10))
+        assert rt.score(entry("r1", load=0)) > rt.score(entry("r2", load=10))
+        assert rt.pick("bob").relay_id == "r1"
+
+    def test_rtt_depresses_score_but_never_gates(self):
+        _, rt = table(entry("r1"), entry("r2"))
+        rt.update_path("r1", 2.0)  # terrible path toward r1
+        assert rt.pick("bob").relay_id == "r2"
+        # An unmeasured relay is still routable: telemetry refines only.
+        _, rt2 = table(entry("r1"))
+        rt2.update_path("r1", 9.0)
+        assert rt2.pick("bob").relay_id == "r1"
+
+    def test_peer_holding_relay_outranks_raw_score(self):
+        _, rt = table(
+            entry("r1", load=50, nodes=("bob",)),  # busy but has bob
+            entry("r2", load=0),
+        )
+        assert rt.pick("bob").relay_id == "r1"
+
+
+class TestHysteresis:
+    def test_incumbent_sticks_under_small_challenges(self):
+        state, rt = table(entry("r1", load=0), entry("r2", load=0))
+        first = rt.pick("bob").relay_id
+        # A challenger that is only marginally better must not flip the
+        # route: depress the incumbent's score inside the margin.
+        state.merge(
+            [RelayEntry(first, ("10.0.0.1", 9000), 1, 2, load=1)], now=1.0
+        )
+        assert rt.pick("bob").relay_id == first
+        assert rt.route_changes == 0
+
+    def test_big_enough_challenger_switches(self):
+        state, rt = table(entry("r1", load=0), entry("r2", load=0))
+        first = rt.pick("bob").relay_id
+        state.merge(
+            [RelayEntry(first, ("10.0.0.1", 9000), 1, 2, load=100)], now=1.0
+        )
+        assert rt.pick("bob").relay_id != first
+        assert rt.route_changes == 1
+
+    def test_dead_incumbent_is_replaced(self):
+        state, rt = table(entry("r1"), entry("r2"))
+        first = rt.pick("bob").relay_id
+        state.dead[first] = 1.0
+        rt.invalidate(first)
+        replacement = rt.pick("bob").relay_id
+        assert replacement != first
+
+    def test_no_usable_relay_returns_none(self):
+        _, rt = table(entry("r1"), usable=lambda rid: False)
+        assert rt.pick("bob") is None
+        assert rt.current("bob") is None
+
+
+class TestBalancing:
+    def test_weighted_choice_is_deterministic_under_seed(self):
+        picks_a = []
+        picks_b = []
+        for picks, seed in ((picks_a, 7), (picks_b, 7)):
+            for peer in range(20):
+                _, rt = table(entry("r1"), entry("r2"), entry("r3"))
+                rng = random.Random(seed + peer)
+                picks.append(rt.pick(f"peer{peer}", rng=rng).relay_id)
+        assert picks_a == picks_b
+        assert len(set(picks_a)) > 1  # the choice does spread

@@ -1,0 +1,105 @@
+"""MeshState: the gossiped view and its join-semilattice merge."""
+
+from repro.mesh.config import MeshConfig
+from repro.mesh.state import MeshState, RelayEntry, decode_entries, encode_entries
+
+CFG = MeshConfig(gossip_interval=0.5, deadline=3.0)
+
+
+def entry(rid, inc=1, seq=1, load=0, nodes=(), port=9000):
+    return RelayEntry(rid, ("10.0.0.1", port), inc, seq, load=load,
+                      nodes=tuple(nodes))
+
+
+class TestRelayEntry:
+    def test_version_ordering(self):
+        assert entry("r", inc=2, seq=1).dominates(entry("r", inc=1, seq=9))
+        assert entry("r", inc=1, seq=2).dominates(entry("r", inc=1, seq=1))
+        assert not entry("r", inc=1, seq=1).dominates(entry("r", inc=1, seq=1))
+
+    def test_codec_round_trip(self):
+        entries = [
+            entry("r2", inc=3, seq=7, load=4, nodes=("alice", "bob")),
+            entry("r1", inc=1, seq=1),
+        ]
+        decoded = decode_entries(encode_entries(entries))
+        # Wire order is deterministic (sorted by id) regardless of input.
+        assert decoded == sorted(entries, key=lambda e: e.relay_id)
+
+
+class TestMerge:
+    def test_dominating_entry_advances_view(self):
+        state = MeshState("r1", CFG)
+        assert state.merge([entry("r2", seq=1)], now=0.0) == ["r2"]
+        assert state.merge([entry("r2", seq=1)], now=1.0) == []  # stale
+        assert state.merge([entry("r2", seq=2)], now=2.0) == ["r2"]
+
+    def test_dominating_entry_resurrects_the_dead(self):
+        state = MeshState("r1", CFG)
+        state.merge([entry("r2", seq=1)], now=0.0)
+        state.sweep(now=10.0)
+        assert "r2" in state.dead
+        # A restarted r2 (higher incarnation) must come back alive.
+        state.merge([entry("r2", inc=2, seq=1)], now=10.5)
+        assert "r2" not in state.dead
+        assert "r2" in state.alive_ids()
+
+    def test_rumour_of_higher_self_incarnation_is_adopted(self):
+        # A stale network still carrying our previous life's entries must
+        # not outrank us forever: adopt the larger incarnation.
+        state = MeshState("r1", CFG)
+        state.refresh_self(0.0, ("10.0.0.1", 9000), 0, [], incarnation=1)
+        state.merge([entry("r1", inc=5, seq=99, load=7)], now=1.0)
+        mine = state.entries["r1"]
+        assert mine.incarnation == 5
+        assert mine.load == 0  # only the incarnation is adopted, not the body
+
+    def test_refresh_self_bumps_seq(self):
+        state = MeshState("r1", CFG)
+        first = state.refresh_self(0.0, ("10.0.0.1", 9000), 0, [], 1)
+        second = state.refresh_self(0.5, ("10.0.0.1", 9000), 2, ["n"], 1)
+        assert (first.seq, second.seq) == (1, 2)
+        assert second.dominates(first)
+
+
+class TestSweep:
+    def test_silent_peer_declared_dead_within_bound(self):
+        state = MeshState("r1", CFG)
+        state.merge([entry("r2")], now=0.0)
+        assert state.sweep(now=0.0 + CFG.deadline - 0.01) == []
+        assert state.sweep(now=0.0 + CFG.deadline) == ["r2"]
+        lag = [(det - heard) for _rid, heard, det in state.deaths]
+        assert all(d <= CFG.detect_bound for d in lag)
+
+    def test_sweep_is_idempotent(self):
+        state = MeshState("r1", CFG)
+        state.merge([entry("r2")], now=0.0)
+        assert state.sweep(now=100.0) == ["r2"]
+        assert state.sweep(now=200.0) == []
+        assert len(state.deaths) == 1
+
+    def test_restarted_rebaselines_suspicion(self):
+        # The observer was down for 100 s: its peers' "silence" spans its
+        # own outage and must not count as evidence of death.
+        state = MeshState("r1", CFG)
+        state.merge([entry("r2")], now=0.0)
+        state.restarted(now=100.0)
+        assert state.sweep(now=100.0 + CFG.deadline - 0.01) == []
+        assert state.sweep(now=100.0 + CFG.deadline) == ["r2"]
+
+
+class TestQueries:
+    def test_owner_of_prefers_live_lowest_id(self):
+        state = MeshState("", CFG)
+        state.merge(
+            [
+                entry("r2", nodes=("bob",)),
+                entry("r1", nodes=("bob",)),
+                entry("r3"),
+            ],
+            now=0.0,
+        )
+        assert state.owner_of("bob").relay_id == "r1"
+        state.dead["r1"] = 1.0
+        assert state.owner_of("bob").relay_id == "r2"
+        assert state.owner_of("nobody") is None

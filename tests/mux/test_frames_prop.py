@@ -174,3 +174,56 @@ class TestInterleavings:
         sim.run(until=3600)
         assert received == payloads, "leakage or loss across channels"
         assert len(done) == 2 * n_channels, "schedule deadlocked"
+
+
+class TestPortTagCodec:
+    """The IPL port-connect OPEN tag (PR 8): round-trip + no nonce theft."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_port_tags_round_trip(self, seed):
+        from repro.core.utilization.spec import StackSpec
+        from repro.ipl.runtime import (
+            decode_port_tag,
+            encode_port_tag,
+            is_port_tag,
+        )
+
+        rng = random.Random(f"port-tag:{seed}")
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-_."
+        for _ in range(25):
+            port = "".join(rng.choices(alphabet, k=rng.randrange(1, 40)))
+            sender = "".join(rng.choices(alphabet, k=rng.randrange(1, 40)))
+            spec = rng.choice(
+                ["tcp_block|mux", "parallel:2|mux", "compress|tcp_block|mux"]
+            )
+            block = rng.randrange(1, 1 << 31)
+            tag = encode_port_tag(port, sender, StackSpec.parse(spec), block)
+            assert is_port_tag(tag)
+            assert decode_port_tag(tag) == (port, sender, spec, block)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_nonce_tags_never_match(self, seed):
+        # the factory's conversation tags are exactly 8 nonce bytes; the
+        # fast-open matcher must never claim one, even when the nonce
+        # happens to start with the magic
+        from repro.ipl.runtime import PORT_TAG_MAGIC, is_port_tag
+
+        rng = random.Random(f"nonce-tag:{seed}")
+        for _ in range(50):
+            nonce = rng.randrange(0, 1 << 64).to_bytes(8, "big")
+            assert not is_port_tag(nonce)
+        assert not is_port_tag(PORT_TAG_MAGIC + b"\x00" * 4)  # still 8 bytes
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_truncated_port_tags_rejected(self, seed):
+        from repro.core.utilization.spec import StackSpec
+        from repro.ipl.runtime import decode_port_tag, encode_port_tag
+        from repro.util.framing import FrameError
+
+        rng = random.Random(f"port-tag-trunc:{seed}")
+        tag = encode_port_tag(
+            "in", "alpha", StackSpec.parse("tcp_block|mux"), 4096
+        )
+        cut = rng.randrange(0, len(tag))
+        with pytest.raises(FrameError):
+            decode_port_tag(tag[:cut])
