@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux smoke-flow chaos chaos-sweep chaos-resume chaos-mux chaos-mesh live-chaos golden-gate golden-capture golden-soak
+.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux smoke-flow smoke-telemetry chaos chaos-sweep chaos-resume chaos-mux chaos-mesh live-chaos golden-gate golden-capture golden-soak
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +47,16 @@ smoke-mux:
 # (docs/SIMNET.md).
 smoke-flow:
 	$(PYTHON) scripts/smoke_flow.py
+
+# Telemetry plane + canary gate smoke (docs/ROLLOUT.md): canary_rollout
+# in both polarities — the bad policy must roll back inside the bake
+# window on a canary SLO breach, the healthy one must promote — with
+# the streaming-telemetry captures validated and left under
+# $(TELEMETRY_SMOKE_DIR) for CI artifact upload.
+TELEMETRY_SMOKE_DIR := /tmp/repro-telemetry-smoke
+
+smoke-telemetry:
+	$(PYTHON) scripts/smoke_telemetry.py --out $(TELEMETRY_SMOKE_DIR)
 
 # Skip tests that bind real loopback sockets (useful in sandboxes).
 test-fast:

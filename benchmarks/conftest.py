@@ -22,6 +22,9 @@ import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_obs.json"
+#: the per-PR perf trajectory the ROADMAP tracks: the same aggregate,
+#: refreshed at the repo root so it is versioned (results/ is scratch)
+TOP_BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
 
 _written: list[pathlib.Path] = []
 _bench: dict[str, dict] = {}
@@ -71,7 +74,10 @@ def pytest_sessionfinish(session, exitstatus):
             pass
     for name, metrics in _bench.items():
         data["benchmarks"].setdefault(name, {}).update(metrics)
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    payload = json.dumps(data, indent=2, sort_keys=True) + "\n"
+    BENCH_JSON.write_text(payload)
+    # refresh the committed top-level aggregate from the merged sections
+    TOP_BENCH_JSON.write_text(payload)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Telemetry-plane + canary-gate smoke: both polarities, with capture.
+
+Runs the ``canary_rollout`` chaos scenario (simulated backend) in both
+polarities and asserts the full gate story end to end:
+
+* **bad policy** — a canary throughput SLO breaches inside the bake
+  window, the gate rolls the canaries back, the trigger names a canary
+  source, and the controls never breach;
+* **healthy policy** — a clean bake promotes the change to the fleet
+  with zero breaches;
+* both runs finish the transfer byte-identically (every chaos
+  invariant, including telemetry stream monotonicity, holds);
+* the streaming-telemetry capture written alongside each run validates
+  against the JSONL schema and feeds the ``repro.obs.watch`` health
+  renderer.
+
+The captures are left at ``--out`` for artifact upload, so a CI failure
+ships the delta stream that fed the gate's decision.
+
+Usage::
+
+    python scripts/smoke_telemetry.py [--seed N] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--out", default="/tmp/repro-telemetry-smoke",
+        help="directory for the telemetry JSONL captures",
+    )
+    parser.add_argument("--until", type=float, default=60.0)
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.chaos import run_chaos
+    from repro.obs import validate_jsonl
+    from repro.obs.telemetry import TelemetryAggregator
+    from repro.obs.watch import ingest_lines, render_health
+
+    os.makedirs(args.out, exist_ok=True)
+    failures = []
+    t0 = time.monotonic()
+    for polarity, scenario, want_state in (
+        ("bad", "canary_rollout", "rolled_back"),
+        ("good", "canary_rollout_good", "promoted"),
+    ):
+        capture = os.path.join(args.out, f"telemetry_{polarity}.jsonl")
+        report = run_chaos(
+            scenario=scenario,
+            seed=args.seed,
+            until=args.until,
+            telemetry_path=capture,
+        )
+        print(report.summary())
+        rollout = report.stats["rollout"]
+        breaches = report.stats["slo_breaches"]
+        print(
+            f"  [{polarity}] state={rollout['state']} "
+            f"applied_at={rollout['applied_at']} "
+            f"decided_at={rollout['decided_at']} "
+            f"breaches={breaches} "
+            f"records={report.stats['telemetry_records']}"
+        )
+        if not report.ok:
+            failures.append(
+                f"[{polarity}] invariants violated: {report.violations[:5]}"
+            )
+        if rollout["state"] != want_state:
+            failures.append(
+                f"[{polarity}] gate decided {rollout['state']!r}, "
+                f"wanted {want_state!r}"
+            )
+        if polarity == "bad":
+            decided = rollout["decided_at"] - rollout["applied_at"]
+            if decided > rollout["bake_seconds"]:
+                failures.append(
+                    f"[bad] rollback took {decided:.1f}s, past the "
+                    f"{rollout['bake_seconds']}s bake window"
+                )
+            trigger = rollout["trigger"] or {}
+            if trigger.get("source") not in ("c1", "c2"):
+                failures.append(f"[bad] trigger was not a canary: {trigger}")
+        elif breaches != 0:
+            failures.append(f"[good] clean bake still breached {breaches}x")
+        counts = validate_jsonl(capture)
+        if counts.get("telemetry", 0) != report.stats["telemetry_records"]:
+            failures.append(
+                f"[{polarity}] capture {capture} holds "
+                f"{counts.get('telemetry', 0)} records, run produced "
+                f"{report.stats['telemetry_records']}"
+            )
+        # the capture drives the health view (what CI readers will open)
+        agg = TelemetryAggregator()
+        with open(capture, encoding="utf-8") as handle:
+            ingest_lines(handle, agg)
+        print("\n".join(
+            f"  {line}" for line in render_health(agg).splitlines()
+        ))
+
+    wall = time.monotonic() - t0
+    for failure in failures:
+        print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"smoke-telemetry OK: both polarities in {wall:.1f}s "
+              f"(captures in {args.out})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,6 +78,12 @@ def main(argv=None) -> int:
         "`python -m repro.obs.assemble` (single-seed runs only)",
     )
     parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="write the run's streaming-telemetry capture as JSONL "
+        "(scenarios with the telemetry plane enabled; tail it with "
+        "`python -m repro.obs.watch`) (single-seed runs only)",
+    )
+    parser.add_argument(
         "--bundle", metavar="DIR",
         help="on invariant failure, dump a postmortem bundle "
         "(plan, report, per-node flight recorders, assembled trace) here",
@@ -88,6 +94,7 @@ def main(argv=None) -> int:
     seeds = _parse_seeds(args.seeds)
     trace_path = args.trace if len(seeds) == 1 else None
     export_dir = args.export_dir if len(seeds) == 1 else None
+    telemetry_path = args.telemetry if len(seeds) == 1 else None
     failures = 0
     for seed in seeds:
         report = run_chaos(
@@ -102,6 +109,7 @@ def main(argv=None) -> int:
             trace_path=trace_path,
             export_dir=export_dir,
             bundle_dir=args.bundle,
+            telemetry_path=telemetry_path,
         )
         print(report.summary())
         if args.json:

@@ -156,6 +156,10 @@ class LiveChaosScenario:
         self.down_at_shutdown: list[str] = []
         #: node tag -> arbitrary endpoint object (report/debug material)
         self.nodes: dict[str, object] = {}
+        #: streaming telemetry (populated by :meth:`enable_telemetry`)
+        self.telemetry = None
+        self.telemetry_log = None
+        self.telemetry_publishers: list = []
         self._tasks: list[asyncio.Task] = []
         self._closers: list[Callable[[], None]] = []
 
@@ -183,6 +187,40 @@ class LiveChaosScenario:
         """Register teardown (listeners, links) run by :meth:`shutdown`."""
         self._closers.append(fn)
 
+    def enable_telemetry(
+        self, interval: float = 0.1, window: float = 1.0, sources=None
+    ):
+        """Start telemetry publishers for named metric selections.
+
+        ``sources`` maps source name -> ``select(name, labels)``
+        predicate over the scoped registry (default: one ``proxies``
+        source streaming the ``proxy.*`` byte ledger).  Publishers run
+        as their own asyncio tasks — *not* workload tasks, so
+        :meth:`wait` never blocks on them — ticking on wall time with
+        record timestamps in :class:`LiveClock` seconds, and are stopped
+        (with a final flush) first thing in :meth:`shutdown`.
+        """
+        registry = obs.get_registry()
+        self.telemetry = obs.TelemetryAggregator(window=window)
+        self.telemetry_log = obs.TelemetryLog()
+        if sources is None:
+            sources = {
+                "proxies": lambda name, labels: name.startswith("proxy.")
+            }
+        for source, select in sorted(sources.items()):
+            pub = obs.TelemetryPublisher(
+                registry,
+                source,
+                interval=interval,
+                clock=lambda: self.sim.now,
+                select=select,
+            )
+            pub.add_sink(self.telemetry_log)
+            pub.add_sink(self.telemetry.ingest)
+            pub.start_async()
+            self.telemetry_publishers.append(pub)
+        return self.telemetry
+
     # -- fault attach point ------------------------------------------------
     def chaos_proxy(self, site: str) -> ChaosTcpProxy:
         try:
@@ -209,6 +247,10 @@ class LiveChaosScenario:
         return out
 
     def shutdown(self) -> None:
+        # Publishers first (cancelling their tasks, flushing one final
+        # delta) so the capture ends on the workload's true final state.
+        for pub in self.telemetry_publishers:
+            pub.stop(flush=True)
         self.sim.cancel_all()
         # Which relays the *faults* killed (and never restarted), recorded
         # before teardown stops the rest.
@@ -242,6 +284,9 @@ class LiveChaosScenario:
                 for server in self.relays.values()
                 if server.mesh is not None
             )
+        if self.telemetry_log is not None:
+            stats["telemetry_records"] = len(self.telemetry_log)
+            stats["telemetry_breaches"] = len(self.telemetry.breaches)
         return stats
 
 
@@ -601,6 +646,7 @@ def run_live_chaos(
     trace_path: Optional[str] = None,
     export_dir: Optional[str] = None,
     bundle_dir: Optional[str] = None,
+    telemetry_path: Optional[str] = None,
 ) -> ChaosReport:
     """Run a live chaos scenario; returns the usual :class:`ChaosReport`.
 
@@ -635,7 +681,16 @@ def run_live_chaos(
                 f"chaos: only {len(scheduler.injected)}/{len(parsed)} "
                 "faults fired before the deadline"
             )
+        if scn.telemetry_log is not None:
+            violations.extend(
+                obs.telemetry_violations(scn.telemetry_log.records)
+            )
+            if telemetry_path is not None:
+                scn.telemetry_log.write_jsonl(telemetry_path)
+        elif telemetry_path is not None:
+            obs.write_telemetry_jsonl(telemetry_path, [])
         stats = dict(scn.chaos_stats())
+        stats.update(wl.stats)
         stats.update(
             {
                 "wall_seconds": round(wall, 3),

@@ -198,7 +198,12 @@ def scenario_names() -> list:
 
 def _load_builtin() -> None:
     """Import the modules whose ``@scenario`` decorators populate us."""
-    from . import fleet, live, runner  # noqa: F401 - imported for registration
+    from . import (  # noqa: F401 - imported for registration
+        fleet,
+        live,
+        rollout,
+        runner,
+    )
 
 
 class _ScenariosView(Mapping):

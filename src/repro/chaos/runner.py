@@ -142,6 +142,9 @@ class Workload:
         #: scenario-specific invariants, run after the generic suite; each
         #: callable returns a list of violation strings
         self.post_checks: list[Callable[[], list]] = []
+        #: scenario-specific result facts (rollout outcome, SLO breach
+        #: counts, ...) merged into the report's ``stats``
+        self.stats: dict = {}
 
     def audit(self, name: str) -> ChannelAudit:
         a = ChannelAudit(name)
@@ -583,7 +586,7 @@ def _build_ipl_fanin(seed: int, retries: bool, sessions: bool) -> Workload:
                 except Exception:
                     if attempt == 39:
                         raise
-                    yield from scn.sim.timeout(0.25)
+                    yield scn.sim.timeout(0.25)
             for payload in messages:
                 m = sp.new_message()
                 m.write_bytes(payload)
@@ -910,6 +913,7 @@ def run_chaos(
     trace_path: Optional[str] = None,
     export_dir: Optional[str] = None,
     bundle_dir: Optional[str] = None,
+    telemetry_path: Optional[str] = None,
 ) -> ChaosReport:
     """Run ``scenario`` under ``plan``; returns the invariant report.
 
@@ -937,6 +941,11 @@ def run_chaos(
     (``manifest.json``), the full report, metrics, every node's flight
     recorder, and the assembled causal trace — enough to diagnose the
     failure without re-running it.
+
+    ``telemetry_path`` writes the run's streaming-telemetry capture (the
+    delta-snapshot JSONL from :mod:`repro.obs.telemetry`) for scenarios
+    that enable the telemetry plane; ``python -m repro.obs.watch`` can
+    replay it.
     """
     if backend == "live":
         from .live import run_live_chaos
@@ -951,6 +960,7 @@ def run_chaos(
             trace_path=trace_path,
             export_dir=export_dir,
             bundle_dir=bundle_dir,
+            telemetry_path=telemetry_path,
         )
     if backend != "sim":
         raise ValueError(f"unknown chaos backend {backend!r} (sim|live)")
@@ -991,7 +1001,15 @@ def run_chaos(
                 f"chaos: only {len(scheduler.injected)}/{len(parsed)} "
                 "faults fired before the deadline"
             )
+        telemetry_log = getattr(scn, "telemetry_log", None)
+        if telemetry_log is not None:
+            violations.extend(obs.telemetry_violations(telemetry_log.records))
+            if telemetry_path is not None:
+                telemetry_log.write_jsonl(telemetry_path)
+        elif telemetry_path is not None:
+            obs.write_telemetry_jsonl(telemetry_path, [])
         stats = dict(scn.chaos_stats())
+        stats.update(wl.stats)
         stats.update(
             {
                 "sim_seconds": scn.sim.now,

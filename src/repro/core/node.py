@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Optional
 
+from .. import obs
 from ..obs.flight import FlightRecorder
 from ..simnet.packet import Addr
 from .addressing import EndpointInfo
@@ -99,6 +100,7 @@ class GridNode:
     def start(self) -> Generator:
         """Register with the relay; wire the dispatcher and broker."""
         yield from self.relay_client.connect()
+        obs.metrics().gauge("node.up", node=self.info.node_id).set(1)
         self.dispatcher = RoutedDispatcher(self.relay_client)
         self.broker = Broker(
             self.host,
@@ -155,5 +157,6 @@ class GridNode:
         return link
 
     def stop(self) -> None:
+        obs.metrics().gauge("node.up", node=self.info.node_id).set(0)
         self.sessions.close()
         self.relay_client.close()

@@ -95,6 +95,10 @@ class GridScenario:
         self.kinds: dict[str, str] = {}
         self.proxies: dict[str, SocksServer] = {}
         self.nodes: dict[str, GridNode] = {}
+        #: streaming telemetry (populated by :meth:`enable_telemetry`)
+        self.telemetry: Optional[obs.TelemetryAggregator] = None
+        self.telemetry_log: Optional[obs.TelemetryLog] = None
+        self.telemetry_publishers: list[obs.TelemetryPublisher] = []
 
     # -- construction -----------------------------------------------------------
     def add_relay(
@@ -311,9 +315,64 @@ class GridScenario:
             raise ValueError(f"site {name!r} has no SOCKS proxy")
         return proxy
 
+    # -- streaming telemetry ---------------------------------------------------
+    def enable_telemetry(
+        self,
+        interval: float = 0.5,
+        window: float = 10.0,
+        sources: Optional[dict] = None,
+    ) -> obs.TelemetryAggregator:
+        """Give every node (and the relay plane) a telemetry publisher.
+
+        Call *after* the nodes are added.  Each node publishes the
+        instruments labelled ``node=<id>`` out of the process registry;
+        one extra ``relays`` source publishes the ``relay.*``/``mesh.*``
+        families.  ``sources`` adds custom publishers: a mapping of
+        source name -> ``select(name, labels)`` predicate.  All streams
+        feed ``self.telemetry`` (the aggregator SLOs hang off) and
+        ``self.telemetry_log`` (the JSONL capture the chaos runner can
+        write out); publishers tick as sim processes and are stopped —
+        with a final flush — at :meth:`shutdown`.
+        """
+        registry = obs.get_registry()
+        self.telemetry = obs.TelemetryAggregator(window=window)
+        self.telemetry_log = obs.TelemetryLog()
+
+        def add_publisher(source, select):
+            pub = obs.TelemetryPublisher(
+                registry,
+                source,
+                interval=interval,
+                clock=lambda: self.sim.now,
+                select=select,
+            )
+            pub.add_sink(self.telemetry_log)
+            pub.add_sink(self.telemetry.ingest)
+            self.telemetry_publishers.append(pub)
+            self.sim.process(pub.run_sim(self.sim), name=f"telemetry-{source}")
+            return pub
+
+        for node_id in sorted(self.nodes):
+            add_publisher(
+                node_id,
+                lambda name, labels, _id=node_id: labels.get("node") == _id,
+            )
+        add_publisher(
+            "relays",
+            lambda name, labels: name.startswith(("relay.", "mesh."))
+            and "node" not in labels,
+        )
+        for source, select in sorted((sources or {}).items()):
+            add_publisher(source, select)
+        return self.telemetry
+
     # -- chaos scenario protocol ---------------------------------------------
     def shutdown(self) -> None:
         """Tear down every node and every relay (chaos teardown surface)."""
+        # Publishers first (with a final flush), so the last delta is on
+        # the stream before instruments stop moving.
+        for pub in self.telemetry_publishers:
+            pub.stop(flush=True)
         # Which relays a fault had already taken down (and which were
         # still up) — the mesh convergence post-checks need to know who
         # was killed vs. merely torn down, after everything is stopped.
@@ -338,6 +397,9 @@ class GridScenario:
                 n.relay_client.reconnects for n in self.nodes.values()
             ),
         }
+        if self.telemetry_log is not None:
+            stats["telemetry_records"] = len(self.telemetry_log)
+            stats["telemetry_breaches"] = len(self.telemetry.breaches)
         if self.mesh_enabled:
             stats["mesh_relays"] = len(self.relays)
             stats["mesh_deaths"] = sum(

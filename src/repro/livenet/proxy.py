@@ -110,6 +110,14 @@ class ChaosTcpProxy:
         self.name = name
         self.host = host
         self.stats = ProxyStats()
+        # obs mirrors of the byte ledger, labelled by proxy name: the
+        # telemetry plane streams these as deltas, so SLO monitors can
+        # watch conservation drift while the proxy runs
+        m = obs.metrics()
+        self._m_in = m.counter("proxy.bytes_in_total", proxy=name)
+        self._m_fwd = m.counter("proxy.bytes_forwarded_total", proxy=name)
+        self._m_drop = m.counter("proxy.bytes_dropped_total", proxy=name)
+        self._m_lost = m.counter("proxy.bytes_lost_total", proxy=name)
         self._rng = random.Random(f"{seed}:{name}")
         self._listener: Optional[LiveListener] = None
         self._accept_task: Optional[asyncio.Task] = None
@@ -234,9 +242,11 @@ class ChaosTcpProxy:
                     dst.write_eof()
                     return
                 self.stats.bytes_in += len(data)
+                self._m_in.inc(len(data))
                 try:
                     if self._blackhole:
                         self.stats.bytes_dropped += len(data)
+                        self._m_drop.inc(len(data))
                         continue
                     delay = self._latency
                     if self._jitter:
@@ -253,19 +263,24 @@ class ChaosTcpProxy:
                             if keep:
                                 await dst.send_all(keep)
                                 self.stats.bytes_forwarded += len(keep)
+                                self._m_fwd.inc(len(keep))
                             self.stats.bytes_lost += lost
+                            self._m_lost.inc(lost)
                             self.stats.truncated += 1
                             conn.kill()
                             return
                         self._truncate_remaining -= len(data)
                     await dst.send_all(data)
                     self.stats.bytes_forwarded += len(data)
+                    self._m_fwd.inc(len(data))
                 except (ConnectionError, OSError):
                     # destination died with a chunk in hand
                     self.stats.bytes_lost += len(data)
+                    self._m_lost.inc(len(data))
                     raise
                 except asyncio.CancelledError:
                     self.stats.bytes_lost += len(data)
+                    self._m_lost.inc(len(data))
                     raise
         except (EOFError, ConnectionError, OSError, asyncio.CancelledError):
             pass

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable, Optional
 
+from .. import obs
 from ..util.framing import ByteReader, ByteWriter, FrameError
 from .config import DEFAULT_MESH_CONFIG, MeshConfig
 from .detector import DeadlineDetector
@@ -165,9 +166,13 @@ class MeshState:
                 continue
             if self.detector.suspect(relay_id, now):
                 self.dead[relay_id] = now
-                self.deaths.append(
-                    (relay_id, self.detector.last_heard(relay_id), now)
-                )
+                last_heard = self.detector.last_heard(relay_id)
+                self.deaths.append((relay_id, last_heard, now))
+                # convergence-lag SLI: how far behind this observer's
+                # detection ran (telemetry streams it per observer)
+                obs.metrics().gauge(
+                    "mesh.detect_lag_seconds", observer=self.self_id
+                ).set(now - last_heard)
                 newly.append(relay_id)
         return newly
 

@@ -69,6 +69,21 @@ from .trace import (
     span,
     tracer,
 )
+from .telemetry import (  # noqa: E402  (needs .trace imported first)
+    SLO,
+    TelemetryAggregator,
+    TelemetryLog,
+    TelemetryPublisher,
+    read_telemetry_jsonl,
+    replay_deltas,
+    sli_counter_increase,
+    sli_counter_rate,
+    sli_gauge,
+    sli_histogram_mean,
+    sli_proxy_drift,
+    telemetry_violations,
+    write_telemetry_jsonl,
+)
 
 __all__ = [
     # metrics
@@ -116,6 +131,20 @@ __all__ = [
     "TransferMeter",
     "SeriesRecorder",
     "mb_per_s",
+    # streaming telemetry
+    "TelemetryPublisher",
+    "TelemetryLog",
+    "TelemetryAggregator",
+    "SLO",
+    "replay_deltas",
+    "telemetry_violations",
+    "write_telemetry_jsonl",
+    "read_telemetry_jsonl",
+    "sli_counter_rate",
+    "sli_counter_increase",
+    "sli_gauge",
+    "sli_histogram_mean",
+    "sli_proxy_drift",
 ]
 
 _registry = MetricsRegistry()

@@ -14,6 +14,12 @@ One line per record.  Record types sharing the file (schema v2):
   are :mod:`repro.simnet.trace` entries lowered into the obs schema.
 * ``{"type": "flight", "name", "ts", "node"}`` — flight-recorder ring
   entries (:mod:`repro.obs.flight`), optionally with ``attrs``.
+* ``{"type": "telemetry", "source", "seq", "ts", "interval",
+  "counters", "gauges", "histograms"}`` — streaming delta snapshots
+  (:mod:`repro.obs.telemetry`): counter/bucket entries are deltas since
+  the previous record, gauges and histogram ``count``/``sum`` are
+  absolute.  Additive in v2 — readers that predate it skip unknown
+  record types.
 
 Trace and flight records may carry the causal-identity fields
 ``trace_id``/``span_id``/``parent_id`` (16-hex-digit strings) and a
@@ -222,6 +228,53 @@ def validate_record(record: object) -> str:
             _require(record, "duration", _NUMBER)
         _check_identity(record)
         return f"trace/{kind}"
+    if rtype == "telemetry":
+        _require(record, "source", str)
+        seq = _require(record, "seq", int)
+        if seq < 1:
+            raise SchemaError(f"'seq' must be >= 1 in {record!r}")
+        _require(record, "ts", _NUMBER)
+        interval = _require(record, "interval", _NUMBER)
+        if interval <= 0:
+            raise SchemaError(f"'interval' must be positive in {record!r}")
+        for entry in _require(record, "counters", list):
+            if not (isinstance(entry, list) and len(entry) == 3):
+                raise SchemaError(f"bad counter entry in {record!r}")
+            name, labels, delta = entry
+            if not isinstance(name, str) or not isinstance(labels, dict):
+                raise SchemaError(f"bad counter entry in {record!r}")
+            if not isinstance(delta, int) or delta < 0:
+                raise SchemaError(
+                    f"counter delta must be a non-negative int in {record!r}"
+                )
+        for entry in _require(record, "gauges", list):
+            if not (isinstance(entry, list) and len(entry) == 4):
+                raise SchemaError(f"bad gauge entry in {record!r}")
+            name, labels, value, updated_at = entry
+            if not isinstance(name, str) or not isinstance(labels, dict):
+                raise SchemaError(f"bad gauge entry in {record!r}")
+            if not isinstance(value, _NUMBER) or not isinstance(
+                updated_at, _NUMBER
+            ):
+                raise SchemaError(f"bad gauge sample in {record!r}")
+        for entry in _require(record, "histograms", list):
+            if not (isinstance(entry, list) and len(entry) == 7):
+                raise SchemaError(f"bad histogram entry in {record!r}")
+            name, labels, count_delta, count, total, deltas, bounds = entry
+            ok = (
+                isinstance(name, str)
+                and isinstance(labels, dict)
+                and isinstance(count_delta, int)
+                and isinstance(count, int)
+                and isinstance(total, _NUMBER)
+                and isinstance(deltas, list)
+                and all(isinstance(d, int) for d in deltas)
+                and isinstance(bounds, list)
+                and len(deltas) == len(bounds) + 1
+            )
+            if not ok:
+                raise SchemaError(f"bad histogram entry in {record!r}")
+        return "telemetry"
     if rtype == "flight":
         _require(record, "name", str)
         _require(record, "ts", _NUMBER)

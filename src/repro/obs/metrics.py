@@ -21,6 +21,7 @@ Conventions (see ``docs/OBSERVABILITY.md``):
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left
 from typing import Callable, Iterable, Optional
@@ -154,10 +155,15 @@ class Histogram:
         self.sum = 0.0
 
     def _snapshot(self) -> dict:
+        # copy the bucket counts first and derive ``count`` from the
+        # copy: a concurrent observe() may land between the two reads,
+        # and buckets summing to count is an invariant telemetry checks
+        counts = list(self.counts)
+        bounds = list(self.buckets) + ["inf"]
         return {
-            "count": self.count,
+            "count": sum(counts),
             "sum": self.sum,
-            "buckets": [[b, c] for b, c in self.bucket_counts()],
+            "buckets": [[b, c] for b, c in zip(bounds, counts)],
         }
 
 
@@ -185,11 +191,21 @@ class MetricsRegistry:
     accumulate into one coherent view.  ``clock`` is any zero-argument
     callable returning a float; pass ``lambda: sim.now`` to timestamp
     gauges in simulated time.
+
+    Structure mutation (family/instrument creation) and structure
+    iteration (:meth:`snapshot`, :meth:`instruments`, :meth:`reset`,
+    ...) are guarded by a lock, so a telemetry publisher may snapshot
+    from one thread while the live backend registers instruments in
+    another.  Updates on an *existing* instrument (``inc``/``observe``)
+    stay lock-free: they are single attribute writes the snapshot path
+    tolerates being torn against (a histogram snapshot may run one
+    observation behind on ``sum`` — never corrupt).
     """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None):
         self._clock = clock or time.time
         self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
 
     # -- clock ---------------------------------------------------------------
     def now(self) -> float:
@@ -197,11 +213,12 @@ class MetricsRegistry:
 
     def set_clock(self, clock: Callable[[], float]) -> None:
         """Rebind the registry clock (e.g. to a new simulator's time)."""
-        self._clock = clock
-        for family in self._families.values():
-            if family.kind == "gauge":
-                for gauge in family.children.values():
-                    gauge._clock = clock
+        with self._lock:
+            self._clock = clock
+            for family in self._families.values():
+                if family.kind == "gauge":
+                    for gauge in family.children.values():
+                        gauge._clock = clock
 
     # -- instrument access ---------------------------------------------------
     def _family(self, name: str, kind: str, buckets: Optional[tuple]) -> _Family:
@@ -219,79 +236,90 @@ class MetricsRegistry:
         return family
 
     def counter(self, name: str, **labels) -> Counter:
-        family = self._family(name, "counter", None)
-        key = _label_key(labels)
-        child = family.children.get(key)
-        if child is None:
-            child = family.children[key] = Counter(name, labels)
-        return child
+        with self._lock:
+            family = self._family(name, "counter", None)
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = family.children[key] = Counter(name, labels)
+            return child
 
     def gauge(self, name: str, **labels) -> Gauge:
-        family = self._family(name, "gauge", None)
-        key = _label_key(labels)
-        child = family.children.get(key)
-        if child is None:
-            child = family.children[key] = Gauge(name, labels, self._clock)
-        return child
+        with self._lock:
+            family = self._family(name, "gauge", None)
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = family.children[key] = Gauge(name, labels, self._clock)
+            return child
 
     def histogram(
         self, name: str, buckets: Optional[Iterable[float]] = None, **labels
     ) -> Histogram:
         fixed = tuple(buckets) if buckets is not None else None
-        family = self._family(name, "histogram", fixed)
-        if family.buckets is None:
-            family.buckets = fixed or DEFAULT_BYTE_BUCKETS
-        key = _label_key(labels)
-        child = family.children.get(key)
-        if child is None:
-            child = family.children[key] = Histogram(name, labels, family.buckets)
-        return child
+        with self._lock:
+            family = self._family(name, "histogram", fixed)
+            if family.buckets is None:
+                family.buckets = fixed or DEFAULT_BYTE_BUCKETS
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = family.children[key] = Histogram(
+                    name, labels, family.buckets
+                )
+            return child
 
     # -- inspection ----------------------------------------------------------
     def get(self, name: str, **labels):
         """The existing instrument for ``(name, labels)``, or None."""
-        family = self._families.get(name)
-        if family is None:
-            return None
-        return family.children.get(_label_key(labels))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            return family.children.get(_label_key(labels))
 
     def instruments(self, name: Optional[str] = None) -> list:
         """Every instrument, or every instrument of one family."""
-        if name is not None:
-            family = self._families.get(name)
-            return list(family.children.values()) if family else []
-        return [
-            child
-            for family in self._families.values()
-            for child in family.children.values()
-        ]
+        with self._lock:
+            if name is not None:
+                family = self._families.get(name)
+                return list(family.children.values()) if family else []
+            return [
+                child
+                for family in self._families.values()
+                for child in family.children.values()
+            ]
 
     def names(self) -> list:
-        return sorted(self._families)
+        with self._lock:
+            return sorted(self._families)
 
     def snapshot(self) -> list:
         """A JSON-able dump: one record per instrument, sorted by key."""
         records = []
-        for name in sorted(self._families):
-            family = self._families[name]
-            for key in sorted(family.children):
-                child = family.children[key]
-                record = {
-                    "type": "metric",
-                    "kind": family.kind,
-                    "name": name,
-                    "labels": dict(key),
-                }
-                record.update(child._snapshot())
-                records.append(record)
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                for key in sorted(family.children):
+                    child = family.children[key]
+                    record = {
+                        "type": "metric",
+                        "kind": family.kind,
+                        "name": name,
+                        "labels": dict(key),
+                    }
+                    record.update(child._snapshot())
+                    records.append(record)
         return records
 
     def reset(self) -> None:
         """Zero every instrument, keeping families and label sets."""
-        for family in self._families.values():
-            for child in family.children.values():
-                child._reset()
+        with self._lock:
+            for family in self._families.values():
+                for child in family.children.values():
+                    child._reset()
 
     def clear(self) -> None:
         """Forget every family and instrument."""
-        self._families.clear()
+        with self._lock:
+            self._families.clear()

@@ -1,12 +1,15 @@
-"""Summarize an observability JSON-lines export.
+"""Summarize observability JSON-lines exports.
 
 Usage::
 
-    python -m repro.obs.report out.jsonl [--json]
+    python -m repro.obs.report out.jsonl [more.jsonl ...] [--format json]
 
 Prints counters and gauges, histogram statistics, span summaries grouped
-by name (count, outcomes, total duration) and event counts.  ``--json``
-emits the same summary as one JSON object for tooling.
+by name (count, outcomes, total duration), event counts and — for
+telemetry captures — per-source stream summaries.  Multiple files are
+merged into one summary (e.g. a run's ``run.jsonl`` plus its telemetry
+capture).  ``--format json`` emits the same summary as one JSON object
+for tooling (``--json`` is the deprecated spelling).
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ def summarize(records: list) -> dict:
         "metrics": [],
         "spans": {},
         "events": {},
+        "telemetry": {},
         "records": len(records),
     }
     for record in records:
@@ -67,6 +71,16 @@ def summarize(records: list) -> dict:
         elif tag == "trace/event":
             name = record["name"]
             summary["events"][name] = summary["events"].get(name, 0) + 1
+        elif tag == "telemetry":
+            stream = summary["telemetry"].setdefault(
+                record["source"],
+                {"records": 0, "last_seq": 0, "last_ts": None, "counters": {}},
+            )
+            stream["records"] += 1
+            stream["last_seq"] = max(stream["last_seq"], record["seq"])
+            stream["last_ts"] = record["ts"]
+            for name, _labels, delta in record["counters"]:
+                stream["counters"][name] = stream["counters"].get(name, 0) + delta
     return summary
 
 
@@ -105,29 +119,57 @@ def render(summary: dict) -> str:
         lines.append(f"== events ({sum(summary['events'].values())}) ==")
         for name in sorted(summary["events"]):
             lines.append(f"  {name:40s} {summary['events'][name]:6d}")
+    if summary["telemetry"]:
+        total = sum(s["records"] for s in summary["telemetry"].values())
+        lines.append("")
+        lines.append(f"== telemetry ({total} records) ==")
+        for source in sorted(summary["telemetry"]):
+            stream = summary["telemetry"][source]
+            totals = ", ".join(
+                f"{name}+{delta}"
+                for name, delta in sorted(stream["counters"].items())
+            )
+            last_ts = stream["last_ts"]
+            ts = f"{last_ts:.3f}" if last_ts is not None else "-"
+            lines.append(
+                f"  {source:20s} {stream['records']:5d} records  "
+                f"seq={stream['last_seq']:<6d} last_ts={ts:10s} {totals}"
+            )
     return "\n".join(lines)
 
 
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Summarize a repro.obs JSON-lines export.",
+        description="Summarize one or more repro.obs JSON-lines exports.",
     )
-    parser.add_argument("path", help="JSON-lines file written by export_jsonl")
     parser.add_argument(
-        "--json", action="store_true", help="emit the summary as JSON"
+        "paths", nargs="+", metavar="path",
+        help="JSON-lines file(s) written by export_jsonl / the telemetry "
+        "plane; multiple files are merged into one summary",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default=None,
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="deprecated alias for --format json",
     )
     args = parser.parse_args(argv)
+    fmt = args.format or ("json" if args.json else "text")
     try:
-        records = read_jsonl(args.path)
+        records = []
+        for path in args.paths:
+            records.extend(read_jsonl(path))
         summary = summarize(records)
-    except FileNotFoundError:
-        print(f"error: no such file: {args.path}", file=sys.stderr)
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename}", file=sys.stderr)
         return 2
     except SchemaError as exc:
         print(f"error: invalid export: {exc}", file=sys.stderr)
         return 1
-    if args.json:
+    if fmt == "json":
         print(json.dumps(summary, sort_keys=True, indent=2))
     else:
         print(render(summary))

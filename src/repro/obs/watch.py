@@ -1,0 +1,169 @@
+"""Rolling-health view over a streaming-telemetry capture.
+
+Usage::
+
+    python -m repro.obs.watch telemetry.jsonl
+    python -m repro.obs.watch telemetry.jsonl --follow   # tail a live file
+    python -m repro.obs.watch telemetry.jsonl --at 8.0   # health as of t=8
+
+Replays a telemetry JSONL (written by ``TelemetryLog.write_jsonl`` or
+``python -m repro.chaos --telemetry``) through a
+:class:`~repro.obs.telemetry.TelemetryAggregator` and renders one health
+row per source: sequence position, window freshness, per-counter rates
+and stale-stream flags.  ``--follow`` keeps the file open and re-renders
+as records are appended — the "top(1) for the telemetry plane" loop; a
+one-shot run renders the final health and exits (CI-friendly).
+
+The renderer is deliberately SLO-free: objectives live in scenario /
+deployment code, not in the viewer.  What the viewer *does* flag is
+staleness — a source whose stream stopped advancing while others kept
+going — because that is the one failure mode rate SLIs cannot see
+(zero-delta records are omitted, so silence has no rate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, TextIO
+
+from .telemetry import DEFAULT_WINDOW, TelemetryAggregator
+
+__all__ = ["ingest_lines", "render_health", "main"]
+
+#: a source is flagged stale when its last record lags the newest
+#: timestamp in the whole capture by more than this many of its own
+#: publish intervals
+STALE_INTERVALS = 3.0
+
+
+def ingest_lines(
+    lines, aggregator: TelemetryAggregator, clip: Optional[float] = None
+) -> int:
+    """Feed JSONL lines into ``aggregator``; returns records ingested.
+
+    Non-telemetry records (the meta header, interleaved trace exports)
+    are skipped, so the watch view works on combined captures too.
+    ``clip`` stops at the first record stamped after that time — the
+    ``--at`` time-travel knob.
+    """
+    n = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if record.get("type") != "telemetry":
+            continue
+        if clip is not None and record["ts"] > clip:
+            break
+        aggregator.ingest(record)
+        n += 1
+    return n
+
+
+def render_health(aggregator: TelemetryAggregator, top: int = 3) -> str:
+    """One table of rolling health, one row per source."""
+    sources = aggregator.sources()
+    if not sources:
+        return "telemetry: no records yet"
+    healths = [aggregator.health(source) for source in sources]
+    now = max(h["last_ts"] for h in healths if h["last_ts"] is not None)
+    lines = [
+        f"telemetry @ t={now:.3f}  window={aggregator.window:.3g}s  "
+        f"sources={len(sources)}  breaches={len(aggregator.breaches)}",
+        f"  {'source':20s} {'seq':>6s} {'age':>8s} {'recs':>5s}  rates",
+    ]
+    for health in healths:
+        age = now - health["last_ts"] if health["last_ts"] is not None else None
+        window = aggregator.window_records(health["source"])
+        interval = window[-1]["interval"] if window else None
+        flags = ""
+        if health["retired"]:
+            flags = " [retired]"
+        elif (
+            age is not None
+            and interval is not None
+            and age > STALE_INTERVALS * interval
+        ):
+            flags = " [STALE]"
+        if health["breaches"]:
+            flags += f" [BREACH x{len(health['breaches'])}]"
+        rates = sorted(
+            health["rates"].items(), key=lambda kv: -abs(kv[1])
+        )[:top]
+        rendered = "  ".join(f"{name}={rate:,.1f}/s" for name, rate in rates)
+        age_s = f"{age:8.3f}" if age is not None else f"{'-':>8s}"
+        lines.append(
+            f"  {health['source']:20s} {health['seq']:6d} {age_s} "
+            f"{health['records']:5d}  {rendered}{flags}"
+        )
+    return "\n".join(lines)
+
+
+def _follow(path: str, aggregator: TelemetryAggregator, every: float,
+            out: TextIO) -> int:  # pragma: no cover - interactive loop
+    """Tail ``path`` forever, re-rendering after each batch of records."""
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            added = ingest_lines(handle, aggregator)
+            if added:
+                print(render_health(aggregator), file=out)
+                print("", file=out)
+            time.sleep(every)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.watch",
+        description="Rolling health over a streaming-telemetry JSONL.",
+    )
+    parser.add_argument("path", help="telemetry JSONL capture to watch")
+    parser.add_argument(
+        "--window", type=float, default=DEFAULT_WINDOW,
+        help=f"sliding-window span in telemetry seconds (default {DEFAULT_WINDOW})",
+    )
+    parser.add_argument(
+        "--at", type=float, default=None, metavar="T",
+        help="render health as of telemetry time T instead of end-of-file",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="keep the file open and re-render as records are appended",
+    )
+    parser.add_argument(
+        "--every", type=float, default=1.0,
+        help="--follow poll interval in wall seconds (default 1.0)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the per-source health dicts as JSON instead of the table",
+    )
+    args = parser.parse_args(argv)
+    aggregator = TelemetryAggregator(window=args.window)
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            ingest_lines(handle, aggregator, clip=args.at)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.path}", file=sys.stderr)
+        return 2
+    if args.json:
+        health = {
+            source: aggregator.health(source)
+            for source in aggregator.sources()
+        }
+        print(json.dumps(health, sort_keys=True, indent=2))
+    else:
+        print(render_health(aggregator))
+    if args.follow:  # pragma: no cover - interactive loop
+        _follow(args.path, aggregator, args.every, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

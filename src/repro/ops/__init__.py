@@ -1,0 +1,10 @@
+"""Production-ops drivers built on the streaming telemetry plane.
+
+:mod:`repro.ops.rollout` is the first: canary-gated configuration
+rollout with automatic rollback on SLO breach (the ROADMAP's
+"production-ops hardening: staged rollout" item).
+"""
+
+from .rollout import CanaryRollout, ConfigChange, RolloutError
+
+__all__ = ["CanaryRollout", "ConfigChange", "RolloutError"]

@@ -1,0 +1,70 @@
+"""Canary-rollout polarity on the *live* backend.
+
+Same gate, real sockets: four asyncio senders stream through the chaos
+gateway while per-sender telemetry publishers feed the aggregator on
+the event loop, and the rollout gate polls it under wall-clock time.
+The bad policy must be detected and reverted inside the bake window;
+the healthy one must promote.  Live timing is real, so the assertions
+pin the *decisions* (state, trigger source, event order) and the byte
+audit, not exact timestamps.
+
+Marked ``live_chaos`` (multi-second wall-clock runs on loopback);
+``LIVE_CHAOS_SEED`` selects the seed, ``LIVE_CHAOS_BUNDLE_DIR`` drops
+postmortem bundles on failure for CI artifact upload.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos import run_chaos
+
+pytestmark = [pytest.mark.livenet, pytest.mark.live_chaos]
+
+SEED = int(os.environ.get("LIVE_CHAOS_SEED", "1"))
+BUNDLE_DIR = os.environ.get("LIVE_CHAOS_BUNDLE_DIR")
+
+#: senders finish ~5s in, the gate decides by ~4s; generous on top
+BUDGET = 30.0
+
+
+def _run(scenario: str):
+    return run_chaos(
+        scenario=scenario,
+        backend="live",
+        seed=SEED,
+        until=BUDGET,
+        bundle_dir=BUNDLE_DIR,
+    )
+
+
+def test_bad_policy_is_rolled_back_live():
+    report = _run("canary_rollout")
+    assert report.ok, report.violations
+    assert report.backend == "live"
+    rollout = report.stats["rollout"]
+    assert rollout["state"] == "rolled_back"
+    assert rollout["trigger"]["source"] in ("c1", "c2")
+    assert rollout["trigger"]["slo"] == "throughput"
+    assert rollout["events"] == ["apply", "rollback"]
+    assert (
+        rollout["decided_at"] - rollout["applied_at"]
+        <= rollout["bake_seconds"]
+    )
+    assert report.stats["telemetry_records"] > 0
+    for channel in report.channels:
+        assert channel["complete"]
+        assert channel["received_digest"] == channel["sent_digest"]
+
+
+def test_healthy_policy_is_promoted_live():
+    report = _run("canary_rollout_good")
+    assert report.ok, report.violations
+    rollout = report.stats["rollout"]
+    assert rollout["state"] == "promoted"
+    assert rollout["trigger"] is None
+    assert rollout["events"] == ["apply", "promote"]
+    assert report.stats["telemetry_records"] > 0
+    for channel in report.channels:
+        assert channel["complete"]
+        assert channel["received_digest"] == channel["sent_digest"]

@@ -1,0 +1,89 @@
+"""Canary-rollout gate polarity on the simulated backend.
+
+``canary_rollout`` pushes a *bad* tuner policy (a trickle) to the two
+canary senders mid-transfer: their throughput SLI collapses, the SLO
+monitor breaches inside the bake window and the gate must revert the
+canaries — the control senders never see the change.  The ``_good``
+twin pushes a policy that keeps throughput healthy and must promote to
+the whole fleet after a clean bake.  Both polarities must finish the
+transfer byte-identically (the report's audit invariants): the gate
+observes and reverts configuration, it never corrupts the stream.
+"""
+
+import pytest
+
+from repro.chaos import run_chaos
+from repro.obs import validate_jsonl
+
+UNTIL = 60.0
+
+
+class TestBadRollout:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_bad_policy_is_rolled_back(self, seed):
+        report = run_chaos(scenario="canary_rollout", seed=seed, until=UNTIL)
+        assert report.ok, report.violations
+        rollout = report.stats["rollout"]
+        assert rollout["state"] == "rolled_back"
+        # the gate decided within its own bake window...
+        assert (
+            rollout["decided_at"] - rollout["applied_at"]
+            <= rollout["bake_seconds"]
+        )
+        # ...because a *canary* stream breached, not a control
+        assert rollout["trigger"]["source"] in ("c1", "c2")
+        assert rollout["trigger"]["slo"] == "throughput"
+        assert rollout["events"] == ["apply", "rollback"]
+        # only the canaries ever degraded
+        assert report.stats["slo_breaches"] <= 2
+        # the plane was live: a real delta stream fed the gate
+        assert report.stats["telemetry_records"] > 0
+        # reverted senders still deliver every byte
+        for channel in report.channels:
+            assert channel["complete"]
+            assert channel["received_digest"] == channel["sent_digest"]
+
+    def test_telemetry_capture_is_written_and_valid(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        report = run_chaos(
+            scenario="canary_rollout",
+            seed=1,
+            until=UNTIL,
+            telemetry_path=str(path),
+        )
+        assert report.ok, report.violations
+        counts = validate_jsonl(str(path))
+        assert counts["telemetry"] == report.stats["telemetry_records"] > 0
+
+
+class TestGoodRollout:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_healthy_policy_is_promoted(self, seed):
+        report = run_chaos(
+            scenario="canary_rollout_good", seed=seed, until=UNTIL
+        )
+        assert report.ok, report.violations
+        rollout = report.stats["rollout"]
+        assert rollout["state"] == "promoted"
+        assert rollout["trigger"] is None
+        assert rollout["events"] == ["apply", "promote"]
+        # a clean bake: nothing breached, canary or control
+        assert report.stats["slo_breaches"] == 0
+        assert (
+            rollout["decided_at"] - rollout["applied_at"]
+            >= rollout["bake_seconds"]
+        )
+        for channel in report.channels:
+            assert channel["complete"]
+            assert channel["received_digest"] == channel["sent_digest"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        first = run_chaos(scenario="canary_rollout", seed=7, until=UNTIL)
+        second = run_chaos(scenario="canary_rollout", seed=7, until=UNTIL)
+        assert first.stats["rollout"] == second.stats["rollout"]
+        assert (
+            first.stats["telemetry_records"]
+            == second.stats["telemetry_records"]
+        )
