@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux smoke-flow smoke-telemetry chaos chaos-sweep chaos-resume chaos-mux chaos-mesh live-chaos golden-gate golden-capture golden-soak
+.PHONY: test test-fast test-obs smoke-obs smoke-assemble smoke-mux smoke-flow smoke-telemetry smoke-tune chaos chaos-sweep chaos-resume chaos-mux chaos-mesh chaos-tune live-chaos golden-gate golden-capture golden-soak
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -57,6 +57,12 @@ TELEMETRY_SMOKE_DIR := /tmp/repro-telemetry-smoke
 
 smoke-telemetry:
 	$(PYTHON) scripts/smoke_telemetry.py --out $(TELEMETRY_SMOKE_DIR)
+
+# Closed-loop tuner smoke (docs/TUNING.md): the three tune_* chaos
+# scenarios on the sim backend — shed/regrow polarity, loss headroom,
+# step tracking, and the no-oscillation invariant — in a few seconds.
+smoke-tune:
+	$(PYTHON) scripts/smoke_tune.py --bundle $(TUNE_BUNDLE_DIR)
 
 # Skip tests that bind real loopback sockets (useful in sandboxes).
 test-fast:
@@ -121,6 +127,28 @@ chaos-mesh:
 	$(PYTHON) -m repro.chaos --backend live --sessions --seeds 1-3 \
 		--scenario mesh_failover --plan "$(MESH_PLAN_LIVE)" \
 		--bundle $(MESH_BUNDLE_DIR)
+
+# Closed-loop tuner sweep (docs/TUNING.md): 3-seed sim sweep over the
+# three convergence scenarios, then the live twin — a latency fault
+# through the chaos proxy that the tuner must answer with a mux
+# CREDIT-window renegotiation on the wire.  Invariant failures dump
+# postmortem bundles under $(TUNE_BUNDLE_DIR) for CI artifact upload.
+TUNE_BUNDLE_DIR := /tmp/repro-tune-bundles
+TUNE_PLAN_DEGRADE := wan_degrade@5:site=S,scale=5,for=5
+TUNE_PLAN_LOSS := wan_degrade@5:site=S,scale=1,loss=0.01,for=5
+TUNE_PLAN_STEP := wan_degrade@0.5:site=S,scale=5,for=8
+TUNE_PLAN_LIVE := latency@1.2:site=HUB,delay=0.08,for=2.5
+
+chaos-tune:
+	$(PYTHON) -m repro.chaos --seeds 1-3 --scenario tune_degrade \
+		--plan "$(TUNE_PLAN_DEGRADE)" --bundle $(TUNE_BUNDLE_DIR)
+	$(PYTHON) -m repro.chaos --seeds 1-3 --scenario tune_loss_burst \
+		--plan "$(TUNE_PLAN_LOSS)" --bundle $(TUNE_BUNDLE_DIR)
+	$(PYTHON) -m repro.chaos --seeds 1-3 --scenario tune_bandwidth_step \
+		--plan "$(TUNE_PLAN_STEP)" --bundle $(TUNE_BUNDLE_DIR)
+	$(PYTHON) -m repro.chaos --backend live --seeds 1-3 \
+		--scenario tune_degrade --plan "$(TUNE_PLAN_LIVE)" \
+		--bundle $(TUNE_BUNDLE_DIR)
 
 chaos-resume:
 	$(PYTHON) -m repro.chaos --sessions --seeds 1-5 \

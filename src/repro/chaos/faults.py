@@ -34,6 +34,7 @@ __all__ = [
     "require_backend",
     "LinkDown",
     "LossBurst",
+    "WanDegrade",
     "RelayCrash",
     "RelayKill",
     "RelayPartition",
@@ -140,6 +141,57 @@ class LossBurst(Fault):
 
         ctx.heal_later(self.duration, heal, self, site=self.site)
         return {"site": self.site, "loss": self.loss, "for": self.duration}
+
+
+@dataclass(frozen=True)
+class WanDegrade(Fault):
+    """Scale a site's WAN-link capacity down by ``scale`` for ``duration`` s.
+
+    Bandwidth *and* queue depth shrink together (routers are sized to
+    their BDP, so a degraded path also queues less — and RTT stays near
+    the propagation floor instead of inflating with a now-oversized
+    queue); ``loss`` optionally adds a loss floor for the episode.  The
+    canonical tuner stimulus: the path gets slower, not dead.
+    """
+
+    site: str = ""
+    scale: float = 4.0
+    loss: float = 0.0
+    duration: float = 5.0
+
+    kind = "wan_degrade"
+
+    def _args(self) -> dict:
+        return {
+            "site": self.site,
+            "scale": self.scale,
+            "loss": self.loss,
+            "for": self.duration,
+        }
+
+    def inject(self, ctx: "FaultContext") -> dict:
+        if self.scale <= 0:
+            raise FaultPlanError(f"bad wan_degrade scale {self.scale}")
+        link = ctx.scenario.site_wan_link(self.site)
+        previous = []
+        for tx in (link.a_to_b, link.b_to_a):
+            previous.append((tx.bandwidth, tx.queue_bytes, tx.loss))
+            tx.bandwidth = tx.bandwidth / self.scale
+            tx.queue_bytes = max(4096, int(tx.queue_bytes / self.scale))
+            if self.loss:
+                tx.loss = max(tx.loss, self.loss)
+
+        def heal():
+            for tx, (bw, qb, lo) in zip((link.a_to_b, link.b_to_a), previous):
+                tx.bandwidth, tx.queue_bytes, tx.loss = bw, qb, lo
+
+        ctx.heal_later(self.duration, heal, self, site=self.site)
+        return {
+            "site": self.site,
+            "scale": self.scale,
+            "loss": self.loss,
+            "for": self.duration,
+        }
 
 
 @dataclass(frozen=True)
@@ -458,6 +510,7 @@ _KINDS: dict[str, type] = {
     for cls in (
         LinkDown,
         LossBurst,
+        WanDegrade,
         RelayCrash,
         RelayKill,
         RelayPartition,
@@ -475,7 +528,7 @@ _KINDS: dict[str, type] = {
 
 #: plan-string argument name -> dataclass field name
 _ARG_FIELDS = {"for": "duration", "bytes": "nbytes"}
-_FLOAT_ARGS = {"for", "loss", "delay", "jitter"}
+_FLOAT_ARGS = {"for", "loss", "delay", "jitter", "scale"}
 _INT_ARGS = {"bytes"}
 
 

@@ -203,6 +203,7 @@ def _load_builtin() -> None:
         live,
         rollout,
         runner,
+        tune,
     )
 
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import asyncio
 import random
-from dataclasses import dataclass
 from typing import Generator
 
 from .. import obs
@@ -34,24 +33,13 @@ from ..core.factory import BrokeredConnectionFactory
 from ..core.scenarios import GridScenario
 from ..livenet.transport import live_connect, live_listen
 from ..ops.rollout import CanaryRollout, ConfigChange
+from ..tune.planner import TunerPolicy
 from .live import LiveChaosScenario
 from .registry import live_scenario, scenario
 from .runner import Workload, _spec
 
+# TunerPolicy moved to repro.tune.planner; re-exported for old importers.
 __all__ = ["TunerPolicy"]
-
-
-@dataclass
-class TunerPolicy:
-    """The knob the rollout pushes: how a sender paces its stream."""
-
-    name: str
-    pace: float   # seconds between chunks
-    chunk: int    # bytes per chunk
-
-    @property
-    def rate(self) -> float:
-        return self.chunk / self.pace
 
 
 #: sender fleet: two canaries, two controls, one hub

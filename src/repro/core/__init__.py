@@ -26,7 +26,7 @@ from .establishment import (
     feasible_methods,
     table1_matrix,
 )
-from .autotune import estimate_bdp, recommend_streams
+from ..tune.planner import estimate_bdp, recommend_streams
 from .links import Link, TcpLink
 from .monitor import PathEstimate, PathMonitor, select_spec
 from .relay import MAX_MSG, RelayClient, RelayError, RelayServer, RoutedLink

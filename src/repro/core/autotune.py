@@ -1,49 +1,30 @@
-"""Parameter auto-tuning (paper §8 future work).
+"""Deprecated: parameter auto-tuning moved to :mod:`repro.tune.planner`.
 
-"Also, parameter adaptation, like selection of the optimal number of
-parallel TCP streams or the dynamic enabling or disabling of compression
-will then become possible."  Adaptive compression lives in
-:mod:`~repro.core.utilization.adaptive`; this module derives the parallel
-stream count from link characteristics.
-
-The rule: a single stream's throughput is capped at ``rcvbuf / RTT``
-(§4.2), so filling a pipe of a given bandwidth-delay product needs
-``ceil(BDP / rcvbuf)`` streams; a headroom factor covers the average
-window being below its peak (congestion avoidance sawtooth) and loss
-recovery.
+The one-shot formulas (``estimate_bdp``, ``recommend_streams``,
+``HEADROOM``) were absorbed by the closed-loop tuner's planner, which
+extends ``recommend_streams`` with a per-path loss-derived headroom.
+This shim keeps the old import path alive; new code should import from
+:mod:`repro.tune` directly.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 
-__all__ = ["recommend_streams", "estimate_bdp"]
+__all__ = ["recommend_streams", "estimate_bdp", "HEADROOM"]
 
-#: sawtooth/recovery headroom: the long-run average congestion window sits
-#: around 3/4 of its peak, so over-provision by the inverse
-HEADROOM = 4.0 / 3.0
+_MOVED = {"recommend_streams", "estimate_bdp", "HEADROOM", "loss_headroom"}
 
 
-def estimate_bdp(capacity: float, rtt: float) -> float:
-    """Bandwidth-delay product in bytes."""
-    if capacity <= 0 or rtt <= 0:
-        raise ValueError("capacity and rtt must be positive")
-    return capacity * rtt
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.core.autotune.{name} moved to repro.tune.planner; "
+            "update imports (this shim will be removed)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..tune import planner
 
-
-def recommend_streams(
-    capacity: float,
-    rtt: float,
-    rcvbuf: int = 65536,
-    max_streams: int = 16,
-) -> int:
-    """Number of parallel TCP streams to fill the given path.
-
-    ``capacity`` in bytes/s, ``rtt`` in seconds, ``rcvbuf`` the per-stream
-    OS socket buffer limit.
-    """
-    if rcvbuf <= 0:
-        raise ValueError("rcvbuf must be positive")
-    bdp = estimate_bdp(capacity, rtt)
-    streams = math.ceil(bdp * HEADROOM / rcvbuf)
-    return max(1, min(streams, max_streams))
+        return getattr(planner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

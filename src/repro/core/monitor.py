@@ -29,7 +29,7 @@ from typing import Generator, Optional
 
 from .. import obs
 from ..simnet.packet import Addr
-from .autotune import recommend_streams
+from ..tune.planner import recommend_streams
 from .links import Link
 from .node import GridNode
 from .utilization.spec import StackSpec

@@ -37,6 +37,7 @@ Wire format (all integers big-endian, on the established link)::
     FINACK    = u8(6) u64(fin_off)
     RESUME    = u8(7) u64(sid) u64(rx_off) u8(fin?) u64(fin_off)
     RESUME_OK = u8(8) u64(rx_off) u8(fin?) u64(fin_off)
+    RETUNE    = u8(9) u64(max_buffer)     # advisory replay-window resize
 
 ``RESUME``/``RESUME_OK`` only ever appear as the first frame in each
 direction of a re-established link; everything else flows on an attached
@@ -56,7 +57,7 @@ the transport level before the watchdog has to force a reconnect.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Generator, Optional
 
 from .. import obs
@@ -84,6 +85,7 @@ F_FIN = 5
 F_FINACK = 6
 F_RESUME = 7
 F_RESUME_OK = 8
+F_RETUNE = 9
 
 _DATA_HDR = struct.Struct("!BI")
 _OFF_HDR = struct.Struct("!BQ")
@@ -239,6 +241,8 @@ class SessionLink(Link):
         self.flight = flight
         self._resume_ctx: Optional[TraceContext] = None
         self.config = config or SessionConfig()
+        #: the peer's last advertised replay bound (RETUNE; informational)
+        self.peer_max_buffer = 0
         self.reconnects = 0
         self.replayed_bytes = 0
         self._reconnect = reconnect
@@ -323,6 +327,56 @@ class SessionLink(Link):
         surviving members when this session cannot be resumed.
         """
         return self._replay.start
+
+    @property
+    def replay_occupancy(self) -> float:
+        """Replay-buffer fill fraction in [0, 1] (the tuner's signal)."""
+        return min(1.0, self._replay.size / max(1, self.config.max_buffer))
+
+    def set_max_buffer(self, max_buffer: int) -> None:
+        """Retune the replay-buffer bound mid-stream (tuner-driven).
+
+        Growth releases any senders blocked on the old bound at once.
+        Shrink is graceful: already-buffered bytes are never dropped —
+        the window simply stops admitting new chunks until acks drain it
+        below the new bound.  An advisory RETUNE frame tells the peer
+        (informational; each side's bound is locally enforced).
+        """
+        max_buffer = int(max_buffer)
+        if max_buffer <= 0:
+            raise ValueError(f"max_buffer must be positive: {max_buffer}")
+        old = self.config.max_buffer
+        if max_buffer == old:
+            return
+        self.config = replace(self.config, max_buffer=max_buffer)
+        if max_buffer > old:
+            self._wake_window()
+        obs.metrics().counter(
+            "session.retunes_total", role=self.role).inc()
+        obs.event(
+            "session.retuned",
+            ctx=self.ctx,
+            node=self.node or None,
+            sid=f"{self.sid:016x}",
+            old=old,
+            new=max_buffer,
+        )
+        if self._state == ACTIVE:
+            self._sim.process(
+                self._send_retune(max_buffer),
+                name=f"session-retune-{self.sid:x}",
+            )
+
+    def _send_retune(self, max_buffer: int) -> Generator:
+        gen = self._gen
+        try:
+            yield from self._locked_send(
+                gen, _OFF_HDR.pack(F_RETUNE, max_buffer)
+            )
+        except _StaleLink:
+            pass  # advisory only: not worth replaying across recovery
+        except self._transport as exc:
+            self._transport_broken(gen, exc)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -530,6 +584,12 @@ class SessionLink(Link):
                     if gen != self._gen:
                         return
                     self._on_data(payload)
+                elif kind == F_RETUNE:
+                    body = yield from raw.recv_exactly(_OFF_HDR.size - 1)
+                    (peer_buf,) = struct.unpack("!Q", body)
+                    if gen != self._gen:
+                        return
+                    self.peer_max_buffer = peer_buf
                 elif kind in (F_ACK, F_PONG, F_FIN, F_FINACK):
                     body = yield from raw.recv_exactly(_OFF_HDR.size - 1)
                     (off,) = struct.unpack("!Q", body)

@@ -67,6 +67,8 @@ class AdaptiveCompressionDriver(FilterDriver):
         }
         self._counter = 0
         self.mode_counts = {FLAG_RAW: 0, FLAG_DEFLATE: 0}
+        #: tuner override: None (learn), "raw" or "compress" (pinned)
+        self.force_mode: Optional[str] = None
 
     def _rate_of(self, mode: int) -> Optional[float]:
         nbytes, seconds, count = self._stats[mode]
@@ -76,6 +78,10 @@ class AdaptiveCompressionDriver(FilterDriver):
 
     def _choose_mode(self) -> int:
         self._counter += 1
+        if self.force_mode == "raw":
+            return FLAG_RAW
+        if self.force_mode == "compress":
+            return FLAG_DEFLATE
         raw, comp = self._rate_of(FLAG_RAW), self._rate_of(FLAG_DEFLATE)
         if raw is None and comp is None:
             # No congestion signal at all: alternate cheaply.

@@ -351,6 +351,8 @@ class RebalancingParallelDriver(Driver):
         self._send_seq = 0
         self._rr = 0
         self._alive = [True] * len(self.links)
+        #: tuner-quiesced members: alive but not dealt new blocks
+        self._quiesced = [False] * len(self.links)
         self._pending: list[dict[int, tuple[int, bytes]]] = [
             {} for _ in self.links
         ]
@@ -374,6 +376,47 @@ class RebalancingParallelDriver(Driver):
     @property
     def alive_members(self) -> int:
         return sum(self._alive)
+
+    @property
+    def active_streams(self) -> int:
+        """Members currently dealt new blocks (alive and not quiesced)."""
+        active = sum(
+            1 for index in range(len(self.links))
+            if self._alive[index] and not self._quiesced[index]
+        )
+        if active:
+            return active
+        return self.alive_members  # all quiesced: survivability fallback
+
+    def set_active_streams(self, n: int) -> None:
+        """Grow or shrink live membership without tearing anything down.
+
+        Shrinking *quiesces* members (their links stay open and their
+        pending blocks drain normally; they just stop being dealt new
+        blocks) so growth is instant and free — no re-establishment.
+        The count is clamped to ``[1, alive_members]``; dead members can
+        never be reactivated.
+        """
+        n = max(1, min(int(n), len(self.links)))
+        before = self.active_streams
+        # Activate lowest-indexed alive members first, quiesce the rest.
+        remaining = n
+        for index in range(len(self.links)):
+            if not self._alive[index]:
+                continue
+            if remaining > 0:
+                self._quiesced[index] = False
+                remaining -= 1
+            else:
+                self._quiesced[index] = True
+        after = self.active_streams
+        if after != before:
+            reg = obs.metrics()
+            reg.counter("parallel.retunes_total").inc()
+            reg.gauge(
+                "driver.streams", driver=self.name, backend="sim"
+            ).set(after)
+            obs.event("parallel.streams_retuned", before=before, after=after)
 
     # -- sending -----------------------------------------------------------------
     def _ensure_writers(self) -> list[_StreamWriter]:
@@ -431,11 +474,19 @@ class RebalancingParallelDriver(Driver):
 
     def _next_alive(self) -> int:
         n = len(self.links)
+        fallback = None
         for _ in range(n):
             index = self._rr % n
             self._rr += 1
-            if self._alive[index]:
+            if not self._alive[index]:
+                continue
+            if not self._quiesced[index]:
                 return index
+            if fallback is None:
+                fallback = index
+        if fallback is not None:
+            # every alive member is quiesced — survivability trumps tuning
+            return fallback
         self._fatal = self._fatal or DriverError("all parallel members dead")
         raise DriverError("all parallel members dead")
 

@@ -27,6 +27,7 @@ from ..mux.frames import (
     T_DATA,
     T_HELLO,
     T_OPEN,
+    T_WINDOW,
     decode_frame,
     encode_accept,
     encode_close,
@@ -34,6 +35,7 @@ from ..mux.frames import (
     encode_data,
     encode_hello,
     encode_open,
+    encode_window,
 )
 from ..mux.scheduler import RoundRobinScheduler, Scheduler
 from ..obs import TraceContext
@@ -77,6 +79,8 @@ class AsyncMuxChannel:
         self._tx_drained.set()
         self._rx_window = window
         self._rx_allowance = window
+        self._grant_debt = 0
+        self.peer_rx_window = 0
         self._rxq: deque = deque()
         self._rx_available = asyncio.Event()
         self._consumed_since_grant = 0
@@ -134,6 +138,37 @@ class AsyncMuxChannel:
         self._txq.clear()
         self._tx_buffered = 0
         self._ep._close_channel(self, CLOSE_ERROR, reason="aborted")
+
+    def retune_window(self, new_window: int) -> None:
+        """Mid-stream credit-window renegotiation (tuner-driven).
+
+        Same semantics as the sim channel: growth grants the delta as
+        immediate CREDIT; shrink is graceful — consumption-driven grants
+        are withheld until the outstanding allowance drains to the new
+        window.  A WINDOW frame announces the new steady state.
+        """
+        if new_window <= 0:
+            raise ValueError(f"window must be positive: {new_window}")
+        old = self._rx_window
+        if new_window == old:
+            return
+        self._rx_window = new_window
+        delta = new_window - old
+        if delta > 0:
+            absorbed = min(self._grant_debt, delta)
+            self._grant_debt -= absorbed
+            grant = delta - absorbed
+            if grant > 0:
+                self._rx_allowance += grant
+                self._ep._send_ctl(encode_credit(self.channel_id, grant))
+        else:
+            self._grant_debt += -delta
+        self._ep._send_ctl(encode_window(self.channel_id, new_window))
+        obs.metrics().counter("mux.window_retunes_total",
+                              node=self._ep.node).inc()
+        obs.event("mux.window_retune", ctx=self.ctx, node=self._ep.node,
+                  channel=self.channel_id, old=old, new=new_window,
+                  backend="live")
 
     @property
     def _tx_ready(self) -> bool:
@@ -383,6 +418,10 @@ class AsyncMuxEndpoint:
             channel._rx_available.set()
             if channel._close_sent:
                 self._drop_channel(channel)
+        elif frame.kind == T_WINDOW:
+            channel = self._channels.get(frame.channel)
+            if channel is not None:
+                channel.peer_rx_window = frame.window
         else:
             raise MuxProtocolError(f"unexpected frame {frame.name}")
 
@@ -394,6 +433,12 @@ class AsyncMuxEndpoint:
         if channel._consumed_since_grant >= max(1, channel._rx_window // 2):
             grant = channel._consumed_since_grant
             channel._consumed_since_grant = 0
+            if channel._grant_debt:
+                absorbed = min(channel._grant_debt, grant)
+                channel._grant_debt -= absorbed
+                grant -= absorbed
+            if grant <= 0:
+                return
             channel._rx_allowance += grant
             self._send_ctl(encode_credit(channel.channel_id, grant))
 
@@ -401,6 +446,19 @@ class AsyncMuxEndpoint:
         self.scheduler.set_ready(channel.channel_id, channel._tx_ready)
         if channel._tx_ready:
             self._tx_wake.set()
+        elif (
+            channel._tx_buffered > 0
+            and channel._tx_credit <= 0
+            and channel._accepted.is_set()
+            and not channel._close_sent
+            and channel._error is None
+        ):
+            # buffered data is waiting on peer credit: the stall signal a
+            # LinkTuner's credit_stall_rate feeds on (sim twin: the
+            # backpressure counter in mux/endpoint.py)
+            obs.metrics().counter(
+                "mux.backpressure_waits", node=self.node, backend="live"
+            ).inc()
 
     def _send_ctl(self, frame: bytes) -> None:
         self._check_alive()

@@ -9,9 +9,12 @@ relay*.  The route table ranks live relays by a score combining
   ``load_weight`` (weighted balancing: new links spread away from busy
   relays);
 * **path quality** — a measured RTT toward the relay (fed from
-  :class:`~repro.core.monitor.PathMonitor` ``path.rtt_seconds`` gauges)
-  depresses the score by ``rtt_weight``; unmeasured relays are scored on
-  load alone, so path telemetry refines but never gates routing;
+  :class:`~repro.core.monitor.PathMonitor` ``path.rtt_seconds`` gauges,
+  and continuously from a running
+  :class:`~repro.tune.loop.LinkTuner`) depresses the score by
+  ``rtt_weight``, and a measured loss rate by :data:`loss_weight`;
+  unmeasured relays are scored on load alone, so path telemetry refines
+  but never gates routing;
 * **reachability of the peer** — relays that have the destination node
   registered are strictly preferred over relays that would need a trunk
   hop.
@@ -54,6 +57,10 @@ class ScoredRoute:
 class RouteTable:
     """Ranks live relays and makes sticky, hysteresis-damped choices."""
 
+    #: score penalty per unit of measured loss toward a relay — tuned so
+    #: a 1% loss path scores like an extra ~0.5 units of load
+    loss_weight = 50.0
+
     def __init__(
         self,
         state: MeshState,
@@ -67,14 +74,25 @@ class RouteTable:
         self.usable = usable or (lambda relay_id: True)
         #: measured RTT toward each relay, seconds (PathMonitor feed)
         self.path_rtt: dict[str, float] = {}
+        #: measured loss rate toward each relay (tuner feed)
+        self.path_loss: dict[str, float] = {}
         #: incumbent route per destination peer (the hysteresis memory)
         self._current: dict[str, str] = {}
         #: route switches observed (per peer), for the mesh.* gauges
         self.route_changes = 0
 
     # -- telemetry feed ------------------------------------------------------
-    def update_path(self, relay_id: str, rtt: float) -> None:
+    def update_path(self, relay_id: str, rtt: float,
+                    loss: Optional[float] = None) -> None:
+        """Feed fresh path telemetry (one probe, or a tuner's every step).
+
+        A degraded trunk loses score — and therefore new-route traffic —
+        continuously as measurements arrive, without needing the relay to
+        die; recovery restores it the same way.
+        """
         self.path_rtt[relay_id] = rtt
+        if loss is not None:
+            self.path_loss[relay_id] = loss
 
     # -- scoring -------------------------------------------------------------
     def score(self, entry: RelayEntry) -> float:
@@ -83,6 +101,9 @@ class RouteTable:
         rtt = self.path_rtt.get(entry.relay_id)
         if rtt is not None and cfg.rtt_weight > 0:
             s /= 1.0 + cfg.rtt_weight * max(rtt, 0.0)
+        loss = self.path_loss.get(entry.relay_id)
+        if loss is not None and self.loss_weight > 0:
+            s /= 1.0 + self.loss_weight * max(loss, 0.0)
         return s
 
     def candidates(self, peer: str) -> list[ScoredRoute]:

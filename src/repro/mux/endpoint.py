@@ -44,6 +44,7 @@ from .frames import (
     T_DATA,
     T_HELLO,
     T_OPEN,
+    T_WINDOW,
     decode_frame,
     encode_accept,
     encode_close,
@@ -51,6 +52,7 @@ from .frames import (
     encode_data,
     encode_hello,
     encode_open,
+    encode_window,
 )
 from .scheduler import RoundRobinScheduler, Scheduler
 
@@ -98,6 +100,10 @@ class MuxChannel(Link):
         #: bytes the peer may still send toward us before a CREDIT grant
         self._rx_window = window
         self._rx_allowance = window
+        #: grants withheld after a window shrink (drains the allowance)
+        self._grant_debt = 0
+        #: the peer's last announced steady-state window (via WINDOW)
+        self.peer_rx_window = 0
         self._rxq: deque = deque()
         self._rx_buffered = 0
         self._rx_waiters: list = []
@@ -161,6 +167,44 @@ class MuxChannel(Link):
         self._txq.clear()
         self._tx_buffered = 0
         self._ep._close_channel(self, CLOSE_ERROR, reason="aborted")
+
+    def retune_window(self, new_window: int) -> None:
+        """Renegotiate this channel's receive credit window mid-stream.
+
+        Growth takes effect immediately: the delta is granted as extra
+        CREDIT so the sender can use it at once.  Shrink is *graceful* —
+        no credit is clawed back; instead subsequent consumption-driven
+        grants are withheld until the outstanding allowance has drained
+        down to the new window.  Either way a WINDOW frame announces the
+        new steady state to the peer (informational; the credit frames
+        carry the actual flow-control effect).
+        """
+        if new_window <= 0:
+            raise ValueError(f"window must be positive: {new_window}")
+        old = self._rx_window
+        if new_window == old:
+            return
+        self._rx_window = new_window
+        delta = new_window - old
+        if delta > 0:
+            # growth beyond any outstanding shrink debt is new credit
+            absorbed = min(self._grant_debt, delta)
+            self._grant_debt -= absorbed
+            grant = delta - absorbed
+            if grant > 0:
+                self._rx_allowance += grant
+                obs.metrics().counter(
+                    "mux.credit_granted", node=self._ep.node,
+                    channel=str(self.channel_id),
+                ).inc(grant)
+                self._ep._send_ctl(encode_credit(self.channel_id, grant))
+        else:
+            self._grant_debt += -delta
+        self._ep._send_ctl(encode_window(self.channel_id, new_window))
+        obs.metrics().counter("mux.window_retunes_total",
+                              node=self._ep.node).inc()
+        obs.event("mux.window_retune", ctx=self.ctx, node=self._ep.node,
+                  channel=self.channel_id, old=old, new=new_window)
 
     # -- internal -----------------------------------------------------------
     @property
@@ -460,6 +504,8 @@ class MuxEndpoint:
             self._on_credit(frame)
         elif frame.kind == T_CLOSE:
             self._on_close(frame)
+        elif frame.kind == T_WINDOW:
+            self._on_window(frame)
         elif frame.kind == T_HELLO:
             raise MuxProtocolError("unexpected HELLO after establishment")
         else:  # pragma: no cover - decode_frame already rejects these
@@ -520,6 +566,14 @@ class MuxEndpoint:
         channel._tx_credit += frame.grant
         self._update_ready(channel)
 
+    def _on_window(self, frame) -> None:
+        channel = self._channels.get(frame.channel)
+        if channel is None:
+            return  # announcement raced our CLOSE: harmless
+        channel.peer_rx_window = frame.window
+        obs.event("mux.window_announced", ctx=channel.ctx, node=self.node,
+                  channel=frame.channel, window=frame.window)
+
     def _on_close(self, frame) -> None:
         channel = self._channels.get(frame.channel)
         if channel is None:
@@ -543,6 +597,14 @@ class MuxEndpoint:
         if channel._consumed_since_grant >= max(1, channel._rx_window // 2):
             grant = channel._consumed_since_grant
             channel._consumed_since_grant = 0
+            if channel._grant_debt:
+                # a window shrink is pending: withhold grants until the
+                # outstanding allowance has drained to the new window
+                absorbed = min(channel._grant_debt, grant)
+                channel._grant_debt -= absorbed
+                grant -= absorbed
+            if grant <= 0:
+                return
             channel._rx_allowance += grant
             obs.metrics().counter("mux.credit_granted", node=self.node,
                                   channel=str(channel.channel_id)).inc(grant)

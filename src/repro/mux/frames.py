@@ -25,6 +25,11 @@ Frame layout (after the transport length prefix)::
   receiving application drains its buffer.
 * ``CLOSE``  — ``u8 flags, lp_str reason`` — graceful half-close
   (flags 0) or error close (flags 1).
+* ``WINDOW`` — ``u32 window`` — mid-stream credit-window renegotiation:
+  the receiver announces its *new* steady-state window (the tuner's
+  doing).  Additive and advisory — a peer that predates it would reject
+  the frame, but WINDOW is only ever sent after a retune is requested
+  locally, so the base protocol (and :data:`MUX_VERSION`) is unchanged.
 
 Channel ids are chosen by the opener: the endpoint that initiated the
 underlying link allocates odd ids, the acceptor even ids, so both sides
@@ -45,6 +50,7 @@ __all__ = [
     "T_DATA",
     "T_CREDIT",
     "T_CLOSE",
+    "T_WINDOW",
     "FRAME_NAMES",
     "CLOSE_GRACEFUL",
     "CLOSE_ERROR",
@@ -56,6 +62,7 @@ __all__ = [
     "encode_data",
     "encode_credit",
     "encode_close",
+    "encode_window",
     "decode_frame",
 ]
 
@@ -68,6 +75,7 @@ T_ACCEPT = 2
 T_DATA = 3
 T_CREDIT = 4
 T_CLOSE = 5
+T_WINDOW = 6
 
 FRAME_NAMES = {
     T_HELLO: "hello",
@@ -76,6 +84,7 @@ FRAME_NAMES = {
     T_DATA: "data",
     T_CREDIT: "credit",
     T_CLOSE: "close",
+    T_WINDOW: "window",
 }
 
 CLOSE_GRACEFUL = 0
@@ -151,6 +160,10 @@ def encode_close(channel: int, flags: int = CLOSE_GRACEFUL,
     return _header(T_CLOSE, channel).u8(flags).lp_str(reason).getvalue()
 
 
+def encode_window(channel: int, window: int) -> bytes:
+    return _header(T_WINDOW, channel).u32(window).getvalue()
+
+
 def decode_frame(body: bytes) -> MuxFrame:
     """Decode one mux frame body (without the transport length prefix)."""
     try:
@@ -172,6 +185,8 @@ def decode_frame(body: bytes) -> MuxFrame:
         elif kind == T_CLOSE:
             frame = MuxFrame(kind, channel, flags=reader.u8(),
                              reason=reader.lp_str())
+        elif kind == T_WINDOW:
+            frame = MuxFrame(kind, channel, window=reader.u32())
         else:
             raise MuxProtocolError(f"unknown mux frame type {kind}")
         reader.expect_end()

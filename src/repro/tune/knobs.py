@@ -1,0 +1,118 @@
+"""Knob surfaces: how a plan's target values reach a running stack.
+
+The loop is knob-agnostic: anything with ``supports``/``get``/``set``
+works.  :class:`StackKnobs` binds the names the planner emits to the
+live objects a negotiated stack is made of:
+
+* ``streams``        — :meth:`RebalancingParallelDriver.set_active_streams`
+* ``compress``       — :attr:`AdaptiveCompressionDriver.force_mode`
+* ``replay_buffer``  — :meth:`SessionLink.set_max_buffer`
+* ``mux_window``     — :meth:`MuxChannel.retune_window` (sim or live)
+* ``rcvbuf``         — recorded for the next establishment (existing
+  simulated TCP connections model a fixed OS buffer; the value feeds
+  re-planning and new links)
+
+:class:`StaticKnobs` is a dict: the test/bench double, and the natural
+target when the knob is an application-level policy (a
+:class:`~repro.tune.planner.TunerPolicy` pace, a live sender's window).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["KnobError", "StaticKnobs", "StackKnobs"]
+
+_MODES = {"on": "compress", "off": "raw", "auto": None}
+
+
+class KnobError(Exception):
+    """Unknown knob or an unbindable target."""
+
+
+class StaticKnobs:
+    """Dict-backed knob surface (tests, policies, benchmarks)."""
+
+    def __init__(self, **values):
+        self._values = dict(values)
+
+    def supports(self, name: str) -> bool:
+        return name in self._values
+
+    def get(self, name: str):
+        try:
+            return self._values[name]
+        except KeyError:
+            raise KnobError(f"unknown knob {name!r}") from None
+
+    def set(self, name: str, value) -> None:
+        if name not in self._values:
+            raise KnobError(f"unknown knob {name!r}")
+        self._values[name] = value
+
+    def as_dict(self) -> dict:
+        return dict(self._values)
+
+
+class StackKnobs:
+    """Bind planner knob names onto the drivers of a built stack.
+
+    Pass whichever handles exist; unsupported knobs are simply skipped
+    by the loop.  ``stack`` is the top driver of a
+    :func:`~repro.core.utilization.stack.build_stack` result — the
+    parallel and adaptive drivers are located inside it.
+    """
+
+    def __init__(self, stack=None, *, session=None, mux_channel=None,
+                 rcvbuf: Optional[int] = None):
+        from ..core.utilization.adaptive import AdaptiveCompressionDriver
+        from ..core.utilization.parallel import RebalancingParallelDriver
+        from ..core.utilization.stack import find_driver
+
+        self.parallel = None
+        self.adaptive = None
+        if stack is not None:
+            self.parallel = find_driver(stack, RebalancingParallelDriver)
+            self.adaptive = find_driver(stack, AdaptiveCompressionDriver)
+        self.session = session
+        self.mux_channel = mux_channel
+        self._rcvbuf = rcvbuf
+
+    def supports(self, name: str) -> bool:
+        return {
+            "streams": self.parallel is not None,
+            "compress": self.adaptive is not None,
+            "replay_buffer": self.session is not None,
+            "mux_window": self.mux_channel is not None,
+            "rcvbuf": self._rcvbuf is not None,
+        }.get(name, False)
+
+    def get(self, name: str):
+        if not self.supports(name):
+            raise KnobError(f"knob {name!r} is not bound")
+        if name == "streams":
+            return self.parallel.active_streams
+        if name == "compress":
+            mode = self.adaptive.force_mode
+            return {"compress": "on", "raw": "off", None: "auto"}[mode]
+        if name == "replay_buffer":
+            return self.session.config.max_buffer
+        if name == "mux_window":
+            return self.mux_channel._rx_window
+        return self._rcvbuf
+
+    def set(self, name: str, value) -> None:
+        if not self.supports(name):
+            raise KnobError(f"knob {name!r} is not bound")
+        if name == "streams":
+            self.parallel.set_active_streams(int(value))
+        elif name == "compress":
+            if value not in _MODES:
+                raise KnobError(f"bad compress mode {value!r}")
+            self.adaptive.force_mode = _MODES[value]
+        elif name == "replay_buffer":
+            self.session.set_max_buffer(int(value))
+        elif name == "mux_window":
+            self.mux_channel.retune_window(int(value))
+        else:
+            self._rcvbuf = int(value)

@@ -1,0 +1,191 @@
+"""Link signals: what the tuner observes, and how it is smoothed.
+
+A :class:`LinkSignals` sample is the planner's whole world view: RTT,
+capacity/goodput, loss, the adaptive driver's compression verdict, mux
+credit stall pressure and session replay-window occupancy.  Samples come
+from a *source* — any callable returning ``LinkSignals | None`` — and
+:class:`GaugeSignalSource` is the standard one: it reads the ``path.*``
+gauges a :class:`~repro.core.monitor.PathMonitor` publishes plus the
+mux/session meters, and applies BBR-flavoured smoothing — windowed-min
+RTT (the propagation floor survives queueing episodes) and
+*windowed-average* goodput (the byte counter's growth over the whole
+smoothing window, so reassembly bursts and drain bubbles cancel instead
+of whipsawing the plan the way a max- or instant-rate would).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .. import obs
+
+__all__ = [
+    "LinkSignals",
+    "WindowedMin",
+    "WindowedMax",
+    "Ewma",
+    "GaugeSignalSource",
+]
+
+
+@dataclass
+class LinkSignals:
+    """One smoothed observation of a link (the planner's input)."""
+
+    #: round-trip time, seconds (windowed min — the propagation floor)
+    rtt: float = 0.0
+    #: believed path capacity, bytes/s (0 = unknown)
+    capacity: float = 0.0
+    #: achieved application goodput, bytes/s (windowed max)
+    goodput: float = 0.0
+    #: per-packet loss probability estimate
+    loss_rate: float = 0.0
+    #: parallel members currently carrying traffic
+    streams_active: int = 0
+    #: the adaptive driver's verdict: "raw" | "compress" | "undecided" | None
+    compress_preference: Optional[str] = None
+    #: CPU compression rate (bytes/s) when calibrated, else None
+    compress_rate: Optional[float] = None
+    #: workload compressibility (raw/compressed ratio) when known
+    payload_ratio: Optional[float] = None
+    #: mux credit stalls per second (backpressure_waits rate)
+    credit_stall_rate: float = 0.0
+    #: session replay-buffer occupancy in [0, 1] (None = no session)
+    replay_occupancy: Optional[float] = None
+    #: sample timestamp (source clock)
+    at: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+
+class WindowedMin:
+    """Minimum over a sliding time window (RTT floor tracking)."""
+
+    def __init__(self, window: float):
+        self.window = window
+        self._samples: list[tuple[float, float]] = []
+
+    def update(self, now: float, value: float) -> float:
+        self._samples.append((now, value))
+        self._samples = [
+            (t, v) for t, v in self._samples if now - t <= self.window
+        ]
+        return min(v for _t, v in self._samples)
+
+
+class WindowedMax:
+    """Maximum over a sliding time window (delivery-rate tracking)."""
+
+    def __init__(self, window: float):
+        self.window = window
+        self._samples: list[tuple[float, float]] = []
+
+    def update(self, now: float, value: float) -> float:
+        self._samples.append((now, value))
+        self._samples = [
+            (t, v) for t, v in self._samples if now - t <= self.window
+        ]
+        return max(v for _t, v in self._samples)
+
+
+class Ewma:
+    """Exponentially weighted moving average (loss-rate smoothing)."""
+
+    def __init__(self, alpha: float = 0.3):
+        self.alpha = alpha
+        self.value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value += self.alpha * (sample - self.value)
+        return self.value
+
+
+class GaugeSignalSource:
+    """Read link signals from the metrics registry, with smoothing.
+
+    ``peer`` selects the ``path.*`` gauge label set (what
+    :class:`~repro.core.monitor.PathMonitor` publishes).  ``providers``
+    overrides any :class:`LinkSignals` field with a live callable — the
+    natural way to wire driver-internal state (e.g. a session's replay
+    occupancy or the adaptive driver's preference) without minting a
+    metric for it.  Counter-derived rates (goodput from a bytes counter,
+    credit stalls) are computed between consecutive ``read()`` calls.
+    """
+
+    def __init__(
+        self,
+        peer: str,
+        clock: Callable[[], float],
+        *,
+        goodput_counter: Optional[tuple[str, dict]] = None,
+        stall_counter: Optional[tuple[str, dict]] = None,
+        providers: Optional[dict[str, Callable[[], object]]] = None,
+        smoothing_window: float = 6.0,
+    ):
+        self.peer = peer
+        self.clock = clock
+        self.goodput_counter = goodput_counter
+        self.stall_counter = stall_counter
+        self.providers = dict(providers or {})
+        self.smoothing_window = smoothing_window
+        self._rtt_min = WindowedMin(smoothing_window)
+        self._loss = Ewma()
+        self._last_at: Optional[float] = None
+        self._last_stall_total = 0
+        #: (t, counter_total) history for the windowed-average rate
+        self._good_hist: deque = deque()
+
+    def _counter_value(self, spec: Optional[tuple[str, dict]]) -> int:
+        if spec is None:
+            return 0
+        name, labels = spec
+        return obs.metrics().counter(name, **labels).value
+
+    def read(self) -> Optional[LinkSignals]:
+        now = self.clock()
+        reg = obs.metrics()
+        sig = LinkSignals(at=now)
+        rtt = reg.gauge("path.rtt_seconds", peer=self.peer).value
+        sig.capacity = reg.gauge("path.capacity_bps", peer=self.peer).value
+        loss = reg.gauge("path.loss_rate", peer=self.peer).value
+
+        # Goodput: counter growth averaged over the whole smoothing
+        # window.  An instant delta (or a windowed max of deltas) reads
+        # reassembly bursts as capacity; the window average cancels them.
+        goodput_total = self._counter_value(self.goodput_counter)
+        self._good_hist.append((now, goodput_total))
+        while (
+            len(self._good_hist) > 1
+            and now - self._good_hist[0][0] > self.smoothing_window
+        ):
+            self._good_hist.popleft()
+        first_at, first_total = self._good_hist[0]
+        if now > first_at:
+            sig.goodput = max(
+                0.0, (goodput_total - first_total) / (now - first_at)
+            )
+        # Credit stalls: a plain between-reads rate (any stall at all is
+        # the signal; magnitude smoothing buys nothing).
+        stall_total = self._counter_value(self.stall_counter)
+        if self._last_at is not None and now > self._last_at:
+            sig.credit_stall_rate = max(
+                0.0, (stall_total - self._last_stall_total) / (now - self._last_at)
+            )
+        self._last_at = now
+        self._last_stall_total = stall_total
+
+        for name, provider in self.providers.items():
+            setattr(sig, name, provider())
+
+        if sig.rtt <= 0 and rtt > 0:
+            sig.rtt = rtt
+        if sig.rtt <= 0:
+            return None  # nothing measured yet: no opinion
+        sig.rtt = self._rtt_min.update(now, sig.rtt)
+        if "loss_rate" not in self.providers:
+            sig.loss_rate = self._loss.update(loss)
+        return sig

@@ -318,6 +318,123 @@ class TestSessionLink:
         assert max(high_water) <= _CONFIG.max_buffer + MAX_CHUNK
 
 
+class TestReplayRetune:
+    """Tuner-driven mid-stream resize of the replay-window bound."""
+
+    def _quiet_pair(self, sim, max_buffer: int):
+        config = SessionConfig(ack_every=2048, max_buffer=max_buffer,
+                               heartbeat=30.0)
+        a, b = _pipe_pair(sim)
+        responder = SessionLink(
+            b, sid=0xD0D, role=SessionLink.RESPONDER, config=config)
+        def reconnect(_session):
+            raise TcpError("no reconnect in this test")
+            yield  # pragma: no cover - makes this a generator
+
+        initiator = SessionLink(
+            a, sid=0xD0D, role=SessionLink.INITIATOR, config=config,
+            reconnect=reconnect, retry_policy=_FAST_RETRY)
+        return initiator, responder, b
+
+    def test_growth_wakes_a_blocked_sender(self):
+        sim = Simulator()
+        ini, res, res_pipe = self._quiet_pair(sim, max_buffer=8192)
+        payload = bytes(range(256)) * 4096  # 1 MiB, >> the window
+
+        def sender():
+            yield from ini.send_all(payload)
+
+        sim.process(sender(), name="test-sender")
+        sim.run(until=0.3)
+        # Silence the responder's acks: the window can only drain by
+        # having its bound grown, never by acknowledgement.
+        res_pipe.silent = True
+        sim.run(until=1.0)
+        stalled_at = ini._replay.end
+        acked_at = ini._replay.start
+        assert ini._replay.size >= 8192
+        sim.run(until=2.0)
+        assert ini._replay.end == stalled_at  # genuinely parked
+        # Grow well past the stalled window (each admitted chunk may
+        # overshoot the bound by up to MAX_CHUNK).
+        ini.set_max_buffer(ini._replay.size + 4 * MAX_CHUNK)
+        sim.run(until=3.0)
+        # The grown bound released the sender without any ack arriving.
+        assert ini._replay.start == acked_at
+        assert ini._replay.end > stalled_at
+
+    def test_shrink_keeps_buffered_bytes(self):
+        sim = Simulator()
+        ini, res, _ = self._quiet_pair(sim, max_buffer=1 << 16)
+        payload = bytes(range(256)) * 1024
+
+        def sender():
+            yield from ini.send_all(payload)
+            ini.close()
+
+        sim.process(sender(), name="test-sender")
+        sim.run(until=0.2)
+        buffered = ini._replay.size
+        ini.set_max_buffer(4096)
+        assert ini.config.max_buffer == 4096
+        assert ini._replay.size == buffered  # nothing dropped
+        out: dict = {}
+
+        def receiver():
+            chunks = []
+            while True:
+                data = yield from res.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+            out["got"] = b"".join(chunks)
+
+        sim.process(receiver(), name="test-receiver")
+        sim.run(until=60)
+        assert out["got"] == payload
+
+    def test_retune_is_advertised_to_the_peer(self):
+        sim = Simulator()
+        ini, res, _ = self._quiet_pair(sim, max_buffer=1 << 16)
+        payload = bytes(range(256)) * 1024
+
+        def sender():
+            yield from ini.send_all(payload)
+            # Retune mid-stream: the advisory RETUNE frame rides the
+            # active session.
+            ini.set_max_buffer(123456)
+            yield from ini.send_all(payload)
+            ini.close()
+
+        def receiver():
+            while True:
+                data = yield from res.recv(65536)
+                if not data:
+                    return
+
+        sim.process(sender(), name="test-sender")
+        sim.process(receiver(), name="test-receiver")
+        sim.run(until=60)
+        assert res.peer_max_buffer == 123456
+
+    def test_occupancy_signal_in_unit_range(self):
+        sim = Simulator()
+        ini, res, _ = self._quiet_pair(sim, max_buffer=8192)
+
+        def sender():
+            yield from ini.send_all(bytes(64 * 1024))
+
+        sim.process(sender(), name="test-sender")
+        sim.run(until=0.5)
+        assert 0.0 <= ini.replay_occupancy <= 1.0
+
+    def test_rejects_nonpositive(self):
+        sim = Simulator()
+        ini, _res, _ = self._quiet_pair(sim, max_buffer=8192)
+        with pytest.raises(ValueError):
+            ini.set_max_buffer(0)
+
+
 class TestReplayBuffer:
     def test_basic_window(self):
         buf = ReplayBuffer()

@@ -28,6 +28,7 @@ from repro.mux.frames import (
     encode_data,
     encode_hello,
     encode_open,
+    encode_window,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.simnet import connect, listen
@@ -47,7 +48,7 @@ class TestCodecRoundTrip:
         rng = random.Random(f"mux-codec:{seed}")
         for _ in range(50):
             kind = rng.choice(["hello", "open", "accept", "data", "credit",
-                               "close"])
+                               "window", "close"])
             cid = rng.randrange(1, 1 << 31)
             if kind == "hello":
                 body = encode_hello(rng.randrange(1, 1 << 16),
@@ -73,6 +74,11 @@ class TestCodecRoundTrip:
                 grant = rng.randrange(0, 1 << 31)
                 frame = decode_frame(encode_credit(cid, grant))
                 assert (frame.channel, frame.grant) == (cid, grant)
+            elif kind == "window":
+                window = rng.randrange(1, 1 << 31)
+                frame = decode_frame(encode_window(cid, window))
+                assert (frame.name, frame.channel, frame.window) \
+                    == ("window", cid, window)
             else:
                 flags = rng.choice([CLOSE_GRACEFUL, CLOSE_ERROR])
                 reason = "".join(rng.choices("abcdef ", k=rng.randrange(0, 30)))
